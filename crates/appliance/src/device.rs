@@ -1,0 +1,224 @@
+//! Device profiles: what the physical and resource layers can count on.
+//!
+//! Profiles for the hardware the paper names: the Aroma Adapter (embedded
+//! PC), a 2000-era PDA, a presenter's laptop, the digital projector, and
+//! the forecast *"systems on a chip (SOC) \[that\] will cost approximately
+//! $10 and include a pico-cellular wireless transceiver"*.
+
+use aroma_env::climate::OperatingRange;
+use aroma_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// UI hardware class, from none to full desktop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum UiClass {
+    /// No human-facing I/O at all (sensor node).
+    Headless,
+    /// A few buttons and LEDs.
+    ButtonsAndLeds,
+    /// Small touch screen with stylus.
+    StylusTouch,
+    /// Full keyboard, pointing device and display.
+    FullDesktop,
+}
+
+/// The device archetypes of the Aroma project.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceClass {
+    /// The Aroma Adapter: embedded PC, wireless PCMCIA, runs Java/Jini.
+    AromaAdapter,
+    /// A 2000-era PDA.
+    Pda,
+    /// The presenter's laptop.
+    Laptop,
+    /// The digital projector itself (display device, network-less).
+    DigitalProjector,
+    /// The paper's five-year forecast: a $10 SOC with radio and a VM.
+    FutureSoc,
+}
+
+impl DeviceClass {
+    /// All archetypes.
+    pub const ALL: [DeviceClass; 5] = [
+        DeviceClass::AromaAdapter,
+        DeviceClass::Pda,
+        DeviceClass::Laptop,
+        DeviceClass::DigitalProjector,
+        DeviceClass::FutureSoc,
+    ];
+}
+
+/// A concrete device's capabilities.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Human-readable name.
+    pub name: String,
+    /// Compute throughput, MIPS.
+    pub cpu_mips: u32,
+    /// Volatile memory, KiB.
+    pub ram_kib: u32,
+    /// Non-volatile storage, MiB.
+    pub storage_mib: u32,
+    /// UI hardware class.
+    pub ui: UiClass,
+    /// Has a network interface.
+    pub has_network: bool,
+    /// Can run a virtual machine ("sufficiently rich run-time environment").
+    pub runs_vm: bool,
+    /// Operating software burned into ROM (updates need reflashing).
+    pub software_in_rom: bool,
+    /// Unit cost, USD.
+    pub cost_usd: f64,
+    /// Cold-boot time.
+    pub boot: SimDuration,
+    /// Environmental envelope.
+    pub operating_range: OperatingRange,
+}
+
+impl DeviceProfile {
+    /// The canonical profile for an archetype.
+    pub fn of(class: DeviceClass) -> DeviceProfile {
+        match class {
+            DeviceClass::AromaAdapter => DeviceProfile {
+                name: "Aroma Adapter".into(),
+                cpu_mips: 200,
+                ram_kib: 32 * 1024,
+                storage_mib: 64,
+                ui: UiClass::ButtonsAndLeds,
+                has_network: true,
+                runs_vm: true,
+                software_in_rom: false,
+                cost_usd: 600.0,
+                boot: SimDuration::from_secs(45),
+                operating_range: OperatingRange::indoor_electronics(),
+            },
+            DeviceClass::Pda => DeviceProfile {
+                name: "PDA".into(),
+                cpu_mips: 30,
+                ram_kib: 8 * 1024,
+                storage_mib: 16,
+                ui: UiClass::StylusTouch,
+                has_network: false,
+                runs_vm: false,
+                software_in_rom: true,
+                cost_usd: 300.0,
+                boot: SimDuration::from_secs(1),
+                operating_range: OperatingRange::indoor_electronics(),
+            },
+            DeviceClass::Laptop => DeviceProfile {
+                name: "Laptop".into(),
+                cpu_mips: 500,
+                ram_kib: 128 * 1024,
+                storage_mib: 6 * 1024,
+                ui: UiClass::FullDesktop,
+                has_network: true,
+                runs_vm: true,
+                software_in_rom: false,
+                cost_usd: 2500.0,
+                boot: SimDuration::from_secs(90),
+                operating_range: OperatingRange::indoor_electronics(),
+            },
+            DeviceClass::DigitalProjector => DeviceProfile {
+                name: "Digital projector".into(),
+                cpu_mips: 5,
+                ram_kib: 512,
+                storage_mib: 0,
+                ui: UiClass::ButtonsAndLeds,
+                has_network: false,
+                runs_vm: false,
+                software_in_rom: true,
+                cost_usd: 4000.0,
+                boot: SimDuration::from_secs(20),
+                operating_range: OperatingRange::projector(),
+            },
+            DeviceClass::FutureSoc => DeviceProfile {
+                name: "$10 SOC (forecast)".into(),
+                cpu_mips: 100,
+                ram_kib: 4 * 1024,
+                storage_mib: 8,
+                ui: UiClass::Headless,
+                has_network: true,
+                runs_vm: true,
+                software_in_rom: true,
+                cost_usd: 10.0,
+                boot: SimDuration::from_millis(200),
+                operating_range: OperatingRange::ruggedised(),
+            },
+        }
+    }
+
+    /// Cost of shipping a software fix, USD per deployed unit.
+    ///
+    /// The paper: "In an information appliance that has its operating
+    /// software burned into ROM, faulty assumptions are costly." ROM devices
+    /// need physical reflashing/recall; networked flash devices update over
+    /// the air; the rest need manual but local updates.
+    pub fn fix_cost_usd(&self) -> f64 {
+        match (self.software_in_rom, self.has_network) {
+            (true, _) => self.cost_usd * 0.4 + 15.0, // recall/reflash
+            (false, true) => 0.05,                   // over-the-air
+            (false, false) => 5.0,                   // manual local update
+        }
+    }
+
+    /// Can this device host a service runtime (discovery + mobile code)?
+    pub fn can_host_services(&self) -> bool {
+        self.has_network && self.runs_vm && self.ram_kib >= 1024
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_class_has_a_profile() {
+        for c in DeviceClass::ALL {
+            let p = DeviceProfile::of(c);
+            assert!(!p.name.is_empty());
+            assert!(p.cost_usd > 0.0);
+        }
+    }
+
+    #[test]
+    fn soc_hits_the_ten_dollar_point() {
+        let soc = DeviceProfile::of(DeviceClass::FutureSoc);
+        assert_eq!(soc.cost_usd, 10.0);
+        assert!(soc.has_network && soc.runs_vm, "the forecast SOC runs VMs on a radio");
+        assert!(soc.can_host_services());
+    }
+
+    #[test]
+    fn adapter_hosts_services_projector_does_not() {
+        assert!(DeviceProfile::of(DeviceClass::AromaAdapter).can_host_services());
+        assert!(!DeviceProfile::of(DeviceClass::DigitalProjector).can_host_services());
+        assert!(!DeviceProfile::of(DeviceClass::Pda).can_host_services());
+    }
+
+    #[test]
+    fn rom_devices_are_expensive_to_fix() {
+        let pda = DeviceProfile::of(DeviceClass::Pda);
+        let adapter = DeviceProfile::of(DeviceClass::AromaAdapter);
+        assert!(
+            pda.fix_cost_usd() > 20.0 * adapter.fix_cost_usd(),
+            "ROM fix ({}) should dwarf OTA fix ({})",
+            pda.fix_cost_usd(),
+            adapter.fix_cost_usd()
+        );
+    }
+
+    #[test]
+    fn ui_classes_are_ordered_by_capability() {
+        assert!(UiClass::Headless < UiClass::ButtonsAndLeds);
+        assert!(UiClass::ButtonsAndLeds < UiClass::StylusTouch);
+        assert!(UiClass::StylusTouch < UiClass::FullDesktop);
+    }
+
+    #[test]
+    fn boot_times_differ_by_class() {
+        let soc = DeviceProfile::of(DeviceClass::FutureSoc);
+        let laptop = DeviceProfile::of(DeviceClass::Laptop);
+        assert!(soc.boot < SimDuration::from_secs(1));
+        assert!(laptop.boot > SimDuration::from_secs(30));
+    }
+}

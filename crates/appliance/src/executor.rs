@@ -1,0 +1,466 @@
+//! The appliance's task executor: run-to-completion vs cooperative.
+//!
+//! Implements the paper's resource-layer claim as a measurable model:
+//! *"a device's execution environment … must be sufficiently responsive …
+//! a single-threaded system that does not allow a user to abort a task
+//! causes needless frustration and will ultimately alter the patterns of
+//! usage."* Two scheduling policies run the same workload:
+//!
+//! * [`Policy::SingleThreaded`] — strict FIFO, run to completion, aborts
+//!   take effect only when the running task finishes;
+//! * [`Policy::Cooperative`] — time-sliced with a quantum; interactive
+//!   tasks preempt background work at quantum boundaries, and aborts land
+//!   within one quantum.
+//!
+//! The output is an [`ExecReport`] with interactive-response and
+//! abort-latency distributions, plus the count of "frustration events"
+//! (responses that outlast the user's patience) which feeds the LPC
+//! resource-layer analysis.
+
+use aroma_sim::stats::Summary;
+use aroma_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// What a task is for, from the user's point of view.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaskKind {
+    /// User-visible: a tap, a lookup, opening a schedule entry.
+    Interactive,
+    /// Long-running: a sync, an indexing pass, a download.
+    Background,
+}
+
+/// One task in the workload.
+#[derive(Clone, Copy, Debug)]
+pub struct TaskSpec {
+    /// When it is submitted.
+    pub arrival: SimTime,
+    /// CPU work it needs.
+    pub work: SimDuration,
+    /// Interactive or background.
+    pub kind: TaskKind,
+}
+
+/// A user's attempt to abort whatever background work is hogging the device.
+#[derive(Clone, Copy, Debug)]
+pub struct AbortRequest {
+    /// When the user hits "cancel".
+    pub at: SimTime,
+}
+
+/// A workload: tasks plus abort attempts.
+#[derive(Clone, Debug, Default)]
+pub struct Workload {
+    /// Tasks, in any order.
+    pub tasks: Vec<TaskSpec>,
+    /// Abort attempts, in any order.
+    pub aborts: Vec<AbortRequest>,
+}
+
+impl Workload {
+    /// Convenience: one long background task at t=0, interactive taps every
+    /// `tap_every`, and one abort at `abort_at`.
+    pub fn background_plus_taps(
+        background: SimDuration,
+        tap_every: SimDuration,
+        taps: usize,
+        tap_work: SimDuration,
+        abort_at: SimTime,
+    ) -> Workload {
+        let mut tasks = vec![TaskSpec {
+            arrival: SimTime::ZERO,
+            work: background,
+            kind: TaskKind::Background,
+        }];
+        for i in 0..taps {
+            tasks.push(TaskSpec {
+                arrival: SimTime::ZERO + tap_every * (i as u64 + 1),
+                work: tap_work,
+                kind: TaskKind::Interactive,
+            });
+        }
+        Workload {
+            tasks,
+            aborts: vec![AbortRequest { at: abort_at }],
+        }
+    }
+}
+
+/// Scheduling policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Policy {
+    /// FIFO, run to completion, aborts deferred to task end.
+    SingleThreaded,
+    /// Round-robin quanta; interactive queue served first; aborts land at
+    /// the next quantum boundary.
+    Cooperative {
+        /// Time slice.
+        quantum: SimDuration,
+    },
+}
+
+/// Results of executing a workload under a policy.
+#[derive(Clone, Debug, Default)]
+pub struct ExecReport {
+    /// Interactive response times (submit → complete), seconds.
+    pub interactive_latency: Summary,
+    /// Abort latencies (request → background task actually stopped), s.
+    pub abort_latency: Summary,
+    /// Tasks completed (aborted background tasks count as stopped, not
+    /// completed).
+    pub completed: usize,
+    /// Background tasks aborted.
+    pub aborted: usize,
+    /// When the executor went idle.
+    pub makespan: SimTime,
+}
+
+/// Execute `workload` under `policy`; `patience` defines a frustration
+/// event (an interactive response slower than the user tolerates).
+/// Returns the report and the frustration-event count.
+pub fn run(policy: Policy, workload: &Workload, patience: SimDuration) -> (ExecReport, usize) {
+    let mut tasks: Vec<(usize, TaskSpec)> = workload.tasks.iter().copied().enumerate().collect();
+    tasks.sort_by_key(|(i, t)| (t.arrival, *i));
+    let mut aborts: VecDeque<SimTime> = {
+        let mut a: Vec<SimTime> = workload.aborts.iter().map(|r| r.at).collect();
+        a.sort();
+        a.into()
+    };
+
+    #[derive(Debug)]
+    struct Live {
+        spec: TaskSpec,
+        remaining: SimDuration,
+    }
+
+    let mut report = ExecReport::default();
+    let mut frustrations = 0usize;
+    let mut now = SimTime::ZERO;
+    let mut arrivals: VecDeque<(usize, TaskSpec)> = tasks.into();
+    let mut fg: VecDeque<Live> = VecDeque::new(); // interactive queue
+    let mut bg: VecDeque<Live> = VecDeque::new(); // background queue
+
+    let admit = |now: SimTime, arrivals: &mut VecDeque<(usize, TaskSpec)>, fg: &mut VecDeque<Live>, bg: &mut VecDeque<Live>| {
+        while let Some((_, spec)) = arrivals.front() {
+            if spec.arrival <= now {
+                let (_, spec) = arrivals.pop_front().unwrap();
+                let live = Live {
+                    spec,
+                    remaining: spec.work,
+                };
+                match spec.kind {
+                    TaskKind::Interactive => fg.push_back(live),
+                    TaskKind::Background => bg.push_back(live),
+                }
+            } else {
+                break;
+            }
+        }
+    };
+
+    // Drain aborts that became due; under SingleThreaded they only take
+    // effect between tasks (the running task cannot be interrupted), under
+    // Cooperative at quantum boundaries — both of which are exactly the
+    // moments this loop runs. An abort kills the frontmost background task.
+    let mut pending_abort: Option<SimTime> = None;
+
+    loop {
+        admit(now, &mut arrivals, &mut fg, &mut bg);
+        while pending_abort.is_none() {
+            match aborts.front() {
+                Some(&at) if at <= now => {
+                    aborts.pop_front();
+                    pending_abort = Some(at);
+                }
+                _ => break,
+            }
+        }
+        if let Some(requested_at) = pending_abort {
+            if let Some(victim) = bg.pop_front() {
+                report.aborted += 1;
+                report
+                    .abort_latency
+                    .record(now.saturating_since(requested_at).as_secs_f64());
+                pending_abort = None;
+                let _ = victim;
+            }
+            // No background task yet: the abort waits for one (or is simply
+            // stale user input; keep it pending).
+        }
+
+        // Pick what to run: interactive first (Cooperative), or strict FIFO
+        // across both queues (SingleThreaded approximates one queue by
+        // preferring whichever task arrived first).
+        let next_is_fg = match policy {
+            Policy::Cooperative { .. } => !fg.is_empty(),
+            Policy::SingleThreaded => match (fg.front(), bg.front()) {
+                (Some(f), Some(b)) => f.spec.arrival <= b.spec.arrival,
+                (Some(_), None) => true,
+                _ => false,
+            },
+        };
+        let queue_empty = fg.is_empty() && bg.is_empty();
+        if queue_empty {
+            match arrivals.front() {
+                Some((_, spec)) => {
+                    now = spec.arrival;
+                    continue;
+                }
+                None => break,
+            }
+        }
+
+        let mut task = if next_is_fg {
+            fg.pop_front().unwrap()
+        } else {
+            bg.pop_front().unwrap()
+        };
+
+        let slice = match policy {
+            Policy::SingleThreaded => task.remaining,
+            Policy::Cooperative { quantum } => task.remaining.min(quantum),
+        };
+        now = now + slice;
+        task.remaining = task.remaining.saturating_sub(slice);
+
+        if task.remaining.is_zero() {
+            report.completed += 1;
+            if task.spec.kind == TaskKind::Interactive {
+                let latency = now.saturating_since(task.spec.arrival);
+                report.interactive_latency.record(latency.as_secs_f64());
+                if latency > patience {
+                    frustrations += 1;
+                }
+            }
+        } else {
+            // Unfinished: requeue at the back of its class.
+            match task.spec.kind {
+                TaskKind::Interactive => fg.push_back(task),
+                TaskKind::Background => bg.push_back(task),
+            }
+        }
+    }
+
+    report.makespan = now;
+    (report, frustrations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+    fn at(s: u64) -> SimTime {
+        SimTime::ZERO + secs(s)
+    }
+
+    #[test]
+    fn single_task_completes_with_its_work() {
+        let w = Workload {
+            tasks: vec![TaskSpec {
+                arrival: SimTime::ZERO,
+                work: secs(3),
+                kind: TaskKind::Interactive,
+            }],
+            aborts: vec![],
+        };
+        let (r, f) = run(Policy::SingleThreaded, &w, secs(10));
+        assert_eq!(r.completed, 1);
+        assert_eq!(f, 0);
+        assert!((r.interactive_latency.mean() - 3.0).abs() < 1e-9);
+        assert_eq!(r.makespan, at(3));
+    }
+
+    #[test]
+    fn single_threaded_blocks_interaction_behind_background() {
+        // 60 s background at t=0; tap at t=1 needing 100 ms.
+        let w = Workload {
+            tasks: vec![
+                TaskSpec {
+                    arrival: SimTime::ZERO,
+                    work: secs(60),
+                    kind: TaskKind::Background,
+                },
+                TaskSpec {
+                    arrival: at(1),
+                    work: SimDuration::from_millis(100),
+                    kind: TaskKind::Interactive,
+                },
+            ],
+            aborts: vec![],
+        };
+        let (r, f) = run(Policy::SingleThreaded, &w, secs(2));
+        // Tap waits until 60 s, completes at 60.1: latency 59.1 s.
+        assert!((r.interactive_latency.mean() - 59.1).abs() < 1e-6);
+        assert_eq!(f, 1, "that response is a frustration event");
+    }
+
+    #[test]
+    fn cooperative_keeps_interaction_snappy() {
+        let w = Workload {
+            tasks: vec![
+                TaskSpec {
+                    arrival: SimTime::ZERO,
+                    work: secs(60),
+                    kind: TaskKind::Background,
+                },
+                TaskSpec {
+                    arrival: at(1),
+                    work: SimDuration::from_millis(100),
+                    kind: TaskKind::Interactive,
+                },
+            ],
+            aborts: vec![],
+        };
+        let (r, f) = run(
+            Policy::Cooperative {
+                quantum: SimDuration::from_millis(50),
+            },
+            &w,
+            secs(2),
+        );
+        // Latency ≤ one quantum of residual background + own work + queueing.
+        assert!(
+            r.interactive_latency.mean() < 0.3,
+            "mean {}",
+            r.interactive_latency.mean()
+        );
+        assert_eq!(f, 0);
+        // The background task still finishes.
+        assert_eq!(r.completed, 2);
+    }
+
+    #[test]
+    fn single_threaded_abort_waits_for_completion() {
+        let w = Workload {
+            tasks: vec![TaskSpec {
+                arrival: SimTime::ZERO,
+                work: secs(30),
+                kind: TaskKind::Background,
+            }],
+            aborts: vec![AbortRequest { at: at(1) }],
+        };
+        let (r, _) = run(Policy::SingleThreaded, &w, secs(2));
+        // The task runs to completion (30 s); only then can the (now
+        // pointless) abort land — the paper's unabortable system.
+        assert_eq!(r.completed, 1);
+        assert_eq!(r.aborted, 0, "nothing left to abort after completion");
+    }
+
+    #[test]
+    fn single_threaded_abort_kills_queued_background_late() {
+        // Two background tasks; the abort at t=1 can only take effect when
+        // the first completes (t=30), killing the queued second task.
+        let w = Workload {
+            tasks: vec![
+                TaskSpec {
+                    arrival: SimTime::ZERO,
+                    work: secs(30),
+                    kind: TaskKind::Background,
+                },
+                TaskSpec {
+                    arrival: at(0),
+                    work: secs(30),
+                    kind: TaskKind::Background,
+                },
+            ],
+            aborts: vec![AbortRequest { at: at(1) }],
+        };
+        let (r, _) = run(Policy::SingleThreaded, &w, secs(2));
+        assert_eq!(r.aborted, 1);
+        assert_eq!(r.completed, 1);
+        // Abort latency ≈ 29 s: request at 1, effect at 30.
+        assert!((r.abort_latency.mean() - 29.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cooperative_abort_lands_within_a_quantum() {
+        let q = SimDuration::from_millis(50);
+        let w = Workload {
+            tasks: vec![TaskSpec {
+                arrival: SimTime::ZERO,
+                work: secs(30),
+                kind: TaskKind::Background,
+            }],
+            aborts: vec![AbortRequest { at: at(1) }],
+        };
+        let (r, _) = run(Policy::Cooperative { quantum: q }, &w, secs(2));
+        assert_eq!(r.aborted, 1);
+        assert_eq!(r.completed, 0);
+        assert!(
+            r.abort_latency.mean() <= q.as_secs_f64() + 1e-9,
+            "abort took {}",
+            r.abort_latency.mean()
+        );
+        // Makespan ends shortly after the abort, not at 30 s.
+        assert!(r.makespan < at(2));
+    }
+
+    #[test]
+    fn fifo_order_without_contention_is_identical_across_policies() {
+        let w = Workload {
+            tasks: (0..5)
+                .map(|i| TaskSpec {
+                    arrival: at(i * 10),
+                    work: secs(1),
+                    kind: TaskKind::Interactive,
+                })
+                .collect(),
+            aborts: vec![],
+        };
+        let (st, _) = run(Policy::SingleThreaded, &w, secs(5));
+        let (coop, _) = run(
+            Policy::Cooperative {
+                quantum: SimDuration::from_millis(50),
+            },
+            &w,
+            secs(5),
+        );
+        assert_eq!(st.completed, 5);
+        assert_eq!(coop.completed, 5);
+        assert!((st.interactive_latency.mean() - coop.interactive_latency.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn workload_builder_shapes_the_scenario() {
+        let w = Workload::background_plus_taps(
+            secs(60),
+            secs(5),
+            4,
+            SimDuration::from_millis(100),
+            at(7),
+        );
+        assert_eq!(w.tasks.len(), 5);
+        assert_eq!(w.aborts.len(), 1);
+        assert_eq!(
+            w.tasks.iter().filter(|t| t.kind == TaskKind::Interactive).count(),
+            4
+        );
+    }
+
+    #[test]
+    fn idle_gaps_are_skipped() {
+        let w = Workload {
+            tasks: vec![
+                TaskSpec {
+                    arrival: SimTime::ZERO,
+                    work: secs(1),
+                    kind: TaskKind::Interactive,
+                },
+                TaskSpec {
+                    arrival: at(100),
+                    work: secs(1),
+                    kind: TaskKind::Interactive,
+                },
+            ],
+            aborts: vec![],
+        };
+        let (r, _) = run(Policy::SingleThreaded, &w, secs(10));
+        assert_eq!(r.completed, 2);
+        assert_eq!(r.makespan, at(101));
+        assert!((r.interactive_latency.mean() - 1.0).abs() < 1e-9);
+    }
+}

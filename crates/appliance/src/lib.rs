@@ -1,0 +1,29 @@
+//! # aroma-appliance — the information-appliance runtime
+//!
+//! The paper's resource layer is about what an application can *count on*:
+//! the Aroma Adapter ("an embedded PC capable of running pervasive computing
+//! software"), the projected $10 system-on-chip, and the runtime properties
+//! users actually feel — *"a single-threaded system that does not allow a
+//! user to abort a task causes needless frustration"* and *"in an
+//! information appliance that has its operating software burned into ROM,
+//! faulty assumptions are costly"*. This crate makes those concrete:
+//!
+//! * [`device`] — device profiles (PDA, Aroma Adapter, laptop, projector,
+//!   and the paper's forecast $10 SOC): compute/memory/storage/UI/network
+//!   capabilities, cost, boot time, and whether software is in ROM.
+//! * [`executor`] — a task-execution model comparing run-to-completion
+//!   single-threaded scheduling against a cooperative, abortable scheduler;
+//!   produces the interactive-latency and abort-latency distributions that
+//!   experiment E7 reports.
+//! * [`power`] — a simple energy model (the "$10 SOC with a pico-cellular
+//!   transceiver" needs a battery story), used by the appliance examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod executor;
+pub mod power;
+
+pub use device::{DeviceClass, DeviceProfile, UiClass};
+pub use executor::{ExecReport, Policy, TaskKind, TaskSpec, Workload};

@@ -1,0 +1,144 @@
+//! Property-based tests for the executor and power models.
+
+use aroma_appliance::executor::{run, AbortRequest, Policy, TaskKind, TaskSpec, Workload};
+use aroma_appliance::power::{battery_life, DutyCycle, PowerProfile};
+use aroma_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn arb_task() -> impl Strategy<Value = TaskSpec> {
+    (0u64..60_000, 1u64..30_000, any::<bool>()).prop_map(|(arrival_ms, work_ms, interactive)| {
+        TaskSpec {
+            arrival: SimTime::ZERO + SimDuration::from_millis(arrival_ms),
+            work: SimDuration::from_millis(work_ms),
+            kind: if interactive {
+                TaskKind::Interactive
+            } else {
+                TaskKind::Background
+            },
+        }
+    })
+}
+
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    (
+        prop::collection::vec(arb_task(), 1..12),
+        prop::collection::vec(0u64..80_000, 0..4),
+    )
+        .prop_map(|(tasks, aborts)| Workload {
+            tasks,
+            aborts: aborts
+                .into_iter()
+                .map(|ms| AbortRequest {
+                    at: SimTime::ZERO + SimDuration::from_millis(ms),
+                })
+                .collect(),
+        })
+}
+
+fn arb_policy() -> impl Strategy<Value = Policy> {
+    prop_oneof![
+        Just(Policy::SingleThreaded),
+        (10u64..1000).prop_map(|q| Policy::Cooperative {
+            quantum: SimDuration::from_millis(q)
+        }),
+    ]
+}
+
+proptest! {
+    /// Conservation: every task either completes or is aborted; nothing is
+    /// lost or double-counted.
+    #[test]
+    fn executor_conserves_tasks(w in arb_workload(), policy in arb_policy()) {
+        let (r, _) = run(policy, &w, SimDuration::from_secs(2));
+        prop_assert_eq!(r.completed + r.aborted, w.tasks.len(),
+            "completed {} + aborted {} != tasks {}", r.completed, r.aborted, w.tasks.len());
+    }
+
+    /// The makespan is at least the last-arriving completed task's arrival
+    /// and at least the total completed work is bounded by makespan (single
+    /// processor: work done ≤ elapsed time).
+    #[test]
+    fn executor_makespan_bounds(w in arb_workload(), policy in arb_policy()) {
+        let (r, _) = run(policy, &w, SimDuration::from_secs(2));
+        let total_work_ms: u64 = w.tasks.iter().map(|t| t.work.as_millis()).sum();
+        prop_assert!(r.makespan.as_millis() <= w.tasks.iter().map(|t| t.arrival.as_millis()).max().unwrap_or(0) + total_work_ms,
+            "makespan exceeds arrival+work bound");
+        // No task can complete before its arrival + work.
+        if r.aborted == 0 && w.tasks.len() == 1 {
+            let t = &w.tasks[0];
+            prop_assert!(r.makespan >= t.arrival + t.work);
+        }
+    }
+
+    /// Aborts never exceed abort requests nor background-task count.
+    #[test]
+    fn executor_abort_bounds(w in arb_workload(), policy in arb_policy()) {
+        let (r, _) = run(policy, &w, SimDuration::from_secs(2));
+        let backgrounds = w.tasks.iter().filter(|t| t.kind == TaskKind::Background).count();
+        prop_assert!(r.aborted <= w.aborts.len());
+        prop_assert!(r.aborted <= backgrounds);
+    }
+
+    /// A single interactive task contending with background work never
+    /// fares worse under cooperative scheduling than under run-to-completion
+    /// (modulo one quantum of granularity). This is the paper's claim in
+    /// property form; note it is NOT true for interactive-vs-interactive
+    /// contention, where FCFS minimises mean latency — hence one task.
+    #[test]
+    fn cooperative_never_hurts_the_interactive_task(
+        backgrounds in prop::collection::vec(
+            (0u64..30_000, 1u64..30_000),
+            0..8
+        ),
+        tap_arrival_ms in 0u64..60_000,
+        tap_work_ms in 1u64..2_000,
+        q in 10u64..500,
+    ) {
+        let mut tasks: Vec<TaskSpec> = backgrounds
+            .into_iter()
+            .map(|(arrival_ms, work_ms)| TaskSpec {
+                arrival: SimTime::ZERO + SimDuration::from_millis(arrival_ms),
+                work: SimDuration::from_millis(work_ms),
+                kind: TaskKind::Background,
+            })
+            .collect();
+        tasks.push(TaskSpec {
+            arrival: SimTime::ZERO + SimDuration::from_millis(tap_arrival_ms),
+            work: SimDuration::from_millis(tap_work_ms),
+            kind: TaskKind::Interactive,
+        });
+        let w = Workload { tasks, aborts: vec![] };
+        let (st, _) = run(Policy::SingleThreaded, &w, SimDuration::from_secs(2));
+        let (coop, _) = run(Policy::Cooperative { quantum: SimDuration::from_millis(q) }, &w, SimDuration::from_secs(2));
+        prop_assert!(
+            coop.interactive_latency.mean()
+                <= st.interactive_latency.mean() + (q as f64 / 1000.0) + 1e-9,
+            "coop {} > st {} + quantum",
+            coop.interactive_latency.mean(),
+            st.interactive_latency.mean()
+        );
+    }
+
+    /// Frustration events never exceed the number of interactive tasks.
+    #[test]
+    fn frustrations_bounded(w in arb_workload(), policy in arb_policy(), patience_ms in 10u64..10_000) {
+        let (_, frustrations) = run(policy, &w, SimDuration::from_millis(patience_ms));
+        let interactive = w.tasks.iter().filter(|t| t.kind == TaskKind::Interactive).count();
+        prop_assert!(frustrations <= interactive);
+    }
+
+    /// Battery life scales inversely with mean power and linearly with
+    /// capacity.
+    #[test]
+    fn battery_life_scaling(capacity in 100.0f64..10_000.0, cpu in 0.0f64..1.0) {
+        let p = PowerProfile::wlan_2000();
+        let duty = DutyCycle { cpu_active: cpu, radio_tx: 0.1, radio_rx: 0.2, display_on: 0.0 };
+        let base = battery_life(capacity, &p, &duty);
+        let double = battery_life(capacity * 2.0, &p, &duty);
+        let ratio = double.as_secs_f64() / base.as_secs_f64();
+        prop_assert!((ratio - 2.0).abs() < 1e-6);
+        // Busier never lives longer.
+        let busier = DutyCycle { cpu_active: (cpu + 0.1).min(1.0), ..duty };
+        prop_assert!(battery_life(capacity, &p, &busier) <= base);
+    }
+}

@@ -1,0 +1,44 @@
+//! E6 bench: acoustic-field evaluation and recognition-curve kernels.
+
+use aroma_env::acoustics::{recognition_accuracy, AcousticField, NoiseSource};
+use aroma_env::space::Point;
+use aroma_env::{EnvironmentKind, EnvironmentProfile};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_noise_field(c: &mut Criterion) {
+    let field = AcousticField {
+        ambient_db: 45.0,
+        sources: (0..16)
+            .map(|i| NoiseSource::new(Point::new(i as f64, (i % 4) as f64), 60.0 + i as f64))
+            .collect(),
+        ..Default::default()
+    };
+    c.bench_function("acoustics/noise_at_16_sources", |b| {
+        b.iter(|| black_box(field.noise_at(black_box(Point::new(2.5, 1.5)))))
+    });
+}
+
+fn bench_e6_matrix(c: &mut Criterion) {
+    let envs: Vec<_> = EnvironmentKind::ALL
+        .iter()
+        .map(|&k| EnvironmentProfile::preset(k).build())
+        .collect();
+    c.bench_function("acoustics/e6_full_matrix", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for env in &envs {
+                for d in [0.3f64, 1.0, 3.0] {
+                    let snr = env
+                        .acoustics
+                        .speech_snr_db(Point::new(0.0, 0.0), Point::new(d, 0.0));
+                    acc += recognition_accuracy(snr);
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_noise_field, bench_e6_matrix);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! F1/E8 bench: full five-layer analyses of the composed Smart Projector.
+
+use aroma_env::EnvironmentKind;
+use criterion::{criterion_group, criterion_main, Criterion};
+use lpc_core::UserProfile;
+use smart_projector::{smart_projector_system, ProjectorVariant};
+use std::hint::black_box;
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analysis/e8");
+    let field = smart_projector_system(
+        ProjectorVariant::Prototype,
+        EnvironmentKind::ConferenceHall,
+        vec![UserProfile::casual(), UserProfile::presenter()],
+        true,
+    );
+    g.bench_function("prototype_field_2_users", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(field.analyze(seed))
+        })
+    });
+    let many_users = smart_projector_system(
+        ProjectorVariant::Prototype,
+        EnvironmentKind::ConferenceHall,
+        UserProfile::all_presets(),
+        true,
+    );
+    g.bench_function("prototype_field_5_users", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(many_users.analyze(seed))
+        })
+    });
+    g.finish();
+}
+
+fn bench_render(c: &mut Criterion) {
+    let sys = smart_projector_system(
+        ProjectorVariant::Prototype,
+        EnvironmentKind::ConferenceHall,
+        vec![UserProfile::casual()],
+        true,
+    );
+    let report = sys.analyze(1);
+    c.bench_function("analysis/render_report", |b| {
+        b.iter(|| black_box(report.render()))
+    });
+}
+
+criterion_group!(benches, bench_analysis, bench_render);
+criterion_main!(benches);

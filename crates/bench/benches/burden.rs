@@ -1,0 +1,33 @@
+//! E5 bench: behavioural-session batches per user profile per variant.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lpc_bench::experiments::burden::run_burden;
+use lpc_core::user_sim::PlannerKind;
+use lpc_core::UserProfile;
+use smart_projector::ProjectorVariant;
+use std::hint::black_box;
+
+fn bench_burden(c: &mut Criterion) {
+    let mut g = c.benchmark_group("burden/e5");
+    for (uname, user) in [
+        ("researcher", UserProfile::researcher()),
+        ("casual", UserProfile::casual()),
+    ] {
+        for (vname, variant) in [
+            ("prototype", ProjectorVariant::Prototype),
+            ("commercial", ProjectorVariant::Commercial),
+        ] {
+            g.bench_function(format!("{uname}_{vname}_100_sessions"), |b| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(run_burden(&user, variant, PlannerKind::Bfs, 100, seed))
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_burden);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! E3 bench: registry kernels plus full discovery rounds, and the
+//! lease-vs-permanent-registration ablation (DESIGN.md §5): churn cost of
+//! keeping leases alive.
+
+use aroma_discovery::codec::{ServiceId, ServiceItem, Template};
+use aroma_discovery::registry::ServiceRegistry;
+use aroma_sim::{SimDuration, SimTime};
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn item(id: u64) -> ServiceItem {
+    ServiceItem {
+        id: ServiceId(id),
+        kind: if id % 3 == 0 { "projector/display" } else { "sensor/misc" }.into(),
+        attributes: vec![("room".into(), format!("R-{}", id % 10))],
+        provider: id as u32,
+        proxy: Bytes::from_static(b"proxy"),
+    }
+}
+
+fn bench_registry(c: &mut Criterion) {
+    let mut g = c.benchmark_group("discovery/registry");
+    g.bench_function("register_100", |b| {
+        b.iter_batched(
+            || ServiceRegistry::new(SimDuration::from_secs(10)),
+            |mut r| {
+                for i in 0..100 {
+                    r.register(SimTime::ZERO, item(i), SimDuration::from_secs(5));
+                }
+                black_box(r.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut full = ServiceRegistry::new(SimDuration::from_secs(10));
+    for i in 0..200 {
+        full.register(SimTime::ZERO, item(i), SimDuration::from_secs(5));
+    }
+    let template = Template::of_kind("projector/display").with_attr("room", "R-0");
+    g.bench_function("lookup_in_200", |b| {
+        b.iter(|| black_box(full.lookup(&template).len()))
+    });
+    g.bench_function("expire_sweep_200", |b| {
+        b.iter_batched(
+            || {
+                let mut r = ServiceRegistry::new(SimDuration::from_secs(10));
+                for i in 0..200 {
+                    r.register(SimTime::ZERO, item(i), SimDuration::from_secs(1));
+                }
+                r
+            },
+            |mut r| black_box(r.expire(SimTime::ZERO + SimDuration::from_secs(2)).len()),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+/// Ablation: renewal work under short leases vs effectively-permanent ones.
+fn bench_lease_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("discovery/ablation_lease_churn");
+    for (name, lease_s) in [("1s_leases", 1u64), ("permanent", 3600)] {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut r = ServiceRegistry::new(SimDuration::from_secs(lease_s));
+                    for i in 0..50 {
+                        r.register(SimTime::ZERO, item(i), SimDuration::from_secs(lease_s));
+                    }
+                    r
+                },
+                |mut r| {
+                    // Simulate 60 s of provider behaviour: renew every
+                    // lease/2 if short, never if permanent; sweep each s.
+                    let mut renewals = 0u64;
+                    for s in 1..=60u64 {
+                        let now = SimTime::ZERO + SimDuration::from_secs(s);
+                        if lease_s < 60 && s.is_multiple_of(lease_s.max(1)) {
+                            for i in 0..50 {
+                                if r.renew(now, ServiceId(i)).is_some() {
+                                    renewals += 1;
+                                }
+                            }
+                        }
+                        r.expire(now);
+                    }
+                    black_box((renewals, r.len()))
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    use aroma_discovery::codec::Msg;
+    let msg = Msg::LookupReply {
+        req: 1,
+        items: (0..8).map(item).collect(),
+        truncated: false,
+    };
+    let encoded = msg.encode();
+    let mut g = c.benchmark_group("discovery/codec");
+    g.bench_function("encode_reply_8_items", |b| b.iter(|| black_box(msg.encode())));
+    g.bench_function("decode_reply_8_items", |b| {
+        b.iter(|| black_box(Msg::decode(encoded.clone()).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_registry, bench_lease_ablation, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! F2 kernels: propagation and climate-compatibility computations.
+
+use aroma_env::climate::OperatingRange;
+use aroma_env::radio::RadioEnvironment;
+use aroma_env::space::{Material, Point, Wall};
+use aroma_env::{EnvironmentKind, EnvironmentProfile};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_path_loss(c: &mut Criterion) {
+    let mut g = c.benchmark_group("environment/path_loss");
+    let open = RadioEnvironment::default();
+    let walled = RadioEnvironment {
+        walls: (0..20)
+            .map(|i| {
+                Wall::new(
+                    Point::new(i as f64, -10.0),
+                    Point::new(i as f64, 10.0),
+                    Material::Drywall,
+                )
+            })
+            .collect(),
+        ..Default::default()
+    };
+    g.bench_function("open", |b| {
+        b.iter(|| {
+            black_box(open.path_loss_db(
+                1,
+                Point::new(0.0, 0.0),
+                2,
+                black_box(Point::new(25.0, 3.0)),
+            ))
+        })
+    });
+    g.bench_function("20_walls", |b| {
+        b.iter(|| {
+            black_box(walled.path_loss_db(
+                1,
+                Point::new(0.0, 0.0),
+                2,
+                black_box(Point::new(25.0, 3.0)),
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_sinr(c: &mut Criterion) {
+    let env = RadioEnvironment::default();
+    let interferers: Vec<(f64, f64)> = (0..16).map(|i| (-70.0 - i as f64, 0.8)).collect();
+    c.bench_function("environment/sinr_16_interferers", |b| {
+        b.iter(|| black_box(env.sinr_db(black_box(-60.0), &interferers)))
+    });
+}
+
+fn bench_climate_matrix(c: &mut Criterion) {
+    let envs: Vec<_> = EnvironmentKind::ALL
+        .iter()
+        .map(|&k| EnvironmentProfile::preset(k).build())
+        .collect();
+    let ranges = [
+        OperatingRange::indoor_electronics(),
+        OperatingRange::projector(),
+        OperatingRange::human_comfort(),
+        OperatingRange::ruggedised(),
+    ];
+    c.bench_function("environment/f2_compatibility_matrix", |b| {
+        b.iter(|| {
+            let mut violations = 0usize;
+            for e in &envs {
+                for r in &ranges {
+                    violations += r.violations(&e.climate).len();
+                }
+            }
+            black_box(violations)
+        })
+    });
+}
+
+criterion_group!(benches, bench_path_loss, bench_sinr, bench_climate_matrix);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E7 bench: executor runs under both policies.
+
+use aroma_sim::SimDuration;
+use aroma_appliance::executor::Policy;
+use criterion::{criterion_group, criterion_main, Criterion};
+use lpc_bench::experiments::executor_exp::run_canonical;
+use std::hint::black_box;
+
+fn bench_executor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("executor/e7");
+    g.bench_function("single_threaded_120s_job", |b| {
+        b.iter(|| black_box(run_canonical(Policy::SingleThreaded, 120, 2.0)))
+    });
+    g.bench_function("cooperative_50ms_120s_job", |b| {
+        b.iter(|| {
+            black_box(run_canonical(
+                Policy::Cooperative {
+                    quantum: SimDuration::from_millis(50),
+                },
+                120,
+                2.0,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_executor);
+criterion_main!(benches);

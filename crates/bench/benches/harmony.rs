@@ -1,0 +1,31 @@
+//! F5 kernel: the harmony score.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lpc_core::intent::{harmony, DesignPurpose, UserGoals};
+use std::hint::black_box;
+
+fn bench_harmony(c: &mut Criterion) {
+    let goals = [
+        UserGoals::researcher(),
+        UserGoals::presenter(),
+        UserGoals::casual(),
+    ];
+    let purposes = [
+        DesignPurpose::research_prototype(),
+        DesignPurpose::commercial_product(),
+    ];
+    c.bench_function("harmony/f5_matrix", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for g in &goals {
+                for p in &purposes {
+                    acc += harmony(black_box(g), black_box(p));
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_harmony);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! E2 bench: density runs, including the fixed-rate-vs-adaptive ablation
+//! (DESIGN.md §5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lpc_bench::scenarios::{run_density, secs, ChannelPlan};
+use aroma_net::{Rate, RateAdaptation};
+use std::hint::black_box;
+
+fn bench_density(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interference/e2");
+    g.sample_size(10);
+    for pairs in [1usize, 4, 8] {
+        g.bench_function(format!("cochannel_{pairs}_pairs"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_density(
+                    pairs,
+                    ChannelPlan::AllCochannel,
+                    RateAdaptation::SnrBased,
+                    1000,
+                    secs(1),
+                    seed,
+                ))
+            })
+        });
+    }
+    g.bench_function("spread_8_pairs", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_density(
+                8,
+                ChannelPlan::OrthogonalSpread,
+                RateAdaptation::SnrBased,
+                1000,
+                secs(1),
+                seed,
+            ))
+        })
+    });
+    // Ablation: fixed 11 Mbps vs adaptive under contention.
+    g.bench_function("ablation_fixed11_8_pairs", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_density(
+                8,
+                ChannelPlan::AllCochannel,
+                RateAdaptation::Fixed(Rate::R11),
+                1000,
+                secs(1),
+                seed,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_density);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Mobile-code VM benchmarks: proxy-sized programs must be negligible next
+//! to the radio work, and hostile code must burn fuel cheaply.
+
+use aroma_mcode::asm::assemble;
+use aroma_mcode::{NullHost, Program, Vm};
+use criterion::{criterion_group, criterion_main, Criterion};
+use smart_projector::proxy::brightness_proxy;
+use std::hint::black_box;
+
+fn bench_proxy_run(c: &mut Criterion) {
+    let p = brightness_proxy();
+    c.bench_function("mcode/brightness_proxy_run", |b| {
+        b.iter(|| black_box(Vm.run_default(&p, &[black_box(83)], &mut NullHost)))
+    });
+}
+
+fn bench_loop(c: &mut Criterion) {
+    // sum 1..=1000 — a compute-heavy proxy.
+    let p = assemble(
+        "arg 0
+         store 1
+         loop:
+         load 1
+         jz out
+         load 0
+         load 1
+         add
+         store 0
+         load 1
+         push 1
+         sub
+         store 1
+         jmp loop
+         out:
+         load 0
+         halt",
+    )
+    .unwrap();
+    c.bench_function("mcode/sum_1000_loop", |b| {
+        b.iter(|| black_box(Vm.run(&p, &[1000], &mut NullHost, 100_000)))
+    });
+}
+
+fn bench_hostile(c: &mut Criterion) {
+    // Infinite loop: how fast does fuel metering shut it down?
+    let p = Program::new(vec![aroma_mcode::Op::Jmp(0)]).unwrap();
+    c.bench_function("mcode/hostile_spin_10k_fuel", |b| {
+        b.iter(|| black_box(Vm.run(&p, &[], &mut NullHost, 10_000)))
+    });
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let bytes = brightness_proxy().encode();
+    c.bench_function("mcode/decode_validate_proxy", |b| {
+        b.iter(|| black_box(Program::decode(bytes.clone()).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_proxy_run, bench_loop, bench_hostile, bench_decode);
+criterion_main!(benches);

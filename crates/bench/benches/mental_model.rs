@@ -1,0 +1,69 @@
+//! F4 kernels: divergence, planning, and full behavioural sessions, with
+//! the BFS-vs-greedy planner ablation called out in DESIGN.md §5.
+
+use aroma_sim::SimRng;
+use criterion::{criterion_group, criterion_main, Criterion};
+use lpc_core::mental::divergence;
+use lpc_core::user_sim::{simulate_session, PlannerKind, SessionParams};
+use lpc_core::{StateMachine, UserProfile};
+use smart_projector::system::{application_machine, belief_for, task};
+use smart_projector::ProjectorVariant;
+use std::hint::black_box;
+
+fn big_machine(n: usize) -> StateMachine {
+    let mut m = StateMachine::new();
+    for i in 0..n {
+        m.add(&format!("s{i}"), "next", &format!("s{}", i + 1));
+        m.add(&format!("s{i}"), "back", &format!("s{}", i.saturating_sub(1)));
+        m.add(&format!("s{i}"), "reset", "s0");
+    }
+    m
+}
+
+fn bench_divergence(c: &mut Criterion) {
+    let actual = big_machine(50);
+    let mut belief = actual.clone();
+    belief.remove("s10", "next");
+    belief.add("s20", "magic", "s40");
+    c.bench_function("mental_model/divergence_150_transitions", |b| {
+        b.iter(|| black_box(divergence(&belief, &actual)))
+    });
+}
+
+fn bench_planner(c: &mut Criterion) {
+    let m = big_machine(50);
+    c.bench_function("mental_model/bfs_plan_50_states", |b| {
+        b.iter(|| black_box(m.plan("s0", "s49")))
+    });
+}
+
+fn bench_sessions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mental_model/session");
+    let actual = application_machine(ProjectorVariant::Prototype);
+    let user = UserProfile::casual();
+    let belief = belief_for(&user, ProjectorVariant::Prototype);
+    let (start, goal) = task(ProjectorVariant::Prototype);
+    for (name, planner) in [("bfs", PlannerKind::Bfs), ("greedy", PlannerKind::Greedy)] {
+        g.bench_function(format!("casual_prototype_{name}"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = SimRng::new(seed);
+                black_box(simulate_session(
+                    &user.faculties,
+                    &belief,
+                    &actual,
+                    start,
+                    goal,
+                    planner,
+                    &SessionParams::default(),
+                    &mut rng,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_divergence, bench_planner, bench_sessions);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! F3 kernel: the faculties-vs-resources frustration check.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lpc_core::resources::{frustration_check, DeviceResources};
+use lpc_core::UserProfile;
+use std::hint::black_box;
+
+fn bench_frustration_check(c: &mut Criterion) {
+    let users = UserProfile::all_presets();
+    let resources = [
+        DeviceResources::research_prototype(),
+        DeviceResources::commercial_grade(),
+    ];
+    c.bench_function("resource_match/f3_full_matrix", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for u in &users {
+                for r in &resources {
+                    total += frustration_check(black_box(&u.faculties), r).len();
+                }
+            }
+            black_box(total)
+        })
+    });
+}
+
+criterion_group!(benches, bench_frustration_check);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! E4 bench: session-manager kernels and full contention runs, plus the
+//! auto-expiry-horizon sweep ablation (DESIGN.md §5).
+
+use aroma_sim::{SimDuration, SimTime};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lpc_bench::experiments::sessions_exp::run_contention;
+use lpc_bench::scenarios::secs;
+use smart_projector::session::{SessionManager, SessionPolicy};
+use std::hint::black_box;
+
+fn bench_manager_kernel(c: &mut Criterion) {
+    c.bench_function("sessions/acquire_release_cycle", |b| {
+        b.iter_batched(
+            || SessionManager::new(SessionPolicy::ManualRelease),
+            |mut m| {
+                for user in 0..100u64 {
+                    let t = SimTime::ZERO + SimDuration::from_secs(user);
+                    let tok = m.acquire(user, t).unwrap();
+                    m.touch(tok, t).unwrap();
+                    m.release(tok, t).unwrap();
+                }
+                black_box(m.stats)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_contention_runs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sessions/e4_contention");
+    g.sample_size(10);
+    for (name, policy) in [
+        ("none", SessionPolicy::None),
+        ("manual", SessionPolicy::ManualRelease),
+        (
+            "auto8s",
+            SessionPolicy::AutoExpire {
+                idle: SimDuration::from_secs(8),
+            },
+        ),
+    ] {
+        g.bench_function(format!("3_presenters_{name}"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_contention(3, policy, secs(30), seed))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Ablation: how the expiry horizon trades lockout time against the risk
+/// of expiring an active-but-quiet presenter.
+fn bench_expiry_horizon_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sessions/ablation_expiry_horizon");
+    g.sample_size(10);
+    for idle_s in [2u64, 8, 20] {
+        g.bench_function(format!("idle_{idle_s}s"), |b| {
+            let mut seed = 100u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_contention(
+                    3,
+                    SessionPolicy::AutoExpire {
+                        idle: SimDuration::from_secs(idle_s),
+                    },
+                    secs(30),
+                    seed,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_manager_kernel,
+    bench_contention_runs,
+    bench_expiry_horizon_sweep
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Microbenchmarks of the DES core: event-queue throughput, RNG, sweep.
+
+use aroma_sim::{EventQueue, SimDuration, SimRng};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simcore/event_queue");
+    for &n in &[1_000usize, 10_000] {
+        g.bench_function(format!("schedule_pop_{n}"), |b| {
+            b.iter_batched(
+                EventQueue::<u64>::new,
+                |mut q| {
+                    let mut rng = SimRng::new(1);
+                    for i in 0..n {
+                        q.schedule_in(SimDuration::from_nanos(rng.below(1_000_000)), i as u64);
+                    }
+                    while let Some(ev) = q.pop() {
+                        black_box(ev);
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simcore/rng");
+    g.bench_function("next_u64", |b| {
+        let mut rng = SimRng::new(7);
+        b.iter(|| black_box(rng.next_u64_raw()))
+    });
+    g.bench_function("normal", |b| {
+        let mut rng = SimRng::new(7);
+        b.iter(|| black_box(rng.normal()))
+    });
+    g.bench_function("below_1000", |b| {
+        let mut rng = SimRng::new(7);
+        b.iter(|| black_box(rng.below(1000)))
+    });
+    g.finish();
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let params: Vec<u64> = (0..64).collect();
+    c.bench_function("simcore/sweep_64x_spin", |b| {
+        b.iter(|| {
+            aroma_sim::sweep::run(&params, |_, &p| {
+                // A small deterministic workload per point.
+                let mut acc = p;
+                for _ in 0..10_000 {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                }
+                acc
+            })
+        })
+    });
+}
+
+criterion_group!(benches, bench_event_queue, bench_rng, bench_sweep);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E1 bench: VNC-over-WLAN runs per workload and rate arm (simulated
+//! seconds of protocol + PHY work per iteration).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lpc_bench::scenarios::{fixed, run_vnc, secs, Workload};
+use aroma_net::{Rate, RateAdaptation};
+use std::hint::black_box;
+
+fn bench_vnc_runs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vnc_throughput/e1");
+    g.sample_size(10);
+    for wl in Workload::ALL {
+        for (name, adapt) in [
+            ("2mbps", fixed(Rate::R2)),
+            ("11mbps", fixed(Rate::R11)),
+            ("adaptive", RateAdaptation::SnrBased),
+        ] {
+            g.bench_function(format!("{}_{}", wl.label(), name), |b| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(run_vnc(wl, adapt, 320, 240, secs(1), seed))
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_vnc_runs);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E10 bench: voice command sessions across environments.
+
+use aroma_env::EnvironmentKind;
+use criterion::{criterion_group, criterion_main, Criterion};
+use lpc_bench::experiments::voice::run_voice;
+use std::hint::black_box;
+
+fn bench_voice(c: &mut Criterion) {
+    let mut g = c.benchmark_group("voice/e10");
+    for kind in [
+        EnvironmentKind::QuietOffice,
+        EnvironmentKind::ConferenceHall,
+        EnvironmentKind::SubwayCar,
+    ] {
+        g.bench_function(format!("{}_200_sessions", kind.name().replace(' ', "_")), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_voice(kind, true, 200, seed))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_voice);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E9 bench: walkaway (mobility) simulation runs per rate policy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lpc_bench::experiments::walkaway::walkaway;
+use aroma_net::{Rate, RateAdaptation};
+use std::hint::black_box;
+
+fn bench_walkaway(c: &mut Criterion) {
+    let mut g = c.benchmark_group("walkaway/e9");
+    g.sample_size(10);
+    for (name, adapt) in [
+        ("adaptive", RateAdaptation::SnrBased),
+        ("fixed11", RateAdaptation::Fixed(Rate::R11)),
+    ] {
+        g.bench_function(name, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(walkaway(adapt, 3.0, 250.0, 5, 1, seed))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_walkaway);
+criterion_main!(benches);

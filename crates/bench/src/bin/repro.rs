@@ -1,0 +1,81 @@
+//! Regenerate the paper's figures and experiments.
+//!
+//! ```text
+//! repro all            # every experiment, full sweeps
+//! repro e2 e4          # selected experiments
+//! repro --quick all    # reduced sweeps (what the test suite runs)
+//! repro --json all     # archival JSON instead of tables
+//! repro --list         # list experiment ids and titles
+//! ```
+
+use lpc_bench::experiments::{self, ALL_IDS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut json = false;
+    let mut ids: Vec<String> = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--json" => json = true,
+            "--list" => {
+                for id in ALL_IDS {
+                    let out = experiments::run(id, true).expect("registered id");
+                    println!("{id}  {}", out.title);
+                }
+                return;
+            }
+            "all" => ids.extend(ALL_IDS.iter().map(|s| s.to_string())),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        eprintln!("usage: repro [--quick] [--json] [--list] <all|f1..f5|e1..e10>...");
+        std::process::exit(2);
+    }
+    for id in &ids {
+        if experiments::run_exists(id) {
+            continue;
+        }
+        eprintln!("unknown experiment id: {id}");
+        std::process::exit(2);
+    }
+
+    // Experiments are independent; run them concurrently but print in the
+    // requested order as results arrive (a worker per experiment, results
+    // funnelled over a channel, reordered by index).
+    let outputs = parking_lot::Mutex::new(vec![None; ids.len()]);
+    let (tx, rx) = crossbeam::channel::unbounded::<usize>();
+    crossbeam::thread::scope(|scope| {
+        for (i, id) in ids.iter().enumerate() {
+            let tx = tx.clone();
+            let outputs = &outputs;
+            scope.spawn(move |_| {
+                let out = experiments::run(id, quick).expect("validated above");
+                outputs.lock()[i] = Some(out);
+                let _ = tx.send(i);
+            });
+        }
+        drop(tx);
+        let mut done = vec![false; ids.len()];
+        let mut next = 0usize;
+        let mut json_outputs = Vec::new();
+        while let Ok(i) = rx.recv() {
+            done[i] = true;
+            while next < ids.len() && done[next] {
+                let out = outputs.lock()[next].take().expect("marked done");
+                if json {
+                    json_outputs.push(out.json());
+                } else {
+                    println!("{}", out.render());
+                }
+                next += 1;
+            }
+        }
+        if json {
+            println!("{}", aroma_sim::report::Json::Arr(json_outputs).render());
+        }
+    })
+    .expect("experiment worker panicked");
+}

@@ -1,0 +1,80 @@
+//! E6 — "background noise, that is currently acceptable, may become
+//! objectionable if voice recognition is used in a pervasive computing
+//! system" — plus the social-appropriateness gate.
+
+use super::ExperimentOutput;
+use aroma_env::acoustics::recognition_accuracy;
+use aroma_env::space::Point;
+use aroma_env::{EnvironmentKind, EnvironmentProfile};
+use aroma_sim::report::{fmt_f, fmt_pct, Table};
+
+/// Recognition accuracy for a talker at the origin, mic at `d` metres, in
+/// environment `kind`.
+pub fn accuracy_at(kind: EnvironmentKind, mic_distance_m: f64) -> f64 {
+    let env = EnvironmentProfile::preset(kind).build();
+    let talker = Point::new(0.0, 0.0);
+    let mic = Point::new(mic_distance_m, 0.0);
+    recognition_accuracy(env.acoustics.speech_snr_db(talker, mic))
+}
+
+/// Run E6.
+pub fn e6() -> ExperimentOutput {
+    let distances = [0.3, 1.0, 3.0];
+    let mut headers: Vec<String> = vec!["environment".into(), "noise dB".into()];
+    headers.extend(distances.iter().map(|d| format!("acc @ {d} m")));
+    headers.push("voice socially ok".into());
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(&header_refs);
+
+    for kind in EnvironmentKind::ALL {
+        let env = EnvironmentProfile::preset(kind).build();
+        let noise = env.acoustics.noise_at(Point::new(0.5, 0.0));
+        let mut row = vec![kind.name().to_string(), fmt_f(noise, 1)];
+        for &d in &distances {
+            row.push(fmt_pct(accuracy_at(kind, d)));
+        }
+        row.push(env.acoustics.social.voice_appropriate().to_string());
+        t.row(&row);
+    }
+    ExperimentOutput {
+        id: "e6",
+        title: "voice-interface viability vs acoustic & social environment (environment layer)",
+        tables: vec![(
+            "speech recognition accuracy by environment and microphone distance:".into(),
+            t,
+        )],
+        notes: vec![
+            "the subway defeats recognition outright; the cubicle farm permits it acoustically but not socially — the paper's two distinct failure modes".into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e6_shape_subway_defeats_recognition() {
+        let office = accuracy_at(EnvironmentKind::QuietOffice, 0.3);
+        let subway = accuracy_at(EnvironmentKind::SubwayCar, 0.3);
+        assert!(office > 0.85, "office {office}");
+        assert!(subway < 0.5, "subway {subway}");
+    }
+
+    #[test]
+    fn e6_shape_distance_hurts() {
+        for kind in EnvironmentKind::ALL {
+            assert!(accuracy_at(kind, 0.3) >= accuracy_at(kind, 3.0));
+        }
+    }
+
+    #[test]
+    fn e6_social_gate_differs_from_acoustic_gate() {
+        // The cubicle farm: acoustically workable at close range, socially
+        // inappropriate — the distinction the paper draws.
+        let acc = accuracy_at(EnvironmentKind::CubicleFarm, 0.3);
+        let env = EnvironmentProfile::preset(EnvironmentKind::CubicleFarm).build();
+        assert!(acc > 0.5, "cubicle close-mic acc {acc}");
+        assert!(!env.acoustics.social.voice_appropriate());
+    }
+}

@@ -1,0 +1,182 @@
+//! E5 — conceptual burden: research prototype vs commercial variant.
+//!
+//! "Since the Smart Projector is a research prototype, its operation is
+//! more complex than would be tolerated for a commercial product … If this
+//! burden is greater than what users are willing to bear in meeting their
+//! goals, then the system will not be used." Sessions of the behavioural
+//! user simulator quantify the burden per user profile per variant, with a
+//! planner ablation (deliberate BFS vs impulsive greedy).
+
+use super::ExperimentOutput;
+use aroma_sim::report::{fmt_f, fmt_pct, Table};
+use aroma_sim::SimRng;
+use lpc_core::user_sim::{simulate_session, InteractionReport, PlannerKind, SessionParams};
+use lpc_core::UserProfile;
+use smart_projector::system::{application_machine, belief_for, task};
+use smart_projector::ProjectorVariant;
+
+/// Aggregate of many simulated sessions.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BurdenResult {
+    /// Fraction of sessions reaching the goal.
+    pub completion: f64,
+    /// Fraction abandoning.
+    pub abandonment: f64,
+    /// Mean surprises per session.
+    pub mean_surprises: f64,
+    /// Mean steps per session.
+    pub mean_steps: f64,
+    /// Mean burden metric.
+    pub mean_burden: f64,
+}
+
+/// Run `n` sessions of `user` against `variant` with `planner`.
+pub fn run_burden(
+    user: &UserProfile,
+    variant: ProjectorVariant,
+    planner: PlannerKind,
+    n: usize,
+    seed: u64,
+) -> BurdenResult {
+    let actual = application_machine(variant);
+    let belief = belief_for(user, variant);
+    let (start, goal) = task(variant);
+    let mut completed = 0usize;
+    let mut abandoned = 0usize;
+    let mut surprises = 0u64;
+    let mut steps = 0u64;
+    let mut burden = 0.0f64;
+    for s in 0..n {
+        let mut rng = SimRng::new(seed).fork(s as u64);
+        let r: InteractionReport = simulate_session(
+            &user.faculties,
+            &belief,
+            &actual,
+            start,
+            goal,
+            planner,
+            &SessionParams::default(),
+            &mut rng,
+        );
+        completed += r.reached_goal as usize;
+        abandoned += r.gave_up as usize;
+        surprises += r.surprises as u64;
+        steps += r.steps as u64;
+        burden += r.burden();
+    }
+    BurdenResult {
+        completion: completed as f64 / n as f64,
+        abandonment: abandoned as f64 / n as f64,
+        mean_surprises: surprises as f64 / n as f64,
+        mean_steps: steps as f64 / n as f64,
+        mean_burden: burden / n as f64,
+    }
+}
+
+/// Run E5.
+pub fn e5(quick: bool) -> ExperimentOutput {
+    let n = if quick { 100 } else { 1000 };
+    let mut t = Table::new(&[
+        "user",
+        "variant",
+        "completion",
+        "abandonment",
+        "surprises",
+        "steps",
+        "burden",
+    ]);
+    for variant in [ProjectorVariant::Prototype, ProjectorVariant::Commercial] {
+        for user in UserProfile::all_presets() {
+            let r = run_burden(&user, variant, PlannerKind::Bfs, n, 0xE5);
+            t.row(&[
+                user.name.clone(),
+                match variant {
+                    ProjectorVariant::Prototype => "prototype".into(),
+                    ProjectorVariant::Commercial => "commercial".into(),
+                },
+                fmt_pct(r.completion),
+                fmt_pct(r.abandonment),
+                fmt_f(r.mean_surprises, 2),
+                fmt_f(r.mean_steps, 1),
+                fmt_f(r.mean_burden, 3),
+            ]);
+        }
+    }
+
+    // Planner ablation across the profiles that *can* finish the prototype.
+    let mut t2 = Table::new(&["user", "planner", "completion", "surprises", "steps"]);
+    for user in [UserProfile::researcher(), UserProfile::presenter(), UserProfile::casual()] {
+        for (name, planner) in [
+            ("BFS (deliberate)", PlannerKind::Bfs),
+            ("greedy (impulsive)", PlannerKind::Greedy),
+        ] {
+            let r = run_burden(&user, ProjectorVariant::Prototype, planner, n, 0xE5A);
+            t2.row(&[
+                user.name.clone(),
+                name.to_string(),
+                fmt_pct(r.completion),
+                fmt_f(r.mean_surprises, 2),
+                fmt_f(r.mean_steps, 1),
+            ]);
+        }
+    }
+
+    ExperimentOutput {
+        id: "e5",
+        title: "conceptual burden: prototype vs commercial variant (intentional+abstract layers)",
+        tables: vec![
+            (format!("{n} sessions per cell, BFS planner:"), t),
+            (
+                format!("planner ablation on the prototype, {n} sessions per cell:"),
+                t2,
+            ),
+        ],
+        notes: vec![
+            "the commercial variant completes for every profile; the prototype sheds casual users".into(),
+            "researchers tolerate the prototype — matching the paper's intended-user claim".into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e5_shape_commercial_rescues_casual_users() {
+        let casual = UserProfile::casual();
+        let proto = run_burden(&casual, ProjectorVariant::Prototype, PlannerKind::Bfs, 200, 1);
+        let com = run_burden(&casual, ProjectorVariant::Commercial, PlannerKind::Bfs, 200, 1);
+        assert!(com.completion > proto.completion + 0.2,
+            "commercial {} vs prototype {}", com.completion, proto.completion);
+        assert!(com.mean_surprises < proto.mean_surprises);
+        assert_eq!(com.abandonment, 0.0);
+    }
+
+    #[test]
+    fn e5_shape_researchers_are_fine_either_way() {
+        let res = UserProfile::researcher();
+        let proto = run_burden(&res, ProjectorVariant::Prototype, PlannerKind::Bfs, 200, 2);
+        assert!(proto.completion > 0.95, "{}", proto.completion);
+        assert!(proto.mean_surprises < 0.5);
+    }
+
+    #[test]
+    fn e5_burden_orders_profiles_on_prototype() {
+        let casual = run_burden(
+            &UserProfile::casual(),
+            ProjectorVariant::Prototype,
+            PlannerKind::Bfs,
+            200,
+            3,
+        );
+        let presenter = run_burden(
+            &UserProfile::presenter(),
+            ProjectorVariant::Prototype,
+            PlannerKind::Bfs,
+            200,
+            3,
+        );
+        assert!(casual.completion <= presenter.completion + 0.05);
+    }
+}

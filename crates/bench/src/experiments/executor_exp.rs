@@ -1,0 +1,158 @@
+//! E7 — "a single-threaded system that does not allow a user to abort a
+//! task causes needless frustration and will ultimately alter the patterns
+//! of usage."
+//!
+//! The same workload (a long background job plus interactive taps and an
+//! abort attempt) under run-to-completion vs cooperative scheduling.
+
+use super::ExperimentOutput;
+use aroma_appliance::executor::{run, AbortRequest, Policy, TaskKind, TaskSpec, Workload};
+use aroma_sim::report::{fmt_f, Table};
+use aroma_sim::{SimDuration, SimTime};
+
+/// Outcome of one executor run.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecOutcome {
+    /// Mean interactive response, seconds.
+    pub mean_response_s: f64,
+    /// Worst interactive response, seconds.
+    pub max_response_s: f64,
+    /// Abort latency, seconds (NaN if no abort landed).
+    pub abort_latency_s: f64,
+    /// Frustration events (responses beyond patience).
+    pub frustrations: usize,
+}
+
+/// Run the canonical workload: a background job of `background_s` seconds,
+/// taps every 2 s, and an abort at t = 1 s, under `policy`.
+pub fn run_canonical(policy: Policy, background_s: u64, patience_s: f64) -> ExecOutcome {
+    let mut w = Workload::background_plus_taps(
+        SimDuration::from_secs(background_s),
+        SimDuration::from_secs(2),
+        8,
+        SimDuration::from_millis(100),
+        SimTime::ZERO + SimDuration::from_secs(1),
+    );
+    // A second background job queued behind the first, so the abort has a
+    // victim under both policies.
+    w.tasks.push(TaskSpec {
+        arrival: SimTime::ZERO,
+        work: SimDuration::from_secs(background_s),
+        kind: TaskKind::Background,
+    });
+    w.aborts.push(AbortRequest {
+        at: SimTime::ZERO + SimDuration::from_secs(2),
+    });
+    let (report, frustrations) = run(policy, &w, SimDuration::from_secs_f64(patience_s));
+    ExecOutcome {
+        mean_response_s: report.interactive_latency.mean(),
+        max_response_s: report.interactive_latency.max().unwrap_or(0.0),
+        abort_latency_s: if report.abort_latency.count() > 0 {
+            report.abort_latency.mean()
+        } else {
+            f64::NAN
+        },
+        frustrations,
+    }
+}
+
+/// Run E7.
+pub fn e7() -> ExperimentOutput {
+    let policies = [
+        ("single-threaded", Policy::SingleThreaded),
+        (
+            "cooperative 50 ms",
+            Policy::Cooperative {
+                quantum: SimDuration::from_millis(50),
+            },
+        ),
+        (
+            "cooperative 500 ms",
+            Policy::Cooperative {
+                quantum: SimDuration::from_millis(500),
+            },
+        ),
+    ];
+    let backgrounds = [5u64, 30, 120];
+    let mut t = Table::new(&[
+        "policy",
+        "background s",
+        "mean resp s",
+        "max resp s",
+        "abort latency s",
+        "frustrations",
+    ]);
+    for (pname, policy) in policies {
+        for &bg in &backgrounds {
+            let o = run_canonical(policy, bg, 2.0);
+            t.row(&[
+                pname.to_string(),
+                bg.to_string(),
+                fmt_f(o.mean_response_s, 2),
+                fmt_f(o.max_response_s, 2),
+                if o.abort_latency_s.is_nan() {
+                    "never".into()
+                } else {
+                    fmt_f(o.abort_latency_s, 2)
+                },
+                o.frustrations.to_string(),
+            ]);
+        }
+    }
+    ExperimentOutput {
+        id: "e7",
+        title: "executor responsiveness & abortability (resource layer, Exe)",
+        tables: vec![(
+            "8 interactive taps during background work; abort at t=2 s; patience 2 s:".into(),
+            t,
+        )],
+        notes: vec![
+            "single-threaded response and abort latency grow with the background job — unbounded frustration".into(),
+            "cooperative scheduling bounds both by the quantum regardless of job length".into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e7_shape_single_threaded_scales_with_job() {
+        let short = run_canonical(Policy::SingleThreaded, 5, 2.0);
+        let long = run_canonical(Policy::SingleThreaded, 120, 2.0);
+        assert!(long.max_response_s > 10.0 * short.max_response_s.max(0.1));
+        assert!(long.frustrations >= short.frustrations);
+    }
+
+    #[test]
+    fn e7_shape_cooperative_is_flat() {
+        let q = Policy::Cooperative {
+            quantum: SimDuration::from_millis(50),
+        };
+        let short = run_canonical(q, 5, 2.0);
+        let long = run_canonical(q, 120, 2.0);
+        assert!(long.mean_response_s < 1.0, "{}", long.mean_response_s);
+        assert!(long.frustrations == 0 && short.frustrations == 0);
+        assert!(long.abort_latency_s <= 0.06);
+    }
+
+    #[test]
+    fn e7_shape_quantum_matters() {
+        let fine = run_canonical(
+            Policy::Cooperative {
+                quantum: SimDuration::from_millis(50),
+            },
+            30,
+            2.0,
+        );
+        let coarse = run_canonical(
+            Policy::Cooperative {
+                quantum: SimDuration::from_millis(500),
+            },
+            30,
+            2.0,
+        );
+        assert!(coarse.mean_response_s >= fine.mean_response_s);
+    }
+}

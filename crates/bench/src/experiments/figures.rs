@@ -1,0 +1,291 @@
+//! F1–F5: the paper's five figures, regenerated as data.
+
+use super::ExperimentOutput;
+use aroma_env::{EnvironmentKind, EnvironmentProfile};
+use aroma_sim::report::{fmt_f, fmt_pct, Table};
+use aroma_sim::SimRng;
+use lpc_core::intent::{harmony, DesignPurpose, UserGoals};
+use lpc_core::mental::divergence;
+use lpc_core::model;
+use lpc_core::resources::{frustration_check, DeviceResources};
+use lpc_core::user_sim::{simulate_session, PlannerKind, SessionParams};
+use lpc_core::{Layer, UserProfile};
+use smart_projector::system::{application_machine, belief_for, task};
+use smart_projector::ProjectorVariant;
+
+/// F1 — the LPC model: the layer stack with both columns and relations.
+pub fn f1() -> ExperimentOutput {
+    let mut stack = Table::new(&["layer", "user side", "relation", "device side"]);
+    for spec in model::lpc_stack().iter().rev() {
+        stack.row(&[
+            spec.layer.name().to_string(),
+            spec.user_side.to_string(),
+            spec.relation.to_string(),
+            spec.device_side.to_string(),
+        ]);
+    }
+    let mut temporal = Table::new(&["layer (user side)", "change timescale"]);
+    for layer in Layer::ALL.iter().rev() {
+        let s = layer.user_change_timescale_s();
+        let human = if s < 3600.0 {
+            format!("{:.0} min", s / 60.0)
+        } else if s < 86_400.0 * 2.0 {
+            format!("{:.0} h", s / 3600.0)
+        } else if s < 86_400.0 * 400.0 {
+            format!("{:.0} d", s / 86_400.0)
+        } else {
+            format!("{:.0} y", s / (86_400.0 * 365.0))
+        };
+        temporal.row(&[layer.name().to_string(), human]);
+    }
+    ExperimentOutput {
+        id: "f1",
+        title: "the Layered Pervasive Computing model (Figure 1)",
+        tables: vec![
+            ("The five layers, top-down, as in Figure 1:".into(), stack),
+            (
+                "Temporal specificity: user-side change timescales shrink going up:".into(),
+                temporal,
+            ),
+        ],
+        notes: vec![
+            "device side orders by abstraction; user side by temporal specificity".into(),
+        ],
+    }
+}
+
+/// F2 — environment ↔ physical-entity compatibility matrix (Figure 2).
+pub fn f2() -> ExperimentOutput {
+    use aroma_appliance::{DeviceClass, DeviceProfile};
+    let envs: Vec<_> = EnvironmentKind::ALL
+        .iter()
+        .map(|&k| EnvironmentProfile::preset(k).build())
+        .collect();
+    let mut headers: Vec<&str> = vec!["physical entity"];
+    let names: Vec<String> = envs.iter().map(|e| e.name.clone()).collect();
+    headers.extend(names.iter().map(|s| s.as_str()));
+    let mut t = Table::new(&headers);
+
+    let devices: Vec<(String, aroma_env::OperatingRange)> = DeviceClass::ALL
+        .iter()
+        .map(|&c| {
+            let p = DeviceProfile::of(c);
+            (p.name.clone(), p.operating_range)
+        })
+        .collect();
+    let users: Vec<(String, aroma_env::OperatingRange)> = UserProfile::all_presets()
+        .into_iter()
+        .map(|u| (format!("user: {}", u.name), u.physical.comfort))
+        .collect();
+
+    for (name, range) in devices.into_iter().chain(users) {
+        let mut row = vec![name];
+        for env in &envs {
+            let v = range.violations(&env.climate);
+            row.push(if v.is_empty() {
+                "ok".to_string()
+            } else {
+                format!("{} violation(s)", v.len())
+            });
+        }
+        t.row(&row);
+    }
+    ExperimentOutput {
+        id: "f2",
+        title: "environment ↔ physical layer compatibility (Figure 2)",
+        tables: vec![(
+            "\"...must be compatible with...\": entity operating envelopes vs environments:"
+                .into(),
+            t,
+        )],
+        notes: vec![
+            "the projector washes out outdoors; humans and rugged gear disagree about the subway"
+                .into(),
+        ],
+    }
+}
+
+/// F3 — resource layer: faculties vs device resources (Figure 3).
+pub fn f3() -> ExperimentOutput {
+    let resources = [
+        ("research prototype", DeviceResources::research_prototype()),
+        ("commercial grade", DeviceResources::commercial_grade()),
+    ];
+    let mut t = Table::new(&["user", "device resources", "frustrations", "which"]);
+    for user in UserProfile::all_presets() {
+        for (rname, res) in &resources {
+            let v = frustration_check(&user.faculties, res);
+            let which = if v.is_empty() {
+                "—".to_string()
+            } else {
+                v.iter()
+                    .map(|f| format!("{f}"))
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            };
+            t.row(&[
+                user.name.clone(),
+                rname.to_string(),
+                v.len().to_string(),
+                which,
+            ]);
+        }
+    }
+    ExperimentOutput {
+        id: "f3",
+        title: "resource layer: user faculties must not be frustrated (Figure 3)",
+        tables: vec![(
+            "Frustration check, every user preset × both resource profiles:".into(),
+            t,
+        )],
+        notes: vec![
+            "researchers are never frustrated by the prototype; casual users always are".into(),
+        ],
+    }
+}
+
+/// F4 — abstract layer: mental-model consistency, static and dynamic
+/// (Figure 4).
+pub fn f4(quick: bool) -> ExperimentOutput {
+    let sessions = if quick { 50 } else { 500 };
+    let mut t = Table::new(&[
+        "user",
+        "variant",
+        "static gap",
+        "completion",
+        "abandonment",
+        "mean surprises",
+        "mean steps",
+    ]);
+    for variant in [ProjectorVariant::Prototype, ProjectorVariant::Commercial] {
+        let actual = application_machine(variant);
+        let (start, goal) = task(variant);
+        for user in UserProfile::all_presets() {
+            let belief = belief_for(&user, variant);
+            let gap = divergence(&belief, &actual).gap();
+            let mut completed = 0u32;
+            let mut abandoned = 0u32;
+            let mut surprises = 0u64;
+            let mut steps = 0u64;
+            for s in 0..sessions {
+                let mut rng = SimRng::new(0xF4).fork(s as u64);
+                let r = simulate_session(
+                    &user.faculties,
+                    &belief,
+                    &actual,
+                    start,
+                    goal,
+                    PlannerKind::Bfs,
+                    &SessionParams::default(),
+                    &mut rng,
+                );
+                if r.reached_goal {
+                    completed += 1;
+                }
+                if r.gave_up {
+                    abandoned += 1;
+                }
+                surprises += r.surprises as u64;
+                steps += r.steps as u64;
+            }
+            t.row(&[
+                user.name.clone(),
+                match variant {
+                    ProjectorVariant::Prototype => "prototype".into(),
+                    ProjectorVariant::Commercial => "commercial".into(),
+                },
+                fmt_pct(gap),
+                fmt_pct(completed as f64 / sessions as f64),
+                fmt_pct(abandoned as f64 / sessions as f64),
+                fmt_f(surprises as f64 / sessions as f64, 2),
+                fmt_f(steps as f64 / sessions as f64, 1),
+            ]);
+        }
+    }
+    ExperimentOutput {
+        id: "f4",
+        title: "abstract layer: mental models must be consistent with the application (Figure 4)",
+        tables: vec![(
+            format!("{sessions} simulated sessions per cell, BFS planner:"),
+            t,
+        )],
+        notes: vec![
+            "prototype: completion falls and surprises rise as domain knowledge falls".into(),
+            "commercial: every profile completes with zero surprises".into(),
+        ],
+    }
+}
+
+/// F5 — intentional layer: harmony matrix (Figure 5).
+pub fn f5() -> ExperimentOutput {
+    let goals = [
+        UserGoals::researcher(),
+        UserGoals::presenter(),
+        UserGoals::casual(),
+    ];
+    let purposes = [
+        DesignPurpose::research_prototype(),
+        DesignPurpose::commercial_product(),
+    ];
+    let mut t = Table::new(&["goals \\ purpose", "research prototype", "commercial product"]);
+    for g in &goals {
+        let mut row = vec![g.name.clone()];
+        for p in &purposes {
+            row.push(fmt_f(harmony(g, p), 2));
+        }
+        t.row(&row);
+    }
+    ExperimentOutput {
+        id: "f5",
+        title: "intentional layer: goals must be in harmony with design purpose (Figure 5)",
+        tables: vec![("harmony(goals, purpose) ∈ [0,1]:".into(), t)],
+        notes: vec![
+            "the prototype harmonises with researchers, the commercial product with everyone else — the paper's own intentional-layer conclusion".into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f1_contains_all_layers_and_relations() {
+        let out = f1().render();
+        for l in Layer::ALL {
+            assert!(out.contains(l.name()));
+        }
+        assert!(out.contains("must be in harmony with"));
+        assert!(out.contains("Mem | Sto | Exe | UI | Net"));
+    }
+
+    #[test]
+    fn f2_flags_outdoor_projector() {
+        let out = f2().render();
+        assert!(out.contains("Digital projector"));
+        assert!(out.contains("violation"));
+    }
+
+    #[test]
+    fn f3_shows_asymmetry() {
+        let out = f3();
+        let rendered = out.render();
+        // Researcher × prototype row must be clean; casual × prototype not.
+        assert!(rendered.contains("researcher"));
+        assert!(rendered.contains("casual user"));
+    }
+
+    #[test]
+    fn f4_shapes_hold() {
+        let out = f4(true);
+        let rendered = out.render();
+        // Commercial rows must show 100.0% completion.
+        assert!(rendered.contains("100.0%"), "{rendered}");
+    }
+
+    #[test]
+    fn f5_matrix_is_complete() {
+        let out = f5();
+        assert_eq!(out.tables[0].1.len(), 3);
+    }
+}

@@ -1,0 +1,125 @@
+//! The experiment registry: every figure (F1–F5) and derived experiment
+//! (E1–E8) of DESIGN.md §4, one module each.
+//!
+//! All experiments are functions of a `quick` flag — `true` shrinks sweeps
+//! and horizons so the integration tests can execute every experiment in
+//! seconds, while the `repro` binary runs the full versions.
+
+use aroma_sim::report::{Json, Table};
+
+pub mod acoustics_exp;
+pub mod analysis_exp;
+pub mod burden;
+pub mod discovery_exp;
+pub mod executor_exp;
+pub mod figures;
+pub mod link;
+pub mod sessions_exp;
+pub mod spectrum;
+pub mod voice;
+pub mod walkaway;
+
+/// Output of one experiment: captioned tables plus free-form notes on the
+/// expected (paper) shape vs what was measured.
+#[derive(Clone, Debug)]
+pub struct ExperimentOutput {
+    /// Experiment id ("f1" … "e8").
+    pub id: &'static str,
+    /// Title line.
+    pub title: &'static str,
+    /// Captioned result tables.
+    pub tables: Vec<(String, Table)>,
+    /// Shape commentary.
+    pub notes: Vec<String>,
+}
+
+impl ExperimentOutput {
+    /// Render for the terminal / EXPERIMENTS.md.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n\n", self.id.to_uppercase(), self.title));
+        for (caption, table) in &self.tables {
+            out.push_str(caption);
+            out.push('\n');
+            out.push_str(&table.render());
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("note: {note}\n"));
+        }
+        out
+    }
+
+    /// Archival JSON: id, title, captioned tables (as header-keyed rows)
+    /// and notes.
+    pub fn json(&self) -> Json {
+        Json::obj(vec![
+            ("id", self.id.into()),
+            ("title", self.title.into()),
+            (
+                "tables",
+                Json::Arr(
+                    self.tables
+                        .iter()
+                        .map(|(caption, table)| {
+                            Json::obj(vec![
+                                ("caption", caption.as_str().into()),
+                                ("rows", table.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "notes",
+                Json::Arr(self.notes.iter().map(|n| n.as_str().into()).collect()),
+            ),
+        ])
+    }
+}
+
+/// All experiment ids in run order (e9/e10 are the paper's own
+/// future-work extensions: mobility and voice control).
+pub const ALL_IDS: [&str; 15] = [
+    "f1", "f2", "f3", "f4", "f5", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
+];
+
+/// Is `id` a registered experiment?
+pub fn run_exists(id: &str) -> bool {
+    ALL_IDS.contains(&id)
+}
+
+/// Run one experiment by id.
+pub fn run(id: &str, quick: bool) -> Option<ExperimentOutput> {
+    match id {
+        "f1" => Some(figures::f1()),
+        "f2" => Some(figures::f2()),
+        "f3" => Some(figures::f3()),
+        "f4" => Some(figures::f4(quick)),
+        "f5" => Some(figures::f5()),
+        "e1" => Some(link::e1(quick)),
+        "e2" => Some(spectrum::e2(quick)),
+        "e3" => Some(discovery_exp::e3(quick)),
+        "e4" => Some(sessions_exp::e4(quick)),
+        "e5" => Some(burden::e5(quick)),
+        "e6" => Some(acoustics_exp::e6()),
+        "e7" => Some(executor_exp::e7()),
+        "e8" => Some(analysis_exp::e8()),
+        "e9" => Some(walkaway::e9(quick)),
+        "e10" => Some(voice::e10(quick)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_id_resolves() {
+        for id in ALL_IDS {
+            assert!(run(id, true).is_some(), "{id} missing");
+        }
+        assert!(run("zz", true).is_none());
+    }
+}

@@ -1,0 +1,168 @@
+//! E2 — "there are many wireless devices operating in the 2.4 GHz radio
+//! band, and the effect of a high concentration of these devices needs to
+//! be studied."
+//!
+//! Co-channel device-density sweep: aggregate and per-pair goodput,
+//! collision indicators, plus the orthogonal-channel-plan arm showing how
+//! much spectral planning recovers.
+
+use super::ExperimentOutput;
+use crate::scenarios::{run_density, secs, ChannelPlan};
+use aroma_net::RateAdaptation;
+use aroma_sim::report::{fmt_f, Table};
+
+/// Run E2.
+pub fn e2(quick: bool) -> ExperimentOutput {
+    let horizon = if quick { secs(1) } else { secs(4) };
+    let densities: &[usize] = if quick {
+        &[1, 4, 8]
+    } else {
+        &[1, 2, 4, 8, 12, 16, 24]
+    };
+    let plans = [
+        ("co-channel", ChannelPlan::AllCochannel),
+        ("1/6/11 spread", ChannelPlan::OrthogonalSpread),
+    ];
+    let grid: Vec<(usize, (&str, ChannelPlan))> = densities
+        .iter()
+        .flat_map(|&d| plans.iter().map(move |&p| (d, p)))
+        .collect();
+    let results = aroma_sim::sweep::run(&grid, |i, &(pairs, (_, plan))| {
+        run_density(
+            pairs,
+            plan,
+            RateAdaptation::SnrBased,
+            1000,
+            horizon,
+            0xE2 + i as u64,
+        )
+    });
+
+    let mut t = Table::new(&[
+        "pairs",
+        "channel plan",
+        "aggregate Mbit/s",
+        "per-pair Mbit/s",
+        "ACK timeouts/s",
+        "retry drops",
+    ]);
+    for ((pairs, (plan_name, _)), r) in grid.iter().zip(&results) {
+        t.row(&[
+            pairs.to_string(),
+            plan_name.to_string(),
+            fmt_f(r.aggregate_bps / 1e6, 2),
+            fmt_f(r.per_pair_bps / 1e6, 3),
+            fmt_f(r.timeouts_per_s, 1),
+            r.retry_drops.to_string(),
+        ]);
+    }
+
+    let per_pair = |pairs: usize, plan: &str| -> f64 {
+        grid.iter()
+            .zip(&results)
+            .find(|((d, (p, _)), _)| *d == pairs && *p == plan)
+            .map(|(_, r)| r.per_pair_bps)
+            .unwrap()
+    };
+    let solo = per_pair(densities[0], "co-channel");
+    let dense = per_pair(*densities.last().unwrap(), "co-channel");
+    let dense_spread = per_pair(*densities.last().unwrap(), "1/6/11 spread");
+    ExperimentOutput {
+        id: "e2",
+        title: "2.4 GHz device-density sweep (environment-layer congestion claim)",
+        tables: vec![(
+            format!(
+                "saturated 1000-byte senders, {:.0}s horizon, receivers clustered:",
+                horizon.as_secs_f64()
+            ),
+            t,
+        )],
+        notes: vec![
+            format!(
+                "per-pair goodput collapses {:.0}x from 1 to {} co-channel pairs",
+                solo / dense.max(1.0),
+                densities.last().unwrap()
+            ),
+            format!(
+                "spreading over channels 1/6/11 recovers {:.1}x per-pair goodput at the highest density",
+                dense_spread / dense.max(1.0)
+            ),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aroma_net::Rate;
+
+    #[test]
+    fn e2_shape_density_collapse() {
+        let solo = run_density(
+            1,
+            ChannelPlan::AllCochannel,
+            RateAdaptation::SnrBased,
+            1000,
+            secs(1),
+            1,
+        );
+        let dense = run_density(
+            8,
+            ChannelPlan::AllCochannel,
+            RateAdaptation::SnrBased,
+            1000,
+            secs(1),
+            1,
+        );
+        assert!(dense.per_pair_bps < solo.per_pair_bps / 4.0);
+        assert!(dense.timeouts_per_s > solo.timeouts_per_s);
+    }
+
+    #[test]
+    fn e2_shape_channel_spread_helps() {
+        let co = run_density(
+            6,
+            ChannelPlan::AllCochannel,
+            RateAdaptation::SnrBased,
+            1000,
+            secs(1),
+            2,
+        );
+        let spread = run_density(
+            6,
+            ChannelPlan::OrthogonalSpread,
+            RateAdaptation::SnrBased,
+            1000,
+            secs(1),
+            2,
+        );
+        assert!(
+            spread.aggregate_bps > 1.5 * co.aggregate_bps,
+            "spread {} vs co {}",
+            spread.aggregate_bps,
+            co.aggregate_bps
+        );
+    }
+
+    #[test]
+    fn ablation_fixed_rate_underperforms_adaptive_on_clean_links() {
+        // With one clean pair, fixed 1 Mbps leaves most capacity unused.
+        let fixed1 = run_density(
+            1,
+            ChannelPlan::AllCochannel,
+            RateAdaptation::Fixed(Rate::R1),
+            1000,
+            secs(1),
+            3,
+        );
+        let adaptive = run_density(
+            1,
+            ChannelPlan::AllCochannel,
+            RateAdaptation::SnrBased,
+            1000,
+            secs(1),
+            3,
+        );
+        assert!(adaptive.aggregate_bps > 3.0 * fixed1.aggregate_bps);
+    }
+}

@@ -1,0 +1,21 @@
+//! # lpc-bench — the experiment harness
+//!
+//! Regenerates every figure and every quantified claim of the paper (see
+//! DESIGN.md §4 for the experiment index). Each experiment lives in
+//! [`experiments`] as a pure function returning both structured data and a
+//! rendered table, so the `repro` binary, the Criterion benches, and the
+//! integration tests all share one implementation.
+//!
+//! Run everything:
+//!
+//! ```text
+//! cargo run -p lpc-bench --release --bin repro -- all
+//! ```
+//!
+//! or a single experiment: `repro e2`, `repro f4`, …
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod scenarios;

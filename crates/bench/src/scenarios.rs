@@ -1,0 +1,234 @@
+//! Reusable simulation scenario builders shared by the experiments and the
+//! Criterion benches.
+
+use aroma_env::radio::{Channel, RadioEnvironment};
+use aroma_env::space::Point;
+use aroma_net::traffic::{CountingSink, SaturatedSource};
+use aroma_net::{Address, MacConfig, Network, NodeConfig, NodeId, Rate, RateAdaptation};
+use aroma_sim::{SimDuration, SimTime};
+use aroma_vnc::workloads::ScreenSource;
+use aroma_vnc::{BouncingBox, NoiseVideo, SlideDeck, VncServerApp, VncViewerApp};
+
+/// A clean (shadowing-free) indoor radio environment for controlled
+/// experiments; stochasticity enters through MAC backoff and PHY error
+/// draws, which are seeded per run.
+pub fn clean_env() -> RadioEnvironment {
+    RadioEnvironment {
+        shadowing_sigma_db: 0.0,
+        ..Default::default()
+    }
+}
+
+/// Screen workloads the E1 experiment sweeps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// Slide deck, one slide per 10 s.
+    Slides,
+    /// Bouncing-box animation.
+    Animation,
+    /// Incompressible noise at 10 fps.
+    NoiseVideo,
+}
+
+impl Workload {
+    /// All workloads, in report order.
+    pub const ALL: [Workload; 3] = [Workload::Slides, Workload::Animation, Workload::NoiseVideo];
+
+    /// Label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Workload::Slides => "slides",
+            Workload::Animation => "animation",
+            Workload::NoiseVideo => "noise-video",
+        }
+    }
+
+    /// Instantiate the screen source.
+    pub fn source(self, seed: u64) -> Box<dyn ScreenSource> {
+        match self {
+            Workload::Slides => Box::new(SlideDeck::new(10.0)),
+            Workload::Animation => Box::new(BouncingBox::new()),
+            Workload::NoiseVideo => Box::new(NoiseVideo::new(10.0, seed)),
+        }
+    }
+}
+
+/// Result of one VNC-over-WLAN run.
+#[derive(Clone, Copy, Debug)]
+pub struct VncRunResult {
+    /// Updates completed per second.
+    pub achieved_fps: f64,
+    /// Application-payload goodput, bits per second.
+    pub goodput_bps: f64,
+    /// Mean update latency, seconds.
+    pub mean_latency_s: f64,
+    /// Loss-recovery events at the viewer.
+    pub recoveries: u64,
+}
+
+/// Run a VNC server→viewer pair over the WLAN for `horizon` of simulated
+/// time at the given fixed-or-adaptive rate policy.
+pub fn run_vnc(
+    workload: Workload,
+    adapt: RateAdaptation,
+    width: usize,
+    height: usize,
+    horizon: SimDuration,
+    seed: u64,
+) -> VncRunResult {
+    let mut net = Network::new(clean_env(), MacConfig::default(), seed);
+    let server_cfg = NodeConfig {
+        adapt,
+        ..NodeConfig::at(Point::new(0.0, 0.0))
+    };
+    let server = net.add_node(
+        server_cfg,
+        Box::new(VncServerApp::new(width, height, workload.source(seed))),
+    );
+    let viewer_cfg = NodeConfig {
+        adapt,
+        ..NodeConfig::at(Point::new(5.0, 0.0))
+    };
+    let viewer = net.add_node(
+        viewer_cfg,
+        Box::new(VncViewerApp::new(server, width, height)),
+    );
+    net.run_for(horizon);
+    let v = net.app_as::<VncViewerApp>(viewer).unwrap();
+    VncRunResult {
+        achieved_fps: v.achieved_fps(horizon),
+        goodput_bps: net.stats().goodput_bps(horizon),
+        mean_latency_s: v.update_latency.mean(),
+        recoveries: v.recoveries,
+    }
+}
+
+/// Result of one co-channel density run.
+#[derive(Clone, Copy, Debug)]
+pub struct DensityRunResult {
+    /// Aggregate application goodput across all pairs, bits/s.
+    pub aggregate_bps: f64,
+    /// Goodput of one pair, bits/s (aggregate / pairs).
+    pub per_pair_bps: f64,
+    /// ACK timeouts per second (collision indicator).
+    pub timeouts_per_s: f64,
+    /// Frames dropped after retry exhaustion.
+    pub retry_drops: u64,
+}
+
+/// Channel plan for a density run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChannelPlan {
+    /// Everyone on channel 6 (worst case).
+    AllCochannel,
+    /// Pairs spread across 1/6/11.
+    OrthogonalSpread,
+}
+
+/// Run `pairs` saturated sender→receiver pairs for `horizon`.
+///
+/// Geometry: receivers cluster near the centre (1 m circle) and senders sit
+/// on a 5 m circle, so interferer paths rival signal paths and collisions
+/// genuinely destroy frames.
+pub fn run_density(
+    pairs: usize,
+    plan: ChannelPlan,
+    adapt: RateAdaptation,
+    frame_bytes: usize,
+    horizon: SimDuration,
+    seed: u64,
+) -> DensityRunResult {
+    let mut net = Network::new(clean_env(), MacConfig::default(), seed);
+    let mut sinks: Vec<NodeId> = Vec::with_capacity(pairs);
+    for i in 0..pairs {
+        let channel = match plan {
+            ChannelPlan::AllCochannel => Channel::CH6,
+            ChannelPlan::OrthogonalSpread => Channel::ORTHOGONAL[i % 3],
+        };
+        let angle = i as f64 / pairs as f64 * std::f64::consts::TAU;
+        let (s, c) = angle.sin_cos();
+        let rx_cfg = NodeConfig {
+            adapt,
+            ..NodeConfig::at_on(Point::new(1.0 * c, 1.0 * s), channel)
+        };
+        let rx = net.add_node(rx_cfg, Box::new(CountingSink::default()));
+        sinks.push(rx);
+        let tx_cfg = NodeConfig {
+            adapt,
+            ..NodeConfig::at_on(Point::new(5.0 * c, 5.0 * s), channel)
+        };
+        net.add_node(
+            tx_cfg,
+            Box::new(SaturatedSource::new(Address::Node(rx), frame_bytes)),
+        );
+    }
+    net.run_for(horizon);
+    let total_bytes: u64 = sinks
+        .iter()
+        .map(|&rx| net.app_as::<CountingSink>(rx).unwrap().bytes)
+        .sum();
+    let secs = horizon.as_secs_f64();
+    let aggregate_bps = total_bytes as f64 * 8.0 / secs;
+    DensityRunResult {
+        aggregate_bps,
+        per_pair_bps: aggregate_bps / pairs as f64,
+        timeouts_per_s: net.stats().total_ack_timeouts() as f64 / secs,
+        retry_drops: net.stats().total_retry_drops(),
+    }
+}
+
+/// A convenient fixed-rate shorthand.
+pub fn fixed(rate: Rate) -> RateAdaptation {
+    RateAdaptation::Fixed(rate)
+}
+
+/// Simulated-time helpers for experiment code.
+pub fn secs(s: u64) -> SimDuration {
+    SimDuration::from_secs(s)
+}
+
+/// Absolute time at `s` seconds.
+pub fn at(s: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_secs(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vnc_scenario_produces_activity() {
+        let r = run_vnc(
+            Workload::Slides,
+            RateAdaptation::SnrBased,
+            160,
+            128,
+            secs(2),
+            1,
+        );
+        assert!(r.achieved_fps > 1.0);
+        assert!(r.goodput_bps > 0.0);
+    }
+
+    #[test]
+    fn density_scenario_produces_activity() {
+        let r = run_density(
+            2,
+            ChannelPlan::AllCochannel,
+            RateAdaptation::SnrBased,
+            1000,
+            secs(1),
+            1,
+        );
+        assert!(r.aggregate_bps > 0.0);
+        assert!(r.per_pair_bps <= r.aggregate_bps);
+    }
+
+    #[test]
+    fn workload_labels_unique() {
+        let mut l: Vec<&str> = Workload::ALL.iter().map(|w| w.label()).collect();
+        l.sort_unstable();
+        l.dedup();
+        assert_eq!(l.len(), 3);
+    }
+}

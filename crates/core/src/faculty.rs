@@ -1,0 +1,246 @@
+//! The user's lower layers: physical user and faculties.
+//!
+//! The paper defines a *faculty* as "a developed skill or ability such as a
+//! user's ability to speak a particular language, the user's education or
+//! even the user's temperament (for example, the ability to tolerate
+//! frustration)", and stresses that faculties "are supported by the
+//! physical layer" — a user's physical condition bounds what faculties can
+//! operate. Both levels are modelled here, with the named presets the
+//! experiments sweep over.
+
+use aroma_env::climate::OperatingRange;
+use aroma_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Languages that matter to the scenarios.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Language {
+    /// English.
+    English,
+    /// French.
+    French,
+    /// Spanish.
+    Spanish,
+    /// German.
+    German,
+    /// Japanese.
+    Japanese,
+}
+
+/// The user's body: the physical layer's user side. Capabilities are
+/// normalised to `[0, 1]` where 1 is unimpaired.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PhysicalUser {
+    /// Visual acuity (small text, LED states).
+    pub vision: f64,
+    /// Hearing (beeps, speech output).
+    pub hearing: f64,
+    /// Fine motor control (stylus, small buttons).
+    pub dexterity: f64,
+    /// Can produce intelligible speech (voice UIs).
+    pub can_speak: bool,
+    /// Ambient conditions this body works comfortably in.
+    pub comfort: OperatingRange,
+}
+
+impl Default for PhysicalUser {
+    fn default() -> Self {
+        PhysicalUser {
+            vision: 1.0,
+            hearing: 1.0,
+            dexterity: 1.0,
+            can_speak: true,
+            comfort: OperatingRange::human_comfort(),
+        }
+    }
+}
+
+/// The user's faculties: the resource layer's user side.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Faculties {
+    /// Languages the user understands.
+    pub languages: Vec<Language>,
+    /// Familiarity with graphical user interfaces, `[0,1]`.
+    pub gui_experience: f64,
+    /// Domain knowledge (projectors and their failure modes), `[0,1]`.
+    pub domain_knowledge: f64,
+    /// Ability to administer networks/systems, `[0,1]` — the paper:
+    /// "users are not system administrators".
+    pub admin_skill: f64,
+    /// Temperament: tolerance before giving up, `[0,1]`.
+    pub frustration_tolerance: f64,
+    /// How long the user will wait for any single response.
+    pub patience: SimDuration,
+}
+
+impl Faculties {
+    /// Does the user speak `lang`?
+    pub fn speaks(&self, lang: Language) -> bool {
+        self.languages.contains(&lang)
+    }
+}
+
+/// A complete user-side column of the model (physical + faculties + the
+/// name used in reports). Mental models and goals are per-scenario and live
+/// in [`crate::mental`] / [`crate::intent`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct UserProfile {
+    /// Report name.
+    pub name: String,
+    /// The body.
+    pub physical: PhysicalUser,
+    /// The skills.
+    pub faculties: Faculties,
+}
+
+impl UserProfile {
+    /// The paper's implicit baseline: "our intended audience is a group of
+    /// computer scientists performing pervasive computing research" —
+    /// English-speaking, GUI-fluent, able to fix "whatever problems may
+    /// arise with the wireless network, the Linux-based adapter, and the
+    /// lookup service".
+    pub fn researcher() -> UserProfile {
+        UserProfile {
+            name: "researcher".into(),
+            physical: PhysicalUser::default(),
+            faculties: Faculties {
+                languages: vec![Language::English, Language::French],
+                gui_experience: 1.0,
+                domain_knowledge: 1.0,
+                admin_skill: 1.0,
+                frustration_tolerance: 0.9,
+                patience: SimDuration::from_secs(60),
+            },
+        }
+    }
+
+    /// A travelling business presenter: fluent with GUIs, knows projectors
+    /// as appliances, cannot debug a lookup service.
+    pub fn presenter() -> UserProfile {
+        UserProfile {
+            name: "presenter".into(),
+            physical: PhysicalUser::default(),
+            faculties: Faculties {
+                languages: vec![Language::English],
+                gui_experience: 0.8,
+                domain_knowledge: 0.4,
+                admin_skill: 0.15,
+                frustration_tolerance: 0.5,
+                patience: SimDuration::from_secs(20),
+            },
+        }
+    }
+
+    /// A casual user expecting a commercial-grade product.
+    pub fn casual() -> UserProfile {
+        UserProfile {
+            name: "casual user".into(),
+            physical: PhysicalUser::default(),
+            faculties: Faculties {
+                languages: vec![Language::English],
+                gui_experience: 0.45,
+                domain_knowledge: 0.1,
+                admin_skill: 0.0,
+                frustration_tolerance: 0.3,
+                patience: SimDuration::from_secs(8),
+            },
+        }
+    }
+
+    /// A casual user who does not speak English — the paper: "being able to
+    /// expect that all users will speak the same language is fundamentally
+    /// a resource that the developer can count on".
+    pub fn casual_non_english() -> UserProfile {
+        let mut u = UserProfile::casual();
+        u.name = "casual user (fr)".into();
+        u.faculties.languages = vec![Language::French];
+        u
+    }
+
+    /// A user with low vision and reduced dexterity — the accessibility
+    /// case the paper's resource-layer discussion demands be first-class.
+    pub fn low_vision() -> UserProfile {
+        UserProfile {
+            name: "low-vision user".into(),
+            physical: PhysicalUser {
+                vision: 0.2,
+                dexterity: 0.5,
+                ..Default::default()
+            },
+            faculties: Faculties {
+                languages: vec![Language::English],
+                gui_experience: 0.6,
+                domain_knowledge: 0.2,
+                admin_skill: 0.05,
+                frustration_tolerance: 0.4,
+                patience: SimDuration::from_secs(15),
+            },
+        }
+    }
+
+    /// Every preset, in sweep order.
+    pub fn all_presets() -> Vec<UserProfile> {
+        vec![
+            UserProfile::researcher(),
+            UserProfile::presenter(),
+            UserProfile::casual(),
+            UserProfile::casual_non_english(),
+            UserProfile::low_vision(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_distinctly_named() {
+        let names: Vec<String> = UserProfile::all_presets()
+            .into_iter()
+            .map(|p| p.name)
+            .collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn researcher_outskills_casual_everywhere() {
+        let r = UserProfile::researcher().faculties;
+        let c = UserProfile::casual().faculties;
+        assert!(r.gui_experience > c.gui_experience);
+        assert!(r.domain_knowledge > c.domain_knowledge);
+        assert!(r.admin_skill > c.admin_skill);
+        assert!(r.frustration_tolerance > c.frustration_tolerance);
+        assert!(r.patience > c.patience);
+    }
+
+    #[test]
+    fn language_checks() {
+        assert!(UserProfile::researcher().faculties.speaks(Language::English));
+        assert!(!UserProfile::casual_non_english()
+            .faculties
+            .speaks(Language::English));
+        assert!(UserProfile::casual_non_english()
+            .faculties
+            .speaks(Language::French));
+    }
+
+    #[test]
+    fn low_vision_profile_reflects_impairment() {
+        let u = UserProfile::low_vision();
+        assert!(u.physical.vision < 0.5);
+        assert!(u.physical.dexterity < 1.0);
+        assert!(u.physical.can_speak);
+    }
+
+    #[test]
+    fn default_body_is_unimpaired() {
+        let p = PhysicalUser::default();
+        assert_eq!(p.vision, 1.0);
+        assert_eq!(p.hearing, 1.0);
+        assert_eq!(p.dexterity, 1.0);
+    }
+}

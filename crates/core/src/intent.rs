@@ -1,0 +1,310 @@
+//! The intentional layer: user goals, design purposes, and harmony.
+//!
+//! The paper's top layer "represents the purpose of an application or
+//! device and the goals of the user", and argues "the probability of
+//! success is greatly enhanced when a system's design is in harmony with
+//! the user's goals". Harmony is made computable here: goals are weighted
+//! needs over a fixed capability vocabulary, a design purpose declares how
+//! well it serves each capability, and [`harmony`] scores the match in
+//! `[0, 1]` with essential needs acting as gates.
+
+use serde::{Deserialize, Serialize};
+
+/// The capability vocabulary shared by goals and purposes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Need {
+    /// Put my slides on the big screen.
+    ProjectDisplay,
+    /// Control the projector without walking to it.
+    RemoteControl,
+    /// Work without any setup or configuration.
+    ZeroConfiguration,
+    /// Work every time, recover by itself.
+    Reliability,
+    /// Be understandable without study.
+    LowConceptualBurden,
+    /// Instrumentation, measurement, protocol visibility.
+    ResearchObservability,
+    /// Keep my content and control private to me.
+    ExclusiveUse,
+    /// Be affordable.
+    LowCost,
+}
+
+impl Need {
+    /// Every need, in a stable order.
+    pub const ALL: [Need; 8] = [
+        Need::ProjectDisplay,
+        Need::RemoteControl,
+        Need::ZeroConfiguration,
+        Need::Reliability,
+        Need::LowConceptualBurden,
+        Need::ResearchObservability,
+        Need::ExclusiveUse,
+        Need::LowCost,
+    ];
+
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Need::ProjectDisplay => "project",
+            Need::RemoteControl => "remote-control",
+            Need::ZeroConfiguration => "zero-config",
+            Need::Reliability => "reliability",
+            Need::LowConceptualBurden => "low-burden",
+            Need::ResearchObservability => "observability",
+            Need::ExclusiveUse => "exclusive-use",
+            Need::LowCost => "low-cost",
+        }
+    }
+}
+
+/// One weighted need of a user.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WeightedNeed {
+    /// Which capability.
+    pub need: Need,
+    /// How much it matters, `(0, 1]`.
+    pub weight: f64,
+    /// If true, a purpose serving this below 0.5 caps harmony at that
+    /// service level (an unmet essential cannot be averaged away).
+    pub essential: bool,
+}
+
+/// A user's goals at the intentional layer.
+#[derive(Clone, Debug, PartialEq, Default, Serialize, Deserialize)]
+pub struct UserGoals {
+    /// Report name.
+    pub name: String,
+    /// The weighted needs.
+    pub needs: Vec<WeightedNeed>,
+}
+
+impl UserGoals {
+    /// Builder: add a need.
+    pub fn with(mut self, need: Need, weight: f64, essential: bool) -> Self {
+        assert!((0.0..=1.0).contains(&weight) && weight > 0.0);
+        self.needs.push(WeightedNeed {
+            need,
+            weight,
+            essential,
+        });
+        self
+    }
+
+    /// "A user wants to make a presentation, but does not necessarily want
+    /// to perform unnecessary system interconnection and configuration."
+    pub fn presenter() -> UserGoals {
+        UserGoals {
+            name: "presenter".into(),
+            needs: vec![],
+        }
+        .with(Need::ProjectDisplay, 1.0, true)
+        .with(Need::RemoteControl, 0.5, false)
+        .with(Need::ZeroConfiguration, 0.8, false)
+        .with(Need::Reliability, 0.9, true)
+        .with(Need::LowConceptualBurden, 0.7, false)
+        .with(Need::ExclusiveUse, 0.4, false)
+    }
+
+    /// "Our intended audience is a group of computer scientists performing
+    /// pervasive computing research."
+    pub fn researcher() -> UserGoals {
+        UserGoals {
+            name: "researcher".into(),
+            needs: vec![],
+        }
+        .with(Need::ProjectDisplay, 0.6, false)
+        .with(Need::RemoteControl, 0.5, false)
+        .with(Need::ResearchObservability, 1.0, true)
+        .with(Need::ExclusiveUse, 0.2, false)
+    }
+
+    /// A casual user expecting a commercial product.
+    pub fn casual() -> UserGoals {
+        UserGoals {
+            name: "casual".into(),
+            needs: vec![],
+        }
+        .with(Need::ProjectDisplay, 1.0, true)
+        .with(Need::ZeroConfiguration, 1.0, true)
+        .with(Need::Reliability, 0.9, true)
+        .with(Need::LowConceptualBurden, 1.0, true)
+        .with(Need::LowCost, 0.6, false)
+    }
+}
+
+/// What a design serves, per capability, in `[0, 1]`.
+#[derive(Clone, Debug, PartialEq, Default, Serialize, Deserialize)]
+pub struct DesignPurpose {
+    /// Report name.
+    pub name: String,
+    /// Service levels (absent = 0).
+    pub serves: Vec<(Need, f64)>,
+}
+
+impl DesignPurpose {
+    /// Builder: declare a service level.
+    pub fn serving(mut self, need: Need, level: f64) -> Self {
+        assert!((0.0..=1.0).contains(&level));
+        self.serves.push((need, level));
+        self
+    }
+
+    /// Service level for one need.
+    pub fn level(&self, need: Need) -> f64 {
+        self.serves
+            .iter()
+            .find(|(n, _)| *n == need)
+            .map(|(_, l)| *l)
+            .unwrap_or(0.0)
+    }
+
+    /// The paper's honest description of the prototype: "designed as a
+    /// vehicle to research, measure, and demonstrate service discovery and
+    /// other pervasive computing infrastructure issues".
+    pub fn research_prototype() -> DesignPurpose {
+        DesignPurpose {
+            name: "Smart Projector (research prototype)".into(),
+            serves: vec![],
+        }
+        .serving(Need::ProjectDisplay, 0.8)
+        .serving(Need::RemoteControl, 0.8)
+        .serving(Need::ZeroConfiguration, 0.3)
+        .serving(Need::Reliability, 0.4)
+        .serving(Need::LowConceptualBurden, 0.3)
+        .serving(Need::ResearchObservability, 1.0)
+        .serving(Need::ExclusiveUse, 0.7)
+        .serving(Need::LowCost, 0.2)
+    }
+
+    /// The hypothetical commercial product the paper contrasts with.
+    pub fn commercial_product() -> DesignPurpose {
+        DesignPurpose {
+            name: "Smart Projector (commercial)".into(),
+            serves: vec![],
+        }
+        .serving(Need::ProjectDisplay, 0.95)
+        .serving(Need::RemoteControl, 0.9)
+        .serving(Need::ZeroConfiguration, 0.9)
+        .serving(Need::Reliability, 0.9)
+        .serving(Need::LowConceptualBurden, 0.9)
+        .serving(Need::ResearchObservability, 0.1)
+        .serving(Need::ExclusiveUse, 0.9)
+        .serving(Need::LowCost, 0.5)
+    }
+}
+
+/// Score the Figure 5 relation — *user goals must be in harmony with
+/// design purpose* — in `[0, 1]`.
+///
+/// Weighted mean of service levels over the user's needs; any *essential*
+/// need served below 0.5 caps the final score at its service level (a
+/// product that fails an essential need is not redeemed by the rest).
+pub fn harmony(goals: &UserGoals, purpose: &DesignPurpose) -> f64 {
+    if goals.needs.is_empty() {
+        return 1.0; // no goals: anything is harmonious
+    }
+    let total_weight: f64 = goals.needs.iter().map(|n| n.weight).sum();
+    let weighted: f64 = goals
+        .needs
+        .iter()
+        .map(|n| purpose.level(n.need) * n.weight)
+        .sum::<f64>()
+        / total_weight;
+    let cap = goals
+        .needs
+        .iter()
+        .filter(|n| n.essential)
+        .map(|n| purpose.level(n.need))
+        .filter(|&l| l < 0.5)
+        .fold(1.0f64, f64::min);
+    weighted.min(cap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harmony_is_bounded() {
+        for goals in [UserGoals::presenter(), UserGoals::researcher(), UserGoals::casual()] {
+            for purpose in [
+                DesignPurpose::research_prototype(),
+                DesignPurpose::commercial_product(),
+            ] {
+                let h = harmony(&goals, &purpose);
+                assert!((0.0..=1.0).contains(&h), "{h}");
+            }
+        }
+    }
+
+    #[test]
+    fn prototype_harmonises_with_researchers_not_casual_users() {
+        // The paper's own intentional-layer conclusion.
+        let proto = DesignPurpose::research_prototype();
+        let h_res = harmony(&UserGoals::researcher(), &proto);
+        let h_cas = harmony(&UserGoals::casual(), &proto);
+        assert!(h_res > 0.7, "researchers are served: {h_res}");
+        assert!(h_cas < 0.4, "casual users are not: {h_cas}");
+        assert!(h_res > 2.0 * h_cas);
+    }
+
+    #[test]
+    fn commercial_product_flips_the_ranking() {
+        let com = DesignPurpose::commercial_product();
+        let h_cas = harmony(&UserGoals::casual(), &com);
+        let h_res = harmony(&UserGoals::researcher(), &com);
+        assert!(h_cas > 0.8, "casual users served: {h_cas}");
+        assert!(h_res < 0.5, "researchers lose their instrumentation: {h_res}");
+    }
+
+    #[test]
+    fn unmet_essential_caps_the_score() {
+        let goals = UserGoals::default()
+            .with(Need::Reliability, 0.1, true)
+            .with(Need::LowCost, 1.0, false);
+        // Purpose serves LowCost perfectly but Reliability barely.
+        let p = DesignPurpose::default()
+            .serving(Need::LowCost, 1.0)
+            .serving(Need::Reliability, 0.2);
+        let h = harmony(&goals, &p);
+        assert!(
+            (h - 0.2).abs() < 1e-9,
+            "essential miss must cap harmony at its level: {h}"
+        );
+    }
+
+    #[test]
+    fn non_essential_misses_average_instead_of_gating() {
+        let goals = UserGoals::default()
+            .with(Need::Reliability, 1.0, false)
+            .with(Need::LowCost, 1.0, false);
+        let p = DesignPurpose::default()
+            .serving(Need::LowCost, 1.0)
+            .serving(Need::Reliability, 0.0);
+        assert!((harmony(&goals, &p) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_goals_are_trivially_harmonious() {
+        assert_eq!(
+            harmony(&UserGoals::default(), &DesignPurpose::research_prototype()),
+            1.0
+        );
+    }
+
+    #[test]
+    fn unserved_needs_score_zero() {
+        let p = DesignPurpose::default();
+        assert_eq!(p.level(Need::ProjectDisplay), 0.0);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<&str> = Need::ALL.iter().map(|n| n.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), Need::ALL.len());
+    }
+}

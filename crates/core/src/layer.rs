@@ -1,0 +1,185 @@
+//! The five layers and their two orderings.
+//!
+//! The paper: *"While for devices, the higher layers represent increasing
+//! degrees of abstraction, for users, the higher layers represent
+//! increasing temporal specificity. This means that change occurs more
+//! slowly at the lower levels."* Both orderings are encoded here and pinned
+//! by tests.
+
+use serde::{Deserialize, Serialize};
+
+/// A layer of the LPC model, bottom-up.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Layer {
+    /// The physical surroundings — *beneath* the device, not part of it.
+    Environment,
+    /// Hardware and human bodies; signals they exchange.
+    Physical,
+    /// What software can count on: logical resources / user faculties.
+    Resource,
+    /// Application software / user mental models.
+    Abstract,
+    /// Design purpose / user goals.
+    Intentional,
+}
+
+impl Layer {
+    /// All layers, bottom-up.
+    pub const ALL: [Layer; 5] = [
+        Layer::Environment,
+        Layer::Physical,
+        Layer::Resource,
+        Layer::Abstract,
+        Layer::Intentional,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Layer::Environment => "Environment",
+            Layer::Physical => "Physical",
+            Layer::Resource => "Resource",
+            Layer::Abstract => "Abstract",
+            Layer::Intentional => "Intentional",
+        }
+    }
+
+    /// The layer's cross relation between user side and device side, as
+    /// phrased in the paper's figures.
+    pub fn relation(self) -> &'static str {
+        match self {
+            Layer::Environment => "must be compatible with / communicates through",
+            Layer::Physical => "must be compatible with",
+            Layer::Resource => "must not be frustrated by",
+            Layer::Abstract => "must be consistent with",
+            Layer::Intentional => "must be in harmony with",
+        }
+    }
+
+    /// Device-side element of this layer (Figure 1, left column).
+    pub fn device_element(self) -> &'static str {
+        match self {
+            Layer::Environment => "Environment",
+            Layer::Physical => "Physical Devices",
+            Layer::Resource => "Mem | Sto | Exe | UI | Net",
+            Layer::Abstract => "Application",
+            Layer::Intentional => "Design Purpose",
+        }
+    }
+
+    /// User-side element of this layer (Figure 1, right column).
+    pub fn user_element(self) -> &'static str {
+        match self {
+            Layer::Environment => "Environment",
+            Layer::Physical => "Physical User",
+            Layer::Resource => "User Faculties",
+            Layer::Abstract => "Mental Models",
+            Layer::Intentional => "User Goals",
+        }
+    }
+
+    /// Typical timescale on which the user-side element of this layer
+    /// changes, in seconds — the paper's *temporal specificity*: goals
+    /// change by the minute, physiology over years.
+    pub fn user_change_timescale_s(self) -> f64 {
+        match self {
+            Layer::Environment => 3600.0 * 24.0,      // you move buildings daily
+            Layer::Physical => 3600.0 * 24.0 * 3650.0, // a decade
+            Layer::Resource => 3600.0 * 24.0 * 90.0,  // a skill: months of practice
+            Layer::Abstract => 3600.0 * 24.0,         // mental models: days/uses
+            Layer::Intentional => 60.0,               // goals: minutes
+        }
+    }
+
+    /// The layer above, if any (device-side abstraction ordering).
+    pub fn above(self) -> Option<Layer> {
+        match self {
+            Layer::Environment => Some(Layer::Physical),
+            Layer::Physical => Some(Layer::Resource),
+            Layer::Resource => Some(Layer::Abstract),
+            Layer::Abstract => Some(Layer::Intentional),
+            Layer::Intentional => None,
+        }
+    }
+
+    /// The layer below, if any.
+    pub fn below(self) -> Option<Layer> {
+        match self {
+            Layer::Environment => None,
+            Layer::Physical => Some(Layer::Environment),
+            Layer::Resource => Some(Layer::Physical),
+            Layer::Abstract => Some(Layer::Resource),
+            Layer::Intentional => Some(Layer::Abstract),
+        }
+    }
+}
+
+impl std::fmt::Display for Layer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_layers_bottom_up() {
+        assert_eq!(Layer::ALL.len(), 5);
+        assert_eq!(Layer::ALL[0], Layer::Environment);
+        assert_eq!(Layer::ALL[4], Layer::Intentional);
+        // Ord matches stack position.
+        for w in Layer::ALL.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn above_below_are_inverse() {
+        for layer in Layer::ALL {
+            if let Some(up) = layer.above() {
+                assert_eq!(up.below(), Some(layer));
+            }
+            if let Some(down) = layer.below() {
+                assert_eq!(down.above(), Some(layer));
+            }
+        }
+        assert_eq!(Layer::Environment.below(), None);
+        assert_eq!(Layer::Intentional.above(), None);
+    }
+
+    #[test]
+    fn relations_match_the_figures() {
+        assert!(Layer::Physical.relation().contains("compatible"));
+        assert!(Layer::Resource.relation().contains("frustrated"));
+        assert!(Layer::Abstract.relation().contains("consistent"));
+        assert!(Layer::Intentional.relation().contains("harmony"));
+    }
+
+    #[test]
+    fn figure1_column_elements() {
+        assert_eq!(Layer::Resource.device_element(), "Mem | Sto | Exe | UI | Net");
+        assert_eq!(Layer::Abstract.user_element(), "Mental Models");
+        assert_eq!(Layer::Intentional.device_element(), "Design Purpose");
+        assert_eq!(Layer::Physical.user_element(), "Physical User");
+    }
+
+    #[test]
+    fn temporal_specificity_increases_up_the_user_stack() {
+        // "change occurs more slowly at the lower levels" — from Physical
+        // upward, timescales must shrink monotonically.
+        let physical = Layer::Physical.user_change_timescale_s();
+        let resource = Layer::Resource.user_change_timescale_s();
+        let abstract_ = Layer::Abstract.user_change_timescale_s();
+        let intentional = Layer::Intentional.user_change_timescale_s();
+        assert!(physical > resource);
+        assert!(resource > abstract_);
+        assert!(abstract_ > intentional);
+    }
+
+    #[test]
+    fn names_render() {
+        assert_eq!(Layer::Abstract.to_string(), "Abstract");
+    }
+}

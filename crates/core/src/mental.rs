@@ -1,0 +1,270 @@
+//! State machines for application logic and user mental models.
+//!
+//! Figure 4's two columns — *Software Logic / Software State* on the device
+//! side, *User Reasoning / User Expectations* on the user side — are both
+//! finite state machines here. The application's machine is ground truth;
+//! the user's machine is a belief that may be wrong in both directions
+//! (missing transitions the app has, believing transitions the app lacks).
+//! [`divergence`] measures the static gap; [`crate::user_sim`] measures its
+//! dynamic cost.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A deterministic finite state machine over string states and actions.
+///
+/// `BTreeMap` keeps iteration deterministic, which keeps the planner and
+/// the experiments reproducible.
+#[derive(Clone, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StateMachine {
+    transitions: BTreeMap<(String, String), String>,
+    states: BTreeSet<String>,
+}
+
+impl StateMachine {
+    /// Empty machine.
+    pub fn new() -> Self {
+        StateMachine::default()
+    }
+
+    /// Add a transition `from --action--> to` (builder style).
+    pub fn with(mut self, from: &str, action: &str, to: &str) -> Self {
+        self.add(from, action, to);
+        self
+    }
+
+    /// Add a transition, creating states as needed. Re-adding an
+    /// `(from, action)` pair overwrites (belief repair uses this).
+    pub fn add(&mut self, from: &str, action: &str, to: &str) {
+        self.states.insert(from.to_string());
+        self.states.insert(to.to_string());
+        self.transitions
+            .insert((from.to_string(), action.to_string()), to.to_string());
+    }
+
+    /// Remove a transition (used to build impoverished mental models).
+    pub fn remove(&mut self, from: &str, action: &str) -> bool {
+        self.transitions
+            .remove(&(from.to_string(), action.to_string()))
+            .is_some()
+    }
+
+    /// Where does `action` lead from `from`? `None` = the machine ignores
+    /// it (the state is unchanged in the application; in a belief it means
+    /// "the user doesn't think that does anything").
+    pub fn step(&self, from: &str, action: &str) -> Option<&str> {
+        self.transitions
+            .get(&(from.to_string(), action.to_string()))
+            .map(|s| s.as_str())
+    }
+
+    /// All states mentioned by any transition.
+    pub fn states(&self) -> impl Iterator<Item = &str> {
+        self.states.iter().map(|s| s.as_str())
+    }
+
+    /// Number of transitions.
+    pub fn len(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// True when the machine has no transitions.
+    pub fn is_empty(&self) -> bool {
+        self.transitions.is_empty()
+    }
+
+    /// Actions available from `from`, in deterministic order.
+    pub fn actions_from<'a>(&'a self, from: &'a str) -> impl Iterator<Item = &'a str> {
+        self.transitions
+            .range((from.to_string(), String::new())..)
+            .take_while(move |((f, _), _)| f == from)
+            .map(|((_, a), _)| a.as_str())
+    }
+
+    /// All transitions `(from, action, to)`, deterministic order.
+    pub fn transitions(&self) -> impl Iterator<Item = (&str, &str, &str)> {
+        self.transitions
+            .iter()
+            .map(|((f, a), t)| (f.as_str(), a.as_str(), t.as_str()))
+    }
+
+    /// Shortest action sequence from `from` to `goal` (BFS), or `None`.
+    pub fn plan(&self, from: &str, goal: &str) -> Option<Vec<String>> {
+        if from == goal {
+            return Some(Vec::new());
+        }
+        let mut seen = BTreeSet::new();
+        seen.insert(from.to_string());
+        let mut queue: VecDeque<(String, Vec<String>)> = VecDeque::new();
+        queue.push_back((from.to_string(), Vec::new()));
+        while let Some((state, path)) = queue.pop_front() {
+            for action in self.actions_from(&state).map(str::to_string).collect::<Vec<_>>() {
+                let next = self.step(&state, &action).unwrap().to_string();
+                if next == goal {
+                    let mut p = path.clone();
+                    p.push(action);
+                    return Some(p);
+                }
+                if seen.insert(next.clone()) {
+                    let mut p = path.clone();
+                    p.push(action);
+                    queue.push_back((next, p));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Static divergence between a belief and the actual machine.
+#[derive(Clone, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Divergence {
+    /// Transitions the application has that the belief lacks or mispredicts.
+    pub missing_or_wrong: usize,
+    /// Transitions the belief has that the application lacks or that lead
+    /// elsewhere (the dangerous kind: the user *expects* something false).
+    pub false_beliefs: usize,
+    /// Transitions agreed on by both.
+    pub agreed: usize,
+}
+
+impl Divergence {
+    /// A scalar "conceptual gap" in `[0, 1]`: 0 = perfectly aligned belief.
+    pub fn gap(&self) -> f64 {
+        let total = self.missing_or_wrong + self.false_beliefs + self.agreed;
+        if total == 0 {
+            0.0
+        } else {
+            (self.missing_or_wrong + self.false_beliefs) as f64 / total as f64
+        }
+    }
+}
+
+/// Compare a believed machine against the actual one (Figure 4's
+/// *must be consistent with* relation, statically).
+pub fn divergence(belief: &StateMachine, actual: &StateMachine) -> Divergence {
+    let mut d = Divergence::default();
+    for (f, a, t) in actual.transitions() {
+        match belief.step(f, a) {
+            Some(bt) if bt == t => d.agreed += 1,
+            _ => d.missing_or_wrong += 1,
+        }
+    }
+    for (f, a, t) in belief.transitions() {
+        match actual.step(f, a) {
+            Some(at) if at == t => {} // counted as agreed above
+            _ => d.false_beliefs += 1,
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn door() -> StateMachine {
+        StateMachine::new()
+            .with("closed", "open", "open")
+            .with("open", "close", "closed")
+            .with("open", "lock", "open") // locking an open door does nothing visible
+    }
+
+    #[test]
+    fn step_and_states() {
+        let m = door();
+        assert_eq!(m.step("closed", "open"), Some("open"));
+        assert_eq!(m.step("closed", "close"), None);
+        assert_eq!(m.states().count(), 2);
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn actions_from_is_scoped_and_ordered() {
+        let m = door();
+        let actions: Vec<&str> = m.actions_from("open").collect();
+        assert_eq!(actions, vec!["close", "lock"]);
+        assert_eq!(m.actions_from("closed").count(), 1);
+        assert_eq!(m.actions_from("nonexistent").count(), 0);
+    }
+
+    #[test]
+    fn plan_finds_shortest_path() {
+        let m = StateMachine::new()
+            .with("a", "x", "b")
+            .with("b", "x", "c")
+            .with("a", "shortcut", "c")
+            .with("c", "x", "d");
+        assert_eq!(m.plan("a", "c"), Some(vec!["shortcut".to_string()]));
+        assert_eq!(
+            m.plan("a", "d"),
+            Some(vec!["shortcut".to_string(), "x".to_string()])
+        );
+        assert_eq!(m.plan("a", "a"), Some(vec![]));
+        assert_eq!(m.plan("d", "a"), None);
+    }
+
+    #[test]
+    fn plan_handles_cycles() {
+        let m = StateMachine::new()
+            .with("a", "loop", "a")
+            .with("a", "go", "b");
+        assert_eq!(m.plan("a", "b"), Some(vec!["go".to_string()]));
+        assert_eq!(m.plan("a", "z"), None);
+    }
+
+    #[test]
+    fn overwrite_repairs_belief() {
+        let mut belief = StateMachine::new().with("s", "tap", "wrong");
+        belief.add("s", "tap", "right");
+        assert_eq!(belief.step("s", "tap"), Some("right"));
+        assert_eq!(belief.len(), 1);
+    }
+
+    #[test]
+    fn remove_transition() {
+        let mut m = door();
+        assert!(m.remove("open", "lock"));
+        assert!(!m.remove("open", "lock"));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn divergence_of_identical_machines_is_zero() {
+        let d = divergence(&door(), &door());
+        assert_eq!(d.missing_or_wrong, 0);
+        assert_eq!(d.false_beliefs, 0);
+        assert_eq!(d.agreed, 3);
+        assert_eq!(d.gap(), 0.0);
+    }
+
+    #[test]
+    fn divergence_counts_both_directions() {
+        let actual = door();
+        let mut belief = door();
+        belief.remove("open", "lock"); // missing
+        belief.add("closed", "knock", "open"); // false belief
+        let d = divergence(&belief, &actual);
+        assert_eq!(d.missing_or_wrong, 1);
+        assert_eq!(d.false_beliefs, 1);
+        assert_eq!(d.agreed, 2);
+        assert!(d.gap() > 0.4 && d.gap() < 0.6);
+    }
+
+    #[test]
+    fn divergence_counts_mispredicted_targets() {
+        let actual = StateMachine::new().with("a", "x", "b");
+        let belief = StateMachine::new().with("a", "x", "c");
+        let d = divergence(&belief, &actual);
+        assert_eq!(d.missing_or_wrong, 1, "actual transition mispredicted");
+        assert_eq!(d.false_beliefs, 1, "belief points somewhere false");
+        assert_eq!(d.agreed, 0);
+        assert_eq!(d.gap(), 1.0);
+    }
+
+    #[test]
+    fn empty_machines_have_zero_gap() {
+        let d = divergence(&StateMachine::new(), &StateMachine::new());
+        assert_eq!(d.gap(), 0.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Figure 1 as data: the full LPC stack with both columns and relations.
+//!
+//! Experiment F1 regenerates the paper's model figure from this module; the
+//! tests pin the structure so it cannot silently drift from the paper.
+
+use crate::layer::Layer;
+use aroma_sim::report::{Json, Table};
+
+/// One row of the model figure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LayerSpec {
+    /// Which layer.
+    pub layer: Layer,
+    /// Left column (user side in Figure 1).
+    pub user_side: &'static str,
+    /// Right column (device side).
+    pub device_side: &'static str,
+    /// The relation between the sides.
+    pub relation: &'static str,
+}
+
+/// The LPC stack, bottom-up — the content of Figure 1.
+pub fn lpc_stack() -> Vec<LayerSpec> {
+    Layer::ALL
+        .iter()
+        .map(|&layer| LayerSpec {
+            layer,
+            user_side: layer.user_element(),
+            device_side: layer.device_element(),
+            relation: layer.relation(),
+        })
+        .collect()
+}
+
+/// Render the stack as an aligned table (top layer first, as drawn in the
+/// paper).
+pub fn render_stack() -> String {
+    let mut t = Table::new(&["layer", "user side", "relation", "device side"]);
+    for spec in lpc_stack().iter().rev() {
+        t.row(&[
+            spec.layer.name().to_string(),
+            spec.user_side.to_string(),
+            spec.relation.to_string(),
+            spec.device_side.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+/// The stack as JSON for archival.
+pub fn stack_json() -> Json {
+    Json::Arr(
+        lpc_stack()
+            .into_iter()
+            .map(|s| {
+                Json::obj(vec![
+                    ("layer", s.layer.name().into()),
+                    ("user_side", s.user_side.into()),
+                    ("device_side", s.device_side.into()),
+                    ("relation", s.relation.into()),
+                    (
+                        "user_change_timescale_s",
+                        s.layer.user_change_timescale_s().into(),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_has_five_rows_bottom_up() {
+        let stack = lpc_stack();
+        assert_eq!(stack.len(), 5);
+        assert_eq!(stack[0].layer, Layer::Environment);
+        assert_eq!(stack[4].layer, Layer::Intentional);
+    }
+
+    #[test]
+    fn stack_pins_figure1_content() {
+        let stack = lpc_stack();
+        let intentional = &stack[4];
+        assert_eq!(intentional.user_side, "User Goals");
+        assert_eq!(intentional.device_side, "Design Purpose");
+        assert!(intentional.relation.contains("harmony"));
+        let resource = &stack[2];
+        assert!(resource.device_side.contains("Mem"));
+        assert!(resource.device_side.contains("Net"));
+    }
+
+    #[test]
+    fn rendered_stack_reads_top_down() {
+        let s = render_stack();
+        let intent_pos = s.find("Intentional").unwrap();
+        let env_pos = s.find("Environment").unwrap();
+        assert!(
+            intent_pos < env_pos,
+            "figure draws the intentional layer on top"
+        );
+        assert!(s.contains("Mental Models"));
+        assert!(s.contains("must not be frustrated by"));
+    }
+
+    #[test]
+    fn json_contains_all_layers() {
+        let j = stack_json().render();
+        for l in Layer::ALL {
+            assert!(j.contains(l.name()), "{l} missing from {j}");
+        }
+    }
+}

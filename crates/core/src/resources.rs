@@ -1,0 +1,219 @@
+//! The device-side resource layer: the Mem/Sto/Exe/UI/Net quintet of
+//! Figure 3, plus the demands an application places on it and on the user.
+//!
+//! The paper's resource-layer question is *"what can we count on being
+//! available?"* — answered twice: by the device (logical resources) and by
+//! the user (faculties, see [`crate::faculty`]). The analysis engine checks
+//! the figure's relation — user faculties *"must not be frustrated by"*
+//! these resources — via [`frustration_check`].
+
+use crate::faculty::{Faculties, Language};
+use aroma_appliance::executor::Policy;
+use aroma_appliance::UiClass;
+use aroma_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// How the device's networking is configured.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NetConfig {
+    /// "Networking features should be automatically available,
+    /// self-configuring" — the paper's requirement.
+    SelfConfiguring,
+    /// Requires manual setup (SSIDs, addresses, lookup-service hosts).
+    ManualSetup,
+    /// No networking.
+    None,
+}
+
+/// How storage presents information to the user.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StorageModel {
+    /// User-organisable (folders, tags): "allowing users to flexibly
+    /// organize information in a manner that suits their purposes".
+    FlexibleOrganisation,
+    /// Fixed schema only.
+    RigidSchema,
+    /// No user-visible storage.
+    None,
+}
+
+/// The logical resources a device presents (Figure 3's device column).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DeviceResources {
+    /// Volatile memory available to applications, KiB (Mem).
+    pub mem_kib: u32,
+    /// Storage model (Sto).
+    pub storage: StorageModel,
+    /// Execution policy (Exe): responsiveness and abortability.
+    pub exe_policy: Policy,
+    /// UI hardware class the window system runs on (UI).
+    pub ui_class: UiClass,
+    /// Languages the UI can present (UI).
+    pub ui_languages: Vec<Language>,
+    /// GUI fluency the UI effectively assumes of its user, `[0,1]` (UI).
+    pub assumed_gui_experience: f64,
+    /// Network configuration story (Net).
+    pub net: NetConfig,
+    /// Typical response time to an interactive action under light load.
+    pub nominal_response: SimDuration,
+}
+
+impl DeviceResources {
+    /// The Smart Projector research prototype's resources as the paper
+    /// describes them: Java/Jini on the adapter, English-only interfaces,
+    /// manual recovery when "the wireless network, the Linux-based adapter,
+    /// \[or\] the lookup service" misbehave.
+    pub fn research_prototype() -> Self {
+        DeviceResources {
+            mem_kib: 32 * 1024,
+            storage: StorageModel::RigidSchema,
+            exe_policy: Policy::SingleThreaded,
+            ui_class: UiClass::FullDesktop,
+            ui_languages: vec![Language::English],
+            assumed_gui_experience: 0.9,
+            net: NetConfig::ManualSetup,
+            nominal_response: SimDuration::from_millis(1500),
+        }
+    }
+
+    /// A commercial-grade variant: self-configuring, multilingual,
+    /// abortable, snappy.
+    pub fn commercial_grade() -> Self {
+        DeviceResources {
+            mem_kib: 32 * 1024,
+            storage: StorageModel::FlexibleOrganisation,
+            exe_policy: Policy::Cooperative {
+                quantum: SimDuration::from_millis(50),
+            },
+            ui_class: UiClass::FullDesktop,
+            ui_languages: vec![
+                Language::English,
+                Language::French,
+                Language::Spanish,
+                Language::German,
+                Language::Japanese,
+            ],
+            assumed_gui_experience: 0.3,
+            net: NetConfig::SelfConfiguring,
+            nominal_response: SimDuration::from_millis(200),
+        }
+    }
+}
+
+/// One way a device's resources frustrate a user's faculties.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Frustration {
+    /// The UI speaks no language the user does.
+    NoSharedLanguage,
+    /// The UI assumes more GUI fluency than the user has.
+    AssumesExpertise,
+    /// Networking needs administration the user cannot perform.
+    AdminBurden,
+    /// Responses outlast the user's patience.
+    Unresponsive,
+    /// Long tasks cannot be aborted.
+    NoAbort,
+    /// Storage cannot be organised to suit the user's purposes.
+    RigidStorage,
+}
+
+impl std::fmt::Display for Frustration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Frustration::NoSharedLanguage => "UI speaks no language the user understands",
+            Frustration::AssumesExpertise => "UI assumes more GUI fluency than the user has",
+            Frustration::AdminBurden => {
+                "networking requires administration the user cannot perform"
+            }
+            Frustration::Unresponsive => "responses outlast the user's patience",
+            Frustration::NoAbort => "long-running tasks cannot be aborted",
+            Frustration::RigidStorage => "storage cannot be organised to suit the user",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Check the Figure 3 relation: which of the device's resources would
+/// frustrate this user's faculties? Empty = the relation holds.
+pub fn frustration_check(faculties: &Faculties, res: &DeviceResources) -> Vec<Frustration> {
+    let mut out = Vec::new();
+    if !res
+        .ui_languages
+        .iter()
+        .any(|l| faculties.languages.contains(l))
+    {
+        out.push(Frustration::NoSharedLanguage);
+    }
+    if res.assumed_gui_experience > faculties.gui_experience + 0.05 {
+        out.push(Frustration::AssumesExpertise);
+    }
+    if res.net == NetConfig::ManualSetup && faculties.admin_skill < 0.5 {
+        out.push(Frustration::AdminBurden);
+    }
+    if res.nominal_response > faculties.patience {
+        out.push(Frustration::Unresponsive);
+    }
+    if res.exe_policy == Policy::SingleThreaded && faculties.frustration_tolerance < 0.7 {
+        out.push(Frustration::NoAbort);
+    }
+    if res.storage == StorageModel::RigidSchema && faculties.domain_knowledge < 0.5 {
+        out.push(Frustration::RigidStorage);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faculty::UserProfile;
+
+    #[test]
+    fn researchers_are_not_frustrated_by_the_prototype() {
+        let f = UserProfile::researcher().faculties;
+        let v = frustration_check(&f, &DeviceResources::research_prototype());
+        assert!(
+            v.is_empty(),
+            "the prototype serves its intended users, paper §Intentional: {v:?}"
+        );
+    }
+
+    #[test]
+    fn casual_users_are_frustrated_by_the_prototype() {
+        let f = UserProfile::casual().faculties;
+        let v = frustration_check(&f, &DeviceResources::research_prototype());
+        assert!(v.contains(&Frustration::AdminBurden));
+        assert!(v.contains(&Frustration::AssumesExpertise));
+        assert!(v.contains(&Frustration::NoAbort));
+        assert!(v.len() >= 3);
+    }
+
+    #[test]
+    fn commercial_variant_clears_casual_users() {
+        let f = UserProfile::casual().faculties;
+        let v = frustration_check(&f, &DeviceResources::commercial_grade());
+        assert!(v.is_empty(), "commercial grade should not frustrate: {v:?}");
+    }
+
+    #[test]
+    fn language_mismatch_detected() {
+        let f = UserProfile::casual_non_english().faculties;
+        let v = frustration_check(&f, &DeviceResources::research_prototype());
+        assert!(v.contains(&Frustration::NoSharedLanguage));
+        let v2 = frustration_check(&f, &DeviceResources::commercial_grade());
+        assert!(!v2.contains(&Frustration::NoSharedLanguage));
+    }
+
+    #[test]
+    fn impatience_vs_slow_device() {
+        let mut f = UserProfile::presenter().faculties;
+        f.patience = SimDuration::from_millis(500);
+        let v = frustration_check(&f, &DeviceResources::research_prototype());
+        assert!(v.contains(&Frustration::Unresponsive));
+    }
+
+    #[test]
+    fn frustrations_render_descriptively() {
+        assert!(Frustration::AdminBurden.to_string().contains("administration"));
+        assert!(Frustration::NoAbort.to_string().contains("aborted"));
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests for the LPC model core.
+
+use aroma_sim::SimRng;
+use lpc_core::intent::{DesignPurpose, Need, UserGoals};
+use lpc_core::mental::{divergence, StateMachine};
+use lpc_core::user_sim::{simulate_session, PlannerKind, SessionParams};
+use lpc_core::{harmony, UserProfile};
+use proptest::prelude::*;
+
+/// Random small state machine over a closed state set, so goals are
+/// sometimes reachable and sometimes not.
+fn arb_machine(states: usize, transitions: usize) -> impl Strategy<Value = StateMachine> {
+    prop::collection::vec(
+        (0..states, 0..6usize, 0..states),
+        1..=transitions,
+    )
+    .prop_map(|edges| {
+        let mut m = StateMachine::new();
+        for (from, action, to) in edges {
+            m.add(&format!("s{from}"), &format!("a{action}"), &format!("s{to}"));
+        }
+        m
+    })
+}
+
+proptest! {
+    /// Planner soundness: any plan the machine produces actually drives the
+    /// machine from start to goal.
+    #[test]
+    fn plan_is_executable(m in arb_machine(8, 24), start in 0usize..8, goal in 0usize..8) {
+        let start = format!("s{start}");
+        let goal = format!("s{goal}");
+        if let Some(plan) = m.plan(&start, &goal) {
+            let mut state = start.clone();
+            for action in &plan {
+                state = m
+                    .step(&state, action)
+                    .unwrap_or_else(|| panic!("plan used unknown transition {state}/{action}"))
+                    .to_string();
+            }
+            prop_assert_eq!(state, goal);
+        }
+    }
+
+    /// BFS plans are shortest: no strictly shorter action sequence reaches
+    /// the goal (checked by exhaustive BFS over the same machine).
+    #[test]
+    fn plan_is_minimal(m in arb_machine(6, 15), start in 0usize..6, goal in 0usize..6) {
+        let start = format!("s{start}");
+        let goal = format!("s{goal}");
+        if let Some(plan) = m.plan(&start, &goal) {
+            // Breadth-first reachability by depth.
+            let mut frontier = vec![start.clone()];
+            let mut depth = 0usize;
+            let mut seen = std::collections::BTreeSet::new();
+            seen.insert(start.clone());
+            'outer: while depth < plan.len() {
+                let mut next = Vec::new();
+                for s in &frontier {
+                    prop_assert_ne!(s, &goal, "shorter path exists at depth {}", depth);
+                    for a in m.actions_from(s).map(str::to_string).collect::<Vec<_>>() {
+                        let t = m.step(s, &a).unwrap().to_string();
+                        if seen.insert(t.clone()) {
+                            next.push(t);
+                        }
+                    }
+                }
+                frontier = next;
+                depth += 1;
+                if frontier.is_empty() { break 'outer; }
+            }
+        }
+    }
+
+    /// Divergence of a machine with itself is zero; gap is in [0,1]; adding
+    /// a false belief never decreases the gap.
+    #[test]
+    fn divergence_properties(m in arb_machine(6, 15)) {
+        let self_d = divergence(&m, &m);
+        prop_assert_eq!(self_d.gap(), 0.0);
+        prop_assert_eq!(self_d.missing_or_wrong, 0);
+        prop_assert_eq!(self_d.false_beliefs, 0);
+
+        let mut belief = m.clone();
+        belief.add("sX", "novel-action", "sY"); // definitely not in m
+        let d2 = divergence(&belief, &m);
+        prop_assert!(d2.gap() >= 0.0 && d2.gap() <= 1.0);
+        prop_assert_eq!(d2.false_beliefs, 1);
+    }
+
+    /// Harmony is bounded, and raising any service level never lowers it.
+    #[test]
+    fn harmony_monotone(levels in prop::collection::vec(0.0f64..=1.0, 8), bump in 0usize..8, delta in 0.0f64..0.5) {
+        let goals = UserGoals::casual();
+        let purpose = DesignPurpose {
+            name: "p".into(),
+            serves: Need::ALL.iter().copied().zip(levels.iter().copied()).collect(),
+        };
+        let h1 = harmony(&goals, &purpose);
+        prop_assert!((0.0..=1.0).contains(&h1));
+        let mut better_levels = levels.clone();
+        better_levels[bump] = (better_levels[bump] + delta).min(1.0);
+        let better = DesignPurpose {
+            name: "p+".into(),
+            serves: Need::ALL.iter().copied().zip(better_levels).collect(),
+        };
+        let h2 = harmony(&goals, &better);
+        prop_assert!(h2 >= h1 - 1e-12, "harmony dropped {h1} -> {h2}");
+    }
+
+    /// User-simulator invariants: step budget honoured; outcomes exclusive;
+    /// perfect belief ⇒ zero surprises.
+    #[test]
+    fn session_invariants(m in arb_machine(6, 15), start in 0usize..6, goal in 0usize..6, seed in any::<u64>()) {
+        let start = format!("s{start}");
+        let goal = format!("s{goal}");
+        let user = UserProfile::researcher().faculties;
+        let params = SessionParams { max_steps: 30, ..Default::default() };
+        let mut rng = SimRng::new(seed);
+        let r = simulate_session(&user, &m, &m, &start, &goal, PlannerKind::Bfs, &params, &mut rng);
+        prop_assert!(r.steps <= 30);
+        prop_assert!(!(r.reached_goal && r.gave_up), "{r:?}");
+        prop_assert!(r.frustration >= 0.0);
+        // Perfect belief: surprises can only come from exploration when no
+        // plan exists; if a plan existed from the start, zero surprises.
+        if m.plan(&start, &goal).is_some() {
+            prop_assert_eq!(r.surprises, 0, "perfect model surprised: {:?}", r);
+            prop_assert!(r.reached_goal);
+        }
+    }
+
+    /// Learning: running a second session with the belief repaired by the
+    /// first cannot be worse at reaching the goal. (We approximate by
+    /// asserting a full-knowledge second run always matches or beats an
+    /// empty-belief first run in surprises.)
+    #[test]
+    fn learning_monotone(m in arb_machine(5, 12), start in 0usize..5, goal in 0usize..5, seed in any::<u64>()) {
+        let start = format!("s{start}");
+        let goal = format!("s{goal}");
+        let user = UserProfile::researcher().faculties;
+        let params = SessionParams { max_steps: 40, ..Default::default() };
+        let empty = simulate_session(
+            &user, &StateMachine::new(), &m, &start, &goal,
+            PlannerKind::Bfs, &params, &mut SimRng::new(seed),
+        );
+        let informed = simulate_session(
+            &user, &m, &m, &start, &goal,
+            PlannerKind::Bfs, &params, &mut SimRng::new(seed),
+        );
+        prop_assert!(informed.surprises <= empty.surprises);
+        if empty.reached_goal {
+            prop_assert!(informed.reached_goal, "knowledge lost a reachable goal");
+        }
+    }
+}

@@ -1,0 +1,500 @@
+//! The discovery protocol's network roles.
+//!
+//! Three [`NetApp`]s implement the Jini roles over the simulated WLAN:
+//!
+//! * [`RegistrarApp`] — the lookup service. Soft state only: a crash
+//!   (injectable, for the E3 fault experiment) loses every registration,
+//!   exactly as a restarted Jini registrar would before leases are renewed.
+//! * [`ProviderApp`] — registers one service and keeps its lease alive,
+//!   re-discovering and re-registering after registrar failures.
+//! * [`ClientApp`] — discovers the registrar, polls lookups until a match
+//!   appears, and records *time-to-service*, the paper's implicit metric for
+//!   "automatically discover and use remote services".
+
+use crate::codec::{EventKind, Msg, ServiceId, ServiceItem, Template};
+use crate::registry::ServiceRegistry;
+use aroma_net::{Address, NetApp, NetCtx, NodeId, MTU_BYTES};
+use aroma_sim::{SimDuration, SimTime};
+use bytes::Bytes;
+
+// Timer tokens (per-app namespaces; apps never share a node).
+const T_EXPIRE: u64 = 1;
+const T_DISCOVER: u64 = 2;
+const T_REG_TIMEOUT: u64 = 3;
+const T_RENEW: u64 = 4;
+const T_RENEW_TIMEOUT: u64 = 5;
+const T_LOOKUP: u64 = 6;
+
+/// How often providers/clients repeat multicast discovery while unanswered.
+pub const DISCOVER_PERIOD: SimDuration = SimDuration::from_millis(500);
+/// How long a provider waits for a RegisterAck/RenewAck before recovering.
+pub const RPC_TIMEOUT: SimDuration = SimDuration::from_millis(300);
+/// How often a client repeats an unanswered or empty lookup.
+pub const LOOKUP_PERIOD: SimDuration = SimDuration::from_millis(300);
+
+/// The lookup service.
+pub struct RegistrarApp {
+    /// Registration table (public for post-run inspection).
+    pub registry: ServiceRegistry,
+    /// False = crashed: ignores all traffic (fault injection).
+    pub alive: bool,
+    /// Lookups answered.
+    pub lookups_served: u64,
+    /// Registrations accepted.
+    pub registrations: u64,
+    /// Renewals granted.
+    pub renewals: u64,
+    /// Discovery requests answered.
+    pub discoveries_answered: u64,
+    /// Peer lookup service reachable over a wired link ("connecting
+    /// portable wireless devices to traditional networks"): registrations,
+    /// renewals and withdrawals from this registrar's radio domain are
+    /// mirrored to the peer, so clients in the other room can *find*
+    /// services beyond their radio horizon.
+    pub federation_peer: Option<NodeId>,
+    /// Registrations mirrored to the peer.
+    pub federated_out: u64,
+}
+
+impl RegistrarApp {
+    /// A registrar granting leases of at most `max_lease`.
+    pub fn new(max_lease: SimDuration) -> Self {
+        RegistrarApp {
+            registry: ServiceRegistry::new(max_lease),
+            alive: true,
+            lookups_served: 0,
+            registrations: 0,
+            renewals: 0,
+            discoveries_answered: 0,
+            federation_peer: None,
+            federated_out: 0,
+        }
+    }
+
+    /// Federate with a peer registrar over a wired link.
+    pub fn federated_with(mut self, peer: NodeId) -> Self {
+        self.federation_peer = Some(peer);
+        self
+    }
+
+    /// Mirror a message to the federation peer over the wire — but never
+    /// one that itself arrived from the peer (pairwise federation, no
+    /// loops).
+    fn mirror(&mut self, ctx: &mut NetCtx<'_>, from: NodeId, msg: &Msg) {
+        let Some(peer) = self.federation_peer else {
+            return;
+        };
+        if from == peer {
+            return;
+        }
+        if ctx.send_wired(peer, msg.encode()) {
+            self.federated_out += 1;
+        }
+    }
+
+    /// Simulate a crash: all soft state is lost and traffic is ignored
+    /// until [`RegistrarApp::restart`].
+    pub fn crash(&mut self) {
+        self.alive = false;
+        let max = self.registry.max_lease;
+        self.registry = ServiceRegistry::new(max);
+    }
+
+    /// Bring a crashed registrar back (empty, as after a reboot).
+    pub fn restart(&mut self) {
+        self.alive = true;
+    }
+
+    fn schedule_expiry(&self, ctx: &mut NetCtx<'_>) {
+        if let Some(at) = self.registry.next_expiry() {
+            let delay = at.saturating_since(ctx.now());
+            ctx.set_timer(delay, T_EXPIRE);
+        }
+    }
+
+    fn flush_events(&mut self, ctx: &mut NetCtx<'_>, events: Vec<crate::registry::RegistryEvent>) {
+        for ev in events {
+            let msg = Msg::Event {
+                kind: ev.kind,
+                item: ev.item,
+            };
+            ctx.send(Address::Node(NodeId(ev.subscriber)), msg.encode());
+        }
+    }
+
+    /// Pack as many matching items as fit in one MTU-sized reply.
+    fn build_reply(&self, req: u64, template: &Template) -> Msg {
+        let matches = self.registry.lookup(template);
+        let total = matches.len();
+        let mut items: Vec<ServiceItem> = Vec::new();
+        for item in matches {
+            items.push(item.clone());
+            let candidate = Msg::LookupReply {
+                req,
+                items: items.clone(),
+                truncated: false,
+            };
+            if candidate.encoded_len() > MTU_BYTES {
+                items.pop();
+                break;
+            }
+        }
+        let truncated = items.len() < total;
+        Msg::LookupReply {
+            req,
+            items,
+            truncated,
+        }
+    }
+}
+
+impl NetApp for RegistrarApp {
+    fn on_packet(&mut self, ctx: &mut NetCtx<'_>, from: NodeId, payload: &Bytes) {
+        if !self.alive {
+            return;
+        }
+        let Ok(msg) = Msg::decode(payload.clone()) else {
+            return; // not ours / corrupt
+        };
+        match msg {
+            Msg::DiscoverReq { nonce } => {
+                self.discoveries_answered += 1;
+                ctx.send(Address::Node(from), Msg::DiscoverResp { nonce }.encode());
+            }
+            Msg::Register { item, lease_ms } => {
+                self.registrations += 1;
+                let id = item.id;
+                let msg = Msg::Register {
+                    item: item.clone(),
+                    lease_ms,
+                };
+                self.mirror(ctx, from, &msg);
+                let (granted, events) =
+                    self.registry
+                        .register(ctx.now(), item, SimDuration::from_millis(lease_ms));
+                // A mirrored registration from the peer needs no ack (and
+                // the peer may be beyond radio range anyway).
+                if Some(from) != self.federation_peer {
+                    ctx.send(
+                        Address::Node(from),
+                        Msg::RegisterAck {
+                            id,
+                            granted_ms: granted.as_millis(),
+                        }
+                        .encode(),
+                    );
+                }
+                self.flush_events(ctx, events);
+                self.schedule_expiry(ctx);
+            }
+            Msg::Renew { id } => {
+                self.mirror(ctx, from, &Msg::Renew { id });
+                let granted = self.registry.renew(ctx.now(), id);
+                if granted.is_some() {
+                    self.renewals += 1;
+                }
+                if Some(from) != self.federation_peer {
+                    ctx.send(
+                        Address::Node(from),
+                        Msg::RenewAck {
+                            id,
+                            ok: granted.is_some(),
+                            granted_ms: granted.map(|g| g.as_millis()).unwrap_or(0),
+                        }
+                        .encode(),
+                    );
+                }
+                self.schedule_expiry(ctx);
+            }
+            Msg::Unregister { id } => {
+                self.mirror(ctx, from, &Msg::Unregister { id });
+                let events = self.registry.unregister(id);
+                self.flush_events(ctx, events);
+            }
+            Msg::Lookup { req, template } => {
+                self.lookups_served += 1;
+                let reply = self.build_reply(req, &template);
+                ctx.send(Address::Node(from), reply.encode());
+            }
+            Msg::Subscribe { template } => {
+                self.registry.subscribe(from.0, template);
+            }
+            _ => {} // replies are never addressed to a registrar
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NetCtx<'_>, token: u64) {
+        if token == T_EXPIRE && self.alive {
+            let events = self.registry.expire(ctx.now());
+            self.flush_events(ctx, events);
+            self.schedule_expiry(ctx);
+        }
+    }
+}
+
+/// Provider lifecycle state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProviderState {
+    /// Multicasting discovery requests.
+    Discovering,
+    /// Register sent, awaiting ack.
+    Registering,
+    /// Lease live; renewing on schedule.
+    Registered,
+}
+
+/// A node offering one service through the lookup service.
+pub struct ProviderApp {
+    /// The service this node exports (provider field filled at start).
+    pub item: ServiceItem,
+    /// Lease duration to request, ms.
+    pub lease_request_ms: u64,
+    /// Current state.
+    pub state: ProviderState,
+    /// The registrar, once discovered.
+    pub registrar: Option<NodeId>,
+    /// Completed registrations (re-registrations count).
+    pub registrations_completed: u64,
+    /// Successful renewals.
+    pub renewals_completed: u64,
+    /// Times the provider had to fall back to discovery.
+    pub rediscoveries: u64,
+    nonce: u64,
+    /// A Renew is in flight with no answer yet.
+    renewal_outstanding: bool,
+}
+
+impl ProviderApp {
+    /// Provider exporting `item`, requesting `lease_request_ms` leases.
+    pub fn new(item: ServiceItem, lease_request_ms: u64) -> Self {
+        ProviderApp {
+            item,
+            lease_request_ms,
+            state: ProviderState::Discovering,
+            registrar: None,
+            registrations_completed: 0,
+            renewals_completed: 0,
+            rediscoveries: 0,
+            nonce: 0,
+            renewal_outstanding: false,
+        }
+    }
+
+    fn discover(&mut self, ctx: &mut NetCtx<'_>) {
+        self.state = ProviderState::Discovering;
+        self.registrar = None;
+        self.nonce = ctx.rng().next_u64_raw();
+        ctx.send(
+            Address::Broadcast,
+            Msg::DiscoverReq { nonce: self.nonce }.encode(),
+        );
+        ctx.set_timer(DISCOVER_PERIOD, T_DISCOVER);
+    }
+
+    fn register(&mut self, ctx: &mut NetCtx<'_>) {
+        let Some(reg) = self.registrar else { return };
+        self.state = ProviderState::Registering;
+        let msg = Msg::Register {
+            item: self.item.clone(),
+            lease_ms: self.lease_request_ms,
+        };
+        ctx.send(Address::Node(reg), msg.encode());
+        ctx.set_timer(RPC_TIMEOUT, T_REG_TIMEOUT);
+    }
+}
+
+impl NetApp for ProviderApp {
+    fn on_start(&mut self, ctx: &mut NetCtx<'_>) {
+        self.item.provider = ctx.node().0;
+        self.discover(ctx);
+    }
+
+    fn on_packet(&mut self, ctx: &mut NetCtx<'_>, from: NodeId, payload: &Bytes) {
+        let Ok(msg) = Msg::decode(payload.clone()) else {
+            return;
+        };
+        match msg {
+            Msg::DiscoverResp { nonce } if nonce == self.nonce => {
+                if self.state == ProviderState::Discovering {
+                    self.registrar = Some(from);
+                    self.register(ctx);
+                }
+            }
+            Msg::RegisterAck { id, granted_ms } if id == self.item.id => {
+                if self.state == ProviderState::Registering {
+                    self.state = ProviderState::Registered;
+                    self.registrations_completed += 1;
+                    ctx.set_timer(SimDuration::from_millis(granted_ms / 2), T_RENEW);
+                }
+            }
+            Msg::RenewAck {
+                id,
+                ok,
+                granted_ms,
+            } if id == self.item.id => {
+                self.renewal_outstanding = false;
+                if ok {
+                    self.renewals_completed += 1;
+                    ctx.set_timer(SimDuration::from_millis(granted_ms / 2), T_RENEW);
+                } else {
+                    // Lease lapsed at the registrar (e.g. it restarted):
+                    // re-register immediately.
+                    self.register(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NetCtx<'_>, token: u64) {
+        match (token, self.state) {
+            (T_DISCOVER, ProviderState::Discovering) => {
+                self.rediscoveries += 1;
+                self.discover(ctx);
+            }
+            (T_REG_TIMEOUT, ProviderState::Registering) => {
+                // Ack never came: registrar gone or unreachable.
+                self.discover(ctx);
+            }
+            (T_RENEW, ProviderState::Registered) => {
+                if let Some(reg) = self.registrar {
+                    self.renewal_outstanding = true;
+                    ctx.send(Address::Node(reg), Msg::Renew { id: self.item.id }.encode());
+                    ctx.set_timer(RPC_TIMEOUT, T_RENEW_TIMEOUT);
+                }
+            }
+            (T_RENEW_TIMEOUT, ProviderState::Registered) => {
+                // No RenewAck since the Renew went out: registrar is gone or
+                // unreachable — fall back to discovery.
+                if self.renewal_outstanding {
+                    self.renewal_outstanding = false;
+                    self.discover(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A node wanting to find and use services.
+pub struct ClientApp {
+    /// What the client is looking for.
+    pub template: Template,
+    /// The registrar, once discovered.
+    pub registrar: Option<NodeId>,
+    /// Services found so far (latest lookup reply).
+    pub found: Vec<ServiceItem>,
+    /// When discovery succeeded.
+    pub discovered_at: Option<SimTime>,
+    /// When the first non-empty lookup reply arrived (time-to-service).
+    pub service_found_at: Option<SimTime>,
+    /// Lookups transmitted.
+    pub lookups_sent: u64,
+    /// Events received (if subscribed).
+    pub events: Vec<(SimTime, EventKind, ServiceId)>,
+    /// Subscribe to events after discovery?
+    pub subscribe: bool,
+    nonce: u64,
+    next_req: u64,
+}
+
+impl ClientApp {
+    /// Client searching for services matching `template`.
+    pub fn new(template: Template) -> Self {
+        ClientApp {
+            template,
+            registrar: None,
+            found: Vec::new(),
+            discovered_at: None,
+            service_found_at: None,
+            lookups_sent: 0,
+            events: Vec::new(),
+            subscribe: false,
+            nonce: 0,
+            next_req: 1,
+        }
+    }
+
+    /// Enable event subscription after discovery.
+    pub fn with_subscription(mut self) -> Self {
+        self.subscribe = true;
+        self
+    }
+
+    fn discover(&mut self, ctx: &mut NetCtx<'_>) {
+        self.nonce = ctx.rng().next_u64_raw();
+        ctx.send(
+            Address::Broadcast,
+            Msg::DiscoverReq { nonce: self.nonce }.encode(),
+        );
+        ctx.set_timer(DISCOVER_PERIOD, T_DISCOVER);
+    }
+
+    fn lookup(&mut self, ctx: &mut NetCtx<'_>) {
+        let Some(reg) = self.registrar else { return };
+        let req = self.next_req;
+        self.next_req += 1;
+        self.lookups_sent += 1;
+        ctx.send(
+            Address::Node(reg),
+            Msg::Lookup {
+                req,
+                template: self.template.clone(),
+            }
+            .encode(),
+        );
+        ctx.set_timer(LOOKUP_PERIOD, T_LOOKUP);
+    }
+}
+
+impl NetApp for ClientApp {
+    fn on_start(&mut self, ctx: &mut NetCtx<'_>) {
+        self.discover(ctx);
+    }
+
+    fn on_packet(&mut self, ctx: &mut NetCtx<'_>, from: NodeId, payload: &Bytes) {
+        let Ok(msg) = Msg::decode(payload.clone()) else {
+            return;
+        };
+        match msg {
+            Msg::DiscoverResp { nonce } if nonce == self.nonce => {
+                if self.registrar.is_none() {
+                    self.registrar = Some(from);
+                    self.discovered_at = Some(ctx.now());
+                    if self.subscribe {
+                        ctx.send(
+                            Address::Node(from),
+                            Msg::Subscribe {
+                                template: self.template.clone(),
+                            }
+                            .encode(),
+                        );
+                    }
+                    self.lookup(ctx);
+                }
+            }
+            Msg::LookupReply { items, .. } => {
+                if !items.is_empty() {
+                    if self.service_found_at.is_none() {
+                        self.service_found_at = Some(ctx.now());
+                    }
+                    self.found = items;
+                }
+            }
+            Msg::Event { kind, item } => {
+                self.events.push((ctx.now(), kind, item.id));
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NetCtx<'_>, token: u64) {
+        match token {
+            T_DISCOVER if self.registrar.is_none() => self.discover(ctx),
+            T_LOOKUP if self.service_found_at.is_none() && self.registrar.is_some() => {
+                self.lookup(ctx)
+            }
+            _ => {}
+        }
+    }
+}

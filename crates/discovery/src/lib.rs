@@ -1,0 +1,32 @@
+//! # aroma-discovery — Jini-style service discovery
+//!
+//! The Smart Projector's services are found through Jini: *"the ability to
+//! automatically discover the projector service is implemented using Jini
+//! and relies on having a Jini lookup service present"* — a resource-layer
+//! dependency the paper explicitly flags as fragile outside the laboratory.
+//! This crate is the substitute substrate: the same protocol roles
+//! (multicast discovery of a **lookup service**, attribute-matched
+//! registration with **leases**, client **lookup**, and **remote events**
+//! notifying interested parties of registrations and expirations), running
+//! over the simulated WLAN of `aroma-net`.
+//!
+//! * [`registry`] — the lookup service's pure state machine: registrations,
+//!   lease grant/renew/expiry, template matching, event subscriptions.
+//!   Separated from I/O so its invariants are directly unit- and
+//!   property-testable.
+//! * [`codec`] — the binary wire format (length-prefixed, MTU-aware).
+//! * [`apps`] — the three network roles as [`aroma_net::NetApp`]s:
+//!   [`apps::RegistrarApp`] (the lookup service), [`apps::ProviderApp`]
+//!   (registers a service and keeps its lease alive; re-discovers after a
+//!   registrar crash), [`apps::ClientApp`] (discovers, looks up, measures
+//!   time-to-service — the E3 metric).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod codec;
+pub mod registry;
+
+pub use codec::{Msg, ServiceId, ServiceItem, Template};
+pub use registry::{RegistryEvent, ServiceRegistry};

@@ -1,0 +1,291 @@
+//! The lookup service's state machine, independent of the network.
+//!
+//! Pure logic: register/renew/expire/unregister with leases, template
+//! matching, and subscription bookkeeping. The [`crate::apps::RegistrarApp`]
+//! wraps this in protocol I/O; keeping the core pure makes the lease
+//! invariants (no registration outlives its lease without renewal; events
+//! fire exactly once per transition) directly testable.
+
+use crate::codec::{EventKind, ServiceId, ServiceItem, Template};
+use aroma_sim::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// A live registration.
+#[derive(Clone, Debug)]
+pub struct Registration {
+    /// The service.
+    pub item: ServiceItem,
+    /// When the lease lapses unless renewed.
+    pub lease_expires: SimTime,
+}
+
+/// An event produced by a registry transition, addressed to a subscriber.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RegistryEvent {
+    /// Subscriber's node id (as registered via [`ServiceRegistry::subscribe`]).
+    pub subscriber: u32,
+    /// What happened.
+    pub kind: EventKind,
+    /// The service involved.
+    pub item: ServiceItem,
+}
+
+/// The lookup service's registration table.
+#[derive(Debug)]
+pub struct ServiceRegistry {
+    /// Maximum lease the registrar will grant.
+    pub max_lease: SimDuration,
+    regs: HashMap<ServiceId, Registration>,
+    subs: Vec<(u32, Template)>,
+}
+
+impl ServiceRegistry {
+    /// Registry granting leases of at most `max_lease`.
+    pub fn new(max_lease: SimDuration) -> Self {
+        ServiceRegistry {
+            max_lease,
+            regs: HashMap::new(),
+            subs: Vec::new(),
+        }
+    }
+
+    /// Number of live registrations (expired ones may linger until
+    /// [`ServiceRegistry::expire`] runs).
+    pub fn len(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// True when no registrations exist.
+    pub fn is_empty(&self) -> bool {
+        self.regs.is_empty()
+    }
+
+    /// Register (or refresh) a service. Returns the granted lease and any
+    /// subscriber events.
+    pub fn register(
+        &mut self,
+        now: SimTime,
+        item: ServiceItem,
+        requested: SimDuration,
+    ) -> (SimDuration, Vec<RegistryEvent>) {
+        let granted = requested.min(self.max_lease);
+        let fresh = !self.regs.contains_key(&item.id);
+        self.regs.insert(
+            item.id,
+            Registration {
+                item: item.clone(),
+                lease_expires: now + granted,
+            },
+        );
+        let events = if fresh {
+            self.events_for(EventKind::Registered, &item)
+        } else {
+            Vec::new()
+        };
+        (granted, events)
+    }
+
+    /// Renew a lease. Returns the new lease if the registration is live.
+    pub fn renew(&mut self, now: SimTime, id: ServiceId) -> Option<SimDuration> {
+        let reg = self.regs.get_mut(&id)?;
+        if reg.lease_expires <= now {
+            return None; // lapsed; caller must re-register
+        }
+        let granted = self.max_lease;
+        reg.lease_expires = now + granted;
+        Some(granted)
+    }
+
+    /// Withdraw a service. Returns subscriber events if it existed.
+    pub fn unregister(&mut self, id: ServiceId) -> Vec<RegistryEvent> {
+        match self.regs.remove(&id) {
+            Some(reg) => self.events_for(EventKind::Unregistered, &reg.item),
+            None => Vec::new(),
+        }
+    }
+
+    /// Drop every registration whose lease has lapsed; returns their events.
+    pub fn expire(&mut self, now: SimTime) -> Vec<RegistryEvent> {
+        let lapsed: Vec<ServiceId> = self
+            .regs
+            .iter()
+            .filter(|(_, r)| r.lease_expires <= now)
+            .map(|(id, _)| *id)
+            .collect();
+        let mut events = Vec::new();
+        for id in lapsed {
+            if let Some(reg) = self.regs.remove(&id) {
+                events.extend(self.events_for(EventKind::Expired, &reg.item));
+            }
+        }
+        events
+    }
+
+    /// Earliest lease expiry among live registrations (to schedule the next
+    /// expiry sweep precisely instead of polling).
+    pub fn next_expiry(&self) -> Option<SimTime> {
+        self.regs.values().map(|r| r.lease_expires).min()
+    }
+
+    /// All live registrations matching `template`, in `ServiceId` order
+    /// (deterministic replies regardless of hash-map iteration order).
+    pub fn lookup(&self, template: &Template) -> Vec<&ServiceItem> {
+        let mut found: Vec<&ServiceItem> = self
+            .regs
+            .values()
+            .filter(|r| template.matches(&r.item))
+            .map(|r| &r.item)
+            .collect();
+        found.sort_by_key(|i| i.id);
+        found
+    }
+
+    /// Subscribe `node` to events for services matching `template`.
+    pub fn subscribe(&mut self, node: u32, template: Template) {
+        self.subs.push((node, template));
+    }
+
+    /// Number of subscriptions.
+    pub fn subscription_count(&self) -> usize {
+        self.subs.len()
+    }
+
+    fn events_for(&self, kind: EventKind, item: &ServiceItem) -> Vec<RegistryEvent> {
+        self.subs
+            .iter()
+            .filter(|(_, t)| t.matches(item))
+            .map(|(node, _)| RegistryEvent {
+                subscriber: *node,
+                kind,
+                item: item.clone(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn item(id: u64, kind: &str) -> ServiceItem {
+        ServiceItem {
+            id: ServiceId(id),
+            kind: kind.into(),
+            attributes: vec![("room".into(), "A".into())],
+            provider: 1,
+            proxy: Bytes::new(),
+        }
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn register_grants_capped_lease() {
+        let mut r = ServiceRegistry::new(SimDuration::from_secs(10));
+        let (granted, _) = r.register(t(0), item(1, "a"), SimDuration::from_secs(60));
+        assert_eq!(granted, SimDuration::from_secs(10));
+        let (granted2, _) = r.register(t(0), item(2, "a"), SimDuration::from_secs(5));
+        assert_eq!(granted2, SimDuration::from_secs(5));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn lookup_matches_templates() {
+        let mut r = ServiceRegistry::new(SimDuration::from_secs(10));
+        r.register(t(0), item(1, "projector"), SimDuration::from_secs(5));
+        r.register(t(0), item(2, "printer"), SimDuration::from_secs(5));
+        assert_eq!(r.lookup(&Template::any()).len(), 2);
+        assert_eq!(r.lookup(&Template::of_kind("projector")).len(), 1);
+        assert_eq!(r.lookup(&Template::of_kind("scanner")).len(), 0);
+    }
+
+    #[test]
+    fn lookup_is_deterministically_ordered() {
+        let mut r = ServiceRegistry::new(SimDuration::from_secs(10));
+        for id in [5u64, 3, 9, 1] {
+            r.register(t(0), item(id, "x"), SimDuration::from_secs(5));
+        }
+        let ids: Vec<u64> = r.lookup(&Template::any()).iter().map(|i| i.id.0).collect();
+        assert_eq!(ids, vec![1, 3, 5, 9]);
+    }
+
+    #[test]
+    fn expiry_removes_lapsed_leases() {
+        let mut r = ServiceRegistry::new(SimDuration::from_secs(10));
+        r.register(t(0), item(1, "a"), SimDuration::from_secs(1));
+        r.register(t(0), item(2, "a"), SimDuration::from_secs(10));
+        let ev = r.expire(t(1_000));
+        assert_eq!(r.len(), 1);
+        assert!(ev.is_empty(), "no subscribers yet");
+        assert!(r.lookup(&Template::any())[0].id == ServiceId(2));
+    }
+
+    #[test]
+    fn renewal_extends_lease() {
+        let mut r = ServiceRegistry::new(SimDuration::from_secs(2));
+        r.register(t(0), item(1, "a"), SimDuration::from_secs(2));
+        assert!(r.renew(t(1_000), ServiceId(1)).is_some());
+        // Would have expired at 2 s without renewal.
+        r.expire(t(2_500));
+        assert_eq!(r.len(), 1);
+        r.expire(t(3_100));
+        assert_eq!(r.len(), 0);
+    }
+
+    #[test]
+    fn renewing_lapsed_or_unknown_fails() {
+        let mut r = ServiceRegistry::new(SimDuration::from_secs(1));
+        r.register(t(0), item(1, "a"), SimDuration::from_secs(1));
+        assert!(r.renew(t(1_000), ServiceId(1)).is_none(), "lease just lapsed");
+        assert!(r.renew(t(500), ServiceId(99)).is_none(), "unknown id");
+    }
+
+    #[test]
+    fn unregister_removes_and_notifies() {
+        let mut r = ServiceRegistry::new(SimDuration::from_secs(10));
+        r.subscribe(42, Template::of_kind("projector"));
+        r.register(t(0), item(1, "projector"), SimDuration::from_secs(5));
+        let ev = r.unregister(ServiceId(1));
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].subscriber, 42);
+        assert_eq!(ev[0].kind, EventKind::Unregistered);
+        assert!(r.is_empty());
+        assert!(r.unregister(ServiceId(1)).is_empty(), "double unregister");
+    }
+
+    #[test]
+    fn subscribers_notified_on_register_and_expire() {
+        let mut r = ServiceRegistry::new(SimDuration::from_secs(1));
+        r.subscribe(7, Template::of_kind("projector"));
+        r.subscribe(8, Template::of_kind("printer"));
+        let (_, ev) = r.register(t(0), item(1, "projector"), SimDuration::from_secs(1));
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].subscriber, 7);
+        assert_eq!(ev[0].kind, EventKind::Registered);
+        let ev = r.expire(t(1_000));
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].kind, EventKind::Expired);
+    }
+
+    #[test]
+    fn reregistration_does_not_renotify() {
+        let mut r = ServiceRegistry::new(SimDuration::from_secs(10));
+        r.subscribe(7, Template::any());
+        let (_, ev1) = r.register(t(0), item(1, "a"), SimDuration::from_secs(5));
+        assert_eq!(ev1.len(), 1);
+        let (_, ev2) = r.register(t(100), item(1, "a"), SimDuration::from_secs(5));
+        assert!(ev2.is_empty(), "refresh is not a new registration");
+    }
+
+    #[test]
+    fn next_expiry_tracks_minimum() {
+        let mut r = ServiceRegistry::new(SimDuration::from_secs(10));
+        assert_eq!(r.next_expiry(), None);
+        r.register(t(0), item(1, "a"), SimDuration::from_secs(5));
+        r.register(t(0), item(2, "a"), SimDuration::from_secs(2));
+        assert_eq!(r.next_expiry(), Some(t(2_000)));
+    }
+}

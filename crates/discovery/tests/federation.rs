@@ -1,0 +1,148 @@
+//! Federation over the wired backbone: "connecting portable wireless
+//! devices to traditional networks" (Aroma research area / AirJava [2]).
+//!
+//! Two rooms on orthogonal radio channels, each with its own lookup
+//! service; the registrars share a building cable. A client in room B must
+//! *find* the projector that lives in room A even though no radio frame
+//! can cross between the rooms' channels.
+
+use aroma_discovery::apps::{ClientApp, ProviderApp, RegistrarApp};
+use aroma_discovery::codec::{ServiceId, ServiceItem, Template};
+use aroma_env::radio::{Channel, RadioEnvironment};
+use aroma_env::space::Point;
+use aroma_net::{MacConfig, Network, NodeConfig, NodeId};
+use aroma_sim::SimDuration;
+use bytes::Bytes;
+
+fn quiet() -> RadioEnvironment {
+    RadioEnvironment {
+        shadowing_sigma_db: 0.0,
+        ..Default::default()
+    }
+}
+
+fn projector(id: u64) -> ServiceItem {
+    ServiceItem {
+        id: ServiceId(id),
+        kind: "projector/display".into(),
+        attributes: vec![("room".into(), "A-101".into())],
+        provider: 0,
+        proxy: Bytes::from_static(b"proxy"),
+    }
+}
+
+struct Building {
+    net: Network,
+    reg_a: NodeId,
+    reg_b: NodeId,
+    client_b: NodeId,
+}
+
+/// Room A on channel 1 (registrar + projector provider), room B on channel
+/// 11 (registrar + client), 10 Mbit/s cable with 1 ms latency between the
+/// registrars.
+fn building(seed: u64, federate: bool) -> Building {
+    let mut net = Network::new(quiet(), MacConfig::default(), seed);
+    // Node ids are assigned in order; pre-compute the registrar ids so the
+    // federation pointers can be set at construction.
+    let reg_a_id = NodeId(0);
+    let reg_b_id = NodeId(1);
+    let reg_a_app = if federate {
+        RegistrarApp::new(SimDuration::from_secs(5)).federated_with(reg_b_id)
+    } else {
+        RegistrarApp::new(SimDuration::from_secs(5))
+    };
+    let reg_b_app = if federate {
+        RegistrarApp::new(SimDuration::from_secs(5)).federated_with(reg_a_id)
+    } else {
+        RegistrarApp::new(SimDuration::from_secs(5))
+    };
+    let reg_a = net.add_node(
+        NodeConfig::at_on(Point::new(0.0, 0.0), Channel::CH1),
+        Box::new(reg_a_app),
+    );
+    let reg_b = net.add_node(
+        NodeConfig::at_on(Point::new(40.0, 0.0), Channel::CH11),
+        Box::new(reg_b_app),
+    );
+    assert_eq!((reg_a, reg_b), (reg_a_id, reg_b_id));
+    net.add_wired_link(reg_a, reg_b, SimDuration::from_millis(1), 10_000_000);
+    // Room A: the projector's provider.
+    net.add_node(
+        NodeConfig::at_on(Point::new(3.0, 0.0), Channel::CH1),
+        Box::new(ProviderApp::new(projector(1), 20_000)),
+    );
+    // Room B: a client hunting for a projector.
+    let client_b = net.add_node(
+        NodeConfig::at_on(Point::new(43.0, 0.0), Channel::CH11),
+        Box::new(ClientApp::new(Template::of_kind("projector/display"))),
+    );
+    Building {
+        net,
+        reg_a,
+        reg_b,
+        client_b,
+    }
+}
+
+#[test]
+fn client_finds_the_other_rooms_projector_through_the_wire() {
+    let mut b = building(1, true);
+    b.net.run_for(SimDuration::from_secs(5));
+    let client = b.net.app_as::<ClientApp>(b.client_b).unwrap();
+    assert!(
+        client.service_found_at.is_some(),
+        "federated lookup should surface the room-A projector"
+    );
+    assert_eq!(client.found.len(), 1);
+    assert_eq!(client.found[0].attr("room"), Some("A-101"));
+    let reg_a = b.net.app_as::<RegistrarApp>(b.reg_a).unwrap();
+    assert!(reg_a.federated_out >= 1, "room A mirrored its registration");
+    let reg_b = b.net.app_as::<RegistrarApp>(b.reg_b).unwrap();
+    assert_eq!(reg_b.registry.len(), 1, "mirror landed in room B's registry");
+    assert!(b.net.stats().wired_frames >= 1, "traffic crossed the cable");
+}
+
+#[test]
+fn without_federation_the_rooms_are_islands() {
+    let mut b = building(2, false);
+    b.net.run_for(SimDuration::from_secs(5));
+    let client = b.net.app_as::<ClientApp>(b.client_b).unwrap();
+    assert!(client.discovered_at.is_some(), "room B's own registrar answers");
+    assert!(
+        client.service_found_at.is_none(),
+        "the room-A projector must be invisible without the wire"
+    );
+    assert_eq!(b.net.stats().wired_frames, 0);
+}
+
+#[test]
+fn mirrored_registrations_renew_through_the_wire() {
+    // Leases are 5 s; run 16 s: without renewal forwarding the mirror in
+    // room B would lapse.
+    let mut b = building(3, true);
+    b.net.run_for(SimDuration::from_secs(16));
+    let reg_b = b.net.app_as::<RegistrarApp>(b.reg_b).unwrap();
+    assert_eq!(
+        reg_b.registry.len(),
+        1,
+        "forwarded renewals must keep the mirror alive"
+    );
+}
+
+#[test]
+fn dead_provider_fades_from_both_rooms() {
+    let mut b = building(4, true);
+    b.net.run_for(SimDuration::from_secs(3));
+    assert_eq!(b.net.app_as::<RegistrarApp>(b.reg_b).unwrap().registry.len(), 1);
+    // Kill room A's registrar: the provider's renewals stop being mirrored
+    // AND room B's own copy stops being refreshed → it lapses by lease.
+    b.net.app_as_mut::<RegistrarApp>(b.reg_a).unwrap().crash();
+    b.net.run_for(SimDuration::from_secs(12));
+    let reg_b = b.net.app_as::<RegistrarApp>(b.reg_b).unwrap();
+    assert_eq!(
+        reg_b.registry.len(),
+        0,
+        "stale federated state must age out by lease, not linger forever"
+    );
+}

@@ -1,0 +1,245 @@
+//! Acoustic environment and voice-interface viability.
+//!
+//! The paper's environment-layer analysis of the Smart Projector raises two
+//! acoustic issues: background noise degrading a hypothetical voice-control
+//! interface, and the *social* inappropriateness of voice interfaces in
+//! shared spaces ("a cramped office environment with cubicles"). This module
+//! models both:
+//!
+//! * an [`AcousticField`] sums a diffuse ambient level with point
+//!   [`NoiseSource`]s (inverse-square spreading, wall transmission loss),
+//! * [`recognition_accuracy`] maps speech-to-noise ratio to a recognition
+//!   accuracy via a logistic psychometric curve — the standard shape for
+//!   speech-in-noise intelligibility,
+//! * [`SocialContext`] gates whether speaking aloud is acceptable at all.
+
+use crate::space::{path_acoustic_loss_db, Point, Wall};
+use serde::{Deserialize, Serialize};
+
+/// Typical conversational speech level at 1 m, dB SPL.
+pub const SPEECH_LEVEL_DB_AT_1M: f64 = 60.0;
+
+/// A localized noise source (projector fan, conversation, train).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NoiseSource {
+    /// Location in the floor plan.
+    pub position: Point,
+    /// Sound pressure level at 1 m, dB SPL.
+    pub level_db_at_1m: f64,
+}
+
+impl NoiseSource {
+    /// Construct a noise source.
+    pub fn new(position: Point, level_db_at_1m: f64) -> Self {
+        NoiseSource {
+            position,
+            level_db_at_1m,
+        }
+    }
+}
+
+/// Social acceptability of audible interaction in this space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SocialContext {
+    /// Private space: speaking aloud is fine.
+    Private,
+    /// Shared but conversational (conference room in session).
+    Shared,
+    /// Quiet shared space (cubicle farm, library): voice UI is disruptive.
+    QuietShared,
+    /// Public transit: voice UI is both noisy and privacy-hostile.
+    PublicTransit,
+}
+
+impl SocialContext {
+    /// Whether a voice interface is socially appropriate here — the paper's
+    /// point that acceptability is an environment property, not a device
+    /// property.
+    pub fn voice_appropriate(self) -> bool {
+        matches!(self, SocialContext::Private | SocialContext::Shared)
+    }
+}
+
+/// The acoustic state of an environment.
+#[derive(Clone, Debug)]
+pub struct AcousticField {
+    /// Diffuse ambient noise level, dB SPL (HVAC, crowd murmur, engine).
+    pub ambient_db: f64,
+    /// Point sources adding to the ambient field.
+    pub sources: Vec<NoiseSource>,
+    /// Walls providing acoustic isolation between points.
+    pub walls: Vec<Wall>,
+    /// Social acceptability of audible interaction.
+    pub social: SocialContext,
+}
+
+impl Default for AcousticField {
+    fn default() -> Self {
+        AcousticField {
+            ambient_db: 40.0, // quiet office
+            sources: Vec::new(),
+            walls: Vec::new(),
+            social: SocialContext::Private,
+        }
+    }
+}
+
+/// Sum sound levels expressed in dB (incoherent addition in power domain).
+pub fn db_sum(levels: impl IntoIterator<Item = f64>) -> f64 {
+    let power: f64 = levels.into_iter().map(|l| 10f64.powf(l / 10.0)).sum();
+    if power <= 0.0 {
+        0.0
+    } else {
+        10.0 * power.log10()
+    }
+}
+
+impl AcousticField {
+    /// Total noise level at a listening position, dB SPL.
+    ///
+    /// Point sources decay 20 dB/decade (inverse-square) from their 1 m
+    /// reference and lose wall transmission loss; the diffuse ambient level
+    /// is position-independent.
+    pub fn noise_at(&self, p: Point) -> f64 {
+        let mut levels = vec![self.ambient_db];
+        for s in &self.sources {
+            let d = s.position.distance(&p).max(1.0);
+            let level =
+                s.level_db_at_1m - 20.0 * d.log10() - path_acoustic_loss_db(&self.walls, s.position, p);
+            levels.push(level);
+        }
+        db_sum(levels)
+    }
+
+    /// Speech-to-noise ratio for a talker at `talker` heard by a microphone
+    /// at `mic`, in dB.
+    pub fn speech_snr_db(&self, talker: Point, mic: Point) -> f64 {
+        let d = talker.distance(&mic).max(0.3); // microphones get closer than 1 m
+        let speech = SPEECH_LEVEL_DB_AT_1M - 20.0 * d.max(1.0).log10();
+        speech - self.noise_at(mic)
+    }
+}
+
+/// Speech-recognition accuracy (word accuracy, 0..=1) as a function of SNR.
+///
+/// Logistic psychometric curve: ~50% at 0 dB SNR, saturating above ~15 dB,
+/// collapsing below −10 dB. Chosen to match the qualitative shape of
+/// speech-in-noise intelligibility data; the experiments only rely on the
+/// monotone S-shape, not the absolute values.
+pub fn recognition_accuracy(snr_db: f64) -> f64 {
+    let k = 0.35; // slope
+    let midpoint = 0.0; // dB at 50%
+    0.97 / (1.0 + (-k * (snr_db - midpoint)).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::Material;
+
+    #[test]
+    fn db_sum_of_equal_levels_adds_3db() {
+        let total = db_sum([60.0, 60.0]);
+        assert!((total - 63.0103).abs() < 0.01);
+    }
+
+    #[test]
+    fn db_sum_dominated_by_loudest() {
+        let total = db_sum([80.0, 40.0]);
+        assert!((total - 80.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn db_sum_empty_is_zero() {
+        assert_eq!(db_sum([]), 0.0);
+    }
+
+    #[test]
+    fn ambient_only_field_is_uniform() {
+        let f = AcousticField::default();
+        assert_eq!(f.noise_at(Point::new(0.0, 0.0)), f.noise_at(Point::new(9.0, 9.0)));
+    }
+
+    #[test]
+    fn noise_decays_with_distance_from_source() {
+        let f = AcousticField {
+            ambient_db: 20.0,
+            sources: vec![NoiseSource::new(Point::new(0.0, 0.0), 70.0)],
+            ..Default::default()
+        };
+        let near = f.noise_at(Point::new(1.0, 0.0));
+        let far = f.noise_at(Point::new(10.0, 0.0));
+        assert!(near > far);
+        // 1 m vs 10 m is one decade = 20 dB (ambient negligible here).
+        assert!((near - far - 20.0).abs() < 0.5, "near {near} far {far}");
+    }
+
+    #[test]
+    fn walls_isolate_noise() {
+        let wall = Wall::new(Point::new(2.0, -5.0), Point::new(2.0, 5.0), Material::Concrete);
+        let open = AcousticField {
+            ambient_db: 10.0,
+            sources: vec![NoiseSource::new(Point::new(0.0, 0.0), 75.0)],
+            ..Default::default()
+        };
+        let walled = AcousticField {
+            walls: vec![wall],
+            ..open.clone()
+        };
+        let p = Point::new(4.0, 0.0);
+        assert!(walled.noise_at(p) < open.noise_at(p) - 30.0);
+    }
+
+    #[test]
+    fn speech_snr_falls_with_noise() {
+        let quiet = AcousticField {
+            ambient_db: 35.0,
+            ..Default::default()
+        };
+        let loud = AcousticField {
+            ambient_db: 75.0,
+            ..Default::default()
+        };
+        let t = Point::new(0.0, 0.0);
+        let m = Point::new(0.5, 0.0);
+        assert!(quiet.speech_snr_db(t, m) > loud.speech_snr_db(t, m));
+    }
+
+    #[test]
+    fn speech_snr_falls_with_mic_distance() {
+        let f = AcousticField {
+            ambient_db: 45.0,
+            ..Default::default()
+        };
+        let t = Point::new(0.0, 0.0);
+        let near = f.speech_snr_db(t, Point::new(0.5, 0.0));
+        let far = f.speech_snr_db(t, Point::new(5.0, 0.0));
+        assert!(near > far);
+    }
+
+    #[test]
+    fn recognition_curve_is_sigmoid() {
+        assert!(recognition_accuracy(-20.0) < 0.05);
+        let mid = recognition_accuracy(0.0);
+        assert!((mid - 0.485).abs() < 0.01, "mid {mid}");
+        assert!(recognition_accuracy(20.0) > 0.9);
+        // monotone
+        let mut prev = 0.0;
+        for snr in -30..=30 {
+            let a = recognition_accuracy(snr as f64);
+            assert!(a >= prev);
+            prev = a;
+        }
+        // bounded
+        assert!(recognition_accuracy(100.0) <= 1.0);
+        assert!(recognition_accuracy(-100.0) >= 0.0);
+    }
+
+    #[test]
+    fn social_context_gates_voice() {
+        assert!(SocialContext::Private.voice_appropriate());
+        assert!(SocialContext::Shared.voice_appropriate());
+        assert!(!SocialContext::QuietShared.voice_appropriate());
+        assert!(!SocialContext::PublicTransit.voice_appropriate());
+    }
+}

@@ -1,0 +1,218 @@
+//! Ambient climate conditions and operating envelopes.
+//!
+//! The paper contrasts "the climate controlled conditions of traditional
+//! computing", where the environment is "just another engineered component",
+//! with pervasive devices that must *cope with a wide variation in the
+//! surrounding environment while performing their intended function*. The
+//! LPC analysis engine uses these types for its environment-layer
+//! compatibility checks: every physical entity (device **or** user) declares
+//! an [`OperatingRange`], and the analyzer flags entities whose envelope the
+//! current [`Climate`] violates.
+
+use serde::{Deserialize, Serialize};
+
+/// Instantaneous ambient conditions.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Climate {
+    /// Air temperature, °C.
+    pub temperature_c: f64,
+    /// Relative humidity, percent.
+    pub humidity_pct: f64,
+    /// Illuminance at working surfaces, lux (matters for projection
+    /// visibility and for screen readability).
+    pub illuminance_lux: f64,
+    /// Vibration, RMS g (subway car ≫ office).
+    pub vibration_g: f64,
+}
+
+impl Default for Climate {
+    fn default() -> Self {
+        // A comfortable office.
+        Climate {
+            temperature_c: 22.0,
+            humidity_pct: 45.0,
+            illuminance_lux: 400.0,
+            vibration_g: 0.0,
+        }
+    }
+}
+
+/// An entity's tolerated envelope of ambient conditions.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OperatingRange {
+    /// Minimum tolerable temperature, °C.
+    pub temp_min_c: f64,
+    /// Maximum tolerable temperature, °C.
+    pub temp_max_c: f64,
+    /// Maximum tolerable relative humidity, percent.
+    pub humidity_max_pct: f64,
+    /// Maximum ambient illuminance under which the entity still functions
+    /// (for a projector: washes out above this).
+    pub illuminance_max_lux: f64,
+    /// Maximum tolerable vibration, RMS g.
+    pub vibration_max_g: f64,
+}
+
+impl OperatingRange {
+    /// Envelope typical of commercial indoor electronics.
+    pub fn indoor_electronics() -> Self {
+        OperatingRange {
+            temp_min_c: 5.0,
+            temp_max_c: 40.0,
+            humidity_max_pct: 85.0,
+            illuminance_max_lux: f64::INFINITY,
+            vibration_max_g: 0.5,
+        }
+    }
+
+    /// Envelope of a projection display: as electronics, but washed out by
+    /// bright ambient light.
+    pub fn projector() -> Self {
+        OperatingRange {
+            illuminance_max_lux: 1500.0,
+            ..OperatingRange::indoor_electronics()
+        }
+    }
+
+    /// Envelope of a comfortable, effective human (users are physical
+    /// entities in the LPC model and get an envelope like any device).
+    pub fn human_comfort() -> Self {
+        OperatingRange {
+            temp_min_c: 16.0,
+            temp_max_c: 30.0,
+            humidity_max_pct: 70.0,
+            illuminance_max_lux: f64::INFINITY,
+            vibration_max_g: 0.3,
+        }
+    }
+
+    /// Ruggedised outdoor hardware.
+    pub fn ruggedised() -> Self {
+        OperatingRange {
+            temp_min_c: -20.0,
+            temp_max_c: 60.0,
+            humidity_max_pct: 100.0,
+            illuminance_max_lux: f64::INFINITY,
+            vibration_max_g: 2.0,
+        }
+    }
+
+    /// All conditions within the envelope?
+    pub fn tolerates(&self, c: &Climate) -> bool {
+        self.violations(c).is_empty()
+    }
+
+    /// Which conditions fall outside the envelope (empty = compatible).
+    pub fn violations(&self, c: &Climate) -> Vec<ClimateViolation> {
+        let mut v = Vec::new();
+        if c.temperature_c < self.temp_min_c {
+            v.push(ClimateViolation::TooCold);
+        }
+        if c.temperature_c > self.temp_max_c {
+            v.push(ClimateViolation::TooHot);
+        }
+        if c.humidity_pct > self.humidity_max_pct {
+            v.push(ClimateViolation::TooHumid);
+        }
+        if c.illuminance_lux > self.illuminance_max_lux {
+            v.push(ClimateViolation::TooBright);
+        }
+        if c.vibration_g > self.vibration_max_g {
+            v.push(ClimateViolation::TooShaky);
+        }
+        v
+    }
+}
+
+/// A specific way the climate exceeds an operating range.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ClimateViolation {
+    /// Below minimum temperature.
+    TooCold,
+    /// Above maximum temperature.
+    TooHot,
+    /// Above maximum humidity.
+    TooHumid,
+    /// Ambient light defeats the display.
+    TooBright,
+    /// Vibration beyond tolerance.
+    TooShaky,
+}
+
+impl std::fmt::Display for ClimateViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ClimateViolation::TooCold => "ambient temperature below operating minimum",
+            ClimateViolation::TooHot => "ambient temperature above operating maximum",
+            ClimateViolation::TooHumid => "humidity above operating maximum",
+            ClimateViolation::TooBright => "ambient illuminance defeats the display",
+            ClimateViolation::TooShaky => "vibration beyond tolerance",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn office_climate_suits_everything_indoor() {
+        let c = Climate::default();
+        assert!(OperatingRange::indoor_electronics().tolerates(&c));
+        assert!(OperatingRange::projector().tolerates(&c));
+        assert!(OperatingRange::human_comfort().tolerates(&c));
+    }
+
+    #[test]
+    fn freezing_outdoors_rejects_indoor_electronics() {
+        let c = Climate {
+            temperature_c: -5.0,
+            ..Default::default()
+        };
+        let v = OperatingRange::indoor_electronics().violations(&c);
+        assert_eq!(v, vec![ClimateViolation::TooCold]);
+        assert!(OperatingRange::ruggedised().tolerates(&c));
+    }
+
+    #[test]
+    fn bright_sunlight_defeats_projector_only() {
+        let c = Climate {
+            illuminance_lux: 30_000.0,
+            ..Default::default()
+        };
+        assert!(!OperatingRange::projector().tolerates(&c));
+        assert!(OperatingRange::indoor_electronics().tolerates(&c));
+    }
+
+    #[test]
+    fn subway_vibration_bothers_humans_before_rugged_gear() {
+        let c = Climate {
+            vibration_g: 0.4,
+            ..Default::default()
+        };
+        assert!(!OperatingRange::human_comfort().tolerates(&c));
+        assert!(OperatingRange::indoor_electronics().tolerates(&c));
+        assert!(OperatingRange::ruggedised().tolerates(&c));
+    }
+
+    #[test]
+    fn multiple_violations_all_reported() {
+        let c = Climate {
+            temperature_c: 55.0,
+            humidity_pct: 95.0,
+            vibration_g: 1.0,
+            ..Default::default()
+        };
+        let v = OperatingRange::indoor_electronics().violations(&c);
+        assert!(v.contains(&ClimateViolation::TooHot));
+        assert!(v.contains(&ClimateViolation::TooHumid));
+        assert!(v.contains(&ClimateViolation::TooShaky));
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn violations_display_is_descriptive() {
+        assert!(ClimateViolation::TooBright.to_string().contains("illuminance"));
+    }
+}

@@ -1,0 +1,74 @@
+//! # aroma-env — the Environment layer, made executable
+//!
+//! The paper's first structural claim is that pervasive computing needs an
+//! explicit **environment layer** beneath the physical layer: *“the mobile
+//! nature of many pervasive computing applications ensures that the
+//! environment cannot just be engineered into submission”*. This crate is
+//! that layer as a simulation substrate. It models the three environmental
+//! phenomena the paper calls out for the Smart Projector:
+//!
+//! * **Radio** ([`radio`]) — 2.4 GHz band propagation: log-distance path
+//!   loss, wall attenuation, log-normal shadowing, channel geometry and
+//!   co-/adjacent-channel spectral overlap. This is what `aroma-net` builds
+//!   its PHY on, and what drives the paper's *“many wireless devices
+//!   operating in the 2.4 GHz radio band”* density experiment (E2).
+//! * **Acoustics** ([`acoustics`]) — background-noise fields and a
+//!   speech-recognition accuracy model, for the paper's observation that
+//!   *“background noise, that is currently acceptable, may become
+//!   objectionable if voice recognition is used”* (E6).
+//! * **Ambient climate** ([`climate`]) — temperature/humidity/illuminance
+//!   operating envelopes, used by the LPC analysis engine's
+//!   environment-layer compatibility checks (F2).
+//!
+//! [`profiles`] bundles these into named environments (quiet office, cubicle
+//! farm, conference hall, subway car, outdoor courtyard) that the
+//! experiments sweep over, and [`space`] provides the shared 2-D geometry.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod acoustics;
+pub mod climate;
+pub mod profiles;
+pub mod radio;
+pub mod space;
+
+pub use acoustics::{AcousticField, NoiseSource};
+pub use climate::{Climate, OperatingRange};
+pub use profiles::{EnvironmentKind, EnvironmentProfile};
+pub use radio::{Channel, RadioEnvironment, DBM_NOISE_FLOOR};
+pub use space::{Point, Wall};
+
+/// A complete physical environment: geometry plus the three phenomenon
+/// models, assembled from an [`EnvironmentProfile`] or built by hand.
+#[derive(Clone, Debug)]
+pub struct Environment {
+    /// RF propagation model for the 2.4 GHz band.
+    pub radio: radio::RadioEnvironment,
+    /// Background acoustic field.
+    pub acoustics: acoustics::AcousticField,
+    /// Ambient climate conditions.
+    pub climate: climate::Climate,
+    /// Descriptive name (used in reports).
+    pub name: String,
+}
+
+impl Environment {
+    /// Construct from a named profile.
+    pub fn from_profile(profile: &EnvironmentProfile) -> Self {
+        profile.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn environment_builds_from_every_profile() {
+        for kind in EnvironmentKind::ALL {
+            let env = Environment::from_profile(&EnvironmentProfile::preset(kind));
+            assert!(!env.name.is_empty());
+        }
+    }
+}

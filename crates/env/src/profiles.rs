@@ -1,0 +1,246 @@
+//! Named environment presets.
+//!
+//! The paper's running examples live in specific places: the NIST laboratory
+//! and conference rooms (Smart Projector), "a quiet office" vs "riding the
+//! subway with a headache" (mental-model formation), and "a cramped office
+//! environment with cubicles" (voice UI appropriateness). These presets make
+//! those places concrete and sweepable by the experiments.
+
+use crate::acoustics::{AcousticField, NoiseSource, SocialContext};
+use crate::climate::Climate;
+use crate::radio::RadioEnvironment;
+use crate::space::{Material, Point, Wall};
+use crate::Environment;
+
+/// The environments the experiments sweep over.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EnvironmentKind {
+    /// A quiet private office — the developer's habitat the paper warns
+    /// about designing from.
+    QuietOffice,
+    /// A cubicle farm: acoustically shared, RF-dense.
+    CubicleFarm,
+    /// A conference hall during a presentation (the Smart Projector's
+    /// natural habitat).
+    ConferenceHall,
+    /// A moving subway car: loud, shaky, RF-hostile.
+    SubwayCar,
+    /// An outdoor courtyard: bright, open-air RF.
+    OutdoorCourtyard,
+}
+
+impl EnvironmentKind {
+    /// Every preset, in sweep order.
+    pub const ALL: [EnvironmentKind; 5] = [
+        EnvironmentKind::QuietOffice,
+        EnvironmentKind::CubicleFarm,
+        EnvironmentKind::ConferenceHall,
+        EnvironmentKind::SubwayCar,
+        EnvironmentKind::OutdoorCourtyard,
+    ];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EnvironmentKind::QuietOffice => "quiet office",
+            EnvironmentKind::CubicleFarm => "cubicle farm",
+            EnvironmentKind::ConferenceHall => "conference hall",
+            EnvironmentKind::SubwayCar => "subway car",
+            EnvironmentKind::OutdoorCourtyard => "outdoor courtyard",
+        }
+    }
+}
+
+/// A buildable description of an environment.
+#[derive(Clone, Debug)]
+pub struct EnvironmentProfile {
+    /// Which preset this is.
+    pub kind: EnvironmentKind,
+    /// Diffuse ambient noise, dB SPL.
+    pub ambient_noise_db: f64,
+    /// Point noise sources.
+    pub noise_sources: Vec<NoiseSource>,
+    /// Social context for audible interaction.
+    pub social: SocialContext,
+    /// Path-loss exponent.
+    pub path_loss_exponent: f64,
+    /// Shadowing sigma, dB.
+    pub shadowing_sigma_db: f64,
+    /// Ambient RF noise rise above thermal, dB.
+    pub rf_noise_rise_db: f64,
+    /// Walls.
+    pub walls: Vec<Wall>,
+    /// Climate.
+    pub climate: Climate,
+}
+
+impl EnvironmentProfile {
+    /// The canonical preset for `kind`.
+    pub fn preset(kind: EnvironmentKind) -> Self {
+        match kind {
+            EnvironmentKind::QuietOffice => EnvironmentProfile {
+                kind,
+                ambient_noise_db: 38.0,
+                noise_sources: vec![],
+                social: SocialContext::Private,
+                path_loss_exponent: 2.8,
+                shadowing_sigma_db: 3.0,
+                rf_noise_rise_db: 0.0,
+                walls: vec![
+                    Wall::new(Point::new(5.0, -5.0), Point::new(5.0, 5.0), Material::Drywall),
+                ],
+                climate: Climate::default(),
+            },
+            EnvironmentKind::CubicleFarm => EnvironmentProfile {
+                kind,
+                ambient_noise_db: 52.0,
+                noise_sources: vec![
+                    // Neighbouring conversations.
+                    NoiseSource::new(Point::new(3.0, 2.0), 62.0),
+                    NoiseSource::new(Point::new(-2.0, 4.0), 60.0),
+                ],
+                social: SocialContext::QuietShared,
+                path_loss_exponent: 3.3,
+                shadowing_sigma_db: 5.0,
+                rf_noise_rise_db: 3.0, // dense BT/microwave clutter
+                walls: (0..4)
+                    .map(|i| {
+                        let x = 2.5 * (i + 1) as f64;
+                        Wall::new(Point::new(x, -6.0), Point::new(x, 6.0), Material::Drywall)
+                    })
+                    .collect(),
+                climate: Climate::default(),
+            },
+            EnvironmentKind::ConferenceHall => EnvironmentProfile {
+                kind,
+                ambient_noise_db: 48.0,
+                noise_sources: vec![
+                    // Projector fan near the podium.
+                    NoiseSource::new(Point::new(1.0, 0.0), 50.0),
+                    // Audience murmur.
+                    NoiseSource::new(Point::new(8.0, 0.0), 55.0),
+                ],
+                social: SocialContext::Shared,
+                path_loss_exponent: 2.5,
+                shadowing_sigma_db: 3.5,
+                rf_noise_rise_db: 2.0, // everyone's laptops
+                walls: vec![],
+                climate: Climate {
+                    illuminance_lux: 150.0, // dimmed for projection
+                    ..Climate::default()
+                },
+            },
+            EnvironmentKind::SubwayCar => EnvironmentProfile {
+                kind,
+                ambient_noise_db: 78.0,
+                noise_sources: vec![NoiseSource::new(Point::new(0.0, -2.0), 85.0)], // running gear
+                social: SocialContext::PublicTransit,
+                path_loss_exponent: 3.5,
+                shadowing_sigma_db: 6.0,
+                rf_noise_rise_db: 4.0,
+                walls: vec![
+                    // Car shell.
+                    Wall::new(Point::new(-8.0, 1.5), Point::new(8.0, 1.5), Material::Metal),
+                    Wall::new(Point::new(-8.0, -1.5), Point::new(8.0, -1.5), Material::Metal),
+                ],
+                climate: Climate {
+                    temperature_c: 27.0,
+                    humidity_pct: 60.0,
+                    illuminance_lux: 300.0,
+                    vibration_g: 0.4,
+                },
+            },
+            EnvironmentKind::OutdoorCourtyard => EnvironmentProfile {
+                kind,
+                ambient_noise_db: 55.0,
+                noise_sources: vec![],
+                social: SocialContext::Shared,
+                path_loss_exponent: 2.1,
+                shadowing_sigma_db: 2.0,
+                rf_noise_rise_db: 0.0,
+                walls: vec![],
+                climate: Climate {
+                    temperature_c: 31.0,
+                    humidity_pct: 55.0,
+                    illuminance_lux: 25_000.0, // daylight
+                    vibration_g: 0.0,
+                },
+            },
+        }
+    }
+
+    /// Materialise the profile into an [`Environment`].
+    pub fn build(&self) -> Environment {
+        Environment {
+            radio: RadioEnvironment {
+                path_loss_exponent: self.path_loss_exponent,
+                shadowing_sigma_db: self.shadowing_sigma_db,
+                walls: self.walls.clone(),
+                ambient_noise_rise_db: self.rf_noise_rise_db,
+                shadowing_seed: 0x0A0A_0A0A ^ self.kind as u64,
+            },
+            acoustics: AcousticField {
+                ambient_db: self.ambient_noise_db,
+                sources: self.noise_sources.clone(),
+                walls: self.walls.clone(),
+                social: self.social,
+            },
+            climate: self.climate,
+            name: self.kind.name().to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subway_is_louder_than_office() {
+        let office = EnvironmentProfile::preset(EnvironmentKind::QuietOffice).build();
+        let subway = EnvironmentProfile::preset(EnvironmentKind::SubwayCar).build();
+        let p = Point::new(0.0, 0.0);
+        assert!(subway.acoustics.noise_at(p) > office.acoustics.noise_at(p) + 20.0);
+    }
+
+    #[test]
+    fn voice_is_inappropriate_in_cubicles_and_transit() {
+        assert!(!EnvironmentProfile::preset(EnvironmentKind::CubicleFarm)
+            .build()
+            .acoustics
+            .social
+            .voice_appropriate());
+        assert!(!EnvironmentProfile::preset(EnvironmentKind::SubwayCar)
+            .build()
+            .acoustics
+            .social
+            .voice_appropriate());
+        assert!(EnvironmentProfile::preset(EnvironmentKind::ConferenceHall)
+            .build()
+            .acoustics
+            .social
+            .voice_appropriate());
+    }
+
+    #[test]
+    fn outdoor_rf_is_kindest_subway_harshest() {
+        let out = EnvironmentProfile::preset(EnvironmentKind::OutdoorCourtyard).build();
+        let sub = EnvironmentProfile::preset(EnvironmentKind::SubwayCar).build();
+        assert!(out.radio.path_loss_exponent < sub.radio.path_loss_exponent);
+        assert!(out.radio.noise_floor_dbm() < sub.radio.noise_floor_dbm());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = EnvironmentKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), EnvironmentKind::ALL.len());
+    }
+
+    #[test]
+    fn conference_hall_is_dimmed() {
+        let hall = EnvironmentProfile::preset(EnvironmentKind::ConferenceHall).build();
+        assert!(hall.climate.illuminance_lux < 400.0);
+    }
+}

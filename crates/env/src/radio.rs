@@ -1,0 +1,346 @@
+//! 2.4 GHz radio propagation.
+//!
+//! The Smart Projector communicates "via a 2.4 GHz wireless LAN PCMCIA
+//! card", and the paper flags *ranging, radio interference and scaling
+//! constraints* as environment-layer issues. This module supplies the
+//! physics that `aroma-net`'s PHY consumes:
+//!
+//! * **Path loss** — log-distance model with reference loss at 1 m (free
+//!   space at 2.4 GHz ≈ 40 dB), environment-specific exponent, multi-wall
+//!   attenuation and deterministic log-normal shadowing (a fixed draw per
+//!   transmitter/receiver pair, as in measurement-calibrated indoor models).
+//! * **Channel geometry** — the 11 North-American DSSS channels, 5 MHz
+//!   apart with 22 MHz occupied bandwidth, giving partial spectral overlap
+//!   between channels fewer than 5 apart. Adjacent-channel interferers leak
+//!   a fraction of their power; channels ≥ 5 apart are orthogonal.
+//! * **dB arithmetic** — dBm/mW conversions and noise floor.
+//!
+//! Everything is pure and deterministic: the shadowing draw is keyed by the
+//! endpoints' node identifiers, so a given topology always yields the same
+//! link budget.
+
+use crate::space::{path_wall_loss_db, Point, Wall};
+use aroma_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Thermal noise floor for a 22 MHz DSSS receiver (kTB + typical NF), dBm.
+pub const DBM_NOISE_FLOOR: f64 = -101.0;
+
+/// Reference path loss at 1 m for 2.4 GHz free space, dB.
+pub const REF_LOSS_DB_1M: f64 = 40.0;
+
+/// An IEEE 802.11(b) DSSS channel (1–11).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Channel(u8);
+
+impl Channel {
+    /// Channel 1 (2412 MHz).
+    pub const CH1: Channel = Channel(1);
+    /// Channel 6 (2437 MHz) — the usual default.
+    pub const CH6: Channel = Channel(6);
+    /// Channel 11 (2462 MHz).
+    pub const CH11: Channel = Channel(11);
+    /// The classic non-overlapping trio.
+    pub const ORTHOGONAL: [Channel; 3] = [Channel(1), Channel(6), Channel(11)];
+
+    /// Construct channel `n`; panics unless `1 ≤ n ≤ 11`.
+    pub fn new(n: u8) -> Self {
+        assert!((1..=11).contains(&n), "2.4 GHz channel must be 1..=11");
+        Channel(n)
+    }
+
+    /// Channel number.
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// Centre frequency in MHz (2407 + 5·n).
+    pub fn centre_mhz(self) -> u32 {
+        2407 + 5 * self.0 as u32
+    }
+
+    /// Fraction of an interferer's power on `other` that leaks into a
+    /// receiver tuned to `self`.
+    ///
+    /// Co-channel → 1.0; spacing grows 5 MHz per channel step against a
+    /// 22 MHz occupied bandwidth, so the overlap decays linearly and reaches
+    /// zero at a spacing of 5 channels (25 MHz ≥ 22 MHz): the familiar
+    /// "1/6/11 don't interfere" rule emerges rather than being hard-coded.
+    pub fn overlap(self, other: Channel) -> f64 {
+        let sep = (self.0 as i8 - other.0 as i8).unsigned_abs() as f64;
+        (1.0 - sep * 5.0 / 22.0).max(0.0)
+    }
+}
+
+/// Convert dBm to milliwatts.
+#[inline]
+pub fn dbm_to_mw(dbm: f64) -> f64 {
+    10f64.powf(dbm / 10.0)
+}
+
+/// Convert milliwatts to dBm (`-inf` guarded to a very low floor).
+#[inline]
+pub fn mw_to_dbm(mw: f64) -> f64 {
+    if mw <= 0.0 {
+        -300.0
+    } else {
+        10.0 * mw.log10()
+    }
+}
+
+/// The RF environment: propagation parameters plus floor-plan walls.
+#[derive(Clone, Debug)]
+pub struct RadioEnvironment {
+    /// Path-loss exponent (2.0 free space … 3.5 dense indoor).
+    pub path_loss_exponent: f64,
+    /// Log-normal shadowing standard deviation, dB.
+    pub shadowing_sigma_db: f64,
+    /// Walls in the floor plan.
+    pub walls: Vec<Wall>,
+    /// Extra wideband noise above thermal (microwave ovens, Bluetooth…), dB.
+    pub ambient_noise_rise_db: f64,
+    /// Seed for the deterministic per-link shadowing draws.
+    pub shadowing_seed: u64,
+}
+
+impl Default for RadioEnvironment {
+    fn default() -> Self {
+        RadioEnvironment {
+            path_loss_exponent: 3.0,
+            shadowing_sigma_db: 4.0,
+            walls: Vec::new(),
+            ambient_noise_rise_db: 0.0,
+            shadowing_seed: 0x0A0A_0A0A,
+        }
+    }
+}
+
+impl RadioEnvironment {
+    /// Free-space-like environment (outdoor courtyard).
+    pub fn open_air() -> Self {
+        RadioEnvironment {
+            path_loss_exponent: 2.1,
+            shadowing_sigma_db: 2.0,
+            ..Default::default()
+        }
+    }
+
+    /// Deterministic shadowing for the link between nodes `a` and `b`
+    /// (symmetric: the pair is ordered before hashing).
+    pub fn shadowing_db(&self, a: u64, b: u64) -> f64 {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let mut rng = SimRng::new(self.shadowing_seed).fork(lo).fork(hi);
+        rng.normal_with(0.0, self.shadowing_sigma_db)
+    }
+
+    /// Total path loss in dB between two positions for the link `(a, b)`.
+    ///
+    /// Distances below 1 m clamp to the reference distance (no negative
+    /// near-field loss).
+    pub fn path_loss_db(&self, a_id: u64, a_pos: Point, b_id: u64, b_pos: Point) -> f64 {
+        let d = a_pos.distance(&b_pos).max(1.0);
+        REF_LOSS_DB_1M
+            + 10.0 * self.path_loss_exponent * d.log10()
+            + path_wall_loss_db(&self.walls, a_pos, b_pos)
+            + self.shadowing_db(a_id, b_id)
+    }
+
+    /// Received power in dBm given transmit power and link endpoints.
+    pub fn received_dbm(
+        &self,
+        tx_dbm: f64,
+        a_id: u64,
+        a_pos: Point,
+        b_id: u64,
+        b_pos: Point,
+    ) -> f64 {
+        tx_dbm - self.path_loss_db(a_id, a_pos, b_id, b_pos)
+    }
+
+    /// Effective noise floor including the environment's ambient rise, dBm.
+    pub fn noise_floor_dbm(&self) -> f64 {
+        DBM_NOISE_FLOOR + self.ambient_noise_rise_db
+    }
+
+    /// Signal-to-interference-plus-noise ratio in dB.
+    ///
+    /// `signal_dbm` is the wanted carrier; `interferers` are (power dBm at
+    /// the receiver, spectral overlap 0..=1) pairs. Linear-domain summation.
+    pub fn sinr_db(&self, signal_dbm: f64, interferers: &[(f64, f64)]) -> f64 {
+        let noise_mw = dbm_to_mw(self.noise_floor_dbm());
+        let interf_mw: f64 = interferers
+            .iter()
+            .map(|&(p_dbm, overlap)| dbm_to_mw(p_dbm) * overlap.clamp(0.0, 1.0))
+            .sum();
+        mw_to_dbm(dbm_to_mw(signal_dbm)) - mw_to_dbm(noise_mw + interf_mw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::Material;
+
+    #[test]
+    fn channel_bounds_enforced() {
+        assert_eq!(Channel::new(1).number(), 1);
+        assert_eq!(Channel::new(11).number(), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel must be")]
+    fn channel_12_rejected() {
+        Channel::new(12);
+    }
+
+    #[test]
+    fn channel_centre_frequencies() {
+        assert_eq!(Channel::CH1.centre_mhz(), 2412);
+        assert_eq!(Channel::CH6.centre_mhz(), 2437);
+        assert_eq!(Channel::CH11.centre_mhz(), 2462);
+    }
+
+    #[test]
+    fn cochannel_overlap_is_total() {
+        assert_eq!(Channel::CH6.overlap(Channel::CH6), 1.0);
+    }
+
+    #[test]
+    fn orthogonal_trio_does_not_overlap() {
+        for a in Channel::ORTHOGONAL {
+            for b in Channel::ORTHOGONAL {
+                if a != b {
+                    assert_eq!(a.overlap(b), 0.0, "{a:?} vs {b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_decays_with_separation() {
+        let base = Channel::new(3);
+        let mut prev = 1.1;
+        for n in 3..=8 {
+            let o = base.overlap(Channel::new(n));
+            assert!(o < prev, "overlap must strictly decay until zero");
+            if o == 0.0 {
+                break;
+            }
+            prev = o;
+        }
+        assert!(base.overlap(Channel::new(4)) > 0.5); // adjacent channels badly overlap
+    }
+
+    #[test]
+    fn overlap_is_symmetric() {
+        for i in 1..=11u8 {
+            for j in 1..=11u8 {
+                assert_eq!(
+                    Channel::new(i).overlap(Channel::new(j)),
+                    Channel::new(j).overlap(Channel::new(i))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dbm_mw_round_trip() {
+        for dbm in [-100.0, -50.0, 0.0, 15.0] {
+            assert!((mw_to_dbm(dbm_to_mw(dbm)) - dbm).abs() < 1e-9);
+        }
+        assert_eq!(mw_to_dbm(0.0), -300.0);
+    }
+
+    #[test]
+    fn path_loss_grows_with_distance() {
+        let env = RadioEnvironment::default();
+        let o = Point::new(0.0, 0.0);
+        let near = env.path_loss_db(1, o, 2, Point::new(2.0, 0.0));
+        let far = env.path_loss_db(1, o, 2, Point::new(40.0, 0.0));
+        assert!(far > near, "loss must grow with distance");
+    }
+
+    #[test]
+    fn path_loss_clamps_below_one_metre() {
+        let env = RadioEnvironment {
+            shadowing_sigma_db: 0.0,
+            ..Default::default()
+        };
+        let o = Point::new(0.0, 0.0);
+        let at_10cm = env.path_loss_db(1, o, 2, Point::new(0.1, 0.0));
+        let at_1m = env.path_loss_db(1, o, 2, Point::new(1.0, 0.0));
+        assert!((at_10cm - at_1m).abs() < 1e-9);
+        assert!((at_1m - REF_LOSS_DB_1M).abs() < 1e-9);
+    }
+
+    #[test]
+    fn walls_add_attenuation() {
+        let mut env = RadioEnvironment {
+            shadowing_sigma_db: 0.0,
+            ..Default::default()
+        };
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 0.0);
+        let open = env.path_loss_db(1, a, 2, b);
+        env.walls.push(Wall::new(
+            Point::new(5.0, -5.0),
+            Point::new(5.0, 5.0),
+            Material::Concrete,
+        ));
+        let blocked = env.path_loss_db(1, a, 2, b);
+        assert!((blocked - open - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shadowing_is_deterministic_and_symmetric() {
+        let env = RadioEnvironment::default();
+        assert_eq!(env.shadowing_db(3, 9), env.shadowing_db(3, 9));
+        assert_eq!(env.shadowing_db(3, 9), env.shadowing_db(9, 3));
+        assert_ne!(env.shadowing_db(3, 9), env.shadowing_db(3, 10));
+    }
+
+    #[test]
+    fn shadowing_sigma_scales_spread() {
+        let tight = RadioEnvironment {
+            shadowing_sigma_db: 0.0,
+            ..Default::default()
+        };
+        assert_eq!(tight.shadowing_db(1, 2), 0.0);
+    }
+
+    #[test]
+    fn sinr_without_interference_is_snr() {
+        let env = RadioEnvironment::default();
+        let sinr = env.sinr_db(-60.0, &[]);
+        assert!((sinr - (-60.0 - DBM_NOISE_FLOOR)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interference_reduces_sinr() {
+        let env = RadioEnvironment::default();
+        let clean = env.sinr_db(-60.0, &[]);
+        let jammed = env.sinr_db(-60.0, &[(-70.0, 1.0)]);
+        assert!(jammed < clean);
+        // A strong co-channel interferer dominates the noise floor: SINR ≈ C/I.
+        assert!((jammed - 10.0).abs() < 0.5, "sinr {jammed}");
+    }
+
+    #[test]
+    fn orthogonal_interferer_is_harmless() {
+        let env = RadioEnvironment::default();
+        let clean = env.sinr_db(-60.0, &[]);
+        let with_orthogonal = env.sinr_db(-60.0, &[(-40.0, 0.0)]);
+        assert!((clean - with_orthogonal).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ambient_noise_rise_lifts_floor() {
+        let noisy = RadioEnvironment {
+            ambient_noise_rise_db: 6.0,
+            ..Default::default()
+        };
+        assert!((noisy.noise_floor_dbm() - (DBM_NOISE_FLOOR + 6.0)).abs() < 1e-12);
+        let quiet = RadioEnvironment::default();
+        assert!(noisy.sinr_db(-60.0, &[]) < quiet.sinr_db(-60.0, &[]));
+    }
+}

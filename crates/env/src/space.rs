@@ -1,0 +1,221 @@
+//! 2-D geometry shared by the radio and acoustic models.
+//!
+//! Positions are in metres. The only geometric primitive the propagation
+//! models need beyond points is the *wall*: a line segment with a material
+//! attenuation, so that a transmission path crossing k walls loses the sum
+//! of their attenuations (the standard multi-wall indoor model).
+
+use serde::{Deserialize, Serialize};
+
+/// A point in the 2-D floor plan, in metres.
+#[derive(Clone, Copy, Debug, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Easting, metres.
+    pub x: f64,
+    /// Northing, metres.
+    pub y: f64,
+}
+
+impl Point {
+    /// Construct a point.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(&self, other: &Point) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+
+    /// Midpoint of the segment to `other`.
+    pub fn midpoint(&self, other: &Point) -> Point {
+        Point::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+}
+
+/// Wall material, determining per-crossing attenuation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Material {
+    /// Drywall / cubicle partition (~3 dB at 2.4 GHz).
+    Drywall,
+    /// Glass partition (~2 dB).
+    Glass,
+    /// Brick (~8 dB).
+    Brick,
+    /// Reinforced concrete (~12 dB).
+    Concrete,
+    /// Metal (elevator, subway car shell; ~20 dB).
+    Metal,
+}
+
+impl Material {
+    /// Typical attenuation in dB per crossing at 2.4 GHz.
+    pub fn attenuation_db(self) -> f64 {
+        match self {
+            Material::Drywall => 3.0,
+            Material::Glass => 2.0,
+            Material::Brick => 8.0,
+            Material::Concrete => 12.0,
+            Material::Metal => 20.0,
+        }
+    }
+
+    /// Acoustic transmission loss in dB per crossing (speech band).
+    pub fn acoustic_loss_db(self) -> f64 {
+        match self {
+            Material::Drywall => 15.0,
+            Material::Glass => 25.0,
+            Material::Brick => 40.0,
+            Material::Concrete => 45.0,
+            Material::Metal => 30.0,
+        }
+    }
+}
+
+/// A wall segment in the floor plan.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Wall {
+    /// One endpoint.
+    pub a: Point,
+    /// Other endpoint.
+    pub b: Point,
+    /// Material (sets attenuation).
+    pub material: Material,
+}
+
+impl Wall {
+    /// Construct a wall.
+    pub fn new(a: Point, b: Point, material: Material) -> Self {
+        Wall { a, b, material }
+    }
+
+    /// Does the open segment `p→q` cross this wall?
+    ///
+    /// Uses the orientation test; touching an endpoint counts as a crossing
+    /// (conservative: grazing a wall still attenuates).
+    pub fn crosses(&self, p: Point, q: Point) -> bool {
+        segments_intersect(p, q, self.a, self.b)
+    }
+}
+
+/// Sum of RF attenuations (dB) of all walls crossed by the path `p→q`.
+pub fn path_wall_loss_db(walls: &[Wall], p: Point, q: Point) -> f64 {
+    walls
+        .iter()
+        .filter(|w| w.crosses(p, q))
+        .map(|w| w.material.attenuation_db())
+        .sum()
+}
+
+/// Sum of acoustic transmission losses (dB) of all walls crossed by `p→q`.
+pub fn path_acoustic_loss_db(walls: &[Wall], p: Point, q: Point) -> f64 {
+    walls
+        .iter()
+        .filter(|w| w.crosses(p, q))
+        .map(|w| w.material.acoustic_loss_db())
+        .sum()
+}
+
+fn orient(a: Point, b: Point, c: Point) -> f64 {
+    (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+}
+
+fn on_segment(a: Point, b: Point, c: Point) -> bool {
+    c.x >= a.x.min(b.x) - 1e-12
+        && c.x <= a.x.max(b.x) + 1e-12
+        && c.y >= a.y.min(b.y) - 1e-12
+        && c.y <= a.y.max(b.y) + 1e-12
+}
+
+/// Robust segment intersection (including collinear overlap and endpoint
+/// touching).
+fn segments_intersect(p1: Point, p2: Point, q1: Point, q2: Point) -> bool {
+    let d1 = orient(q1, q2, p1);
+    let d2 = orient(q1, q2, p2);
+    let d3 = orient(p1, p2, q1);
+    let d4 = orient(p1, p2, q2);
+    if ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
+        && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+    {
+        return true;
+    }
+    (d1.abs() < 1e-12 && on_segment(q1, q2, p1))
+        || (d2.abs() < 1e-12 && on_segment(q1, q2, p2))
+        || (d3.abs() < 1e-12 && on_segment(p1, p2, q1))
+        || (d4.abs() < 1e-12 && on_segment(p1, p2, q2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn midpoint_bisects() {
+        let m = Point::new(0.0, 0.0).midpoint(&Point::new(2.0, 6.0));
+        assert_eq!(m, Point::new(1.0, 3.0));
+    }
+
+    #[test]
+    fn crossing_wall_detected() {
+        let w = Wall::new(Point::new(0.0, -1.0), Point::new(0.0, 1.0), Material::Brick);
+        assert!(w.crosses(Point::new(-1.0, 0.0), Point::new(1.0, 0.0)));
+        assert!(!w.crosses(Point::new(1.0, 0.0), Point::new(2.0, 0.0)));
+    }
+
+    #[test]
+    fn parallel_non_crossing() {
+        let w = Wall::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0), Material::Glass);
+        assert!(!w.crosses(Point::new(0.0, 1.0), Point::new(10.0, 1.0)));
+    }
+
+    #[test]
+    fn endpoint_touch_counts_as_crossing() {
+        let w = Wall::new(Point::new(0.0, -1.0), Point::new(0.0, 1.0), Material::Drywall);
+        assert!(w.crosses(Point::new(0.0, 0.0), Point::new(5.0, 0.0)));
+    }
+
+    #[test]
+    fn collinear_overlap_counts() {
+        let w = Wall::new(Point::new(0.0, 0.0), Point::new(4.0, 0.0), Material::Drywall);
+        assert!(w.crosses(Point::new(2.0, 0.0), Point::new(6.0, 0.0)));
+        assert!(!w.crosses(Point::new(5.0, 0.0), Point::new(6.0, 0.0)));
+    }
+
+    #[test]
+    fn path_loss_sums_all_crossed_walls() {
+        let walls = vec![
+            Wall::new(Point::new(1.0, -1.0), Point::new(1.0, 1.0), Material::Drywall),
+            Wall::new(Point::new(2.0, -1.0), Point::new(2.0, 1.0), Material::Concrete),
+            Wall::new(Point::new(9.0, -1.0), Point::new(9.0, 1.0), Material::Brick), // not crossed
+        ];
+        let loss = path_wall_loss_db(&walls, Point::new(0.0, 0.0), Point::new(3.0, 0.0));
+        assert!((loss - (3.0 + 12.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acoustic_loss_uses_acoustic_coefficients() {
+        let walls = vec![Wall::new(
+            Point::new(1.0, -1.0),
+            Point::new(1.0, 1.0),
+            Material::Drywall,
+        )];
+        let loss = path_acoustic_loss_db(&walls, Point::new(0.0, 0.0), Point::new(2.0, 0.0));
+        assert!((loss - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn materials_order_by_rf_opacity() {
+        assert!(Material::Glass.attenuation_db() < Material::Drywall.attenuation_db() + 2.0);
+        assert!(Material::Drywall.attenuation_db() < Material::Brick.attenuation_db());
+        assert!(Material::Brick.attenuation_db() < Material::Concrete.attenuation_db());
+        assert!(Material::Concrete.attenuation_db() < Material::Metal.attenuation_db());
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the environment substrate.
+
+use aroma_env::acoustics::{db_sum, recognition_accuracy, AcousticField, NoiseSource};
+use aroma_env::radio::{dbm_to_mw, mw_to_dbm, Channel, RadioEnvironment};
+use aroma_env::space::{Material, Point, Wall};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-50.0f64..50.0, -50.0f64..50.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    /// Path loss is monotone non-decreasing in distance in an open (wall- and
+    /// shadowing-free) environment.
+    #[test]
+    fn path_loss_monotone_in_distance(d1 in 1.0f64..100.0, d2 in 1.0f64..100.0) {
+        let env = RadioEnvironment { shadowing_sigma_db: 0.0, ..Default::default() };
+        let o = Point::new(0.0, 0.0);
+        let l1 = env.path_loss_db(1, o, 2, Point::new(d1, 0.0));
+        let l2 = env.path_loss_db(1, o, 2, Point::new(d2, 0.0));
+        if d1 <= d2 {
+            prop_assert!(l1 <= l2 + 1e-9);
+        } else {
+            prop_assert!(l2 <= l1 + 1e-9);
+        }
+    }
+
+    /// Adding any wall never *decreases* path loss.
+    #[test]
+    fn walls_never_help(a in arb_point(), b in arb_point(), wa in arb_point(), wb in arb_point()) {
+        let open = RadioEnvironment { shadowing_sigma_db: 0.0, ..Default::default() };
+        let mut walled = open.clone();
+        walled.walls.push(Wall::new(wa, wb, Material::Brick));
+        let l_open = open.path_loss_db(1, a, 2, b);
+        let l_walled = walled.path_loss_db(1, a, 2, b);
+        prop_assert!(l_walled >= l_open - 1e-9);
+    }
+
+    /// Shadowing is symmetric and deterministic for any node pair.
+    #[test]
+    fn shadowing_symmetric(a in any::<u64>(), b in any::<u64>(), seed in any::<u64>()) {
+        let env = RadioEnvironment { shadowing_seed: seed, ..Default::default() };
+        prop_assert_eq!(env.shadowing_db(a, b), env.shadowing_db(b, a));
+        prop_assert_eq!(env.shadowing_db(a, b), env.shadowing_db(a, b));
+    }
+
+    /// dBm ↔ mW round-trips across the realistic power range.
+    #[test]
+    fn dbm_mw_round_trip(dbm in -150.0f64..30.0) {
+        prop_assert!((mw_to_dbm(dbm_to_mw(dbm)) - dbm).abs() < 1e-6);
+    }
+
+    /// Channel overlap is symmetric, in [0,1], total on co-channel, and zero
+    /// at separation ≥ 5.
+    #[test]
+    fn channel_overlap_properties(i in 1u8..=11, j in 1u8..=11) {
+        let a = Channel::new(i);
+        let b = Channel::new(j);
+        let o = a.overlap(b);
+        prop_assert!((0.0..=1.0).contains(&o));
+        prop_assert_eq!(o, b.overlap(a));
+        if i == j { prop_assert_eq!(o, 1.0); }
+        if i.abs_diff(j) >= 5 { prop_assert_eq!(o, 0.0); }
+        if i.abs_diff(j) > 0 && i.abs_diff(j) < 5 { prop_assert!(o > 0.0 && o < 1.0); }
+    }
+
+    /// Adding an interferer never raises SINR; orthogonal interferers never
+    /// change it.
+    #[test]
+    fn interference_only_hurts(sig in -90.0f64..-30.0, int_p in -90.0f64..-30.0, ov in 0.0f64..=1.0) {
+        let env = RadioEnvironment::default();
+        let clean = env.sinr_db(sig, &[]);
+        let dirty = env.sinr_db(sig, &[(int_p, ov)]);
+        prop_assert!(dirty <= clean + 1e-9);
+        let orthogonal = env.sinr_db(sig, &[(int_p, 0.0)]);
+        prop_assert!((orthogonal - clean).abs() < 1e-9);
+    }
+
+    /// dB summation is at least the max input and at most max + 10·log10(n).
+    #[test]
+    fn db_sum_bounds(levels in prop::collection::vec(0.0f64..120.0, 1..10)) {
+        let max = levels.iter().cloned().fold(f64::MIN, f64::max);
+        let total = db_sum(levels.iter().cloned());
+        prop_assert!(total >= max - 1e-9);
+        prop_assert!(total <= max + 10.0 * (levels.len() as f64).log10() + 1e-9);
+    }
+
+    /// Noise at a point never decreases when a source is added.
+    #[test]
+    fn noise_sources_add(p in arb_point(), src in arb_point(), lvl in 30.0f64..100.0) {
+        let base = AcousticField::default();
+        let mut with = base.clone();
+        with.sources.push(NoiseSource::new(src, lvl));
+        prop_assert!(with.noise_at(p) >= base.noise_at(p) - 1e-9);
+    }
+
+    /// Recognition accuracy is a monotone map from SNR into [0, 1].
+    #[test]
+    fn recognition_monotone(s1 in -40.0f64..40.0, s2 in -40.0f64..40.0) {
+        let a1 = recognition_accuracy(s1);
+        let a2 = recognition_accuracy(s2);
+        prop_assert!((0.0..=1.0).contains(&a1));
+        if s1 <= s2 { prop_assert!(a1 <= a2 + 1e-12); }
+    }
+}

@@ -1,0 +1,239 @@
+//! A line assembler for tests, examples and documentation.
+//!
+//! One instruction per line; `;` starts a comment; `name:` defines a label
+//! usable as a jump target. Mnemonics are the lowercase op names:
+//!
+//! ```
+//! use aroma_mcode::{asm::assemble, NullHost, Vm};
+//!
+//! // clamp(arg0 * 100 / 255, 0, 100)
+//! let program = assemble(
+//!     "arg 0
+//!      push 100
+//!      mul
+//!      push 255
+//!      div
+//!      push 0
+//!      max
+//!      push 100
+//!      min
+//!      halt",
+//! ).unwrap();
+//! assert_eq!(Vm.run_default(&program, &[128], &mut NullHost), Ok(50));
+//! ```
+
+use crate::isa::Op;
+use crate::program::{Program, ValidateError};
+use std::collections::HashMap;
+
+/// Assembly failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AsmError {
+    /// Unknown mnemonic.
+    UnknownMnemonic {
+        /// 1-based source line.
+        line: usize,
+        /// The word.
+        word: String,
+    },
+    /// Missing or malformed operand.
+    BadOperand {
+        /// 1-based source line.
+        line: usize,
+    },
+    /// A jump references an undefined label.
+    UndefinedLabel {
+        /// The label.
+        label: String,
+    },
+    /// A label was defined twice.
+    DuplicateLabel {
+        /// The label.
+        label: String,
+    },
+    /// The assembled program failed validation.
+    Invalid(ValidateError),
+}
+
+/// Assemble source text into a validated [`Program`].
+pub fn assemble(src: &str) -> Result<Program, AsmError> {
+    // Pass 1: strip comments, collect labels against instruction indices.
+    let mut labels: HashMap<String, u16> = HashMap::new();
+    let mut lines: Vec<(usize, Vec<String>)> = Vec::new();
+    let mut index: u16 = 0;
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = raw.split(';').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(label) = line.strip_suffix(':') {
+            let label = label.trim().to_string();
+            if labels.insert(label.clone(), index).is_some() {
+                return Err(AsmError::DuplicateLabel { label });
+            }
+            continue;
+        }
+        lines.push((
+            lineno + 1,
+            line.split_whitespace().map(str::to_string).collect(),
+        ));
+        index += 1;
+    }
+
+    // Pass 2: translate mnemonics.
+    let mut ops = Vec::with_capacity(lines.len());
+    for (line, words) in lines {
+        let mnemonic = words[0].to_lowercase();
+        let operand = words.get(1).map(String::as_str);
+        let int = |s: Option<&str>| -> Result<i64, AsmError> {
+            s.and_then(|s| s.parse().ok())
+                .ok_or(AsmError::BadOperand { line })
+        };
+        let slot = |s: Option<&str>| -> Result<u8, AsmError> {
+            s.and_then(|s| s.parse().ok())
+                .ok_or(AsmError::BadOperand { line })
+        };
+        let target = |s: Option<&str>| -> Result<u16, AsmError> {
+            let word = s.ok_or(AsmError::BadOperand { line })?;
+            if let Ok(n) = word.parse::<u16>() {
+                return Ok(n);
+            }
+            labels
+                .get(word)
+                .copied()
+                .ok_or_else(|| AsmError::UndefinedLabel {
+                    label: word.to_string(),
+                })
+        };
+        let op = match mnemonic.as_str() {
+            "push" => Op::PushI(int(operand)?),
+            "dup" => Op::Dup,
+            "drop" => Op::Drop,
+            "swap" => Op::Swap,
+            "over" => Op::Over,
+            "add" => Op::Add,
+            "sub" => Op::Sub,
+            "mul" => Op::Mul,
+            "div" => Op::Div,
+            "rem" => Op::Rem,
+            "neg" => Op::Neg,
+            "min" => Op::Min,
+            "max" => Op::Max,
+            "and" => Op::And,
+            "or" => Op::Or,
+            "xor" => Op::Xor,
+            "eq" => Op::Eq,
+            "lt" => Op::Lt,
+            "gt" => Op::Gt,
+            "jmp" => Op::Jmp(target(operand)?),
+            "jz" => Op::Jz(target(operand)?),
+            "jnz" => Op::Jnz(target(operand)?),
+            "arg" => Op::Arg(slot(operand)?),
+            "store" => Op::Store(slot(operand)?),
+            "load" => Op::Load(slot(operand)?),
+            "syscall" => {
+                let id = slot(words.get(1).map(String::as_str))?;
+                let argc = slot(words.get(2).map(String::as_str))?;
+                Op::Syscall(id, argc)
+            }
+            "halt" => Op::Halt,
+            _ => {
+                return Err(AsmError::UnknownMnemonic {
+                    line,
+                    word: mnemonic,
+                })
+            }
+        };
+        ops.push(op);
+    }
+    Program::new(ops).map_err(AsmError::Invalid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::{NullHost, Vm};
+
+    #[test]
+    fn assembles_and_runs_arithmetic() {
+        let p = assemble("push 6\npush 7\nmul\nhalt").unwrap();
+        assert_eq!(Vm.run_default(&p, &[], &mut NullHost), Ok(42));
+    }
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        // abs(arg0): if arg0 < 0 negate.
+        let p = assemble(
+            "arg 0
+             dup
+             push 0
+             lt
+             jz done
+             neg
+             done:
+             halt",
+        )
+        .unwrap();
+        assert_eq!(Vm.run_default(&p, &[-9], &mut NullHost), Ok(9));
+        assert_eq!(Vm.run_default(&p, &[9], &mut NullHost), Ok(9));
+    }
+
+    #[test]
+    fn loop_via_backward_label() {
+        // countdown: sum = arg0 + (arg0-1) + ... + 1
+        let p = assemble(
+            "arg 0
+             store 1
+             loop:
+             load 1
+             jz out
+             load 0
+             load 1
+             add
+             store 0
+             load 1
+             push 1
+             sub
+             store 1
+             jmp loop
+             out:
+             load 0
+             halt",
+        )
+        .unwrap();
+        assert_eq!(Vm.run_default(&p, &[100], &mut NullHost), Ok(5050));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = assemble("; a comment\n\npush 1 ; trailing\nhalt").unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(matches!(
+            assemble("frobnicate\nhalt"),
+            Err(AsmError::UnknownMnemonic { line: 1, .. })
+        ));
+        assert!(matches!(
+            assemble("push\nhalt"),
+            Err(AsmError::BadOperand { line: 1 })
+        ));
+        assert!(matches!(
+            assemble("jmp nowhere\nhalt"),
+            Err(AsmError::UndefinedLabel { .. })
+        ));
+        assert!(matches!(
+            assemble("x:\nx:\nhalt"),
+            Err(AsmError::DuplicateLabel { .. })
+        ));
+        assert!(matches!(assemble(""), Err(AsmError::Invalid(_))));
+    }
+
+    #[test]
+    fn numeric_jump_target_valid() {
+        let p = assemble("push 1\njmp 3\npush 99\nhalt").unwrap();
+        assert_eq!(Vm.run_default(&p, &[], &mut NullHost), Ok(1));
+    }
+}

@@ -1,0 +1,309 @@
+//! The instruction set and its wire format.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Maximum local-variable slots per program.
+pub const MAX_LOCALS: u8 = 16;
+
+/// One instruction of the stack machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    // --- stack -----------------------------------------------------------
+    /// Push an immediate i64.
+    PushI(i64),
+    /// Duplicate the top of stack.
+    Dup,
+    /// Discard the top of stack.
+    Drop,
+    /// Swap the two top entries.
+    Swap,
+    /// Push a copy of the second entry.
+    Over,
+    // --- arithmetic (two operands popped, result pushed) ------------------
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction (`… a b → a−b`).
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Checked division (`VmError::DivByZero` on zero divisor).
+    Div,
+    /// Checked remainder.
+    Rem,
+    /// Arithmetic negation.
+    Neg,
+    /// Minimum of two values.
+    Min,
+    /// Maximum of two values.
+    Max,
+    // --- bitwise -----------------------------------------------------------
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    // --- comparison (push 1 or 0) -----------------------------------------
+    /// Equality.
+    Eq,
+    /// Less-than (`… a b → a<b`).
+    Lt,
+    /// Greater-than.
+    Gt,
+    // --- control flow ------------------------------------------------------
+    /// Unconditional jump to instruction index.
+    Jmp(u16),
+    /// Pop; jump if zero.
+    Jz(u16),
+    /// Pop; jump if non-zero.
+    Jnz(u16),
+    // --- data ---------------------------------------------------------------
+    /// Push argument `n` (out-of-range args read as 0 — proxies tolerate
+    /// shorter caller argument lists).
+    Arg(u8),
+    /// Pop into local slot `n`.
+    Store(u8),
+    /// Push local slot `n` (locals start at 0).
+    Load(u8),
+    // --- host ---------------------------------------------------------------
+    /// Call host function `id` with `argc` values popped from the stack
+    /// (first-pushed = first argument); push the reply.
+    Syscall(u8, u8),
+    // --- termination ----------------------------------------------------------
+    /// Stop; the top of stack is the program result.
+    Halt,
+}
+
+const T_PUSHI: u8 = 0x01;
+const T_DUP: u8 = 0x02;
+const T_DROP: u8 = 0x03;
+const T_SWAP: u8 = 0x04;
+const T_OVER: u8 = 0x05;
+const T_ADD: u8 = 0x10;
+const T_SUB: u8 = 0x11;
+const T_MUL: u8 = 0x12;
+const T_DIV: u8 = 0x13;
+const T_REM: u8 = 0x14;
+const T_NEG: u8 = 0x15;
+const T_MIN: u8 = 0x16;
+const T_MAX: u8 = 0x17;
+const T_AND: u8 = 0x18;
+const T_OR: u8 = 0x19;
+const T_XOR: u8 = 0x1A;
+const T_EQ: u8 = 0x20;
+const T_LT: u8 = 0x21;
+const T_GT: u8 = 0x22;
+const T_JMP: u8 = 0x30;
+const T_JZ: u8 = 0x31;
+const T_JNZ: u8 = 0x32;
+const T_ARG: u8 = 0x40;
+const T_STORE: u8 = 0x41;
+const T_LOAD: u8 = 0x42;
+const T_SYSCALL: u8 = 0x50;
+const T_HALT: u8 = 0x60;
+
+/// Wire-format decode errors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// Stream ended inside an instruction.
+    Truncated,
+}
+
+impl Op {
+    /// Append the wire encoding of this op.
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        match self {
+            Op::PushI(v) => {
+                buf.put_u8(T_PUSHI);
+                buf.put_i64(*v);
+            }
+            Op::Dup => buf.put_u8(T_DUP),
+            Op::Drop => buf.put_u8(T_DROP),
+            Op::Swap => buf.put_u8(T_SWAP),
+            Op::Over => buf.put_u8(T_OVER),
+            Op::Add => buf.put_u8(T_ADD),
+            Op::Sub => buf.put_u8(T_SUB),
+            Op::Mul => buf.put_u8(T_MUL),
+            Op::Div => buf.put_u8(T_DIV),
+            Op::Rem => buf.put_u8(T_REM),
+            Op::Neg => buf.put_u8(T_NEG),
+            Op::Min => buf.put_u8(T_MIN),
+            Op::Max => buf.put_u8(T_MAX),
+            Op::And => buf.put_u8(T_AND),
+            Op::Or => buf.put_u8(T_OR),
+            Op::Xor => buf.put_u8(T_XOR),
+            Op::Eq => buf.put_u8(T_EQ),
+            Op::Lt => buf.put_u8(T_LT),
+            Op::Gt => buf.put_u8(T_GT),
+            Op::Jmp(t) => {
+                buf.put_u8(T_JMP);
+                buf.put_u16(*t);
+            }
+            Op::Jz(t) => {
+                buf.put_u8(T_JZ);
+                buf.put_u16(*t);
+            }
+            Op::Jnz(t) => {
+                buf.put_u8(T_JNZ);
+                buf.put_u16(*t);
+            }
+            Op::Arg(n) => {
+                buf.put_u8(T_ARG);
+                buf.put_u8(*n);
+            }
+            Op::Store(n) => {
+                buf.put_u8(T_STORE);
+                buf.put_u8(*n);
+            }
+            Op::Load(n) => {
+                buf.put_u8(T_LOAD);
+                buf.put_u8(*n);
+            }
+            Op::Syscall(id, argc) => {
+                buf.put_u8(T_SYSCALL);
+                buf.put_u8(*id);
+                buf.put_u8(*argc);
+            }
+            Op::Halt => buf.put_u8(T_HALT),
+        }
+    }
+
+    /// Decode one op from the stream.
+    pub fn decode_from(buf: &mut Bytes) -> Result<Op, DecodeError> {
+        if buf.remaining() < 1 {
+            return Err(DecodeError::Truncated);
+        }
+        let tag = buf.get_u8();
+        let need = |buf: &Bytes, n: usize| -> Result<(), DecodeError> {
+            if buf.remaining() < n {
+                Err(DecodeError::Truncated)
+            } else {
+                Ok(())
+            }
+        };
+        Ok(match tag {
+            T_PUSHI => {
+                need(buf, 8)?;
+                Op::PushI(buf.get_i64())
+            }
+            T_DUP => Op::Dup,
+            T_DROP => Op::Drop,
+            T_SWAP => Op::Swap,
+            T_OVER => Op::Over,
+            T_ADD => Op::Add,
+            T_SUB => Op::Sub,
+            T_MUL => Op::Mul,
+            T_DIV => Op::Div,
+            T_REM => Op::Rem,
+            T_NEG => Op::Neg,
+            T_MIN => Op::Min,
+            T_MAX => Op::Max,
+            T_AND => Op::And,
+            T_OR => Op::Or,
+            T_XOR => Op::Xor,
+            T_EQ => Op::Eq,
+            T_LT => Op::Lt,
+            T_GT => Op::Gt,
+            T_JMP => {
+                need(buf, 2)?;
+                Op::Jmp(buf.get_u16())
+            }
+            T_JZ => {
+                need(buf, 2)?;
+                Op::Jz(buf.get_u16())
+            }
+            T_JNZ => {
+                need(buf, 2)?;
+                Op::Jnz(buf.get_u16())
+            }
+            T_ARG => {
+                need(buf, 1)?;
+                Op::Arg(buf.get_u8())
+            }
+            T_STORE => {
+                need(buf, 1)?;
+                Op::Store(buf.get_u8())
+            }
+            T_LOAD => {
+                need(buf, 1)?;
+                Op::Load(buf.get_u8())
+            }
+            T_SYSCALL => {
+                need(buf, 2)?;
+                let id = buf.get_u8();
+                let argc = buf.get_u8();
+                Op::Syscall(id, argc)
+            }
+            T_HALT => Op::Halt,
+            t => return Err(DecodeError::BadOpcode(t)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_ops() -> Vec<Op> {
+        vec![
+            Op::PushI(-42),
+            Op::PushI(i64::MAX),
+            Op::Dup,
+            Op::Drop,
+            Op::Swap,
+            Op::Over,
+            Op::Add,
+            Op::Sub,
+            Op::Mul,
+            Op::Div,
+            Op::Rem,
+            Op::Neg,
+            Op::Min,
+            Op::Max,
+            Op::And,
+            Op::Or,
+            Op::Xor,
+            Op::Eq,
+            Op::Lt,
+            Op::Gt,
+            Op::Jmp(7),
+            Op::Jz(0),
+            Op::Jnz(65535),
+            Op::Arg(3),
+            Op::Store(15),
+            Op::Load(0),
+            Op::Syscall(9, 2),
+            Op::Halt,
+        ]
+    }
+
+    #[test]
+    fn every_op_round_trips() {
+        for op in all_ops() {
+            let mut buf = BytesMut::new();
+            op.encode_into(&mut buf);
+            let mut bytes = buf.freeze();
+            assert_eq!(Op::decode_from(&mut bytes).unwrap(), op);
+            assert_eq!(bytes.remaining(), 0, "{op:?} left trailing bytes");
+        }
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        let mut b = Bytes::from_static(&[0xFF]);
+        assert_eq!(Op::decode_from(&mut b), Err(DecodeError::BadOpcode(0xFF)));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let mut buf = BytesMut::new();
+        Op::PushI(123456).encode_into(&mut buf);
+        let full = buf.freeze();
+        for cut in 0..full.len() {
+            let mut b = full.slice(0..cut);
+            assert!(Op::decode_from(&mut b).is_err(), "prefix {cut}");
+        }
+    }
+}

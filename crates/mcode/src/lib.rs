@@ -1,0 +1,40 @@
+//! # aroma-mcode — mobile code for service proxies
+//!
+//! Two of the Aroma project's research areas are *"mobile code and data"*
+//! and the forecast of $10 systems-on-chip with *"a sufficiently rich
+//! run-time environment capable of running sophisticated virtual
+//! machines"* — the substrate that made Jini's downloadable proxies
+//! plausible. This crate is that substrate in miniature: a deterministic,
+//! validated, fuel-metered stack VM whose programs travel as the opaque
+//! `proxy` bytes of `aroma-discovery`'s service items, so a client can
+//! download *behaviour* (how to talk to a device) rather than hard-coding
+//! it.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Safety for untrusted code** — programs are validated before
+//!    execution (jump targets in range, local slots bounded) and run under
+//!    a fuel budget with hard stack bounds; every failure is a typed
+//!    `VmError`, never a panic.
+//! 2. **Determinism** — no clocks, no floats, no host randomness: a
+//!    program's result is a pure function of its arguments and host
+//!    replies, as required by the simulation substrate.
+//! 3. **Smallness** — an appliance-class ISA: i64 stack machine, 30-odd
+//!    ops, locals, relative-free absolute jumps, and numbered host calls
+//!    ([`Host`]) for device effects.
+//!
+//! Modules: [`isa`] (opcodes + wire format), [`program`] (validated
+//! container), [`vm`] (the interpreter), [`asm`] (a line assembler with
+//! labels, for tests/examples/docs).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod isa;
+pub mod program;
+pub mod vm;
+
+pub use isa::Op;
+pub use program::{Program, ValidateError};
+pub use vm::{Host, NullHost, Vm, VmError, FUEL_DEFAULT};

@@ -1,0 +1,376 @@
+//! The interpreter: fuel-metered, bounded, panic-free.
+
+use crate::isa::{Op, MAX_LOCALS};
+use crate::program::Program;
+
+/// Default fuel budget (instructions) — generous for proxy-sized code.
+pub const FUEL_DEFAULT: u64 = 100_000;
+
+/// Hard operand-stack bound.
+pub const STACK_MAX: usize = 256;
+
+/// Execution failures. All are *results*, never panics: mobile code must
+/// not be able to take the host down.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VmError {
+    /// Instruction budget exhausted (runaway or hostile code).
+    OutOfFuel,
+    /// An op needed more stack entries than present.
+    StackUnderflow {
+        /// Program counter at the failure.
+        at: usize,
+    },
+    /// The operand stack exceeded [`STACK_MAX`].
+    StackOverflow {
+        /// Program counter at the failure.
+        at: usize,
+    },
+    /// Division or remainder by zero.
+    DivByZero {
+        /// Program counter at the failure.
+        at: usize,
+    },
+    /// Execution ran off the end without `Halt`.
+    NoHalt,
+    /// `Halt` with an empty stack (no result value).
+    NoResult,
+    /// The host rejected a syscall.
+    HostError {
+        /// Syscall id.
+        id: u8,
+    },
+}
+
+/// Host interface: the device-side effects a proxy may invoke.
+pub trait Host {
+    /// Handle syscall `id` with `args`; `Err(())` aborts the program with
+    /// [`VmError::HostError`].
+    fn syscall(&mut self, id: u8, args: &[i64]) -> Result<i64, ()>;
+}
+
+/// A host offering no syscalls (pure computation only).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullHost;
+
+impl Host for NullHost {
+    fn syscall(&mut self, _id: u8, _args: &[i64]) -> Result<i64, ()> {
+        Err(())
+    }
+}
+
+/// The virtual machine. Stateless between runs; create once, reuse freely.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Vm;
+
+impl Vm {
+    /// Execute `program` with `args` against `host` under a `fuel` budget.
+    /// Returns the value on top of the stack at `Halt`.
+    pub fn run(
+        &self,
+        program: &Program,
+        args: &[i64],
+        host: &mut dyn Host,
+        fuel: u64,
+    ) -> Result<i64, VmError> {
+        let code = program.ops();
+        let mut stack: Vec<i64> = Vec::with_capacity(16);
+        let mut locals = [0i64; MAX_LOCALS as usize];
+        let mut pc: usize = 0;
+        let mut fuel = fuel;
+
+        macro_rules! pop {
+            () => {
+                stack.pop().ok_or(VmError::StackUnderflow { at: pc })?
+            };
+        }
+        macro_rules! push {
+            ($v:expr) => {{
+                if stack.len() >= STACK_MAX {
+                    return Err(VmError::StackOverflow { at: pc });
+                }
+                stack.push($v);
+            }};
+        }
+        macro_rules! binop {
+            ($f:expr) => {{
+                let b = pop!();
+                let a = pop!();
+                let f: fn(i64, i64) -> i64 = $f;
+                push!(f(a, b));
+            }};
+        }
+
+        while pc < code.len() {
+            if fuel == 0 {
+                return Err(VmError::OutOfFuel);
+            }
+            fuel -= 1;
+            let op = code[pc];
+            let mut next = pc + 1;
+            match op {
+                Op::PushI(v) => push!(v),
+                Op::Dup => {
+                    let v = *stack.last().ok_or(VmError::StackUnderflow { at: pc })?;
+                    push!(v);
+                }
+                Op::Drop => {
+                    pop!();
+                }
+                Op::Swap => {
+                    let b = pop!();
+                    let a = pop!();
+                    push!(b);
+                    push!(a);
+                }
+                Op::Over => {
+                    if stack.len() < 2 {
+                        return Err(VmError::StackUnderflow { at: pc });
+                    }
+                    let v = stack[stack.len() - 2];
+                    push!(v);
+                }
+                Op::Add => binop!(|a: i64, b: i64| a.wrapping_add(b)),
+                Op::Sub => binop!(|a: i64, b: i64| a.wrapping_sub(b)),
+                Op::Mul => binop!(|a: i64, b: i64| a.wrapping_mul(b)),
+                Op::Div => {
+                    let b = pop!();
+                    let a = pop!();
+                    if b == 0 {
+                        return Err(VmError::DivByZero { at: pc });
+                    }
+                    push!(a.wrapping_div(b));
+                }
+                Op::Rem => {
+                    let b = pop!();
+                    let a = pop!();
+                    if b == 0 {
+                        return Err(VmError::DivByZero { at: pc });
+                    }
+                    push!(a.wrapping_rem(b));
+                }
+                Op::Neg => {
+                    let a = pop!();
+                    push!(a.wrapping_neg());
+                }
+                Op::Min => binop!(|a: i64, b: i64| a.min(b)),
+                Op::Max => binop!(|a: i64, b: i64| a.max(b)),
+                Op::And => binop!(|a: i64, b: i64| a & b),
+                Op::Or => binop!(|a: i64, b: i64| a | b),
+                Op::Xor => binop!(|a: i64, b: i64| a ^ b),
+                Op::Eq => binop!(|a: i64, b: i64| (a == b) as i64),
+                Op::Lt => binop!(|a: i64, b: i64| (a < b) as i64),
+                Op::Gt => binop!(|a: i64, b: i64| (a > b) as i64),
+                Op::Jmp(t) => next = t as usize,
+                Op::Jz(t) => {
+                    if pop!() == 0 {
+                        next = t as usize;
+                    }
+                }
+                Op::Jnz(t) => {
+                    if pop!() != 0 {
+                        next = t as usize;
+                    }
+                }
+                Op::Arg(n) => push!(args.get(n as usize).copied().unwrap_or(0)),
+                Op::Store(n) => {
+                    locals[n as usize] = pop!();
+                }
+                Op::Load(n) => push!(locals[n as usize]),
+                Op::Syscall(id, argc) => {
+                    let argc = argc as usize;
+                    if stack.len() < argc {
+                        return Err(VmError::StackUnderflow { at: pc });
+                    }
+                    let split = stack.len() - argc;
+                    let call_args: Vec<i64> = stack.split_off(split);
+                    let reply = host
+                        .syscall(id, &call_args)
+                        .map_err(|()| VmError::HostError { id })?;
+                    push!(reply);
+                }
+                Op::Halt => return stack.last().copied().ok_or(VmError::NoResult),
+            }
+            pc = next;
+        }
+        Err(VmError::NoHalt)
+    }
+
+    /// Run with the default fuel budget.
+    pub fn run_default(
+        &self,
+        program: &Program,
+        args: &[i64],
+        host: &mut dyn Host,
+    ) -> Result<i64, VmError> {
+        self.run(program, args, host, FUEL_DEFAULT)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(ops: Vec<Op>, args: &[i64]) -> Result<i64, VmError> {
+        let p = Program::new(ops).unwrap();
+        Vm.run(&p, args, &mut NullHost, 10_000)
+    }
+
+    #[test]
+    fn arithmetic_works() {
+        assert_eq!(run(vec![Op::PushI(2), Op::PushI(3), Op::Add, Op::Halt], &[]), Ok(5));
+        assert_eq!(run(vec![Op::PushI(7), Op::PushI(3), Op::Sub, Op::Halt], &[]), Ok(4));
+        assert_eq!(run(vec![Op::PushI(6), Op::PushI(7), Op::Mul, Op::Halt], &[]), Ok(42));
+        assert_eq!(run(vec![Op::PushI(9), Op::PushI(2), Op::Div, Op::Halt], &[]), Ok(4));
+        assert_eq!(run(vec![Op::PushI(9), Op::PushI(2), Op::Rem, Op::Halt], &[]), Ok(1));
+        assert_eq!(run(vec![Op::PushI(5), Op::Neg, Op::Halt], &[]), Ok(-5));
+        assert_eq!(run(vec![Op::PushI(3), Op::PushI(9), Op::Min, Op::Halt], &[]), Ok(3));
+        assert_eq!(run(vec![Op::PushI(3), Op::PushI(9), Op::Max, Op::Halt], &[]), Ok(9));
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        assert_eq!(run(vec![Op::PushI(3), Op::PushI(3), Op::Eq, Op::Halt], &[]), Ok(1));
+        assert_eq!(run(vec![Op::PushI(2), Op::PushI(3), Op::Lt, Op::Halt], &[]), Ok(1));
+        assert_eq!(run(vec![Op::PushI(2), Op::PushI(3), Op::Gt, Op::Halt], &[]), Ok(0));
+        assert_eq!(run(vec![Op::PushI(0b1100), Op::PushI(0b1010), Op::And, Op::Halt], &[]), Ok(0b1000));
+        assert_eq!(run(vec![Op::PushI(0b1100), Op::PushI(0b1010), Op::Or, Op::Halt], &[]), Ok(0b1110));
+        assert_eq!(run(vec![Op::PushI(0b1100), Op::PushI(0b1010), Op::Xor, Op::Halt], &[]), Ok(0b0110));
+    }
+
+    #[test]
+    fn stack_shuffles() {
+        assert_eq!(run(vec![Op::PushI(1), Op::Dup, Op::Add, Op::Halt], &[]), Ok(2));
+        assert_eq!(
+            run(vec![Op::PushI(1), Op::PushI(2), Op::Swap, Op::Sub, Op::Halt], &[]),
+            Ok(1)
+        );
+        assert_eq!(
+            run(vec![Op::PushI(5), Op::PushI(9), Op::Over, Op::Add, Op::Add, Op::Halt], &[]),
+            Ok(19)
+        );
+        assert_eq!(
+            run(vec![Op::PushI(1), Op::PushI(2), Op::Drop, Op::Halt], &[]),
+            Ok(1)
+        );
+    }
+
+    #[test]
+    fn args_and_locals() {
+        // f(a, b) = a * 10 + b
+        let r = run(
+            vec![
+                Op::Arg(0),
+                Op::PushI(10),
+                Op::Mul,
+                Op::Arg(1),
+                Op::Add,
+                Op::Halt,
+            ],
+            &[7, 3],
+        );
+        assert_eq!(r, Ok(73));
+        // Missing args read as zero.
+        assert_eq!(run(vec![Op::Arg(5), Op::Halt], &[1]), Ok(0));
+        // Locals default to zero; store/load round-trips.
+        assert_eq!(
+            run(vec![Op::PushI(9), Op::Store(3), Op::Load(3), Op::Halt], &[]),
+            Ok(9)
+        );
+        assert_eq!(run(vec![Op::Load(7), Op::Halt], &[]), Ok(0));
+    }
+
+    #[test]
+    fn loop_with_jumps_computes_sum() {
+        // sum 1..=n via a loop: locals[0]=acc, locals[1]=i
+        let p = vec![
+            Op::Arg(0),      // 0: n
+            Op::Store(1),    // 1: i = n
+            Op::Load(1),     // 2: loop head
+            Op::Jz(11),      // 3: while i != 0
+            Op::Load(0),     // 4
+            Op::Load(1),     // 5
+            Op::Add,         // 6
+            Op::Store(0),    // 7: acc += i
+            Op::Load(1),     // 8
+            Op::PushI(1),    // 9 ... i -= 1  (continued below)
+            Op::Sub,         // 10
+            // fallthrough fix below
+            Op::Load(0),     // 11: result
+            Op::Halt,        // 12
+        ];
+        // Need to store back and jump — rebuild properly:
+        let p = {
+            let mut v = p;
+            v.truncate(11);
+            v.push(Op::Store(1)); // 11
+            v.push(Op::Jmp(2)); // 12
+            v.push(Op::Load(0)); // 13
+            v.push(Op::Halt); // 14
+            // fix Jz target to 13
+            v[3] = Op::Jz(13);
+            v
+        };
+        assert_eq!(run(p, &[10]), Ok(55));
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        assert_eq!(
+            run(vec![Op::PushI(1), Op::PushI(0), Op::Div, Op::Halt], &[]),
+            Err(VmError::DivByZero { at: 2 })
+        );
+        assert_eq!(
+            run(vec![Op::PushI(1), Op::PushI(0), Op::Rem, Op::Halt], &[]),
+            Err(VmError::DivByZero { at: 2 })
+        );
+    }
+
+    #[test]
+    fn underflow_overflow_and_no_halt() {
+        assert_eq!(run(vec![Op::Add, Op::Halt], &[]), Err(VmError::StackUnderflow { at: 0 }));
+        assert_eq!(run(vec![Op::PushI(1)], &[]), Err(VmError::NoHalt));
+        assert_eq!(run(vec![Op::Halt], &[]), Err(VmError::NoResult));
+        // Overflow: a loop pushing forever trips the stack bound before fuel.
+        let p = vec![Op::PushI(1), Op::Jmp(0)];
+        let r = run(p, &[]);
+        assert!(matches!(r, Err(VmError::StackOverflow { .. })), "{r:?}");
+    }
+
+    #[test]
+    fn infinite_loop_runs_out_of_fuel() {
+        let p = Program::new(vec![Op::Jmp(0)]).unwrap();
+        assert_eq!(Vm.run(&p, &[], &mut NullHost, 1000), Err(VmError::OutOfFuel));
+    }
+
+    #[test]
+    fn syscalls_reach_the_host() {
+        struct Recorder {
+            calls: Vec<(u8, Vec<i64>)>,
+        }
+        impl Host for Recorder {
+            fn syscall(&mut self, id: u8, args: &[i64]) -> Result<i64, ()> {
+                self.calls.push((id, args.to_vec()));
+                Ok(args.iter().sum::<i64>() * 2)
+            }
+        }
+        let p = Program::new(vec![
+            Op::PushI(3),
+            Op::PushI(4),
+            Op::Syscall(9, 2),
+            Op::Halt,
+        ])
+        .unwrap();
+        let mut host = Recorder { calls: vec![] };
+        assert_eq!(Vm.run(&p, &[], &mut host, 100), Ok(14));
+        assert_eq!(host.calls, vec![(9, vec![3, 4])]);
+    }
+
+    #[test]
+    fn host_rejection_aborts() {
+        let p = Program::new(vec![Op::Syscall(1, 0), Op::Halt]).unwrap();
+        assert_eq!(
+            Vm.run(&p, &[], &mut NullHost, 100),
+            Err(VmError::HostError { id: 1 })
+        );
+    }
+}

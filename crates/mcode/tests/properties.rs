@@ -1,0 +1,99 @@
+//! Property-based tests: the VM must be total (no panics) and deterministic
+//! for arbitrary — including hostile — mobile code.
+
+use aroma_mcode::isa::{Op, MAX_LOCALS};
+use aroma_mcode::{Host, NullHost, Program, Vm};
+use bytes::Bytes;
+use proptest::prelude::*;
+
+fn arb_op(code_len: u16) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<i64>().prop_map(Op::PushI),
+        Just(Op::Dup),
+        Just(Op::Drop),
+        Just(Op::Swap),
+        Just(Op::Over),
+        Just(Op::Add),
+        Just(Op::Sub),
+        Just(Op::Mul),
+        Just(Op::Div),
+        Just(Op::Rem),
+        Just(Op::Neg),
+        Just(Op::Min),
+        Just(Op::Max),
+        Just(Op::And),
+        Just(Op::Or),
+        Just(Op::Xor),
+        Just(Op::Eq),
+        Just(Op::Lt),
+        Just(Op::Gt),
+        (0..code_len).prop_map(Op::Jmp),
+        (0..code_len).prop_map(Op::Jz),
+        (0..code_len).prop_map(Op::Jnz),
+        (0u8..8).prop_map(Op::Arg),
+        (0..MAX_LOCALS).prop_map(Op::Store),
+        (0..MAX_LOCALS).prop_map(Op::Load),
+        (any::<u8>(), 0u8..4).prop_map(|(id, argc)| Op::Syscall(id, argc)),
+        Just(Op::Halt),
+    ]
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    (1u16..40).prop_flat_map(|len| {
+        prop::collection::vec(arb_op(len), len as usize)
+            .prop_map(|ops| Program::new(ops).expect("targets within range by construction"))
+    })
+}
+
+/// A host that answers every syscall with a function of its inputs.
+struct EchoHost;
+impl Host for EchoHost {
+    fn syscall(&mut self, id: u8, args: &[i64]) -> Result<i64, ()> {
+        Ok(id as i64 + args.iter().sum::<i64>())
+    }
+}
+
+proptest! {
+    /// Arbitrary validated programs never panic the interpreter: every run
+    /// returns Ok or a typed error within the fuel budget.
+    #[test]
+    fn vm_is_total(p in arb_program(), args in prop::collection::vec(any::<i64>(), 0..4)) {
+        let _ = Vm.run(&p, &args, &mut EchoHost, 5_000);
+    }
+
+    /// Execution is deterministic: same program, args and host → same result.
+    #[test]
+    fn vm_is_deterministic(p in arb_program(), args in prop::collection::vec(any::<i64>(), 0..4)) {
+        let a = Vm.run(&p, &args, &mut EchoHost, 5_000);
+        let b = Vm.run(&p, &args, &mut EchoHost, 5_000);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Fuel monotonicity: if a run finishes (Ok or a non-fuel error) under
+    /// budget f, the identical run under any larger budget gives the same
+    /// outcome.
+    #[test]
+    fn fuel_monotone(p in arb_program(), args in prop::collection::vec(any::<i64>(), 0..4), extra in 1u64..1000) {
+        let small = Vm.run(&p, &args, &mut EchoHost, 2_000);
+        if small != Err(aroma_mcode::VmError::OutOfFuel) {
+            let big = Vm.run(&p, &args, &mut EchoHost, 2_000 + extra);
+            prop_assert_eq!(small, big);
+        }
+    }
+
+    /// Program wire format round-trips.
+    #[test]
+    fn program_round_trip(p in arb_program()) {
+        let decoded = Program::decode(p.encode()).unwrap();
+        prop_assert_eq!(decoded, p);
+    }
+
+    /// Decoding arbitrary bytes never panics; success implies a validated
+    /// program whose execution is also panic-free.
+    #[test]
+    fn decode_arbitrary_bytes_total(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        if let Ok(p) = Program::decode(Bytes::from(bytes)) {
+            let _ = Vm.run(&p, &[1, 2, 3], &mut NullHost, 2_000);
+        }
+    }
+}

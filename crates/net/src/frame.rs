@@ -1,0 +1,135 @@
+//! Frames and addressing.
+
+use bytes::Bytes;
+
+/// Maximum payload per frame, bytes (Ethernet-class MTU; applications that
+/// need more — the VNC substrate does — fragment above the MAC).
+pub const MTU_BYTES: usize = 1500;
+
+/// MAC header + FCS overhead added to every data frame, bytes.
+pub const MAC_OVERHEAD_BYTES: usize = 28;
+
+/// ACK frame size, bytes.
+pub const ACK_BYTES: usize = 14;
+
+/// Identifier of a node on the simulated network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Stable 64-bit key (for shadowing draws and RNG forks).
+    pub fn key(self) -> u64 {
+        self.0 as u64
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Destination of a frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Address {
+    /// A single node (acknowledged, retried).
+    Node(NodeId),
+    /// All nodes in radio range (unacknowledged, single attempt).
+    Broadcast,
+}
+
+impl Address {
+    /// Is this the broadcast address?
+    pub fn is_broadcast(self) -> bool {
+        matches!(self, Address::Broadcast)
+    }
+}
+
+impl From<NodeId> for Address {
+    fn from(n: NodeId) -> Address {
+        Address::Node(n)
+    }
+}
+
+/// Frame type on the air.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FrameKind {
+    /// Application data.
+    Data,
+    /// MAC-level acknowledgement.
+    Ack,
+}
+
+/// A frame as handed to the PHY.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    /// Transmitting node.
+    pub src: NodeId,
+    /// Destination address.
+    pub dst: Address,
+    /// Data or ACK.
+    pub kind: FrameKind,
+    /// MAC sequence number (per-source, wrapping; used for ACK matching and
+    /// receiver-side duplicate detection).
+    pub seq: u16,
+    /// Application payload (empty for ACKs).
+    pub payload: Bytes,
+}
+
+impl Frame {
+    /// Total size on the air in bytes, including MAC overhead.
+    pub fn wire_bytes(&self) -> usize {
+        match self.kind {
+            FrameKind::Data => self.payload.len() + MAC_OVERHEAD_BYTES,
+            FrameKind::Ack => ACK_BYTES,
+        }
+    }
+
+    /// Total size on the air in bits.
+    pub fn wire_bits(&self) -> u64 {
+        self.wire_bytes() as u64 * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data_frame(len: usize) -> Frame {
+        Frame {
+            src: NodeId(1),
+            dst: Address::Node(NodeId(2)),
+            kind: FrameKind::Data,
+            seq: 0,
+            payload: Bytes::from(vec![0u8; len]),
+        }
+    }
+
+    #[test]
+    fn wire_size_includes_mac_overhead() {
+        assert_eq!(data_frame(100).wire_bytes(), 128);
+        assert_eq!(data_frame(0).wire_bytes(), MAC_OVERHEAD_BYTES);
+    }
+
+    #[test]
+    fn ack_is_fixed_size() {
+        let ack = Frame {
+            kind: FrameKind::Ack,
+            ..data_frame(500)
+        };
+        assert_eq!(ack.wire_bytes(), ACK_BYTES);
+    }
+
+    #[test]
+    fn broadcast_detection() {
+        assert!(Address::Broadcast.is_broadcast());
+        assert!(!Address::Node(NodeId(3)).is_broadcast());
+        assert_eq!(Address::from(NodeId(3)), Address::Node(NodeId(3)));
+    }
+
+    #[test]
+    fn node_display_and_key() {
+        assert_eq!(NodeId(7).to_string(), "n7");
+        assert_eq!(NodeId(7).key(), 7);
+    }
+}

@@ -1,0 +1,117 @@
+//! Node mobility.
+//!
+//! Pervasive computing "is mobile" and the paper lists *ranging* among the
+//! wireless environment issues. A [`MobilityPath`] gives a node a
+//! piecewise-linear trajectory; the network core samples it on a fixed
+//! period and updates the node's position, so carrier sense, SINR and rate
+//! selection all see the motion.
+
+use aroma_env::space::Point;
+use aroma_sim::{SimDuration, SimTime};
+
+/// A piecewise-linear trajectory with a sampling period.
+#[derive(Clone, Debug)]
+pub struct MobilityPath {
+    /// Timestamped waypoints, strictly increasing in time. Before the
+    /// first waypoint the node sits at the first point; after the last it
+    /// parks at the last point.
+    pub waypoints: Vec<(SimTime, Point)>,
+    /// How often the core re-samples the position.
+    pub update_period: SimDuration,
+}
+
+impl MobilityPath {
+    /// Straight-line walk from `from` to `to`, departing at `start` and
+    /// arriving `duration` later, sampled every 200 ms.
+    pub fn line(from: Point, to: Point, start: SimTime, duration: SimDuration) -> Self {
+        assert!(!duration.is_zero(), "zero-duration walk");
+        MobilityPath {
+            waypoints: vec![(start, from), (start + duration, to)],
+            update_period: SimDuration::from_millis(200),
+        }
+    }
+
+    /// Position at time `t` (clamped to the path's ends).
+    pub fn position_at(&self, t: SimTime) -> Point {
+        assert!(!self.waypoints.is_empty(), "empty mobility path");
+        if t <= self.waypoints[0].0 {
+            return self.waypoints[0].1;
+        }
+        for w in self.waypoints.windows(2) {
+            let (t0, p0) = w[0];
+            let (t1, p1) = w[1];
+            if t < t1 {
+                let span = (t1 - t0).as_secs_f64();
+                let frac = if span <= 0.0 {
+                    1.0
+                } else {
+                    (t - t0).as_secs_f64() / span
+                };
+                return Point::new(p0.x + (p1.x - p0.x) * frac, p0.y + (p1.y - p0.y) * frac);
+            }
+        }
+        self.waypoints.last().unwrap().1
+    }
+
+    /// Instant after which the node no longer moves.
+    pub fn ends_at(&self) -> SimTime {
+        self.waypoints.last().map(|(t, _)| *t).unwrap_or(SimTime::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn line_interpolates() {
+        let p = MobilityPath::line(
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            at(5),
+            SimDuration::from_secs(10),
+        );
+        assert_eq!(p.position_at(at(0)), Point::new(0.0, 0.0)); // before start
+        assert_eq!(p.position_at(at(5)), Point::new(0.0, 0.0));
+        let mid = p.position_at(at(10));
+        assert!((mid.x - 5.0).abs() < 1e-9);
+        assert_eq!(p.position_at(at(15)), Point::new(10.0, 0.0));
+        assert_eq!(p.position_at(at(99)), Point::new(10.0, 0.0)); // parked
+        assert_eq!(p.ends_at(), at(15));
+    }
+
+    #[test]
+    fn multi_segment_path() {
+        let p = MobilityPath {
+            waypoints: vec![
+                (at(0), Point::new(0.0, 0.0)),
+                (at(10), Point::new(10.0, 0.0)),
+                (at(20), Point::new(10.0, 10.0)),
+            ],
+            update_period: SimDuration::from_millis(100),
+        };
+        let q = p.position_at(at(15));
+        assert!((q.x - 10.0).abs() < 1e-9);
+        assert!((q.y - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn position_is_monotone_along_a_line() {
+        let p = MobilityPath::line(
+            Point::new(0.0, 0.0),
+            Point::new(100.0, 0.0),
+            at(0),
+            SimDuration::from_secs(50),
+        );
+        let mut last = -1.0;
+        for s in 0..=50 {
+            let x = p.position_at(at(s)).x;
+            assert!(x >= last);
+            last = x;
+        }
+    }
+}

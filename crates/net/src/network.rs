@@ -1,0 +1,1241 @@
+//! The network simulator: event loop, MAC state machine driver, application
+//! interface.
+//!
+//! A [`Network`] owns a set of nodes (position, channel, radio parameters,
+//! MAC state) sharing one [`crate::medium::Medium`] inside one
+//! [`RadioEnvironment`]. Applications implement [`NetApp`] and interact with
+//! the stack exclusively through a [`NetCtx`] — sending frames, arming
+//! timers, reading the clock — which is also how the higher substrates
+//! (`aroma-discovery`, `aroma-vnc`, `smart-projector`) are built.
+//!
+//! ## Event model
+//!
+//! Four event kinds drive everything:
+//!
+//! * `MacTick` — one step of a node's CSMA/CA contention (poll-after-busy,
+//!   DIFS expiry, or one backoff slot). Ticks are stamped with the node's
+//!   MAC generation; bumping the generation invalidates outstanding ticks,
+//!   which is cheaper and simpler than cancelling them.
+//! * `TxEnd` — a transmission leaves the air; receivers evaluate SINR and
+//!   the frame either dies or is delivered/acknowledged.
+//! * `AckTimeout` — a unicast sender gave up waiting; binary-exponential
+//!   backoff and retry, or drop at the retry limit.
+//! * `AppTimer` — an application timer armed through [`NetCtx::set_timer`].
+
+use crate::frame::{Address, Frame, FrameKind, NodeId, ACK_BYTES, MTU_BYTES};
+use crate::mac::{MacConfig, MacNode, MacState, TickPhase, TxJob};
+use crate::medium::{Medium, Transmission, TxId};
+use crate::mobility::MobilityPath;
+use crate::phy::{airtime, packet_error_rate, Rate, RateAdaptation};
+use aroma_env::radio::{Channel, RadioEnvironment};
+use aroma_env::space::Point;
+use aroma_sim::stats::Summary;
+use aroma_sim::{EventId, EventQueue, SimDuration, SimRng, SimTime};
+use bytes::Bytes;
+use std::any::Any;
+use std::collections::HashMap;
+
+/// Handle to a pending application timer (cancellable).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimerId(EventId);
+
+/// Static configuration of one node.
+#[derive(Clone, Debug)]
+pub struct NodeConfig {
+    /// Position in the floor plan (initial position when mobile).
+    pub pos: Point,
+    /// Operating channel.
+    pub channel: Channel,
+    /// Transmit power, dBm.
+    pub tx_dbm: f64,
+    /// Rate-control policy.
+    pub adapt: RateAdaptation,
+    /// Trajectory, if the node moves.
+    pub mobility: Option<MobilityPath>,
+}
+
+impl NodeConfig {
+    /// A node at `pos` with default radio parameters (channel 6, 15 dBm,
+    /// SNR-based rate control).
+    pub fn at(pos: Point) -> Self {
+        NodeConfig {
+            pos,
+            channel: Channel::CH6,
+            tx_dbm: 15.0,
+            adapt: RateAdaptation::SnrBased,
+            mobility: None,
+        }
+    }
+
+    /// Attach a trajectory.
+    pub fn moving(mut self, path: MobilityPath) -> Self {
+        self.mobility = Some(path);
+        self
+    }
+
+    /// Same, with an explicit channel.
+    pub fn at_on(pos: Point, channel: Channel) -> Self {
+        NodeConfig {
+            channel,
+            ..NodeConfig::at(pos)
+        }
+    }
+}
+
+/// Per-node traffic counters.
+#[derive(Clone, Debug, Default)]
+pub struct NodeStats {
+    /// Data-frame transmissions started (including retries).
+    pub tx_data_attempts: u64,
+    /// ACK frames transmitted.
+    pub tx_acks: u64,
+    /// Data frames delivered up to the application.
+    pub rx_delivered: u64,
+    /// Payload bytes delivered up to the application.
+    pub rx_bytes: u64,
+    /// Duplicate data frames suppressed by sequence checking.
+    pub rx_duplicates: u64,
+    /// ACK timeouts (each implies a retry or a drop).
+    pub ack_timeouts: u64,
+    /// Unicast frames dropped after exhausting the retry limit.
+    pub drops_retry: u64,
+    /// Frames dropped at enqueue because the MAC queue was full.
+    pub drops_queue: u64,
+    /// Unicast frames successfully acknowledged.
+    pub tx_completed: u64,
+}
+
+/// Network-wide counters.
+#[derive(Clone, Debug, Default)]
+pub struct NetStats {
+    /// Per-node counters, indexed by `NodeId.0`.
+    pub node: Vec<NodeStats>,
+    /// Total data frames delivered to applications.
+    pub delivered_frames: u64,
+    /// Total payload bytes delivered to applications.
+    pub delivered_bytes: u64,
+    /// MAC service time for completed unicast frames (enqueue → ACK), s.
+    pub service_time: Summary,
+    /// Frames delivered over wired links.
+    pub wired_frames: u64,
+    /// Payload bytes delivered over wired links.
+    pub wired_bytes: u64,
+}
+
+impl NetStats {
+    /// Aggregate application-level throughput over `horizon`, bits/s.
+    pub fn goodput_bps(&self, horizon: SimDuration) -> f64 {
+        let secs = horizon.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.delivered_bytes as f64 * 8.0 / secs
+        }
+    }
+
+    /// Total retry-limit drops across nodes.
+    pub fn total_retry_drops(&self) -> u64 {
+        self.node.iter().map(|n| n.drops_retry).sum()
+    }
+
+    /// Total ACK timeouts (collision/loss indicator) across nodes.
+    pub fn total_ack_timeouts(&self) -> u64 {
+        self.node.iter().map(|n| n.ack_timeouts).sum()
+    }
+
+    /// Total data transmission attempts across nodes.
+    pub fn total_tx_attempts(&self) -> u64 {
+        self.node.iter().map(|n| n.tx_data_attempts).sum()
+    }
+}
+
+/// An application running on a node.
+///
+/// Implementations also serve as the state the embedding test/experiment
+/// inspects afterwards — retrieve them with [`Network::app_as`].
+pub trait NetApp: Any {
+    /// Called once, at simulation start.
+    fn on_start(&mut self, _ctx: &mut NetCtx<'_>) {}
+    /// A data frame arrived.
+    fn on_packet(&mut self, _ctx: &mut NetCtx<'_>, _from: NodeId, _payload: &Bytes) {}
+    /// A timer armed with [`NetCtx::set_timer`] fired.
+    fn on_timer(&mut self, _ctx: &mut NetCtx<'_>, _token: u64) {}
+    /// A frame we sent finished service successfully (ACKed, or broadcast
+    /// completed its single attempt).
+    fn on_sent(&mut self, _ctx: &mut NetCtx<'_>, _to: Address) {}
+    /// A unicast frame was dropped after the retry limit.
+    fn on_send_failed(&mut self, _ctx: &mut NetCtx<'_>, _to: NodeId, _payload: &Bytes) {}
+}
+
+/// The application's handle onto the stack.
+pub struct NetCtx<'a> {
+    core: &'a mut Core,
+    node: NodeId,
+}
+
+impl NetCtx<'_> {
+    /// This node's id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.queue.now()
+    }
+
+    /// This node's position.
+    pub fn position(&self) -> Point {
+        self.core.nodes[self.node.0 as usize].pos
+    }
+
+    /// Number of nodes in the network.
+    pub fn node_count(&self) -> usize {
+        self.core.nodes.len()
+    }
+
+    /// Deterministic per-node random stream.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.core.nodes[self.node.0 as usize].rng
+    }
+
+    /// Queue a frame for transmission. Payloads larger than [`MTU_BYTES`]
+    /// panic (fragmentation belongs to the layer above). Returns `false` if
+    /// the MAC queue was full and the frame was dropped.
+    pub fn send(&mut self, dst: Address, payload: Bytes) -> bool {
+        self.core.enqueue(self.node, dst, payload)
+    }
+
+    /// Send over a wired link (the "traditional network"): reliable,
+    /// contention-free, delivered after link latency plus serialisation.
+    /// Returns `false` when no cable connects this node to `peer`.
+    pub fn send_wired(&mut self, peer: NodeId, payload: Bytes) -> bool {
+        self.core.send_wired(self.node, peer, payload)
+    }
+
+    /// Is this node cabled directly to `peer`?
+    pub fn has_wired_link(&self, peer: NodeId) -> bool {
+        self.core.wired_link(self.node, peer).is_some()
+    }
+
+    /// Arm a timer; `token` is handed back to
+    /// [`NetApp::on_timer`] when it fires.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) -> TimerId {
+        TimerId(self.core.queue.schedule_in(
+            delay,
+            Event::AppTimer {
+                node: self.node,
+                token,
+            },
+        ))
+    }
+
+    /// Cancel a pending timer (no-op if it already fired).
+    pub fn cancel_timer(&mut self, id: TimerId) -> bool {
+        self.core.queue.cancel(id.0)
+    }
+
+    /// Mean SNR (dB, interference-free) of the link to `peer` — what a
+    /// driver would estimate from beacons; used by apps for diagnostics.
+    pub fn link_snr_db(&self, peer: NodeId) -> f64 {
+        self.core.link_snr_db(self.node, peer)
+    }
+}
+
+#[derive(Debug)]
+enum Event {
+    MacTick {
+        node: NodeId,
+        gen: u64,
+        phase: TickPhase,
+    },
+    TxEnd {
+        tx: TxId,
+    },
+    AckTimeout {
+        node: NodeId,
+        gen: u64,
+    },
+    AppTimer {
+        node: NodeId,
+        token: u64,
+    },
+    MobilityTick {
+        node: NodeId,
+    },
+    WiredDeliver {
+        from: NodeId,
+        to: NodeId,
+        payload: Bytes,
+    },
+}
+
+enum AppCall {
+    Packet {
+        node: NodeId,
+        from: NodeId,
+        payload: Bytes,
+    },
+    Timer {
+        node: NodeId,
+        token: u64,
+    },
+    Sent {
+        node: NodeId,
+        to: Address,
+    },
+    SendFailed {
+        node: NodeId,
+        to: NodeId,
+        payload: Bytes,
+    },
+}
+
+struct NodeInfo {
+    pos: Point,
+    channel: Channel,
+    tx_dbm: f64,
+    adapt: RateAdaptation,
+    mobility: Option<MobilityPath>,
+    mac: MacNode,
+    /// Last sequence number seen per source (duplicate suppression).
+    dedup: HashMap<NodeId, u16>,
+    rng: SimRng,
+}
+
+/// A reliable point-to-point cable between two nodes (the "traditional
+/// network" the Aroma project bridges to). Full duplex, contention-free.
+#[derive(Clone, Copy, Debug)]
+struct WiredLink {
+    a: NodeId,
+    b: NodeId,
+    latency: SimDuration,
+    bps: u64,
+}
+
+struct Core {
+    queue: EventQueue<Event>,
+    env: RadioEnvironment,
+    cfg: MacConfig,
+    nodes: Vec<NodeInfo>,
+    medium: Medium,
+    rng: SimRng,
+    stats: NetStats,
+    pending: Vec<AppCall>,
+    prune_counter: u32,
+    wired: Vec<WiredLink>,
+}
+
+/// ACK wait: SIFS + ACK airtime at the base rate + two slots of grace.
+fn ack_timeout(cfg: &MacConfig) -> SimDuration {
+    cfg.sifs + airtime(ACK_BYTES as u64 * 8, Rate::R2) + cfg.slot * 2
+}
+
+impl Core {
+    fn node(&mut self, id: NodeId) -> &mut NodeInfo {
+        &mut self.nodes[id.0 as usize]
+    }
+
+    fn link_snr_db(&self, a: NodeId, b: NodeId) -> f64 {
+        let na = &self.nodes[a.0 as usize];
+        let nb = &self.nodes[b.0 as usize];
+        self.env
+            .received_dbm(na.tx_dbm, a.key(), na.pos, b.key(), nb.pos)
+            - self.env.noise_floor_dbm()
+    }
+
+    fn enqueue(&mut self, src: NodeId, dst: Address, payload: Bytes) -> bool {
+        assert!(
+            payload.len() <= MTU_BYTES,
+            "payload {} exceeds MTU {MTU_BYTES}; fragment above the MAC",
+            payload.len()
+        );
+        if let Address::Node(d) = dst {
+            assert!(
+                (d.0 as usize) < self.nodes.len(),
+                "destination {d} does not exist"
+            );
+            assert_ne!(d, src, "a node cannot unicast to itself");
+        }
+        let now = self.queue.now();
+        let cap = self.cfg.queue_cap;
+        if self.nodes[src.0 as usize].mac.queue.len() >= cap {
+            self.nodes[src.0 as usize].mac.queue_drops += 1;
+            self.stats.node[src.0 as usize].drops_queue += 1;
+            return false;
+        }
+        let node = &mut self.nodes[src.0 as usize];
+        let seq = node.mac.alloc_seq();
+        node.mac.queue.push_back(TxJob {
+            frame: Frame {
+                src,
+                dst,
+                kind: FrameKind::Data,
+                seq,
+                payload,
+            },
+            enqueued_at: now,
+            retries: 0,
+        });
+        self.kick(src);
+        true
+    }
+
+    /// Start contention if the MAC is idle and has work.
+    fn kick(&mut self, id: NodeId) {
+        let node = self.node(id);
+        if node.mac.state == MacState::Idle && !node.mac.queue.is_empty() {
+            self.start_contention(id);
+        }
+    }
+
+    fn start_contention(&mut self, id: NodeId) {
+        let cfg = self.cfg;
+        let node = self.node(id);
+        let attempt = node.mac.queue.front().map(|j| j.retries).unwrap_or(0);
+        let remaining = cfg.draw_backoff(attempt, &mut node.rng);
+        node.mac.state = MacState::Contending { remaining };
+        let gen = node.mac.bump_gen();
+        self.schedule_tick(id, gen, TickPhase::Poll, SimDuration::ZERO);
+    }
+
+    fn schedule_tick(&mut self, node: NodeId, gen: u64, phase: TickPhase, delay: SimDuration) {
+        self.queue
+            .schedule_in(delay, Event::MacTick { node, gen, phase });
+    }
+
+    fn on_tick(&mut self, id: NodeId, gen: u64, phase: TickPhase) {
+        let now = self.queue.now();
+        {
+            let node = &self.nodes[id.0 as usize];
+            if node.mac.gen != gen {
+                return; // stale tick from a previous contention cycle
+            }
+            let MacState::Contending { .. } = node.mac.state else {
+                return;
+            };
+        }
+        // Carrier sense against the live medium.
+        let (pos, ch) = {
+            let n = &self.nodes[id.0 as usize];
+            (n.pos, n.channel)
+        };
+        if let Some(busy_end) = self.medium.busy_for(&self.env, id, pos, ch, now) {
+            // Busy: freeze the countdown, poll again when the sensed
+            // transmission ends.
+            let delay = busy_end.saturating_since(now);
+            self.schedule_tick(id, gen, TickPhase::Poll, delay);
+            return;
+        }
+        match phase {
+            TickPhase::Poll => {
+                // Idle again: wait a full DIFS before resuming the countdown.
+                self.schedule_tick(id, gen, TickPhase::AfterDifs, self.cfg.difs);
+            }
+            TickPhase::AfterDifs | TickPhase::Slot => {
+                let node = self.node(id);
+                let MacState::Contending { remaining } = &mut node.mac.state else {
+                    unreachable!("checked above");
+                };
+                if phase == TickPhase::Slot && *remaining > 0 {
+                    *remaining -= 1;
+                }
+                if *remaining == 0 {
+                    self.transmit_head(id);
+                } else {
+                    self.schedule_tick(id, gen, TickPhase::Slot, self.cfg.slot);
+                }
+            }
+        }
+    }
+
+    fn transmit_head(&mut self, id: NodeId) {
+        let now = self.queue.now();
+        let (frame, rate, pos, ch, tx_dbm) = {
+            let adapt = self.nodes[id.0 as usize].adapt;
+            let rate = match self.nodes[id.0 as usize]
+                .mac
+                .queue
+                .front()
+                .expect("transmit with empty queue")
+                .frame
+                .dst
+            {
+                Address::Node(d) => adapt.select(self.link_snr_db(id, d)),
+                // Broadcasts go at a basic rate every receiver can decode.
+                Address::Broadcast => Rate::R2,
+            };
+            let n = &self.nodes[id.0 as usize];
+            let job = n.mac.queue.front().unwrap();
+            (job.frame.clone(), rate, n.pos, n.channel, n.tx_dbm)
+        };
+        let air = airtime(frame.wire_bits(), rate);
+        let tx = self.medium.begin(Transmission {
+            id: TxId(0),
+            src: id,
+            src_pos: pos,
+            channel: ch,
+            tx_dbm,
+            rate,
+            start: now,
+            end: now + air,
+            frame,
+        });
+        self.stats.node[id.0 as usize].tx_data_attempts += 1;
+        self.node(id).mac.state = MacState::Transmitting;
+        self.queue.schedule_at(now + air, Event::TxEnd { tx });
+    }
+
+    fn send_ack(&mut self, from: NodeId, to: NodeId, seq: u16) {
+        let now = self.queue.now();
+        // A half-duplex radio that is (or will be) transmitting cannot ACK.
+        let start = now + self.cfg.sifs;
+        let air = airtime(ACK_BYTES as u64 * 8, Rate::R2);
+        if self.medium.was_transmitting(from, now, start + air) {
+            return;
+        }
+        let n = &self.nodes[from.0 as usize];
+        let tx = self.medium.begin(Transmission {
+            id: TxId(0),
+            src: from,
+            src_pos: n.pos,
+            channel: n.channel,
+            tx_dbm: n.tx_dbm,
+            rate: Rate::R2,
+            start,
+            end: start + air,
+            frame: Frame {
+                src: from,
+                dst: Address::Node(to),
+                kind: FrameKind::Ack,
+                seq,
+                payload: Bytes::new(),
+            },
+        });
+        self.stats.node[from.0 as usize].tx_acks += 1;
+        self.queue.schedule_at(start + air, Event::TxEnd { tx });
+    }
+
+    fn on_tx_end(&mut self, tx_id: TxId) {
+        let now = self.queue.now();
+        let Some(t) = self.medium.get(tx_id).cloned() else {
+            return; // pruned (cannot happen before its TxEnd, but be safe)
+        };
+        match t.frame.kind {
+            FrameKind::Data => self.finish_data(&t),
+            FrameKind::Ack => self.finish_ack(&t),
+        }
+        // Periodically drop transmissions too old to overlap anything.
+        self.prune_counter += 1;
+        if self.prune_counter.is_multiple_of(64) {
+            let horizon = SimTime::from_nanos(now.as_nanos().saturating_sub(50_000_000));
+            self.medium.prune(horizon);
+        }
+    }
+
+    fn receive_ok(&mut self, t: &Transmission, rx: NodeId) -> bool {
+        // A radio can only decode frames on the channel it is tuned to
+        // (adjacent channels interfere but are not demodulable).
+        if self.nodes[rx.0 as usize].channel != t.channel {
+            return false;
+        }
+        if self.medium.was_transmitting(rx, t.start, t.end) {
+            return false; // half duplex
+        }
+        let pos = self.nodes[rx.0 as usize].pos;
+        let Some(sinr) = self.medium.sinr_for(&self.env, t.id, rx, pos) else {
+            return false;
+        };
+        let per = packet_error_rate(t.rate, sinr, t.frame.wire_bits());
+        !self.rng.chance(per)
+    }
+
+    fn finish_data(&mut self, t: &Transmission) {
+        let src = t.frame.src;
+        match t.frame.dst {
+            Address::Node(dst) => {
+                let ok = self.receive_ok(t, dst);
+                if ok {
+                    self.send_ack(dst, src, t.frame.seq);
+                    self.deliver(t, dst);
+                }
+                // Sender now waits for the ACK (or times out). Even when
+                // reception failed we must arm the timeout.
+                let gen = {
+                    let node = self.node(src);
+                    node.mac.state = MacState::WaitAck { seq: t.frame.seq };
+                    node.mac.bump_gen()
+                };
+                let timeout = ack_timeout(&self.cfg);
+                self.queue
+                    .schedule_in(timeout, Event::AckTimeout { node: src, gen });
+            }
+            Address::Broadcast => {
+                let receivers: Vec<NodeId> = (0..self.nodes.len() as u32)
+                    .map(NodeId)
+                    .filter(|&r| r != src)
+                    .collect();
+                for r in receivers {
+                    if self.receive_ok(t, r) {
+                        self.deliver(t, r);
+                    }
+                }
+                // Single attempt; service complete.
+                self.complete_head(src, true);
+            }
+        }
+    }
+
+    fn finish_ack(&mut self, t: &Transmission) {
+        let Address::Node(data_sender) = t.frame.dst else {
+            return;
+        };
+        if !self.receive_ok(t, data_sender) {
+            return; // lost ACK: the sender's timeout will fire
+        }
+        let matches = {
+            let node = &self.nodes[data_sender.0 as usize];
+            node.mac.state == MacState::WaitAck { seq: t.frame.seq }
+        };
+        if !matches {
+            return; // late or duplicate ACK
+        }
+        let now = self.queue.now();
+        let service = {
+            let node = self.node(data_sender);
+            node.mac.bump_gen(); // invalidate the armed AckTimeout
+            let job = node.mac.queue.front().expect("WaitAck with empty queue");
+            now.saturating_since(job.enqueued_at)
+        };
+        self.stats.service_time.record(service.as_secs_f64());
+        self.stats.node[data_sender.0 as usize].tx_completed += 1;
+        self.complete_head(data_sender, true);
+    }
+
+    fn deliver(&mut self, t: &Transmission, rx: NodeId) {
+        let src = t.frame.src;
+        let is_dup = {
+            let node = self.node(rx);
+            node.dedup.get(&src) == Some(&t.frame.seq)
+        };
+        if is_dup {
+            self.stats.node[rx.0 as usize].rx_duplicates += 1;
+            return;
+        }
+        self.node(rx).dedup.insert(src, t.frame.seq);
+        let s = &mut self.stats.node[rx.0 as usize];
+        s.rx_delivered += 1;
+        s.rx_bytes += t.frame.payload.len() as u64;
+        self.stats.delivered_frames += 1;
+        self.stats.delivered_bytes += t.frame.payload.len() as u64;
+        self.pending.push(AppCall::Packet {
+            node: rx,
+            from: src,
+            payload: t.frame.payload.clone(),
+        });
+    }
+
+    fn on_ack_timeout(&mut self, id: NodeId, gen: u64) {
+        let cfg = self.cfg;
+        {
+            let node = &self.nodes[id.0 as usize];
+            if node.mac.gen != gen || !matches!(node.mac.state, MacState::WaitAck { .. }) {
+                return;
+            }
+        }
+        self.stats.node[id.0 as usize].ack_timeouts += 1;
+        let exhausted = {
+            let node = self.node(id);
+            let job = node.mac.queue.front_mut().expect("WaitAck with empty queue");
+            job.retries += 1;
+            job.retries > cfg.retry_limit
+        };
+        if exhausted {
+            self.stats.node[id.0 as usize].drops_retry += 1;
+            self.complete_head(id, false);
+        } else {
+            self.start_contention(id);
+        }
+    }
+
+    /// Pop the head job, emit the right app callback, return to Idle and
+    /// look for more work.
+    fn complete_head(&mut self, id: NodeId, success: bool) {
+        let job = {
+            let node = self.node(id);
+            node.mac.state = MacState::Idle;
+            node.mac.bump_gen();
+            node.mac.queue.pop_front().expect("complete with empty queue")
+        };
+        if success {
+            self.pending.push(AppCall::Sent {
+                node: id,
+                to: job.frame.dst,
+            });
+        } else if let Address::Node(d) = job.frame.dst {
+            self.pending.push(AppCall::SendFailed {
+                node: id,
+                to: d,
+                payload: job.frame.payload,
+            });
+        }
+        self.kick(id);
+    }
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::MacTick { node, gen, phase } => self.on_tick(node, gen, phase),
+            Event::TxEnd { tx } => self.on_tx_end(tx),
+            Event::AckTimeout { node, gen } => self.on_ack_timeout(node, gen),
+            Event::AppTimer { node, token } => self.pending.push(AppCall::Timer { node, token }),
+            Event::MobilityTick { node } => self.on_mobility_tick(node),
+            Event::WiredDeliver { from, to, payload } => {
+                self.stats.wired_frames += 1;
+                self.stats.wired_bytes += payload.len() as u64;
+                self.pending.push(AppCall::Packet {
+                    node: to,
+                    from,
+                    payload,
+                });
+            }
+        }
+    }
+
+    /// Is there a cable directly between `a` and `b`?
+    fn wired_link(&self, a: NodeId, b: NodeId) -> Option<WiredLink> {
+        self.wired
+            .iter()
+            .copied()
+            .find(|l| (l.a == a && l.b == b) || (l.a == b && l.b == a))
+    }
+
+    fn send_wired(&mut self, from: NodeId, to: NodeId, payload: Bytes) -> bool {
+        let Some(link) = self.wired_link(from, to) else {
+            return false;
+        };
+        let delay = link.latency + SimDuration::for_bits(payload.len() as u64 * 8, link.bps);
+        self.queue
+            .schedule_in(delay, Event::WiredDeliver { from, to, payload });
+        true
+    }
+
+    fn on_mobility_tick(&mut self, id: NodeId) {
+        let now = self.queue.now();
+        let Some(path) = self.nodes[id.0 as usize].mobility.clone() else {
+            return;
+        };
+        self.nodes[id.0 as usize].pos = path.position_at(now);
+        if now < path.ends_at() {
+            self.queue
+                .schedule_in(path.update_period, Event::MobilityTick { node: id });
+        }
+    }
+}
+
+/// The simulated wireless network.
+pub struct Network {
+    core: Core,
+    apps: Vec<Option<Box<dyn NetApp>>>,
+    started: bool,
+}
+
+impl Network {
+    /// Create a network inside the given radio environment.
+    pub fn new(env: RadioEnvironment, cfg: MacConfig, seed: u64) -> Self {
+        Network {
+            core: Core {
+                queue: EventQueue::new(),
+                env,
+                cfg,
+                nodes: Vec::new(),
+                medium: Medium::new(),
+                rng: SimRng::new(seed),
+                stats: NetStats::default(),
+                pending: Vec::new(),
+                prune_counter: 0,
+                wired: Vec::new(),
+            },
+            apps: Vec::new(),
+            started: false,
+        }
+    }
+
+    /// Cable two nodes together (the "traditional network" side of the
+    /// pervasive system): reliable point-to-point delivery with the given
+    /// latency and serialisation rate, independent of the radio medium.
+    pub fn add_wired_link(&mut self, a: NodeId, b: NodeId, latency: SimDuration, bps: u64) {
+        assert_ne!(a, b, "a cable needs two ends");
+        assert!(bps > 0, "a zero-rate cable is a wall decoration");
+        assert!(
+            (a.0 as usize) < self.core.nodes.len() && (b.0 as usize) < self.core.nodes.len(),
+            "both ends must exist"
+        );
+        self.core.wired.push(WiredLink { a, b, latency, bps });
+    }
+
+    /// Add a node running `app`. Nodes must all be added before the first
+    /// `run_*` call.
+    pub fn add_node(&mut self, nc: NodeConfig, app: Box<dyn NetApp>) -> NodeId {
+        assert!(!self.started, "nodes must be added before the network starts");
+        let id = NodeId(self.core.nodes.len() as u32);
+        let rng = self.core.rng.fork(id.key() ^ 0xA11CE);
+        self.core.nodes.push(NodeInfo {
+            pos: nc.pos,
+            channel: nc.channel,
+            tx_dbm: nc.tx_dbm,
+            adapt: nc.adapt,
+            mobility: nc.mobility,
+            mac: MacNode::new(),
+            dedup: HashMap::new(),
+            rng,
+        });
+        self.core.stats.node.push(NodeStats::default());
+        self.apps.push(Some(app));
+        id
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.queue.now()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.core.stats
+    }
+
+    /// Borrow an application back as its concrete type (for post-run
+    /// inspection in tests and experiments).
+    pub fn app_as<T: NetApp>(&self, node: NodeId) -> Option<&T> {
+        let app = self.apps[node.0 as usize].as_deref()?;
+        (app as &dyn Any).downcast_ref::<T>()
+    }
+
+    /// Mutable variant of [`Network::app_as`].
+    pub fn app_as_mut<T: NetApp>(&mut self, node: NodeId) -> Option<&mut T> {
+        let app = self.apps[node.0 as usize].as_deref_mut()?;
+        (app as &mut dyn Any).downcast_mut::<T>()
+    }
+
+    /// Mean interference-free SNR of the `a → b` link, dB.
+    pub fn link_snr_db(&self, a: NodeId, b: NodeId) -> f64 {
+        self.core.link_snr_db(a, b)
+    }
+
+    fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        // Arm mobility before any app logic runs.
+        for i in 0..self.core.nodes.len() {
+            if self.core.nodes[i].mobility.is_some() {
+                self.core.queue.schedule_now(Event::MobilityTick {
+                    node: NodeId(i as u32),
+                });
+            }
+        }
+        for i in 0..self.apps.len() {
+            self.with_app(NodeId(i as u32), |app, ctx| app.on_start(ctx));
+        }
+        self.drain_app_calls();
+    }
+
+    /// Current position of a node (moves if the node has a trajectory).
+    pub fn position_of(&self, node: NodeId) -> Point {
+        self.core.nodes[node.0 as usize].pos
+    }
+
+    fn with_app(&mut self, id: NodeId, f: impl FnOnce(&mut dyn NetApp, &mut NetCtx<'_>)) {
+        let mut app = self.apps[id.0 as usize]
+            .take()
+            .expect("re-entrant app dispatch");
+        let mut ctx = NetCtx {
+            core: &mut self.core,
+            node: id,
+        };
+        f(app.as_mut(), &mut ctx);
+        self.apps[id.0 as usize] = Some(app);
+    }
+
+    fn drain_app_calls(&mut self) {
+        while !self.core.pending.is_empty() {
+            let calls = std::mem::take(&mut self.core.pending);
+            for call in calls {
+                match call {
+                    AppCall::Packet {
+                        node,
+                        from,
+                        payload,
+                    } => self.with_app(node, |a, c| a.on_packet(c, from, &payload)),
+                    AppCall::Timer { node, token } => {
+                        self.with_app(node, |a, c| a.on_timer(c, token))
+                    }
+                    AppCall::Sent { node, to } => self.with_app(node, |a, c| a.on_sent(c, to)),
+                    AppCall::SendFailed { node, to, payload } => {
+                        self.with_app(node, |a, c| a.on_send_failed(c, to, &payload))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Run the simulation until `deadline` (events at exactly `deadline`
+    /// are processed).
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.start();
+        loop {
+            match self.core.queue.peek_time() {
+                Some(t) if t <= deadline => {
+                    let (_, ev) = self.core.queue.pop().expect("peeked event vanished");
+                    self.core.handle(ev);
+                    self.drain_app_calls();
+                }
+                _ => break,
+            }
+        }
+        self.core.queue.fast_forward(deadline);
+    }
+
+    /// Run for a span from the current time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let deadline = self.now() + d;
+        self.run_until(deadline);
+    }
+
+    /// Run until the event queue is exhausted (careful with periodic apps).
+    pub fn run_to_quiescence(&mut self, hard_deadline: SimTime) {
+        self.start();
+        while let Some(t) = self.core.queue.peek_time() {
+            if t > hard_deadline {
+                break;
+            }
+            let (_, ev) = self.core.queue.pop().expect("peeked event vanished");
+            self.core.handle(ev);
+            self.drain_app_calls();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aroma_sim::SimDuration;
+
+    /// Minimal app: records received payloads with timestamps.
+    #[derive(Default)]
+    struct Sink {
+        got: Vec<(SimTime, NodeId, Vec<u8>)>,
+    }
+    impl NetApp for Sink {
+        fn on_packet(&mut self, ctx: &mut NetCtx<'_>, from: NodeId, payload: &Bytes) {
+            self.got.push((ctx.now(), from, payload.to_vec()));
+        }
+    }
+
+    /// Sends one frame at start, counts outcomes.
+    struct OneShot {
+        dst: Address,
+        payload: Vec<u8>,
+        sent_ok: u32,
+        failed: u32,
+    }
+    impl OneShot {
+        fn to(dst: Address, payload: &[u8]) -> Self {
+            OneShot {
+                dst,
+                payload: payload.to_vec(),
+                sent_ok: 0,
+                failed: 0,
+            }
+        }
+    }
+    impl NetApp for OneShot {
+        fn on_start(&mut self, ctx: &mut NetCtx<'_>) {
+            let p = Bytes::from(self.payload.clone());
+            ctx.send(self.dst, p);
+        }
+        fn on_sent(&mut self, _ctx: &mut NetCtx<'_>, _to: Address) {
+            self.sent_ok += 1;
+        }
+        fn on_send_failed(&mut self, _ctx: &mut NetCtx<'_>, _to: NodeId, _p: &Bytes) {
+            self.failed += 1;
+        }
+    }
+
+    fn quiet_env() -> RadioEnvironment {
+        RadioEnvironment {
+            shadowing_sigma_db: 0.0,
+            ..Default::default()
+        }
+    }
+
+    fn two_node_net() -> (Network, NodeId, NodeId) {
+        let mut net = Network::new(quiet_env(), MacConfig::default(), 1);
+        let b = NodeConfig::at(Point::new(5.0, 0.0));
+        let rx = net.add_node(b, Box::new(Sink::default()));
+        let a = NodeConfig::at(Point::new(0.0, 0.0));
+        let tx = net.add_node(
+            a,
+            Box::new(OneShot::to(Address::Node(rx), b"hello world")),
+        );
+        (net, tx, rx)
+    }
+
+    #[test]
+    fn unicast_delivery_and_ack() {
+        let (mut net, tx, rx) = two_node_net();
+        net.run_for(SimDuration::from_millis(100));
+        let sink = net.app_as::<Sink>(rx).unwrap();
+        assert_eq!(sink.got.len(), 1);
+        assert_eq!(sink.got[0].2, b"hello world");
+        assert_eq!(sink.got[0].1, tx);
+        let shot = net.app_as::<OneShot>(tx).unwrap();
+        assert_eq!(shot.sent_ok, 1);
+        assert_eq!(shot.failed, 0);
+        assert_eq!(net.stats().delivered_frames, 1);
+        assert_eq!(net.stats().node[tx.0 as usize].tx_completed, 1);
+        assert_eq!(net.stats().service_time.count(), 1);
+    }
+
+    #[test]
+    fn delivery_takes_realistic_airtime() {
+        let (mut net, _, rx) = two_node_net();
+        net.run_for(SimDuration::from_millis(100));
+        let sink = net.app_as::<Sink>(rx).unwrap();
+        let at = sink.got[0].0;
+        // preamble 192 µs + DIFS + backoff: must be at least ~250 µs,
+        // and surely below 10 ms on a clean 5 m link.
+        assert!(at > SimTime::ZERO + SimDuration::from_micros(250), "{at}");
+        assert!(at < SimTime::ZERO + SimDuration::from_millis(10), "{at}");
+    }
+
+    #[test]
+    fn out_of_range_unicast_fails_after_retries() {
+        let mut net = Network::new(quiet_env(), MacConfig::default(), 2);
+        let rx = net.add_node(
+            NodeConfig::at(Point::new(5_000.0, 0.0)),
+            Box::new(Sink::default()),
+        );
+        let tx = net.add_node(
+            NodeConfig::at(Point::new(0.0, 0.0)),
+            Box::new(OneShot::to(Address::Node(rx), b"into the void")),
+        );
+        net.run_for(SimDuration::from_secs(2));
+        let shot = net.app_as::<OneShot>(tx).unwrap();
+        assert_eq!(shot.sent_ok, 0);
+        assert_eq!(shot.failed, 1);
+        let s = &net.stats().node[tx.0 as usize];
+        assert_eq!(s.drops_retry, 1);
+        // 1 initial + retry_limit retries
+        assert_eq!(s.tx_data_attempts as u32, MacConfig::default().retry_limit + 1);
+        assert_eq!(net.stats().delivered_frames, 0);
+    }
+
+    #[test]
+    fn broadcast_reaches_all_in_range() {
+        let mut net = Network::new(quiet_env(), MacConfig::default(), 3);
+        let sinks: Vec<NodeId> = (0..3)
+            .map(|i| {
+                net.add_node(
+                    NodeConfig::at(Point::new(3.0 + i as f64, 2.0)),
+                    Box::new(Sink::default()),
+                )
+            })
+            .collect();
+        let _tx = net.add_node(
+            NodeConfig::at(Point::new(0.0, 0.0)),
+            Box::new(OneShot::to(Address::Broadcast, b"to all")),
+        );
+        net.run_for(SimDuration::from_millis(50));
+        for s in sinks {
+            let sink = net.app_as::<Sink>(s).unwrap();
+            assert_eq!(sink.got.len(), 1, "node {s} missed the broadcast");
+        }
+    }
+
+    #[test]
+    fn broadcast_needs_no_ack() {
+        let mut net = Network::new(quiet_env(), MacConfig::default(), 4);
+        let _rx = net.add_node(NodeConfig::at(Point::new(3.0, 0.0)), Box::new(Sink::default()));
+        let tx = net.add_node(
+            NodeConfig::at(Point::new(0.0, 0.0)),
+            Box::new(OneShot::to(Address::Broadcast, b"x")),
+        );
+        net.run_for(SimDuration::from_millis(50));
+        assert_eq!(net.app_as::<OneShot>(tx).unwrap().sent_ok, 1);
+        assert_eq!(net.stats().node[tx.0 as usize].tx_data_attempts, 1);
+        assert_eq!(net.stats().total_ack_timeouts(), 0);
+    }
+
+    #[test]
+    fn timers_fire_with_token() {
+        struct TimerApp {
+            fired: Vec<(SimTime, u64)>,
+        }
+        impl NetApp for TimerApp {
+            fn on_start(&mut self, ctx: &mut NetCtx<'_>) {
+                ctx.set_timer(SimDuration::from_millis(5), 42);
+                ctx.set_timer(SimDuration::from_millis(1), 7);
+            }
+            fn on_timer(&mut self, ctx: &mut NetCtx<'_>, token: u64) {
+                self.fired.push((ctx.now(), token));
+            }
+        }
+        let mut net = Network::new(quiet_env(), MacConfig::default(), 5);
+        let n = net.add_node(
+            NodeConfig::at(Point::new(0.0, 0.0)),
+            Box::new(TimerApp { fired: vec![] }),
+        );
+        net.run_for(SimDuration::from_millis(10));
+        let app = net.app_as::<TimerApp>(n).unwrap();
+        assert_eq!(app.fired.len(), 2);
+        assert_eq!(app.fired[0].1, 7);
+        assert_eq!(app.fired[1].1, 42);
+        assert_eq!(app.fired[1].0, SimTime::ZERO + SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn cancelled_timer_does_not_fire() {
+        struct CancelApp {
+            fired: u32,
+        }
+        impl NetApp for CancelApp {
+            fn on_start(&mut self, ctx: &mut NetCtx<'_>) {
+                let id = ctx.set_timer(SimDuration::from_millis(5), 1);
+                assert!(ctx.cancel_timer(id));
+            }
+            fn on_timer(&mut self, _ctx: &mut NetCtx<'_>, _t: u64) {
+                self.fired += 1;
+            }
+        }
+        let mut net = Network::new(quiet_env(), MacConfig::default(), 6);
+        let n = net.add_node(
+            NodeConfig::at(Point::new(0.0, 0.0)),
+            Box::new(CancelApp { fired: 0 }),
+        );
+        net.run_for(SimDuration::from_millis(20));
+        assert_eq!(net.app_as::<CancelApp>(n).unwrap().fired, 0);
+    }
+
+    #[test]
+    fn queue_overflow_is_counted_and_reported() {
+        struct Flooder {
+            dst: NodeId,
+            accepted: u32,
+            rejected: u32,
+        }
+        impl NetApp for Flooder {
+            fn on_start(&mut self, ctx: &mut NetCtx<'_>) {
+                for _ in 0..100 {
+                    if ctx.send(Address::Node(self.dst), Bytes::from_static(&[0u8; 100])) {
+                        self.accepted += 1;
+                    } else {
+                        self.rejected += 1;
+                    }
+                }
+            }
+        }
+        let cfg = MacConfig {
+            queue_cap: 10,
+            ..Default::default()
+        };
+        let mut net = Network::new(quiet_env(), cfg, 7);
+        let rx = net.add_node(NodeConfig::at(Point::new(3.0, 0.0)), Box::new(Sink::default()));
+        let tx = net.add_node(
+            NodeConfig::at(Point::new(0.0, 0.0)),
+            Box::new(Flooder {
+                dst: rx,
+                accepted: 0,
+                rejected: 0,
+            }),
+        );
+        net.run_for(SimDuration::from_millis(1));
+        let f = net.app_as::<Flooder>(tx).unwrap();
+        assert_eq!(f.accepted, 10);
+        assert_eq!(f.rejected, 90);
+        assert_eq!(net.stats().node[tx.0 as usize].drops_queue, 90);
+    }
+
+    #[test]
+    fn two_senders_share_the_channel() {
+        // Both frames eventually get through: CSMA/CA arbitrates.
+        let mut net = Network::new(quiet_env(), MacConfig::default(), 8);
+        let rx = net.add_node(NodeConfig::at(Point::new(0.0, 0.0)), Box::new(Sink::default()));
+        let _a = net.add_node(
+            NodeConfig::at(Point::new(3.0, 0.0)),
+            Box::new(OneShot::to(Address::Node(rx), b"from a")),
+        );
+        let _b = net.add_node(
+            NodeConfig::at(Point::new(-3.0, 0.0)),
+            Box::new(OneShot::to(Address::Node(rx), b"from b")),
+        );
+        net.run_for(SimDuration::from_millis(100));
+        let sink = net.app_as::<Sink>(rx).unwrap();
+        assert_eq!(sink.got.len(), 2);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outcome() {
+        let run = |seed: u64| -> (u64, u64) {
+            let mut net = Network::new(quiet_env(), MacConfig::default(), seed);
+            let rx = net.add_node(NodeConfig::at(Point::new(4.0, 0.0)), Box::new(Sink::default()));
+            for i in 0..4 {
+                net.add_node(
+                    NodeConfig::at(Point::new(i as f64, 1.0)),
+                    Box::new(OneShot::to(Address::Node(rx), b"ping")),
+                );
+            }
+            net.run_for(SimDuration::from_millis(200));
+            (
+                net.stats().delivered_frames,
+                net.stats().total_tx_attempts(),
+            )
+        };
+        assert_eq!(run(99), run(99));
+        // And time never went backwards / nothing scheduled in the past:
+        // covered by debug_assert inside; this run exercises it.
+    }
+
+    #[test]
+    fn link_snr_is_symmetric_and_decays() {
+        let mut net = Network::new(quiet_env(), MacConfig::default(), 10);
+        let a = net.add_node(NodeConfig::at(Point::new(0.0, 0.0)), Box::new(Sink::default()));
+        let b = net.add_node(NodeConfig::at(Point::new(5.0, 0.0)), Box::new(Sink::default()));
+        let c = net.add_node(NodeConfig::at(Point::new(50.0, 0.0)), Box::new(Sink::default()));
+        assert_eq!(net.link_snr_db(a, b), net.link_snr_db(b, a));
+        assert!(net.link_snr_db(a, b) > net.link_snr_db(a, c));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot unicast to itself")]
+    fn self_send_rejected() {
+        struct SelfSend;
+        impl NetApp for SelfSend {
+            fn on_start(&mut self, ctx: &mut NetCtx<'_>) {
+                let me = ctx.node();
+                ctx.send(Address::Node(me), Bytes::new());
+            }
+        }
+        let mut net = Network::new(quiet_env(), MacConfig::default(), 11);
+        net.add_node(NodeConfig::at(Point::new(0.0, 0.0)), Box::new(SelfSend));
+        net.run_for(SimDuration::from_millis(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MTU")]
+    fn oversized_payload_rejected() {
+        struct Jumbo {
+            dst: NodeId,
+        }
+        impl NetApp for Jumbo {
+            fn on_start(&mut self, ctx: &mut NetCtx<'_>) {
+                ctx.send(Address::Node(self.dst), Bytes::from(vec![0u8; MTU_BYTES + 1]));
+            }
+        }
+        let mut net = Network::new(quiet_env(), MacConfig::default(), 12);
+        let rx = net.add_node(NodeConfig::at(Point::new(1.0, 0.0)), Box::new(Sink::default()));
+        net.add_node(NodeConfig::at(Point::new(0.0, 0.0)), Box::new(Jumbo { dst: rx }));
+        net.run_for(SimDuration::from_millis(1));
+    }
+}

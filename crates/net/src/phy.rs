@@ -1,0 +1,200 @@
+//! DSSS physical layer: rates, airtime, error model, rate selection.
+//!
+//! Models the 802.11b PHY the Aroma Adapter's PCMCIA card would have used:
+//! four rates with long-preamble framing. Absolute error-rate values are a
+//! smooth approximation (the experiments depend on the *shape*: monotone in
+//! SINR, worse for longer frames, stepwise-better for lower rates), and the
+//! numbers are chosen so sensitivities land near datasheet values
+//! (−94…−85 dBm over a −101 dBm noise floor).
+
+use aroma_sim::SimDuration;
+
+/// PLCP long preamble + header airtime (always sent at 1 Mbit/s).
+pub const PREAMBLE: SimDuration = SimDuration::from_micros(192);
+
+/// Carrier-sense / energy-detect threshold at the antenna, dBm.
+pub const CS_THRESHOLD_DBM: f64 = -82.0;
+
+/// A DSSS transmit rate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Rate {
+    /// 1 Mbit/s DBPSK.
+    R1,
+    /// 2 Mbit/s DQPSK.
+    R2,
+    /// 5.5 Mbit/s CCK.
+    R5_5,
+    /// 11 Mbit/s CCK.
+    R11,
+}
+
+impl Rate {
+    /// All rates, slowest first.
+    pub const ALL: [Rate; 4] = [Rate::R1, Rate::R2, Rate::R5_5, Rate::R11];
+
+    /// Bits per second.
+    pub fn bps(self) -> u64 {
+        match self {
+            Rate::R1 => 1_000_000,
+            Rate::R2 => 2_000_000,
+            Rate::R5_5 => 5_500_000,
+            Rate::R11 => 11_000_000,
+        }
+    }
+
+    /// Minimum SINR for usable reception at this rate, dB.
+    pub fn sinr_threshold_db(self) -> f64 {
+        match self {
+            Rate::R1 => 4.0,
+            Rate::R2 => 6.0,
+            Rate::R5_5 => 8.0,
+            Rate::R11 => 11.0,
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Rate::R1 => "1Mbps",
+            Rate::R2 => "2Mbps",
+            Rate::R5_5 => "5.5Mbps",
+            Rate::R11 => "11Mbps",
+        }
+    }
+}
+
+/// Rate-control policy for a node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RateAdaptation {
+    /// Pick the fastest rate whose threshold (plus a 3 dB margin) the
+    /// link's mean SNR clears; fall back to 1 Mbit/s.
+    SnrBased,
+    /// Always use one rate (the ablation arm: shows why adaptation matters).
+    Fixed(Rate),
+}
+
+impl RateAdaptation {
+    /// Choose the transmit rate for a link with the given mean SNR.
+    pub fn select(self, snr_db: f64) -> Rate {
+        match self {
+            RateAdaptation::Fixed(r) => r,
+            RateAdaptation::SnrBased => {
+                const MARGIN_DB: f64 = 3.0;
+                Rate::ALL
+                    .iter()
+                    .rev()
+                    .copied()
+                    .find(|r| snr_db >= r.sinr_threshold_db() + MARGIN_DB)
+                    .unwrap_or(Rate::R1)
+            }
+        }
+    }
+}
+
+/// Airtime of a frame: preamble plus body at the data rate.
+pub fn airtime(wire_bits: u64, rate: Rate) -> SimDuration {
+    PREAMBLE + SimDuration::for_bits(wire_bits, rate.bps())
+}
+
+/// Packet error rate for a frame of `bits` received at `sinr_db` on `rate`.
+///
+/// Below the rate's threshold reception always fails. Above it, a per-bit
+/// error probability decays a decade per 5 dB of margin from 10⁻⁵ at the
+/// threshold, and the frame succeeds only if every bit does — the standard
+/// independent-bit-error composition, giving longer frames visibly higher
+/// loss near the edge.
+pub fn packet_error_rate(rate: Rate, sinr_db: f64, bits: u64) -> f64 {
+    let margin = sinr_db - rate.sinr_threshold_db();
+    if margin < 0.0 {
+        return 1.0;
+    }
+    let p_bit = 1e-5 * 10f64.powf(-margin / 5.0);
+    let p_ok = (1.0 - p_bit).powf(bits as f64);
+    1.0 - p_ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_are_ordered() {
+        for w in Rate::ALL.windows(2) {
+            assert!(w[0].bps() < w[1].bps());
+            assert!(w[0].sinr_threshold_db() < w[1].sinr_threshold_db());
+        }
+    }
+
+    #[test]
+    fn airtime_includes_preamble() {
+        let t = airtime(0, Rate::R11);
+        assert_eq!(t, PREAMBLE);
+        let t2 = airtime(8 * 1500, Rate::R1);
+        assert!(t2 > SimDuration::from_millis(12)); // 12 ms body + preamble
+    }
+
+    #[test]
+    fn airtime_faster_at_higher_rates() {
+        let bits = 8 * 1000;
+        assert!(airtime(bits, Rate::R11) < airtime(bits, Rate::R2));
+    }
+
+    #[test]
+    fn per_below_threshold_is_certain_loss() {
+        assert_eq!(packet_error_rate(Rate::R11, 10.9, 8000), 1.0);
+        assert_eq!(packet_error_rate(Rate::R1, -20.0, 8000), 1.0);
+    }
+
+    #[test]
+    fn per_decays_with_margin() {
+        let bits = 8 * 1500;
+        let edge = packet_error_rate(Rate::R11, 11.0, bits);
+        let mid = packet_error_rate(Rate::R11, 16.0, bits);
+        let good = packet_error_rate(Rate::R11, 26.0, bits);
+        assert!(edge > mid && mid > good);
+        assert!(edge > 0.05, "edge PER should be noticeable: {edge}");
+        assert!(good < 0.01, "comfortable margin should be clean: {good}");
+    }
+
+    #[test]
+    fn per_grows_with_frame_length() {
+        let short = packet_error_rate(Rate::R2, 8.0, 8 * 100);
+        let long = packet_error_rate(Rate::R2, 8.0, 8 * 1500);
+        assert!(long > short);
+    }
+
+    #[test]
+    fn per_is_a_probability() {
+        for rate in Rate::ALL {
+            for sinr in [-10.0, 0.0, 5.0, 12.0, 30.0, 80.0] {
+                let p = packet_error_rate(rate, sinr, 12_000);
+                assert!((0.0..=1.0).contains(&p), "{rate:?} {sinr} -> {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn snr_based_selection_is_monotone() {
+        let mut prev = Rate::R1;
+        for snr in 0..40 {
+            let r = RateAdaptation::SnrBased.select(snr as f64);
+            assert!(r >= prev, "rate selection regressed at {snr} dB");
+            prev = r;
+        }
+        assert_eq!(RateAdaptation::SnrBased.select(40.0), Rate::R11);
+        assert_eq!(RateAdaptation::SnrBased.select(0.0), Rate::R1);
+    }
+
+    #[test]
+    fn fixed_rate_ignores_snr() {
+        assert_eq!(RateAdaptation::Fixed(Rate::R2).select(40.0), Rate::R2);
+        assert_eq!(RateAdaptation::Fixed(Rate::R2).select(-10.0), Rate::R2);
+    }
+
+    #[test]
+    fn selection_honours_margin() {
+        // 11 Mbps needs 11 + 3 = 14 dB.
+        assert_eq!(RateAdaptation::SnrBased.select(13.9), Rate::R5_5);
+        assert_eq!(RateAdaptation::SnrBased.select(14.0), Rate::R11);
+    }
+}

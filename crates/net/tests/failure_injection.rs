@@ -1,0 +1,105 @@
+//! Failure injection: hostile or degenerate radio conditions.
+
+use aroma_env::radio::{Channel, RadioEnvironment};
+use aroma_env::space::Point;
+use aroma_net::traffic::{CountingSink, SaturatedSource};
+use aroma_net::{Address, MacConfig, Network, NodeConfig};
+use aroma_sim::SimDuration;
+
+fn quiet() -> RadioEnvironment {
+    RadioEnvironment {
+        shadowing_sigma_db: 0.0,
+        ..Default::default()
+    }
+}
+
+/// Goodput of one pair with an optional co-channel jammer beside the
+/// receiver. The jammer is CSMA-polite (it's still a legal device), so the
+/// damage is contention *plus* collisions.
+fn run(jam: bool, seed: u64) -> u64 {
+    let mut net = Network::new(quiet(), MacConfig::default(), seed);
+    let rx = net.add_node(
+        NodeConfig::at(Point::new(0.0, 0.0)),
+        Box::new(CountingSink::default()),
+    );
+    net.add_node(
+        NodeConfig::at(Point::new(4.0, 0.0)),
+        Box::new(SaturatedSource::new(Address::Node(rx), 1000)),
+    );
+    if jam {
+        // Broadcast flooder right next to the victim receiver.
+        net.add_node(
+            NodeConfig::at(Point::new(0.5, 0.5)),
+            Box::new(SaturatedSource::new(Address::Broadcast, 1400)),
+        );
+    }
+    net.run_for(SimDuration::from_secs(2));
+    net.app_as::<CountingSink>(rx).unwrap().bytes
+}
+
+#[test]
+fn jammer_halves_goodput_or_worse() {
+    let clean = run(false, 1);
+    let jammed = run(true, 1);
+    assert!(clean > 800_000, "baseline sanity: {clean}");
+    assert!(
+        jammed < clean * 2 / 3,
+        "a saturating co-channel neighbour must hurt: {clean} -> {jammed}"
+    );
+}
+
+#[test]
+fn jam_on_an_orthogonal_channel_is_harmless() {
+    let clean = run(false, 2);
+    let mut net = Network::new(quiet(), MacConfig::default(), 2);
+    let rx = net.add_node(
+        NodeConfig::at(Point::new(0.0, 0.0)),
+        Box::new(CountingSink::default()),
+    );
+    net.add_node(
+        NodeConfig::at(Point::new(4.0, 0.0)),
+        Box::new(SaturatedSource::new(Address::Node(rx), 1000)),
+    );
+    net.add_node(
+        NodeConfig::at_on(Point::new(0.5, 0.5), Channel::CH11),
+        Box::new(SaturatedSource::new(Address::Broadcast, 1400)),
+    );
+    net.run_for(SimDuration::from_secs(2));
+    let with_orthogonal = net.app_as::<CountingSink>(rx).unwrap().bytes;
+    // Within noise of the clean run (same seed, slightly different event
+    // interleavings): allow 15%.
+    assert!(
+        with_orthogonal as f64 > clean as f64 * 0.85,
+        "orthogonal jammer should be harmless: {clean} -> {with_orthogonal}"
+    );
+}
+
+#[test]
+fn ambient_noise_rise_shortens_links() {
+    // Same geometry, quiet band vs +10 dB noise rise (a microwave oven).
+    let run_with_noise = |rise: f64| -> u64 {
+        let env = RadioEnvironment {
+            shadowing_sigma_db: 0.0,
+            ambient_noise_rise_db: rise,
+            ..Default::default()
+        };
+        let mut net = Network::new(env, MacConfig::default(), 3);
+        // 110 m: fine in a quiet band, marginal with a raised floor.
+        let rx = net.add_node(
+            NodeConfig::at(Point::new(110.0, 0.0)),
+            Box::new(CountingSink::default()),
+        );
+        net.add_node(
+            NodeConfig::at(Point::new(0.0, 0.0)),
+            Box::new(SaturatedSource::new(Address::Node(rx), 1000)),
+        );
+        net.run_for(SimDuration::from_secs(2));
+        net.app_as::<CountingSink>(rx).unwrap().bytes
+    };
+    let quiet_band = run_with_noise(0.0);
+    let noisy_band = run_with_noise(10.0);
+    assert!(
+        noisy_band * 2 < quiet_band,
+        "a 10 dB noise rise must cost dearly at range: {quiet_band} -> {noisy_band}"
+    );
+}

@@ -1,0 +1,113 @@
+//! Mobility: ranging behaviour as a node walks away — the paper's
+//! "ranging … constraints" of the wireless environment.
+
+use aroma_env::radio::RadioEnvironment;
+use aroma_env::space::Point;
+use aroma_net::traffic::{CountingSink, SaturatedSource};
+use aroma_net::{Address, MacConfig, MobilityPath, Network, NodeConfig};
+use aroma_sim::{SimDuration, SimTime};
+
+fn quiet() -> RadioEnvironment {
+    RadioEnvironment {
+        shadowing_sigma_db: 0.0,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn position_follows_the_path() {
+    let mut net = Network::new(quiet(), MacConfig::default(), 1);
+    let walker = net.add_node(
+        NodeConfig::at(Point::new(0.0, 0.0)).moving(MobilityPath::line(
+            Point::new(0.0, 0.0),
+            Point::new(100.0, 0.0),
+            SimTime::ZERO,
+            SimDuration::from_secs(10),
+        )),
+        Box::new(CountingSink::default()),
+    );
+    net.run_for(SimDuration::from_secs(5));
+    let x = net.position_of(walker).x;
+    assert!((x - 50.0).abs() < 3.0, "halfway point expected, got {x}");
+    net.run_for(SimDuration::from_secs(10));
+    assert!((net.position_of(walker).x - 100.0).abs() < 1e-6);
+}
+
+#[test]
+fn throughput_decays_as_the_receiver_walks_away() {
+    // Sender fixed at the origin; receiver walks from 3 m to 600 m.
+    let mut net = Network::new(quiet(), MacConfig::default(), 2);
+    let rx = net.add_node(
+        NodeConfig::at(Point::new(3.0, 0.0)).moving(MobilityPath::line(
+            Point::new(3.0, 0.0),
+            Point::new(600.0, 0.0),
+            SimTime::ZERO,
+            SimDuration::from_secs(12),
+        )),
+        Box::new(CountingSink::default()),
+    );
+    net.add_node(
+        NodeConfig::at(Point::new(0.0, 0.0)),
+        Box::new(SaturatedSource::new(Address::Node(rx), 1000)),
+    );
+    // Measure per-2-second windows.
+    let mut window_bytes = Vec::new();
+    let mut last = 0u64;
+    for _ in 0..6 {
+        net.run_for(SimDuration::from_secs(2));
+        let total = net.app_as::<CountingSink>(rx).unwrap().bytes;
+        window_bytes.push(total - last);
+        last = total;
+    }
+    assert!(
+        window_bytes[0] > 100_000,
+        "close-range window should move real data: {window_bytes:?}"
+    );
+    let first = window_bytes[0] as f64;
+    let lastw = *window_bytes.last().unwrap() as f64;
+    assert!(
+        lastw < first / 10.0,
+        "out of range should collapse goodput: {window_bytes:?}"
+    );
+    // Monotone-ish decay: each window at most ~1.5x the previous
+    // (allowing MAC noise), and the trend strictly down overall.
+    for w in window_bytes.windows(2) {
+        assert!(
+            (w[1] as f64) < (w[0] as f64) * 1.5 + 20_000.0,
+            "throughput should not grow while walking away: {window_bytes:?}"
+        );
+    }
+}
+
+#[test]
+fn rate_adaptation_extends_range_over_fixed_fast_rate() {
+    use aroma_net::{Rate, RateAdaptation};
+    // At 160 m (n = 3.0), SNR ≈ 10 dB: below the 11 Mbps threshold but
+    // comfortably above the 2 Mbps one — the adaptive radio steps down,
+    // the fixed-fast radio goes deaf.
+    let run = |adapt: RateAdaptation| -> u64 {
+        let mut net = Network::new(quiet(), MacConfig::default(), 3);
+        let rx = net.add_node(
+            NodeConfig {
+                adapt,
+                ..NodeConfig::at(Point::new(160.0, 0.0))
+            },
+            Box::new(CountingSink::default()),
+        );
+        net.add_node(
+            NodeConfig {
+                adapt,
+                ..NodeConfig::at(Point::new(0.0, 0.0))
+            },
+            Box::new(SaturatedSource::new(Address::Node(rx), 1000)),
+        );
+        net.run_for(SimDuration::from_secs(2));
+        net.app_as::<CountingSink>(rx).unwrap().bytes
+    };
+    let adaptive = run(RateAdaptation::SnrBased);
+    let fixed11 = run(RateAdaptation::Fixed(Rate::R11));
+    assert!(
+        adaptive > fixed11 * 2,
+        "adaptive {adaptive} should beat fixed-11 {fixed11} at the cell edge"
+    );
+}

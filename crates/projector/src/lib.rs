@@ -1,0 +1,44 @@
+//! # smart-projector — the Aroma challenge application
+//!
+//! The paper's test bed: *"Our first application is the Smart Projector,
+//! which consists of a commercially available digital projector, the Aroma
+//! Adapter, and the Java/Jini-based services and clients that allow this
+//! projector to export two services: projection of a remote laptop display;
+//! and remote control of the projector."* This crate builds that system on
+//! the substrates below it — discovery (`aroma-discovery`), remote display
+//! (`aroma-vnc`), the WLAN (`aroma-net`) — and exposes the two variants the
+//! paper's analysis contrasts: the **research prototype** as built, and the
+//! **commercial-grade** product it would have to become.
+//!
+//! * [`session`] — the session objects that "ensure that another user
+//!   cannot inadvertently 'hijack' either the use or control of the
+//!   projector", with policies (disabled / manual-release / auto-expiry)
+//!   that experiment E4 sweeps.
+//! * [`control`] — the remote-control wire protocol (acquire / release /
+//!   command) with its own protocol discriminator.
+//! * [`projector`] — [`projector::SmartProjectorApp`]: the Aroma Adapter
+//!   node. Registers both services with the lookup service, enforces
+//!   sessions, and embeds the VNC viewer that drives the projector.
+//! * [`laptop`] — [`laptop::PresenterLaptopApp`]: the presenter's laptop.
+//!   Discovers the services, acquires sessions (in a configurable order),
+//!   serves the screen via the embedded VNC server, sends control
+//!   commands, and — faithfully to the paper — may forget to release.
+//! * [`system`] — the Smart Projector as an [`lpc_core::PervasiveSystem`]
+//!   description, the input to experiment E8's regenerated analysis, with
+//!   the prototype and commercial application state machines (F4/E5).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod control;
+pub mod laptop;
+pub mod projector;
+pub mod proxy;
+pub mod session;
+pub mod system;
+pub mod voice;
+
+pub use laptop::{AcquireOrder, PresenterLaptopApp, PresenterScript};
+pub use projector::SmartProjectorApp;
+pub use session::{SessionError, SessionManager, SessionPolicy, SessionToken};
+pub use system::{smart_projector_system, ProjectorVariant};

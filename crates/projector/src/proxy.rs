@@ -1,0 +1,93 @@
+//! Downloadable service proxies — the "mobile code" of the Aroma project.
+//!
+//! Jini's distinctive move was shipping *behaviour* with the service
+//! registration: the client downloads a proxy object and talks to the
+//! device through it, without compiled-in knowledge of the device's quirks.
+//! Here the control service's proxy is an `aroma-mcode` program that maps a
+//! requested brightness percentage onto what this particular projector
+//! actually supports (its lamp steps in 5s and cannot go below 10) — logic
+//! that lives with the *device*, travels in the `ServiceItem::proxy` bytes,
+//! and runs inside the client's fuel-metered VM.
+
+use aroma_mcode::asm::assemble;
+use aroma_mcode::{NullHost, Program, Vm, VmError};
+use bytes::Bytes;
+
+/// The control proxy: `f(requested_percent) → supported_percent`.
+///
+/// Clamps to `[10, 100]` and rounds to the nearest multiple of 5 — this
+/// projector's lamp ladder.
+pub fn brightness_proxy() -> Program {
+    assemble(
+        "; clamp(round5(x), 10, 100)
+         arg 0
+         push 2
+         add        ; x + 2 for round-to-nearest-5
+         push 5
+         div
+         push 5
+         mul        ; 5 * ((x+2)/5)
+         push 10
+         max
+         push 100
+         min
+         halt",
+    )
+    .expect("proxy source is well-formed")
+}
+
+/// Proxy bytes as placed in the service registration.
+pub fn brightness_proxy_bytes() -> Bytes {
+    brightness_proxy().encode()
+}
+
+/// Client-side execution of a downloaded control proxy. Returns the
+/// device-supported brightness for `requested_percent`, or `None` when the
+/// blob is not runnable mobile code (old registrations carried inert
+/// bytes; callers fall back to sending the raw value).
+pub fn run_brightness_proxy(proxy: &Bytes, requested_percent: u8) -> Option<u8> {
+    let program = Program::decode(proxy.clone()).ok()?;
+    match Vm.run_default(&program, &[requested_percent as i64], &mut NullHost) {
+        Ok(v) => Some(v.clamp(0, 100) as u8),
+        Err(VmError::OutOfFuel) | Err(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proxy_rounds_to_lamp_steps() {
+        let p = brightness_proxy();
+        let f = |x: i64| Vm.run_default(&p, &[x], &mut NullHost).unwrap();
+        assert_eq!(f(83), 85);
+        assert_eq!(f(82), 80);
+        assert_eq!(f(50), 50);
+        assert_eq!(f(52), 50);
+        assert_eq!(f(53), 55);
+    }
+
+    #[test]
+    fn proxy_clamps_to_supported_range() {
+        let p = brightness_proxy();
+        let f = |x: i64| Vm.run_default(&p, &[x], &mut NullHost).unwrap();
+        assert_eq!(f(0), 10);
+        assert_eq!(f(3), 10);
+        assert_eq!(f(100), 100);
+        assert_eq!(f(250), 100);
+    }
+
+    #[test]
+    fn round_trip_through_registration_bytes() {
+        let blob = brightness_proxy_bytes();
+        assert_eq!(run_brightness_proxy(&blob, 83), Some(85));
+        assert_eq!(run_brightness_proxy(&blob, 1), Some(10));
+    }
+
+    #[test]
+    fn inert_blobs_fall_back_gracefully() {
+        assert_eq!(run_brightness_proxy(&Bytes::from_static(b"control-proxy"), 50), None);
+        assert_eq!(run_brightness_proxy(&Bytes::new(), 50), None);
+    }
+}

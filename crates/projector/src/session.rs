@@ -1,0 +1,296 @@
+//! Session objects.
+//!
+//! The paper: *"Session objects are used to ensure that another user cannot
+//! inadvertently 'hijack' either the use or control of the projector"* —
+//! and, in the abstract-layer discussion, *"other mechanisms should be
+//! developed to deal with users who forget to relinquish control of the
+//! projector without relying on a system administrator to intervene."*
+//! Both mechanisms are policies here, so experiment E4 can sweep them:
+//!
+//! * [`SessionPolicy::None`] — no sessions: last writer wins (hijacks).
+//! * [`SessionPolicy::ManualRelease`] — sessions, no expiry: safe from
+//!   hijack, but a forgetful owner locks everyone out until an
+//!   administrator intervenes.
+//! * [`SessionPolicy::AutoExpire`] — sessions with an idle-expiry horizon:
+//!   the paper's asked-for mechanism.
+
+use aroma_sim::{SimDuration, SimTime};
+
+/// Opaque proof of session ownership.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SessionToken(u64);
+
+impl SessionToken {
+    /// Wire representation (the control protocol carries tokens as u64).
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstruct from the wire representation.
+    pub fn from_value(v: u64) -> SessionToken {
+        SessionToken(v)
+    }
+}
+
+/// Who may use the guarded service, and for how long.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionPolicy {
+    /// No session protection: any request succeeds, displacing the
+    /// previous user (counted as a hijack if one was active).
+    None,
+    /// Sessions must be explicitly released.
+    ManualRelease,
+    /// Sessions lapse after this much inactivity.
+    AutoExpire {
+        /// Idle horizon after which the session lapses.
+        idle: SimDuration,
+    },
+}
+
+/// Why an operation was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionError {
+    /// Another user holds the session.
+    Busy,
+    /// The token does not match the current session.
+    BadToken,
+    /// No session is active.
+    NoSession,
+}
+
+/// Counters the E4 experiment reads.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Successful acquisitions.
+    pub acquisitions: u64,
+    /// Acquisitions that displaced an active user (only possible under
+    /// [`SessionPolicy::None`]).
+    pub hijacks: u64,
+    /// Requests refused because another user held the session.
+    pub refusals: u64,
+    /// Sessions that lapsed by inactivity.
+    pub expirations: u64,
+    /// Explicit releases.
+    pub releases: u64,
+}
+
+/// Guards one service (projection or control).
+#[derive(Clone, Debug)]
+pub struct SessionManager {
+    policy: SessionPolicy,
+    owner: Option<(u64, SessionToken, SimTime)>, // (user, token, last activity)
+    next_token: u64,
+    /// Counters.
+    pub stats: SessionStats,
+}
+
+impl SessionManager {
+    /// A manager with the given policy.
+    pub fn new(policy: SessionPolicy) -> Self {
+        SessionManager {
+            policy,
+            owner: None,
+            next_token: 1,
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> SessionPolicy {
+        self.policy
+    }
+
+    /// The current owner (after lapsing expired sessions as of `now`).
+    pub fn owner(&mut self, now: SimTime) -> Option<u64> {
+        self.expire_if_idle(now);
+        self.owner.map(|(u, _, _)| u)
+    }
+
+    /// Is the service free as of `now`?
+    pub fn is_free(&mut self, now: SimTime) -> bool {
+        self.owner(now).is_none()
+    }
+
+    fn expire_if_idle(&mut self, now: SimTime) {
+        if let (SessionPolicy::AutoExpire { idle }, Some((_, _, last))) = (self.policy, self.owner)
+        {
+            if now.saturating_since(last) >= idle {
+                self.owner = None;
+                self.stats.expirations += 1;
+            }
+        }
+    }
+
+    /// Try to acquire the session for `user` at `now`.
+    pub fn acquire(&mut self, user: u64, now: SimTime) -> Result<SessionToken, SessionError> {
+        self.expire_if_idle(now);
+        match (self.policy, self.owner) {
+            (SessionPolicy::None, prev) => {
+                if let Some((prev_user, _, _)) = prev {
+                    if prev_user != user {
+                        self.stats.hijacks += 1;
+                    }
+                }
+                Ok(self.install(user, now))
+            }
+            (_, None) => Ok(self.install(user, now)),
+            (_, Some((owner, token, _))) if owner == user => {
+                // Re-acquisition by the owner refreshes activity.
+                self.owner = Some((user, token, now));
+                Ok(token)
+            }
+            _ => {
+                self.stats.refusals += 1;
+                Err(SessionError::Busy)
+            }
+        }
+    }
+
+    fn install(&mut self, user: u64, now: SimTime) -> SessionToken {
+        let token = SessionToken(self.next_token);
+        self.next_token += 1;
+        self.owner = Some((user, token, now));
+        self.stats.acquisitions += 1;
+        token
+    }
+
+    /// Record activity by the owner (keeps auto-expiry at bay). Wrong
+    /// tokens are rejected — that is the hijack protection.
+    pub fn touch(&mut self, token: SessionToken, now: SimTime) -> Result<(), SessionError> {
+        self.expire_if_idle(now);
+        match self.owner {
+            None => Err(SessionError::NoSession),
+            Some((user, t, _)) if t == token => {
+                self.owner = Some((user, t, now));
+                Ok(())
+            }
+            Some(_) => Err(SessionError::BadToken),
+        }
+    }
+
+    /// Release the session.
+    pub fn release(&mut self, token: SessionToken, now: SimTime) -> Result<(), SessionError> {
+        self.expire_if_idle(now);
+        match self.owner {
+            None => Err(SessionError::NoSession),
+            Some((_, t, _)) if t == token => {
+                self.owner = None;
+                self.stats.releases += 1;
+                Ok(())
+            }
+            Some(_) => Err(SessionError::BadToken),
+        }
+    }
+
+    /// Administrator override: clear any session (the intervention the
+    /// paper wants to make unnecessary).
+    pub fn admin_clear(&mut self) -> bool {
+        let had = self.owner.is_some();
+        self.owner = None;
+        had
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn acquire_free_session() {
+        let mut m = SessionManager::new(SessionPolicy::ManualRelease);
+        let tok = m.acquire(1, t(0)).unwrap();
+        assert_eq!(m.owner(t(0)), Some(1));
+        assert_eq!(m.stats.acquisitions, 1);
+        assert!(m.touch(tok, t(1)).is_ok());
+    }
+
+    #[test]
+    fn sessions_prevent_hijack() {
+        let mut m = SessionManager::new(SessionPolicy::ManualRelease);
+        let _t1 = m.acquire(1, t(0)).unwrap();
+        assert_eq!(m.acquire(2, t(1)), Err(SessionError::Busy));
+        assert_eq!(m.owner(t(1)), Some(1));
+        assert_eq!(m.stats.refusals, 1);
+        assert_eq!(m.stats.hijacks, 0);
+    }
+
+    #[test]
+    fn no_policy_allows_hijack_and_counts_it() {
+        let mut m = SessionManager::new(SessionPolicy::None);
+        m.acquire(1, t(0)).unwrap();
+        m.acquire(2, t(1)).unwrap();
+        assert_eq!(m.owner(t(1)), Some(2), "last writer wins");
+        assert_eq!(m.stats.hijacks, 1);
+        // Same user re-acquiring is not a hijack.
+        m.acquire(2, t(2)).unwrap();
+        assert_eq!(m.stats.hijacks, 1);
+    }
+
+    #[test]
+    fn owner_reacquire_is_idempotent() {
+        let mut m = SessionManager::new(SessionPolicy::ManualRelease);
+        let t1 = m.acquire(1, t(0)).unwrap();
+        let t2 = m.acquire(1, t(5)).unwrap();
+        assert_eq!(t1, t2);
+        assert_eq!(m.stats.acquisitions, 1);
+    }
+
+    #[test]
+    fn release_requires_matching_token() {
+        let mut m = SessionManager::new(SessionPolicy::ManualRelease);
+        let tok = m.acquire(1, t(0)).unwrap();
+        assert_eq!(m.release(SessionToken(999), t(1)), Err(SessionError::BadToken));
+        assert!(m.release(tok, t(1)).is_ok());
+        assert!(m.is_free(t(1)));
+        assert_eq!(m.release(tok, t(2)), Err(SessionError::NoSession));
+    }
+
+    #[test]
+    fn manual_release_locks_out_forever_without_admin() {
+        let mut m = SessionManager::new(SessionPolicy::ManualRelease);
+        m.acquire(1, t(0)).unwrap();
+        // User 1 walks away; hours later user 2 still cannot get in.
+        assert_eq!(m.acquire(2, t(10_000)), Err(SessionError::Busy));
+        assert!(m.admin_clear());
+        assert!(m.acquire(2, t(10_001)).is_ok());
+    }
+
+    #[test]
+    fn auto_expire_frees_idle_sessions() {
+        let mut m = SessionManager::new(SessionPolicy::AutoExpire {
+            idle: SimDuration::from_secs(30),
+        });
+        let tok = m.acquire(1, t(0)).unwrap();
+        // Activity keeps it alive.
+        m.touch(tok, t(20)).unwrap();
+        assert_eq!(m.acquire(2, t(40)), Err(SessionError::Busy)); // 20 s idle
+        // Now let it lapse: last activity t(40)? No — touch was at 20; the
+        // refused acquire does not refresh. 30 s after t(20):
+        assert!(m.acquire(2, t(51)).is_ok());
+        assert_eq!(m.stats.expirations, 1);
+        assert_eq!(m.owner(t(51)), Some(2));
+    }
+
+    #[test]
+    fn touch_after_expiry_reports_no_session() {
+        let mut m = SessionManager::new(SessionPolicy::AutoExpire {
+            idle: SimDuration::from_secs(5),
+        });
+        let tok = m.acquire(1, t(0)).unwrap();
+        assert_eq!(m.touch(tok, t(10)), Err(SessionError::NoSession));
+    }
+
+    #[test]
+    fn tokens_are_unique_across_sessions() {
+        let mut m = SessionManager::new(SessionPolicy::ManualRelease);
+        let t1 = m.acquire(1, t(0)).unwrap();
+        m.release(t1, t(1)).unwrap();
+        let t2 = m.acquire(2, t(2)).unwrap();
+        assert_ne!(t1, t2, "stale tokens must not unlock new sessions");
+        assert_eq!(m.touch(t1, t(3)), Err(SessionError::BadToken));
+    }
+}

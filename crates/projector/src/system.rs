@@ -1,0 +1,315 @@
+//! The Smart Projector as an LPC system description.
+//!
+//! Everything experiment E8 needs to regenerate the paper's analysis
+//! section: the application state machines of the research prototype and
+//! the commercial-grade variant (F4/E5 use them too), the mental models
+//! different users bring to them, and the composed
+//! [`PervasiveSystem`] handed to the analysis engine.
+
+use aroma_appliance::{DeviceClass, DeviceProfile};
+use aroma_env::space::Point;
+use aroma_env::{EnvironmentKind, EnvironmentProfile};
+use lpc_core::analysis::{AppSpec, Binding, DeviceEntity, PervasiveSystem};
+use lpc_core::intent::DesignPurpose;
+use lpc_core::resources::DeviceResources;
+use lpc_core::{StateMachine, UserGoals, UserProfile};
+
+/// Which Smart Projector the system describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProjectorVariant {
+    /// As built at NIST: two clients + VNC server, manual everything.
+    Prototype,
+    /// The commercial-grade product the paper's analysis points toward.
+    Commercial,
+}
+
+/// The *actual* application state machine for a variant.
+///
+/// Prototype, from the paper: *"The user must understand that both clients
+/// must be started in order to project and control the Smart Projector from
+/// a single laptop … The VNC server must also be started on the laptop for
+/// projection to succeed."* Starting the projection client without the VNC
+/// server silently wedges — the conceptual trap that makes the prototype's
+/// burden measurable.
+pub fn application_machine(variant: ProjectorVariant) -> StateMachine {
+    match variant {
+        ProjectorVariant::Prototype => StateMachine::new()
+            .with("idle", "start-vnc-server", "vnc-on")
+            .with("idle", "start-projection-client", "proj-stuck")
+            .with("idle", "start-control-client", "ctl-only")
+            .with("proj-stuck", "start-vnc-server", "proj-stuck")
+            .with("proj-stuck", "stop-projection-client", "idle")
+            .with("ctl-only", "start-vnc-server", "vnc-ctl")
+            .with("ctl-only", "start-projection-client", "proj-stuck")
+            .with("vnc-on", "start-projection-client", "projecting")
+            .with("vnc-on", "start-control-client", "vnc-ctl")
+            .with("vnc-ctl", "start-projection-client", "presenting")
+            .with("projecting", "start-control-client", "presenting")
+            .with("presenting", "stop-projection-client", "vnc-ctl")
+            .with("presenting", "stop-control-client", "projecting"),
+        ProjectorVariant::Commercial => StateMachine::new()
+            .with("idle", "present", "presenting")
+            .with("presenting", "disconnect", "idle"),
+    }
+}
+
+/// The canonical task: from power-up to projecting *and* controllable.
+pub fn task(variant: ProjectorVariant) -> (&'static str, &'static str) {
+    let _ = variant;
+    ("idle", "presenting")
+}
+
+/// The mental model a user plausibly brings, by their domain knowledge.
+///
+/// * Researchers (the lab) know the machine exactly.
+/// * Presenters know VNC must run but expect one client to do both jobs.
+/// * Casual users expect an appliance: one action does everything.
+pub fn belief_for(user: &UserProfile, variant: ProjectorVariant) -> StateMachine {
+    match variant {
+        ProjectorVariant::Commercial => {
+            // Everyone's "point and it works" belief happens to be right.
+            application_machine(variant)
+        }
+        ProjectorVariant::Prototype => {
+            let k = user.faculties.domain_knowledge;
+            if k >= 0.8 {
+                application_machine(variant)
+            } else if k >= 0.3 {
+                StateMachine::new()
+                    .with("idle", "start-vnc-server", "vnc-on")
+                    .with("vnc-on", "start-projection-client", "presenting")
+            } else {
+                StateMachine::new().with("idle", "start-projection-client", "presenting")
+            }
+        }
+    }
+}
+
+/// Goals matched to the preset user profiles.
+pub fn goals_for(user: &UserProfile) -> UserGoals {
+    if user.faculties.domain_knowledge >= 0.8 {
+        UserGoals::researcher()
+    } else if user.faculties.gui_experience >= 0.7 {
+        UserGoals::presenter()
+    } else {
+        UserGoals::casual()
+    }
+}
+
+/// The AppSpec for a variant, parameterised by whether the presentation
+/// includes rapid animation (the E1/physical-layer stressor).
+pub fn app_spec(variant: ProjectorVariant, rapid_animation: bool) -> AppSpec {
+    let (start, goal) = task(variant);
+    match variant {
+        ProjectorVariant::Prototype => AppSpec {
+            name: "Smart Projector (prototype)".into(),
+            machine: application_machine(variant),
+            start: start.into(),
+            goal: goal.into(),
+            uses_voice: false,
+            proximity_constraint_m: Some(2.0), // controlled from the laptop
+            needs_bandwidth_bps: if rapid_animation { Some(12e6) } else { Some(1.5e6) },
+            external_dependencies: vec![
+                "a Jini lookup service".into(),
+                "the VNC server on the presenter's laptop".into(),
+                "a manually configured wireless network".into(),
+            ],
+            purpose: DesignPurpose::research_prototype(),
+        },
+        ProjectorVariant::Commercial => AppSpec {
+            name: "Smart Projector (commercial)".into(),
+            machine: application_machine(variant),
+            start: start.into(),
+            goal: goal.into(),
+            uses_voice: false,
+            proximity_constraint_m: None, // handheld remote / any device
+            needs_bandwidth_bps: if rapid_animation { Some(12e6) } else { Some(1.5e6) },
+            external_dependencies: vec![],
+            purpose: DesignPurpose::commercial_product(),
+        },
+    }
+}
+
+/// Compose the full Smart Projector system for analysis (experiment E8).
+///
+/// `users` are bound to the adapter's application; the bare projector and
+/// the laptop participate as physical entities.
+pub fn smart_projector_system(
+    variant: ProjectorVariant,
+    env: EnvironmentKind,
+    users: Vec<UserProfile>,
+    rapid_animation: bool,
+) -> PervasiveSystem {
+    let resources = match variant {
+        ProjectorVariant::Prototype => DeviceResources::research_prototype(),
+        ProjectorVariant::Commercial => DeviceResources::commercial_grade(),
+    };
+    let adapter = DeviceEntity {
+        name: "Aroma Adapter".into(),
+        profile: DeviceProfile::of(DeviceClass::AromaAdapter),
+        resources: Some(resources),
+        application: Some(app_spec(variant, rapid_animation)),
+        // 2.4 GHz WLAN goodput ceiling (11 Mbit/s PHY, MAC efficiency).
+        link_bandwidth_bps: Some(6.0e6),
+        position: Point::new(1.0, 0.0),
+    };
+    let projector = DeviceEntity {
+        name: "digital projector".into(),
+        profile: DeviceProfile::of(DeviceClass::DigitalProjector),
+        resources: None,
+        application: None,
+        link_bandwidth_bps: None,
+        position: Point::new(1.5, 0.0),
+    };
+    let laptop = DeviceEntity {
+        name: "presenter laptop".into(),
+        profile: DeviceProfile::of(DeviceClass::Laptop),
+        resources: None,
+        application: None,
+        link_bandwidth_bps: Some(6.0e6),
+        position: Point::new(5.0, 2.0),
+    };
+    let bindings = users
+        .iter()
+        .enumerate()
+        .map(|(i, u)| Binding {
+            user: i,
+            device: 0, // the adapter hosts the application
+            goals: goals_for(u),
+            belief: belief_for(u, variant),
+        })
+        .collect();
+    PervasiveSystem {
+        name: format!(
+            "Smart Projector ({}) in {}",
+            match variant {
+                ProjectorVariant::Prototype => "research prototype",
+                ProjectorVariant::Commercial => "commercial",
+            },
+            env.name()
+        ),
+        environment: EnvironmentProfile::preset(env).build(),
+        users,
+        devices: vec![adapter, projector, laptop],
+        bindings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpc_core::layer::Layer;
+    use lpc_core::mental::divergence;
+    use lpc_core::Severity;
+
+    #[test]
+    fn prototype_machine_matches_the_papers_workflow() {
+        let m = application_machine(ProjectorVariant::Prototype);
+        // The documented happy path works.
+        let plan = m.plan("idle", "presenting").unwrap();
+        assert_eq!(plan.len(), 3, "vnc + both clients: {plan:?}");
+        // Starting projection without VNC wedges.
+        assert_eq!(m.step("idle", "start-projection-client"), Some("proj-stuck"));
+        assert_eq!(m.step("proj-stuck", "start-vnc-server"), Some("proj-stuck"));
+    }
+
+    #[test]
+    fn commercial_machine_is_one_action() {
+        let m = application_machine(ProjectorVariant::Commercial);
+        assert_eq!(m.plan("idle", "presenting").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn beliefs_grade_with_domain_knowledge() {
+        let proto = ProjectorVariant::Prototype;
+        let researcher = belief_for(&UserProfile::researcher(), proto);
+        let casual = belief_for(&UserProfile::casual(), proto);
+        let actual = application_machine(proto);
+        assert_eq!(divergence(&researcher, &actual).gap(), 0.0);
+        assert!(divergence(&casual, &actual).gap() > 0.5);
+        // Commercial variant: everyone's belief is right.
+        let casual_com = belief_for(&UserProfile::casual(), ProjectorVariant::Commercial);
+        let actual_com = application_machine(ProjectorVariant::Commercial);
+        assert_eq!(divergence(&casual_com, &actual_com).gap(), 0.0);
+    }
+
+    #[test]
+    fn e8_prototype_analysis_reproduces_the_papers_findings() {
+        let sys = smart_projector_system(
+            ProjectorVariant::Prototype,
+            EnvironmentKind::ConferenceHall,
+            vec![UserProfile::casual()],
+            true,
+        );
+        let r = sys.analyze(1);
+        // Physical: bandwidth prevents rapid animation; proximity constraint.
+        assert!(
+            r.in_layer(Layer::Physical).any(|i| i.description.contains("animation")),
+            "{}",
+            r.render()
+        );
+        assert!(r
+            .in_layer(Layer::Physical)
+            .any(|i| i.description.contains("constrained")));
+        // Resource: Jini dependency + frustrations.
+        assert!(r
+            .in_layer(Layer::Resource)
+            .any(|i| i.description.contains("Jini")));
+        // Intentional: not in harmony with casual users.
+        assert!(r
+            .in_layer(Layer::Intentional)
+            .any(|i| i.severity >= Severity::Serious));
+        // Abstract: conceptual burden shows up.
+        assert!(r.in_layer(Layer::Abstract).count() >= 1, "{}", r.render());
+    }
+
+    #[test]
+    fn e8_commercial_analysis_is_dramatically_cleaner() {
+        let users = vec![UserProfile::casual()];
+        let proto = smart_projector_system(
+            ProjectorVariant::Prototype,
+            EnvironmentKind::ConferenceHall,
+            users.clone(),
+            false,
+        )
+        .analyze(1);
+        let com = smart_projector_system(
+            ProjectorVariant::Commercial,
+            EnvironmentKind::ConferenceHall,
+            users,
+            false,
+        )
+        .analyze(1);
+        assert!(
+            com.issues.len() * 2 < proto.issues.len(),
+            "commercial {} vs prototype {}:\n{}",
+            com.issues.len(),
+            proto.issues.len(),
+            proto.render()
+        );
+    }
+
+    #[test]
+    fn researchers_are_served_by_the_prototype() {
+        let sys = smart_projector_system(
+            ProjectorVariant::Prototype,
+            EnvironmentKind::QuietOffice,
+            vec![UserProfile::researcher()],
+            false,
+        );
+        let r = sys.analyze(1);
+        // The paper: "it does satisfy the needs of its intended users."
+        assert!(
+            !r.in_layer(Layer::Intentional)
+                .any(|i| i.severity >= Severity::Serious),
+            "{}",
+            r.render()
+        );
+        assert!(
+            !r.in_layer(Layer::Abstract)
+                .any(|i| i.severity == Severity::Blocking),
+            "{}",
+            r.render()
+        );
+    }
+}

@@ -1,0 +1,258 @@
+//! Voice control — the paper's future-work feature, built.
+//!
+//! *"A future version of the Smart Projector could conceivably offer voice
+//! control, in which case human physical characteristics will play a
+//! greater role in the physical layer"* — and, at the environment layer,
+//! background noise and social appropriateness become gating issues. This
+//! module models the acoustic command channel end to end: an utterance is
+//! heard at some SNR (from `aroma-env`), recognised correctly, confused
+//! with another command, or missed entirely; a confirmation loop retries
+//! until success or the speaker gives up.
+
+use crate::control::ProjectorCommand;
+use aroma_env::acoustics::recognition_accuracy;
+use aroma_env::space::Point;
+use aroma_env::Environment;
+use aroma_sim::SimRng;
+
+/// The command vocabulary the voice interface understands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum VoiceCommand {
+    /// "projector on"
+    PowerOn,
+    /// "projector off"
+    PowerOff,
+    /// "brighter"
+    Brighter,
+    /// "dimmer"
+    Dimmer,
+    /// "next input"
+    NextInput,
+}
+
+impl VoiceCommand {
+    /// The whole vocabulary.
+    pub const ALL: [VoiceCommand; 5] = [
+        VoiceCommand::PowerOn,
+        VoiceCommand::PowerOff,
+        VoiceCommand::Brighter,
+        VoiceCommand::Dimmer,
+        VoiceCommand::NextInput,
+    ];
+
+    /// Map to the wired control verb (given current brightness for the
+    /// relative commands).
+    pub fn to_command(self, brightness: u8, input: u8) -> ProjectorCommand {
+        match self {
+            VoiceCommand::PowerOn => ProjectorCommand::PowerOn,
+            VoiceCommand::PowerOff => ProjectorCommand::PowerOff,
+            VoiceCommand::Brighter => ProjectorCommand::Brightness(brightness.saturating_add(10)),
+            VoiceCommand::Dimmer => ProjectorCommand::Brightness(brightness.saturating_sub(10)),
+            VoiceCommand::NextInput => ProjectorCommand::SelectInput(input.wrapping_add(1) % 3),
+        }
+    }
+}
+
+/// What the recogniser made of one utterance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Heard {
+    /// Correctly recognised.
+    Correct(VoiceCommand),
+    /// Confused with a different command (the dangerous outcome).
+    Confused(VoiceCommand),
+    /// Nothing intelligible.
+    Missed,
+}
+
+/// The acoustic command channel between a talker and the device microphone.
+#[derive(Clone, Debug)]
+pub struct VoiceChannel {
+    /// Where the talker stands.
+    pub talker: Point,
+    /// Where the microphone is.
+    pub mic: Point,
+    /// Word accuracy of the recogniser at the current SNR, `[0, 1)`.
+    pub accuracy: f64,
+    /// Whether speaking here is socially acceptable at all.
+    pub socially_ok: bool,
+}
+
+impl VoiceChannel {
+    /// Build the channel from an environment and geometry.
+    pub fn in_environment(env: &Environment, talker: Point, mic: Point) -> Self {
+        let snr = env.acoustics.speech_snr_db(talker, mic);
+        VoiceChannel {
+            talker,
+            mic,
+            accuracy: recognition_accuracy(snr),
+            socially_ok: env.acoustics.social.voice_appropriate(),
+        }
+    }
+
+    /// One utterance of `cmd`. Of the error mass, 30% is confusion with a
+    /// random other command (substitution errors), the rest a miss
+    /// (deletion) — the standard ASR error split at vocabulary size 5.
+    pub fn utter(&self, cmd: VoiceCommand, rng: &mut SimRng) -> Heard {
+        if rng.chance(self.accuracy) {
+            return Heard::Correct(cmd);
+        }
+        if rng.chance(0.3) {
+            let others: Vec<VoiceCommand> = VoiceCommand::ALL
+                .iter()
+                .copied()
+                .filter(|c| *c != cmd)
+                .collect();
+            Heard::Confused(*rng.choose(&others).expect("non-empty vocabulary"))
+        } else {
+            Heard::Missed
+        }
+    }
+}
+
+/// Outcome of a confirm-and-retry command session.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct VoiceSession {
+    /// The intended command was executed.
+    pub succeeded: bool,
+    /// Utterances spoken.
+    pub attempts: u32,
+    /// Wrong commands that *would have* executed without confirmation.
+    pub would_misfire: u32,
+}
+
+/// Drive one command through the channel with up to `max_attempts`
+/// utterances. With `confirm` the device echoes what it heard and wrong
+/// commands are cancelled (costing another attempt); without it a
+/// confusion executes the wrong command immediately.
+pub fn run_command(
+    channel: &VoiceChannel,
+    cmd: VoiceCommand,
+    confirm: bool,
+    max_attempts: u32,
+    rng: &mut SimRng,
+) -> VoiceSession {
+    let mut s = VoiceSession::default();
+    while s.attempts < max_attempts {
+        s.attempts += 1;
+        match channel.utter(cmd, rng) {
+            Heard::Correct(_) => {
+                s.succeeded = true;
+                return s;
+            }
+            Heard::Confused(_) => {
+                s.would_misfire += 1;
+                if !confirm {
+                    // Executed the wrong thing; the session "ends" wrong.
+                    return s;
+                }
+                // Confirmation catches it; retry.
+            }
+            Heard::Missed => {}
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aroma_env::{EnvironmentKind, EnvironmentProfile};
+
+    fn channel(kind: EnvironmentKind) -> VoiceChannel {
+        let env = EnvironmentProfile::preset(kind).build();
+        VoiceChannel::in_environment(&env, Point::new(0.0, 0.0), Point::new(0.5, 0.0))
+    }
+
+    #[test]
+    fn quiet_office_is_accurate_and_allowed() {
+        let c = channel(EnvironmentKind::QuietOffice);
+        assert!(c.accuracy > 0.9);
+        assert!(c.socially_ok);
+    }
+
+    #[test]
+    fn subway_is_hopeless_and_rude() {
+        let c = channel(EnvironmentKind::SubwayCar);
+        assert!(c.accuracy < 0.1);
+        assert!(!c.socially_ok);
+    }
+
+    #[test]
+    fn utterance_outcomes_follow_accuracy() {
+        let good = channel(EnvironmentKind::QuietOffice);
+        let mut rng = SimRng::new(1);
+        let correct = (0..1000)
+            .filter(|_| matches!(good.utter(VoiceCommand::PowerOn, &mut rng), Heard::Correct(_)))
+            .count();
+        assert!(correct > 900, "{correct}");
+        let bad = channel(EnvironmentKind::SubwayCar);
+        let correct_bad = (0..1000)
+            .filter(|_| matches!(bad.utter(VoiceCommand::PowerOn, &mut rng), Heard::Correct(_)))
+            .count();
+        assert!(correct_bad < 50, "{correct_bad}");
+    }
+
+    #[test]
+    fn confusion_never_returns_the_intended_command() {
+        let bad = channel(EnvironmentKind::SubwayCar);
+        let mut rng = SimRng::new(2);
+        for _ in 0..2000 {
+            if let Heard::Confused(other) = bad.utter(VoiceCommand::Dimmer, &mut rng) {
+                assert_ne!(other, VoiceCommand::Dimmer);
+            }
+        }
+    }
+
+    #[test]
+    fn confirmation_prevents_misfires() {
+        let noisy = channel(EnvironmentKind::OutdoorCourtyard);
+        let mut rng = SimRng::new(3);
+        let mut misfired_without = 0;
+        let mut misfired_with = 0;
+        for _ in 0..500 {
+            let no_confirm = run_command(&noisy, VoiceCommand::PowerOff, false, 5, &mut rng);
+            if !no_confirm.succeeded && no_confirm.would_misfire > 0 {
+                misfired_without += 1;
+            }
+            let with_confirm = run_command(&noisy, VoiceCommand::PowerOff, true, 5, &mut rng);
+            if with_confirm.would_misfire > 0 && !with_confirm.succeeded {
+                misfired_with += 1;
+            }
+        }
+        assert!(misfired_without > 0, "no-confirm sessions should misfire sometimes");
+        // With confirmation, confusions cost retries but almost always end
+        // in success within 5 attempts at ~83% accuracy.
+        assert!(misfired_with * 5 < misfired_without, "{misfired_with} vs {misfired_without}");
+    }
+
+    #[test]
+    fn retries_raise_success_in_marginal_noise() {
+        let marginal = channel(EnvironmentKind::ConferenceHall);
+        let mut rng = SimRng::new(4);
+        let one_shot = (0..500)
+            .filter(|_| run_command(&marginal, VoiceCommand::Brighter, true, 1, &mut rng).succeeded)
+            .count();
+        let five = (0..500)
+            .filter(|_| run_command(&marginal, VoiceCommand::Brighter, true, 5, &mut rng).succeeded)
+            .count();
+        assert!(five > one_shot);
+        assert!(five > 480, "five attempts at 91% accuracy ≈ certain: {five}");
+    }
+
+    #[test]
+    fn voice_commands_map_to_control_verbs() {
+        assert_eq!(
+            VoiceCommand::Brighter.to_command(70, 0),
+            ProjectorCommand::Brightness(80)
+        );
+        assert_eq!(
+            VoiceCommand::Dimmer.to_command(5, 0),
+            ProjectorCommand::Brightness(0)
+        );
+        assert_eq!(
+            VoiceCommand::NextInput.to_command(70, 2),
+            ProjectorCommand::SelectInput(0)
+        );
+        assert_eq!(VoiceCommand::PowerOn.to_command(0, 0), ProjectorCommand::PowerOn);
+    }
+}

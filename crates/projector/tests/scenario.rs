@@ -1,0 +1,294 @@
+//! End-to-end Smart Projector scenarios over the simulated WLAN:
+//! lookup service + Aroma Adapter + presenter laptops, exactly the four
+//! entities the paper enumerates.
+
+use aroma_discovery::apps::RegistrarApp;
+use aroma_env::radio::RadioEnvironment;
+use aroma_env::space::Point;
+use aroma_net::{MacConfig, Network, NodeConfig, NodeId};
+use aroma_sim::{SimDuration, SimTime};
+use aroma_vnc::SlideDeck;
+use smart_projector::laptop::{Phase, PresenterLaptopApp, PresenterScript};
+use smart_projector::session::SessionPolicy;
+use smart_projector::{AcquireOrder, SmartProjectorApp};
+
+fn quiet() -> RadioEnvironment {
+    RadioEnvironment {
+        shadowing_sigma_db: 0.0,
+        ..Default::default()
+    }
+}
+
+struct World {
+    net: Network,
+    projector: NodeId,
+    laptops: Vec<NodeId>,
+}
+
+fn world(policy: SessionPolicy, scripts: Vec<PresenterScript>, seed: u64) -> World {
+    let mut net = Network::new(quiet(), MacConfig::default(), seed);
+    let _registrar = net.add_node(
+        NodeConfig::at(Point::new(0.0, 0.0)),
+        Box::new(RegistrarApp::new(SimDuration::from_secs(30))),
+    );
+    let projector = net.add_node(
+        NodeConfig::at(Point::new(3.0, 0.0)),
+        Box::new(SmartProjectorApp::new(320, 240, policy, "A-101")),
+    );
+    let laptops = scripts
+        .into_iter()
+        .enumerate()
+        .map(|(i, script)| {
+            net.add_node(
+                NodeConfig::at(Point::new(1.0 + i as f64, 3.0)),
+                Box::new(PresenterLaptopApp::new(
+                    script,
+                    320,
+                    240,
+                    Box::new(SlideDeck::new(8.0)),
+                )),
+            )
+        })
+        .collect();
+    World {
+        net,
+        projector,
+        laptops,
+    }
+}
+
+#[test]
+fn single_presenter_full_happy_path() {
+    let mut w = world(
+        SessionPolicy::ManualRelease,
+        vec![PresenterScript {
+            present_for: SimDuration::from_secs(10),
+            ..Default::default()
+        }],
+        1,
+    );
+    w.net.run_for(SimDuration::from_secs(8));
+    {
+        let laptop = w.net.app_as::<PresenterLaptopApp>(w.laptops[0]).unwrap();
+        assert_eq!(laptop.phase, Phase::Presenting, "denials={}", laptop.denials);
+        let t = laptop.projecting_at.expect("never reached presenting");
+        assert!(
+            t < SimTime::ZERO + SimDuration::from_secs(4),
+            "time-to-projecting {t}"
+        );
+        assert!(laptop.commands_ok >= 1, "control commands should succeed");
+        assert_eq!(laptop.commands_denied, 0);
+    }
+    let proj = w.net.app_as::<SmartProjectorApp>(w.projector).unwrap();
+    assert!(proj.state.powered, "PowerOn command should have landed");
+    assert_eq!(proj.registrations, 2, "both services registered");
+    // The projected screen converged to the laptop's screen.
+    let laptop = w.net.app_as::<PresenterLaptopApp>(w.laptops[0]).unwrap();
+    assert_eq!(
+        proj.projected_digest().expect("viewer active"),
+        laptop.screen_digest(),
+        "projected image diverged"
+    );
+}
+
+#[test]
+fn mobile_code_proxy_translates_brightness_end_to_end() {
+    // The laptop asks for 83% brightness; the projector's downloaded proxy
+    // (real aroma-mcode, shipped in the service registration) rounds it to
+    // the lamp's 5-step ladder before the command crosses the air.
+    use smart_projector::control::ProjectorCommand;
+    let mut w = world(
+        SessionPolicy::ManualRelease,
+        vec![PresenterScript {
+            present_for: SimDuration::from_secs(10),
+            commands: vec![ProjectorCommand::Brightness(83)],
+            ..Default::default()
+        }],
+        42,
+    );
+    w.net.run_for(SimDuration::from_secs(5));
+    let laptop = w.net.app_as::<PresenterLaptopApp>(w.laptops[0]).unwrap();
+    assert!(laptop.proxy_translations >= 1, "proxy never ran");
+    let proj = w.net.app_as::<SmartProjectorApp>(w.projector).unwrap();
+    assert_eq!(
+        proj.state.brightness, 85,
+        "83% must arrive as the proxy-rounded 85"
+    );
+}
+
+#[test]
+fn release_frees_the_projector_for_the_next_presenter() {
+    let mut w = world(
+        SessionPolicy::ManualRelease,
+        vec![
+            PresenterScript {
+                present_for: SimDuration::from_secs(5),
+                release_on_finish: true,
+                ..Default::default()
+            },
+            PresenterScript {
+                start_after: SimDuration::from_secs(2),
+                present_for: SimDuration::from_secs(5),
+                ..Default::default()
+            },
+        ],
+        2,
+    );
+    w.net.run_for(SimDuration::from_secs(30));
+    let first = w.net.app_as::<PresenterLaptopApp>(w.laptops[0]).unwrap();
+    let second = w.net.app_as::<PresenterLaptopApp>(w.laptops[1]).unwrap();
+    assert_eq!(first.phase, Phase::Finished);
+    assert!(
+        second.projecting_at.is_some(),
+        "second presenter must eventually get in (denials={})",
+        second.denials
+    );
+    assert!(second.denials >= 1, "second presenter was refused while busy");
+}
+
+#[test]
+fn forgetful_presenter_locks_everyone_out_without_auto_expiry() {
+    // The paper: mechanisms are needed "to deal with users who forget to
+    // relinquish control of the projector without relying on a system
+    // administrator to intervene".
+    let mut w = world(
+        SessionPolicy::ManualRelease,
+        vec![
+            PresenterScript {
+                present_for: SimDuration::from_secs(3),
+                release_on_finish: false, // walks away with the session
+                ..Default::default()
+            },
+            PresenterScript {
+                start_after: SimDuration::from_secs(5),
+                ..Default::default()
+            },
+        ],
+        3,
+    );
+    w.net.run_for(SimDuration::from_secs(40));
+    let second = w.net.app_as::<PresenterLaptopApp>(w.laptops[1]).unwrap();
+    assert!(second.projecting_at.is_none(), "lockout expected");
+    assert!(second.denials > 3, "kept retrying: {}", second.denials);
+}
+
+#[test]
+fn auto_expiry_recovers_from_the_forgetful_presenter() {
+    let mut w = world(
+        SessionPolicy::AutoExpire {
+            idle: SimDuration::from_secs(8),
+        },
+        vec![
+            PresenterScript {
+                present_for: SimDuration::from_secs(3),
+                release_on_finish: false,
+                ..Default::default()
+            },
+            PresenterScript {
+                start_after: SimDuration::from_secs(5),
+                ..Default::default()
+            },
+        ],
+        4,
+    );
+    w.net.run_for(SimDuration::from_secs(60));
+    let second = w.net.app_as::<PresenterLaptopApp>(w.laptops[1]).unwrap();
+    assert!(
+        second.projecting_at.is_some(),
+        "auto-expiry should have freed the session (denials={})",
+        second.denials
+    );
+}
+
+#[test]
+fn without_sessions_the_projector_is_hijacked() {
+    let mut w = world(
+        SessionPolicy::None,
+        vec![
+            PresenterScript {
+                present_for: SimDuration::from_secs(20),
+                ..Default::default()
+            },
+            PresenterScript {
+                start_after: SimDuration::from_secs(4),
+                present_for: SimDuration::from_secs(20),
+                ..Default::default()
+            },
+        ],
+        5,
+    );
+    w.net.run_for(SimDuration::from_secs(12));
+    let proj = w.net.app_as::<SmartProjectorApp>(w.projector).unwrap();
+    let hijacks =
+        proj.projection_sessions.stats.hijacks + proj.control_sessions.stats.hijacks;
+    assert!(hijacks >= 1, "second presenter should displace the first");
+    // Both presenters think they are presenting — the hijacked state the
+    // paper's session objects prevent.
+    let first = w.net.app_as::<PresenterLaptopApp>(w.laptops[0]).unwrap();
+    let second = w.net.app_as::<PresenterLaptopApp>(w.laptops[1]).unwrap();
+    assert_eq!(first.phase, Phase::Presenting);
+    assert_eq!(second.phase, Phase::Presenting);
+}
+
+#[test]
+fn sessions_prevent_hijack_under_contention() {
+    let mut w = world(
+        SessionPolicy::ManualRelease,
+        vec![
+            PresenterScript {
+                present_for: SimDuration::from_secs(20),
+                ..Default::default()
+            },
+            PresenterScript {
+                start_after: SimDuration::from_secs(4),
+                order: AcquireOrder::ControlFirst, // the "different order"
+                present_for: SimDuration::from_secs(20),
+                ..Default::default()
+            },
+        ],
+        6,
+    );
+    w.net.run_for(SimDuration::from_secs(12));
+    let proj = w.net.app_as::<SmartProjectorApp>(w.projector).unwrap();
+    assert_eq!(proj.projection_sessions.stats.hijacks, 0);
+    assert_eq!(proj.control_sessions.stats.hijacks, 0);
+    assert!(proj.denials >= 1, "the latecomer was refused");
+    let second = w.net.app_as::<PresenterLaptopApp>(w.laptops[1]).unwrap();
+    assert!(second.projecting_at.is_none());
+}
+
+#[test]
+fn opposite_orders_cannot_deadlock_a_single_projector() {
+    // Two presenters grabbing in opposite orders: one may hold projection
+    // while the other holds control (the interrelated-services problem the
+    // paper flags). With retries and auto-expiry the system must untangle.
+    let mut w = world(
+        SessionPolicy::AutoExpire {
+            idle: SimDuration::from_secs(6),
+        },
+        vec![
+            PresenterScript {
+                order: AcquireOrder::ProjectionFirst,
+                present_for: SimDuration::from_secs(8),
+                ..Default::default()
+            },
+            PresenterScript {
+                order: AcquireOrder::ControlFirst,
+                present_for: SimDuration::from_secs(8),
+                ..Default::default()
+            },
+        ],
+        7,
+    );
+    w.net.run_for(SimDuration::from_secs(90));
+    let a = w.net.app_as::<PresenterLaptopApp>(w.laptops[0]).unwrap();
+    let b = w.net.app_as::<PresenterLaptopApp>(w.laptops[1]).unwrap();
+    assert!(
+        a.projecting_at.is_some() || b.projecting_at.is_some(),
+        "at least one presenter must eventually present (a: {:?} {} denials, b: {:?} {} denials)",
+        a.phase,
+        a.denials,
+        b.phase,
+        b.denials
+    );
+}

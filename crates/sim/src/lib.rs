@@ -1,0 +1,38 @@
+//! # aroma-sim — discrete-event simulation core
+//!
+//! Foundation substrate for the reproduction of *“A Conceptual Model for
+//! Pervasive Computing”* (Ciarletta & Dima, 2000). Every simulated subsystem
+//! in the workspace — the 2.4 GHz wireless LAN, the Jini-style lookup
+//! service, the VNC-style remote framebuffer, the appliance runtime and the
+//! behavioural user simulator — runs on the primitives defined here:
+//!
+//! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution simulated time,
+//! * [`EventQueue`] — a deterministic future-event list with stable FIFO
+//!   ordering for simultaneous events and O(log n) scheduling,
+//! * [`SimRng`] — a seedable, forkable random stream (SplitMix64 core) with
+//!   the distributions the substrates need (uniform, normal, exponential,
+//!   log-normal shadowing),
+//! * [`stats`] — Welford summaries, fixed-bin histograms and rate meters used
+//!   by every experiment harness,
+//! * [`report`] — aligned ASCII tables plus a minimal JSON emitter so
+//!   experiment output can be archived without extra dependencies,
+//! * [`sweep`] — structured-concurrency parameter sweeps (each simulation run
+//!   owns its world; results are collected without shared mutable state).
+//!
+//! Determinism is a hard requirement: a run is a pure function of its seed
+//! and parameters, which is what makes the paper-shape experiments in
+//! `lpc-bench` reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod report;
+pub mod rng;
+pub mod stats;
+pub mod sweep;
+pub mod time;
+
+pub use event::{EventId, EventQueue};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,368 @@
+//! Experiment output rendering.
+//!
+//! Every figure/experiment regenerator in `lpc-bench` emits its results
+//! through this module: an aligned ASCII [`Table`] for terminal output and
+//! EXPERIMENTS.md, and a minimal, dependency-free [`Json`] emitter for
+//! archival. (We deliberately avoid pulling `serde_json`: the workspace
+//! dependency policy allows only the approved offline set, and the subset of
+//! JSON needed — objects, arrays, strings, numbers, bools — is small.)
+
+use std::fmt::Write as _;
+
+/// Column alignment for [`Table`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Align {
+    /// Left-justified (labels).
+    Left,
+    /// Right-justified (numbers).
+    Right,
+}
+
+/// An aligned monospace table.
+///
+/// ```
+/// use aroma_sim::report::Table;
+/// let mut t = Table::new(&["workload", "fps"]);
+/// t.row(&["slides".into(), "24.0".into()]);
+/// let s = t.render();
+/// assert!(s.contains("workload"));
+/// assert!(s.contains("slides"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers; the first column defaults to
+    /// left alignment and the rest to right (label + numbers, the common
+    /// shape for experiment tables).
+    pub fn new(headers: &[&str]) -> Self {
+        let aligns = headers
+            .iter()
+            .enumerate()
+            .map(|(i, _)| if i == 0 { Align::Left } else { Align::Right })
+            .collect();
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            aligns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Override column alignments (length must match the header count).
+    pub fn with_aligns(mut self, aligns: &[Align]) -> Self {
+        assert_eq!(aligns.len(), self.headers.len(), "alignment arity mismatch");
+        self.aligns = aligns.to_vec();
+        self
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Append a row from `Display` items.
+    pub fn row_display<D: std::fmt::Display>(&mut self, cells: &[D]) -> &mut Self {
+        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&cells)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// The table as a JSON array of header-keyed objects.
+    pub fn to_json(&self) -> Json {
+        Json::Arr(
+            self.rows
+                .iter()
+                .map(|row| {
+                    Json::Obj(
+                        self.headers
+                            .iter()
+                            .zip(row)
+                            .map(|(h, c)| (h.clone(), Json::Str(c.clone())))
+                            .collect(),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    /// True when no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with unicode-free box drawing (pipes and dashes), suitable for
+    /// both terminals and Markdown code blocks.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let sep = |out: &mut String| {
+            for w in &widths {
+                out.push('+');
+                out.extend(std::iter::repeat_n('-', w + 2));
+            }
+            out.push_str("+\n");
+        };
+        let emit_row = |out: &mut String, cells: &[String], aligns: &[Align]| {
+            for i in 0..ncols {
+                let cell = &cells[i];
+                let pad = widths[i] - cell.chars().count();
+                out.push_str("| ");
+                match aligns[i] {
+                    Align::Left => {
+                        out.push_str(cell);
+                        out.extend(std::iter::repeat_n(' ', pad));
+                    }
+                    Align::Right => {
+                        out.extend(std::iter::repeat_n(' ', pad));
+                        out.push_str(cell);
+                    }
+                }
+                out.push(' ');
+            }
+            out.push_str("|\n");
+        };
+        sep(&mut out);
+        emit_row(&mut out, &self.headers, &vec![Align::Left; ncols]);
+        sep(&mut out);
+        for row in &self.rows {
+            emit_row(&mut out, row, &self.aligns);
+        }
+        sep(&mut out);
+        out
+    }
+}
+
+/// Minimal JSON value for archival output.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Finite number (non-finite values emit as `null`, as JSON requires).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for objects.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Serialise to a compact JSON string.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s);
+        s
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => {
+                if x.is_finite() {
+                    // Integral values print without a trailing ".0" for
+                    // stable, diff-friendly output.
+                    if x.fract() == 0.0 && x.abs() < 1e15 {
+                        let _ = write!(out, "{}", *x as i64);
+                    } else {
+                        let _ = write!(out, "{x}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_json_string(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Num(x)
+    }
+}
+impl From<u64> for Json {
+    fn from(x: u64) -> Json {
+        Json::Num(x as f64)
+    }
+}
+impl From<usize> for Json {
+    fn from(x: usize) -> Json {
+        Json::Num(x as f64)
+    }
+}
+impl From<bool> for Json {
+    fn from(x: bool) -> Json {
+        Json::Bool(x)
+    }
+}
+impl From<&str> for Json {
+    fn from(x: &str) -> Json {
+        Json::Str(x.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(x: String) -> Json {
+        Json::Str(x)
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Format a float with `prec` decimals (helper for table cells).
+pub fn fmt_f(x: f64, prec: usize) -> String {
+    format!("{x:.prec$}")
+}
+
+/// Format a ratio as a percentage with one decimal.
+pub fn fmt_pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["alpha".into(), "1".into()]);
+        t.row(&["b".into(), "12345".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        // border, header, border, 2 rows, border
+        assert_eq!(lines.len(), 6);
+        // all lines equal width
+        let w = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == w), "{s}");
+        assert!(s.contains("| alpha |"));
+        assert!(s.contains("|     1 |")); // right-aligned number
+    }
+
+    #[test]
+    fn table_row_display_and_len() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row_display(&[1, 2]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn table_rejects_wrong_arity() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn table_custom_alignment() {
+        let mut t = Table::new(&["x", "y"]).with_aligns(&[Align::Right, Align::Left]);
+        t.row(&["1".into(), "abc".into()]);
+        let s = t.render();
+        assert!(s.contains("| 1 | abc |"));
+    }
+
+    #[test]
+    fn json_scalars() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::Num(3.0).render(), "3");
+        assert_eq!(Json::Num(3.5).render(), "3.5");
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::from("hi").render(), "\"hi\"");
+    }
+
+    #[test]
+    fn json_escaping() {
+        let s = Json::from("a\"b\\c\nd\te\u{1}").render();
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn json_composite() {
+        let j = Json::obj(vec![
+            ("id", "e1".into()),
+            ("series", Json::Arr(vec![1.0.into(), 2.5.into()])),
+            ("ok", true.into()),
+        ]);
+        assert_eq!(j.render(), "{\"id\":\"e1\",\"series\":[1,2.5],\"ok\":true}");
+    }
+
+    #[test]
+    fn format_helpers() {
+        assert_eq!(fmt_f(1.23456, 2), "1.23");
+        assert_eq!(fmt_pct(0.1234), "12.3%");
+    }
+}

@@ -1,0 +1,454 @@
+//! Statistics collection for experiment harnesses.
+//!
+//! Three collectors cover everything the reproduction measures:
+//!
+//! * [`Summary`] — streaming mean/variance/min/max via Welford's algorithm
+//!   (numerically stable, O(1) memory),
+//! * [`Histogram`] — fixed-width bins with quantile estimation, used for
+//!   latency distributions,
+//! * [`RateMeter`] — event counts over simulated time windows, used for
+//!   throughput series.
+//!
+//! All collectors are plain values (no interior mutability); parallel sweeps
+//! give each run its own collectors and merge afterwards, which is both the
+//! idiomatic structured-concurrency shape and the fastest one (no shared
+//! cache lines on the hot path).
+
+use crate::time::{SimDuration, SimTime};
+use serde::Serialize;
+
+/// Streaming summary statistics (Welford).
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Record a simulated duration in seconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_secs_f64());
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 for an empty summary).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance (n−1 denominator; 0 for fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_err(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Half-width of a normal-approximation 95% confidence interval.
+    pub fn ci95_half_width(&self) -> f64 {
+        1.96 * self.std_err()
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.count as f64
+    }
+
+    /// Merge another summary into this one (parallel-sweep reduction).
+    ///
+    /// Uses the Chan et al. pairwise update, so merging is equivalent to
+    /// having recorded every observation into a single summary.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Fixed-width-bin histogram over `[lo, hi)` with under/overflow bins.
+#[derive(Clone, Debug, Serialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Histogram over `[lo, hi)` with `nbins` equal-width bins.
+    ///
+    /// Panics if `nbins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
+        assert!(nbins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "histogram range must be non-empty");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; nbins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let frac = (x - self.lo) / (self.hi - self.lo);
+            let idx = ((frac * self.bins.len() as f64) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total observations including under/overflow.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the range's upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Raw bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Approximate `q`-quantile (`0 ≤ q ≤ 1`) by linear interpolation within
+    /// the containing bin. Underflow counts toward `lo`, overflow toward
+    /// `hi`. Returns `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.count as f64;
+        let mut cum = self.underflow as f64;
+        if target <= cum {
+            return Some(self.lo);
+        }
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        for (i, &b) in self.bins.iter().enumerate() {
+            let next = cum + b as f64;
+            if target <= next && b > 0 {
+                let within = (target - cum) / b as f64;
+                return Some(self.lo + width * (i as f64 + within));
+            }
+            cum = next;
+        }
+        Some(self.hi)
+    }
+
+    /// Merge another histogram with identical geometry.
+    ///
+    /// Panics if the ranges or bin counts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bins.len(), other.bins.len(), "bin count mismatch");
+        assert!(
+            (self.lo - other.lo).abs() < f64::EPSILON && (self.hi - other.hi).abs() < f64::EPSILON,
+            "range mismatch"
+        );
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.count += other.count;
+    }
+}
+
+/// Counts events against the simulated clock and reports rates.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct RateMeter {
+    events: u64,
+    units: f64,
+    started: Option<SimTime>,
+    last: Option<SimTime>,
+}
+
+impl RateMeter {
+    /// Fresh meter; the window opens at the first recorded event (or at an
+    /// explicit [`RateMeter::open_at`]).
+    pub fn new() -> Self {
+        RateMeter::default()
+    }
+
+    /// Open the measurement window at `t` without recording an event.
+    pub fn open_at(&mut self, t: SimTime) {
+        if self.started.is_none() {
+            self.started = Some(t);
+            self.last = Some(t);
+        }
+    }
+
+    /// Record one event of `units` size (bytes, frames, …) at time `t`.
+    pub fn record(&mut self, t: SimTime, units: f64) {
+        self.open_at(t);
+        self.events += 1;
+        self.units += units;
+        if Some(t) > self.last {
+            self.last = Some(t);
+        }
+    }
+
+    /// Number of events recorded.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Sum of recorded unit sizes.
+    pub fn units(&self) -> f64 {
+        self.units
+    }
+
+    /// Window length from open to the last event (zero if unopened).
+    pub fn window(&self) -> SimDuration {
+        match (self.started, self.last) {
+            (Some(s), Some(l)) => l.saturating_since(s),
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    /// Units per second over an explicit horizon.
+    pub fn rate_over(&self, horizon: SimDuration) -> f64 {
+        let secs = horizon.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.units / secs
+        }
+    }
+
+    /// Units per second over the observed window.
+    pub fn rate(&self) -> f64 {
+        self.rate_over(self.window())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic_moments() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+        assert!((s.sum() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_empty_is_sane() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn summary_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Summary::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut left = Summary::new();
+        let mut right = Summary::new();
+        for &x in &xs[..37] {
+            left.record(x);
+        }
+        for &x in &xs[37..] {
+            right.record(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn summary_merge_with_empty_sides() {
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        b.record(3.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        let empty = Summary::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 1);
+    }
+
+    #[test]
+    fn histogram_bins_and_edges() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(-1.0); // underflow
+        h.record(0.0); // first bin
+        h.record(9.999); // last bin
+        h.record(10.0); // overflow (half-open range)
+        h.record(5.0);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.bins()[0], 1);
+        assert_eq!(h.bins()[9], 1);
+        assert_eq!(h.bins()[5], 1);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_median() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.record(i as f64 + 0.5);
+        }
+        let med = h.quantile(0.5).unwrap();
+        assert!((med - 50.0).abs() < 2.0, "median {med}");
+        assert_eq!(h.quantile(0.0), Some(0.0));
+        assert!(h.quantile(1.0).unwrap() >= 99.0);
+    }
+
+    #[test]
+    fn histogram_quantile_empty_none() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        let mut b = Histogram::new(0.0, 10.0, 5);
+        a.record(1.0);
+        b.record(1.0);
+        b.record(11.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.bins()[0], 2);
+        assert_eq!(a.overflow(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin count mismatch")]
+    fn histogram_merge_rejects_mismatched() {
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        let b = Histogram::new(0.0, 10.0, 6);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn rate_meter_measures_units_per_second() {
+        let mut m = RateMeter::new();
+        m.record(SimTime::from_nanos(0), 100.0);
+        m.record(SimTime::ZERO + SimDuration::from_secs(2), 300.0);
+        assert_eq!(m.events(), 2);
+        assert!((m.rate() - 200.0).abs() < 1e-9); // 400 units / 2 s
+    }
+
+    #[test]
+    fn rate_meter_explicit_horizon() {
+        let mut m = RateMeter::new();
+        m.open_at(SimTime::ZERO);
+        m.record(SimTime::ZERO + SimDuration::from_millis(10), 50.0);
+        assert!((m.rate_over(SimDuration::from_secs(10)) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_meter_degenerate_window_is_zero() {
+        let mut m = RateMeter::new();
+        m.record(SimTime::from_nanos(5), 10.0);
+        assert_eq!(m.rate(), 0.0); // zero-length window
+        assert_eq!(RateMeter::new().rate(), 0.0); // never opened
+    }
+}

@@ -1,0 +1,278 @@
+//! Per-tile pixel encodings.
+//!
+//! Two encodings, as in VNC's simplest profile: `Raw` (pixels verbatim) and
+//! `Rle` (run-length over RGB565 values). The encoder picks whichever is
+//! smaller per tile — slides compress enormously, noise video does not,
+//! which is precisely the content-dependence E1 measures.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Encoding identifier on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Encoding {
+    /// Pixels verbatim, row-major, little-endian u16.
+    Raw,
+    /// (run_len u8, value u16) pairs; runs of at most 255.
+    Rle,
+}
+
+/// An encoded tile with its grid position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EncodedTile {
+    /// Tile column.
+    pub tx: u16,
+    /// Tile row.
+    pub ty: u16,
+    /// Which encoding `data` uses.
+    pub encoding: Encoding,
+    /// Encoded payload.
+    pub data: Bytes,
+}
+
+/// Decode errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Payload length is wrong for the encoding.
+    BadLength,
+    /// RLE runs do not sum to a full tile.
+    BadRunTotal,
+    /// Unknown encoding id.
+    BadEncoding(u8),
+    /// Buffer ended mid-structure.
+    Truncated,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadLength => write!(f, "payload length invalid for encoding"),
+            DecodeError::BadRunTotal => write!(f, "RLE runs do not cover the tile"),
+            DecodeError::BadEncoding(e) => write!(f, "unknown encoding {e}"),
+            DecodeError::Truncated => write!(f, "tile stream truncated"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// RLE-encode `pixels` (any length > 0).
+pub fn rle_encode(pixels: &[u16]) -> Bytes {
+    let mut out = BytesMut::with_capacity(pixels.len());
+    let mut i = 0;
+    while i < pixels.len() {
+        let v = pixels[i];
+        let mut run = 1usize;
+        while i + run < pixels.len() && pixels[i + run] == v && run < 255 {
+            run += 1;
+        }
+        out.put_u8(run as u8);
+        out.put_u16_le(v);
+        i += run;
+    }
+    out.freeze()
+}
+
+/// Decode an RLE stream into exactly `expected` pixels.
+pub fn rle_decode(mut data: Bytes, expected: usize) -> Result<Vec<u16>, DecodeError> {
+    let mut out = Vec::with_capacity(expected);
+    while data.remaining() > 0 {
+        if data.remaining() < 3 {
+            return Err(DecodeError::Truncated);
+        }
+        let run = data.get_u8() as usize;
+        let v = data.get_u16_le();
+        if run == 0 || out.len() + run > expected {
+            return Err(DecodeError::BadRunTotal);
+        }
+        out.extend(std::iter::repeat_n(v, run));
+    }
+    if out.len() != expected {
+        return Err(DecodeError::BadRunTotal);
+    }
+    Ok(out)
+}
+
+/// Encode a tile's pixels, choosing the smaller of Raw and RLE.
+pub fn encode_tile(tx: u16, ty: u16, pixels: &[u16]) -> EncodedTile {
+    let rle = rle_encode(pixels);
+    if rle.len() < pixels.len() * 2 {
+        EncodedTile {
+            tx,
+            ty,
+            encoding: Encoding::Rle,
+            data: rle,
+        }
+    } else {
+        let mut raw = BytesMut::with_capacity(pixels.len() * 2);
+        for &p in pixels {
+            raw.put_u16_le(p);
+        }
+        EncodedTile {
+            tx,
+            ty,
+            encoding: Encoding::Raw,
+            data: raw.freeze(),
+        }
+    }
+}
+
+/// Decode a tile back to `expected` pixels.
+pub fn decode_tile(tile: &EncodedTile, expected: usize) -> Result<Vec<u16>, DecodeError> {
+    match tile.encoding {
+        Encoding::Raw => {
+            if tile.data.len() != expected * 2 {
+                return Err(DecodeError::BadLength);
+            }
+            let mut data = tile.data.clone();
+            Ok((0..expected).map(|_| data.get_u16_le()).collect())
+        }
+        Encoding::Rle => rle_decode(tile.data.clone(), expected),
+    }
+}
+
+/// Serialise a sequence of encoded tiles into one byte stream.
+pub fn write_tile_stream(tiles: &[EncodedTile]) -> Bytes {
+    let mut out = BytesMut::new();
+    out.put_u16(tiles.len() as u16);
+    for t in tiles {
+        out.put_u16(t.tx);
+        out.put_u16(t.ty);
+        out.put_u8(match t.encoding {
+            Encoding::Raw => 0,
+            Encoding::Rle => 1,
+        });
+        out.put_u32(t.data.len() as u32);
+        out.put_slice(&t.data);
+    }
+    out.freeze()
+}
+
+/// Parse a tile stream produced by [`write_tile_stream`].
+pub fn read_tile_stream(mut data: Bytes) -> Result<Vec<EncodedTile>, DecodeError> {
+    if data.remaining() < 2 {
+        return Err(DecodeError::Truncated);
+    }
+    let n = data.get_u16() as usize;
+    let mut out = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        if data.remaining() < 9 {
+            return Err(DecodeError::Truncated);
+        }
+        let tx = data.get_u16();
+        let ty = data.get_u16();
+        let encoding = match data.get_u8() {
+            0 => Encoding::Raw,
+            1 => Encoding::Rle,
+            e => return Err(DecodeError::BadEncoding(e)),
+        };
+        let len = data.get_u32() as usize;
+        if data.remaining() < len {
+            return Err(DecodeError::Truncated);
+        }
+        let payload = data.split_to(len);
+        out.push(EncodedTile {
+            tx,
+            ty,
+            encoding,
+            data: payload,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framebuffer::TILE;
+
+    const N: usize = TILE * TILE;
+
+    #[test]
+    fn rle_round_trip_uniform() {
+        let pixels = vec![0xABCD; N];
+        let enc = rle_encode(&pixels);
+        // 256 pixels = 255-run + 1-run = 6 bytes.
+        assert_eq!(enc.len(), 6);
+        assert_eq!(rle_decode(enc, N).unwrap(), pixels);
+    }
+
+    #[test]
+    fn rle_round_trip_alternating() {
+        let pixels: Vec<u16> = (0..N).map(|i| (i % 2) as u16).collect();
+        let enc = rle_encode(&pixels);
+        assert_eq!(enc.len(), N * 3); // worst case: every run is 1
+        assert_eq!(rle_decode(enc, N).unwrap(), pixels);
+    }
+
+    #[test]
+    fn rle_rejects_wrong_totals() {
+        let pixels = vec![7u16; N];
+        let enc = rle_encode(&pixels);
+        assert_eq!(rle_decode(enc.clone(), N - 1), Err(DecodeError::BadRunTotal));
+        assert_eq!(rle_decode(enc.slice(0..3), N), Err(DecodeError::BadRunTotal));
+    }
+
+    #[test]
+    fn rle_rejects_truncation_mid_run() {
+        let pixels = vec![7u16; N];
+        let enc = rle_encode(&pixels);
+        assert_eq!(rle_decode(enc.slice(0..enc.len() - 1), N), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn encoder_picks_rle_for_flat_content() {
+        let t = encode_tile(0, 0, &vec![42u16; N]);
+        assert_eq!(t.encoding, Encoding::Rle);
+        assert!(t.data.len() < 10);
+    }
+
+    #[test]
+    fn encoder_picks_raw_for_noise() {
+        // A permutation-ish pattern with no runs.
+        let pixels: Vec<u16> = (0..N).map(|i| (i * 2654435761usize % 65536) as u16).collect();
+        let t = encode_tile(0, 0, &pixels);
+        assert_eq!(t.encoding, Encoding::Raw);
+        assert_eq!(t.data.len(), N * 2);
+        assert_eq!(decode_tile(&t, N).unwrap(), pixels);
+    }
+
+    #[test]
+    fn tile_decode_validates_raw_length() {
+        let t = EncodedTile {
+            tx: 0,
+            ty: 0,
+            encoding: Encoding::Raw,
+            data: Bytes::from_static(&[1, 2, 3]),
+        };
+        assert_eq!(decode_tile(&t, N), Err(DecodeError::BadLength));
+    }
+
+    #[test]
+    fn tile_stream_round_trip() {
+        let tiles = vec![
+            encode_tile(0, 0, &vec![1u16; N]),
+            encode_tile(3, 7, &(0..N).map(|i| i as u16).collect::<Vec<_>>()),
+        ];
+        let stream = write_tile_stream(&tiles);
+        let parsed = read_tile_stream(stream).unwrap();
+        assert_eq!(parsed, tiles);
+    }
+
+    #[test]
+    fn tile_stream_rejects_truncation() {
+        let tiles = vec![encode_tile(0, 0, &vec![1u16; N])];
+        let stream = write_tile_stream(&tiles);
+        for cut in 0..stream.len() {
+            assert!(
+                read_tile_stream(stream.slice(0..cut)).is_err(),
+                "prefix {cut} parsed"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_tile_stream_is_valid() {
+        let stream = write_tile_stream(&[]);
+        assert_eq!(read_tile_stream(stream).unwrap(), vec![]);
+    }
+}

@@ -1,0 +1,355 @@
+//! VNC-style wire protocol: client-pull update requests and MTU-sized
+//! update chunks.
+
+use aroma_net::MTU_BYTES;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Protocol discriminator: first byte of every VNC message, so apps
+/// multiplexing several protocols on one node can route unambiguously.
+pub const PROTO_VNC: u8 = 0xF8;
+
+const TAG_UPDATE_REQUEST: u8 = 1;
+const TAG_UPDATE_CHUNK: u8 = 2;
+
+/// Chunk header: proto(1) + tag(1) + update_id(4) + seq(2) + last(1) + len(4).
+const CHUNK_HEADER: usize = 13;
+
+/// Maximum payload carried per chunk frame.
+pub const CHUNK_PAYLOAD: usize = MTU_BYTES - CHUNK_HEADER;
+
+/// A VNC protocol message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VncMsg {
+    /// Viewer asks for a screen update.
+    UpdateRequest {
+        /// True: only what changed since the last update. False: the full
+        /// screen (initial connect or loss recovery).
+        incremental: bool,
+    },
+    /// One fragment of a screen update.
+    UpdateChunk {
+        /// Update this chunk belongs to.
+        update_id: u32,
+        /// Position within the update (0-based, contiguous).
+        seq: u16,
+        /// True on the final chunk.
+        last: bool,
+        /// Slice of the update's tile stream.
+        payload: Bytes,
+    },
+}
+
+/// Protocol decode errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VncCodecError {
+    /// Buffer too short.
+    Truncated,
+    /// Unknown tag byte.
+    BadTag(u8),
+}
+
+impl VncMsg {
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        match self {
+            VncMsg::UpdateRequest { incremental } => {
+                let mut b = BytesMut::with_capacity(3);
+                b.put_u8(PROTO_VNC);
+                b.put_u8(TAG_UPDATE_REQUEST);
+                b.put_u8(*incremental as u8);
+                b.freeze()
+            }
+            VncMsg::UpdateChunk {
+                update_id,
+                seq,
+                last,
+                payload,
+            } => {
+                let mut b = BytesMut::with_capacity(CHUNK_HEADER + payload.len());
+                b.put_u8(PROTO_VNC);
+                b.put_u8(TAG_UPDATE_CHUNK);
+                b.put_u32(*update_id);
+                b.put_u16(*seq);
+                b.put_u8(*last as u8);
+                b.put_u32(payload.len() as u32);
+                b.put_slice(payload);
+                b.freeze()
+            }
+        }
+    }
+
+    /// Decode from wire bytes (expects the [`PROTO_VNC`] prefix).
+    pub fn decode(mut buf: Bytes) -> Result<VncMsg, VncCodecError> {
+        if buf.remaining() < 2 {
+            return Err(VncCodecError::Truncated);
+        }
+        let proto = buf.get_u8();
+        if proto != PROTO_VNC {
+            return Err(VncCodecError::BadTag(proto));
+        }
+        match buf.get_u8() {
+            TAG_UPDATE_REQUEST => {
+                if buf.remaining() < 1 {
+                    return Err(VncCodecError::Truncated);
+                }
+                Ok(VncMsg::UpdateRequest {
+                    incremental: buf.get_u8() != 0,
+                })
+            }
+            TAG_UPDATE_CHUNK => {
+                if buf.remaining() < 11 {
+                    return Err(VncCodecError::Truncated);
+                }
+                let update_id = buf.get_u32();
+                let seq = buf.get_u16();
+                let last = buf.get_u8() != 0;
+                let len = buf.get_u32() as usize;
+                if buf.remaining() < len {
+                    return Err(VncCodecError::Truncated);
+                }
+                let payload = buf.split_to(len);
+                Ok(VncMsg::UpdateChunk {
+                    update_id,
+                    seq,
+                    last,
+                    payload,
+                })
+            }
+            t => Err(VncCodecError::BadTag(t)),
+        }
+    }
+}
+
+/// Split an update's tile stream into MTU-sized chunks. Always yields at
+/// least one chunk (an empty update still answers the request).
+pub fn chunk_update(update_id: u32, stream: Bytes) -> Vec<VncMsg> {
+    let mut chunks = Vec::with_capacity(stream.len() / CHUNK_PAYLOAD + 1);
+    let total = stream.len();
+    let mut offset = 0usize;
+    let mut seq: u16 = 0;
+    loop {
+        let end = (offset + CHUNK_PAYLOAD).min(total);
+        let last = end == total;
+        chunks.push(VncMsg::UpdateChunk {
+            update_id,
+            seq,
+            last,
+            payload: stream.slice(offset..end),
+        });
+        if last {
+            break;
+        }
+        offset = end;
+        seq = seq.checked_add(1).expect("update too large for u16 chunks");
+    }
+    chunks
+}
+
+/// Reassembles chunk payloads back into the update's tile stream.
+#[derive(Debug, Default)]
+pub struct Reassembler {
+    current: Option<(u32, u16, BytesMut)>,
+}
+
+/// What [`Reassembler::push`] concluded.
+#[derive(Debug, PartialEq)]
+pub enum PushResult {
+    /// Chunk accepted, update incomplete.
+    Incomplete,
+    /// Update complete: here is its tile stream.
+    Complete(Bytes),
+    /// Chunk did not fit the expected sequence; state reset. The caller
+    /// should re-request a full update.
+    Gap,
+}
+
+impl Reassembler {
+    /// Fresh reassembler.
+    pub fn new() -> Self {
+        Reassembler::default()
+    }
+
+    /// Feed one chunk.
+    pub fn push(&mut self, update_id: u32, seq: u16, last: bool, payload: &Bytes) -> PushResult {
+        match &mut self.current {
+            None => {
+                if seq != 0 {
+                    return PushResult::Gap; // joined mid-update
+                }
+                if last {
+                    return PushResult::Complete(payload.clone());
+                }
+                let mut buf = BytesMut::with_capacity(payload.len() * 4);
+                buf.extend_from_slice(payload);
+                self.current = Some((update_id, 1, buf));
+                PushResult::Incomplete
+            }
+            Some((id, next_seq, buf)) => {
+                if *id != update_id || seq != *next_seq {
+                    self.current = None;
+                    return PushResult::Gap;
+                }
+                buf.extend_from_slice(payload);
+                *next_seq += 1;
+                if last {
+                    let (_, _, buf) = self.current.take().unwrap();
+                    PushResult::Complete(buf.freeze())
+                } else {
+                    PushResult::Incomplete
+                }
+            }
+        }
+    }
+
+    /// Drop any partial update (loss recovery).
+    pub fn reset(&mut self) {
+        self.current = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip() {
+        for inc in [true, false] {
+            let m = VncMsg::UpdateRequest { incremental: inc };
+            assert_eq!(VncMsg::decode(m.encode()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn chunk_round_trip() {
+        let m = VncMsg::UpdateChunk {
+            update_id: 77,
+            seq: 3,
+            last: true,
+            payload: Bytes::from_static(b"pixels"),
+        };
+        assert_eq!(VncMsg::decode(m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn chunks_respect_mtu() {
+        let stream = Bytes::from(vec![9u8; CHUNK_PAYLOAD * 3 + 100]);
+        let chunks = chunk_update(1, stream.clone());
+        assert_eq!(chunks.len(), 4);
+        let mut total = 0usize;
+        for (i, c) in chunks.iter().enumerate() {
+            let encoded = c.encode();
+            assert!(encoded.len() <= MTU_BYTES, "chunk {i} too big");
+            if let VncMsg::UpdateChunk { seq, payload, last, .. } = c {
+                assert_eq!(*seq as usize, i);
+                assert_eq!(*last, i == 3);
+                total += payload.len();
+            }
+        }
+        assert_eq!(total, stream.len());
+    }
+
+    #[test]
+    fn empty_update_is_one_last_chunk() {
+        let chunks = chunk_update(5, Bytes::new());
+        assert_eq!(chunks.len(), 1);
+        assert!(matches!(
+            &chunks[0],
+            VncMsg::UpdateChunk { last: true, payload, .. } if payload.is_empty()
+        ));
+    }
+
+    #[test]
+    fn reassembly_round_trip() {
+        let stream = Bytes::from((0..10_000u32).map(|i| i as u8).collect::<Vec<_>>());
+        let chunks = chunk_update(9, stream.clone());
+        let mut r = Reassembler::new();
+        let mut out = None;
+        for c in &chunks {
+            if let VncMsg::UpdateChunk {
+                update_id,
+                seq,
+                last,
+                payload,
+            } = c
+            {
+                match r.push(*update_id, *seq, *last, payload) {
+                    PushResult::Complete(b) => out = Some(b),
+                    PushResult::Incomplete => {}
+                    PushResult::Gap => panic!("unexpected gap"),
+                }
+            }
+        }
+        assert_eq!(out.unwrap(), stream);
+    }
+
+    #[test]
+    fn reassembly_detects_gap_and_resets() {
+        let stream = Bytes::from(vec![1u8; CHUNK_PAYLOAD * 3]);
+        let chunks = chunk_update(4, stream);
+        let mut r = Reassembler::new();
+        // Push chunk 0 then skip to chunk 2.
+        let (c0, c2) = (&chunks[0], &chunks[2]);
+        if let VncMsg::UpdateChunk {
+            update_id,
+            seq,
+            last,
+            payload,
+        } = c0
+        {
+            assert_eq!(r.push(*update_id, *seq, *last, payload), PushResult::Incomplete);
+        }
+        if let VncMsg::UpdateChunk {
+            update_id,
+            seq,
+            last,
+            payload,
+        } = c2
+        {
+            assert_eq!(r.push(*update_id, *seq, *last, payload), PushResult::Gap);
+        }
+        // After a gap the reassembler accepts a fresh update from seq 0.
+        if let VncMsg::UpdateChunk {
+            update_id,
+            seq,
+            last,
+            payload,
+        } = c0
+        {
+            assert_eq!(r.push(*update_id, *seq, *last, payload), PushResult::Incomplete);
+        }
+    }
+
+    #[test]
+    fn joining_mid_update_is_a_gap() {
+        let mut r = Reassembler::new();
+        assert_eq!(
+            r.push(1, 5, false, &Bytes::from_static(b"x")),
+            PushResult::Gap
+        );
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(
+            VncMsg::decode(Bytes::from_static(&[99, 0])),
+            Err(VncCodecError::BadTag(99))
+        );
+        assert_eq!(
+            VncMsg::decode(Bytes::from_static(&[PROTO_VNC, 99])),
+            Err(VncCodecError::BadTag(99))
+        );
+        assert_eq!(
+            VncMsg::decode(Bytes::new()),
+            Err(VncCodecError::Truncated)
+        );
+        // Truncated chunk length.
+        let full = VncMsg::UpdateChunk {
+            update_id: 1,
+            seq: 0,
+            last: true,
+            payload: Bytes::from_static(b"abcdef"),
+        }
+        .encode();
+        assert!(VncMsg::decode(full.slice(0..full.len() - 2)).is_err());
+    }
+}

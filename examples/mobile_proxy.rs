@@ -1,0 +1,68 @@
+//! Mobile code in action — the Aroma research area "mobile code and data".
+//!
+//! A client discovers the projector's control service, downloads its proxy
+//! (a real `aroma-mcode` program travelling in the registration bytes), and
+//! runs it locally to learn how *this* projector wants brightness values —
+//! no device-specific logic compiled into the client.
+//!
+//! ```text
+//! cargo run --example mobile_proxy
+//! ```
+
+use aroma_discovery::apps::{ClientApp, RegistrarApp};
+use aroma_discovery::codec::Template;
+use aroma_env::radio::RadioEnvironment;
+use aroma_env::space::Point;
+use aroma_mcode::{NullHost, Program, Vm};
+use aroma_net::{MacConfig, Network, NodeConfig};
+use aroma_sim::SimDuration;
+use smart_projector::session::SessionPolicy;
+use smart_projector::SmartProjectorApp;
+
+fn main() {
+    let mut net = Network::new(RadioEnvironment::default(), MacConfig::default(), 7);
+    let _registrar = net.add_node(
+        NodeConfig::at(Point::new(0.0, 0.0)),
+        Box::new(RegistrarApp::new(SimDuration::from_secs(30))),
+    );
+    let _projector = net.add_node(
+        NodeConfig::at(Point::new(4.0, 0.0)),
+        Box::new(SmartProjectorApp::new(
+            320,
+            240,
+            SessionPolicy::ManualRelease,
+            "A-101",
+        )),
+    );
+    let client = net.add_node(
+        NodeConfig::at(Point::new(0.0, 4.0)),
+        Box::new(ClientApp::new(Template::of_kind("projector/control"))),
+    );
+
+    println!("discovering the control service…");
+    net.run_for(SimDuration::from_secs(3));
+
+    let c = net.app_as::<ClientApp>(client).unwrap();
+    let item = c.found.first().expect("control service not found");
+    println!(
+        "found '{}' in room {} — proxy blob: {} bytes of mobile code\n",
+        item.kind,
+        item.attr("room").unwrap_or("?"),
+        item.proxy.len()
+    );
+
+    let program = Program::decode(item.proxy.clone()).expect("proxy is runnable mcode");
+    println!(
+        "decoded & validated: {} instructions; running it locally:\n",
+        program.len()
+    );
+    println!("requested %  ->  device-supported %");
+    for requested in [0i64, 3, 47, 52, 83, 99, 100, 250] {
+        let supported = Vm
+            .run_default(&program, &[requested], &mut NullHost)
+            .expect("proxy execution");
+        println!("       {requested:>3}  ->  {supported:>3}");
+    }
+    println!("\nthe lamp ladder (min 10, steps of 5) lives with the device and");
+    println!("travelled to the client as code — no firmware table compiled in.");
+}

@@ -1,0 +1,91 @@
+//! A different information appliance through the same model: the paper's
+//! PDA user "trying to quickly schedule an appointment" who "will not have
+//! the patience to spend five minutes using on-line help".
+//!
+//! Shows the resource-layer executor claim (single-threaded vs abortable)
+//! and the abstract-layer burden for a PDA scheduling app.
+//!
+//! ```text
+//! cargo run --example pda_scheduler
+//! ```
+
+use aroma_appliance::executor::{run, Policy, Workload};
+use aroma_appliance::power::{battery_life, DutyCycle, PowerProfile};
+use aroma_sim::{SimDuration, SimRng, SimTime};
+use lpc_core::user_sim::{simulate_session, PlannerKind, SessionParams};
+use lpc_core::{StateMachine, UserProfile};
+
+fn main() {
+    // --- Resource layer: the sync that cannot be aborted. -----------------
+    let workload = Workload::background_plus_taps(
+        SimDuration::from_secs(45),            // a HotSync-era sync
+        SimDuration::from_secs(5),             // user taps every 5 s
+        5,
+        SimDuration::from_millis(80),          // each tap is cheap
+        SimTime::ZERO + SimDuration::from_secs(3), // user mashes "cancel"
+    );
+    let patience = SimDuration::from_secs(2);
+    println!("a 45 s sync is running; the user taps and tries to cancel:\n");
+    for (name, policy) in [
+        ("single-threaded (as shipped)", Policy::SingleThreaded),
+        (
+            "cooperative, 50 ms quantum",
+            Policy::Cooperative {
+                quantum: SimDuration::from_millis(50),
+            },
+        ),
+    ] {
+        let (r, frustrations) = run(policy, &workload, patience);
+        println!("  {name}:");
+        println!(
+            "    mean tap response {:.2} s, worst {:.2} s, {} frustration event(s)",
+            r.interactive_latency.mean(),
+            r.interactive_latency.max().unwrap_or(0.0),
+            frustrations
+        );
+    }
+
+    // --- Abstract layer: scheduling an appointment. -----------------------
+    let scheduler = StateMachine::new()
+        .with("home", "open-datebook", "day-view")
+        .with("day-view", "tap-slot", "edit")
+        .with("edit", "enter-text", "edit-filled")
+        .with("edit-filled", "tap-ok", "saved")
+        .with("edit", "tap-ok", "day-view") // empty entry: silently discarded!
+        .with("day-view", "open-menu", "menu")
+        .with("menu", "close-menu", "day-view");
+    let belief = StateMachine::new()
+        .with("home", "open-datebook", "day-view")
+        .with("day-view", "tap-slot", "edit")
+        .with("edit", "tap-ok", "saved"); // believes OK saves even when empty
+    let user = UserProfile::casual();
+    let mut rng = SimRng::new(9);
+    let session = simulate_session(
+        &user.faculties,
+        &belief,
+        &scheduler,
+        "home",
+        "saved",
+        PlannerKind::Bfs,
+        &SessionParams::default(),
+        &mut rng,
+    );
+    println!("\nscheduling an appointment ({}):", user.name);
+    println!(
+        "    reached goal: {}, steps {}, surprises {}, burden {:.2}, gave up: {}",
+        session.reached_goal, session.steps, session.surprises, session.burden(), session.gave_up
+    );
+
+    // --- And the battery, because appliances die. --------------------------
+    let duty = DutyCycle {
+        cpu_active: 0.08,
+        radio_tx: 0.0,
+        radio_rx: 0.0,
+        display_on: 0.3,
+    };
+    let life = battery_life(2500.0, &PowerProfile::future_soc(), &duty);
+    println!(
+        "\na future-SOC PDA at this duty cycle runs ~{:.1} days on 2.5 Wh",
+        life.as_secs_f64() / 86_400.0
+    );
+}

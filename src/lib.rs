@@ -1,0 +1,28 @@
+//! # aroma-lpc — umbrella crate
+//!
+//! Re-exports the whole reproduction of *“A Conceptual Model for Pervasive
+//! Computing”* (Ciarletta & Dima, 2000) so examples and downstream users
+//! can depend on one crate. See the individual crates for the real APIs:
+//!
+//! * [`lpc`] (lpc-core) — the Layered Pervasive Computing model itself,
+//! * [`sim`] (aroma-sim) — the discrete-event core,
+//! * [`env`](mod@env) (aroma-env) — the environment layer,
+//! * [`net`] (aroma-net) — the 2.4 GHz WLAN simulator,
+//! * [`discovery`] (aroma-discovery) — Jini-style service discovery,
+//! * [`mcode`] (aroma-mcode) — the mobile-code VM for service proxies,
+//! * [`vnc`] (aroma-vnc) — the remote framebuffer,
+//! * [`appliance`] (aroma-appliance) — the information-appliance runtime,
+//! * [`projector`] (smart-projector) — the Smart Projector application.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use aroma_appliance as appliance;
+pub use aroma_discovery as discovery;
+pub use aroma_env as env;
+pub use aroma_mcode as mcode;
+pub use aroma_net as net;
+pub use aroma_sim as sim;
+pub use aroma_vnc as vnc;
+pub use lpc_core as lpc;
+pub use smart_projector as projector;

@@ -1,0 +1,201 @@
+//! Workspace-spanning integration tests: the complete Smart Projector
+//! pipeline (discovery → sessions → VNC → control) across every crate, and
+//! the correspondence between the *executable* system and its *LPC
+//! analysis* description.
+
+use aroma_discovery::apps::RegistrarApp;
+use aroma_env::radio::RadioEnvironment;
+use aroma_env::space::Point;
+use aroma_env::EnvironmentKind;
+use aroma_net::{MacConfig, Network, NodeConfig};
+use aroma_sim::SimDuration;
+use aroma_vnc::SlideDeck;
+use lpc_core::{Layer, UserProfile};
+use smart_projector::laptop::{Phase, PresenterLaptopApp, PresenterScript};
+use smart_projector::session::SessionPolicy;
+use smart_projector::{smart_projector_system, ProjectorVariant, SmartProjectorApp};
+
+fn env() -> RadioEnvironment {
+    RadioEnvironment {
+        shadowing_sigma_db: 0.0,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn the_papers_four_entities_cooperate_end_to_end() {
+    // "There are four major physical and logical entities in our example:
+    // a user wishing to make a presentation; the laptop; the smart
+    // projector; and the Jini Lookup Service."
+    let mut net = Network::new(env(), MacConfig::default(), 11);
+    let _lookup = net.add_node(
+        NodeConfig::at(Point::new(0.0, 0.0)),
+        Box::new(RegistrarApp::new(SimDuration::from_secs(30))),
+    );
+    let projector = net.add_node(
+        NodeConfig::at(Point::new(4.0, 0.0)),
+        Box::new(SmartProjectorApp::new(
+            320,
+            240,
+            SessionPolicy::ManualRelease,
+            "A-101",
+        )),
+    );
+    let laptop = net.add_node(
+        NodeConfig::at(Point::new(2.0, 3.0)),
+        Box::new(PresenterLaptopApp::new(
+            PresenterScript {
+                present_for: SimDuration::from_secs(10),
+                ..Default::default()
+            },
+            320,
+            240,
+            Box::new(SlideDeck::new(5.0)),
+        )),
+    );
+    net.run_for(SimDuration::from_secs(8));
+
+    let lap = net.app_as::<PresenterLaptopApp>(laptop).unwrap();
+    assert_eq!(lap.phase, Phase::Presenting);
+    assert!(lap.projecting_at.is_some());
+    assert!(lap.commands_ok >= 1);
+    let proj = net.app_as::<SmartProjectorApp>(projector).unwrap();
+    assert_eq!(proj.registrations, 2);
+    assert!(proj.state.powered);
+    assert_eq!(
+        proj.projected_digest().expect("projection live"),
+        lap.screen_digest(),
+        "the audience must see the presenter's screen"
+    );
+}
+
+#[test]
+fn rapid_animation_degrades_on_the_wireless_link() {
+    // The executable counterpart of the analysis's physical-layer issue:
+    // the same pipeline with animation content completes far fewer frames
+    // at a forced-low rate than with slides.
+    use aroma_net::{Rate, RateAdaptation};
+    let run = |animation: bool| -> u64 {
+        let mut net = Network::new(env(), MacConfig::default(), 13);
+        let cfg = |p| NodeConfig {
+            adapt: RateAdaptation::Fixed(Rate::R2),
+            ..NodeConfig::at(p)
+        };
+        let _lookup = net.add_node(
+            cfg(Point::new(0.0, 0.0)),
+            Box::new(RegistrarApp::new(SimDuration::from_secs(30))),
+        );
+        let projector = net.add_node(
+            cfg(Point::new(4.0, 0.0)),
+            Box::new(SmartProjectorApp::new(
+                320,
+                240,
+                SessionPolicy::ManualRelease,
+                "A-101",
+            )),
+        );
+        // "Rapid animation" with video-like (incompressible) content — a
+        // solid bouncing box would RLE away; full-motion content is what
+        // actually saturated VNC over the 2.4 GHz card.
+        let source: Box<dyn aroma_vnc::ScreenSource> = if animation {
+            Box::new(aroma_vnc::NoiseVideo::new(15.0, 5))
+        } else {
+            Box::new(SlideDeck::new(30.0))
+        };
+        let _laptop = net.add_node(
+            cfg(Point::new(2.0, 3.0)),
+            Box::new(PresenterLaptopApp::new(
+                PresenterScript {
+                    present_for: SimDuration::from_secs(20),
+                    commands: vec![],
+                    ..Default::default()
+                },
+                320,
+                240,
+                source,
+            )),
+        );
+        net.run_for(SimDuration::from_secs(10));
+        let proj = net.app_as::<SmartProjectorApp>(projector).unwrap();
+        proj.viewer
+            .as_ref()
+            .map(|v| v.updates_completed)
+            .unwrap_or(0)
+    };
+    let slides = run(false);
+    let animation = run(true);
+    assert!(slides > 0 && animation > 0);
+    assert!(
+        animation * 2 <= slides + slides / 2 + 2,
+        "animation ({animation}) should complete clearly fewer updates than slides ({slides}) at 2 Mbps"
+    );
+}
+
+#[test]
+fn analysis_predicts_what_the_simulation_shows() {
+    // The LPC analysis flags the prototype as abandoning casual users at
+    // the abstract layer; the behavioural simulator must agree.
+    let sys = smart_projector_system(
+        ProjectorVariant::Prototype,
+        EnvironmentKind::ConferenceHall,
+        vec![UserProfile::casual()],
+        false,
+    );
+    let report = sys.analyze(3);
+    let predicted_abandon = report
+        .in_layer(Layer::Abstract)
+        .any(|i| i.description.contains("abandons"));
+
+    // Behavioural ground truth over many seeds.
+    let burden = lpc_bench::experiments::burden::run_burden(
+        &UserProfile::casual(),
+        ProjectorVariant::Prototype,
+        lpc_core::user_sim::PlannerKind::Bfs,
+        300,
+        99,
+    );
+    if predicted_abandon {
+        assert!(
+            burden.abandonment > 0.2,
+            "analysis predicted abandonment but simulation says {:.2}",
+            burden.abandonment
+        );
+    }
+    // And the commercial variant must clear it in both views.
+    let sys_c = smart_projector_system(
+        ProjectorVariant::Commercial,
+        EnvironmentKind::ConferenceHall,
+        vec![UserProfile::casual()],
+        false,
+    );
+    let report_c = sys_c.analyze(3);
+    assert!(
+        !report_c
+            .in_layer(Layer::Abstract)
+            .any(|i| i.description.contains("abandons")),
+        "{}",
+        report_c.render()
+    );
+    let burden_c = lpc_bench::experiments::burden::run_burden(
+        &UserProfile::casual(),
+        ProjectorVariant::Commercial,
+        lpc_core::user_sim::PlannerKind::Bfs,
+        300,
+        99,
+    );
+    assert_eq!(burden_c.abandonment, 0.0);
+}
+
+#[test]
+fn every_experiment_runs_in_quick_mode() {
+    for id in lpc_bench::experiments::ALL_IDS {
+        let out = lpc_bench::experiments::run(id, true).expect("registered");
+        assert!(!out.tables.is_empty(), "{id} produced no tables");
+        for (caption, table) in &out.tables {
+            assert!(!table.is_empty(), "{id}: empty table '{caption}'");
+        }
+        // Rendering never panics and contains the id header.
+        let rendered = out.render();
+        assert!(rendered.contains(&id.to_uppercase()));
+    }
+}

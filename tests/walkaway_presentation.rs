@@ -1,0 +1,91 @@
+//! Cross-crate story test: the presenter wanders off mid-presentation.
+//!
+//! Combines mobility (aroma-net), the VNC pipeline (aroma-vnc), sessions
+//! (smart-projector) and auto-expiry: as the laptop walks out of range the
+//! projection stalls, the viewer logs recovery attempts, and once the
+//! laptop is unreachable the idle session eventually expires so the next
+//! presenter can take over — no administrator involved.
+
+use aroma_discovery::apps::RegistrarApp;
+use aroma_env::radio::RadioEnvironment;
+use aroma_env::space::Point;
+use aroma_net::{MacConfig, MobilityPath, Network, NodeConfig, NodeId};
+use aroma_sim::{SimDuration, SimTime};
+use aroma_vnc::BouncingBox;
+use smart_projector::laptop::{PresenterLaptopApp, PresenterScript};
+use smart_projector::session::SessionPolicy;
+use smart_projector::SmartProjectorApp;
+
+#[test]
+fn wandering_presenter_loses_projection_and_session_recovers() {
+    let env = RadioEnvironment {
+        shadowing_sigma_db: 0.0,
+        ..Default::default()
+    };
+    let mut net = Network::new(env, MacConfig::default(), 77);
+    let _registrar = net.add_node(
+        NodeConfig::at(Point::new(0.0, 0.0)),
+        Box::new(RegistrarApp::new(SimDuration::from_secs(60))),
+    );
+    let projector = net.add_node(
+        NodeConfig::at(Point::new(3.0, 0.0)),
+        Box::new(SmartProjectorApp::new(
+            160,
+            128,
+            SessionPolicy::AutoExpire {
+                idle: SimDuration::from_secs(10),
+            },
+            "A-101",
+        )),
+    );
+    // The presenter starts nearby, presents, then strolls 600 m away
+    // between t=10 s and t=30 s (animation keeps content flowing while the
+    // link lasts). The presenter never releases — walking off is the bug.
+    let walk = MobilityPath::line(
+        Point::new(2.0, 3.0),
+        Point::new(600.0, 3.0),
+        SimTime::ZERO + SimDuration::from_secs(10),
+        SimDuration::from_secs(20),
+    );
+    let wanderer: NodeId = net.add_node(
+        NodeConfig::at(Point::new(2.0, 3.0)).moving(walk),
+        Box::new(PresenterLaptopApp::new(
+            PresenterScript {
+                present_for: SimDuration::from_secs(120), // intends to stay
+                release_on_finish: false,
+                ..Default::default()
+            },
+            160,
+            128,
+            Box::new(BouncingBox::new()),
+        )),
+    );
+
+    // Phase 1: presenting normally.
+    net.run_for(SimDuration::from_secs(8));
+    {
+        let proj = net.app_as::<SmartProjectorApp>(projector).unwrap();
+        assert!(proj.viewer.is_some(), "projection should be live");
+        let updates_early = proj.viewer.as_ref().unwrap().updates_completed;
+        assert!(updates_early > 20, "updates before walking: {updates_early}");
+    }
+
+    // Phase 2: walk away; the link dies somewhere past ~250 m.
+    net.run_for(SimDuration::from_secs(25));
+    let far = net.position_of(wanderer).x;
+    assert!(far > 500.0, "walker should be far away: {far}");
+
+    // Phase 3: with the owner unreachable and idle, the projection session
+    // expires and the projector is free again.
+    net.run_for(SimDuration::from_secs(30));
+    let proj = net.app_as::<SmartProjectorApp>(projector).unwrap();
+    let mut sessions = proj.projection_sessions.clone();
+    assert!(
+        sessions.is_free(net.now()),
+        "auto-expiry should have freed the projection session"
+    );
+    assert!(
+        proj.projection_sessions.stats.expirations + proj.control_sessions.stats.expirations >= 1,
+        "at least one session must have lapsed by inactivity"
+    );
+}
