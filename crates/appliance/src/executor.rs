@@ -141,7 +141,10 @@ pub fn run(policy: Policy, workload: &Workload, patience: SimDuration) -> (ExecR
     let mut fg: VecDeque<Live> = VecDeque::new(); // interactive queue
     let mut bg: VecDeque<Live> = VecDeque::new(); // background queue
 
-    let admit = |now: SimTime, arrivals: &mut VecDeque<(usize, TaskSpec)>, fg: &mut VecDeque<Live>, bg: &mut VecDeque<Live>| {
+    let admit = |now: SimTime,
+                 arrivals: &mut VecDeque<(usize, TaskSpec)>,
+                 fg: &mut VecDeque<Live>,
+                 bg: &mut VecDeque<Live>| {
         while let Some((_, spec)) = arrivals.front() {
             if spec.arrival <= now {
                 let (_, spec) = arrivals.pop_front().unwrap();
@@ -221,7 +224,7 @@ pub fn run(policy: Policy, workload: &Workload, patience: SimDuration) -> (ExecR
             Policy::SingleThreaded => task.remaining,
             Policy::Cooperative { quantum } => task.remaining.min(quantum),
         };
-        now = now + slice;
+        now += slice;
         task.remaining = task.remaining.saturating_sub(slice);
 
         if task.remaining.is_zero() {
@@ -436,7 +439,10 @@ mod tests {
         assert_eq!(w.tasks.len(), 5);
         assert_eq!(w.aborts.len(), 1);
         assert_eq!(
-            w.tasks.iter().filter(|t| t.kind == TaskKind::Interactive).count(),
+            w.tasks
+                .iter()
+                .filter(|t| t.kind == TaskKind::Interactive)
+                .count(),
             4
         );
     }

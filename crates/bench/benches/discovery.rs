@@ -12,7 +12,7 @@ use std::hint::black_box;
 fn item(id: u64) -> ServiceItem {
     ServiceItem {
         id: ServiceId(id),
-        kind: if id % 3 == 0 { "projector/display" } else { "sensor/misc" }.into(),
+        kind: if id.is_multiple_of(3) { "projector/display" } else { "sensor/misc" }.into(),
         attributes: vec![("room".into(), format!("R-{}", id % 10))],
         provider: id as u32,
         proxy: Bytes::from_static(b"proxy"),

@@ -1,0 +1,87 @@
+//! Static-verifier benchmarks: what verification costs up front, and what
+//! the verified fast path buys back on every run.
+//!
+//! Three comparisons, each on the checked interpreter vs
+//! `Vm::run_verified`:
+//!
+//! - the shipped brightness proxy (tiny, loop-free → fuel metering elided),
+//! - a compute-heavy summing loop (metered fast path: stack checks gone,
+//!   fuel accounting kept),
+//! - the one-off cost of `Program::verify` itself, amortised over runs.
+
+use aroma_mcode::asm::assemble;
+use aroma_mcode::{NullHost, Program, Vm, FUEL_DEFAULT};
+use criterion::{criterion_group, criterion_main, Criterion};
+use smart_projector::proxy::brightness_proxy;
+use std::hint::black_box;
+
+/// The summing loop with locals explicitly initialised, as definite
+/// initialization requires (the VM's default-zero locals are a dynamic
+/// behaviour the verifier refuses to lean on).
+fn sum_loop() -> Program {
+    assemble(
+        "push 0
+         store 0
+         arg 0
+         store 1
+         loop:
+         load 1
+         jz out
+         load 0
+         load 1
+         add
+         store 0
+         load 1
+         push 1
+         sub
+         store 1
+         jmp loop
+         out:
+         load 0
+         halt",
+    )
+    .unwrap()
+}
+
+fn bench_proxy_paths(c: &mut Criterion) {
+    let p = brightness_proxy();
+    let vp = p.verify_default().unwrap();
+    assert!(vp.fuel_bound().is_some(), "proxy should be loop-free");
+    c.bench_function("verifier/brightness_checked", |b| {
+        b.iter(|| black_box(Vm.run_default(&p, &[black_box(83)], &mut NullHost)))
+    });
+    c.bench_function("verifier/brightness_verified_unmetered", |b| {
+        b.iter(|| black_box(Vm.run_verified_default(&vp, &[black_box(83)], &mut NullHost)))
+    });
+}
+
+fn bench_loop_paths(c: &mut Criterion) {
+    let p = sum_loop();
+    let vp = p.verify_default().unwrap();
+    assert!(vp.fuel_bound().is_none(), "loop keeps fuel metering");
+    c.bench_function("verifier/sum_1000_checked", |b| {
+        b.iter(|| black_box(Vm.run(&p, &[1000], &mut NullHost, FUEL_DEFAULT)))
+    });
+    c.bench_function("verifier/sum_1000_verified_metered", |b| {
+        b.iter(|| black_box(Vm.run_verified(&vp, &[1000], &mut NullHost, FUEL_DEFAULT)))
+    });
+}
+
+fn bench_verify_cost(c: &mut Criterion) {
+    let proxy = brightness_proxy();
+    let looped = sum_loop();
+    c.bench_function("verifier/verify_brightness_proxy", |b| {
+        b.iter(|| black_box(proxy.verify_default().unwrap()))
+    });
+    c.bench_function("verifier/verify_sum_loop", |b| {
+        b.iter(|| black_box(looped.verify_default().unwrap()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_proxy_paths,
+    bench_loop_paths,
+    bench_verify_cost
+);
+criterion_main!(benches);

@@ -13,9 +13,7 @@ use super::ExperimentOutput;
 use crate::scenarios::clean_env;
 use aroma_env::space::Point;
 use aroma_net::traffic::{CountingSink, SaturatedSource};
-use aroma_net::{
-    Address, MacConfig, MobilityPath, Network, NodeConfig, Rate, RateAdaptation,
-};
+use aroma_net::{Address, MacConfig, MobilityPath, Network, NodeConfig, Rate, RateAdaptation};
 use aroma_sim::report::{fmt_f, Table};
 use aroma_sim::{SimDuration, SimTime};
 
@@ -76,13 +74,22 @@ pub fn e9(quick: bool) -> ExperimentOutput {
     let results: Vec<Vec<(f64, f64)>> = aroma_sim::sweep::run(&arms, |i, &(_, adapt)| {
         walkaway(adapt, 3.0, to_m, windows, window_s, 0xE9 + i as u64)
     });
-    let mut t = Table::new(&["distance m", "adaptive Mbit/s", "fixed-11 Mbit/s", "fixed-1 Mbit/s"]);
-    for w in 0..windows {
+    let mut t = Table::new(&[
+        "distance m",
+        "adaptive Mbit/s",
+        "fixed-11 Mbit/s",
+        "fixed-1 Mbit/s",
+    ]);
+    let rows = results[0]
+        .iter()
+        .zip(results[1].iter().zip(&results[2]))
+        .take(windows);
+    for (adaptive, (fixed11, fixed1)) in rows {
         t.row(&[
-            fmt_f(results[0][w].0, 0),
-            fmt_f(results[0][w].1, 3),
-            fmt_f(results[1][w].1, 3),
-            fmt_f(results[2][w].1, 3),
+            fmt_f(adaptive.0, 0),
+            fmt_f(adaptive.1, 3),
+            fmt_f(fixed11.1, 3),
+            fmt_f(fixed1.1, 3),
         ]);
     }
     // Range where each arm still moves >50 kbit/s.

@@ -82,6 +82,10 @@ impl InteractionReport {
 ///
 /// Deterministic given `rng`. The user observes the true state after every
 /// action (the UI shows it) and repairs their belief on every surprise.
+// The argument list mirrors the experiment grid (who × believed × actual ×
+// start/goal × planner × params × seed); bundling them would just move the
+// names into a one-shot struct at every call site.
+#[allow(clippy::too_many_arguments)]
 pub fn simulate_session(
     user: &Faculties,
     belief0: &StateMachine,
@@ -110,9 +114,7 @@ pub fn simulate_session(
         }
 
         let planned: Option<String> = match planner {
-            PlannerKind::Bfs => belief
-                .plan(&state, goal)
-                .and_then(|p| p.into_iter().next()),
+            PlannerKind::Bfs => belief.plan(&state, goal).and_then(|p| p.into_iter().next()),
             PlannerKind::Greedy => {
                 let direct = belief
                     .actions_from(&state)
@@ -146,10 +148,7 @@ pub fn simulate_session(
             }
         };
 
-        let predicted = belief
-            .step(&state, &action)
-            .unwrap_or(&state)
-            .to_string();
+        let predicted = belief.step(&state, &action).unwrap_or(&state).to_string();
         let observed = actual.step(&state, &action).unwrap_or(&state).to_string();
 
         report.steps += 1;
@@ -247,7 +246,7 @@ mod tests {
     fn intolerant_user_gives_up_on_a_confusing_app() {
         let mut user = UserProfile::casual().faculties;
         user.frustration_tolerance = 0.1; // two surprises is too many
-        // Build a deliberately surprising 6-step app with no belief.
+                                          // Build a deliberately surprising 6-step app with no belief.
         let mut app = StateMachine::new();
         for i in 0..6 {
             app.add(&format!("s{i}"), "next", &format!("s{}", i + 1));

@@ -314,24 +314,20 @@ impl NetApp for ProviderApp {
             return;
         };
         match msg {
-            Msg::DiscoverResp { nonce } if nonce == self.nonce => {
-                if self.state == ProviderState::Discovering {
-                    self.registrar = Some(from);
-                    self.register(ctx);
-                }
+            Msg::DiscoverResp { nonce }
+                if nonce == self.nonce && self.state == ProviderState::Discovering =>
+            {
+                self.registrar = Some(from);
+                self.register(ctx);
             }
-            Msg::RegisterAck { id, granted_ms } if id == self.item.id => {
-                if self.state == ProviderState::Registering {
-                    self.state = ProviderState::Registered;
-                    self.registrations_completed += 1;
-                    ctx.set_timer(SimDuration::from_millis(granted_ms / 2), T_RENEW);
-                }
+            Msg::RegisterAck { id, granted_ms }
+                if id == self.item.id && self.state == ProviderState::Registering =>
+            {
+                self.state = ProviderState::Registered;
+                self.registrations_completed += 1;
+                ctx.set_timer(SimDuration::from_millis(granted_ms / 2), T_RENEW);
             }
-            Msg::RenewAck {
-                id,
-                ok,
-                granted_ms,
-            } if id == self.item.id => {
+            Msg::RenewAck { id, ok, granted_ms } if id == self.item.id => {
                 self.renewal_outstanding = false;
                 if ok {
                     self.renewals_completed += 1;
@@ -363,14 +359,13 @@ impl NetApp for ProviderApp {
                     ctx.set_timer(RPC_TIMEOUT, T_RENEW_TIMEOUT);
                 }
             }
-            (T_RENEW_TIMEOUT, ProviderState::Registered) => {
+            (T_RENEW_TIMEOUT, ProviderState::Registered)
                 // No RenewAck since the Renew went out: registrar is gone or
                 // unreachable — fall back to discovery.
-                if self.renewal_outstanding {
+                if self.renewal_outstanding => {
                     self.renewal_outstanding = false;
                     self.discover(ctx);
                 }
-            }
             _ => {}
         }
     }
@@ -457,29 +452,25 @@ impl NetApp for ClientApp {
             return;
         };
         match msg {
-            Msg::DiscoverResp { nonce } if nonce == self.nonce => {
-                if self.registrar.is_none() {
-                    self.registrar = Some(from);
-                    self.discovered_at = Some(ctx.now());
-                    if self.subscribe {
-                        ctx.send(
-                            Address::Node(from),
-                            Msg::Subscribe {
-                                template: self.template.clone(),
-                            }
-                            .encode(),
-                        );
-                    }
-                    self.lookup(ctx);
+            Msg::DiscoverResp { nonce } if nonce == self.nonce && self.registrar.is_none() => {
+                self.registrar = Some(from);
+                self.discovered_at = Some(ctx.now());
+                if self.subscribe {
+                    ctx.send(
+                        Address::Node(from),
+                        Msg::Subscribe {
+                            template: self.template.clone(),
+                        }
+                        .encode(),
+                    );
                 }
+                self.lookup(ctx);
             }
-            Msg::LookupReply { items, .. } => {
-                if !items.is_empty() {
-                    if self.service_found_at.is_none() {
-                        self.service_found_at = Some(ctx.now());
-                    }
-                    self.found = items;
+            Msg::LookupReply { items, .. } if !items.is_empty() => {
+                if self.service_found_at.is_none() {
+                    self.service_found_at = Some(ctx.now());
                 }
+                self.found = items;
             }
             Msg::Event { kind, item } => {
                 self.events.push((ctx.now(), kind, item.id));

@@ -15,6 +15,9 @@
 //!   Separated from I/O so its invariants are directly unit- and
 //!   property-testable.
 //! * [`codec`] — the binary wire format (length-prefixed, MTU-aware).
+//! * [`proxy`] — the mobile-code gate: service-item proxy bytes claiming
+//!   to be `aroma-mcode` programs must pass the static verifier under the
+//!   client's syscall policy before they can ever run.
 //! * [`apps`] — the three network roles as [`aroma_net::NetApp`]s:
 //!   [`apps::RegistrarApp`] (the lookup service), [`apps::ProviderApp`]
 //!   (registers a service and keeps its lease alive; re-discovers after a
@@ -26,7 +29,9 @@
 
 pub mod apps;
 pub mod codec;
+pub mod proxy;
 pub mod registry;
 
 pub use codec::{Msg, ServiceId, ServiceItem, Template};
+pub use proxy::{vet_proxy, ProxyError, VettedProxy, MCODE_MAGIC};
 pub use registry::{RegistryEvent, ServiceRegistry};

@@ -1,0 +1,150 @@
+//! Vetting downloaded service proxies before they can run.
+//!
+//! A [`ServiceItem`]'s `proxy` bytes are mobile code from an untrusted
+//! provider — Jini's downloadable-proxy idea, and exactly the code the
+//! paper's model says crosses administrative boundaries. This module is
+//! the single gate between "bytes arrived from the network" and "a
+//! program the client will execute": blobs that *claim* to be mcode
+//! (leading [`MCODE_MAGIC`] byte) must decode **and** pass the static
+//! verifier ([`aroma_mcode::verify`]) under the client's syscall policy,
+//! yielding a [`VerifiedProgram`] certificate; anything else is a typed
+//! [`ProxyError`], never a runnable program. Blobs without the magic are
+//! classified [`VettedProxy::Inert`] — legacy registrations carry plain
+//! tokens (`b"display-proxy"`) that clients treat as data, not code.
+
+use crate::codec::ServiceItem;
+use aroma_mcode::program::ProgramError;
+use aroma_mcode::{Program, VerifiedProgram, VerifyConfig, VerifyError};
+use bytes::Bytes;
+
+/// First byte of every encoded mcode program ("Aroma Code"). A proxy blob
+/// starting with this byte claims to be executable mobile code and must
+/// verify; anything else is inert data.
+pub const MCODE_MAGIC: u8 = 0xAC;
+
+/// A proxy blob after vetting.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VettedProxy {
+    /// Not mobile code (no magic): an opaque token the client may only
+    /// treat as data.
+    Inert(Bytes),
+    /// Statically verified mobile code, ready for the VM's fast path.
+    Mcode(VerifiedProgram),
+}
+
+/// Why a proxy blob claiming to be mobile code was rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProxyError {
+    /// The bytes do not decode to a structurally valid program.
+    Malformed(ProgramError),
+    /// The program decodes but the static verifier cannot prove it safe
+    /// (stack discipline, local initialization, termination shape, or
+    /// syscalls beyond the client's policy).
+    Unverifiable(VerifyError),
+}
+
+/// Vet `proxy` bytes under the client's verification `config`.
+///
+/// The only constructor of [`VettedProxy::Mcode`] in the workspace:
+/// callers that match on it are guaranteed the program passed the static
+/// verifier with the policy *they* chose.
+pub fn vet_proxy(proxy: &Bytes, config: &VerifyConfig) -> Result<VettedProxy, ProxyError> {
+    if proxy.first() != Some(&MCODE_MAGIC) {
+        return Ok(VettedProxy::Inert(proxy.clone()));
+    }
+    let program = Program::decode(proxy.clone()).map_err(ProxyError::Malformed)?;
+    let verified = program.verify(config).map_err(ProxyError::Unverifiable)?;
+    Ok(VettedProxy::Mcode(verified))
+}
+
+impl ServiceItem {
+    /// Vet this item's proxy blob under `config` — see [`vet_proxy`].
+    pub fn vet_proxy(&self, config: &VerifyConfig) -> Result<VettedProxy, ProxyError> {
+        vet_proxy(&self.proxy, config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aroma_mcode::isa::DecodeError;
+    use aroma_mcode::{Op, SyscallPolicy, SyscallSet};
+
+    fn cfg() -> VerifyConfig {
+        VerifyConfig::default()
+    }
+
+    #[test]
+    fn legacy_inert_blobs_pass_through() {
+        let blob = Bytes::from_static(b"display-proxy");
+        assert_eq!(
+            vet_proxy(&blob, &cfg()),
+            Ok(VettedProxy::Inert(blob.clone()))
+        );
+        assert_eq!(
+            vet_proxy(&Bytes::new(), &cfg()),
+            Ok(VettedProxy::Inert(Bytes::new()))
+        );
+    }
+
+    #[test]
+    fn wellformed_mcode_verifies() {
+        let p = Program::new(vec![Op::Arg(0), Op::PushI(2), Op::Mul, Op::Halt]).unwrap();
+        match vet_proxy(&p.encode(), &cfg()) {
+            Ok(VettedProxy::Mcode(vp)) => assert_eq!(vp.program(), &p),
+            other => panic!("expected verified mcode, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_mcode_rejected_as_malformed() {
+        let p = Program::new(vec![Op::PushI(7), Op::Halt]).unwrap();
+        let full = p.encode();
+        let e = vet_proxy(&full.slice(0..full.len() - 1), &cfg()).unwrap_err();
+        assert!(matches!(
+            e,
+            ProxyError::Malformed(ProgramError::Decode(DecodeError::Truncated))
+        ));
+    }
+
+    #[test]
+    fn unverifiable_mcode_rejected_with_cause() {
+        // Decodes fine, but underflows: validation alone would run it.
+        let p = Program::new(vec![Op::Add, Op::Halt]).unwrap();
+        let e = vet_proxy(&p.encode(), &cfg()).unwrap_err();
+        assert!(matches!(
+            e,
+            ProxyError::Unverifiable(VerifyError::StackUnderflow { at: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn syscall_policy_is_the_clients_choice() {
+        let p = Program::new(vec![Op::Syscall(4, 0), Op::Halt]).unwrap();
+        let blob = p.encode();
+        // Default policy: pure computation only → rejected.
+        assert!(matches!(
+            vet_proxy(&blob, &cfg()),
+            Err(ProxyError::Unverifiable(VerifyError::ForbiddenSyscall {
+                id: 4,
+                ..
+            }))
+        ));
+        // A client granting syscall 4 accepts the same bytes.
+        let open = VerifyConfig::with_syscalls(SyscallPolicy::Allow(SyscallSet::of(&[4])));
+        assert!(matches!(vet_proxy(&blob, &open), Ok(VettedProxy::Mcode(_))));
+    }
+
+    #[test]
+    fn service_item_method_delegates() {
+        use crate::codec::ServiceId;
+        let item = ServiceItem {
+            id: ServiceId(1),
+            kind: "projector/control".into(),
+            attributes: vec![],
+            provider: 7,
+            proxy: Program::new(vec![Op::PushI(1), Op::Halt]).unwrap().encode(),
+        };
+        assert!(matches!(item.vet_proxy(&cfg()), Ok(VettedProxy::Mcode(_))));
+    }
+}

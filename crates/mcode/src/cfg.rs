@@ -1,0 +1,343 @@
+//! Control-flow graphs over mcode programs.
+//!
+//! The verifier ([`crate::verify`]) works per instruction, but several of
+//! its facts are block-level: which instructions can execute at all
+//! (reachability → dead-code detection) and whether control flow can
+//! revisit an instruction (cyclicity → a static fuel bound exists only
+//! for loop-free code). This module builds the classic basic-block CFG:
+//! leaders are the entry, every jump target, and every instruction after
+//! a branch; blocks run from a leader to the next terminator.
+//!
+//! All algorithms are iterative (no recursion): programs can hold up to
+//! 65 535 instructions and hostile code must not be able to overflow the
+//! host's call stack during *analysis* any more than during execution.
+
+use crate::isa::Op;
+use crate::program::Program;
+
+/// A maximal straight-line run of instructions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Index of the first instruction.
+    pub start: usize,
+    /// One past the last instruction.
+    pub end: usize,
+    /// Blocks control may transfer to after this block's terminator.
+    /// Empty for blocks ending in `Halt` (and for a block that would fall
+    /// off the end of the program — the verifier rejects those).
+    pub successors: Vec<usize>,
+}
+
+impl BasicBlock {
+    /// Number of instructions in the block.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Always false: blocks contain at least one instruction.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// The control-flow graph of a validated [`Program`].
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    blocks: Vec<BasicBlock>,
+    /// Instruction index → id of its containing block.
+    block_of: Vec<usize>,
+    /// Per-block: reachable from the entry block?
+    reachable: Vec<bool>,
+    /// Whether any reachable block can re-enter an already-visited block.
+    cyclic: bool,
+    /// Longest entry-to-exit path in executed instructions, when acyclic.
+    longest_path: Option<u64>,
+}
+
+impl Cfg {
+    /// Build the CFG of `program`.
+    pub fn build(program: &Program) -> Cfg {
+        let code = program.ops();
+        let n = code.len();
+
+        // Pass 1: mark leaders.
+        let mut leader = vec![false; n];
+        leader[0] = true;
+        for (pc, op) in code.iter().enumerate() {
+            match *op {
+                Op::Jmp(t) => {
+                    leader[t as usize] = true;
+                    if pc + 1 < n {
+                        leader[pc + 1] = true;
+                    }
+                }
+                Op::Jz(t) | Op::Jnz(t) => {
+                    leader[t as usize] = true;
+                    if pc + 1 < n {
+                        leader[pc + 1] = true;
+                    }
+                }
+                Op::Halt if pc + 1 < n => leader[pc + 1] = true,
+                _ => {}
+            }
+        }
+
+        // Pass 2: cut blocks at leaders and map instructions to blocks.
+        let mut blocks: Vec<BasicBlock> = Vec::new();
+        let mut block_of = vec![0usize; n];
+        for pc in 0..n {
+            if leader[pc] {
+                blocks.push(BasicBlock {
+                    start: pc,
+                    end: pc, // patched below
+                    successors: Vec::new(),
+                });
+            }
+            block_of[pc] = blocks.len() - 1;
+        }
+        let block_count = blocks.len();
+        for (id, block) in blocks.iter_mut().enumerate() {
+            block.end = if id + 1 < block_count {
+                // The next block's leader; recover it from block_of.
+                let mut e = block.start + 1;
+                while e < n && block_of[e] == id {
+                    e += 1;
+                }
+                e
+            } else {
+                n
+            };
+        }
+
+        // Pass 3: successor edges from each block's terminator.
+        for block in blocks.iter_mut() {
+            let last = block.end - 1;
+            let succ: Vec<usize> = match code[last] {
+                Op::Jmp(t) => vec![block_of[t as usize]],
+                Op::Jz(t) | Op::Jnz(t) => {
+                    let mut s = vec![block_of[t as usize]];
+                    if last + 1 < n {
+                        let fall = block_of[last + 1];
+                        if fall != s[0] {
+                            s.push(fall);
+                        }
+                    }
+                    s
+                }
+                Op::Halt => Vec::new(),
+                // Straight-line fall-through into the next leader; a block
+                // whose last instruction is also the program's last falls
+                // off the end (no successor — the verifier rejects it).
+                _ if last + 1 < n => vec![block_of[last + 1]],
+                _ => Vec::new(),
+            };
+            block.successors = succ;
+        }
+
+        // Pass 4: reachability (iterative DFS from the entry block).
+        let mut reachable = vec![false; block_count];
+        let mut stack = vec![0usize];
+        reachable[0] = true;
+        while let Some(b) = stack.pop() {
+            for &s in &blocks[b].successors {
+                if !reachable[s] {
+                    reachable[s] = true;
+                    stack.push(s);
+                }
+            }
+        }
+
+        // Pass 5: cycle detection over the reachable subgraph (iterative
+        // three-colour DFS), and — when acyclic — the longest path in
+        // executed instructions via a topological sweep.
+        let (cyclic, longest_path) = analyse_flow(&blocks, &reachable);
+
+        Cfg {
+            blocks,
+            block_of,
+            reachable,
+            cyclic,
+            longest_path,
+        }
+    }
+
+    /// The basic blocks, in instruction order.
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// Id of the block containing instruction `pc`.
+    pub fn block_of(&self, pc: usize) -> usize {
+        self.block_of[pc]
+    }
+
+    /// Whether block `id` is reachable from the entry.
+    pub fn is_reachable(&self, id: usize) -> bool {
+        self.reachable[id]
+    }
+
+    /// Instruction indices that can never execute, in ascending order.
+    pub fn dead_instructions(&self) -> Vec<usize> {
+        let mut dead = Vec::new();
+        for (id, block) in self.blocks.iter().enumerate() {
+            if !self.reachable[id] {
+                dead.extend(block.start..block.end);
+            }
+        }
+        dead
+    }
+
+    /// True when reachable control flow contains a cycle (a loop).
+    pub fn is_cyclic(&self) -> bool {
+        self.cyclic
+    }
+
+    /// For loop-free programs: the most instructions any execution can
+    /// retire, i.e. a static fuel bound. `None` when the program loops.
+    pub fn max_executed_instructions(&self) -> Option<u64> {
+        self.longest_path
+    }
+}
+
+/// Cycle detection + longest path (in instructions) over reachable blocks.
+fn analyse_flow(blocks: &[BasicBlock], reachable: &[bool]) -> (bool, Option<u64>) {
+    const WHITE: u8 = 0;
+    const GREY: u8 = 1;
+    const BLACK: u8 = 2;
+    let mut colour = vec![WHITE; blocks.len()];
+    // Post-order of the reachable subgraph, for the longest-path sweep.
+    let mut post_order: Vec<usize> = Vec::new();
+    // Explicit DFS stack: (block, next-successor-to-visit).
+    let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+    colour[0] = GREY;
+    let mut cyclic = false;
+    while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+        if *next < blocks[b].successors.len() {
+            let s = blocks[b].successors[*next];
+            *next += 1;
+            match colour[s] {
+                GREY => cyclic = true, // back edge
+                WHITE => {
+                    colour[s] = GREY;
+                    stack.push((s, 0));
+                }
+                _ => {}
+            }
+        } else {
+            colour[b] = BLACK;
+            post_order.push(b);
+            stack.pop();
+        }
+    }
+    if cyclic {
+        return (true, None);
+    }
+    // Reverse post-order is a topological order; longest path from entry.
+    let mut dist: Vec<Option<u64>> = vec![None; blocks.len()];
+    dist[0] = Some(blocks[0].len() as u64);
+    let mut best = dist[0].unwrap_or(0);
+    for &b in post_order.iter().rev() {
+        let Some(d) = dist[b] else { continue };
+        best = best.max(d);
+        for &s in &blocks[b].successors {
+            if reachable[s] {
+                let cand = d + blocks[s].len() as u64;
+                if dist[s].is_none_or(|cur| cand > cur) {
+                    dist[s] = Some(cand);
+                }
+            }
+        }
+    }
+    (false, Some(best))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prog(ops: Vec<Op>) -> Program {
+        Program::new(ops).unwrap()
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let cfg = Cfg::build(&prog(vec![Op::PushI(1), Op::PushI(2), Op::Add, Op::Halt]));
+        assert_eq!(cfg.blocks().len(), 1);
+        assert_eq!(cfg.blocks()[0].len(), 4);
+        assert!(cfg.blocks()[0].successors.is_empty());
+        assert!(!cfg.is_cyclic());
+        assert_eq!(cfg.max_executed_instructions(), Some(4));
+        assert!(cfg.dead_instructions().is_empty());
+    }
+
+    #[test]
+    fn branch_splits_blocks_and_bounds_longest_path() {
+        // 0: arg 0 ; 1: jz 4 ; 2: push 1 ; 3: halt ; 4: push 2 ; 5: halt
+        let cfg = Cfg::build(&prog(vec![
+            Op::Arg(0),
+            Op::Jz(4),
+            Op::PushI(1),
+            Op::Halt,
+            Op::PushI(2),
+            Op::Halt,
+        ]));
+        assert_eq!(cfg.blocks().len(), 3);
+        assert_eq!(cfg.blocks()[0].successors.len(), 2);
+        assert!(!cfg.is_cyclic());
+        // Either arm retires 4 instructions.
+        assert_eq!(cfg.max_executed_instructions(), Some(4));
+    }
+
+    #[test]
+    fn loops_are_cyclic_with_no_static_bound() {
+        // 0: push 1 ; 1: jnz 0 ; 2: halt — wait, jnz pops; use jmp loop.
+        let cfg = Cfg::build(&prog(vec![Op::PushI(1), Op::Jmp(0)]));
+        assert!(cfg.is_cyclic());
+        assert_eq!(cfg.max_executed_instructions(), None);
+    }
+
+    #[test]
+    fn self_loop_on_conditional_detected() {
+        let cfg = Cfg::build(&prog(vec![Op::Arg(0), Op::Jnz(0), Op::PushI(0), Op::Halt]));
+        assert!(cfg.is_cyclic());
+    }
+
+    #[test]
+    fn unreachable_tail_reported_dead() {
+        // 0: push 1 ; 1: halt ; 2: push 2 ; 3: halt
+        let cfg = Cfg::build(&prog(vec![Op::PushI(1), Op::Halt, Op::PushI(2), Op::Halt]));
+        assert_eq!(cfg.dead_instructions(), vec![2, 3]);
+    }
+
+    #[test]
+    fn jump_over_dead_code_keeps_target_reachable() {
+        // 0: jmp 3 ; 1: push 9 ; 2: halt ; 3: push 1 ; 4: halt
+        let cfg = Cfg::build(&prog(vec![
+            Op::Jmp(3),
+            Op::PushI(9),
+            Op::Halt,
+            Op::PushI(1),
+            Op::Halt,
+        ]));
+        assert_eq!(cfg.dead_instructions(), vec![1, 2]);
+        assert!(!cfg.is_cyclic());
+        assert_eq!(cfg.max_executed_instructions(), Some(3));
+    }
+
+    #[test]
+    fn diamond_longest_path_takes_heavier_arm() {
+        // 0: arg0 ; 1: jz 5 ; 2: push ; 3: push ; 4: jmp 6 ; 5: push ; 6: halt
+        let cfg = Cfg::build(&prog(vec![
+            Op::Arg(0),
+            Op::Jz(5),
+            Op::PushI(1),
+            Op::PushI(2),
+            Op::Jmp(6),
+            Op::PushI(3),
+            Op::Halt,
+        ]));
+        assert!(!cfg.is_cyclic());
+        // Heavy arm: 0,1 + 2,3,4 + 6 = 6 instructions.
+        assert_eq!(cfg.max_executed_instructions(), Some(6));
+    }
+}

@@ -109,6 +109,12 @@ pub enum DecodeError {
     BadOpcode(u8),
     /// Stream ended inside an instruction.
     Truncated,
+    /// Bytes remained after the declared instruction count — a framing
+    /// bug or smuggled payload; foreign code must parse exactly.
+    TrailingBytes {
+        /// How many bytes were left over.
+        remaining: usize,
+    },
 }
 
 impl Op {

@@ -23,18 +23,40 @@
 //!    ops, locals, relative-free absolute jumps, and numbered host calls
 //!    ([`Host`]) for device effects.
 //!
+//! Safety comes in two escalating tiers. *Validation* ([`program`])
+//! checks shape: jump targets in range, local slots bounded. *Static
+//! verification* ([`verify`], over the control-flow graphs of [`cfg`])
+//! proves behaviour: a worklist abstract interpretation computes the
+//! exact operand-stack height and the definitely-initialized locals at
+//! every reachable instruction (the lattice per program point is
+//! "unvisited ⊥, or one exact height"; joins must agree on height and
+//! intersect the init sets), so stack underflow/overflow, reads of
+//! unwritten locals, running off the end, and un-allowlisted host calls
+//! are all rejected *before* the program runs. The payoff is twofold:
+//! hosts get a capability summary of untrusted proxy code (which
+//! syscalls it can ever make, how deep its stack goes, a static fuel
+//! bound when loop-free), and the interpreter gets a **fast path**
+//! ([`vm::Vm::run_verified`]) that trusts the [`verify::VerifiedProgram`]
+//! certificate to skip the per-op stack checks — and fuel metering
+//! entirely, for loop-free code — while remaining panic-free.
+//!
 //! Modules: [`isa`] (opcodes + wire format), [`program`] (validated
-//! container), [`vm`] (the interpreter), [`asm`] (a line assembler with
-//! labels, for tests/examples/docs).
+//! container), [`cfg`] (basic-block control-flow graphs), [`verify`]
+//! (the static verifier), [`vm`] (the interpreter, checked and verified
+//! paths), [`asm`] (a line assembler with labels, for
+//! tests/examples/docs).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod asm;
+pub mod cfg;
 pub mod isa;
 pub mod program;
+pub mod verify;
 pub mod vm;
 
 pub use isa::Op;
-pub use program::{Program, ValidateError};
+pub use program::{Program, ProgramError, ValidateError};
+pub use verify::{SyscallPolicy, SyscallSet, VerifiedProgram, VerifyConfig, VerifyError};
 pub use vm::{Host, NullHost, Vm, VmError, FUEL_DEFAULT};

@@ -57,15 +57,11 @@ impl Program {
         }
         for (at, op) in ops.iter().enumerate() {
             match *op {
-                Op::Jmp(t) | Op::Jz(t) | Op::Jnz(t) => {
-                    if t as usize >= ops.len() {
-                        return Err(ValidateError::JumpOutOfRange { at, target: t });
-                    }
+                Op::Jmp(t) | Op::Jz(t) | Op::Jnz(t) if t as usize >= ops.len() => {
+                    return Err(ValidateError::JumpOutOfRange { at, target: t });
                 }
-                Op::Store(slot) | Op::Load(slot) => {
-                    if slot >= MAX_LOCALS {
-                        return Err(ValidateError::LocalOutOfRange { at, slot });
-                    }
+                Op::Store(slot) | Op::Load(slot) if slot >= MAX_LOCALS => {
+                    return Err(ValidateError::LocalOutOfRange { at, slot });
                 }
                 _ => {}
             }
@@ -113,6 +109,13 @@ impl Program {
         let mut ops = Vec::with_capacity(n.min(4096));
         for _ in 0..n {
             ops.push(Op::decode_from(&mut bytes).map_err(ProgramError::Decode)?);
+        }
+        // Foreign code must parse exactly: leftover bytes mean a framing
+        // bug or a smuggled payload riding behind the program.
+        if bytes.remaining() > 0 {
+            return Err(ProgramError::Decode(DecodeError::TrailingBytes {
+                remaining: bytes.remaining(),
+            }));
         }
         Program::new(ops).map_err(ProgramError::Validate)
     }
@@ -188,6 +191,19 @@ mod tests {
         for cut in 0..full.len() {
             assert!(Program::decode(full.slice(0..cut)).is_err(), "prefix {cut}");
         }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let p = Program::new(vec![Op::PushI(7), Op::Halt]).unwrap();
+        let mut raw = p.encode().to_vec();
+        raw.push(0x00);
+        assert_eq!(
+            Program::decode(Bytes::from(raw)),
+            Err(ProgramError::Decode(DecodeError::TrailingBytes {
+                remaining: 1
+            }))
+        );
     }
 
     #[test]

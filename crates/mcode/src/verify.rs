@@ -1,0 +1,658 @@
+//! Static verification of mobile code — safety as a checkable property.
+//!
+//! [`Program`] validation (jump ranges, local indices) makes a byte blob
+//! *decodable*; this pass makes it *provably safe to run*. A worklist
+//! abstract interpretation computes, for every reachable instruction, the
+//! **exact operand-stack height** (the lattice per program point is
+//! `⊥ ∪ {0..=max_stack}`: unvisited, or one exact height — merges at
+//! control-flow joins must agree, a `JoinMismatch` otherwise) and the set
+//! of **definitely-initialized locals** (a bitset; merges intersect).
+//! From the fixpoint the verifier proves, once, before execution:
+//!
+//! - no `StackUnderflow`/`StackOverflow` is reachable on any path;
+//! - no `Load` reads a local that some path leaves unwritten;
+//! - no `NoHalt` (control cannot run off the end) and no `NoResult`
+//!   (`Halt` always sees a result value);
+//! - every reachable `Syscall` id is permitted by the caller's
+//!   [`SyscallPolicy`] — a *capability summary* of the proxy, checked
+//!   against what the host is willing to expose;
+//! - a **static fuel bound** for loop-free programs (from the CFG's
+//!   longest path), letting the interpreter skip fuel metering entirely.
+//!
+//! The result is a [`VerifiedProgram`]: a certificate the interpreter's
+//! fast path ([`crate::vm::Vm::run_verified`]) trusts to elide its per-op
+//! dynamic checks, and that proxy-loading hosts (`aroma-discovery`,
+//! `smart-projector`) demand before running downloaded code at all.
+
+use crate::cfg::Cfg;
+use crate::isa::{Op, MAX_LOCALS};
+use crate::program::Program;
+use crate::vm::STACK_MAX;
+
+/// A 256-bit set of syscall ids.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SyscallSet(pub(crate) [u64; 4]);
+
+impl SyscallSet {
+    /// The empty set.
+    pub fn empty() -> SyscallSet {
+        SyscallSet::default()
+    }
+
+    /// Set from explicit ids.
+    pub fn of(ids: &[u8]) -> SyscallSet {
+        let mut s = SyscallSet::empty();
+        for &id in ids {
+            s.insert(id);
+        }
+        s
+    }
+
+    /// Add an id.
+    pub fn insert(&mut self, id: u8) {
+        self.0[(id >> 6) as usize] |= 1 << (id & 63);
+    }
+
+    /// Membership test.
+    pub fn contains(&self, id: u8) -> bool {
+        self.0[(id >> 6) as usize] & (1 << (id & 63)) != 0
+    }
+
+    /// True when no id is present.
+    pub fn is_empty(&self) -> bool {
+        self.0 == [0; 4]
+    }
+
+    /// Number of ids present.
+    pub fn len(&self) -> usize {
+        self.0.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// All ids present, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = u8> + '_ {
+        (0..=255u8).filter(|&id| self.contains(id))
+    }
+
+    /// True when every id in `self` is also in `other`.
+    pub fn is_subset(&self, other: &SyscallSet) -> bool {
+        self.0.iter().zip(other.0.iter()).all(|(a, b)| a & !b == 0)
+    }
+}
+
+/// What host capabilities a caller grants the program under verification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SyscallPolicy {
+    /// Any syscall id may appear (the host decides at runtime).
+    AllowAll,
+    /// No syscalls at all — pure computation (the right policy for
+    /// proxies run against [`crate::vm::NullHost`]).
+    #[default]
+    DenyAll,
+    /// Only the listed ids may appear.
+    Allow(SyscallSet),
+}
+
+impl SyscallPolicy {
+    fn permits(&self, id: u8) -> bool {
+        match self {
+            SyscallPolicy::AllowAll => true,
+            SyscallPolicy::DenyAll => false,
+            SyscallPolicy::Allow(set) => set.contains(id),
+        }
+    }
+}
+
+/// Caller-tunable verification limits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VerifyConfig {
+    /// Maximum abstract stack height; defaults to the interpreter's hard
+    /// bound [`STACK_MAX`].
+    pub max_stack: usize,
+    /// Which syscalls reachable code may invoke.
+    pub syscalls: SyscallPolicy,
+    /// Reject programs containing unreachable instructions. Off by
+    /// default — dead code is inert, but a host may treat it as a smell
+    /// in untrusted blobs.
+    pub reject_dead_code: bool,
+}
+
+impl Default for VerifyConfig {
+    fn default() -> VerifyConfig {
+        VerifyConfig {
+            max_stack: STACK_MAX,
+            syscalls: SyscallPolicy::DenyAll,
+            reject_dead_code: false,
+        }
+    }
+}
+
+impl VerifyConfig {
+    /// Default limits with the given syscall policy.
+    pub fn with_syscalls(syscalls: SyscallPolicy) -> VerifyConfig {
+        VerifyConfig {
+            syscalls,
+            ..VerifyConfig::default()
+        }
+    }
+}
+
+/// Why a program failed verification. Every variant names the offending
+/// instruction, so hosts can log *where* an untrusted blob went wrong.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VerifyError {
+    /// An op would pop more values than any path provides.
+    StackUnderflow {
+        /// Offending instruction.
+        at: usize,
+        /// Height arriving at the instruction.
+        height: usize,
+        /// Values the op consumes.
+        need: usize,
+    },
+    /// An op would push past the configured stack bound.
+    StackOverflow {
+        /// Offending instruction.
+        at: usize,
+        /// Height the op would reach.
+        height: usize,
+        /// The configured bound.
+        limit: usize,
+    },
+    /// Two paths reach the same instruction with different stack heights.
+    JoinMismatch {
+        /// The join point.
+        at: usize,
+        /// Height recorded first.
+        have: usize,
+        /// Conflicting height arriving later.
+        incoming: usize,
+    },
+    /// A `Load` can execute before every path has stored the slot.
+    UninitializedLocal {
+        /// Offending instruction.
+        at: usize,
+        /// The local slot.
+        slot: u8,
+    },
+    /// A reachable `Syscall` uses an id the policy does not grant.
+    ForbiddenSyscall {
+        /// Offending instruction.
+        at: usize,
+        /// The syscall id.
+        id: u8,
+    },
+    /// A reachable `Halt` can see an empty stack (no result value).
+    HaltWithoutResult {
+        /// Offending instruction.
+        at: usize,
+    },
+    /// Control can run past the last instruction (`NoHalt` at runtime).
+    FallsOffEnd {
+        /// The instruction that falls through.
+        at: usize,
+    },
+    /// Unreachable instructions, rejected per
+    /// [`VerifyConfig::reject_dead_code`].
+    DeadCode {
+        /// First unreachable instruction.
+        at: usize,
+    },
+}
+
+/// A program plus the verifier's certificate about it.
+///
+/// Obtainable only through [`Program::verify`], so holding one *is* the
+/// proof that the facts below were established. The fast interpreter path
+/// ([`crate::vm::Vm::run_verified`]) relies on them to skip per-op stack
+/// and termination checks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifiedProgram {
+    program: Program,
+    max_stack_depth: usize,
+    syscalls: SyscallSet,
+    max_arg: Option<u8>,
+    fuel_bound: Option<u64>,
+    dead: Vec<usize>,
+}
+
+impl VerifiedProgram {
+    /// The underlying program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Deepest operand stack any execution path can reach.
+    pub fn max_stack_depth(&self) -> usize {
+        self.max_stack_depth
+    }
+
+    /// Capability summary: every syscall id reachable code may invoke.
+    pub fn syscalls(&self) -> &SyscallSet {
+        &self.syscalls
+    }
+
+    /// Highest `Arg` index read, if any — how many caller arguments the
+    /// program can observe.
+    pub fn max_arg(&self) -> Option<u8> {
+        self.max_arg
+    }
+
+    /// Static bound on retired instructions, for loop-free programs.
+    /// `None` when control flow contains a cycle (fuel metering required).
+    pub fn fuel_bound(&self) -> Option<u64> {
+        self.fuel_bound
+    }
+
+    /// Unreachable instruction indices (empty unless dead code was
+    /// tolerated by the config).
+    pub fn dead_code(&self) -> &[usize] {
+        &self.dead
+    }
+
+    /// Unwrap back into the bare program.
+    pub fn into_program(self) -> Program {
+        self.program
+    }
+}
+
+/// Abstract state at a program point: exact height + definitely-init set.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct AbsState {
+    height: u32,
+    init: u16,
+}
+
+/// Stack effect of `op`: `(pops, pushes)`; `None` when it has no single
+/// static effect (only `Halt`, handled separately).
+fn stack_effect(op: Op) -> (u32, u32) {
+    match op {
+        Op::PushI(_) | Op::Arg(_) | Op::Load(_) => (0, 1),
+        Op::Dup | Op::Over => (op_peek_depth(op), op_peek_depth(op) + 1),
+        Op::Drop | Op::Store(_) | Op::Jz(_) | Op::Jnz(_) => (1, 0),
+        Op::Swap => (2, 2),
+        Op::Add
+        | Op::Sub
+        | Op::Mul
+        | Op::Div
+        | Op::Rem
+        | Op::Min
+        | Op::Max
+        | Op::And
+        | Op::Or
+        | Op::Xor
+        | Op::Eq
+        | Op::Lt
+        | Op::Gt => (2, 1),
+        Op::Neg => (1, 1),
+        Op::Jmp(_) => (0, 0),
+        Op::Syscall(_, argc) => (argc as u32, 1),
+        Op::Halt => (1, 1), // needs a result on top; consumes nothing further
+    }
+}
+
+/// `Dup` peeks one value, `Over` peeks two.
+fn op_peek_depth(op: Op) -> u32 {
+    match op {
+        Op::Dup => 1,
+        Op::Over => 2,
+        _ => 0,
+    }
+}
+
+impl Program {
+    /// Verify this program against `config`, producing the certificate
+    /// the fast interpreter path and proxy-loading hosts require.
+    pub fn verify(&self, config: &VerifyConfig) -> Result<VerifiedProgram, VerifyError> {
+        let code = self.ops();
+        let n = code.len();
+        let cfg = Cfg::build(self);
+
+        let dead = cfg.dead_instructions();
+        if config.reject_dead_code {
+            if let Some(&at) = dead.first() {
+                return Err(VerifyError::DeadCode { at });
+            }
+        }
+
+        let mut states: Vec<Option<AbsState>> = vec![None; n];
+        states[0] = Some(AbsState { height: 0, init: 0 });
+        let mut worklist: Vec<usize> = vec![0];
+        let mut max_depth: u32 = 0;
+        let mut syscalls = SyscallSet::empty();
+        let mut max_arg: Option<u8> = None;
+
+        while let Some(pc) = worklist.pop() {
+            let s = states[pc].expect("worklist entries always have state");
+            let op = code[pc];
+            let (pops, pushes) = stack_effect(op);
+
+            if s.height < pops {
+                if matches!(op, Op::Halt) {
+                    return Err(VerifyError::HaltWithoutResult { at: pc });
+                }
+                return Err(VerifyError::StackUnderflow {
+                    at: pc,
+                    height: s.height as usize,
+                    need: pops as usize,
+                });
+            }
+            let after_height = s.height - pops + pushes;
+            if after_height as usize > config.max_stack {
+                return Err(VerifyError::StackOverflow {
+                    at: pc,
+                    height: after_height as usize,
+                    limit: config.max_stack,
+                });
+            }
+            max_depth = max_depth.max(after_height);
+
+            let mut after_init = s.init;
+            match op {
+                Op::Load(slot) => {
+                    debug_assert!(slot < MAX_LOCALS);
+                    if s.init & (1 << slot) == 0 {
+                        return Err(VerifyError::UninitializedLocal { at: pc, slot });
+                    }
+                }
+                Op::Store(slot) => {
+                    after_init |= 1 << slot;
+                }
+                Op::Syscall(id, _) => {
+                    if !config.syscalls.permits(id) {
+                        return Err(VerifyError::ForbiddenSyscall { at: pc, id });
+                    }
+                    syscalls.insert(id);
+                }
+                Op::Arg(idx) => {
+                    max_arg = Some(max_arg.map_or(idx, |m| m.max(idx)));
+                }
+                _ => {}
+            }
+
+            let after = AbsState {
+                height: after_height,
+                init: after_init,
+            };
+
+            // Successor program points.
+            let mut flow = |target: usize, worklist: &mut Vec<usize>| -> Result<(), VerifyError> {
+                match states[target] {
+                    None => {
+                        states[target] = Some(after);
+                        worklist.push(target);
+                    }
+                    Some(existing) => {
+                        if existing.height != after.height {
+                            return Err(VerifyError::JoinMismatch {
+                                at: target,
+                                have: existing.height as usize,
+                                incoming: after.height as usize,
+                            });
+                        }
+                        let merged_init = existing.init & after.init;
+                        if merged_init != existing.init {
+                            states[target] = Some(AbsState {
+                                height: existing.height,
+                                init: merged_init,
+                            });
+                            worklist.push(target);
+                        }
+                    }
+                }
+                Ok(())
+            };
+
+            match op {
+                Op::Halt => {}
+                Op::Jmp(t) => flow(t as usize, &mut worklist)?,
+                Op::Jz(t) | Op::Jnz(t) => {
+                    flow(t as usize, &mut worklist)?;
+                    if pc + 1 >= n {
+                        return Err(VerifyError::FallsOffEnd { at: pc });
+                    }
+                    flow(pc + 1, &mut worklist)?;
+                }
+                _ => {
+                    if pc + 1 >= n {
+                        return Err(VerifyError::FallsOffEnd { at: pc });
+                    }
+                    flow(pc + 1, &mut worklist)?;
+                }
+            }
+        }
+
+        Ok(VerifiedProgram {
+            program: self.clone(),
+            max_stack_depth: max_depth as usize,
+            syscalls,
+            max_arg,
+            fuel_bound: cfg.max_executed_instructions(),
+            dead,
+        })
+    }
+
+    /// Verify with default limits (full stack, no syscalls).
+    pub fn verify_default(&self) -> Result<VerifiedProgram, VerifyError> {
+        self.verify(&VerifyConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn verify(ops: Vec<Op>) -> Result<VerifiedProgram, VerifyError> {
+        Program::new(ops).unwrap().verify_default()
+    }
+
+    #[test]
+    fn straight_line_program_verifies_with_certificate() {
+        let vp = verify(vec![Op::PushI(2), Op::PushI(3), Op::Add, Op::Halt]).unwrap();
+        assert_eq!(vp.max_stack_depth(), 2);
+        assert_eq!(vp.fuel_bound(), Some(4));
+        assert!(vp.syscalls().is_empty());
+        assert!(vp.dead_code().is_empty());
+        assert_eq!(vp.max_arg(), None);
+    }
+
+    #[test]
+    fn underflow_rejected_statically() {
+        let e = verify(vec![Op::Add, Op::Halt]).unwrap_err();
+        assert_eq!(
+            e,
+            VerifyError::StackUnderflow {
+                at: 0,
+                height: 0,
+                need: 2
+            }
+        );
+        let e = verify(vec![Op::PushI(1), Op::Swap, Op::Halt]).unwrap_err();
+        assert!(matches!(e, VerifyError::StackUnderflow { at: 1, .. }));
+        // Underflow behind a branch is still found.
+        let e = verify(vec![
+            Op::Arg(0),
+            Op::Jz(3),
+            Op::Halt, // then-arm halts fine (arg popped, push needed!)
+            Op::Drop, // else-arm: stack is empty here → underflow
+            Op::Halt,
+        ])
+        .unwrap_err();
+        assert!(matches!(
+            e,
+            VerifyError::StackUnderflow { .. } | VerifyError::HaltWithoutResult { .. }
+        ));
+    }
+
+    #[test]
+    fn overflow_rejected_statically() {
+        let cfg = VerifyConfig {
+            max_stack: 3,
+            ..VerifyConfig::default()
+        };
+        let p = Program::new(vec![
+            Op::PushI(1),
+            Op::PushI(2),
+            Op::PushI(3),
+            Op::PushI(4),
+            Op::Halt,
+        ])
+        .unwrap();
+        let e = p.verify(&cfg).unwrap_err();
+        assert_eq!(
+            e,
+            VerifyError::StackOverflow {
+                at: 3,
+                height: 4,
+                limit: 3
+            }
+        );
+        // The unbounded-push loop the dynamic VM only catches at runtime.
+        let e = verify(vec![Op::PushI(1), Op::Jmp(0)]).unwrap_err();
+        assert!(matches!(
+            e,
+            VerifyError::JoinMismatch { .. } | VerifyError::StackOverflow { .. }
+        ));
+    }
+
+    #[test]
+    fn join_mismatch_rejected() {
+        // Two arms reach the same join with different heights.
+        // 0: arg0 ; 1: jz 4 ; 2: push ; 3: push ; 4(join): halt
+        let e = verify(vec![
+            Op::Arg(0),
+            Op::Jz(4),
+            Op::PushI(1),
+            Op::PushI(2),
+            Op::Halt,
+        ])
+        .unwrap_err();
+        assert!(
+            matches!(e, VerifyError::JoinMismatch { at: 4, .. }),
+            "{e:?}"
+        );
+    }
+
+    #[test]
+    fn uninitialized_local_rejected() {
+        let e = verify(vec![Op::Load(0), Op::Halt]).unwrap_err();
+        assert_eq!(e, VerifyError::UninitializedLocal { at: 0, slot: 0 });
+        // Initialised on only one path → still rejected at the join.
+        let e = verify(vec![
+            Op::Arg(0),
+            Op::Jz(4),
+            Op::PushI(7),
+            Op::Store(3),
+            Op::Load(3), // join: slot 3 only written on the fall-through arm
+            Op::Halt,
+        ])
+        .unwrap_err();
+        assert_eq!(e, VerifyError::UninitializedLocal { at: 4, slot: 3 });
+        // Initialised on every path → accepted.
+        verify(vec![Op::PushI(7), Op::Store(3), Op::Load(3), Op::Halt]).unwrap();
+    }
+
+    #[test]
+    fn syscall_policy_enforced() {
+        let prog = Program::new(vec![Op::PushI(1), Op::Syscall(9, 1), Op::Halt]).unwrap();
+        // Default policy: pure computation only.
+        assert_eq!(
+            prog.verify_default().unwrap_err(),
+            VerifyError::ForbiddenSyscall { at: 1, id: 9 }
+        );
+        // Allow-listed id verifies and lands in the capability summary.
+        let cfg = VerifyConfig::with_syscalls(SyscallPolicy::Allow(SyscallSet::of(&[9])));
+        let vp = prog.verify(&cfg).unwrap();
+        assert!(vp.syscalls().contains(9));
+        assert_eq!(vp.syscalls().len(), 1);
+        // A different allow-list still rejects.
+        let cfg = VerifyConfig::with_syscalls(SyscallPolicy::Allow(SyscallSet::of(&[8, 10])));
+        assert!(matches!(
+            prog.verify(&cfg),
+            Err(VerifyError::ForbiddenSyscall { at: 1, id: 9 })
+        ));
+        // Syscalls in dead code don't require capabilities (never run).
+        let prog = Program::new(vec![Op::PushI(1), Op::Halt, Op::Syscall(9, 0), Op::Halt]).unwrap();
+        let vp = prog.verify_default().unwrap();
+        assert!(vp.syscalls().is_empty());
+        assert_eq!(vp.dead_code(), &[2, 3]);
+    }
+
+    #[test]
+    fn termination_shape_enforced() {
+        // Running off the end is a static error (dynamic: NoHalt).
+        assert_eq!(
+            verify(vec![Op::PushI(1), Op::PushI(2)]).unwrap_err(),
+            VerifyError::FallsOffEnd { at: 1 }
+        );
+        // Halting with an empty stack is a static error (dynamic: NoResult).
+        assert_eq!(
+            verify(vec![Op::Halt]).unwrap_err(),
+            VerifyError::HaltWithoutResult { at: 0 }
+        );
+    }
+
+    #[test]
+    fn dead_code_policy() {
+        let prog = Program::new(vec![Op::PushI(1), Op::Halt, Op::PushI(2), Op::Halt]).unwrap();
+        assert_eq!(prog.verify_default().unwrap().dead_code(), &[2, 3]);
+        let strict = VerifyConfig {
+            reject_dead_code: true,
+            ..VerifyConfig::default()
+        };
+        assert_eq!(
+            prog.verify(&strict).unwrap_err(),
+            VerifyError::DeadCode { at: 2 }
+        );
+    }
+
+    #[test]
+    fn loops_verify_but_have_no_fuel_bound() {
+        // Balanced loop: sum 1..=n with locals initialised first.
+        let p = assemble(
+            "push 0
+             store 0
+             arg 0
+             store 1
+             loop:
+             load 1
+             jz out
+             load 0
+             load 1
+             add
+             store 0
+             load 1
+             push 1
+             sub
+             store 1
+             jmp loop
+             out:
+             load 0
+             halt",
+        )
+        .unwrap();
+        let vp = p.verify_default().unwrap();
+        assert_eq!(vp.fuel_bound(), None);
+        assert!(vp.max_stack_depth() >= 2);
+    }
+
+    #[test]
+    fn arg_usage_summarised() {
+        let vp = verify(vec![Op::Arg(2), Op::Arg(5), Op::Add, Op::Halt]).unwrap();
+        assert_eq!(vp.max_arg(), Some(5));
+    }
+
+    #[test]
+    fn syscall_set_operations() {
+        let mut s = SyscallSet::empty();
+        assert!(s.is_empty());
+        s.insert(0);
+        s.insert(63);
+        s.insert(64);
+        s.insert(255);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 255]);
+        assert!(s.is_subset(&SyscallSet::of(&[0, 63, 64, 255, 7])));
+        assert!(!SyscallSet::of(&[1]).is_subset(&s));
+    }
+}

@@ -1,7 +1,24 @@
 //! The interpreter: fuel-metered, bounded, panic-free.
+//!
+//! Two execution paths share the instruction semantics:
+//!
+//! - [`Vm::run`] — the *checked* path for any validated [`Program`]:
+//!   every pop tests for underflow, every push tests the [`STACK_MAX`]
+//!   bound, and every instruction is fuel-metered.
+//! - [`Vm::run_verified`] — the *fast* path, only reachable with a
+//!   [`VerifiedProgram`] certificate from the static verifier
+//!   ([`crate::verify`]). The verifier has already proved no execution
+//!   can underflow or overflow the stack, read an uninitialized local,
+//!   or run off the end, so this path pre-sizes the stack to the proven
+//!   maximum depth and drops the per-op checks; when the program is
+//!   loop-free its static fuel bound fits the caller's budget and fuel
+//!   metering is elided entirely. Both paths stay panic-free — the fast
+//!   path substitutes defaults (`unwrap_or`) on conditions the
+//!   certificate rules out rather than trusting it with a panic.
 
 use crate::isa::{Op, MAX_LOCALS};
 use crate::program::Program;
+use crate::verify::VerifiedProgram;
 
 /// Default fuel budget (instructions) — generous for proxy-sized code.
 pub const FUEL_DEFAULT: u64 = 100_000;
@@ -45,6 +62,9 @@ pub enum VmError {
 pub trait Host {
     /// Handle syscall `id` with `args`; `Err(())` aborts the program with
     /// [`VmError::HostError`].
+    // Err carries nothing by design: the VM maps any host refusal to
+    // `HostError { id }` and mobile code learns no more than "denied".
+    #[allow(clippy::result_unit_err)]
     fn syscall(&mut self, id: u8, args: &[i64]) -> Result<i64, ()>;
 }
 
@@ -204,6 +224,280 @@ impl Vm {
     ) -> Result<i64, VmError> {
         self.run(program, args, host, FUEL_DEFAULT)
     }
+
+    /// Execute a statically verified program on the fast path.
+    ///
+    /// Skips per-op stack-underflow and stack-overflow checks (proved
+    /// impossible by the verifier) and, when the program is loop-free
+    /// with a static fuel bound within `fuel`, skips fuel metering too.
+    /// Programs whose proven stack depth fits [`SMALL_STACK`] — every
+    /// realistic proxy — additionally run on a fixed array stack with no
+    /// heap allocation at all. Division by zero and host rejections
+    /// remain dynamic errors; `OutOfFuel` is still possible for looping
+    /// programs.
+    pub fn run_verified(
+        &self,
+        program: &VerifiedProgram,
+        args: &[i64],
+        host: &mut dyn Host,
+        fuel: u64,
+    ) -> Result<i64, VmError> {
+        let unmetered = matches!(program.fuel_bound(), Some(bound) if bound <= fuel);
+        if program.max_stack_depth() <= SMALL_STACK {
+            let stack = FixedStack::<SMALL_STACK>::new();
+            if unmetered {
+                self.run_verified_inner::<false, _>(program, args, host, fuel, stack)
+            } else {
+                self.run_verified_inner::<true, _>(program, args, host, fuel, stack)
+            }
+        } else {
+            let stack = VecStack(Vec::with_capacity(program.max_stack_depth()));
+            if unmetered {
+                self.run_verified_inner::<false, _>(program, args, host, fuel, stack)
+            } else {
+                self.run_verified_inner::<true, _>(program, args, host, fuel, stack)
+            }
+        }
+    }
+
+    /// Fast path with the default fuel budget.
+    pub fn run_verified_default(
+        &self,
+        program: &VerifiedProgram,
+        args: &[i64],
+        host: &mut dyn Host,
+    ) -> Result<i64, VmError> {
+        self.run_verified(program, args, host, FUEL_DEFAULT)
+    }
+
+    /// The verified interpreter loop. `METERED` selects fuel accounting
+    /// at monomorphisation time so the loop-free fast path carries no
+    /// fuel branch at all; `S` selects the operand-stack storage.
+    ///
+    /// Panic-freedom without dynamic checks: conditions the certificate
+    /// rules out (underflow, overflow past the proven depth, `Halt` on
+    /// an empty stack) degrade to zero defaults instead of `unwrap` —
+    /// unreachable in practice, total in principle.
+    fn run_verified_inner<const METERED: bool, S: VStack>(
+        &self,
+        program: &VerifiedProgram,
+        args: &[i64],
+        host: &mut dyn Host,
+        mut fuel: u64,
+        mut stack: S,
+    ) -> Result<i64, VmError> {
+        let code = program.program().ops();
+        let mut locals = [0i64; MAX_LOCALS as usize];
+        let mut pc: usize = 0;
+
+        macro_rules! binop {
+            ($f:expr) => {{
+                let b = stack.pop();
+                let a = stack.pop();
+                let f: fn(i64, i64) -> i64 = $f;
+                stack.push(f(a, b));
+            }};
+        }
+
+        while pc < code.len() {
+            if METERED {
+                if fuel == 0 {
+                    return Err(VmError::OutOfFuel);
+                }
+                fuel -= 1;
+            }
+            let op = code[pc];
+            let mut next = pc + 1;
+            match op {
+                Op::PushI(v) => stack.push(v),
+                Op::Dup => {
+                    let v = stack.peek(0);
+                    stack.push(v);
+                }
+                Op::Drop => {
+                    stack.pop();
+                }
+                Op::Swap => {
+                    let b = stack.pop();
+                    let a = stack.pop();
+                    stack.push(b);
+                    stack.push(a);
+                }
+                Op::Over => {
+                    let v = stack.peek(1);
+                    stack.push(v);
+                }
+                Op::Add => binop!(|a: i64, b: i64| a.wrapping_add(b)),
+                Op::Sub => binop!(|a: i64, b: i64| a.wrapping_sub(b)),
+                Op::Mul => binop!(|a: i64, b: i64| a.wrapping_mul(b)),
+                Op::Div => {
+                    let b = stack.pop();
+                    let a = stack.pop();
+                    if b == 0 {
+                        return Err(VmError::DivByZero { at: pc });
+                    }
+                    stack.push(a.wrapping_div(b));
+                }
+                Op::Rem => {
+                    let b = stack.pop();
+                    let a = stack.pop();
+                    if b == 0 {
+                        return Err(VmError::DivByZero { at: pc });
+                    }
+                    stack.push(a.wrapping_rem(b));
+                }
+                Op::Neg => {
+                    let a = stack.pop();
+                    stack.push(a.wrapping_neg());
+                }
+                Op::Min => binop!(|a: i64, b: i64| a.min(b)),
+                Op::Max => binop!(|a: i64, b: i64| a.max(b)),
+                Op::And => binop!(|a: i64, b: i64| a & b),
+                Op::Or => binop!(|a: i64, b: i64| a | b),
+                Op::Xor => binop!(|a: i64, b: i64| a ^ b),
+                Op::Eq => binop!(|a: i64, b: i64| (a == b) as i64),
+                Op::Lt => binop!(|a: i64, b: i64| (a < b) as i64),
+                Op::Gt => binop!(|a: i64, b: i64| (a > b) as i64),
+                Op::Jmp(t) => next = t as usize,
+                Op::Jz(t) => {
+                    if stack.pop() == 0 {
+                        next = t as usize;
+                    }
+                }
+                Op::Jnz(t) => {
+                    if stack.pop() != 0 {
+                        next = t as usize;
+                    }
+                }
+                Op::Arg(n) => stack.push(args.get(n as usize).copied().unwrap_or(0)),
+                Op::Store(n) => {
+                    locals[n as usize] = stack.pop();
+                }
+                Op::Load(n) => stack.push(locals[n as usize]),
+                Op::Syscall(id, argc) => {
+                    let reply = stack
+                        .syscall(argc as usize, |call_args| host.syscall(id, call_args))
+                        .map_err(|()| VmError::HostError { id })?;
+                    stack.push(reply);
+                }
+                Op::Halt => return Ok(stack.peek(0)),
+            }
+            pc = next;
+        }
+        // Statically unreachable: the verifier rejects programs whose
+        // control flow can run off the end.
+        Err(VmError::NoHalt)
+    }
+}
+
+/// Proven stack depth up to which the verified fast path uses a fixed,
+/// heap-free operand stack. Covers every realistic proxy; deeper verified
+/// programs fall back to a pre-sized `Vec`.
+pub const SMALL_STACK: usize = 32;
+
+/// Operand-stack storage for the verified interpreter. All operations are
+/// total: on states the verifier has ruled out (popping empty, pushing
+/// past the proven depth) they yield zeros or drop writes rather than
+/// panicking — the certificate makes those paths unreachable, totality
+/// keeps hostile input harmless even if it weren't.
+trait VStack {
+    fn push(&mut self, v: i64);
+    fn pop(&mut self) -> i64;
+    /// Value `depth` entries below the top (0 = top), without popping.
+    fn peek(&self, depth: usize) -> i64;
+    /// Pop the top `argc` values and hand them to `f` (oldest first),
+    /// returning its reply.
+    fn syscall<F>(&mut self, argc: usize, f: F) -> Result<i64, ()>
+    where
+        F: FnOnce(&[i64]) -> Result<i64, ()>;
+}
+
+/// Fixed-capacity stack: a zeroed array and a cursor, all index arithmetic
+/// masked by `N - 1` (`N` must be a power of two) so no bounds check and
+/// no panic is ever emitted.
+struct FixedStack<const N: usize> {
+    buf: [i64; N],
+    sp: usize,
+}
+
+impl<const N: usize> FixedStack<N> {
+    const MASK: usize = {
+        assert!(N.is_power_of_two());
+        N - 1
+    };
+
+    fn new() -> FixedStack<N> {
+        FixedStack { buf: [0; N], sp: 0 }
+    }
+}
+
+impl<const N: usize> VStack for FixedStack<N> {
+    #[inline(always)]
+    fn push(&mut self, v: i64) {
+        self.buf[self.sp & Self::MASK] = v;
+        self.sp += 1;
+    }
+
+    #[inline(always)]
+    fn pop(&mut self) -> i64 {
+        self.sp = self.sp.saturating_sub(1);
+        self.buf[self.sp & Self::MASK]
+    }
+
+    #[inline(always)]
+    fn peek(&self, depth: usize) -> i64 {
+        let i = self.sp.wrapping_sub(depth + 1);
+        if i < self.sp {
+            self.buf[i & Self::MASK]
+        } else {
+            0
+        }
+    }
+
+    fn syscall<F>(&mut self, argc: usize, f: F) -> Result<i64, ()>
+    where
+        F: FnOnce(&[i64]) -> Result<i64, ()>,
+    {
+        let split = self.sp.saturating_sub(argc);
+        let reply = f(self.buf.get(split..self.sp).unwrap_or(&[]))?;
+        self.sp = split;
+        Ok(reply)
+    }
+}
+
+/// Growable stack for verified programs deeper than [`SMALL_STACK`];
+/// pre-sized to the proven maximum depth, so pushes never reallocate.
+struct VecStack(Vec<i64>);
+
+impl VStack for VecStack {
+    #[inline(always)]
+    fn push(&mut self, v: i64) {
+        self.0.push(v);
+    }
+
+    #[inline(always)]
+    fn pop(&mut self) -> i64 {
+        self.0.pop().unwrap_or(0)
+    }
+
+    #[inline(always)]
+    fn peek(&self, depth: usize) -> i64 {
+        self.0
+            .len()
+            .checked_sub(depth + 1)
+            .and_then(|i| self.0.get(i).copied())
+            .unwrap_or(0)
+    }
+
+    fn syscall<F>(&mut self, argc: usize, f: F) -> Result<i64, ()>
+    where
+        F: FnOnce(&[i64]) -> Result<i64, ()>,
+    {
+        let split = self.0.len().saturating_sub(argc);
+        let reply = f(self.0.get(split..).unwrap_or(&[]))?;
+        self.0.truncate(split);
+        Ok(reply)
+    }
 }
 
 #[cfg(test)]
@@ -217,35 +511,99 @@ mod tests {
 
     #[test]
     fn arithmetic_works() {
-        assert_eq!(run(vec![Op::PushI(2), Op::PushI(3), Op::Add, Op::Halt], &[]), Ok(5));
-        assert_eq!(run(vec![Op::PushI(7), Op::PushI(3), Op::Sub, Op::Halt], &[]), Ok(4));
-        assert_eq!(run(vec![Op::PushI(6), Op::PushI(7), Op::Mul, Op::Halt], &[]), Ok(42));
-        assert_eq!(run(vec![Op::PushI(9), Op::PushI(2), Op::Div, Op::Halt], &[]), Ok(4));
-        assert_eq!(run(vec![Op::PushI(9), Op::PushI(2), Op::Rem, Op::Halt], &[]), Ok(1));
+        assert_eq!(
+            run(vec![Op::PushI(2), Op::PushI(3), Op::Add, Op::Halt], &[]),
+            Ok(5)
+        );
+        assert_eq!(
+            run(vec![Op::PushI(7), Op::PushI(3), Op::Sub, Op::Halt], &[]),
+            Ok(4)
+        );
+        assert_eq!(
+            run(vec![Op::PushI(6), Op::PushI(7), Op::Mul, Op::Halt], &[]),
+            Ok(42)
+        );
+        assert_eq!(
+            run(vec![Op::PushI(9), Op::PushI(2), Op::Div, Op::Halt], &[]),
+            Ok(4)
+        );
+        assert_eq!(
+            run(vec![Op::PushI(9), Op::PushI(2), Op::Rem, Op::Halt], &[]),
+            Ok(1)
+        );
         assert_eq!(run(vec![Op::PushI(5), Op::Neg, Op::Halt], &[]), Ok(-5));
-        assert_eq!(run(vec![Op::PushI(3), Op::PushI(9), Op::Min, Op::Halt], &[]), Ok(3));
-        assert_eq!(run(vec![Op::PushI(3), Op::PushI(9), Op::Max, Op::Halt], &[]), Ok(9));
+        assert_eq!(
+            run(vec![Op::PushI(3), Op::PushI(9), Op::Min, Op::Halt], &[]),
+            Ok(3)
+        );
+        assert_eq!(
+            run(vec![Op::PushI(3), Op::PushI(9), Op::Max, Op::Halt], &[]),
+            Ok(9)
+        );
     }
 
     #[test]
     fn comparisons_and_logic() {
-        assert_eq!(run(vec![Op::PushI(3), Op::PushI(3), Op::Eq, Op::Halt], &[]), Ok(1));
-        assert_eq!(run(vec![Op::PushI(2), Op::PushI(3), Op::Lt, Op::Halt], &[]), Ok(1));
-        assert_eq!(run(vec![Op::PushI(2), Op::PushI(3), Op::Gt, Op::Halt], &[]), Ok(0));
-        assert_eq!(run(vec![Op::PushI(0b1100), Op::PushI(0b1010), Op::And, Op::Halt], &[]), Ok(0b1000));
-        assert_eq!(run(vec![Op::PushI(0b1100), Op::PushI(0b1010), Op::Or, Op::Halt], &[]), Ok(0b1110));
-        assert_eq!(run(vec![Op::PushI(0b1100), Op::PushI(0b1010), Op::Xor, Op::Halt], &[]), Ok(0b0110));
+        assert_eq!(
+            run(vec![Op::PushI(3), Op::PushI(3), Op::Eq, Op::Halt], &[]),
+            Ok(1)
+        );
+        assert_eq!(
+            run(vec![Op::PushI(2), Op::PushI(3), Op::Lt, Op::Halt], &[]),
+            Ok(1)
+        );
+        assert_eq!(
+            run(vec![Op::PushI(2), Op::PushI(3), Op::Gt, Op::Halt], &[]),
+            Ok(0)
+        );
+        assert_eq!(
+            run(
+                vec![Op::PushI(0b1100), Op::PushI(0b1010), Op::And, Op::Halt],
+                &[]
+            ),
+            Ok(0b1000)
+        );
+        assert_eq!(
+            run(
+                vec![Op::PushI(0b1100), Op::PushI(0b1010), Op::Or, Op::Halt],
+                &[]
+            ),
+            Ok(0b1110)
+        );
+        assert_eq!(
+            run(
+                vec![Op::PushI(0b1100), Op::PushI(0b1010), Op::Xor, Op::Halt],
+                &[]
+            ),
+            Ok(0b0110)
+        );
     }
 
     #[test]
     fn stack_shuffles() {
-        assert_eq!(run(vec![Op::PushI(1), Op::Dup, Op::Add, Op::Halt], &[]), Ok(2));
         assert_eq!(
-            run(vec![Op::PushI(1), Op::PushI(2), Op::Swap, Op::Sub, Op::Halt], &[]),
+            run(vec![Op::PushI(1), Op::Dup, Op::Add, Op::Halt], &[]),
+            Ok(2)
+        );
+        assert_eq!(
+            run(
+                vec![Op::PushI(1), Op::PushI(2), Op::Swap, Op::Sub, Op::Halt],
+                &[]
+            ),
             Ok(1)
         );
         assert_eq!(
-            run(vec![Op::PushI(5), Op::PushI(9), Op::Over, Op::Add, Op::Add, Op::Halt], &[]),
+            run(
+                vec![
+                    Op::PushI(5),
+                    Op::PushI(9),
+                    Op::Over,
+                    Op::Add,
+                    Op::Add,
+                    Op::Halt
+                ],
+                &[]
+            ),
             Ok(19)
         );
         assert_eq!(
@@ -283,20 +641,20 @@ mod tests {
     fn loop_with_jumps_computes_sum() {
         // sum 1..=n via a loop: locals[0]=acc, locals[1]=i
         let p = vec![
-            Op::Arg(0),      // 0: n
-            Op::Store(1),    // 1: i = n
-            Op::Load(1),     // 2: loop head
-            Op::Jz(11),      // 3: while i != 0
-            Op::Load(0),     // 4
-            Op::Load(1),     // 5
-            Op::Add,         // 6
-            Op::Store(0),    // 7: acc += i
-            Op::Load(1),     // 8
-            Op::PushI(1),    // 9 ... i -= 1  (continued below)
-            Op::Sub,         // 10
+            Op::Arg(0),   // 0: n
+            Op::Store(1), // 1: i = n
+            Op::Load(1),  // 2: loop head
+            Op::Jz(11),   // 3: while i != 0
+            Op::Load(0),  // 4
+            Op::Load(1),  // 5
+            Op::Add,      // 6
+            Op::Store(0), // 7: acc += i
+            Op::Load(1),  // 8
+            Op::PushI(1), // 9 ... i -= 1  (continued below)
+            Op::Sub,      // 10
             // fallthrough fix below
-            Op::Load(0),     // 11: result
-            Op::Halt,        // 12
+            Op::Load(0), // 11: result
+            Op::Halt,    // 12
         ];
         // Need to store back and jump — rebuild properly:
         let p = {
@@ -306,7 +664,7 @@ mod tests {
             v.push(Op::Jmp(2)); // 12
             v.push(Op::Load(0)); // 13
             v.push(Op::Halt); // 14
-            // fix Jz target to 13
+                              // fix Jz target to 13
             v[3] = Op::Jz(13);
             v
         };
@@ -327,7 +685,10 @@ mod tests {
 
     #[test]
     fn underflow_overflow_and_no_halt() {
-        assert_eq!(run(vec![Op::Add, Op::Halt], &[]), Err(VmError::StackUnderflow { at: 0 }));
+        assert_eq!(
+            run(vec![Op::Add, Op::Halt], &[]),
+            Err(VmError::StackUnderflow { at: 0 })
+        );
         assert_eq!(run(vec![Op::PushI(1)], &[]), Err(VmError::NoHalt));
         assert_eq!(run(vec![Op::Halt], &[]), Err(VmError::NoResult));
         // Overflow: a loop pushing forever trips the stack bound before fuel.
@@ -339,7 +700,10 @@ mod tests {
     #[test]
     fn infinite_loop_runs_out_of_fuel() {
         let p = Program::new(vec![Op::Jmp(0)]).unwrap();
-        assert_eq!(Vm.run(&p, &[], &mut NullHost, 1000), Err(VmError::OutOfFuel));
+        assert_eq!(
+            Vm.run(&p, &[], &mut NullHost, 1000),
+            Err(VmError::OutOfFuel)
+        );
     }
 
     #[test]
@@ -372,5 +736,78 @@ mod tests {
             Vm.run(&p, &[], &mut NullHost, 100),
             Err(VmError::HostError { id: 1 })
         );
+    }
+
+    #[test]
+    fn verified_fast_path_matches_checked_path() {
+        use crate::asm::assemble;
+        // Loop-free: clamp(arg0 * 3 - 4, 0, 255); exercises both branches.
+        let p = assemble(
+            "arg 0
+             push 3
+             mul
+             push 4
+             sub
+             push 0
+             max
+             push 255
+             min
+             halt",
+        )
+        .unwrap();
+        let vp = p.verify_default().unwrap();
+        assert!(vp.fuel_bound().is_some());
+        for a in [-5i64, 0, 1, 40, 1000] {
+            assert_eq!(
+                Vm.run(&p, &[a], &mut NullHost, FUEL_DEFAULT),
+                Vm.run_verified(&vp, &[a], &mut NullHost, FUEL_DEFAULT),
+            );
+        }
+        // Looping program (metered fast path): sum 1..=n with explicit
+        // local initialisation so the verifier's definite-init holds.
+        let p = assemble(
+            "push 0
+             store 0
+             arg 0
+             store 1
+             loop:
+             load 1
+             jz out
+             load 0
+             load 1
+             add
+             store 0
+             load 1
+             push 1
+             sub
+             store 1
+             jmp loop
+             out:
+             load 0
+             halt",
+        )
+        .unwrap();
+        let vp = p.verify_default().unwrap();
+        assert_eq!(vp.fuel_bound(), None);
+        for n in [0i64, 1, 10, 100] {
+            assert_eq!(
+                Vm.run(&p, &[n], &mut NullHost, FUEL_DEFAULT),
+                Vm.run_verified(&vp, &[n], &mut NullHost, FUEL_DEFAULT),
+            );
+        }
+        assert_eq!(Vm.run_verified_default(&vp, &[10], &mut NullHost), Ok(55));
+        // Looping programs still meter fuel on the fast path.
+        assert_eq!(
+            Vm.run_verified(&vp, &[1000], &mut NullHost, 10),
+            Err(VmError::OutOfFuel)
+        );
+        // Dynamic errors stay dynamic.
+        let p = Program::new(vec![Op::Arg(0), Op::PushI(1), Op::Swap, Op::Div, Op::Halt]).unwrap();
+        let vp = p.verify_default().unwrap();
+        assert_eq!(
+            Vm.run_verified_default(&vp, &[0], &mut NullHost),
+            Err(VmError::DivByZero { at: 3 })
+        );
+        assert_eq!(Vm.run_verified_default(&vp, &[2], &mut NullHost), Ok(0));
     }
 }

@@ -2,7 +2,7 @@
 //! for arbitrary — including hostile — mobile code.
 
 use aroma_mcode::isa::{Op, MAX_LOCALS};
-use aroma_mcode::{Host, NullHost, Program, Vm};
+use aroma_mcode::{Host, NullHost, Program, SyscallPolicy, VerifyConfig, Vm, VmError};
 use bytes::Bytes;
 use proptest::prelude::*;
 
@@ -94,6 +94,78 @@ proptest! {
     fn decode_arbitrary_bytes_total(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
         if let Ok(p) = Program::decode(Bytes::from(bytes)) {
             let _ = Vm.run(&p, &[1, 2, 3], &mut NullHost, 2_000);
+        }
+    }
+
+    /// Verifier soundness: a program the static verifier accepts can never
+    /// hit the errors it claims to rule out — stack underflow/overflow,
+    /// running off the end, or halting without a result — under ample fuel.
+    /// (Uninitialized-local reads cannot surface as a `VmError` at all:
+    /// the verifier rejects them statically, and the dynamic VM papers
+    /// over them with default-zero locals.)
+    #[test]
+    fn verified_programs_never_hit_verified_errors(
+        p in arb_program(),
+        args in prop::collection::vec(any::<i64>(), 0..4),
+    ) {
+        let cfg = VerifyConfig::with_syscalls(SyscallPolicy::AllowAll);
+        if let Ok(vp) = p.verify(&cfg) {
+            let r = Vm.run(&p, &args, &mut EchoHost, 200_000);
+            prop_assert!(
+                !matches!(
+                    r,
+                    Err(VmError::StackUnderflow { .. })
+                        | Err(VmError::StackOverflow { .. })
+                        | Err(VmError::NoHalt)
+                        | Err(VmError::NoResult)
+                ),
+                "verifier accepted a program the checked VM faulted: {:?}",
+                r
+            );
+            // And the fast path agrees with the checked path exactly.
+            let fast = Vm.run_verified(&vp, &args, &mut EchoHost, 200_000);
+            prop_assert_eq!(r, fast);
+        }
+    }
+
+    /// The static fuel bound of a loop-free verified program really bounds
+    /// execution: running with exactly that budget never runs out of fuel.
+    #[test]
+    fn fuel_bound_is_sound(
+        p in arb_program(),
+        args in prop::collection::vec(any::<i64>(), 0..4),
+    ) {
+        let cfg = VerifyConfig::with_syscalls(SyscallPolicy::AllowAll);
+        if let Ok(vp) = p.verify(&cfg) {
+            if let Some(bound) = vp.fuel_bound() {
+                let r = Vm.run(&p, &args, &mut EchoHost, bound);
+                prop_assert!(r != Err(VmError::OutOfFuel), "bound {} too small", bound);
+            }
+        }
+    }
+
+    /// The capability summary is complete: under a policy allowing every
+    /// syscall, a verified program can only ever invoke ids the summary
+    /// lists (observed by a recording host).
+    #[test]
+    fn syscall_summary_is_complete(
+        p in arb_program(),
+        args in prop::collection::vec(any::<i64>(), 0..4),
+    ) {
+        struct Recording(Vec<u8>);
+        impl Host for Recording {
+            fn syscall(&mut self, id: u8, args: &[i64]) -> Result<i64, ()> {
+                self.0.push(id);
+                Ok(args.iter().sum())
+            }
+        }
+        let cfg = VerifyConfig::with_syscalls(SyscallPolicy::AllowAll);
+        if let Ok(vp) = p.verify(&cfg) {
+            let mut host = Recording(Vec::new());
+            let _ = Vm.run_verified(&vp, &args, &mut host, 50_000);
+            for id in host.0 {
+                prop_assert!(vp.syscalls().contains(id), "unsummarised syscall {}", id);
+            }
         }
     }
 }

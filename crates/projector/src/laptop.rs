@@ -215,7 +215,9 @@ impl PresenterLaptopApp {
     }
 
     fn acquire_next(&mut self, ctx: &mut NetCtx<'_>) {
-        let Some(projector) = self.projector else { return };
+        let Some(projector) = self.projector else {
+            return;
+        };
         match self.next_unheld() {
             Some(service) => {
                 self.phase = Phase::Acquiring;
@@ -276,11 +278,9 @@ impl PresenterLaptopApp {
             return;
         };
         match msg {
-            DiscMsg::DiscoverResp { nonce } if nonce == self.nonce => {
-                if self.registrar.is_none() {
-                    self.registrar = Some(from);
-                    self.lookup(ctx);
-                }
+            DiscMsg::DiscoverResp { nonce } if nonce == self.nonce && self.registrar.is_none() => {
+                self.registrar = Some(from);
+                self.lookup(ctx);
             }
             DiscMsg::LookupReply { items, .. } => {
                 for item in items {
@@ -383,32 +383,23 @@ impl NetApp for PresenterLaptopApp {
 
     fn on_timer(&mut self, ctx: &mut NetCtx<'_>, token: u64) {
         match token {
-            T_DISCOVER => {
-                if self.registrar.is_none() && self.phase != Phase::Finished {
-                    self.discover(ctx);
-                }
+            T_DISCOVER if self.registrar.is_none() && self.phase != Phase::Finished => {
+                self.discover(ctx);
             }
-            T_LOOKUP => {
+            T_LOOKUP
                 if self.phase == Phase::LookingUp
-                    && (self.display_item.is_none() || self.control_item.is_none())
-                {
-                    self.lookup(ctx);
-                }
+                    && (self.display_item.is_none() || self.control_item.is_none()) =>
+            {
+                self.lookup(ctx);
             }
-            T_ACQUIRE_RETRY => {
-                if self.phase == Phase::Acquiring {
-                    self.acquire_next(ctx);
-                }
+            T_ACQUIRE_RETRY if self.phase == Phase::Acquiring => {
+                self.acquire_next(ctx);
             }
-            T_COMMAND => {
-                if self.phase == Phase::Presenting {
-                    self.send_next_command(ctx);
-                }
+            T_COMMAND if self.phase == Phase::Presenting => {
+                self.send_next_command(ctx);
             }
-            T_PRESENT_END => {
-                if self.phase == Phase::Presenting {
-                    self.finish(ctx);
-                }
+            T_PRESENT_END if self.phase == Phase::Presenting => {
+                self.finish(ctx);
             }
             _ => {}
         }

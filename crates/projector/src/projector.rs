@@ -116,7 +116,10 @@ impl SmartProjectorApp {
             kind: "projector/display".into(),
             attributes: vec![
                 ("room".into(), self.room.clone()),
-                ("resolution".into(), format!("{}x{}", self.width, self.height)),
+                (
+                    "resolution".into(),
+                    format!("{}x{}", self.width, self.height),
+                ),
             ],
             provider: me.0,
             proxy: Bytes::from_static(b"display-proxy"),
@@ -164,11 +167,9 @@ impl SmartProjectorApp {
             return;
         };
         match msg {
-            DiscMsg::DiscoverResp { nonce } if nonce == self.nonce => {
-                if self.registrar.is_none() {
-                    self.registrar = Some(from);
-                    self.register_both(ctx);
-                }
+            DiscMsg::DiscoverResp { nonce } if nonce == self.nonce && self.registrar.is_none() => {
+                self.registrar = Some(from);
+                self.register_both(ctx);
             }
             DiscMsg::RegisterAck { id, granted_ms } => {
                 self.registrations += 1;
@@ -328,10 +329,8 @@ impl NetApp for SmartProjectorApp {
     fn on_timer(&mut self, ctx: &mut NetCtx<'_>, token: u64) {
         self.sweep_sessions(ctx.now());
         match token {
-            T_DISCOVER => {
-                if self.registrar.is_none() {
-                    self.discover(ctx);
-                }
+            T_DISCOVER if self.registrar.is_none() => {
+                self.discover(ctx);
             }
             T_RENEW_DISPLAY | T_RENEW_CONTROL => {
                 if let Some(reg) = self.registrar {

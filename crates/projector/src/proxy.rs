@@ -9,8 +9,17 @@
 //! that lives with the *device*, travels in the `ServiceItem::proxy` bytes,
 //! and runs inside the client's fuel-metered VM.
 
+//! Since the static-verifier PR, the client side loads proxies **only**
+//! through `aroma-discovery`'s vetting gate: bytes claiming to be mcode
+//! must pass [`aroma_mcode::verify`] (no syscalls, bounded stack, definite
+//! initialization, halting shape) before execution, and then run on the
+//! VM's verified fast path. [`load_brightness_proxy`] exposes the typed
+//! rejection; [`run_brightness_proxy`] keeps the old lenient signature for
+//! callers that fall back to raw values.
+
+use aroma_discovery::proxy::{vet_proxy, ProxyError, VettedProxy};
 use aroma_mcode::asm::assemble;
-use aroma_mcode::{NullHost, Program, Vm, VmError};
+use aroma_mcode::{NullHost, Program, VerifiedProgram, VerifyConfig, Vm};
 use bytes::Bytes;
 
 /// The control proxy: `f(requested_percent) → supported_percent`.
@@ -41,15 +50,42 @@ pub fn brightness_proxy_bytes() -> Bytes {
     brightness_proxy().encode()
 }
 
+/// Why downloaded proxy bytes cannot serve as a brightness mapper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProxyLoadError {
+    /// The blob is not mobile code at all (legacy inert registration).
+    NotMobileCode,
+    /// The blob claims to be mcode but was rejected by the decode or
+    /// static-verification gate.
+    Rejected(ProxyError),
+}
+
+/// Load a downloaded control proxy through the static verifier.
+///
+/// The brightness mapper is pure computation, so the verification policy
+/// is the default deny-all-syscalls one; the returned certificate is what
+/// [`run_brightness_proxy`] executes on the VM's fast path.
+pub fn load_brightness_proxy(proxy: &Bytes) -> Result<VerifiedProgram, ProxyLoadError> {
+    match vet_proxy(proxy, &VerifyConfig::default()) {
+        Ok(VettedProxy::Mcode(vp)) => Ok(vp),
+        Ok(VettedProxy::Inert(_)) => Err(ProxyLoadError::NotMobileCode),
+        Err(e) => Err(ProxyLoadError::Rejected(e)),
+    }
+}
+
 /// Client-side execution of a downloaded control proxy. Returns the
 /// device-supported brightness for `requested_percent`, or `None` when the
-/// blob is not runnable mobile code (old registrations carried inert
-/// bytes; callers fall back to sending the raw value).
+/// blob is not statically verifiable mobile code (old registrations
+/// carried inert bytes; callers fall back to sending the raw value).
+///
+/// Execution goes through [`load_brightness_proxy`] and the verified fast
+/// path — an unverifiable program is never run, even under the checked
+/// interpreter.
 pub fn run_brightness_proxy(proxy: &Bytes, requested_percent: u8) -> Option<u8> {
-    let program = Program::decode(proxy.clone()).ok()?;
-    match Vm.run_default(&program, &[requested_percent as i64], &mut NullHost) {
+    let program = load_brightness_proxy(proxy).ok()?;
+    match Vm.run_verified_default(&program, &[requested_percent as i64], &mut NullHost) {
         Ok(v) => Some(v.clamp(0, 100) as u8),
-        Err(VmError::OutOfFuel) | Err(_) => None,
+        Err(_) => None,
     }
 }
 
@@ -87,7 +123,37 @@ mod tests {
 
     #[test]
     fn inert_blobs_fall_back_gracefully() {
-        assert_eq!(run_brightness_proxy(&Bytes::from_static(b"control-proxy"), 50), None);
+        assert_eq!(
+            load_brightness_proxy(&Bytes::from_static(b"control-proxy")),
+            Err(ProxyLoadError::NotMobileCode)
+        );
+        assert_eq!(
+            run_brightness_proxy(&Bytes::from_static(b"control-proxy"), 50),
+            None
+        );
         assert_eq!(run_brightness_proxy(&Bytes::new(), 50), None);
+    }
+
+    #[test]
+    fn shipped_proxy_passes_static_verification() {
+        // The registration blob must clear the same gate clients apply:
+        // loop-free (static fuel bound), no syscalls, shallow stack.
+        let vp = load_brightness_proxy(&brightness_proxy_bytes()).unwrap();
+        assert!(vp.syscalls().is_empty());
+        assert!(vp.fuel_bound().is_some());
+        assert!(vp.max_stack_depth() <= 3);
+    }
+
+    #[test]
+    fn unverifiable_mobile_code_is_never_run() {
+        use aroma_mcode::Op;
+        // Decodes and validates (the pre-verifier gate would have run
+        // it), but underflows the stack on its first instruction.
+        let blob = Program::new(vec![Op::Add, Op::Halt]).unwrap().encode();
+        assert!(matches!(
+            load_brightness_proxy(&blob),
+            Err(ProxyLoadError::Rejected(_))
+        ));
+        assert_eq!(run_brightness_proxy(&blob, 50), None);
     }
 }

@@ -45,7 +45,7 @@ proptest! {
         let mut tokens: std::collections::HashMap<u64, SessionToken> = Default::default();
         for op in ops {
             match op {
-                Op::Advance { ms } => now = now + SimDuration::from_millis(ms),
+                Op::Advance { ms } => now += SimDuration::from_millis(ms),
                 Op::Acquire { user } => {
                     let owner_before = m.owner(now);
                     match m.acquire(user, now) {

@@ -189,7 +189,7 @@ mod tests {
     fn borrows_environment_without_static() {
         // The closure borrows `base` from the enclosing stack frame — this is
         // exactly what std::thread::scope buys us over spawn.
-        let base = vec![10u64, 20, 30];
+        let base = [10u64, 20, 30];
         let out = run(&[0usize, 1, 2], |_, &i| base[i] + 1);
         assert_eq!(out, vec![11, 21, 31]);
     }

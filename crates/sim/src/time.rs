@@ -360,7 +360,7 @@ mod tests {
 
     #[test]
     fn ordering_is_chronological() {
-        let mut ts = vec![
+        let mut ts = [
             SimTime::from_nanos(30),
             SimTime::from_nanos(10),
             SimTime::from_nanos(20),

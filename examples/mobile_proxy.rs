@@ -11,9 +11,10 @@
 
 use aroma_discovery::apps::{ClientApp, RegistrarApp};
 use aroma_discovery::codec::Template;
+use aroma_discovery::proxy::{vet_proxy, VettedProxy};
 use aroma_env::radio::RadioEnvironment;
 use aroma_env::space::Point;
-use aroma_mcode::{NullHost, Program, Vm};
+use aroma_mcode::{NullHost, Op, Program, VerifyConfig, Vm};
 use aroma_net::{MacConfig, Network, NodeConfig};
 use aroma_sim::SimDuration;
 use smart_projector::session::SessionPolicy;
@@ -51,18 +52,39 @@ fn main() {
         item.proxy.len()
     );
 
-    let program = Program::decode(item.proxy.clone()).expect("proxy is runnable mcode");
+    // Untrusted bytes go through the static verifier before they may run:
+    // the certificate proves stack discipline, initialization, halting
+    // shape, and (here) that the code makes no host calls at all.
+    let verified = match vet_proxy(&item.proxy, &VerifyConfig::default()) {
+        Ok(VettedProxy::Mcode(vp)) => vp,
+        Ok(VettedProxy::Inert(_)) => panic!("control proxy should be mobile code"),
+        Err(e) => panic!("proxy failed static verification: {e:?}"),
+    };
     println!(
-        "decoded & validated: {} instructions; running it locally:\n",
-        program.len()
+        "statically verified: {} instructions, max stack depth {}, \
+         {} syscalls, static fuel bound {:?}",
+        verified.program().len(),
+        verified.max_stack_depth(),
+        verified.syscalls().len(),
+        verified.fuel_bound(),
     );
+    println!("running it locally on the check-free fast path:\n");
     println!("requested %  ->  device-supported %");
     for requested in [0i64, 3, 47, 52, 83, 99, 100, 250] {
         let supported = Vm
-            .run_default(&program, &[requested], &mut NullHost)
+            .run_verified_default(&verified, &[requested], &mut NullHost)
             .expect("proxy execution");
         println!("       {requested:>3}  ->  {supported:>3}");
     }
     println!("\nthe lamp ladder (min 10, steps of 5) lives with the device and");
     println!("travelled to the client as code — no firmware table compiled in.");
+
+    // A hostile registration doesn't get that far: this blob decodes and
+    // validates (jumps in range), but pops an empty stack — the verifier
+    // rejects it before the VM ever sees it.
+    let hostile = Program::new(vec![Op::Add, Op::Halt]).unwrap().encode();
+    match vet_proxy(&hostile, &VerifyConfig::default()) {
+        Err(e) => println!("\nhostile proxy rejected statically: {e:?}"),
+        Ok(_) => panic!("hostile proxy should not verify"),
+    }
 }

@@ -1,0 +1,124 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Re-implements the two pieces the workspace uses — unbounded MPMC-ish
+//! channels and scoped threads — over `std::sync::mpsc` and
+//! `std::thread::scope`. The visible API mirrors crossbeam 0.8's shapes
+//! closely enough for the call sites here (clonable `Sender`, `recv()`
+//! ending with an error after all senders drop, `scope(|s| …)` returning
+//! `Result`).
+
+#![forbid(unsafe_code)]
+
+/// Channels (`crossbeam::channel` subset).
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half; clonable.
+    #[derive(Debug)]
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    /// Receiving half.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// Error returned when the channel is disconnected.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned when the receiving side is gone.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> Sender<T> {
+        /// Send a value; fails only when every receiver is dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value).map_err(|e| SendError(e.0))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block for the next value; fails when all senders are dropped
+        /// and the queue is drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking iterator draining currently queued values.
+        pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.try_iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// An unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+/// Scoped threads (`crossbeam::thread` subset).
+pub mod thread {
+    /// Spawn handle scope; mirrors crossbeam's closure-takes-scope shape.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread bound to the scope. The closure receives the
+        /// scope again (crossbeam's signature) for nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a scope; all spawned threads join before returning.
+    /// A panic in a worker propagates (so `Ok` is the only value actually
+    /// returned, matching how the workspace unwraps it).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn channel_and_scope_cooperate() {
+        let (tx, rx) = super::channel::unbounded::<usize>();
+        super::thread::scope(|scope| {
+            for i in 0..4 {
+                let tx = tx.clone();
+                scope.spawn(move |_| tx.send(i).unwrap());
+            }
+            drop(tx);
+            let mut got: Vec<usize> = Vec::new();
+            while let Ok(i) = rx.recv() {
+                got.push(i);
+            }
+            got.sort_unstable();
+            assert_eq!(got, vec![0, 1, 2, 3]);
+        })
+        .unwrap();
+    }
+}

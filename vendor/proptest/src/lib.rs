@@ -1,0 +1,719 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a generate-only property-testing core with the API subset its tests
+//! use: the [`proptest!`] macro (with `#![proptest_config(..)]`),
+//! `prop_assert*`/`prop_assume!`, [`Strategy`] with
+//! `prop_map`/`prop_flat_map`/`boxed`, [`prop_oneof!`], `any::<T>()`,
+//! integer/float range strategies, tuple strategies, `Just`,
+//! `prop::collection::vec`, `prop::option::of`, and regex-literal string
+//! strategies (a small generator covering the patterns used here).
+//!
+//! Differences from the real crate, deliberately accepted:
+//! - **No shrinking.** A failing case reports its case number and the
+//!   test's deterministic seed; re-running reproduces it exactly.
+//! - **Fixed deterministic seeding** per test name, so CI runs are stable.
+//! - Value distributions are simpler (uniform with a light bias toward
+//!   edge values for `any`), which is adequate for the invariants tested.
+
+#![forbid(unsafe_code)]
+
+pub mod rng {
+    //! Deterministic generator driving all strategies (SplitMix64).
+
+    /// Deterministic RNG; equal seeds give equal streams.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Stream from a raw seed.
+        pub fn new(seed: u64) -> TestRng {
+            TestRng {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        /// Stream seeded from a test name (stable FNV-1a hash).
+        pub fn from_name(name: &str) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng::new(h)
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: u128) -> u128 {
+            debug_assert!(n > 0);
+            let wide = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+            wide % n
+        }
+
+        /// Uniform f64 in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use crate::rng::TestRng;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Produce one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { base: self, f }
+        }
+
+        /// Derive a second strategy from each generated value.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { base: self, f }
+        }
+
+        /// Type-erase the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(move |rng: &mut TestRng| self.generate(rng)))
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) base: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    /// Result of [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        pub(crate) base: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.base.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Type-erased strategy (what [`prop_oneof!`](crate::prop_oneof) builds on).
+    #[derive(Clone)]
+    pub struct BoxedStrategy<T>(pub(crate) Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Uniform choice among alternatives of one value type.
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Build from type-erased arms; must be non-empty.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.arms.len() as u128) as usize;
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($S:ident $idx:tt),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(S0 0);
+    tuple_strategy!(S0 0, S1 1);
+    tuple_strategy!(S0 0, S1 1, S2 2);
+    tuple_strategy!(S0 0, S1 1, S2 2, S3 3);
+    tuple_strategy!(S0 0, S1 1, S2 2, S3 3, S4 4);
+    tuple_strategy!(S0 0, S1 1, S2 2, S3 3, S4 4, S5 5);
+    tuple_strategy!(S0 0, S1 1, S2 2, S3 3, S4 4, S5 5, S6 6);
+    tuple_strategy!(S0 0, S1 1, S2 2, S3 3, S4 4, S5 5, S6 6, S7 7);
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let width = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + rng.below(width) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let width = (hi as i128 - lo as i128) as u128 + 1;
+                    (lo as i128 + rng.below(width) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeFrom<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let lo = self.start;
+                    let width = (<$t>::MAX as i128 - lo as i128) as u128 + 1;
+                    (lo as i128 + rng.below(width) as i128) as $t
+                }
+            }
+        )+};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            // Land exactly on the endpoints now and then.
+            match rng.below(32) {
+                0 => lo,
+                1 => hi,
+                _ => lo + rng.unit_f64() * (hi - lo),
+            }
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — default strategies per type.
+
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+    use std::marker::PhantomData;
+
+    /// Types with a default generation recipe.
+    pub trait Arbitrary {
+        /// Produce an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// Strategy produced by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The default strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),+) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    // Bias toward boundary values, where integer bugs live.
+                    match rng.below(8) {
+                        0 => 0 as $t,
+                        1 => 1 as $t,
+                        2 => <$t>::MAX,
+                        3 => <$t>::MIN,
+                        _ => rng.next_u64() as $t,
+                    }
+                }
+            }
+        )+};
+    }
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite values only; magnitude spans everyday simulation scales.
+            (rng.unit_f64() - 0.5) * 2e9
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap_or(' ')
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+
+    /// Inclusive size bounds for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy yielding `Vec`s of values from an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vectors of `element` values with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.lo + rng.below((self.size.hi - self.size.lo + 1) as u128) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! Option strategies (`prop::option::of`).
+
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+
+    /// Strategy yielding `Option`s of an inner strategy's values.
+    pub struct OptionStrategy<S>(S);
+
+    /// `None` about a quarter of the time, `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod string {
+    //! Regex-literal string strategies.
+    //!
+    //! `&'static str` is a strategy producing strings matched by the
+    //! pattern, like the real crate. The tiny generator covers the
+    //! pattern features used in this workspace: literal characters,
+    //! character classes with ranges (`[a-z0-9_-]`), the printable class
+    //! `\PC`, the escapes `\\ \. \n \t`, and the quantifiers `*`, `+`,
+    //! `?`, `{m}`, `{m,n}`.
+
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+
+    enum Atom {
+        Lit(char),
+        Class(Vec<(char, char)>),
+        Printable,
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let mut chars = pattern.chars().peekable();
+        let mut pieces = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => {
+                    let mut ranges = Vec::new();
+                    let mut prev: Option<char> = None;
+                    loop {
+                        let c = chars.next().expect("unterminated character class");
+                        match c {
+                            ']' => break,
+                            '-' if prev.is_some() && chars.peek() != Some(&']') => {
+                                let lo = prev.take().expect("range needs a start");
+                                let hi = chars.next().expect("range needs an end");
+                                ranges.push((lo, hi));
+                            }
+                            _ => {
+                                if let Some(p) = prev.replace(c) {
+                                    ranges.push((p, p));
+                                }
+                            }
+                        }
+                    }
+                    if let Some(p) = prev {
+                        ranges.push((p, p));
+                    }
+                    assert!(!ranges.is_empty(), "empty character class");
+                    Atom::Class(ranges)
+                }
+                '\\' => match chars.next().expect("dangling escape") {
+                    'P' => {
+                        // `\PC`: anything that is not a control character.
+                        let cat = chars.next().expect("\\P needs a category");
+                        assert_eq!(cat, 'C', "only \\PC is supported");
+                        Atom::Printable
+                    }
+                    'n' => Atom::Lit('\n'),
+                    't' => Atom::Lit('\t'),
+                    other => Atom::Lit(other),
+                },
+                '.' => Atom::Printable,
+                other => Atom::Lit(other),
+            };
+            let (min, max) = match chars.peek() {
+                Some('*') => {
+                    chars.next();
+                    (0, 16)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 16)
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                Some('{') => {
+                    chars.next();
+                    let mut spec = String::new();
+                    for c in chars.by_ref() {
+                        if c == '}' {
+                            break;
+                        }
+                        spec.push(c);
+                    }
+                    match spec.split_once(',') {
+                        Some((m, n)) => (
+                            m.trim().parse().expect("bad {m,n}"),
+                            n.trim().parse().expect("bad {m,n}"),
+                        ),
+                        None => {
+                            let m = spec.trim().parse().expect("bad {m}");
+                            (m, m)
+                        }
+                    }
+                }
+                _ => (1, 1),
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    fn gen_atom(atom: &Atom, rng: &mut TestRng) -> char {
+        match atom {
+            Atom::Lit(c) => *c,
+            Atom::Class(ranges) => {
+                let (lo, hi) = ranges[rng.below(ranges.len() as u128) as usize];
+                let span = hi as u32 - lo as u32 + 1;
+                char::from_u32(lo as u32 + rng.below(span as u128) as u32).unwrap_or(lo)
+            }
+            Atom::Printable => char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap_or(' '),
+        }
+    }
+
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for piece in parse(self) {
+                let n = piece.min + rng.below((piece.max - piece.min + 1) as u128) as usize;
+                for _ in 0..n {
+                    out.push(gen_atom(&piece.atom, rng));
+                }
+            }
+            out
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Run configuration ([`ProptestConfig`]).
+
+    /// Per-test configuration; only `cases` is interpreted.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// How many generated cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property test file imports.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// The `prop::` module alias used by test files.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::strategy;
+    }
+}
+
+/// Define property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a test running `body` over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::rng::TestRng::from_name(stringify!($name));
+                for __case in 0..__cfg.cases {
+                    $( let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng); )+
+                    let __outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                        || -> ::std::ops::ControlFlow<()> {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::std::ops::ControlFlow::Continue(())
+                        },
+                    ));
+                    if let Err(panic) = __outcome {
+                        eprintln!(
+                            "proptest stub: `{}` failed on case {}/{} (deterministic seed; rerun reproduces)",
+                            stringify!($name), __case + 1, __cfg.cases,
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert within a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Assert equality within a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Assert inequality within a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skip the current case unless a precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::ops::ControlFlow::Break(());
+        }
+    };
+}
+
+/// Uniform choice among strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($arm) ),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u8..7, y in 10u64..=20, z in -5i64..5) {
+            prop_assert!((3..7).contains(&x));
+            prop_assert!((10..=20).contains(&y));
+            prop_assert!((-5..5).contains(&z));
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in prop::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+
+        #[test]
+        fn oneof_and_just_work(v in prop_oneof![Just(1u8), Just(2u8), 3u8..10]) {
+            prop_assert!((1..10).contains(&v));
+        }
+
+        #[test]
+        fn regex_literals_generate_matching(s in "[a-z]{2,4}") {
+            prop_assert!(s.len() >= 2 && s.len() <= 4);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+
+        #[test]
+        fn assume_skips(n in 0u8..10) {
+            prop_assume!(n != 3);
+            prop_assert_ne!(n, 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn config_cases_accepted(x in any::<bool>()) {
+            let _ = x;
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let mut a = crate::rng::TestRng::from_name("t");
+        let mut b = crate::rng::TestRng::from_name("t");
+        let s = crate::collection::vec(any::<u64>(), 0..8);
+        for _ in 0..16 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Offline stand-in for `rand`.
+//!
+//! The workspace's randomness is its own deterministic SplitMix64 stream
+//! (`aroma-sim::rng::SimRng`); `rand` is referenced only for the
+//! [`RngCore`] trait that `SimRng` implements for interoperability. This
+//! stub carries that trait (0.8-series shape) and the [`Error`] type its
+//! fallible method returns.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// Error type for fallible [`RngCore`] operations (never produced by the
+/// generators in this workspace).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rng error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core random-number-generator interface (rand 0.8 shape).
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible [`RngCore::fill_bytes`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}

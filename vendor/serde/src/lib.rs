@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` *names* (marker traits plus
+//! no-op derive macros from the sibling `serde_derive` stub) so the
+//! workspace's `#[derive(Serialize, Deserialize)]` annotations compile
+//! without crates.io. No serialisation framework is included — the repo's
+//! JSON output goes through `aroma-sim::report`'s built-in emitter.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` only as documentation of
+//! which types are snapshot-able — nothing actually serialises through
+//! serde (reports use `aroma-sim`'s built-in JSON emitter). The derives
+//! therefore expand to nothing, which keeps every `#[derive(Serialize,
+//! Deserialize)]` attribute compiling without a registry.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
