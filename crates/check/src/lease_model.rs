@@ -1,0 +1,600 @@
+//! Model of the lookup service's lease protocol, driving the *real*
+//! [`aroma_discovery::registry::ServiceRegistry`].
+//!
+//! ## Actors and actions
+//!
+//! Two providers each offer one service. Their register/renew/unregister
+//! requests travel a **lossy, duplicating, reordering channel**: a `Send*`
+//! action enqueues a message, `Deliver` applies any queued message (in any
+//! order), `Duplicate` copies one, `Drop` loses one, and `Crash` silences
+//! a provider forever (its in-flight messages may still arrive — the
+//! classic stale-registration hazard). `Tick` advances the clock one
+//! quantum; `Sweep` runs the registry's expiry pass, deliberately modelled
+//! as a *separate* action so the window between a lease lapsing and the
+//! timer sweep firing is explored — exactly the window in which the old
+//! `lookup` path served stale entries.
+//!
+//! ## Properties
+//!
+//! * **no-stale-lookup** (safety): the production
+//!   [`ServiceRegistry::lookup_live`] reply equals, in every reachable
+//!   state, the set of services whose *ghost* lease (computed by this
+//!   model, independently, from the delivered messages) is still live —
+//!   no stale entries served, no live entries hidden.
+//! * **spec-refinement** (safety): the registry's stored table always
+//!   equals the ghost table — every `(id, lease_expires)` pair.
+//! * **lease-monotonicity** (safety, transition-local): a successful renew
+//!   never moves a lease's expiry backwards.
+//! * **event-consistency** (safety, transition-local): subscriber events
+//!   alternate legally per service (`Registered` only when not currently
+//!   registered; `Expired`/`Unregistered` only when registered), and an
+//!   expiry sweep emits `Expired` for exactly the lapsed services.
+//! * **quiescence-reachable** (bounded AG EF): from every reachable state
+//!   the system can drain — channel empty, registry empty.
+//!
+//! ## Reductions
+//!
+//! The channel is kept as a sorted multiset (delivery order is chosen by
+//! the scheduler anyway), absolute time never enters the canonical key —
+//! only each lease's remaining quanta, with all lapsed-but-unswept
+//! amounts collapsed into one bucket (a lapsed lease behaves identically
+//! however long ago it lapsed) — and providers may optionally be sorted
+//! by behavioural signature (sound because the model is symmetric in
+//! provider identity when their configured lease requests match).
+
+use crate::model::{canonical_actor_order, Model, Property, PropertyKind};
+use aroma_discovery::codec::{EventKind, ServiceId, ServiceItem, Template};
+use aroma_discovery::registry::{RegistryEvent, ServiceRegistry};
+use aroma_sim::{SimDuration, SimTime};
+use bytes::Bytes;
+use std::collections::BTreeMap;
+
+/// The one subscriber (template `any`) whose event stream is checked.
+const SUBSCRIBER: u32 = 7;
+
+/// Model parameters.
+#[derive(Clone, Debug)]
+pub struct LeaseConfig {
+    /// Number of providers (one service each).
+    pub providers: usize,
+    /// Lease each provider requests, in quanta (index = provider).
+    pub requested_quanta: Vec<u64>,
+    /// Longest lease the registrar grants, in quanta.
+    pub max_lease_quanta: u64,
+    /// Clock-advance step (and lease-granularity unit).
+    pub quantum: SimDuration,
+    /// In-flight message budget (bounds duplication and send floods).
+    pub channel_cap: usize,
+    /// Collapse permutations of indistinguishable providers.
+    pub symmetry: bool,
+}
+
+impl Default for LeaseConfig {
+    fn default() -> Self {
+        LeaseConfig {
+            providers: 2,
+            requested_quanta: vec![2, 4],
+            max_lease_quanta: 3,
+            quantum: SimDuration::from_secs(1),
+            channel_cap: 3,
+            symmetry: true,
+        }
+    }
+}
+
+/// What a provider asks of the registrar.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MsgKind {
+    /// Register (or refresh) the provider's service.
+    Register,
+    /// Renew the provider's lease.
+    Renew,
+    /// Withdraw the provider's service.
+    Unregister,
+}
+
+/// One protocol step.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LeaseAction {
+    /// Provider enqueues a request onto the channel.
+    Send {
+        /// Sending provider.
+        provider: usize,
+        /// Request kind.
+        kind: MsgKind,
+    },
+    /// The registrar receives and applies the queued message at `idx`.
+    Deliver {
+        /// Index into the channel.
+        idx: usize,
+    },
+    /// The network duplicates the queued message at `idx`.
+    Duplicate {
+        /// Index into the channel.
+        idx: usize,
+    },
+    /// The network loses the queued message at `idx`.
+    Drop {
+        /// Index into the channel.
+        idx: usize,
+    },
+    /// Provider crashes: it sends nothing further (in-flight survives).
+    Crash {
+        /// Crashing provider.
+        provider: usize,
+    },
+    /// The clock advances by one quantum.
+    Tick,
+    /// The registrar's expiry timer fires ([`ServiceRegistry::expire`]).
+    Sweep,
+}
+
+/// Full model state: the real registry plus the channel and ghost spec.
+#[derive(Clone, Debug)]
+pub struct LeaseState {
+    /// The production registration table.
+    registry: ServiceRegistry,
+    now: SimTime,
+    /// In-flight messages, kept sorted (the channel reorders anyway).
+    channel: Vec<(usize, MsgKind)>,
+    crashed: Vec<bool>,
+    /// Ghost spec: what the lease table must contain, computed
+    /// independently from the delivered messages.
+    ghost: BTreeMap<ServiceId, SimTime>,
+    /// Ghost: last subscriber event per service (None = never/cleared).
+    last_event: BTreeMap<ServiceId, EventKind>,
+    /// Ghost: set when a transition broke a transition-local invariant.
+    poison: Option<&'static str>,
+}
+
+/// The lease-protocol model. See module docs.
+pub struct LeaseModel {
+    /// Parameters.
+    pub cfg: LeaseConfig,
+}
+
+impl LeaseModel {
+    /// A model over `cfg`.
+    pub fn new(cfg: LeaseConfig) -> Self {
+        assert_eq!(
+            cfg.requested_quanta.len(),
+            cfg.providers,
+            "one requested lease per provider"
+        );
+        LeaseModel { cfg }
+    }
+
+    fn service_id(provider: usize) -> ServiceId {
+        ServiceId(provider as u64 + 1)
+    }
+
+    fn item(provider: usize) -> ServiceItem {
+        ServiceItem {
+            id: Self::service_id(provider),
+            kind: "projector/display".into(),
+            attributes: vec![("room".into(), "A".into())],
+            provider: provider as u32,
+            proxy: Bytes::new(),
+        }
+    }
+
+    /// Fold a batch of subscriber events into the alternation ghost,
+    /// poisoning the state on any illegal sequence.
+    fn absorb_events(state: &mut LeaseState, events: &[RegistryEvent]) {
+        for ev in events {
+            if ev.subscriber != SUBSCRIBER {
+                state.poison = Some("event addressed to an unknown subscriber");
+                continue;
+            }
+            let registered = matches!(
+                state.last_event.get(&ev.item.id),
+                Some(EventKind::Registered)
+            );
+            let legal = match ev.kind {
+                EventKind::Registered => !registered,
+                EventKind::Expired | EventKind::Unregistered => registered,
+            };
+            if !legal {
+                state.poison = Some("subscriber events out of order for a service");
+            }
+            state.last_event.insert(ev.item.id, ev.kind);
+        }
+    }
+
+    fn deliver(&self, state: &mut LeaseState, provider: usize, kind: MsgKind) {
+        let now = state.now;
+        let id = Self::service_id(provider);
+        match kind {
+            MsgKind::Register => {
+                let requested = self.cfg.quantum * self.cfg.requested_quanta[provider];
+                let was_fresh = !state.ghost.contains_key(&id);
+                let (granted, events) = state.registry.register(now, Self::item(provider), requested);
+                // Ghost spec, computed independently: the granted lease is
+                // the request capped by the registrar's maximum.
+                let expect = requested.min(self.cfg.quantum * self.cfg.max_lease_quanta);
+                if granted != expect {
+                    state.poison = Some("granted lease differs from requested-capped-by-max");
+                }
+                state.ghost.insert(id, now + expect);
+                let fresh_events = !events.is_empty();
+                if fresh_events != was_fresh {
+                    state.poison = Some("Registered event iff the id was previously unknown");
+                }
+                Self::absorb_events(state, &events);
+            }
+            MsgKind::Renew => {
+                let pre = state.ghost.get(&id).copied();
+                let granted = state.registry.renew(now, id);
+                match (pre, granted) {
+                    // Live lease: renew must succeed and never shorten it.
+                    (Some(expires), Some(g)) if expires > now => {
+                        let renewed = now + g;
+                        if renewed < expires {
+                            state.poison = Some("renewal moved a lease expiry backwards");
+                        }
+                        state.ghost.insert(id, renewed);
+                    }
+                    // Lapsed or unknown: renew must refuse.
+                    (Some(expires), None) if expires <= now => {}
+                    (None, None) => {}
+                    _ => state.poison = Some("renew outcome contradicts the ghost lease table"),
+                }
+            }
+            MsgKind::Unregister => {
+                let known = state.ghost.remove(&id).is_some();
+                let events = state.registry.unregister(id);
+                if events.is_empty() == known {
+                    state.poison = Some("Unregistered event iff the id was stored");
+                }
+                Self::absorb_events(state, &events);
+            }
+        }
+    }
+
+    fn sweep(state: &mut LeaseState) {
+        let now = state.now;
+        let lapsed: Vec<ServiceId> = state
+            .ghost
+            .iter()
+            .filter(|(_, &exp)| exp <= now)
+            .map(|(&id, _)| id)
+            .collect();
+        let events = state.registry.expire(now);
+        let mut expired_ids: Vec<ServiceId> = events.iter().map(|e| e.item.id).collect();
+        expired_ids.sort();
+        if expired_ids != lapsed {
+            state.poison = Some("expiry sweep did not emit Expired for exactly the lapsed leases");
+        }
+        for id in &lapsed {
+            state.ghost.remove(id);
+        }
+        Self::absorb_events(state, &events);
+    }
+
+    /// Remaining-lease bucket: `0` = lapsed-but-unswept (all such states
+    /// behave identically), `k > 0` = k quanta of life left.
+    fn lease_bucket(&self, now: SimTime, expires: SimTime) -> u64 {
+        let q = self.cfg.quantum.as_nanos().max(1);
+        expires.as_nanos().saturating_sub(now.as_nanos()).div_ceil(q)
+    }
+}
+
+impl Model for LeaseModel {
+    type State = LeaseState;
+    type Action = LeaseAction;
+    type Key = Vec<u64>;
+
+    fn initial_states(&self) -> Vec<LeaseState> {
+        let mut registry = ServiceRegistry::new(self.cfg.quantum * self.cfg.max_lease_quanta);
+        registry.subscribe(SUBSCRIBER, Template::any());
+        vec![LeaseState {
+            registry,
+            now: SimTime::ZERO,
+            channel: Vec::new(),
+            crashed: vec![false; self.cfg.providers],
+            ghost: BTreeMap::new(),
+            last_event: BTreeMap::new(),
+            poison: None,
+        }]
+    }
+
+    fn actions(&self, state: &LeaseState, out: &mut Vec<LeaseAction>) {
+        for provider in 0..self.cfg.providers {
+            if !state.crashed[provider] {
+                if state.channel.len() < self.cfg.channel_cap {
+                    for kind in [MsgKind::Register, MsgKind::Renew, MsgKind::Unregister] {
+                        out.push(LeaseAction::Send { provider, kind });
+                    }
+                }
+                out.push(LeaseAction::Crash { provider });
+            }
+        }
+        for idx in 0..state.channel.len() {
+            out.push(LeaseAction::Deliver { idx });
+            out.push(LeaseAction::Drop { idx });
+            if state.channel.len() < self.cfg.channel_cap {
+                out.push(LeaseAction::Duplicate { idx });
+            }
+        }
+        out.push(LeaseAction::Tick);
+        out.push(LeaseAction::Sweep);
+    }
+
+    fn step(&self, state: &LeaseState, action: &LeaseAction) -> Option<LeaseState> {
+        let mut st = state.clone();
+        match *action {
+            LeaseAction::Send { provider, kind } => {
+                st.channel.push((provider, kind));
+                st.channel.sort();
+            }
+            LeaseAction::Deliver { idx } => {
+                let (provider, kind) = *st.channel.get(idx)?;
+                st.channel.remove(idx);
+                self.deliver(&mut st, provider, kind);
+            }
+            LeaseAction::Duplicate { idx } => {
+                let msg = *st.channel.get(idx)?;
+                st.channel.push(msg);
+                st.channel.sort();
+            }
+            LeaseAction::Drop { idx } => {
+                if idx >= st.channel.len() {
+                    return None;
+                }
+                st.channel.remove(idx);
+            }
+            LeaseAction::Crash { provider } => {
+                st.crashed[provider] = true;
+            }
+            LeaseAction::Tick => {
+                st.now += self.cfg.quantum;
+            }
+            LeaseAction::Sweep => {
+                Self::sweep(&mut st);
+            }
+        }
+        Some(st)
+    }
+
+    fn key(&self, state: &LeaseState) -> Vec<u64> {
+        let event_code = |id: &ServiceId| match state.last_event.get(id) {
+            None => 0u64,
+            Some(EventKind::Registered) => 1,
+            Some(EventKind::Expired) => 2,
+            Some(EventKind::Unregistered) => 3,
+        };
+        // Registry-as-stored, via the model-check snapshot hook.
+        let stored: BTreeMap<ServiceId, SimTime> =
+            state.registry.snapshot().into_iter().collect();
+        let sigs: Vec<Vec<u64>> = (0..self.cfg.providers)
+            .map(|p| {
+                let id = Self::service_id(p);
+                let mut sig = vec![
+                    self.cfg.requested_quanta[p], // distinguishes asymmetric cfgs
+                    state.crashed[p] as u64,
+                    match stored.get(&id) {
+                        None => u64::MAX,
+                        Some(&exp) => self.lease_bucket(state.now, exp),
+                    },
+                    match state.ghost.get(&id) {
+                        None => u64::MAX,
+                        Some(&exp) => self.lease_bucket(state.now, exp),
+                    },
+                    event_code(&id),
+                ];
+                let mut msgs: Vec<u64> = state
+                    .channel
+                    .iter()
+                    .filter(|(mp, _)| *mp == p)
+                    .map(|(_, k)| *k as u64)
+                    .collect();
+                msgs.sort_unstable();
+                sig.push(msgs.iter().fold(1u64, |acc, k| (acc << 2) | (k + 1)));
+                sig
+            })
+            .collect();
+        let order: Vec<usize> = if self.cfg.symmetry {
+            canonical_actor_order(&sigs)
+        } else {
+            (0..self.cfg.providers).collect()
+        };
+        let mut key = Vec::new();
+        for &p in &order {
+            key.extend_from_slice(&sigs[p]);
+        }
+        key.push(state.poison.is_some() as u64);
+        key
+    }
+
+    fn properties(&self) -> Vec<Property<Self>> {
+        vec![
+            Property {
+                name: "no-stale-lookup",
+                kind: PropertyKind::Always,
+                check: |_, s| {
+                    let served: Vec<ServiceId> = s
+                        .registry
+                        .lookup_live(s.now, &Template::any())
+                        .iter()
+                        .map(|i| i.id)
+                        .collect();
+                    let live: Vec<ServiceId> = s
+                        .ghost
+                        .iter()
+                        .filter(|(_, &exp)| exp > s.now)
+                        .map(|(&id, _)| id)
+                        .collect();
+                    served == live // no stale entries, no hidden live ones
+                },
+            },
+            Property {
+                name: "spec-refinement",
+                kind: PropertyKind::Always,
+                check: |_, s| {
+                    let stored: BTreeMap<ServiceId, SimTime> =
+                        s.registry.snapshot().into_iter().collect();
+                    stored == s.ghost
+                },
+            },
+            Property {
+                name: "lease-monotonicity-and-events",
+                kind: PropertyKind::Always,
+                check: |_, s| s.poison.is_none(),
+            },
+            Property {
+                name: "quiescence-reachable",
+                kind: PropertyKind::AlwaysEventually,
+                check: |_, s| s.channel.is_empty() && s.registry.is_empty(),
+            },
+        ]
+    }
+
+    fn format_action(&self, a: &LeaseAction) -> String {
+        match *a {
+            LeaseAction::Send { provider, kind } => format!("provider {provider} sends {kind:?}"),
+            LeaseAction::Deliver { idx } => format!("network delivers message #{idx}"),
+            LeaseAction::Duplicate { idx } => format!("network duplicates message #{idx}"),
+            LeaseAction::Drop { idx } => format!("network drops message #{idx}"),
+            LeaseAction::Crash { provider } => format!("provider {provider} crashes"),
+            LeaseAction::Tick => "clock +1 quantum".to_string(),
+            LeaseAction::Sweep => "registrar expiry sweep".to_string(),
+        }
+    }
+
+    fn format_state(&self, s: &LeaseState) -> String {
+        let regs: Vec<String> = s
+            .ghost
+            .iter()
+            .map(|(id, exp)| {
+                let b = self.lease_bucket(s.now, *exp);
+                if b == 0 {
+                    format!("svc{}: lapsed-unswept", id.0)
+                } else {
+                    format!("svc{}: {b} quanta left", id.0)
+                }
+            })
+            .collect();
+        format!(
+            "[{} | {} in flight | t={}ms{}]",
+            if regs.is_empty() {
+                "empty".to_string()
+            } else {
+                regs.join(", ")
+            },
+            s.channel.len(),
+            s.now.as_millis(),
+            s.poison.map(|p| format!(" | POISON: {p}")).unwrap_or_default()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{check, CheckerConfig};
+
+    #[test]
+    fn one_provider_model_reaches_fixpoint_and_passes() {
+        let m = LeaseModel::new(LeaseConfig {
+            providers: 1,
+            requested_quanta: vec![2],
+            channel_cap: 2,
+            ..LeaseConfig::default()
+        });
+        let r = check(&m, &CheckerConfig::default().with_max_states(200_000));
+        assert!(r.passed(), "{}", r.violations[0].pretty(&m));
+        assert!(r.complete, "bounded lease model must reach fixpoint");
+        assert_eq!(r.undetermined, 0);
+    }
+
+    #[test]
+    fn two_provider_model_passes_all_invariants() {
+        let m = LeaseModel::new(LeaseConfig::default());
+        let r = check(&m, &CheckerConfig::default().with_max_states(400_000));
+        assert!(r.passed(), "{}", r.violations[0].pretty(&m));
+        assert!(r.complete);
+    }
+
+    #[test]
+    fn stale_lookup_path_is_caught_when_boundary_is_wrong() {
+        // Adversarial harness for the checker itself: a model whose lookup
+        // uses the raw (unfiltered) table must produce a no-stale-lookup
+        // counterexample — this is the production bug `lookup_live` fixed,
+        // resurrected in miniature.
+        struct RawLookup(LeaseModel);
+        impl Model for RawLookup {
+            type State = LeaseState;
+            type Action = LeaseAction;
+            type Key = Vec<u64>;
+            fn initial_states(&self) -> Vec<LeaseState> {
+                self.0.initial_states()
+            }
+            fn actions(&self, s: &LeaseState, out: &mut Vec<LeaseAction>) {
+                self.0.actions(s, out)
+            }
+            fn step(&self, s: &LeaseState, a: &LeaseAction) -> Option<LeaseState> {
+                self.0.step(s, a)
+            }
+            fn key(&self, s: &LeaseState) -> Vec<u64> {
+                self.0.key(s)
+            }
+            fn properties(&self) -> Vec<Property<Self>> {
+                vec![Property {
+                    name: "no-stale-lookup-raw",
+                    kind: PropertyKind::Always,
+                    check: |_, s| {
+                        let served = s.registry.lookup(&Template::any()).len();
+                        let live = s.ghost.values().filter(|&&e| e > s.now).count();
+                        served == live
+                    },
+                }]
+            }
+        }
+        let m = RawLookup(LeaseModel::new(LeaseConfig {
+            providers: 1,
+            requested_quanta: vec![1],
+            channel_cap: 1,
+            ..LeaseConfig::default()
+        }));
+        let r = check(&m, &CheckerConfig::default().with_max_states(100_000));
+        assert!(!r.passed(), "raw lookup must expose the stale window");
+        let v = &r.violations[0];
+        // register, deliver, tick: the lease lapses, no sweep has run.
+        assert!(v.trace.len() <= 4, "stale window within 4 steps, got {}", v.trace.len());
+    }
+
+    #[test]
+    fn duplicated_and_reordered_messages_cannot_break_invariants() {
+        let m = LeaseModel::new(LeaseConfig {
+            providers: 2,
+            requested_quanta: vec![3, 3],
+            channel_cap: 4,
+            max_lease_quanta: 2,
+            ..LeaseConfig::default()
+        });
+        let r = check(&m, &CheckerConfig::default().with_max_states(400_000));
+        assert!(r.passed(), "{}", r.violations[0].pretty(&m));
+    }
+
+    #[test]
+    fn symmetry_reduction_shrinks_identical_providers() {
+        let mk = |symmetry| {
+            LeaseModel::new(LeaseConfig {
+                providers: 2,
+                requested_quanta: vec![2, 2],
+                symmetry,
+                ..LeaseConfig::default()
+            })
+        };
+        let rs = check(&mk(true), &CheckerConfig::default().with_max_states(500_000));
+        let rr = check(&mk(false), &CheckerConfig::default().with_max_states(500_000));
+        assert!(rs.passed() && rr.passed());
+        assert!(rs.complete && rr.complete);
+        assert!(
+            rs.distinct_states < rr.distinct_states,
+            "identical providers must collapse ({} vs {})",
+            rs.distinct_states,
+            rr.distinct_states
+        );
+    }
+}

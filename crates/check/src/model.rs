@@ -1,0 +1,106 @@
+//! The `Model` trait: what a protocol must expose to be checked.
+//!
+//! A model is a *bounded nondeterministic state machine*: a set of initial
+//! states, an enabled-action relation, and a deterministic `step`. The
+//! checker owns the exploration order; the model owns the semantics. Two
+//! design points matter:
+//!
+//! * **Canonical keys, not canonical states.** Deduplication happens on
+//!   [`Model::key`], a digest the model derives from a state after applying
+//!   its symmetry reductions (time shifting, token renaming, actor-id
+//!   permutation). The stored state stays faithful — the real production
+//!   structs drive every transition — so a reduction can only *merge* states
+//!   it has proven equivalent, never distort behaviour.
+//! * **Properties are checked by the engine.** [`PropertyKind::Always`] is a
+//!   plain invariant over reachable states. [`PropertyKind::AlwaysEventually`]
+//!   is the bounded AG EF check ("from every reachable state the system can
+//!   still reach a good state"), which catches lockout/wedge states without
+//!   needing fairness assumptions.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A bounded-exploration model over a protocol state machine.
+pub trait Model {
+    /// Full (faithful) state: holds the real production structs.
+    type State: Clone + Debug;
+    /// One atomic protocol step.
+    type Action: Clone + Debug;
+    /// Canonical dedup key derived from a state (post symmetry reduction).
+    type Key: Eq + Hash + Clone;
+
+    /// The initial state(s).
+    fn initial_states(&self) -> Vec<Self::State>;
+
+    /// Push every action enabled in `state` onto `out` (cleared by caller).
+    fn actions(&self, state: &Self::State, out: &mut Vec<Self::Action>);
+
+    /// Apply `action` to `state`. `None` means the action turned out to be
+    /// a no-op the model wants pruned (self-loops are also fine to return).
+    fn step(&self, state: &Self::State, action: &Self::Action) -> Option<Self::State>;
+
+    /// Canonical key for deduplication. Two states mapping to the same key
+    /// must be behaviourally equivalent for every checked property.
+    fn key(&self, state: &Self::State) -> Self::Key;
+
+    /// The properties the checker verifies.
+    fn properties(&self) -> Vec<Property<Self>>;
+
+    /// Human-readable action rendering for counterexample traces.
+    fn format_action(&self, action: &Self::Action) -> String {
+        format!("{action:?}")
+    }
+
+    /// Human-readable state rendering for counterexample traces.
+    fn format_state(&self, state: &Self::State) -> String {
+        format!("{state:?}")
+    }
+}
+
+/// Flavour of a checked property.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PropertyKind {
+    /// AG p — `check` must hold in every reachable state.
+    Always,
+    /// AG EF p — from every reachable (fully explored) state there must
+    /// exist a path to a state where `check` holds. Violations are states
+    /// from which the goal is unreachable: wedges, lockouts, leaks.
+    AlwaysEventually,
+}
+
+/// A named property over model states.
+pub struct Property<M: Model + ?Sized> {
+    /// Name used in reports and counterexamples.
+    pub name: &'static str,
+    /// Always (safety) or AlwaysEventually (reachability liveness).
+    pub kind: PropertyKind,
+    /// The predicate.
+    pub check: fn(&M, &M::State) -> bool,
+}
+
+/// Canonical ordering of symmetric actors: sort actor indices by an
+/// actor-local signature so any permutation of equivalent actors maps to
+/// the same order. Ties between identical signatures are genuinely
+/// interchangeable. Returns `order` with `order[new_index] = old_index`.
+pub fn canonical_actor_order(signatures: &[Vec<u64>]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..signatures.len()).collect();
+    order.sort_by(|&a, &b| signatures[a].cmp(&signatures[b]));
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_order_sorts_by_signature() {
+        let sigs = vec![vec![2, 0], vec![1, 9], vec![1, 3]];
+        assert_eq!(canonical_actor_order(&sigs), vec![2, 1, 0]);
+        // A permutation of the same multiset of signatures yields the same
+        // canonical sequence of signatures.
+        let perm = vec![vec![1, 3], vec![2, 0], vec![1, 9]];
+        let a: Vec<&Vec<u64>> = canonical_actor_order(&sigs).iter().map(|&i| &sigs[i]).collect();
+        let b: Vec<&Vec<u64>> = canonical_actor_order(&perm).iter().map(|&i| &perm[i]).collect();
+        assert_eq!(a, b);
+    }
+}

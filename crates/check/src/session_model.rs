@@ -1,0 +1,666 @@
+//! Model of the Smart Projector's session protocol, driving the *real*
+//! [`smart_projector::session::SessionManager`] — two of them, projection
+//! and control, exactly as the Aroma Adapter guards its services.
+//!
+//! ## Actors and actions
+//!
+//! N users (the paper's presenters) each may, at any interleaving point:
+//! acquire a service, touch or release a token they hold, depart for good
+//! without releasing anything (`Depart`, the paper's forgetful presenter —
+//! off by default; merely dropping the token would not wedge anything,
+//! because the real manager hands the owner their token back on
+//! re-acquire), and — as adversary moves — replay a remembered dead token,
+//! guess the sequential neighbours of the last token they observed (the
+//! attack that broke the old counter-based token scheme), guess a small
+//! constant, or cross-apply their token from the *other* service. A global
+//! `Advance` action steps the clock by one quantum.
+//!
+//! ## Properties
+//!
+//! * **no-hijack** (safety): no action ever grants a user control while a
+//!   live session belongs to someone else — neither by displacement nor by
+//!   a stale/guessed/cross-applied token being accepted.
+//! * **at-most-one-owner** (safety): at most one user per service holds a
+//!   token the manager would accept right now.
+//! * **service-recoverable** (bounded AG EF): from every reachable state
+//!   there is a path on which every service becomes free again. Under
+//!   `ManualRelease` with `allow_depart`, this fails — the lockout the
+//!   paper asks auto-expiry to solve — and the checker prints the trace.
+//!
+//! ## Reductions (all key-level; stored states stay faithful)
+//!
+//! * **Time shift**: only idle durations (bucketed by quantum) enter the
+//!   key, never absolute time, so the clock action reaches a fixpoint.
+//! * **Token renaming**: token *values* enter the key only through the
+//!   equality classes that determine behaviour (matches service 0's / 1's
+//!   live token). Fresh tokens are treated as symbolically fresh — the
+//!   RNG stream position is abstracted away, which is sound exactly
+//!   because production tokens are drawn from a non-repeating stream; the
+//!   concrete non-predictability of that stream is pinned separately by
+//!   `tokens_are_not_sequentially_predictable` in `smart-projector`.
+//! * **User symmetry** (optional): users are sorted by a behavioural
+//!   signature, so permutations of indistinguishable users collapse.
+
+use crate::model::{canonical_actor_order, Model, Property, PropertyKind};
+use aroma_sim::{SimDuration, SimRng, SimTime};
+use smart_projector::session::{SessionManager, SessionPolicy, SessionToken};
+
+/// Model parameters: actors, policy, clock quantum, adversary switches.
+#[derive(Clone, Debug)]
+pub struct SessionConfig {
+    /// Policy both managers enforce.
+    pub policy: SessionPolicy,
+    /// Number of users (presenters).
+    pub users: usize,
+    /// Number of guarded services (1 = projection only, 2 = + control).
+    pub services: usize,
+    /// Clock-advance step.
+    pub quantum: SimDuration,
+    /// Dead tokens each user remembers for replay attacks.
+    pub stale_cap: usize,
+    /// Enable the guessing/replay/cross-apply adversary actions.
+    pub adversary: bool,
+    /// Enable the leave-without-releasing action.
+    pub allow_depart: bool,
+    /// Collapse permutations of indistinguishable users.
+    pub symmetry: bool,
+    /// Seed for the managers' token streams.
+    pub token_seed: u64,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            policy: SessionPolicy::ManualRelease,
+            users: 3,
+            services: 2,
+            quantum: SimDuration::from_secs(1),
+            stale_cap: 2,
+            adversary: true,
+            allow_depart: false,
+            symmetry: true,
+            token_seed: 0xA60A_5E55,
+        }
+    }
+}
+
+/// Full model state: the real managers plus each user's token knowledge.
+#[derive(Clone, Debug)]
+pub struct SessionState {
+    /// The production state machines, one per service.
+    mgrs: Vec<SessionManager>,
+    now: SimTime,
+    /// `held[user][service]`: token from the user's last successful acquire.
+    held: Vec<Vec<Option<SessionToken>>>,
+    /// `stale[user][service]`: remembered dead tokens (most recent first).
+    stale: Vec<Vec<Vec<SessionToken>>>,
+    /// Most recent token value each user has observed (guess basis).
+    last_seen: Vec<Option<u64>>,
+    /// Users who walked out of the room (they take no further actions).
+    departed: Vec<bool>,
+    /// Ghost: set when a user obtained control they were not entitled to.
+    hijack: Option<&'static str>,
+}
+
+/// One protocol step.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SessionAction {
+    /// User requests the session for a service.
+    Acquire {
+        /// Acting user.
+        user: usize,
+        /// Target service (0 = projection, 1 = control).
+        service: usize,
+    },
+    /// User exercises their held token (keeps auto-expiry at bay).
+    Touch {
+        /// Acting user.
+        user: usize,
+        /// Target service.
+        service: usize,
+    },
+    /// User releases their held token.
+    Release {
+        /// Acting user.
+        user: usize,
+        /// Target service.
+        service: usize,
+    },
+    /// User leaves for good, dropping every token without releasing —
+    /// they issue no further actions.
+    Depart {
+        /// Departing user.
+        user: usize,
+    },
+    /// Adversary replays a remembered dead token.
+    StaleReplay {
+        /// Acting user.
+        user: usize,
+        /// Target service.
+        service: usize,
+        /// Index into the user's stale list.
+        idx: usize,
+    },
+    /// Adversary guesses `last observed token ± 1` (counter-scheme attack).
+    GuessAdjacent {
+        /// Acting user.
+        user: usize,
+        /// Target service.
+        service: usize,
+        /// +1 or -1 from the last observed value.
+        up: bool,
+    },
+    /// Adversary guesses the small constant an uninitialised counter mints.
+    GuessSmall {
+        /// Acting user.
+        user: usize,
+        /// Target service.
+        service: usize,
+    },
+    /// Adversary applies their token from the *other* service.
+    CrossApply {
+        /// Acting user.
+        user: usize,
+        /// Target service (token comes from `1 - service`).
+        service: usize,
+    },
+    /// The clock advances by one quantum.
+    Advance,
+}
+
+/// The session-protocol model. See module docs.
+pub struct SessionModel {
+    /// Parameters.
+    pub cfg: SessionConfig,
+}
+
+impl SessionModel {
+    /// A model over `cfg`.
+    pub fn new(cfg: SessionConfig) -> Self {
+        SessionModel { cfg }
+    }
+
+    /// Live owner of service `s` as of `state.now` (expiry-normalised).
+    fn live_owner(state: &SessionState, s: usize) -> Option<(u64, SessionToken)> {
+        let mut m = state.mgrs[s].clone();
+        m.owner(state.now)?;
+        m.snapshot().map(|(u, t, _)| (u, t))
+    }
+
+    /// Idle quanta of service `s`'s live session (0 when free / timeless).
+    fn idle_quanta(&self, state: &SessionState, s: usize) -> u64 {
+        if !matches!(self.cfg.policy, SessionPolicy::AutoExpire { .. }) {
+            return 0;
+        }
+        if Self::live_owner(state, s).is_none() {
+            return 0;
+        }
+        let (_, _, last) = state.mgrs[s].snapshot().expect("live session has a snapshot");
+        state.now.saturating_since(last).as_nanos() / self.cfg.quantum.as_nanos().max(1)
+    }
+
+    fn demote(&self, state: &mut SessionState, user: usize, service: usize) {
+        if let Some(tok) = state.held[user][service].take() {
+            let list = &mut state.stale[user][service];
+            list.insert(0, tok);
+            list.truncate(self.cfg.stale_cap);
+        }
+    }
+
+    /// Try a token the user is *not* entitled to; flag a hijack if the
+    /// production manager accepts it.
+    fn probe_foreign(
+        state: &mut SessionState,
+        service: usize,
+        token: SessionToken,
+        why: &'static str,
+    ) {
+        let now = state.now;
+        if state.mgrs[service].touch(token, now).is_ok() {
+            state.hijack = Some(why);
+        }
+    }
+
+    /// Equality classes a token value can fall into, per service.
+    fn token_class(state: &SessionState, value: u64) -> u64 {
+        let mut class = 0u64;
+        for s in 0..state.mgrs.len() {
+            if Self::live_owner(state, s).is_some_and(|(_, t)| t.value() == value) {
+                class |= 1 << s;
+            }
+        }
+        class
+    }
+}
+
+impl Model for SessionModel {
+    type State = SessionState;
+    type Action = SessionAction;
+    type Key = Vec<u64>;
+
+    fn initial_states(&self) -> Vec<SessionState> {
+        let rng = SimRng::new(self.cfg.token_seed);
+        let mgrs = (0..self.cfg.services)
+            .map(|s| SessionManager::with_token_rng(self.cfg.policy, rng.fork(s as u64)))
+            .collect();
+        vec![SessionState {
+            mgrs,
+            now: SimTime::ZERO,
+            held: vec![vec![None; self.cfg.services]; self.cfg.users],
+            stale: vec![vec![Vec::new(); self.cfg.services]; self.cfg.users],
+            last_seen: vec![None; self.cfg.users],
+            departed: vec![false; self.cfg.users],
+            hijack: None,
+        }]
+    }
+
+    fn actions(&self, state: &SessionState, out: &mut Vec<SessionAction>) {
+        for user in 0..self.cfg.users {
+            if state.departed[user] {
+                continue;
+            }
+            if self.cfg.allow_depart && state.held[user].iter().any(Option::is_some) {
+                out.push(SessionAction::Depart { user });
+            }
+            for service in 0..self.cfg.services {
+                out.push(SessionAction::Acquire { user, service });
+                if state.held[user][service].is_some() {
+                    out.push(SessionAction::Touch { user, service });
+                    out.push(SessionAction::Release { user, service });
+                }
+                if self.cfg.adversary {
+                    for idx in 0..state.stale[user][service].len() {
+                        out.push(SessionAction::StaleReplay { user, service, idx });
+                    }
+                    if state.last_seen[user].is_some() {
+                        out.push(SessionAction::GuessAdjacent {
+                            user,
+                            service,
+                            up: true,
+                        });
+                        out.push(SessionAction::GuessAdjacent {
+                            user,
+                            service,
+                            up: false,
+                        });
+                    }
+                    out.push(SessionAction::GuessSmall { user, service });
+                    if self.cfg.services > 1 && state.held[user][1 - service].is_some() {
+                        out.push(SessionAction::CrossApply { user, service });
+                    }
+                }
+            }
+        }
+        out.push(SessionAction::Advance);
+    }
+
+    fn step(&self, state: &SessionState, action: &SessionAction) -> Option<SessionState> {
+        let mut st = state.clone();
+        let now = st.now;
+        match *action {
+            SessionAction::Acquire { user, service } => {
+                let prev = Self::live_owner(&st, service);
+                if let Ok(tok) = st.mgrs[service].acquire(user as u64, now) {
+                    if let Some((p, _)) = prev {
+                        if p != user as u64 {
+                            st.hijack = Some("acquire displaced a live owner");
+                        }
+                    }
+                    if st.held[user][service] != Some(tok) {
+                        self.demote(&mut st, user, service);
+                        st.held[user][service] = Some(tok);
+                    }
+                    st.last_seen[user] = Some(tok.value());
+                }
+            }
+            SessionAction::Touch { user, service } => {
+                let tok = st.held[user][service]?;
+                if st.mgrs[service].touch(tok, now).is_ok() {
+                    let owner = Self::live_owner(&st, service).map(|(u, _)| u);
+                    if owner != Some(user as u64) {
+                        st.hijack = Some("manager accepted a non-owner's token");
+                    }
+                } else {
+                    // NoSession or BadToken: this token is dead forever.
+                    self.demote(&mut st, user, service);
+                }
+            }
+            SessionAction::Release { user, service } => {
+                let tok = st.held[user][service]?;
+                let _ = st.mgrs[service].release(tok, now);
+                // Released or already dead: either way it is stale now.
+                self.demote(&mut st, user, service);
+            }
+            SessionAction::Depart { user } => {
+                // Walked out: every token is lost, and nothing the user
+                // remembered can matter again (they never act), so clear
+                // their adversary memory too — a sound state reduction.
+                st.departed[user] = true;
+                st.held[user] = vec![None; self.cfg.services];
+                st.stale[user] = vec![Vec::new(); self.cfg.services];
+                st.last_seen[user] = None;
+            }
+            SessionAction::StaleReplay { user, service, idx } => {
+                let tok = *st.stale[user][service].get(idx)?;
+                Self::probe_foreign(&mut st, service, tok, "stale token accepted");
+            }
+            SessionAction::GuessAdjacent { user, service, up } => {
+                let base = st.last_seen[user]?;
+                let guess = if up {
+                    base.wrapping_add(1)
+                } else {
+                    base.wrapping_sub(1)
+                };
+                if st.held[user][service].is_some_and(|t| t.value() == guess) {
+                    return None; // own live token: not a forgery
+                }
+                Self::probe_foreign(
+                    &mut st,
+                    service,
+                    SessionToken::from_value(guess),
+                    "sequentially-guessed token accepted",
+                );
+            }
+            SessionAction::GuessSmall { user, service } => {
+                if st.held[user][service].is_some_and(|t| t.value() == 1) {
+                    return None;
+                }
+                Self::probe_foreign(
+                    &mut st,
+                    service,
+                    SessionToken::from_value(1),
+                    "low-constant token accepted",
+                );
+            }
+            SessionAction::CrossApply { user, service } => {
+                let tok = st.held[user][1 - service]?;
+                Self::probe_foreign(
+                    &mut st,
+                    service,
+                    tok,
+                    "cross-service token accepted",
+                );
+            }
+            SessionAction::Advance => {
+                st.now = now + self.cfg.quantum;
+            }
+        }
+        Some(st)
+    }
+
+    fn key(&self, state: &SessionState) -> Vec<u64> {
+        // Per-user behavioural signature: for each service, the held
+        // token's equality class, ownership, and the stale list's class
+        // sequence; plus the guess-relevant bits of `last_seen`.
+        let sigs: Vec<Vec<u64>> = (0..self.cfg.users)
+            .map(|u| {
+                let mut sig = Vec::with_capacity(self.cfg.services * 4 + 3);
+                sig.push(state.departed[u] as u64);
+                for s in 0..self.cfg.services {
+                    let owner_here =
+                        Self::live_owner(state, s).is_some_and(|(ou, _)| ou == u as u64);
+                    sig.push(owner_here as u64);
+                    sig.push(match state.held[u][s] {
+                        None => u64::MAX,
+                        Some(t) => Self::token_class(state, t.value()),
+                    });
+                    // Ordered stale classes (order matters for cap eviction).
+                    let mut staleword = 1u64; // leading 1: length marker
+                    for t in &state.stale[u][s] {
+                        staleword = (staleword << 3) | (Self::token_class(state, t.value()) + 1);
+                    }
+                    sig.push(staleword);
+                }
+                match state.last_seen[u] {
+                    None => sig.push(u64::MAX),
+                    Some(v) => {
+                        let mut bits = 0u64;
+                        bits |= Self::token_class(state, v.wrapping_add(1)) << 2;
+                        bits |= Self::token_class(state, v.wrapping_sub(1)) << 4;
+                        sig.push(bits);
+                    }
+                }
+                sig
+            })
+            .collect();
+
+        let order: Vec<usize> = if self.cfg.symmetry {
+            canonical_actor_order(&sigs)
+        } else {
+            (0..self.cfg.users).collect()
+        };
+
+        let mut key = Vec::new();
+        for s in 0..self.cfg.services {
+            match Self::live_owner(state, s) {
+                None => key.push(u64::MAX),
+                Some((ou, _)) => {
+                    let canon = order
+                        .iter()
+                        .position(|&old| old as u64 == ou)
+                        .expect("owner is a modelled user") as u64;
+                    key.push(canon);
+                }
+            }
+            key.push(self.idle_quanta(state, s));
+            // Global guess classes that do not depend on a user.
+            key.push(Self::token_class(state, 1));
+        }
+        for &old in &order {
+            key.extend_from_slice(&sigs[old]);
+        }
+        key.push(state.hijack.is_some() as u64);
+        key
+    }
+
+    fn properties(&self) -> Vec<Property<Self>> {
+        vec![
+            Property {
+                name: "no-hijack",
+                kind: PropertyKind::Always,
+                check: |_, s| s.hijack.is_none(),
+            },
+            Property {
+                name: "at-most-one-owner",
+                kind: PropertyKind::Always,
+                check: |m, s| {
+                    (0..m.cfg.services).all(|svc| {
+                        let accepted = (0..m.cfg.users)
+                            .filter(|&u| {
+                                s.held[u][svc].is_some_and(|t| {
+                                    SessionModel::live_owner(s, svc)
+                                        .is_some_and(|(_, ot)| ot == t)
+                                })
+                            })
+                            .count();
+                        accepted <= 1
+                    })
+                },
+            },
+            Property {
+                name: "service-recoverable",
+                kind: PropertyKind::AlwaysEventually,
+                check: |m, s| {
+                    (0..m.cfg.services).all(|svc| SessionModel::live_owner(s, svc).is_none())
+                },
+            },
+        ]
+    }
+
+    fn format_action(&self, a: &SessionAction) -> String {
+        let svc = |s: usize| if s == 0 { "projection" } else { "control" };
+        match *a {
+            SessionAction::Acquire { user, service } => {
+                format!("user {user} acquires {}", svc(service))
+            }
+            SessionAction::Touch { user, service } => {
+                format!("user {user} touches {}", svc(service))
+            }
+            SessionAction::Release { user, service } => {
+                format!("user {user} releases {}", svc(service))
+            }
+            SessionAction::Depart { user } => {
+                format!("user {user} leaves the room without releasing anything")
+            }
+            SessionAction::StaleReplay { user, service, idx } => {
+                format!("user {user} replays stale token #{idx} on {}", svc(service))
+            }
+            SessionAction::GuessAdjacent { user, service, up } => format!(
+                "user {user} guesses last-seen-token {} on {}",
+                if up { "+1" } else { "-1" },
+                svc(service)
+            ),
+            SessionAction::GuessSmall { user, service } => {
+                format!("user {user} guesses token value 1 on {}", svc(service))
+            }
+            SessionAction::CrossApply { user, service } => format!(
+                "user {user} applies their {} token to {}",
+                svc(1 - service),
+                svc(service)
+            ),
+            SessionAction::Advance => "clock +1 quantum".to_string(),
+        }
+    }
+
+    fn format_state(&self, s: &SessionState) -> String {
+        let mut parts = Vec::new();
+        for svc in 0..self.cfg.services {
+            let name = if svc == 0 { "projection" } else { "control" };
+            match Self::live_owner(s, svc) {
+                None => parts.push(format!("{name}: free")),
+                Some((u, _)) => parts.push(format!(
+                    "{name}: owned by user {u} (idle {} quanta)",
+                    self.idle_quanta(s, svc)
+                )),
+            }
+        }
+        if let Some(why) = s.hijack {
+            parts.push(format!("HIJACK: {why}"));
+        }
+        format!("[{} | t={}ms]", parts.join("; "), s.now.as_millis())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{check, CheckerConfig};
+
+    fn small(policy: SessionPolicy) -> SessionConfig {
+        SessionConfig {
+            policy,
+            users: 2,
+            services: 1,
+            stale_cap: 1,
+            ..SessionConfig::default()
+        }
+    }
+
+    #[test]
+    fn manual_release_holds_all_safety_properties() {
+        let m = SessionModel::new(small(SessionPolicy::ManualRelease));
+        let r = check(&m, &CheckerConfig::default().with_max_states(100_000));
+        assert!(r.passed(), "{}", r.violations[0].pretty(&m));
+        assert!(r.complete, "small model must reach fixpoint");
+    }
+
+    #[test]
+    fn none_policy_yields_two_step_hijack_counterexample() {
+        let m = SessionModel::new(small(SessionPolicy::None));
+        let r = check(&m, &CheckerConfig::default().with_max_states(100_000));
+        assert!(!r.passed());
+        let v = &r.violations[0];
+        assert_eq!(v.property, "no-hijack");
+        assert_eq!(v.trace.len(), 2, "acquire, acquire is the shortest hijack");
+    }
+
+    #[test]
+    fn auto_expire_reaches_fixpoint_and_passes() {
+        let m = SessionModel::new(SessionConfig {
+            policy: SessionPolicy::AutoExpire {
+                idle: SimDuration::from_secs(3),
+            },
+            users: 2,
+            services: 1,
+            stale_cap: 1,
+            ..SessionConfig::default()
+        });
+        let r = check(&m, &CheckerConfig::default().with_max_states(200_000));
+        assert!(r.passed(), "{}", r.violations[0].pretty(&m));
+        assert!(r.complete);
+        assert_eq!(r.undetermined, 0);
+    }
+
+    #[test]
+    fn forgetful_manual_release_locks_out_forever() {
+        let m = SessionModel::new(SessionConfig {
+            allow_depart: true,
+            ..small(SessionPolicy::ManualRelease)
+        });
+        let r = check(&m, &CheckerConfig::default().with_max_states(200_000));
+        assert!(!r.passed());
+        let v = &r.violations[0];
+        assert_eq!(v.property, "service-recoverable");
+        assert!(
+            v.trace
+                .iter()
+                .any(|a| matches!(a, SessionAction::Depart { .. })),
+            "the wedge requires a departed owner"
+        );
+    }
+
+    #[test]
+    fn forgetful_auto_expire_always_recovers() {
+        // The paper's asked-for mechanism, proven: auto-expiry removes the
+        // lockout that Depart creates under manual release.
+        let m = SessionModel::new(SessionConfig {
+            policy: SessionPolicy::AutoExpire {
+                idle: SimDuration::from_secs(2),
+            },
+            allow_depart: true,
+            users: 2,
+            services: 1,
+            stale_cap: 1,
+            ..SessionConfig::default()
+        });
+        let r = check(&m, &CheckerConfig::default().with_max_states(200_000));
+        assert!(r.passed(), "{}", r.violations[0].pretty(&m));
+        assert!(r.complete);
+    }
+
+    #[test]
+    fn token_guessing_adversary_cannot_break_in_two_service_model() {
+        // Regression for the hardened token scheme: with sequential
+        // counters this model finds `GuessAdjacent` hijacks; with
+        // RNG-drawn tokens it must prove none exist.
+        let m = SessionModel::new(SessionConfig {
+            users: 2,
+            ..SessionConfig::default()
+        });
+        let r = check(&m, &CheckerConfig::default().with_max_states(150_000));
+        assert!(r.passed(), "{}", r.violations[0].pretty(&m));
+    }
+
+    #[test]
+    fn symmetry_reduction_shrinks_without_changing_verdict() {
+        let base = small(SessionPolicy::ManualRelease);
+        let sym = SessionModel::new(SessionConfig {
+            symmetry: true,
+            ..base.clone()
+        });
+        let raw = SessionModel::new(SessionConfig {
+            symmetry: false,
+            ..base
+        });
+        let rs = check(&sym, &CheckerConfig::default().with_max_states(300_000));
+        let rr = check(&raw, &CheckerConfig::default().with_max_states(300_000));
+        assert!(rs.passed() && rr.passed());
+        assert!(rs.complete && rr.complete);
+        assert!(
+            rs.distinct_states <= rr.distinct_states,
+            "symmetry must never enlarge the canonical space ({} vs {})",
+            rs.distinct_states,
+            rr.distinct_states
+        );
+    }
+}

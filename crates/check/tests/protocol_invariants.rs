@@ -1,0 +1,78 @@
+//! End-to-end regressions through `aroma-check`'s public API: the two
+//! production hardenings this crate motivated must stay proven.
+//!
+//! 1. `SessionManager` tokens are RNG-drawn (not a counter): the
+//!    token-guessing adversary must never acquire control.
+//! 2. `RegistrarApp` replies via `lookup_live`: a lookup landing between a
+//!    lease's expiry instant and the next sweep must not see the entry.
+
+use aroma_check::{check, CheckerConfig, LeaseConfig, LeaseModel, SessionConfig, SessionModel};
+use aroma_sim::SimDuration;
+use smart_projector::session::SessionPolicy;
+
+/// The adversary (stale replay, sequential guessing, low-constant guessing,
+/// cross-service application) cannot hijack either service under either
+/// session-protected policy. This is the regression gate for the token
+/// scheme: revert tokens to a counter and `GuessAdjacent` breaks it.
+#[test]
+fn token_guessing_adversary_never_acquires() {
+    for policy in [
+        SessionPolicy::ManualRelease,
+        SessionPolicy::AutoExpire {
+            idle: SimDuration::from_secs(2),
+        },
+    ] {
+        let model = SessionModel::new(SessionConfig {
+            policy,
+            users: 2,
+            services: 2,
+            adversary: true,
+            ..SessionConfig::default()
+        });
+        let report = check(&model, &CheckerConfig::default().with_max_states(300_000));
+        assert!(
+            report.passed(),
+            "adversary broke {policy:?}:\n{}",
+            report.violations[0].pretty(&model)
+        );
+        assert!(report.complete, "adversary model must be fully explored");
+    }
+}
+
+/// No interleaving of registration, renewal, duplicated/reordered/lost
+/// messages, crashes, clock ticks and delayed expiry sweeps makes the
+/// production lookup path serve a lapsed lease — or hide a live one.
+#[test]
+fn stale_lookup_window_is_closed() {
+    let model = LeaseModel::new(LeaseConfig::default());
+    let report = check(&model, &CheckerConfig::default().with_max_states(300_000));
+    assert!(
+        report.passed(),
+        "lease protocol violation:\n{}",
+        report.violations[0].pretty(&model)
+    );
+    assert!(report.complete);
+    assert!(
+        report.distinct_states > 10_000,
+        "coverage floor: {} distinct states",
+        report.distinct_states
+    );
+}
+
+/// The checker's counterexample machinery itself: the policy-free
+/// projector yields the canonical two-action hijack with a readable trace.
+#[test]
+fn counterexample_traces_render_for_humans() {
+    let model = SessionModel::new(SessionConfig {
+        policy: SessionPolicy::None,
+        users: 2,
+        services: 1,
+        ..SessionConfig::default()
+    });
+    let report = check(&model, &CheckerConfig::smoke());
+    assert!(!report.passed());
+    let text = report.violations[0].pretty(&model);
+    assert!(text.contains("no-hijack"), "names the property: {text}");
+    assert!(text.contains("acquires projection"), "names the actions: {text}");
+    assert!(text.contains("HIJACK"), "shows the bad state: {text}");
+}

@@ -123,8 +123,13 @@ impl RegistrarApp {
     }
 
     /// Pack as many matching items as fit in one MTU-sized reply.
-    fn build_reply(&self, req: u64, template: &Template) -> Msg {
-        let matches = self.registry.lookup(template);
+    ///
+    /// Only leases live at `now` are served: the expiry sweep is
+    /// timer-driven, so without the filter a lookup landing between a
+    /// lease's expiry instant and the sweep would return the stale
+    /// registration (the no-stale-lookup invariant `aroma-check` proves).
+    fn build_reply(&self, req: u64, now: aroma_sim::SimTime, template: &Template) -> Msg {
+        let matches = self.registry.lookup_live(now, template);
         let total = matches.len();
         let mut items: Vec<ServiceItem> = Vec::new();
         for item in matches {
@@ -213,7 +218,7 @@ impl NetApp for RegistrarApp {
             }
             Msg::Lookup { req, template } => {
                 self.lookups_served += 1;
-                let reply = self.build_reply(req, &template);
+                let reply = self.build_reply(req, ctx.now(), &template);
                 ctx.send(Address::Node(from), reply.encode());
             }
             Msg::Subscribe { template } => {

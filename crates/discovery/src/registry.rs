@@ -31,7 +31,7 @@ pub struct RegistryEvent {
 }
 
 /// The lookup service's registration table.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct ServiceRegistry {
     /// Maximum lease the registrar will grant.
     pub max_lease: SimDuration,
@@ -127,13 +127,33 @@ impl ServiceRegistry {
         self.regs.values().map(|r| r.lease_expires).min()
     }
 
-    /// All live registrations matching `template`, in `ServiceId` order
+    /// All registrations matching `template`, in `ServiceId` order
     /// (deterministic replies regardless of hash-map iteration order).
+    ///
+    /// Includes lapsed-but-unswept registrations; protocol-facing callers
+    /// must use [`ServiceRegistry::lookup_live`] instead so a lookup
+    /// arriving between a lease's expiry instant and the next expiry sweep
+    /// never observes the stale entry (the no-stale-lookup invariant
+    /// `aroma-check` proves).
     pub fn lookup(&self, template: &Template) -> Vec<&ServiceItem> {
         let mut found: Vec<&ServiceItem> = self
             .regs
             .values()
             .filter(|r| template.matches(&r.item))
+            .map(|r| &r.item)
+            .collect();
+        found.sort_by_key(|i| i.id);
+        found
+    }
+
+    /// Registrations matching `template` whose lease is still live as of
+    /// `now`, in `ServiceId` order. A lease expiring exactly at `now` is
+    /// already dead ([`ServiceRegistry::renew`] uses the same boundary).
+    pub fn lookup_live(&self, now: SimTime, template: &Template) -> Vec<&ServiceItem> {
+        let mut found: Vec<&ServiceItem> = self
+            .regs
+            .values()
+            .filter(|r| r.lease_expires > now && template.matches(&r.item))
             .map(|r| &r.item)
             .collect();
         found.sort_by_key(|i| i.id);
@@ -148,6 +168,18 @@ impl ServiceRegistry {
     /// Number of subscriptions.
     pub fn subscription_count(&self) -> usize {
         self.subs.len()
+    }
+
+    /// Model-checker introspection (feature `model-check`): every stored
+    /// registration as `(id, lease_expires)`, sorted by id — including
+    /// lapsed-but-unswept entries, which `aroma-check` distinguishes
+    /// because re-registration semantics differ before and after a sweep.
+    #[cfg(feature = "model-check")]
+    pub fn snapshot(&self) -> Vec<(ServiceId, SimTime)> {
+        let mut all: Vec<(ServiceId, SimTime)> =
+            self.regs.iter().map(|(id, r)| (*id, r.lease_expires)).collect();
+        all.sort_by_key(|(id, _)| *id);
+        all
     }
 
     fn events_for(&self, kind: EventKind, item: &ServiceItem) -> Vec<RegistryEvent> {
@@ -221,6 +253,22 @@ mod tests {
         assert_eq!(r.len(), 1);
         assert!(ev.is_empty(), "no subscribers yet");
         assert!(r.lookup(&Template::any())[0].id == ServiceId(2));
+    }
+
+    #[test]
+    fn lookup_live_hides_lapsed_but_unswept_entries() {
+        let mut r = ServiceRegistry::new(SimDuration::from_secs(10));
+        r.register(t(0), item(1, "a"), SimDuration::from_secs(1));
+        r.register(t(0), item(2, "a"), SimDuration::from_secs(10));
+        // No expiry sweep has run: the raw table still holds both, but a
+        // protocol reply at t=1s (the expiry boundary is inclusive-dead)
+        // must not serve the lapsed service.
+        assert_eq!(r.lookup(&Template::any()).len(), 2);
+        let live = r.lookup_live(t(1_000), &Template::any());
+        assert_eq!(live.len(), 1);
+        assert_eq!(live[0].id, ServiceId(2));
+        // Just before the boundary it is still live.
+        assert_eq!(r.lookup_live(t(999), &Template::any()).len(), 2);
     }
 
     #[test]

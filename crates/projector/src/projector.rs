@@ -84,11 +84,22 @@ impl SmartProjectorApp {
     /// A projector guarding both services with `policy`, serving a
     /// `width`×`height` display.
     pub fn new(width: usize, height: usize, policy: SessionPolicy, room: &str) -> Self {
+        // Per-service token streams, keyed by room so two adapters never
+        // mint the same sequence: a projection token must not open the
+        // control session (and vice versa) — aroma-check's cross-service
+        // guess action proves this stays true.
+        let tokens = aroma_sim::SimRng::new(aroma_sim::rng::fnv1a(room.as_bytes()));
         SmartProjectorApp {
             width,
             height,
-            projection_sessions: SessionManager::new(policy),
-            control_sessions: SessionManager::new(policy),
+            projection_sessions: SessionManager::with_token_rng(
+                policy,
+                tokens.fork_named("projection-tokens"),
+            ),
+            control_sessions: SessionManager::with_token_rng(
+                policy,
+                tokens.fork_named("control-tokens"),
+            ),
             state: ProjectorState::default(),
             viewer: None,
             commands_applied: 0,

@@ -14,9 +14,16 @@
 //! * [`SessionPolicy::AutoExpire`] — sessions with an idle-expiry horizon:
 //!   the paper's asked-for mechanism.
 
-use aroma_sim::{SimDuration, SimTime};
+use aroma_sim::{SimDuration, SimRng, SimTime};
 
 /// Opaque proof of session ownership.
+///
+/// Tokens are drawn from a deterministic [`SimRng`] stream rather than a
+/// counter: a sequential scheme is trivially guessable (observe your own
+/// token, add one, hijack the next session), which `aroma-check`'s
+/// token-guessing adversary demonstrates. The SplitMix64 core is a
+/// bijection over its step counter, so a single stream never repeats a
+/// value within 2^64 draws — stale tokens stay dead without bookkeeping.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct SessionToken(u64);
 
@@ -79,18 +86,32 @@ pub struct SessionStats {
 pub struct SessionManager {
     policy: SessionPolicy,
     owner: Option<(u64, SessionToken, SimTime)>, // (user, token, last activity)
-    next_token: u64,
+    token_rng: SimRng,
     /// Counters.
     pub stats: SessionStats,
 }
 
+/// Seed for managers built without an explicit token stream.
+const DEFAULT_TOKEN_SEED: u64 = 0x5E55_1047_70CE_A15E;
+
 impl SessionManager {
-    /// A manager with the given policy.
+    /// A manager with the given policy and the default token stream.
+    ///
+    /// Production callers guarding more than one service should prefer
+    /// [`SessionManager::with_token_rng`] with distinct forks so no two
+    /// managers mint the same token sequence (a projection token must
+    /// never double as a control token).
     pub fn new(policy: SessionPolicy) -> Self {
+        Self::with_token_rng(policy, SimRng::new(DEFAULT_TOKEN_SEED))
+    }
+
+    /// A manager minting tokens from the caller's [`SimRng`] stream —
+    /// fork it per guarded service (see `aroma_sim::SimRng::fork_named`).
+    pub fn with_token_rng(policy: SessionPolicy, token_rng: SimRng) -> Self {
         SessionManager {
             policy,
             owner: None,
-            next_token: 1,
+            token_rng,
             stats: SessionStats::default(),
         }
     }
@@ -147,8 +168,15 @@ impl SessionManager {
     }
 
     fn install(&mut self, user: u64, now: SimTime) -> SessionToken {
-        let token = SessionToken(self.next_token);
-        self.next_token += 1;
+        // SplitMix64 output is a bijection of the stream position: every
+        // draw is distinct from every other draw of this stream, so token
+        // uniqueness needs no retry loop. Skip 0 so a zeroed wire field
+        // can never masquerade as a token.
+        let mut v = self.token_rng.next_u64_raw();
+        if v == 0 {
+            v = self.token_rng.next_u64_raw();
+        }
+        let token = SessionToken(v);
         self.owner = Some((user, token, now));
         self.stats.acquisitions += 1;
         token
@@ -188,6 +216,15 @@ impl SessionManager {
         let had = self.owner.is_some();
         self.owner = None;
         had
+    }
+
+    /// Model-checker introspection (feature `model-check`): the raw owner
+    /// triple `(user, token, last activity)` *without* lapsing expired
+    /// sessions — `aroma-check` canonicalises expiry itself so that
+    /// swept and unswept-but-lapsed states compare equal.
+    #[cfg(feature = "model-check")]
+    pub fn snapshot(&self) -> Option<(u64, SessionToken, SimTime)> {
+        self.owner
     }
 }
 
@@ -282,6 +319,47 @@ mod tests {
         });
         let tok = m.acquire(1, t(0)).unwrap();
         assert_eq!(m.touch(tok, t(10)), Err(SessionError::NoSession));
+    }
+
+    #[test]
+    fn tokens_are_not_sequentially_predictable() {
+        // The hijack scenario aroma-check closes end-to-end: an adversary
+        // who saw token T must not be able to guess the next session's
+        // token as T±1 (the old counter scheme made that trivial).
+        let mut m = SessionManager::new(SessionPolicy::ManualRelease);
+        let t1 = m.acquire(1, t(0)).unwrap();
+        m.release(t1, t(1)).unwrap();
+        let t2 = m.acquire(2, t(2)).unwrap();
+        for guess in [
+            t1.value().wrapping_add(1),
+            t1.value().wrapping_sub(1),
+            1,
+            2,
+        ] {
+            assert_ne!(t2.value(), guess, "token predictable from {}", t1.value());
+            if guess != t2.value() {
+                assert_eq!(
+                    m.touch(SessionToken::from_value(guess), t(3)),
+                    Err(SessionError::BadToken)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_token_streams_never_cross_validate() {
+        // Two services guarded by forked streams: a projection token must
+        // not open the control session.
+        let rng = SimRng::new(7);
+        let mut proj =
+            SessionManager::with_token_rng(SessionPolicy::ManualRelease, rng.fork_named("proj"));
+        let mut ctl =
+            SessionManager::with_token_rng(SessionPolicy::ManualRelease, rng.fork_named("ctl"));
+        let tp = proj.acquire(1, t(0)).unwrap();
+        let tc = ctl.acquire(2, t(0)).unwrap();
+        assert_ne!(tp, tc);
+        assert_eq!(ctl.touch(tp, t(1)), Err(SessionError::BadToken));
+        assert_eq!(proj.touch(tc, t(1)), Err(SessionError::BadToken));
     }
 
     #[test]

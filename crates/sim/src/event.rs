@@ -13,7 +13,10 @@
 //!
 //! Cancellation uses lazy deletion: `cancel` marks the [`EventId`] and the
 //! entry is dropped when it reaches the top, which keeps schedule/cancel at
-//! O(log n) amortised without tombstone scans.
+//! O(log n) amortised without tombstone scans. A `pending` id set tracks
+//! exactly which events are still in the heap, so cancelling an id that
+//! already fired (or was already cancelled) is a true no-op: it returns
+//! `false` and leaves no tombstone behind.
 
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Reverse;
@@ -66,7 +69,10 @@ impl<E> Ord for Entry<E> {
 #[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<Entry<E>>>,
+    /// Ids cancelled while still buried in the heap (purged on surfacing).
     cancelled: HashSet<u64>,
+    /// Ids currently live in the heap: scheduled, not yet fired or cancelled.
+    pending: HashSet<u64>,
     now: SimTime,
     next_seq: u64,
     late_schedules: u64,
@@ -86,6 +92,7 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             cancelled: HashSet::new(),
+            pending: HashSet::new(),
             now: SimTime::ZERO,
             next_seq: 0,
             late_schedules: 0,
@@ -100,13 +107,11 @@ impl<E> EventQueue<E> {
         self.now
     }
 
-    /// Number of pending (non-cancelled, best-effort) events.
-    ///
-    /// Cancelled events still buried in the heap are counted until they
-    /// surface; use this for emptiness checks and rough sizing only.
+    /// Number of pending events: scheduled, not yet fired or cancelled.
+    /// Exact — cancelled events buried in the heap are not counted.
     #[inline]
     pub fn len(&self) -> usize {
-        self.heap.len().saturating_sub(self.cancelled.len())
+        self.pending.len()
     }
 
     /// True when no live events remain.
@@ -151,6 +156,7 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
+        self.pending.insert(seq);
         self.heap.push(Reverse(Entry {
             time: at,
             seq,
@@ -174,22 +180,21 @@ impl<E> EventQueue<E> {
 
     /// Cancel a previously scheduled event.
     ///
-    /// Returns `true` if the event had not yet fired (or been cancelled).
-    /// Cancelling an already-delivered id is a harmless no-op returning
-    /// `false`.
+    /// Returns `true` if the event was still pending (scheduled, not yet
+    /// fired or cancelled) and is now guaranteed never to be delivered.
+    /// Cancelling an id that already fired, was already cancelled, or was
+    /// never issued is a harmless O(1) no-op returning `false` — it leaves
+    /// no tombstone behind, so ids may be cancelled defensively after their
+    /// event may have fired (the model checker's clock-advance does exactly
+    /// that).
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_seq {
-            return false; // never issued
+        if self.pending.remove(&id.0) {
+            // Still buried in the heap: lazy-delete when it surfaces.
+            self.cancelled.insert(id.0);
+            true
+        } else {
+            false
         }
-        // An id that already fired was removed from the heap; inserting it
-        // into `cancelled` would leak, so check live status cheaply: ids are
-        // unique, so "fired" == "not in heap". We cannot probe the heap
-        // directly; instead track fired ids implicitly — a cancelled id that
-        // never surfaces is removed when popped. To keep `cancel` O(1) we
-        // accept a transient tombstone for already-fired ids and purge it on
-        // the next pop of an equal-or-later seq. In practice substrates only
-        // cancel pending timers, and tests assert `true` returns.
-        self.cancelled.insert(id.0)
     }
 
     /// Timestamp of the next live event without popping it.
@@ -203,15 +208,25 @@ impl<E> EventQueue<E> {
         self.skip_cancelled();
         let Reverse(entry) = self.heap.pop()?;
         debug_assert!(entry.time >= self.now, "event queue time went backwards");
-        self.now = entry.time;
+        self.pending.remove(&entry.seq);
+        // `max` keeps the clock monotone even if a release-mode
+        // `fast_forward` jumped over a still-pending earlier event.
+        self.now = self.now.max(entry.time);
         self.popped_total += 1;
         Some((entry.time, entry.payload))
     }
 
     /// Advance the clock to `at` without delivering events.
     ///
-    /// Panics in debug builds if live events earlier than `at` exist — a
-    /// substrate must never silently skip scheduled work.
+    /// Events scheduled at *exactly* `at` are not skipped: they stay
+    /// pending and fire (FIFO among themselves) when popped, with the clock
+    /// already at their timestamp — `fast_forward(t)` followed by `pop()`
+    /// of a `t`-event is well-defined and deterministic. Only events
+    /// strictly earlier than `at` count as skipped work: their presence
+    /// panics in debug builds (a substrate must never silently skip
+    /// scheduled work) and is ignored in release builds, where `now` still
+    /// advances and the late events deliver with their original (now past)
+    /// timestamps.
     pub fn fast_forward(&mut self, at: SimTime) {
         debug_assert!(
             self.peek_time().is_none_or(|t| t >= at),
@@ -227,6 +242,7 @@ impl<E> EventQueue<E> {
     pub fn clear_pending(&mut self) {
         self.heap.clear();
         self.cancelled.clear();
+        self.pending.clear();
     }
 
     fn skip_cancelled(&mut self) {
@@ -342,6 +358,80 @@ mod tests {
         q.schedule_at(SimTime::from_nanos(10), 1);
         q.pop().unwrap();
         q.schedule_at(SimTime::from_nanos(5), 2);
+    }
+
+    #[test]
+    fn cancel_after_fire_is_a_clean_noop() {
+        let mut q = q();
+        let id = q.schedule_at(SimTime::from_nanos(5), 1);
+        let later = q.schedule_at(SimTime::from_nanos(9), 2);
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(5), 1)));
+        // The id already fired: cancellation must refuse, and must not
+        // poison the id space (no tombstone that could swallow a later
+        // event or distort `len`).
+        assert!(!q.cancel(id));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(9), 2)));
+        let _ = later;
+    }
+
+    #[test]
+    fn cancel_after_fire_then_reschedule_keeps_counts_exact() {
+        let mut q = q();
+        let id = q.schedule_at(SimTime::from_nanos(1), 1);
+        q.pop().unwrap();
+        assert!(!q.cancel(id));
+        assert!(!q.cancel(id), "still false on repeat");
+        q.schedule_at(SimTime::from_nanos(2), 2);
+        assert_eq!(q.len(), 1, "fired-then-cancelled id must not be counted");
+        assert_eq!(q.pop().map(|(_, e)| e), Some(2));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn fast_forward_to_exactly_pending_timestamp_is_allowed() {
+        let mut q = q();
+        q.schedule_at(SimTime::from_nanos(100), 1);
+        q.schedule_at(SimTime::from_nanos(100), 2);
+        // Equal timestamps are not "skipped work": the clock may land on
+        // them, and they then fire FIFO at the (now current) instant.
+        q.fast_forward(SimTime::from_nanos(100));
+        assert_eq!(q.now(), SimTime::from_nanos(100));
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(100), 1)));
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(100), 2)));
+        assert_eq!(q.now(), SimTime::from_nanos(100));
+    }
+
+    #[test]
+    fn fast_forward_tie_events_keep_fifo_with_schedule_now() {
+        let mut q = q();
+        q.schedule_at(SimTime::from_nanos(50), 1);
+        q.fast_forward(SimTime::from_nanos(50));
+        // An event scheduled "now" at the fast-forwarded instant queues
+        // behind everything already pending at that instant.
+        q.schedule_now(2);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "skip pending events")]
+    fn fast_forward_strictly_past_pending_panics_in_debug() {
+        let mut q = q();
+        q.schedule_at(SimTime::from_nanos(100), 1);
+        q.fast_forward(SimTime::from_nanos(101));
+    }
+
+    #[test]
+    fn fast_forward_over_cancelled_events_is_allowed() {
+        let mut q = q();
+        let id = q.schedule_at(SimTime::from_nanos(10), 1);
+        q.cancel(id);
+        // The only earlier event is cancelled: not skipped work.
+        q.fast_forward(SimTime::from_nanos(20));
+        assert_eq!(q.now(), SimTime::from_nanos(20));
+        assert!(q.pop().is_none());
     }
 
     #[test]

@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# Full local gate: release build, test suite, and warning-free clippy.
+# Full local gate: release build, test suite, warning-free clippy, and the
+# model checker in smoke mode (bounded exhaustive sweep of the session and
+# lease protocols — see DESIGN.md §9).
 # Run from the repository root: ./scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -7,3 +9,4 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
+cargo run --release --example model_check -- --max-states 50000
