@@ -1,0 +1,67 @@
+//! Telemetry overhead bench (DESIGN.md §10): the same E2 density run with
+//! the recorder off (the default — every recording call is a no-op match
+//! arm the optimiser deletes), metrics-only, and with the full trace ring.
+//!
+//! The acceptance bar is off ≈ absent: since `Telemetry::Off` *is* the
+//! absent recorder (the network always carries the enum field), the "off"
+//! group is the baseline, and the enabled groups show what turning the
+//! instruments on actually costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lpc_bench::scenarios::{run_density, run_density_traced, secs, ChannelPlan};
+use aroma_net::RateAdaptation;
+use aroma_sim::telemetry::TelemetryConfig;
+use std::hint::black_box;
+
+fn bench_telemetry(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry");
+    g.sample_size(10);
+    g.bench_function("density_8_pairs_recorder_off", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_density(
+                8,
+                ChannelPlan::AllCochannel,
+                RateAdaptation::SnrBased,
+                1000,
+                secs(1),
+                seed,
+            ))
+        })
+    });
+    g.bench_function("density_8_pairs_metrics_only", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_density_traced(
+                8,
+                ChannelPlan::AllCochannel,
+                RateAdaptation::SnrBased,
+                1000,
+                secs(1),
+                seed,
+                Some(TelemetryConfig::metrics_only()),
+            ))
+        })
+    });
+    g.bench_function("density_8_pairs_full_trace", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_density_traced(
+                8,
+                ChannelPlan::AllCochannel,
+                RateAdaptation::SnrBased,
+                1000,
+                secs(1),
+                seed,
+                Some(TelemetryConfig::default()),
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_telemetry);
+criterion_main!(benches);

@@ -5,20 +5,24 @@
 //! repro e2 e4          # selected experiments
 //! repro --quick all    # reduced sweeps (what the test suite runs)
 //! repro --json all     # archival JSON instead of tables
+//! repro --metrics e2   # attach the telemetry recorder, emit a metrics snapshot
+//! repro --trace e2     # as --metrics plus the structured trace ring
 //! repro --list         # list experiment ids and titles
 //! ```
 
-use lpc_bench::experiments::{self, ALL_IDS};
+use lpc_bench::experiments::{self, RunOpts, ALL_IDS};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut quick = false;
+    let mut opts = RunOpts::default();
     let mut json = false;
     let mut ids: Vec<String> = Vec::new();
     for a in &args {
         match a.as_str() {
-            "--quick" => quick = true,
+            "--quick" => opts.quick = true,
             "--json" => json = true,
+            "--metrics" => opts.metrics = true,
+            "--trace" => opts.trace = true,
             "--list" => {
                 for id in ALL_IDS {
                     let out = experiments::run(id, true).expect("registered id");
@@ -31,7 +35,9 @@ fn main() {
         }
     }
     if ids.is_empty() {
-        eprintln!("usage: repro [--quick] [--json] [--list] <all|f1..f5|e1..e10>...");
+        eprintln!(
+            "usage: repro [--quick] [--json] [--metrics] [--trace] [--list] <all|f1..f5|e1..e10>..."
+        );
         std::process::exit(2);
     }
     for id in &ids {
@@ -52,7 +58,7 @@ fn main() {
             let tx = tx.clone();
             let outputs = &outputs;
             scope.spawn(move |_| {
-                let out = experiments::run(id, quick).expect("validated above");
+                let out = experiments::run_with(id, opts).expect("validated above");
                 outputs.lock()[i] = Some(out);
                 let _ = tx.send(i);
             });

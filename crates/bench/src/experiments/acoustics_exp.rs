@@ -46,6 +46,7 @@ pub fn e6() -> ExperimentOutput {
         notes: vec![
             "the subway defeats recognition outright; the cubicle farm permits it acoustically but not socially — the paper's two distinct failure modes".into(),
         ],
+        metrics: None,
     }
 }
 

@@ -135,6 +135,7 @@ pub fn e5(quick: bool) -> ExperimentOutput {
             "the commercial variant completes for every profile; the prototype sheds casual users".into(),
             "researchers tolerate the prototype — matching the paper's intended-user claim".into(),
         ],
+        metrics: None,
     }
 }
 

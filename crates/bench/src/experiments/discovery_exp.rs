@@ -184,6 +184,7 @@ pub fn e3(quick: bool) -> ExperimentOutput {
             "nothing is discoverable without the lookup service — the paper's dependency made falsifiable".into(),
             "shorter leases mean faster failure detection but proportionally more renewal traffic".into(),
         ],
+        metrics: None,
     }
 }
 

@@ -13,6 +13,8 @@ use aroma_sim::{SimDuration, SimTime};
 /// Outcome of one executor run.
 #[derive(Clone, Copy, Debug)]
 pub struct ExecOutcome {
+    /// Best interactive response, seconds.
+    pub min_response_s: f64,
     /// Mean interactive response, seconds.
     pub mean_response_s: f64,
     /// Worst interactive response, seconds.
@@ -45,6 +47,7 @@ pub fn run_canonical(policy: Policy, background_s: u64, patience_s: f64) -> Exec
     });
     let (report, frustrations) = run(policy, &w, SimDuration::from_secs_f64(patience_s));
     ExecOutcome {
+        min_response_s: report.interactive_latency.min().unwrap_or(0.0),
         mean_response_s: report.interactive_latency.mean(),
         max_response_s: report.interactive_latency.max().unwrap_or(0.0),
         abort_latency_s: if report.abort_latency.count() > 0 {
@@ -77,6 +80,7 @@ pub fn e7() -> ExperimentOutput {
     let mut t = Table::new(&[
         "policy",
         "background s",
+        "min resp s",
         "mean resp s",
         "max resp s",
         "abort latency s",
@@ -88,6 +92,7 @@ pub fn e7() -> ExperimentOutput {
             t.row(&[
                 pname.to_string(),
                 bg.to_string(),
+                fmt_f(o.min_response_s, 2),
                 fmt_f(o.mean_response_s, 2),
                 fmt_f(o.max_response_s, 2),
                 if o.abort_latency_s.is_nan() {
@@ -110,6 +115,7 @@ pub fn e7() -> ExperimentOutput {
             "single-threaded response and abort latency grow with the background job — unbounded frustration".into(),
             "cooperative scheduling bounds both by the quantum regardless of job length".into(),
         ],
+        metrics: None,
     }
 }
 
@@ -135,6 +141,19 @@ mod tests {
         assert!(long.mean_response_s < 1.0, "{}", long.mean_response_s);
         assert!(long.frustrations == 0 && short.frustrations == 0);
         assert!(long.abort_latency_s <= 0.06);
+    }
+
+    #[test]
+    fn e7_reports_a_real_minimum_response() {
+        // Guards the Summary::default fix: a zeroed-min Summary made every
+        // policy's best response read as 0.00 s.
+        let o = run_canonical(Policy::SingleThreaded, 30, 2.0);
+        assert!(
+            o.min_response_s > 0.0,
+            "minimum response must come from a recorded sample, got {}",
+            o.min_response_s
+        );
+        assert!(o.min_response_s <= o.mean_response_s);
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub fn f1() -> ExperimentOutput {
         notes: vec![
             "device side orders by abstraction; user side by temporal specificity".into(),
         ],
+        metrics: None,
     }
 }
 
@@ -102,6 +103,7 @@ pub fn f2() -> ExperimentOutput {
             "the projector washes out outdoors; humans and rugged gear disagree about the subway"
                 .into(),
         ],
+        metrics: None,
     }
 }
 
@@ -141,6 +143,7 @@ pub fn f3() -> ExperimentOutput {
         notes: vec![
             "researchers are never frustrated by the prototype; casual users always are".into(),
         ],
+        metrics: None,
     }
 }
 
@@ -213,6 +216,7 @@ pub fn f4(quick: bool) -> ExperimentOutput {
             "prototype: completion falls and surprises rise as domain knowledge falls".into(),
             "commercial: every profile completes with zero surprises".into(),
         ],
+        metrics: None,
     }
 }
 
@@ -242,6 +246,7 @@ pub fn f5() -> ExperimentOutput {
         notes: vec![
             "the prototype harmonises with researchers, the commercial product with everyone else — the paper's own intentional-layer conclusion".into(),
         ],
+        metrics: None,
     }
 }
 

@@ -85,6 +85,7 @@ pub fn e1(quick: bool) -> ExperimentOutput {
                 "slides sustain {slides2:.1} updates/s even at 2 Mbps — static content is cheap"
             ),
         ],
+        metrics: None,
     }
 }
 

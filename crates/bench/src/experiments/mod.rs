@@ -7,6 +7,36 @@
 
 use aroma_sim::report::{Json, Table};
 
+/// Harness options threaded to every experiment.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunOpts {
+    /// Shrink sweeps and horizons (what the test suite runs).
+    pub quick: bool,
+    /// Attach the telemetry recorder to a representative run and emit the
+    /// metrics snapshot next to the tables.
+    pub metrics: bool,
+    /// Also embed the structured trace ring in the snapshot (implies
+    /// `metrics`).
+    pub trace: bool,
+}
+
+impl RunOpts {
+    /// Recording requested at all?
+    pub fn recording(&self) -> bool {
+        self.metrics || self.trace
+    }
+
+    /// The recorder configuration for these options: a full ring when a
+    /// trace was asked for, metrics-only otherwise.
+    pub fn telemetry_config(&self) -> aroma_sim::telemetry::TelemetryConfig {
+        if self.trace {
+            aroma_sim::telemetry::TelemetryConfig::default()
+        } else {
+            aroma_sim::telemetry::TelemetryConfig::metrics_only()
+        }
+    }
+}
+
 pub mod acoustics_exp;
 pub mod analysis_exp;
 pub mod burden;
@@ -31,6 +61,9 @@ pub struct ExperimentOutput {
     pub tables: Vec<(String, Table)>,
     /// Shape commentary.
     pub notes: Vec<String>,
+    /// Telemetry snapshot (rendered JSON) from a representative run, when
+    /// the harness asked for one with [`RunOpts::metrics`].
+    pub metrics: Option<Json>,
 }
 
 impl ExperimentOutput {
@@ -46,6 +79,9 @@ impl ExperimentOutput {
         }
         for note in &self.notes {
             out.push_str(&format!("note: {note}\n"));
+        }
+        if let Some(m) = &self.metrics {
+            out.push_str(&format!("metrics: {}\n", m.render()));
         }
         out
     }
@@ -74,6 +110,10 @@ impl ExperimentOutput {
                 "notes",
                 Json::Arr(self.notes.iter().map(|n| n.as_str().into()).collect()),
             ),
+            (
+                "metrics",
+                self.metrics.clone().unwrap_or(Json::Null),
+            ),
         ])
     }
 }
@@ -89,8 +129,22 @@ pub fn run_exists(id: &str) -> bool {
     ALL_IDS.contains(&id)
 }
 
-/// Run one experiment by id.
+/// Run one experiment by id with the default (no-telemetry) options.
 pub fn run(id: &str, quick: bool) -> Option<ExperimentOutput> {
+    run_with(
+        id,
+        RunOpts {
+            quick,
+            ..RunOpts::default()
+        },
+    )
+}
+
+/// Run one experiment by id. Experiments with instrumented substrates (E2's
+/// density sweep, E8's analysis engine) honour `opts.metrics`/`opts.trace`;
+/// the rest ignore them.
+pub fn run_with(id: &str, opts: RunOpts) -> Option<ExperimentOutput> {
+    let quick = opts.quick;
     match id {
         "f1" => Some(figures::f1()),
         "f2" => Some(figures::f2()),
@@ -98,13 +152,13 @@ pub fn run(id: &str, quick: bool) -> Option<ExperimentOutput> {
         "f4" => Some(figures::f4(quick)),
         "f5" => Some(figures::f5()),
         "e1" => Some(link::e1(quick)),
-        "e2" => Some(spectrum::e2(quick)),
+        "e2" => Some(spectrum::e2_with(opts)),
         "e3" => Some(discovery_exp::e3(quick)),
         "e4" => Some(sessions_exp::e4(quick)),
         "e5" => Some(burden::e5(quick)),
         "e6" => Some(acoustics_exp::e6()),
         "e7" => Some(executor_exp::e7()),
-        "e8" => Some(analysis_exp::e8()),
+        "e8" => Some(analysis_exp::e8_with(opts)),
         "e9" => Some(walkaway::e9(quick)),
         "e10" => Some(voice::e10(quick)),
         _ => None,

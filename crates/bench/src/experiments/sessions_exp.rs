@@ -161,6 +161,7 @@ pub fn e4(quick: bool) -> ExperimentOutput {
             "no sessions → hijacks; manual release → lockouts behind the forgetful presenter;".into(),
             "auto-expiry eliminates both without an administrator — the mechanism the paper calls for".into(),
         ],
+        metrics: None,
     }
 }
 

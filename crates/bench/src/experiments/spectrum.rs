@@ -6,13 +6,25 @@
 //! collision indicators, plus the orthogonal-channel-plan arm showing how
 //! much spectral planning recovers.
 
-use super::ExperimentOutput;
-use crate::scenarios::{run_density, secs, ChannelPlan};
+use super::{ExperimentOutput, RunOpts};
+use crate::scenarios::{run_density, run_density_traced, secs, ChannelPlan};
 use aroma_net::RateAdaptation;
 use aroma_sim::report::{fmt_f, Table};
+use aroma_sim::telemetry::snapshot_json;
 
-/// Run E2.
+/// Run E2 with default options.
 pub fn e2(quick: bool) -> ExperimentOutput {
+    e2_with(RunOpts {
+        quick,
+        ..RunOpts::default()
+    })
+}
+
+/// Run E2; with `opts.metrics` the densest co-channel point is re-run with
+/// the telemetry recorder attached and its snapshot (MAC retries, drop
+/// causes, handler timings) is emitted beside the sweep table.
+pub fn e2_with(opts: RunOpts) -> ExperimentOutput {
+    let quick = opts.quick;
     let horizon = if quick { secs(1) } else { secs(4) };
     let densities: &[usize] = if quick {
         &[1, 4, 8]
@@ -67,6 +79,27 @@ pub fn e2(quick: bool) -> ExperimentOutput {
     let solo = per_pair(densities[0], "co-channel");
     let dense = per_pair(*densities.last().unwrap(), "co-channel");
     let dense_spread = per_pair(*densities.last().unwrap(), "1/6/11 spread");
+
+    // The snapshot comes from a recorder-attached re-run of the densest
+    // co-channel point — the representative congested case — with the same
+    // seed that point used in the sweep, so counters line up with the row.
+    let metrics = opts.recording().then(|| {
+        let idx = grid
+            .iter()
+            .position(|&(d, (name, _))| d == *densities.last().unwrap() && name == "co-channel")
+            .expect("densest co-channel point is in the grid");
+        let (_, snap) = run_density_traced(
+            *densities.last().unwrap(),
+            ChannelPlan::AllCochannel,
+            RateAdaptation::SnrBased,
+            1000,
+            horizon,
+            0xE2 + idx as u64,
+            Some(opts.telemetry_config()),
+        );
+        snapshot_json(&snap.expect("recorder was attached"), opts.trace)
+    });
+
     ExperimentOutput {
         id: "e2",
         title: "2.4 GHz device-density sweep (environment-layer congestion claim)",
@@ -88,6 +121,7 @@ pub fn e2(quick: bool) -> ExperimentOutput {
                 dense_spread / dense.max(1.0)
             ),
         ],
+        metrics,
     }
 }
 
@@ -116,6 +150,25 @@ mod tests {
         );
         assert!(dense.per_pair_bps < solo.per_pair_bps / 4.0);
         assert!(dense.timeouts_per_s > solo.timeouts_per_s);
+    }
+
+    #[test]
+    fn e2_metrics_snapshot_rides_along() {
+        let out = e2_with(RunOpts {
+            quick: true,
+            metrics: true,
+            trace: false,
+        });
+        let rendered = out.render();
+        assert!(rendered.contains("metrics: {"));
+        assert!(rendered.contains("net.mac.tx_attempts"));
+        assert!(rendered.contains("\"profile\""));
+        assert!(
+            rendered.contains("\"trace_len\""),
+            "no trace embedded without --trace"
+        );
+        // Default runs carry no snapshot and render without the block.
+        assert!(e2(true).metrics.is_none());
     }
 
     #[test]

@@ -89,6 +89,7 @@ pub fn e10(quick: bool) -> ExperimentOutput {
             "voice removes the stay-near-the-laptop constraint exactly where the environment permits it (office, hall) and fails where the paper predicted (subway: acoustics; cubicles: social)".into(),
             "the confirmation loop trades attempts for safety: misfires vanish, success rises".into(),
         ],
+        metrics: None,
     }
 }
 

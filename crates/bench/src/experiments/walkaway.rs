@@ -115,6 +115,7 @@ pub fn e9(quick: bool) -> ExperimentOutput {
             ),
             "the adaptive column degrades in steps (the DSSS rate ladder); the fixed column falls off its SINR cliff".into(),
         ],
+        metrics: None,
     }
 }
 

@@ -5,6 +5,7 @@ use aroma_env::radio::{Channel, RadioEnvironment};
 use aroma_env::space::Point;
 use aroma_net::traffic::{CountingSink, SaturatedSource};
 use aroma_net::{Address, MacConfig, Network, NodeConfig, NodeId, Rate, RateAdaptation};
+use aroma_sim::telemetry::{Snapshot, TelemetryConfig};
 use aroma_sim::{SimDuration, SimTime};
 use aroma_vnc::workloads::ScreenSource;
 use aroma_vnc::{BouncingBox, NoiseVideo, SlideDeck, VncServerApp, VncViewerApp};
@@ -138,7 +139,26 @@ pub fn run_density(
     horizon: SimDuration,
     seed: u64,
 ) -> DensityRunResult {
+    run_density_traced(pairs, plan, adapt, frame_bytes, horizon, seed, None).0
+}
+
+/// [`run_density`] with an optional telemetry recorder attached to the
+/// network: `Some(cfg)` returns the run's metrics/trace snapshot alongside
+/// the result, `None` is the plain (recorder-absent) run.
+#[allow(clippy::too_many_arguments)] // mirrors run_density plus the recorder arm
+pub fn run_density_traced(
+    pairs: usize,
+    plan: ChannelPlan,
+    adapt: RateAdaptation,
+    frame_bytes: usize,
+    horizon: SimDuration,
+    seed: u64,
+    telemetry: Option<TelemetryConfig>,
+) -> (DensityRunResult, Option<Snapshot>) {
     let mut net = Network::new(clean_env(), MacConfig::default(), seed);
+    if let Some(cfg) = telemetry {
+        net.attach_telemetry(cfg);
+    }
     let mut sinks: Vec<NodeId> = Vec::with_capacity(pairs);
     for i in 0..pairs {
         let channel = match plan {
@@ -169,12 +189,13 @@ pub fn run_density(
         .sum();
     let secs = horizon.as_secs_f64();
     let aggregate_bps = total_bytes as f64 * 8.0 / secs;
-    DensityRunResult {
+    let result = DensityRunResult {
         aggregate_bps,
         per_pair_bps: aggregate_bps / pairs as f64,
         timeouts_per_s: net.stats().total_ack_timeouts() as f64 / secs,
         retry_drops: net.stats().total_retry_drops(),
-    }
+    };
+    (result, net.telemetry_snapshot())
 }
 
 /// A convenient fixed-rate shorthand.
@@ -222,6 +243,33 @@ mod tests {
         );
         assert!(r.aggregate_bps > 0.0);
         assert!(r.per_pair_bps <= r.aggregate_bps);
+    }
+
+    #[test]
+    fn traced_density_run_matches_untraced_and_yields_metrics() {
+        let plain = run_density(
+            2,
+            ChannelPlan::AllCochannel,
+            RateAdaptation::SnrBased,
+            1000,
+            secs(1),
+            7,
+        );
+        let (traced, snap) = run_density_traced(
+            2,
+            ChannelPlan::AllCochannel,
+            RateAdaptation::SnrBased,
+            1000,
+            secs(1),
+            7,
+            Some(TelemetryConfig::metrics_only()),
+        );
+        // The recorder must not perturb the simulation.
+        assert_eq!(plain.retry_drops, traced.retry_drops);
+        assert!((plain.aggregate_bps - traced.aggregate_bps).abs() < 1e-9);
+        let snap = snap.unwrap();
+        assert!(snap.counter("net.mac.tx_attempts") > 0);
+        assert_eq!(snap.counter("net.mac.drop.retry_limit"), traced.retry_drops);
     }
 
     #[test]

@@ -217,6 +217,79 @@ impl PervasiveSystem {
         report
     }
 
+    /// [`analyze`](Self::analyze) plus **measured** resource-layer
+    /// evidence: a telemetry snapshot from an instrumented run backs the
+    /// static resource checks with what the network actually did — frames
+    /// dropped at full queues or after the retry limit, and retry / ACK
+    /// -timeout pressure short of outright loss.
+    pub fn analyze_with_metrics(
+        &self,
+        seed: u64,
+        metrics: Option<&aroma_sim::telemetry::Snapshot>,
+    ) -> AnalysisReport {
+        let mut report = self.analyze(seed);
+        if let Some(snap) = metrics {
+            self.check_measured_resource(snap, &mut report);
+        }
+        report
+    }
+
+    fn check_measured_resource(
+        &self,
+        snap: &aroma_sim::telemetry::Snapshot,
+        report: &mut AnalysisReport,
+    ) {
+        let queue_drops = snap.counter("net.mac.drop.queue_full");
+        if queue_drops > 0 {
+            report.issues.push(Issue {
+                layer: Layer::Resource,
+                severity: Severity::Serious,
+                subject: "wireless MAC (measured)".into(),
+                description: format!(
+                    "{queue_drops} frame(s) dropped at full transmit queues — offered load exceeds the link's capacity"
+                ),
+            });
+        }
+        let retry_drops = snap.counter("net.mac.drop.retry_limit");
+        if retry_drops > 0 {
+            report.issues.push(Issue {
+                layer: Layer::Resource,
+                severity: Severity::Serious,
+                subject: "wireless MAC (measured)".into(),
+                description: format!(
+                    "{retry_drops} frame(s) abandoned after the retry limit — contention or interference defeats delivery"
+                ),
+            });
+        }
+        let attempts = snap.counter("net.mac.tx_attempts");
+        let retries = snap.counter("net.mac.retries");
+        if attempts > 0 {
+            let rate = retries as f64 / attempts as f64;
+            if rate > 0.25 {
+                report.issues.push(Issue {
+                    layer: Layer::Resource,
+                    severity: Severity::Advisory,
+                    subject: "wireless MAC (measured)".into(),
+                    description: format!(
+                        "{:.0}% of transmissions needed a retry ({retries}/{attempts}) — the shared medium is congested",
+                        rate * 100.0
+                    ),
+                });
+            }
+        }
+        if snap.trace_dropped > 0 {
+            report.issues.push(Issue {
+                layer: Layer::Resource,
+                severity: Severity::Info,
+                subject: "telemetry".into(),
+                description: format!(
+                    "trace ring overflowed; {} event(s) dropped (metrics unaffected)",
+                    snap.trace_dropped
+                ),
+            });
+        }
+    }
+
     fn check_environment(&self, report: &mut AnalysisReport) {
         let climate = &self.environment.climate;
         for d in &self.devices {
@@ -545,6 +618,46 @@ mod tests {
             "{}",
             r.render()
         );
+    }
+
+    #[test]
+    fn measured_drops_surface_as_resource_issues() {
+        use aroma_sim::telemetry::{Recorder, Telemetry, TelemetryConfig};
+        let app = simple_app(false);
+        let belief = app.machine.clone();
+        let sys = system(
+            EnvironmentKind::QuietOffice,
+            vec![UserProfile::casual()],
+            vec![device(Some(app))],
+            vec![binding(0, 0, belief)],
+        );
+
+        // A run with no drops adds nothing beyond the static analysis.
+        let mut clean = Telemetry::enabled(TelemetryConfig::metrics_only());
+        clean.count("net.mac.tx_attempts", 100);
+        clean.count("net.mac.retries", 3);
+        let clean_snap = clean.snapshot().unwrap();
+        let base = sys.analyze(1);
+        let with_clean = sys.analyze_with_metrics(1, Some(&clean_snap));
+        assert_eq!(with_clean.issues.len(), base.issues.len());
+
+        // Queue and retry-limit drops become Serious resource issues.
+        let mut hot = Telemetry::enabled(TelemetryConfig::metrics_only());
+        hot.count("net.mac.drop.queue_full", 7);
+        hot.count("net.mac.drop.retry_limit", 2);
+        hot.count("net.mac.tx_attempts", 10);
+        hot.count("net.mac.retries", 6);
+        let hot_snap = hot.snapshot().unwrap();
+        let r = sys.analyze_with_metrics(1, Some(&hot_snap));
+        let measured: Vec<&Issue> = r
+            .issues
+            .iter()
+            .filter(|i| i.subject.contains("measured"))
+            .collect();
+        assert_eq!(measured.len(), 3, "{}", r.render());
+        assert!(measured
+            .iter()
+            .all(|i| i.layer == Layer::Resource && i.severity >= Severity::Advisory));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use crate::faculty::Faculties;
 use crate::mental::StateMachine;
+use aroma_sim::telemetry::{Layer, Recorder, Telemetry};
 use aroma_sim::SimRng;
 use serde::{Deserialize, Serialize};
 
@@ -96,6 +97,30 @@ pub fn simulate_session(
     params: &SessionParams,
     rng: &mut SimRng,
 ) -> InteractionReport {
+    let mut rec = Telemetry::Off;
+    simulate_session_traced(
+        user, belief0, actual, start, goal, planner, params, rng, &mut rec,
+    )
+}
+
+/// [`simulate_session`] with a telemetry recorder: surprise / exploration /
+/// give-up events land at the **Intentional** layer (the step index stands
+/// in for time — the user simulator has no clock of its own), and
+/// per-session counters and the final frustration summary go to the
+/// metrics registry. Passing [`Telemetry::Off`] makes this identical to
+/// the untraced entry point.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_session_traced(
+    user: &Faculties,
+    belief0: &StateMachine,
+    actual: &StateMachine,
+    start: &str,
+    goal: &str,
+    planner: PlannerKind,
+    params: &SessionParams,
+    rng: &mut SimRng,
+    rec: &mut Telemetry,
+) -> InteractionReport {
     let mut belief = belief0.clone();
     let mut state = start.to_string();
     let mut report = InteractionReport::default();
@@ -103,14 +128,19 @@ pub fn simulate_session(
     // ~8 surprises; tolerance 0.25 gives up after ~2.
     let budget = user.frustration_tolerance.max(0.01);
 
-    while report.steps < params.max_steps {
+    let report = loop {
+        if report.steps >= params.max_steps {
+            report.gave_up = state != goal;
+            report.reached_goal = state == goal;
+            break report;
+        }
         if state == goal {
             report.reached_goal = true;
-            return report;
+            break report;
         }
         if report.frustration >= budget {
             report.gave_up = true;
-            return report;
+            break report;
         }
 
         let planned: Option<String> = match planner {
@@ -140,10 +170,19 @@ pub fn simulate_session(
                 let Some(a) = rng.choose(&available).cloned() else {
                     // Dead end with no affordances at all.
                     report.gave_up = true;
-                    return report;
+                    break report;
                 };
                 report.explorations += 1;
                 report.frustration += params.no_plan_cost;
+                rec.count("user.explorations", 1);
+                rec.event(
+                    report.steps as u64,
+                    Layer::Intentional,
+                    "user.explore",
+                    0,
+                    report.steps as i64,
+                    0,
+                );
                 a
             }
         };
@@ -157,14 +196,38 @@ pub fn simulate_session(
         if predicted != observed {
             report.surprises += 1;
             report.frustration += params.surprise_cost;
+            rec.count("user.surprises", 1);
+            rec.event(
+                report.steps as u64,
+                Layer::Intentional,
+                "user.surprise",
+                0,
+                report.steps as i64,
+                0,
+            );
         }
         // Learn the true transition either way (repetition consolidates).
         belief.add(&state, &action, &observed);
         state = observed;
-    }
+    };
 
-    report.gave_up = state != goal;
-    report.reached_goal = state == goal;
+    rec.count("user.sessions", 1);
+    if report.reached_goal {
+        rec.count("user.goals_reached", 1);
+    }
+    if report.gave_up {
+        rec.count("user.gave_up", 1);
+        rec.event(
+            report.steps as u64,
+            Layer::Intentional,
+            "user.give_up",
+            0,
+            report.surprises as i64,
+            (report.frustration * 1000.0) as i64,
+        );
+    }
+    rec.observe("user.frustration", report.frustration);
+    rec.observe("user.burden", report.burden());
     report
 }
 
@@ -335,6 +398,50 @@ mod tests {
             &mut rng(),
         );
         assert!(r.reached_goal, "{r:?}");
+    }
+
+    #[test]
+    fn traced_session_records_surprises_and_frustration() {
+        use aroma_sim::telemetry::TelemetryConfig;
+        let user = UserProfile::researcher().faculties;
+        let mut rec = Telemetry::enabled(TelemetryConfig::default());
+        let r = simulate_session_traced(
+            &user,
+            &StateMachine::new(),
+            &wizard(),
+            "idle",
+            "projecting",
+            PlannerKind::Bfs,
+            &SessionParams::default(),
+            &mut rng(),
+            &mut rec,
+        );
+        let snap = rec.snapshot().unwrap();
+        assert_eq!(snap.counter("user.sessions"), 1);
+        assert_eq!(snap.counter("user.surprises"), r.surprises as u64);
+        assert_eq!(snap.counter("user.explorations"), r.explorations as u64);
+        assert_eq!(snap.counter("user.goals_reached"), 1);
+        let surprise_events = snap
+            .trace
+            .iter()
+            .filter(|e| e.name == "user.surprise")
+            .count();
+        assert_eq!(surprise_events, r.surprises);
+        assert!(snap.trace.iter().all(|e| e.layer == Layer::Intentional));
+
+        // The untraced entry point must agree with the traced one.
+        let plain = simulate_session(
+            &user,
+            &StateMachine::new(),
+            &wizard(),
+            "idle",
+            "projecting",
+            PlannerKind::Bfs,
+            &SessionParams::default(),
+            &mut rng(),
+        );
+        assert_eq!(plain.steps, r.steps);
+        assert_eq!(plain.surprises, r.surprises);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 use crate::codec::{EventKind, Msg, ServiceId, ServiceItem, Template};
 use crate::registry::ServiceRegistry;
 use aroma_net::{Address, NetApp, NetCtx, NodeId, MTU_BYTES};
+use aroma_sim::telemetry::{Layer, Recorder};
 use aroma_sim::{SimDuration, SimTime};
 use bytes::Bytes;
 
@@ -177,6 +178,17 @@ impl NetApp for RegistrarApp {
                 let (granted, events) =
                     self.registry
                         .register(ctx.now(), item, SimDuration::from_millis(lease_ms));
+                let t = ctx.now().as_nanos();
+                let rec = ctx.telemetry();
+                rec.count("disc.lease.grants", 1);
+                rec.event(
+                    t,
+                    Layer::Abstract,
+                    "lease.grant",
+                    from.0,
+                    id.0 as i64,
+                    granted.as_millis() as i64,
+                );
                 // A mirrored registration from the peer needs no ack (and
                 // the peer may be beyond radio range anyway).
                 if Some(from) != self.federation_peer {
@@ -198,6 +210,24 @@ impl NetApp for RegistrarApp {
                 if granted.is_some() {
                     self.renewals += 1;
                 }
+                let t = ctx.now().as_nanos();
+                let rec = ctx.telemetry();
+                rec.count(
+                    if granted.is_some() {
+                        "disc.lease.renewals"
+                    } else {
+                        "disc.lease.renewals_refused"
+                    },
+                    1,
+                );
+                rec.event(
+                    t,
+                    Layer::Abstract,
+                    "lease.renew",
+                    from.0,
+                    id.0 as i64,
+                    granted.is_some() as i64,
+                );
                 if Some(from) != self.federation_peer {
                     ctx.send(
                         Address::Node(from),
@@ -218,7 +248,30 @@ impl NetApp for RegistrarApp {
             }
             Msg::Lookup { req, template } => {
                 self.lookups_served += 1;
-                let reply = self.build_reply(req, ctx.now(), &template);
+                let now = ctx.now();
+                let reply = self.build_reply(req, now, &template);
+                if ctx.telemetry().enabled() {
+                    // Stale window: registrations whose lease expired but
+                    // whose expiry sweep has not yet run. `lookup_live`
+                    // filters them out of the reply; count how many the
+                    // filter hid from this lookup.
+                    let all = self.registry.lookup(&template).len();
+                    let live = self.registry.lookup_live(now, &template).len();
+                    let stale = (all - live) as i64;
+                    let rec = ctx.telemetry();
+                    rec.count("disc.lookups", 1);
+                    if stale > 0 {
+                        rec.count("disc.lease.stale_window_hits", stale as u64);
+                        rec.event(
+                            now.as_nanos(),
+                            Layer::Abstract,
+                            "lease.stale_window",
+                            from.0,
+                            stale,
+                            live as i64,
+                        );
+                    }
+                }
                 ctx.send(Address::Node(from), reply.encode());
             }
             Msg::Subscribe { template } => {
@@ -230,7 +283,25 @@ impl NetApp for RegistrarApp {
 
     fn on_timer(&mut self, ctx: &mut NetCtx<'_>, token: u64) {
         if token == T_EXPIRE && self.alive {
-            let events = self.registry.expire(ctx.now());
+            let now = ctx.now();
+            // Expiry count comes from the table size, not the event list:
+            // registry events are per-subscriber fan-out (zero subscribers
+            // means zero events even when leases lapsed).
+            let before = self.registry.len();
+            let events = self.registry.expire(now);
+            let expired = (before - self.registry.len()) as u64;
+            if expired > 0 {
+                let rec = ctx.telemetry();
+                rec.count("disc.lease.expiries", expired);
+                rec.event(
+                    now.as_nanos(),
+                    Layer::Abstract,
+                    "lease.expire",
+                    0,
+                    expired as i64,
+                    self.registry.len() as i64,
+                );
+            }
             self.flush_events(ctx, events);
             self.schedule_expiry(ctx);
         }

@@ -194,6 +194,12 @@ pub enum CodecError {
     BadTag(u8),
     /// String was not UTF-8.
     BadString,
+    /// Bytes remained after a well-formed message — a framing bug or a
+    /// smuggled payload; wire messages must parse exactly.
+    TrailingBytes {
+        /// How many bytes were left over.
+        remaining: usize,
+    },
 }
 
 impl std::fmt::Display for CodecError {
@@ -202,6 +208,9 @@ impl std::fmt::Display for CodecError {
             CodecError::Truncated => write!(f, "message truncated"),
             CodecError::BadTag(t) => write!(f, "unknown message tag {t}"),
             CodecError::BadString => write!(f, "invalid UTF-8 in string"),
+            CodecError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after message")
+            }
         }
     }
 }
@@ -404,7 +413,7 @@ impl Msg {
                 Ok(buf.get_u64())
             }
         };
-        match tag {
+        let msg = match tag {
             TAG_DISCOVER_REQ => Ok(Msg::DiscoverReq {
                 nonce: need_u64(&mut buf)?,
             }),
@@ -478,7 +487,15 @@ impl Msg {
                 Ok(Msg::Event { kind, item })
             }
             t => Err(CodecError::BadTag(t)),
+        }?;
+        // Wire messages must parse exactly; leftover bytes mean a framing
+        // bug or a smuggled payload riding behind the message.
+        if buf.remaining() > 0 {
+            return Err(CodecError::TrailingBytes {
+                remaining: buf.remaining(),
+            });
         }
+        Ok(msg)
     }
 
     /// Encoded size in bytes (used for MTU packing).
@@ -557,6 +574,31 @@ mod tests {
         for cut in 0..full.len() {
             let r = Msg::decode(full.slice(0..cut));
             assert!(r.is_err(), "prefix of {cut} bytes decoded successfully");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let msgs = [
+            Msg::DiscoverReq { nonce: 42 },
+            Msg::Register {
+                item: item(),
+                lease_ms: 1,
+            },
+            Msg::LookupReply {
+                req: 5,
+                items: vec![item()],
+                truncated: false,
+            },
+        ];
+        for m in msgs {
+            let mut buf = bytes::BytesMut::new();
+            buf.put_slice(&m.encode());
+            buf.put_slice(&[0xAA, 0xBB]);
+            assert_eq!(
+                Msg::decode(buf.freeze()),
+                Err(CodecError::TrailingBytes { remaining: 2 })
+            );
         }
     }
 

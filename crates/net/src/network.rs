@@ -30,10 +30,12 @@ use crate::phy::{airtime, packet_error_rate, Rate, RateAdaptation};
 use aroma_env::radio::{Channel, RadioEnvironment};
 use aroma_env::space::Point;
 use aroma_sim::stats::Summary;
+use aroma_sim::telemetry::{Layer, Recorder, Snapshot, Telemetry, TelemetryConfig};
 use aroma_sim::{EventId, EventQueue, SimDuration, SimRng, SimTime};
 use bytes::Bytes;
 use std::any::Any;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Handle to a pending application timer (cancellable).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -240,6 +242,13 @@ impl NetCtx<'_> {
     pub fn link_snr_db(&self, peer: NodeId) -> f64 {
         self.core.link_snr_db(self.node, peer)
     }
+
+    /// The network's telemetry recorder, so applications built on
+    /// [`NetApp`] (discovery, VNC, the projector) record into the same
+    /// snapshot as the MAC. Off unless [`Network::attach_telemetry`] ran.
+    pub fn telemetry(&mut self) -> &mut Telemetry {
+        &mut self.core.rec
+    }
 }
 
 #[derive(Debug)]
@@ -268,6 +277,20 @@ enum Event {
         to: NodeId,
         payload: Bytes,
     },
+}
+
+impl Event {
+    /// Static handler label for event-loop self-profiling.
+    fn kind_name(&self) -> &'static str {
+        match self {
+            Event::MacTick { .. } => "MacTick",
+            Event::TxEnd { .. } => "TxEnd",
+            Event::AckTimeout { .. } => "AckTimeout",
+            Event::AppTimer { .. } => "AppTimer",
+            Event::MobilityTick { .. } => "MobilityTick",
+            Event::WiredDeliver { .. } => "WiredDeliver",
+        }
+    }
 }
 
 enum AppCall {
@@ -324,6 +347,8 @@ struct Core {
     pending: Vec<AppCall>,
     prune_counter: u32,
     wired: Vec<WiredLink>,
+    /// Telemetry recorder (Off by default; every call inlines to a no-op).
+    rec: Telemetry,
 }
 
 /// ACK wait: SIFS + ACK airtime at the base rate + two slots of grace.
@@ -362,6 +387,15 @@ impl Core {
         if self.nodes[src.0 as usize].mac.queue.len() >= cap {
             self.nodes[src.0 as usize].mac.queue_drops += 1;
             self.stats.node[src.0 as usize].drops_queue += 1;
+            self.rec.count("net.mac.drop.queue_full", 1);
+            self.rec.event(
+                now.as_nanos(),
+                Layer::Resource,
+                "mac.drop.queue_full",
+                src.0,
+                cap as i64,
+                0,
+            );
             return false;
         }
         let node = &mut self.nodes[src.0 as usize];
@@ -396,6 +430,15 @@ impl Core {
         let remaining = cfg.draw_backoff(attempt, &mut node.rng);
         node.mac.state = MacState::Contending { remaining };
         let gen = node.mac.bump_gen();
+        self.rec.count("net.mac.contention_rounds", 1);
+        self.rec.event(
+            self.queue.now().as_nanos(),
+            Layer::Resource,
+            "mac.state.contending",
+            id.0,
+            attempt as i64,
+            remaining as i64,
+        );
         self.schedule_tick(id, gen, TickPhase::Poll, SimDuration::ZERO);
     }
 
@@ -483,6 +526,15 @@ impl Core {
         });
         self.stats.node[id.0 as usize].tx_data_attempts += 1;
         self.node(id).mac.state = MacState::Transmitting;
+        self.rec.count("net.mac.tx_attempts", 1);
+        self.rec.event(
+            now.as_nanos(),
+            Layer::Resource,
+            "mac.state.transmitting",
+            id.0,
+            air.as_nanos() as i64,
+            0,
+        );
         self.queue.schedule_at(now + air, Event::TxEnd { tx });
     }
 
@@ -566,6 +618,14 @@ impl Core {
                     node.mac.state = MacState::WaitAck { seq: t.frame.seq };
                     node.mac.bump_gen()
                 };
+                self.rec.event(
+                    self.queue.now().as_nanos(),
+                    Layer::Resource,
+                    "mac.state.wait_ack",
+                    src.0,
+                    t.frame.seq as i64,
+                    ok as i64,
+                );
                 let timeout = ack_timeout(&self.cfg);
                 self.queue
                     .schedule_in(timeout, Event::AckTimeout { node: src, gen });
@@ -609,6 +669,8 @@ impl Core {
         };
         self.stats.service_time.record(service.as_secs_f64());
         self.stats.node[data_sender.0 as usize].tx_completed += 1;
+        self.rec.count("net.mac.tx_completed", 1);
+        self.rec.observe("net.mac.service_time_s", service.as_secs_f64());
         self.complete_head(data_sender, true);
     }
 
@@ -628,6 +690,7 @@ impl Core {
         s.rx_bytes += t.frame.payload.len() as u64;
         self.stats.delivered_frames += 1;
         self.stats.delivered_bytes += t.frame.payload.len() as u64;
+        self.rec.count("net.rx.delivered", 1);
         self.pending.push(AppCall::Packet {
             node: rx,
             from: src,
@@ -644,16 +707,27 @@ impl Core {
             }
         }
         self.stats.node[id.0 as usize].ack_timeouts += 1;
-        let exhausted = {
+        self.rec.count("net.mac.ack_timeouts", 1);
+        let (exhausted, retries) = {
             let node = self.node(id);
             let job = node.mac.queue.front_mut().expect("WaitAck with empty queue");
             job.retries += 1;
-            job.retries > cfg.retry_limit
+            (job.retries > cfg.retry_limit, job.retries)
         };
         if exhausted {
             self.stats.node[id.0 as usize].drops_retry += 1;
+            self.rec.count("net.mac.drop.retry_limit", 1);
+            self.rec.event(
+                self.queue.now().as_nanos(),
+                Layer::Resource,
+                "mac.drop.retry_limit",
+                id.0,
+                retries as i64,
+                0,
+            );
             self.complete_head(id, false);
         } else {
+            self.rec.count("net.mac.retries", 1);
             self.start_contention(id);
         }
     }
@@ -667,6 +741,14 @@ impl Core {
             node.mac.bump_gen();
             node.mac.queue.pop_front().expect("complete with empty queue")
         };
+        self.rec.event(
+            self.queue.now().as_nanos(),
+            Layer::Resource,
+            "mac.state.idle",
+            id.0,
+            success as i64,
+            0,
+        );
         if success {
             self.pending.push(AppCall::Sent {
                 node: id,
@@ -754,6 +836,7 @@ impl Network {
                 pending: Vec::new(),
                 prune_counter: 0,
                 wired: Vec::new(),
+                rec: Telemetry::Off,
             },
             apps: Vec::new(),
             started: false,
@@ -802,6 +885,23 @@ impl Network {
     /// Accumulated statistics.
     pub fn stats(&self) -> &NetStats {
         &self.core.stats
+    }
+
+    /// Attach a live telemetry recorder. MAC state transitions, retry/drop
+    /// causes and service times are recorded from here on, and the event
+    /// loop starts charging wall time per handler type.
+    pub fn attach_telemetry(&mut self, cfg: TelemetryConfig) {
+        self.core.rec = Telemetry::enabled(cfg);
+    }
+
+    /// The recorder (for direct recording or handle registration).
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.core.rec
+    }
+
+    /// Snapshot the recorder; `None` when telemetry was never attached.
+    pub fn telemetry_snapshot(&self) -> Option<Snapshot> {
+        self.core.rec.snapshot()
     }
 
     /// Borrow an application back as its concrete type (for post-run
@@ -888,13 +988,31 @@ impl Network {
             match self.core.queue.peek_time() {
                 Some(t) if t <= deadline => {
                     let (_, ev) = self.core.queue.pop().expect("peeked event vanished");
-                    self.core.handle(ev);
-                    self.drain_app_calls();
+                    self.dispatch(ev);
                 }
                 _ => break,
             }
         }
         self.core.queue.fast_forward(deadline);
+    }
+
+    /// Handle one event plus the app callbacks it generated, charging wall
+    /// time to the event's handler type when telemetry is live. Wall time is
+    /// profile-only and never feeds back into the simulation, so traced runs
+    /// stay deterministic.
+    fn dispatch(&mut self, ev: Event) {
+        if self.core.rec.enabled() {
+            let kind = ev.kind_name();
+            let t0 = Instant::now();
+            self.core.handle(ev);
+            self.drain_app_calls();
+            self.core
+                .rec
+                .profile(kind, t0.elapsed().as_nanos() as u64);
+        } else {
+            self.core.handle(ev);
+            self.drain_app_calls();
+        }
     }
 
     /// Run for a span from the current time.
@@ -911,8 +1029,7 @@ impl Network {
                 break;
             }
             let (_, ev) = self.core.queue.pop().expect("peeked event vanished");
-            self.core.handle(ev);
-            self.drain_app_calls();
+            self.dispatch(ev);
         }
     }
 }
@@ -980,6 +1097,43 @@ mod tests {
             Box::new(OneShot::to(Address::Node(rx), b"hello world")),
         );
         (net, tx, rx)
+    }
+
+    fn traced_two_node_run() -> Option<Snapshot> {
+        let (mut net, _, _) = two_node_net();
+        net.attach_telemetry(TelemetryConfig::default());
+        net.run_for(SimDuration::from_millis(100));
+        net.telemetry_snapshot()
+    }
+
+    #[test]
+    fn telemetry_counters_track_mac_outcomes() {
+        let snap = traced_two_node_run().expect("recorder attached");
+        assert_eq!(snap.counter("net.mac.tx_completed"), 1);
+        assert_eq!(snap.counter("net.rx.delivered"), 1);
+        assert_eq!(snap.counter("net.mac.drop.retry_limit"), 0);
+        let svc = snap.summary("net.mac.service_time_s").unwrap();
+        assert_eq!(svc.count, 1);
+        assert!(svc.min.unwrap() > 0.0);
+        // The run processed MacTick and TxEnd events, so the profile has
+        // wall-time entries for them.
+        assert!(snap.profile.iter().any(|p| p.name == "MacTick"));
+        assert!(snap.profile.iter().any(|p| p.name == "TxEnd"));
+        // State-machine trace: contention precedes transmission precedes
+        // idle, all at the Resource layer.
+        let names: Vec<_> = snap.trace.iter().map(|e| e.name).collect();
+        assert!(names.contains(&"mac.state.contending"));
+        assert!(names.contains(&"mac.state.transmitting"));
+        assert!(names.contains(&"mac.state.idle"));
+        assert!(snap.trace.iter().all(|e| e.layer == Layer::Resource));
+    }
+
+    #[test]
+    fn traced_runs_are_seed_stable() {
+        let a = traced_two_node_run().unwrap();
+        let b = traced_two_node_run().unwrap();
+        // Wall-clock profile differs run to run; everything else must not.
+        assert!(a.deterministic_eq(&b));
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! * [`SessionPolicy::AutoExpire`] — sessions with an idle-expiry horizon:
 //!   the paper's asked-for mechanism.
 
+use aroma_sim::telemetry::{Layer, Recorder, Snapshot, Telemetry, TelemetryConfig};
 use aroma_sim::{SimDuration, SimRng, SimTime};
 
 /// Opaque proof of session ownership.
@@ -89,6 +90,8 @@ pub struct SessionManager {
     token_rng: SimRng,
     /// Counters.
     pub stats: SessionStats,
+    /// Telemetry recorder (Off by default; every call inlines to a no-op).
+    rec: Telemetry,
 }
 
 /// Seed for managers built without an explicit token stream.
@@ -113,7 +116,19 @@ impl SessionManager {
             owner: None,
             token_rng,
             stats: SessionStats::default(),
+            rec: Telemetry::Off,
         }
+    }
+
+    /// Attach a live telemetry recorder: session acquire/deny/expire events
+    /// are recorded at the Abstract layer from here on.
+    pub fn attach_telemetry(&mut self, cfg: TelemetryConfig) {
+        self.rec = Telemetry::enabled(cfg);
+    }
+
+    /// Snapshot the recorder; `None` when telemetry was never attached.
+    pub fn telemetry_snapshot(&self) -> Option<Snapshot> {
+        self.rec.snapshot()
     }
 
     /// The policy in force.
@@ -138,6 +153,15 @@ impl SessionManager {
             if now.saturating_since(last) >= idle {
                 self.owner = None;
                 self.stats.expirations += 1;
+                self.rec.count("proj.session.expiries", 1);
+                self.rec.event(
+                    now.as_nanos(),
+                    Layer::Abstract,
+                    "session.expire",
+                    0,
+                    now.saturating_since(last).as_nanos() as i64,
+                    0,
+                );
             }
         }
     }
@@ -150,6 +174,15 @@ impl SessionManager {
                 if let Some((prev_user, _, _)) = prev {
                     if prev_user != user {
                         self.stats.hijacks += 1;
+                        self.rec.count("proj.session.hijacks", 1);
+                        self.rec.event(
+                            now.as_nanos(),
+                            Layer::Abstract,
+                            "session.hijack",
+                            user as u32,
+                            prev_user as i64,
+                            0,
+                        );
                     }
                 }
                 Ok(self.install(user, now))
@@ -162,6 +195,16 @@ impl SessionManager {
             }
             _ => {
                 self.stats.refusals += 1;
+                self.rec.count("proj.session.denials", 1);
+                let holder = self.owner.map_or(0, |(u, _, _)| u as i64);
+                self.rec.event(
+                    now.as_nanos(),
+                    Layer::Abstract,
+                    "session.deny",
+                    user as u32,
+                    holder,
+                    0,
+                );
                 Err(SessionError::Busy)
             }
         }
@@ -179,6 +222,9 @@ impl SessionManager {
         let token = SessionToken(v);
         self.owner = Some((user, token, now));
         self.stats.acquisitions += 1;
+        self.rec.count("proj.session.acquires", 1);
+        self.rec
+            .event(now.as_nanos(), Layer::Abstract, "session.acquire", user as u32, 0, 0);
         token
     }
 
@@ -204,6 +250,7 @@ impl SessionManager {
             Some((_, t, _)) if t == token => {
                 self.owner = None;
                 self.stats.releases += 1;
+                self.rec.count("proj.session.releases", 1);
                 Ok(())
             }
             Some(_) => Err(SessionError::BadToken),
@@ -253,6 +300,36 @@ mod tests {
         assert_eq!(m.owner(t(1)), Some(1));
         assert_eq!(m.stats.refusals, 1);
         assert_eq!(m.stats.hijacks, 0);
+    }
+
+    #[test]
+    fn telemetry_tracks_session_lifecycle() {
+        let mut m = SessionManager::new(SessionPolicy::AutoExpire {
+            idle: SimDuration::from_secs(10),
+        });
+        m.attach_telemetry(TelemetryConfig::default());
+        let tok = m.acquire(1, t(0)).unwrap();
+        assert_eq!(m.acquire(2, t(1)), Err(SessionError::Busy));
+        m.release(tok, t(2)).unwrap();
+        m.acquire(2, t(3)).unwrap();
+        assert!(m.is_free(t(20)), "session should auto-expire");
+
+        let snap = m.telemetry_snapshot().unwrap();
+        assert_eq!(snap.counter("proj.session.acquires"), 2);
+        assert_eq!(snap.counter("proj.session.denials"), 1);
+        assert_eq!(snap.counter("proj.session.releases"), 1);
+        assert_eq!(snap.counter("proj.session.expiries"), 1);
+        let names: Vec<&str> = snap.trace.iter().map(|e| e.name).collect();
+        assert_eq!(
+            names,
+            [
+                "session.acquire",
+                "session.deny",
+                "session.acquire",
+                "session.expire"
+            ]
+        );
+        assert!(snap.trace.iter().all(|e| e.layer == Layer::Abstract));
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!   by every experiment harness,
 //! * [`report`] — aligned ASCII tables plus a minimal JSON emitter so
 //!   experiment output can be archived without extra dependencies,
+//! * [`telemetry`] — the `aroma-telemetry` recorder (structured trace ring,
+//!   metrics registry, event-loop self-profiling) re-exported with JSON
+//!   snapshot rendering, so every substrate instruments through one path,
 //! * [`sweep`] — structured-concurrency parameter sweeps (each simulation run
 //!   owns its world; results are collected without shared mutable state).
 //!
@@ -31,6 +34,7 @@ pub mod report;
 pub mod rng;
 pub mod stats;
 pub mod sweep;
+pub mod telemetry;
 pub mod time;
 
 pub use event::{EventId, EventQueue};

@@ -18,13 +18,22 @@ use crate::time::{SimDuration, SimTime};
 use serde::Serialize;
 
 /// Streaming summary statistics (Welford).
-#[derive(Clone, Debug, Default, Serialize)]
+#[derive(Clone, Debug, Serialize)]
 pub struct Summary {
     count: u64,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+}
+
+// A derived `Default` would zero `min`/`max`, whereas the sentinels must be
+// ±INFINITY for `record` to work; structs that `#[derive(Default)]` around a
+// `Summary` (NetStats, ExecReport) depend on this delegating to `new()`.
+impl Default for Summary {
+    fn default() -> Self {
+        Summary::new()
+    }
 }
 
 impl Summary {
@@ -227,8 +236,11 @@ impl Histogram {
     /// Panics if the ranges or bin counts differ.
     pub fn merge(&mut self, other: &Histogram) {
         assert_eq!(self.bins.len(), other.bins.len(), "bin count mismatch");
+        // Exact comparison on purpose: merge partners share a constructor, so
+        // their bounds are bit-identical, and an absolute-epsilon test would
+        // false-accept distinct large ranges (1e9 vs 1e9 + 100).
         assert!(
-            (self.lo - other.lo).abs() < f64::EPSILON && (self.hi - other.hi).abs() < f64::EPSILON,
+            self.lo == other.lo && self.hi == other.hi,
             "range mismatch"
         );
         for (a, b) in self.bins.iter_mut().zip(&other.bins) {
@@ -361,6 +373,19 @@ mod tests {
     }
 
     #[test]
+    fn summary_default_matches_new() {
+        // Regression: a derived Default zeroed min/max, so the first sample
+        // could never replace them and all-positive data reported min 0.0.
+        let mut s = Summary::default();
+        s.record(5.0);
+        assert_eq!(s.min(), Some(5.0));
+        assert_eq!(s.max(), Some(5.0));
+        let empty = Summary::default();
+        assert_eq!(empty.min(), None);
+        assert_eq!(empty.max(), None);
+    }
+
+    #[test]
     fn summary_merge_with_empty_sides() {
         let mut a = Summary::new();
         let mut b = Summary::new();
@@ -424,6 +449,17 @@ mod tests {
     fn histogram_merge_rejects_mismatched() {
         let mut a = Histogram::new(0.0, 10.0, 5);
         let b = Histogram::new(0.0, 10.0, 6);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "range mismatch")]
+    fn histogram_merge_rejects_distinct_ranges_exactly() {
+        // The bounds differ by less than f64::EPSILON in absolute terms, so
+        // the old fuzzy comparison silently merged histograms with different
+        // geometry; exact equality must reject them.
+        let mut a = Histogram::new(0.0, 1.0, 5);
+        let b = Histogram::new(1e-17, 1.0, 5);
         a.merge(&b);
     }
 

@@ -92,6 +92,30 @@ proptest! {
         prop_assert!((a.variance() - whole.variance()).abs() <= 1e-5 * (1.0 + whole.variance().abs()));
     }
 
+    /// Merging *default*-constructed summaries matches sequential recording
+    /// on every statistic including the extrema — either side may be empty
+    /// (split 0 or len). Guards the manual `Default` impl: a derived one
+    /// zeroed `min`/`max` and the merged extrema came out 0.0.
+    #[test]
+    fn summary_merge_from_defaults_matches_sequential(
+        xs in prop::collection::vec(-1e6f64..1e6, 0..200),
+        split_frac in 0.0f64..=1.0,
+    ) {
+        let split = ((xs.len() as f64 * split_frac) as usize).min(xs.len());
+        let mut whole = Summary::default();
+        for &x in &xs { whole.record(x); }
+        let mut a = Summary::default();
+        let mut b = Summary::default();
+        for &x in &xs[..split] { a.record(x); }
+        for &x in &xs[split..] { b.record(x); }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert_eq!(a.min(), whole.min());
+        prop_assert_eq!(a.max(), whole.max());
+        prop_assert!((a.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!((a.variance() - whole.variance()).abs() <= 1e-5 * (1.0 + whole.variance().abs()));
+    }
+
     /// Histogram quantiles are monotone in q and bounded by the range.
     #[test]
     fn histogram_quantiles_monotone(xs in prop::collection::vec(-10.0f64..110.0, 1..300)) {

@@ -1,0 +1,870 @@
+//! # aroma-telemetry — structured tracing + metrics for the Aroma/LPC stack
+//!
+//! The LPC analysis engine classifies issues layer by layer; this crate is
+//! the measurement substrate that gives those classifications *evidence*.
+//! It provides, behind a single [`Telemetry`] handle:
+//!
+//! * a bounded **ring-buffer trace sink** — fixed capacity allocated up
+//!   front, no allocation on the hot path, drop-oldest overwrite with a
+//!   dropped-events counter ([`Snapshot::trace_dropped`]),
+//! * a **metrics registry** — named counters, gauges and streaming
+//!   summary / fixed-bin histogram instruments, addressable either by name
+//!   or through pre-registered typed handles ([`CounterId`] & friends),
+//! * **event-loop self-profiling** — wall-time per handler type, so perf
+//!   work has a baseline ([`Snapshot::profile`], sorted hottest-first).
+//!
+//! Disabled mode is the [`Telemetry::Off`] enum variant: every recording
+//! method is `#[inline]` and hits a no-op match arm, so an uninstrumented
+//! run pays nothing (verified by `lpc-bench`'s `telemetry` Criterion bench).
+//!
+//! **Determinism contract:** trace events and metrics carry *simulated* time
+//! only (`t_nanos`), so for a fixed seed the trace and metric sections of a
+//! [`Snapshot`] are bit-identical across runs. Wall-clock measurements are
+//! confined to the profile section, which [`Snapshot::deterministic_eq`]
+//! deliberately excludes.
+//!
+//! This crate is a dependency leaf (std only): `aroma-sim` re-exports it as
+//! `aroma_sim::telemetry` and adds JSON rendering there, so every substrate
+//! crate reaches it through the path it already has.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+/// The five layers of the LPC model, used to tag trace events so a snapshot
+/// can be sliced the same way the analysis engine slices issues.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Layer {
+    /// Everything outside the system boundary (spectrum, rooms, people).
+    Environment,
+    /// Hardware and physical I/O (radio, display).
+    Physical,
+    /// System resources and protocols (MAC, transport, pipelines).
+    Resource,
+    /// Services and abstract state (leases, sessions).
+    Abstract,
+    /// User intent and experience (surprise, frustration).
+    Intentional,
+}
+
+impl Layer {
+    /// Stable lowercase label, used as the JSON value.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Layer::Environment => "environment",
+            Layer::Physical => "physical",
+            Layer::Resource => "resource",
+            Layer::Abstract => "abstract",
+            Layer::Intentional => "intentional",
+        }
+    }
+}
+
+/// One structured trace event. Plain data, `Copy`, fixed size — the ring
+/// buffer stores these inline so recording never allocates.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Simulated time in nanoseconds (or a step index for substrates without
+    /// a simulated clock, e.g. the user simulator).
+    pub t_nanos: u64,
+    /// LPC layer the event belongs to.
+    pub layer: Layer,
+    /// Static event name, dot-separated by convention (`"mac.retry"`).
+    pub name: &'static str,
+    /// Node / entity id, 0 when not applicable.
+    pub node: u32,
+    /// First event-specific argument (meaning depends on `name`).
+    pub a: i64,
+    /// Second event-specific argument.
+    pub b: i64,
+}
+
+/// Fixed-capacity drop-oldest ring of [`TraceEvent`]s.
+#[derive(Clone, Debug)]
+struct Ring {
+    slots: Vec<TraceEvent>,
+    capacity: usize,
+    /// Index of the oldest element once the ring has wrapped.
+    next: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Self {
+        Ring {
+            slots: Vec::with_capacity(capacity),
+            capacity,
+            next: 0,
+            dropped: 0,
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, ev: TraceEvent) {
+        if self.capacity == 0 {
+            return; // tracing disabled, metrics-only recorder
+        }
+        if self.slots.len() < self.capacity {
+            self.slots.push(ev);
+        } else {
+            // Overwrite the oldest event and count it as dropped.
+            self.slots[self.next] = ev;
+            self.next = (self.next + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Events oldest → newest.
+    fn in_order(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.slots.len());
+        out.extend_from_slice(&self.slots[self.next..]);
+        out.extend_from_slice(&self.slots[..self.next]);
+        out
+    }
+}
+
+/// Streaming mean/variance/min/max (Welford). A deliberately minimal twin of
+/// `aroma_sim::stats::Summary` — this crate sits below `aroma-sim` in the
+/// dependency graph, so it cannot borrow that type.
+#[derive(Clone, Copy, Debug)]
+struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    fn new() -> Self {
+        Welford {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    #[inline]
+    fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+}
+
+/// Fixed-width-bin histogram over `[lo, hi)` with under/overflow bins.
+#[derive(Clone, Debug)]
+struct BinHist {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl BinHist {
+    fn new(lo: f64, hi: f64, nbins: usize) -> Self {
+        assert!(nbins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "histogram range must be non-empty");
+        BinHist {
+            lo,
+            hi,
+            bins: vec![0; nbins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    #[inline]
+    fn record(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let frac = (x - self.lo) / (self.hi - self.lo);
+            let idx = ((frac * self.bins.len() as f64) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = self.underflow as f64;
+        if target <= cum {
+            return Some(self.lo);
+        }
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        for (i, &b) in self.bins.iter().enumerate() {
+            let next = cum + b as f64;
+            if target <= next && b > 0 {
+                let within = (target - cum) / b as f64;
+                return Some(self.lo + width * (i as f64 + within));
+            }
+            cum = next;
+        }
+        Some(self.hi)
+    }
+}
+
+/// Handle to a registered counter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterId(usize);
+/// Handle to a registered gauge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GaugeId(usize);
+/// Handle to a registered summary instrument.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SummaryId(usize);
+/// Handle to a registered histogram instrument.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistId(usize);
+
+/// Name → slot registry for one instrument kind. Registration order is
+/// first-touch order, which is deterministic for a deterministic run and is
+/// preserved in snapshots.
+#[derive(Clone, Debug)]
+struct Slots<T> {
+    names: Vec<&'static str>,
+    values: Vec<T>,
+    index: HashMap<&'static str, usize>,
+}
+
+impl<T> Slots<T> {
+    fn new() -> Self {
+        Slots {
+            names: Vec::new(),
+            values: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    fn get_or_insert_with(&mut self, name: &'static str, init: impl FnOnce() -> T) -> usize {
+        if let Some(&i) = self.index.get(name) {
+            return i;
+        }
+        let i = self.values.len();
+        self.names.push(name);
+        self.values.push(init());
+        self.index.insert(name, i);
+        i
+    }
+}
+
+/// The live recorder state behind [`Telemetry::On`]. Boxed so the `Off`
+/// variant stays one machine word.
+#[derive(Clone, Debug)]
+pub struct Active {
+    ring: Ring,
+    counters: Slots<u64>,
+    gauges: Slots<f64>,
+    summaries: Slots<Welford>,
+    hists: Slots<BinHist>,
+    profile: Slots<(u64, u64)>, // (calls, total wall nanos)
+}
+
+impl Active {
+    fn new(cfg: &TelemetryConfig) -> Self {
+        Active {
+            ring: Ring::new(cfg.ring_capacity),
+            counters: Slots::new(),
+            gauges: Slots::new(),
+            summaries: Slots::new(),
+            hists: Slots::new(),
+            profile: Slots::new(),
+        }
+    }
+
+    /// Register (or look up) a counter and return its handle.
+    pub fn register_counter(&mut self, name: &'static str) -> CounterId {
+        CounterId(self.counters.get_or_insert_with(name, || 0))
+    }
+
+    /// Register (or look up) a gauge and return its handle.
+    pub fn register_gauge(&mut self, name: &'static str) -> GaugeId {
+        GaugeId(self.gauges.get_or_insert_with(name, || 0.0))
+    }
+
+    /// Register (or look up) a summary instrument and return its handle.
+    pub fn register_summary(&mut self, name: &'static str) -> SummaryId {
+        SummaryId(self.summaries.get_or_insert_with(name, Welford::new))
+    }
+
+    /// Register (or look up) a histogram over `[lo, hi)` with `nbins` bins.
+    /// The geometry is fixed by whoever registers first.
+    pub fn register_hist(&mut self, name: &'static str, lo: f64, hi: f64, nbins: usize) -> HistId {
+        HistId(self.hists.get_or_insert_with(name, || BinHist::new(lo, hi, nbins)))
+    }
+
+    /// Increment a counter through its handle.
+    #[inline]
+    pub fn add(&mut self, id: CounterId, delta: u64) {
+        self.counters.values[id.0] += delta;
+    }
+
+    /// Set a gauge through its handle.
+    #[inline]
+    pub fn set(&mut self, id: GaugeId, value: f64) {
+        self.gauges.values[id.0] = value;
+    }
+
+    /// Record into a summary through its handle.
+    #[inline]
+    pub fn record(&mut self, id: SummaryId, value: f64) {
+        self.summaries.values[id.0].record(value);
+    }
+
+    /// Record into a histogram through its handle.
+    #[inline]
+    pub fn record_hist(&mut self, id: HistId, value: f64) {
+        self.hists.values[id.0].record(value);
+    }
+}
+
+/// Recorder configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct TelemetryConfig {
+    /// Trace ring capacity in events; `0` disables tracing (metrics-only).
+    pub ring_capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            ring_capacity: 4096,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// Metrics only, no trace ring.
+    pub fn metrics_only() -> Self {
+        TelemetryConfig { ring_capacity: 0 }
+    }
+}
+
+/// The recording interface the instrumented substrates program against.
+///
+/// [`Telemetry`] is the canonical implementation (its `Off` variant makes
+/// every method a no-op); [`Active`] implements it too for code that holds
+/// an always-on recorder.
+pub trait Recorder {
+    /// Append a structured trace event.
+    fn trace(&mut self, ev: TraceEvent);
+    /// Add `delta` to the named counter (registering it on first use).
+    fn count(&mut self, name: &'static str, delta: u64);
+    /// Set the named gauge (registering it on first use).
+    fn gauge(&mut self, name: &'static str, value: f64);
+    /// Record one observation into the named summary.
+    fn observe(&mut self, name: &'static str, value: f64);
+    /// Record one observation into the named histogram; the geometry
+    /// arguments apply only on first registration.
+    fn observe_hist(&mut self, name: &'static str, lo: f64, hi: f64, nbins: usize, value: f64);
+    /// Charge `wall_nanos` of wall-clock time to `handler` (self-profiling).
+    fn profile(&mut self, handler: &'static str, wall_nanos: u64);
+    /// Whether recording is live (lets callers skip expensive argument
+    /// construction when disabled).
+    fn enabled(&self) -> bool;
+}
+
+impl Recorder for Active {
+    #[inline]
+    fn trace(&mut self, ev: TraceEvent) {
+        self.ring.push(ev);
+    }
+
+    #[inline]
+    fn count(&mut self, name: &'static str, delta: u64) {
+        let id = self.register_counter(name);
+        self.add(id, delta);
+    }
+
+    #[inline]
+    fn gauge(&mut self, name: &'static str, value: f64) {
+        let id = self.register_gauge(name);
+        self.set(id, value);
+    }
+
+    #[inline]
+    fn observe(&mut self, name: &'static str, value: f64) {
+        let id = self.register_summary(name);
+        self.record(id, value);
+    }
+
+    #[inline]
+    fn observe_hist(&mut self, name: &'static str, lo: f64, hi: f64, nbins: usize, value: f64) {
+        let id = self.register_hist(name, lo, hi, nbins);
+        self.record_hist(id, value);
+    }
+
+    #[inline]
+    fn profile(&mut self, handler: &'static str, wall_nanos: u64) {
+        let i = self.profile.get_or_insert_with(handler, || (0, 0));
+        let (calls, nanos) = &mut self.profile.values[i];
+        *calls += 1;
+        *nanos += wall_nanos;
+    }
+
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// A recorder that is either absent (`Off`, the default — every call inlines
+/// to a no-op) or live (`On`).
+#[derive(Clone, Debug, Default)]
+pub enum Telemetry {
+    /// No recording; all methods are no-ops.
+    #[default]
+    Off,
+    /// Live recording into the boxed [`Active`] state.
+    On(Box<Active>),
+}
+
+impl Telemetry {
+    /// Disabled recorder (same as `Telemetry::default()`).
+    pub fn off() -> Self {
+        Telemetry::Off
+    }
+
+    /// Live recorder with the given configuration.
+    pub fn enabled(cfg: TelemetryConfig) -> Self {
+        Telemetry::On(Box::new(Active::new(&cfg)))
+    }
+
+    /// Convenience: build and append a trace event in one call.
+    #[inline]
+    pub fn event(
+        &mut self,
+        t_nanos: u64,
+        layer: Layer,
+        name: &'static str,
+        node: u32,
+        a: i64,
+        b: i64,
+    ) {
+        if let Telemetry::On(act) = self {
+            act.trace(TraceEvent {
+                t_nanos,
+                layer,
+                name,
+                node,
+                a,
+                b,
+            });
+        }
+    }
+
+    /// Access the live state, if any (for handle pre-registration).
+    pub fn active_mut(&mut self) -> Option<&mut Active> {
+        match self {
+            Telemetry::Off => None,
+            Telemetry::On(act) => Some(act),
+        }
+    }
+
+    /// Snapshot the recorder; `None` when disabled.
+    pub fn snapshot(&self) -> Option<Snapshot> {
+        match self {
+            Telemetry::Off => None,
+            Telemetry::On(act) => Some(Snapshot::of(act)),
+        }
+    }
+
+    /// Whether this recorder is live. Recorders are per-subsystem and never
+    /// merged directly; combine their [`Snapshot`]s with [`Snapshot::absorb`].
+    #[inline]
+    pub fn is_on(&self) -> bool {
+        matches!(self, Telemetry::On(_))
+    }
+}
+
+impl Recorder for Telemetry {
+    #[inline]
+    fn trace(&mut self, ev: TraceEvent) {
+        if let Telemetry::On(act) = self {
+            act.trace(ev);
+        }
+    }
+
+    #[inline]
+    fn count(&mut self, name: &'static str, delta: u64) {
+        if let Telemetry::On(act) = self {
+            act.count(name, delta);
+        }
+    }
+
+    #[inline]
+    fn gauge(&mut self, name: &'static str, value: f64) {
+        if let Telemetry::On(act) = self {
+            act.gauge(name, value);
+        }
+    }
+
+    #[inline]
+    fn observe(&mut self, name: &'static str, value: f64) {
+        if let Telemetry::On(act) = self {
+            act.observe(name, value);
+        }
+    }
+
+    #[inline]
+    fn observe_hist(&mut self, name: &'static str, lo: f64, hi: f64, nbins: usize, value: f64) {
+        if let Telemetry::On(act) = self {
+            act.observe_hist(name, lo, hi, nbins, value);
+        }
+    }
+
+    #[inline]
+    fn profile(&mut self, handler: &'static str, wall_nanos: u64) {
+        if let Telemetry::On(act) = self {
+            act.profile(handler, wall_nanos);
+        }
+    }
+
+    #[inline]
+    fn enabled(&self) -> bool {
+        matches!(self, Telemetry::On(_))
+    }
+}
+
+/// Snapshot of one summary instrument.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SummarySnap {
+    /// Instrument name.
+    pub name: &'static str,
+    /// Observation count.
+    pub count: u64,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Sample standard deviation (n−1; 0 below two samples).
+    pub std_dev: f64,
+    /// Smallest observation, `None` when empty.
+    pub min: Option<f64>,
+    /// Largest observation, `None` when empty.
+    pub max: Option<f64>,
+}
+
+/// Snapshot of one histogram instrument.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistSnap {
+    /// Instrument name.
+    pub name: &'static str,
+    /// Lower range bound (inclusive).
+    pub lo: f64,
+    /// Upper range bound (exclusive).
+    pub hi: f64,
+    /// Per-bin counts.
+    pub bins: Vec<u64>,
+    /// Observations below `lo`.
+    pub underflow: u64,
+    /// Observations at or above `hi`.
+    pub overflow: u64,
+    /// Total observations.
+    pub count: u64,
+    /// Median estimate, `None` when empty.
+    pub p50: Option<f64>,
+    /// 99th-percentile estimate, `None` when empty.
+    pub p99: Option<f64>,
+}
+
+/// Wall-clock profile of one event-handler type.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HandlerStat {
+    /// Handler name (event kind).
+    pub name: &'static str,
+    /// Invocations.
+    pub calls: u64,
+    /// Total wall-clock nanoseconds across invocations.
+    pub total_nanos: u64,
+    /// Mean wall-clock nanoseconds per invocation.
+    pub mean_nanos: f64,
+}
+
+/// Immutable snapshot of a recorder: the trace ring, every metric and the
+/// handler profile (sorted hottest first).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counters in registration order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Gauges in registration order.
+    pub gauges: Vec<(&'static str, f64)>,
+    /// Summary instruments in registration order.
+    pub summaries: Vec<SummarySnap>,
+    /// Histogram instruments in registration order.
+    pub histograms: Vec<HistSnap>,
+    /// Trace ring contents, oldest → newest.
+    pub trace: Vec<TraceEvent>,
+    /// Events overwritten because the ring was full.
+    pub trace_dropped: u64,
+    /// Handler wall-time profile, sorted by total time descending.
+    pub profile: Vec<HandlerStat>,
+}
+
+impl Snapshot {
+    fn of(act: &Active) -> Snapshot {
+        let counters = act
+            .counters
+            .names
+            .iter()
+            .zip(&act.counters.values)
+            .map(|(&n, &v)| (n, v))
+            .collect();
+        let gauges = act
+            .gauges
+            .names
+            .iter()
+            .zip(&act.gauges.values)
+            .map(|(&n, &v)| (n, v))
+            .collect();
+        let summaries = act
+            .summaries
+            .names
+            .iter()
+            .zip(&act.summaries.values)
+            .map(|(&name, w)| {
+                let variance = if w.count < 2 {
+                    0.0
+                } else {
+                    w.m2 / (w.count - 1) as f64
+                };
+                SummarySnap {
+                    name,
+                    count: w.count,
+                    mean: if w.count == 0 { 0.0 } else { w.mean },
+                    std_dev: variance.sqrt(),
+                    min: (w.count > 0).then_some(w.min),
+                    max: (w.count > 0).then_some(w.max),
+                }
+            })
+            .collect();
+        let histograms = act
+            .hists
+            .names
+            .iter()
+            .zip(&act.hists.values)
+            .map(|(&name, h)| HistSnap {
+                name,
+                lo: h.lo,
+                hi: h.hi,
+                bins: h.bins.clone(),
+                underflow: h.underflow,
+                overflow: h.overflow,
+                count: h.count,
+                p50: h.quantile(0.5),
+                p99: h.quantile(0.99),
+            })
+            .collect();
+        let mut profile: Vec<HandlerStat> = act
+            .profile
+            .names
+            .iter()
+            .zip(&act.profile.values)
+            .map(|(&name, &(calls, nanos))| HandlerStat {
+                name,
+                calls,
+                total_nanos: nanos,
+                mean_nanos: if calls == 0 {
+                    0.0
+                } else {
+                    nanos as f64 / calls as f64
+                },
+            })
+            .collect();
+        profile.sort_by(|a, b| b.total_nanos.cmp(&a.total_nanos).then(a.name.cmp(b.name)));
+        Snapshot {
+            counters,
+            gauges,
+            summaries,
+            histograms,
+            trace: act.ring.in_order(),
+            trace_dropped: act.ring.dropped,
+            profile,
+        }
+    }
+
+    /// Value of a counter, 0 when never registered.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |&(_, v)| v)
+    }
+
+    /// Value of a gauge, `None` when never registered.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| *n == name).map(|&(_, v)| v)
+    }
+
+    /// Summary instrument by name.
+    pub fn summary(&self, name: &str) -> Option<&SummarySnap> {
+        self.summaries.iter().find(|s| s.name == name)
+    }
+
+    /// Histogram instrument by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistSnap> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// The `k` hottest handlers by total wall time.
+    pub fn top_handlers(&self, k: usize) -> &[HandlerStat] {
+        &self.profile[..k.min(self.profile.len())]
+    }
+
+    /// Equality over the deterministic sections only: trace and metrics are
+    /// pure functions of the seed, the wall-clock profile is not.
+    pub fn deterministic_eq(&self, other: &Snapshot) -> bool {
+        self.counters == other.counters
+            && self.gauges == other.gauges
+            && self.summaries == other.summaries
+            && self.histograms == other.histograms
+            && self.trace == other.trace
+            && self.trace_dropped == other.trace_dropped
+    }
+
+    /// Fold another snapshot into this one under a name prefix: its metrics
+    /// are appended (names kept, sections concatenated) and its trace events
+    /// merged in timestamp order. Used to combine per-subsystem recorders
+    /// (network, sessions, user-sim) into one experiment-level snapshot.
+    pub fn absorb(&mut self, other: Snapshot) {
+        self.counters.extend(other.counters);
+        self.gauges.extend(other.gauges);
+        self.summaries.extend(other.summaries);
+        self.histograms.extend(other.histograms);
+        self.trace.extend(other.trace);
+        // Stable sort keeps same-timestamp events in concatenation order,
+        // which is deterministic because absorb order is code-defined.
+        self.trace.sort_by_key(|ev| ev.t_nanos);
+        self.trace_dropped += other.trace_dropped;
+        self.profile.extend(other.profile);
+        self.profile
+            .sort_by(|a, b| b.total_nanos.cmp(&a.total_nanos).then(a.name.cmp(b.name)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64, name: &'static str) -> TraceEvent {
+        TraceEvent {
+            t_nanos: t,
+            layer: Layer::Resource,
+            name,
+            node: 1,
+            a: 0,
+            b: 0,
+        }
+    }
+
+    #[test]
+    fn off_recorder_is_inert() {
+        let mut t = Telemetry::off();
+        t.trace(ev(1, "x"));
+        t.count("c", 1);
+        t.observe("s", 1.0);
+        t.profile("h", 10);
+        assert!(!t.enabled());
+        assert!(t.snapshot().is_none());
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let mut t = Telemetry::enabled(TelemetryConfig { ring_capacity: 3 });
+        for i in 0..5u64 {
+            t.trace(ev(i, "e"));
+        }
+        let snap = t.snapshot().unwrap();
+        assert_eq!(snap.trace_dropped, 2);
+        let ts: Vec<u64> = snap.trace.iter().map(|e| e.t_nanos).collect();
+        assert_eq!(ts, vec![2, 3, 4]); // oldest two overwritten
+    }
+
+    #[test]
+    fn zero_capacity_ring_ignores_events() {
+        let mut t = Telemetry::enabled(TelemetryConfig::metrics_only());
+        t.trace(ev(1, "e"));
+        let snap = t.snapshot().unwrap();
+        assert!(snap.trace.is_empty());
+        assert_eq!(snap.trace_dropped, 0);
+    }
+
+    #[test]
+    fn counters_gauges_and_instruments() {
+        let mut t = Telemetry::enabled(TelemetryConfig::default());
+        t.count("net.retries", 2);
+        t.count("net.retries", 3);
+        t.gauge("queue.depth", 7.0);
+        t.gauge("queue.depth", 4.0);
+        t.observe("svc.time", 1.0);
+        t.observe("svc.time", 3.0);
+        t.observe_hist("lat", 0.0, 10.0, 10, 2.5);
+        let snap = t.snapshot().unwrap();
+        assert_eq!(snap.counter("net.retries"), 5);
+        assert_eq!(snap.counter("absent"), 0);
+        assert_eq!(snap.gauge("queue.depth"), Some(4.0));
+        let s = snap.summary("svc.time").unwrap();
+        assert_eq!(s.count, 2);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, Some(1.0));
+        assert_eq!(s.max, Some(3.0));
+        let h = snap.histogram("lat").unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.bins[2], 1);
+    }
+
+    #[test]
+    fn handles_and_names_share_slots() {
+        let mut t = Telemetry::enabled(TelemetryConfig::default());
+        let id = t.active_mut().unwrap().register_counter("shared");
+        t.active_mut().unwrap().add(id, 2);
+        t.count("shared", 3);
+        assert_eq!(t.snapshot().unwrap().counter("shared"), 5);
+    }
+
+    #[test]
+    fn profile_sorts_hottest_first_and_is_excluded_from_determinism() {
+        let mut a = Telemetry::enabled(TelemetryConfig::default());
+        a.profile("cool", 10);
+        a.profile("hot", 100);
+        a.profile("hot", 100);
+        let snap = a.snapshot().unwrap();
+        assert_eq!(snap.profile[0].name, "hot");
+        assert_eq!(snap.profile[0].calls, 2);
+        assert_eq!(snap.profile[0].total_nanos, 200);
+        assert_eq!(snap.top_handlers(1).len(), 1);
+
+        let mut b = Telemetry::enabled(TelemetryConfig::default());
+        b.profile("hot", 999); // different wall time, same deterministic part
+        assert!(snap.deterministic_eq(&b.snapshot().unwrap()));
+    }
+
+    #[test]
+    fn absorb_merges_sections_and_orders_trace() {
+        let mut a = Telemetry::enabled(TelemetryConfig::default());
+        a.count("a", 1);
+        a.trace(ev(5, "late"));
+        let mut b = Telemetry::enabled(TelemetryConfig::default());
+        b.count("b", 2);
+        b.trace(ev(3, "early"));
+        let mut snap = a.snapshot().unwrap();
+        snap.absorb(b.snapshot().unwrap());
+        assert_eq!(snap.counter("a"), 1);
+        assert_eq!(snap.counter("b"), 2);
+        let names: Vec<_> = snap.trace.iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["early", "late"]);
+    }
+}

@@ -14,9 +14,11 @@ use crate::protocol::{chunk_update, PushResult, Reassembler, VncMsg};
 use crate::workloads::ScreenSource;
 use aroma_net::{Address, NetApp, NetCtx, NodeId};
 use aroma_sim::stats::Summary;
+use aroma_sim::telemetry::{Layer, Recorder};
 use aroma_sim::{SimDuration, SimTime};
 use bytes::Bytes;
 use std::collections::VecDeque;
+use std::time::Instant;
 
 /// How many chunks the server keeps in the MAC queue at once.
 const SEND_WINDOW: usize = 8;
@@ -71,7 +73,18 @@ impl VncServerApp {
     }
 
     fn serve_update(&mut self, ctx: &mut NetCtx<'_>, incremental: bool) {
+        // Pipeline stage timing is wall clock: in a discrete-event world the
+        // compute stages (render/encode/chunk) occupy zero simulated time,
+        // so their cost only shows up in the self-profiling section.
+        let profiling = ctx.telemetry().enabled();
+        let t0 = profiling.then(Instant::now);
         self.source.render(ctx.now(), &mut self.fb);
+        if let Some(t) = t0 {
+            ctx.telemetry()
+                .profile("vnc.render", t.elapsed().as_nanos() as u64);
+        }
+
+        let t0 = profiling.then(Instant::now);
         let dirty: Vec<usize> = match (&self.last_sent, incremental) {
             (Some(prev), true) => self.fb.dirty_tiles(prev),
             _ => (0..self.fb.tile_count()).collect(),
@@ -87,15 +100,40 @@ impl VncServerApp {
             })
             .collect();
         let stream = write_tile_stream(&tiles);
+        if let Some(t) = t0 {
+            ctx.telemetry()
+                .profile("vnc.encode", t.elapsed().as_nanos() as u64);
+        }
         self.last_sent = Some(self.fb.tile_hashes());
         self.updates_sent += 1;
         self.tiles_sent += tiles.len() as u64;
         self.stream_bytes_sent += stream.len() as u64;
         let id = self.next_update_id;
         self.next_update_id = self.next_update_id.wrapping_add(1);
+
+        let t0 = profiling.then(Instant::now);
+        let stream_len = stream.len();
+        let mut chunks = 0i64;
         for chunk in chunk_update(id, stream) {
             self.outgoing.push_back(chunk.encode());
+            chunks += 1;
         }
+        if let Some(t) = t0 {
+            ctx.telemetry()
+                .profile("vnc.chunk", t.elapsed().as_nanos() as u64);
+        }
+        let now_ns = ctx.now().as_nanos();
+        let rec = ctx.telemetry();
+        rec.count("vnc.updates_served", 1);
+        rec.observe("vnc.update_bytes", stream_len as f64);
+        rec.event(
+            now_ns,
+            Layer::Resource,
+            "vnc.update.serve",
+            0,
+            tiles.len() as i64,
+            chunks,
+        );
         self.pump(ctx);
     }
 
@@ -211,6 +249,16 @@ impl VncViewerApp {
         self.last_progress_at = Some(ctx.now());
         self.awaiting_update = true;
         self.reassembler.reset();
+        let rec = ctx.telemetry();
+        rec.count("vnc.requests", 1);
+        rec.event(
+            self.request_sent_at.unwrap().as_nanos(),
+            Layer::Resource,
+            "vnc.request",
+            self.server.0,
+            incremental as i64,
+            0,
+        );
         ctx.send(
             Address::Node(self.server),
             VncMsg::UpdateRequest { incremental }.encode(),
@@ -279,13 +327,25 @@ impl NetApp for VncViewerApp {
             PushResult::Gap => {
                 // Lost a chunk: resynchronise with a full update.
                 self.recoveries += 1;
+                ctx.telemetry().count("vnc.gaps", 1);
                 self.request(ctx, false);
             }
             PushResult::Complete(stream) => {
                 self.awaiting_update = false;
                 if let Some(at) = self.request_sent_at {
-                    self.update_latency
-                        .record(ctx.now().saturating_since(at).as_secs_f64());
+                    let latency = ctx.now().saturating_since(at);
+                    self.update_latency.record(latency.as_secs_f64());
+                    let now_ns = ctx.now().as_nanos();
+                    let rec = ctx.telemetry();
+                    rec.observe("vnc.update_latency_s", latency.as_secs_f64());
+                    rec.event(
+                        now_ns,
+                        Layer::Physical,
+                        "vnc.update.deliver",
+                        self.server.0,
+                        stream.len() as i64,
+                        latency.as_nanos() as i64,
+                    );
                 }
                 if self.apply_stream(stream) {
                     self.updates_completed += 1;

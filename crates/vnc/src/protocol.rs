@@ -46,6 +46,12 @@ pub enum VncCodecError {
     Truncated,
     /// Unknown tag byte.
     BadTag(u8),
+    /// Bytes remained after a well-formed message — a framing bug or a
+    /// smuggled payload; wire messages must parse exactly.
+    TrailingBytes {
+        /// How many bytes were left over.
+        remaining: usize,
+    },
 }
 
 impl VncMsg {
@@ -87,14 +93,14 @@ impl VncMsg {
         if proto != PROTO_VNC {
             return Err(VncCodecError::BadTag(proto));
         }
-        match buf.get_u8() {
+        let msg = match buf.get_u8() {
             TAG_UPDATE_REQUEST => {
                 if buf.remaining() < 1 {
                     return Err(VncCodecError::Truncated);
                 }
-                Ok(VncMsg::UpdateRequest {
+                VncMsg::UpdateRequest {
                     incremental: buf.get_u8() != 0,
-                })
+                }
             }
             TAG_UPDATE_CHUNK => {
                 if buf.remaining() < 11 {
@@ -108,15 +114,23 @@ impl VncMsg {
                     return Err(VncCodecError::Truncated);
                 }
                 let payload = buf.split_to(len);
-                Ok(VncMsg::UpdateChunk {
+                VncMsg::UpdateChunk {
                     update_id,
                     seq,
                     last,
                     payload,
-                })
+                }
             }
-            t => Err(VncCodecError::BadTag(t)),
+            t => return Err(VncCodecError::BadTag(t)),
+        };
+        // Wire messages must parse exactly; leftover bytes mean a framing
+        // bug or a smuggled payload riding behind the message.
+        if buf.remaining() > 0 {
+            return Err(VncCodecError::TrailingBytes {
+                remaining: buf.remaining(),
+            });
         }
+        Ok(msg)
     }
 }
 
@@ -171,34 +185,37 @@ impl Reassembler {
 
     /// Feed one chunk.
     pub fn push(&mut self, update_id: u32, seq: u16, last: bool, payload: &Bytes) -> PushResult {
-        match &mut self.current {
-            None => {
-                if seq != 0 {
-                    return PushResult::Gap; // joined mid-update
-                }
-                if last {
-                    return PushResult::Complete(payload.clone());
-                }
-                let mut buf = BytesMut::with_capacity(payload.len() * 4);
-                buf.extend_from_slice(payload);
-                self.current = Some((update_id, 1, buf));
-                PushResult::Incomplete
-            }
-            Some((id, next_seq, buf)) => {
-                if *id != update_id || seq != *next_seq {
-                    self.current = None;
-                    return PushResult::Gap;
-                }
+        if let Some((id, next_seq, buf)) = &mut self.current {
+            if *id == update_id && seq == *next_seq {
                 buf.extend_from_slice(payload);
                 *next_seq += 1;
-                if last {
+                return if last {
                     let (_, _, buf) = self.current.take().unwrap();
                     PushResult::Complete(buf.freeze())
                 } else {
                     PushResult::Incomplete
-                }
+                };
             }
+            // The pending partial is stale. A seq-0 chunk of a *different*
+            // update is the clean start of the next update — restart with
+            // it below rather than discarding it, which would cost the
+            // viewer a full re-request round-trip after every mid-update
+            // loss. Anything else is an unrecoverable gap.
+            let fresh_start = *id != update_id && seq == 0;
+            self.current = None;
+            if !fresh_start {
+                return PushResult::Gap;
+            }
+        } else if seq != 0 {
+            return PushResult::Gap; // joined mid-update
         }
+        if last {
+            return PushResult::Complete(payload.clone());
+        }
+        let mut buf = BytesMut::with_capacity(payload.len() * 4);
+        buf.extend_from_slice(payload);
+        self.current = Some((update_id, 1, buf));
+        PushResult::Incomplete
     }
 
     /// Drop any partial update (loss recovery).
@@ -320,6 +337,59 @@ mod tests {
     }
 
     #[test]
+    fn loss_then_new_update_restarts_reassembly() {
+        // Mid-update loss: chunks 1.. of update 7 never arrive, then the
+        // server moves on to update 8. Its seq-0 chunk must restart
+        // reassembly (not be discarded as a Gap) so update 8 completes
+        // without an extra full-update round-trip.
+        let stream7 = Bytes::from(vec![7u8; CHUNK_PAYLOAD * 3]);
+        let stream8 = Bytes::from(vec![8u8; CHUNK_PAYLOAD + 10]);
+        let chunks7 = chunk_update(7, stream7);
+        let chunks8 = chunk_update(8, stream8.clone());
+        let mut r = Reassembler::new();
+        if let VncMsg::UpdateChunk {
+            update_id,
+            seq,
+            last,
+            payload,
+        } = &chunks7[0]
+        {
+            assert_eq!(r.push(*update_id, *seq, *last, payload), PushResult::Incomplete);
+        }
+        // chunks7[1..] lost; update 8 starts.
+        let mut out = None;
+        for c in &chunks8 {
+            if let VncMsg::UpdateChunk {
+                update_id,
+                seq,
+                last,
+                payload,
+            } = c
+            {
+                match r.push(*update_id, *seq, *last, payload) {
+                    PushResult::Complete(b) => out = Some(b),
+                    PushResult::Incomplete => {}
+                    PushResult::Gap => panic!("fresh seq-0 chunk must not be a gap"),
+                }
+            }
+        }
+        assert_eq!(out.unwrap(), stream8);
+    }
+
+    #[test]
+    fn single_chunk_new_update_completes_over_stale_partial() {
+        let mut r = Reassembler::new();
+        assert_eq!(
+            r.push(1, 0, false, &Bytes::from_static(b"old")),
+            PushResult::Incomplete
+        );
+        assert_eq!(
+            r.push(2, 0, true, &Bytes::from_static(b"new")),
+            PushResult::Complete(Bytes::from_static(b"new"))
+        );
+    }
+
+    #[test]
     fn joining_mid_update_is_a_gap() {
         let mut r = Reassembler::new();
         assert_eq!(
@@ -351,5 +421,26 @@ mod tests {
         }
         .encode();
         assert!(VncMsg::decode(full.slice(0..full.len() - 2)).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_trailing_bytes() {
+        for m in [
+            VncMsg::UpdateRequest { incremental: true },
+            VncMsg::UpdateChunk {
+                update_id: 3,
+                seq: 1,
+                last: false,
+                payload: Bytes::from_static(b"tiles"),
+            },
+        ] {
+            let mut b = BytesMut::new();
+            b.put_slice(&m.encode());
+            b.put_u8(0xAB);
+            assert_eq!(
+                VncMsg::decode(b.freeze()),
+                Err(VncCodecError::TrailingBytes { remaining: 1 })
+            );
+        }
     }
 }

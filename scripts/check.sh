@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Full local gate: release build, test suite, warning-free clippy, and the
+# Full local gate: release build, test suite, warning-free clippy, the
 # model checker in smoke mode (bounded exhaustive sweep of the session and
-# lease protocols — see DESIGN.md §9).
+# lease protocols — see DESIGN.md §9), and one traced smoke experiment
+# exercising the telemetry pipeline end to end (DESIGN.md §10).
 # Run from the repository root: ./scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -10,3 +11,5 @@ cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
 cargo run --release --example model_check -- --max-states 50000
+cargo run --release -p lpc-bench --bin repro -- --quick --metrics e2 \
+  | grep -q '"net.mac.tx_attempts"'
