@@ -1,4 +1,4 @@
-//! E9 bench: walkaway (mobility) simulation runs per rate policy.
+//! E11 bench: walkaway (mobility) simulation runs per rate policy.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use lpc_bench::experiments::walkaway::walkaway;
@@ -6,7 +6,7 @@ use aroma_net::{Rate, RateAdaptation};
 use std::hint::black_box;
 
 fn bench_walkaway(c: &mut Criterion) {
-    let mut g = c.benchmark_group("walkaway/e9");
+    let mut g = c.benchmark_group("walkaway/e11");
     g.sample_size(10);
     for (name, adapt) in [
         ("adaptive", RateAdaptation::SnrBased),

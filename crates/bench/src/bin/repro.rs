@@ -7,22 +7,48 @@
 //! repro --json all     # archival JSON instead of tables
 //! repro --metrics e2   # attach the telemetry recorder, emit a metrics snapshot
 //! repro --trace e2     # as --metrics plus the structured trace ring
+//! repro --experiment e9 --seed 7   # one experiment, with a seed override
 //! repro --list         # list experiment ids and titles
 //! ```
 
 use lpc_bench::experiments::{self, RunOpts, ALL_IDS};
+
+const USAGE: &str = "usage: repro [--quick] [--json] [--metrics] [--trace] [--seed N] [--list] \
+                     [--experiment <id>] <all|f1..f5|e1..e11>...";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut opts = RunOpts::default();
     let mut json = false;
     let mut ids: Vec<String> = Vec::new();
-    for a in &args {
+    let mut i = 0usize;
+    while i < args.len() {
+        let a = &args[i];
+        i += 1;
         match a.as_str() {
             "--quick" => opts.quick = true,
             "--json" => json = true,
             "--metrics" => opts.metrics = true,
             "--trace" => opts.trace = true,
+            // `--seed N` and `--experiment <id>` take a value argument.
+            "--seed" | "--experiment" => {
+                let Some(v) = args.get(i) else {
+                    eprintln!("{} needs a value\n{USAGE}", a);
+                    std::process::exit(2);
+                };
+                i += 1;
+                if a == "--seed" {
+                    match v.parse::<u64>() {
+                        Ok(s) => opts.seed = Some(s),
+                        Err(_) => {
+                            eprintln!("--seed wants an unsigned integer, got {v:?}\n{USAGE}");
+                            std::process::exit(2);
+                        }
+                    }
+                } else {
+                    ids.push(v.clone());
+                }
+            }
             "--list" => {
                 for id in ALL_IDS {
                     let out = experiments::run(id, true).expect("registered id");
@@ -35,9 +61,7 @@ fn main() {
         }
     }
     if ids.is_empty() {
-        eprintln!(
-            "usage: repro [--quick] [--json] [--metrics] [--trace] [--list] <all|f1..f5|e1..e10>..."
-        );
+        eprintln!("{USAGE}");
         std::process::exit(2);
     }
     for id in &ids {

@@ -18,6 +18,9 @@ pub struct RunOpts {
     /// Also embed the structured trace ring in the snapshot (implies
     /// `metrics`).
     pub trace: bool,
+    /// Override the base seed of experiments that honour one (E9's chaos
+    /// walkthrough); `None` keeps each experiment's built-in seed.
+    pub seed: Option<u64>,
 }
 
 impl RunOpts {
@@ -40,6 +43,7 @@ impl RunOpts {
 pub mod acoustics_exp;
 pub mod analysis_exp;
 pub mod burden;
+pub mod chaos;
 pub mod discovery_exp;
 pub mod executor_exp;
 pub mod figures;
@@ -118,10 +122,11 @@ impl ExperimentOutput {
     }
 }
 
-/// All experiment ids in run order (e9/e10 are the paper's own
-/// future-work extensions: mobility and voice control).
-pub const ALL_IDS: [&str; 15] = [
+/// All experiment ids in run order (e9–e11 are extensions beyond the
+/// paper's figures: the chaos walkthrough, voice control, and mobility).
+pub const ALL_IDS: [&str; 16] = [
     "f1", "f2", "f3", "f4", "f5", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
+    "e11",
 ];
 
 /// Is `id` a registered experiment?
@@ -159,8 +164,9 @@ pub fn run_with(id: &str, opts: RunOpts) -> Option<ExperimentOutput> {
         "e6" => Some(acoustics_exp::e6()),
         "e7" => Some(executor_exp::e7()),
         "e8" => Some(analysis_exp::e8_with(opts)),
-        "e9" => Some(walkaway::e9(quick)),
+        "e9" => Some(chaos::e9_with(opts)),
         "e10" => Some(voice::e10(quick)),
+        "e11" => Some(walkaway::e11(quick)),
         _ => None,
     }
 }

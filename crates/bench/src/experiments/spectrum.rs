@@ -157,7 +157,7 @@ mod tests {
         let out = e2_with(RunOpts {
             quick: true,
             metrics: true,
-            trace: false,
+            ..RunOpts::default()
         });
         let rendered = out.render();
         assert!(rendered.contains("metrics: {"));

@@ -1,4 +1,4 @@
-//! E9 (extension) — mobility and ranging: the presenter walks away.
+//! E11 (extension) — mobility and ranging: the presenter walks away.
 //!
 //! The paper's list of wireless environment issues opens with *ranging*,
 //! and pervasive computing's "dynamic nature is a result of its mobile and
@@ -63,8 +63,8 @@ pub fn walkaway(
     out
 }
 
-/// Run E9.
-pub fn e9(quick: bool) -> ExperimentOutput {
+/// Run E11.
+pub fn e11(quick: bool) -> ExperimentOutput {
     let (windows, window_s, to_m) = if quick { (5, 1, 250.0) } else { (10, 2, 300.0) };
     let arms = [
         ("adaptive", RateAdaptation::SnrBased),
@@ -103,7 +103,7 @@ pub fn e9(quick: bool) -> ExperimentOutput {
     let r_adapt = range_of(&results[0]);
     let r_fixed = range_of(&results[1]);
     ExperimentOutput {
-        id: "e9",
+        id: "e11",
         title: "mobility/ranging: goodput vs distance while walking away (extension)",
         tables: vec![(
             format!("saturated 1000-byte stream, walking 3 → {to_m:.0} m:"),
@@ -124,7 +124,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn e9_shape_adaptive_outranges_fixed_fast() {
+    fn e11_shape_adaptive_outranges_fixed_fast() {
         let adaptive = walkaway(RateAdaptation::SnrBased, 3.0, 250.0, 5, 1, 1);
         let fixed = walkaway(RateAdaptation::Fixed(Rate::R11), 3.0, 250.0, 5, 1, 1);
         let last_adaptive = adaptive.last().unwrap().1;

@@ -188,10 +188,12 @@ impl LeaseModel {
             }
             let registered = matches!(
                 state.last_event.get(&ev.item.id),
-                Some(EventKind::Registered)
+                Some(EventKind::Registered) | Some(EventKind::Updated)
             );
             let legal = match ev.kind {
                 EventKind::Registered => !registered,
+                // An update announces changed content of a *live* entry.
+                EventKind::Updated => registered,
                 EventKind::Expired | EventKind::Unregistered => registered,
             };
             if !legal {
@@ -362,6 +364,7 @@ impl Model for LeaseModel {
             Some(EventKind::Registered) => 1,
             Some(EventKind::Expired) => 2,
             Some(EventKind::Unregistered) => 3,
+            Some(EventKind::Updated) => 4,
         };
         // Registry-as-stored, via the model-check snapshot hook.
         let stored: BTreeMap<ServiceId, SimTime> =

@@ -32,6 +32,11 @@ pub const DISCOVER_PERIOD: SimDuration = SimDuration::from_millis(500);
 pub const RPC_TIMEOUT: SimDuration = SimDuration::from_millis(300);
 /// How often a client repeats an unanswered or empty lookup.
 pub const LOOKUP_PERIOD: SimDuration = SimDuration::from_millis(300);
+/// Backoff cap: discovery retries never wait more than 4× the base period.
+pub const MAX_BACKOFF_SHIFT: u32 = 2;
+/// Consecutive unanswered lookups after which a polling client decides the
+/// registrar is gone and falls back to discovery.
+pub const LOOKUP_GIVE_UP: u32 = 3;
 
 /// The lookup service.
 pub struct RegistrarApp {
@@ -260,6 +265,17 @@ impl NetApp for RegistrarApp {
                     let stale = (all - live) as i64;
                     let rec = ctx.telemetry();
                     rec.count("disc.lookups", 1);
+                    // `live` is what the reply carries: a positive value here
+                    // is a successful `lookup_live`, which is the signal the
+                    // chaos experiment uses to time discovery recovery.
+                    rec.event(
+                        now.as_nanos(),
+                        Layer::Abstract,
+                        "lookup.serve",
+                        from.0,
+                        live as i64,
+                        stale,
+                    );
                     if stale > 0 {
                         rec.count("disc.lease.stale_window_hits", stale as u64);
                         rec.event(
@@ -306,6 +322,17 @@ impl NetApp for RegistrarApp {
             self.schedule_expiry(ctx);
         }
     }
+
+    /// Fault-plane crash: lose the soft state, exactly as the manual
+    /// [`RegistrarApp::crash`] used by the E3 availability arm.
+    fn on_crash(&mut self, _ctx: &mut NetCtx<'_>) {
+        self.crash();
+    }
+
+    /// Fault-plane restart: come back empty and start serving again.
+    fn on_restart(&mut self, _ctx: &mut NetCtx<'_>) {
+        self.restart();
+    }
 }
 
 /// Provider lifecycle state.
@@ -335,6 +362,14 @@ pub struct ProviderApp {
     pub renewals_completed: u64,
     /// Times the provider had to fall back to discovery.
     pub rediscoveries: u64,
+    /// Times a renewal timeout was recovered by re-registering at a standby
+    /// registrar instead of a full re-discovery.
+    pub failovers: u64,
+    /// Every registrar that has ever answered a discovery round, in
+    /// first-seen order (the failover candidates).
+    pub known_registrars: Vec<NodeId>,
+    /// Consecutive unanswered discovery rounds (drives the backoff).
+    attempts: u32,
     nonce: u64,
     /// A Renew is in flight with no answer yet.
     renewal_outstanding: bool,
@@ -351,9 +386,37 @@ impl ProviderApp {
             registrations_completed: 0,
             renewals_completed: 0,
             rediscoveries: 0,
+            failovers: 0,
+            known_registrars: Vec::new(),
+            attempts: 0,
             nonce: 0,
             renewal_outstanding: false,
         }
+    }
+
+    fn note_registrar(&mut self, reg: NodeId) {
+        if !self.known_registrars.contains(&reg) {
+            self.known_registrars.push(reg);
+        }
+    }
+
+    /// Delay before the next discovery round.
+    ///
+    /// The first attempt and the first retry wait exactly
+    /// [`DISCOVER_PERIOD`] and draw no randomness, so runs where discovery
+    /// succeeds (or loses at most one frame) are bit-identical to the
+    /// pre-backoff protocol. From the second consecutive unanswered round
+    /// on — i.e. only when the registrar is genuinely gone — the period
+    /// doubles up to [`MAX_BACKOFF_SHIFT`] with jitter in
+    /// `[0, DISCOVER_PERIOD / 2)` to de-synchronise recovering providers.
+    fn retry_delay(&mut self, ctx: &mut NetCtx<'_>) -> SimDuration {
+        if self.attempts < 2 {
+            return DISCOVER_PERIOD;
+        }
+        let shift = (self.attempts - 1).min(MAX_BACKOFF_SHIFT);
+        let base = DISCOVER_PERIOD.as_nanos() << shift;
+        let jitter = ctx.rng().below(DISCOVER_PERIOD.as_nanos() / 2);
+        SimDuration::from_nanos(base + jitter)
     }
 
     fn discover(&mut self, ctx: &mut NetCtx<'_>) {
@@ -364,7 +427,8 @@ impl ProviderApp {
             Address::Broadcast,
             Msg::DiscoverReq { nonce: self.nonce }.encode(),
         );
-        ctx.set_timer(DISCOVER_PERIOD, T_DISCOVER);
+        let delay = self.retry_delay(ctx);
+        ctx.set_timer(delay, T_DISCOVER);
     }
 
     fn register(&mut self, ctx: &mut NetCtx<'_>) {
@@ -393,8 +457,15 @@ impl NetApp for ProviderApp {
             Msg::DiscoverResp { nonce }
                 if nonce == self.nonce && self.state == ProviderState::Discovering =>
             {
+                self.attempts = 0;
+                self.note_registrar(from);
                 self.registrar = Some(from);
                 self.register(ctx);
+            }
+            // A further registrar answering the same round: remember it as
+            // a failover standby.
+            Msg::DiscoverResp { nonce } if nonce == self.nonce => {
+                self.note_registrar(from);
             }
             Msg::RegisterAck { id, granted_ms }
                 if id == self.item.id && self.state == ProviderState::Registering =>
@@ -422,6 +493,7 @@ impl NetApp for ProviderApp {
         match (token, self.state) {
             (T_DISCOVER, ProviderState::Discovering) => {
                 self.rediscoveries += 1;
+                self.attempts += 1;
                 self.discover(ctx);
             }
             (T_REG_TIMEOUT, ProviderState::Registering) => {
@@ -437,13 +509,34 @@ impl NetApp for ProviderApp {
             }
             (T_RENEW_TIMEOUT, ProviderState::Registered)
                 // No RenewAck since the Renew went out: registrar is gone or
-                // unreachable — fall back to discovery.
+                // unreachable — fail over to a standby registrar if one ever
+                // answered discovery, else fall back to discovery.
                 if self.renewal_outstanding => {
                     self.renewal_outstanding = false;
-                    self.discover(ctx);
+                    let standby = self
+                        .known_registrars
+                        .iter()
+                        .copied()
+                        .find(|r| Some(*r) != self.registrar);
+                    if let Some(next) = standby {
+                        self.failovers += 1;
+                        self.registrar = Some(next);
+                        self.register(ctx);
+                    } else {
+                        self.discover(ctx);
+                    }
                 }
             _ => {}
         }
+    }
+
+    /// A node crash loses all protocol state (the lease, the registrar, the
+    /// in-flight RPC); the subsequent restart re-enters discovery cold.
+    fn on_crash(&mut self, _ctx: &mut NetCtx<'_>) {
+        self.state = ProviderState::Discovering;
+        self.registrar = None;
+        self.renewal_outstanding = false;
+        self.attempts = 0;
     }
 }
 
@@ -465,6 +558,16 @@ pub struct ClientApp {
     pub events: Vec<(SimTime, EventKind, ServiceId)>,
     /// Subscribe to events after discovery?
     pub subscribe: bool,
+    /// Keep polling lookups after the first hit (long-lived clients that
+    /// must notice registrar failures and re-discover).
+    pub continuous: bool,
+    /// Times the client abandoned an unresponsive registrar and went back
+    /// to discovery.
+    pub rediscoveries: u64,
+    /// Lookup replies received (empty or not).
+    pub lookup_replies: u64,
+    /// Consecutive lookups with no reply of any kind.
+    unanswered: u32,
     nonce: u64,
     next_req: u64,
 }
@@ -481,6 +584,10 @@ impl ClientApp {
             lookups_sent: 0,
             events: Vec::new(),
             subscribe: false,
+            continuous: false,
+            rediscoveries: 0,
+            lookup_replies: 0,
+            unanswered: 0,
             nonce: 0,
             next_req: 1,
         }
@@ -489,6 +596,13 @@ impl ClientApp {
     /// Enable event subscription after discovery.
     pub fn with_subscription(mut self) -> Self {
         self.subscribe = true;
+        self
+    }
+
+    /// Keep polling lookups forever instead of stopping at the first hit,
+    /// re-discovering after [`LOOKUP_GIVE_UP`] consecutive silent lookups.
+    pub fn polling(mut self) -> Self {
+        self.continuous = true;
         self
     }
 
@@ -506,6 +620,7 @@ impl ClientApp {
         let req = self.next_req;
         self.next_req += 1;
         self.lookups_sent += 1;
+        self.unanswered += 1;
         ctx.send(
             Address::Node(reg),
             Msg::Lookup {
@@ -530,7 +645,9 @@ impl NetApp for ClientApp {
         match msg {
             Msg::DiscoverResp { nonce } if nonce == self.nonce && self.registrar.is_none() => {
                 self.registrar = Some(from);
-                self.discovered_at = Some(ctx.now());
+                if self.discovered_at.is_none() {
+                    self.discovered_at = Some(ctx.now());
+                }
                 if self.subscribe {
                     ctx.send(
                         Address::Node(from),
@@ -542,11 +659,15 @@ impl NetApp for ClientApp {
                 }
                 self.lookup(ctx);
             }
-            Msg::LookupReply { items, .. } if !items.is_empty() => {
-                if self.service_found_at.is_none() {
-                    self.service_found_at = Some(ctx.now());
+            Msg::LookupReply { items, .. } => {
+                self.lookup_replies += 1;
+                self.unanswered = 0;
+                if !items.is_empty() {
+                    if self.service_found_at.is_none() {
+                        self.service_found_at = Some(ctx.now());
+                    }
+                    self.found = items;
                 }
-                self.found = items;
             }
             Msg::Event { kind, item } => {
                 self.events.push((ctx.now(), kind, item.id));
@@ -558,10 +679,29 @@ impl NetApp for ClientApp {
     fn on_timer(&mut self, ctx: &mut NetCtx<'_>, token: u64) {
         match token {
             T_DISCOVER if self.registrar.is_none() => self.discover(ctx),
-            T_LOOKUP if self.service_found_at.is_none() && self.registrar.is_some() => {
-                self.lookup(ctx)
+            T_LOOKUP
+                if (self.service_found_at.is_none() || self.continuous)
+                    && self.registrar.is_some() =>
+            {
+                if self.continuous && self.unanswered >= LOOKUP_GIVE_UP {
+                    // The registrar has been silent for LOOKUP_GIVE_UP
+                    // straight lookups: abandon it and re-discover (the
+                    // answer may come from a standby).
+                    self.rediscoveries += 1;
+                    self.registrar = None;
+                    self.unanswered = 0;
+                    self.discover(ctx);
+                } else {
+                    self.lookup(ctx);
+                }
             }
             _ => {}
         }
+    }
+
+    /// A node crash forgets the registrar binding; restart re-discovers.
+    fn on_crash(&mut self, _ctx: &mut NetCtx<'_>) {
+        self.registrar = None;
+        self.unanswered = 0;
     }
 }

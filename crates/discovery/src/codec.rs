@@ -91,6 +91,11 @@ pub enum EventKind {
     Expired,
     /// A matching service withdrew.
     Unregistered,
+    /// A matching service re-registered with *different* content
+    /// (attributes, proxy, provider…) — subscribers holding a cached
+    /// `ServiceItem` must refresh it. A pure lease refresh (identical
+    /// item) emits nothing.
+    Updated,
 }
 
 /// A discovery-protocol message.
@@ -389,6 +394,7 @@ impl Msg {
                     EventKind::Registered => 0,
                     EventKind::Expired => 1,
                     EventKind::Unregistered => 2,
+                    EventKind::Updated => 3,
                 });
                 put_item(&mut buf, item);
             }
@@ -481,6 +487,7 @@ impl Msg {
                     0 => EventKind::Registered,
                     1 => EventKind::Expired,
                     2 => EventKind::Unregistered,
+                    3 => EventKind::Updated,
                     t => return Err(CodecError::BadTag(t)),
                 };
                 let item = get_item(&mut buf)?;

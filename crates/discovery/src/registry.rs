@@ -61,7 +61,10 @@ impl ServiceRegistry {
     }
 
     /// Register (or refresh) a service. Returns the granted lease and any
-    /// subscriber events.
+    /// subscriber events: `Registered` for a fresh id, `Updated` when an
+    /// existing id comes back with *different* content (attributes, proxy,
+    /// provider…), and nothing for a pure lease refresh with an identical
+    /// item.
     pub fn register(
         &mut self,
         now: SimTime,
@@ -69,7 +72,11 @@ impl ServiceRegistry {
         requested: SimDuration,
     ) -> (SimDuration, Vec<RegistryEvent>) {
         let granted = requested.min(self.max_lease);
-        let fresh = !self.regs.contains_key(&item.id);
+        let kind = match self.regs.get(&item.id) {
+            None => Some(EventKind::Registered),
+            Some(prev) if prev.item != item => Some(EventKind::Updated),
+            Some(_) => None,
+        };
         self.regs.insert(
             item.id,
             Registration {
@@ -77,15 +84,28 @@ impl ServiceRegistry {
                 lease_expires: now + granted,
             },
         );
-        let events = if fresh {
-            self.events_for(EventKind::Registered, &item)
-        } else {
-            Vec::new()
+        let events = match kind {
+            Some(k) => self.events_for(k, &item),
+            None => Vec::new(),
         };
         (granted, events)
     }
 
     /// Renew a lease. Returns the new lease if the registration is live.
+    ///
+    /// ## The expiry boundary
+    ///
+    /// A lease expiring exactly at `now` is **already dead** — the boundary
+    /// is inclusive on the dead side (`lease_expires <= now` ⇒ lapsed), and
+    /// every reader of `lease_expires` in this registry agrees on it:
+    /// `renew` rejects at the instant of expiry (the caller must
+    /// re-register), [`ServiceRegistry::lookup_live`] hides the entry from
+    /// that same instant (`lease_expires > now` to be served), and
+    /// [`ServiceRegistry::expire`] sweeps it (`lease_expires <= now`). If
+    /// any one of these flipped to the other convention a service could be
+    /// looked up at an instant where its renewal is refused (or vice
+    /// versa), re-opening the stale-lookup window `aroma-check` proves
+    /// closed. Pinned by `expiry_boundary_*` unit tests below.
     pub fn renew(&mut self, now: SimTime, id: ServiceId) -> Option<SimDuration> {
         let reg = self.regs.get_mut(&id)?;
         if reg.lease_expires <= now {
@@ -326,6 +346,67 @@ mod tests {
         assert_eq!(ev1.len(), 1);
         let (_, ev2) = r.register(t(100), item(1, "a"), SimDuration::from_secs(5));
         assert!(ev2.is_empty(), "refresh is not a new registration");
+    }
+
+    #[test]
+    fn changed_reregistration_notifies_updated() {
+        let mut r = ServiceRegistry::new(SimDuration::from_secs(10));
+        r.subscribe(7, Template::any());
+        r.register(t(0), item(1, "a"), SimDuration::from_secs(5));
+        // Same id, different attributes: subscribers must learn about it.
+        let mut changed = item(1, "a");
+        changed.attributes = vec![("room".into(), "B".into())];
+        let (_, ev) = r.register(t(100), changed.clone(), SimDuration::from_secs(5));
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].kind, EventKind::Updated);
+        assert_eq!(ev[0].item, changed);
+        // The stored item was replaced, not just the lease.
+        assert_eq!(r.lookup(&Template::any())[0].attributes[0].1, "B");
+        // And only subscribers whose template matches hear it.
+        let mut r2 = ServiceRegistry::new(SimDuration::from_secs(10));
+        r2.subscribe(9, Template::of_kind("printer"));
+        r2.register(t(0), item(1, "a"), SimDuration::from_secs(5));
+        let mut changed2 = item(1, "a");
+        changed2.provider = 99;
+        let (_, ev2) = r2.register(t(100), changed2, SimDuration::from_secs(5));
+        assert!(ev2.is_empty(), "non-matching subscriber must not be notified");
+    }
+
+    #[test]
+    fn expiry_boundary_renew_is_inclusive_dead() {
+        // Pin: at the exact expiry instant, renewal is refused; one
+        // nanosecond earlier it succeeds.
+        let mut r = ServiceRegistry::new(SimDuration::from_secs(1));
+        r.register(t(0), item(1, "a"), SimDuration::from_secs(1));
+        let just_before = SimTime::from_nanos(1_000_000_000 - 1);
+        assert!(r.renew(just_before, ServiceId(1)).is_some());
+        // (the successful renewal moved the expiry; rebuild to re-test)
+        let mut r = ServiceRegistry::new(SimDuration::from_secs(1));
+        r.register(t(0), item(1, "a"), SimDuration::from_secs(1));
+        assert!(
+            r.renew(t(1_000), ServiceId(1)).is_none(),
+            "a lease expiring exactly now is already dead for renewal"
+        );
+    }
+
+    #[test]
+    fn expiry_boundary_lookup_live_agrees_with_renew() {
+        // Pin: lookup_live sits on the same inclusive-dead boundary as
+        // renew — there is no instant where a service is servable but
+        // unrenewable, or renewable but hidden.
+        let mut r = ServiceRegistry::new(SimDuration::from_secs(1));
+        r.register(t(0), item(1, "a"), SimDuration::from_secs(1));
+        let just_before = SimTime::from_nanos(1_000_000_000 - 1);
+        let at_expiry = t(1_000);
+        // One nanosecond before expiry: both live.
+        assert_eq!(r.lookup_live(just_before, &Template::any()).len(), 1);
+        assert!(r.clone().renew(just_before, ServiceId(1)).is_some());
+        // At the exact expiry instant: both dead.
+        assert_eq!(r.lookup_live(at_expiry, &Template::any()).len(), 0);
+        assert!(r.renew(at_expiry, ServiceId(1)).is_none());
+        // And the expiry sweep uses the same boundary.
+        assert_eq!(r.expire(at_expiry).len(), 0, "no subscribers");
+        assert!(r.is_empty(), "expire(now) sweeps a lease expiring at now");
     }
 
     #[test]

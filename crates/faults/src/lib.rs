@@ -1,0 +1,305 @@
+//! Deterministic fault-injection plane for the Aroma/LPC stack.
+//!
+//! The paper's Resource/Abstract cross-relations ("must not be frustrated
+//! by", "must be consistent with") are only testable when the substrate
+//! actually fails. This crate defines the *description* of those failures:
+//! a seed-stable [`FaultSchedule`] of timestamped [`FaultOp`]s that the
+//! network simulator consumes and turns into injected faults — node
+//! crash/restart, channel partitions, burst frame loss beyond the PHY
+//! model, clock skew on a node's timers, and application process kills.
+//!
+//! Like `aroma-telemetry`, this is deliberately a std-only leaf crate:
+//! `aroma-sim` re-exports it as `aroma_sim::faults`, so it cannot depend on
+//! the simulation core. Times are raw nanoseconds since simulation start,
+//! nodes are raw `u32` indices, and node *sets* are `u64` bitmasks (the
+//! simulator asserts node counts fit). `SimTime`/`SimDuration`/`SimRng`
+//! builder glue lives in `aroma-sim`.
+//!
+//! Determinism contract: a schedule is a plain sorted list plus its own
+//! `seed`. The injector derives every random decision (burst-loss coin
+//! flips) from that seed alone, never from the simulation's main RNG, so
+//! attaching an *empty* schedule is guaranteed not to perturb a run.
+
+/// Bitmask of a set of node indices (node `i` ⇒ bit `i`). The simulator
+/// supports fault masks over the first 64 nodes, which covers every
+/// scenario in this repository.
+pub fn node_mask(nodes: &[u32]) -> u64 {
+    let mut m = 0u64;
+    for &n in nodes {
+        assert!(n < 64, "fault masks cover node indices 0..64, got {n}");
+        m |= 1 << n;
+    }
+    m
+}
+
+/// One fault operation, applied at a scheduled instant.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultOp {
+    /// Power-fail a node: radio silenced, MAC queue and in-flight exchanges
+    /// dropped, all pending app timers cancelled. With `drop_state` the
+    /// application's in-memory state is dropped too (the app is told via
+    /// `on_crash` and must rebuild from scratch on restart); without it the
+    /// state survives as a "snapshot restore" — only the timers are lost.
+    NodeDown { node: u32, drop_state: bool },
+    /// Restore a downed node. The app is told via `on_restart` (which by
+    /// default re-runs `on_start`).
+    NodeUp { node: u32 },
+    /// Open a bidirectional partition: frames between the `a` set and the
+    /// `b` set (bitmasks) are silently lost at the receiver. A node-vs-rest
+    /// mask pair models a channel blackout around one node.
+    PartitionStart { a: u64, b: u64 },
+    /// Heal the most recently opened, still-active partition.
+    PartitionEnd,
+    /// Begin a burst-loss window: every otherwise-successful reception is
+    /// additionally lost with probability `loss`, drawn from the fault
+    /// plane's own RNG stream (never the simulation RNG).
+    BurstStart { loss: f64 },
+    /// End the current burst-loss window.
+    BurstEnd,
+    /// Stretch (`factor > 1`) or compress (`factor < 1`) every *subsequent*
+    /// app-timer delay armed by `node`. `factor == 1.0` clears the skew.
+    ClockSkew { node: u32, factor: f64 },
+    /// Kill just the application process on `node`: the radio and MAC stay
+    /// up, but the app's state is dropped (`on_crash`) and its timers are
+    /// cancelled. Models a registrar daemon dying on a healthy host.
+    ProcessKill { node: u32 },
+    /// Restart a killed application process (`on_restart`).
+    ProcessRestart { node: u32 },
+}
+
+impl FaultOp {
+    /// Short stable name for telemetry/trace events.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultOp::NodeDown { .. } => "node_down",
+            FaultOp::NodeUp { .. } => "node_up",
+            FaultOp::PartitionStart { .. } => "partition_start",
+            FaultOp::PartitionEnd => "partition_end",
+            FaultOp::BurstStart { .. } => "burst_start",
+            FaultOp::BurstEnd => "burst_end",
+            FaultOp::ClockSkew { .. } => "clock_skew",
+            FaultOp::ProcessKill { .. } => "process_kill",
+            FaultOp::ProcessRestart { .. } => "process_restart",
+        }
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        match *self {
+            FaultOp::PartitionStart { a, b } => {
+                if a == 0 || b == 0 {
+                    return Err("partition with an empty side".into());
+                }
+                if a & b != 0 {
+                    return Err(format!("partition sides overlap: {a:#x} & {b:#x}"));
+                }
+            }
+            FaultOp::BurstStart { loss } if !(0.0..=1.0).contains(&loss) => {
+                return Err(format!("burst loss {loss} outside [0, 1]"));
+            }
+            FaultOp::ClockSkew { factor, .. } if !(factor.is_finite() && factor > 0.0) => {
+                return Err(format!("clock-skew factor {factor} must be finite and > 0"));
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+}
+
+/// A seed-stable script of faults: `(t_nanos, op)` pairs sorted by time
+/// (ties keep insertion order), plus the seed for the injector's private
+/// RNG stream. Build one with [`FaultSchedule::builder`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultSchedule {
+    seed: u64,
+    ops: Vec<(u64, FaultOp)>,
+}
+
+impl FaultSchedule {
+    /// A schedule with no operations. Attaching it to a simulation must be
+    /// observationally identical to not attaching the fault plane at all
+    /// (enforced by proptest in `aroma-net`).
+    pub fn empty(seed: u64) -> Self {
+        FaultSchedule { seed, ops: Vec::new() }
+    }
+
+    /// Start building a schedule.
+    pub fn builder(seed: u64) -> FaultScheduleBuilder {
+        FaultScheduleBuilder { seed, ops: Vec::new() }
+    }
+
+    /// The injector RNG seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The operations, sorted by time (stable on ties).
+    pub fn ops(&self) -> &[(u64, FaultOp)] {
+        &self.ops
+    }
+
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// Builder for [`FaultSchedule`]; `build` stably sorts by time and
+/// validates every operation.
+#[derive(Clone, Debug)]
+pub struct FaultScheduleBuilder {
+    seed: u64,
+    ops: Vec<(u64, FaultOp)>,
+}
+
+impl FaultScheduleBuilder {
+    /// Schedule a raw operation at `t_nanos`.
+    pub fn op(mut self, t_nanos: u64, op: FaultOp) -> Self {
+        self.ops.push((t_nanos, op));
+        self
+    }
+
+    /// Crash `node` at `t_down` dropping app state, restore it at `t_up`.
+    pub fn crash_restart(self, t_down: u64, t_up: u64, node: u32) -> Self {
+        assert!(t_down < t_up, "crash at {t_down} must precede restart at {t_up}");
+        self.op(t_down, FaultOp::NodeDown { node, drop_state: true })
+            .op(t_up, FaultOp::NodeUp { node })
+    }
+
+    /// Power-cycle `node` keeping its app state (snapshot restore).
+    pub fn power_cycle(self, t_down: u64, t_up: u64, node: u32) -> Self {
+        assert!(t_down < t_up, "down at {t_down} must precede up at {t_up}");
+        self.op(t_down, FaultOp::NodeDown { node, drop_state: false })
+            .op(t_up, FaultOp::NodeUp { node })
+    }
+
+    /// Partition the `a` set from the `b` set over `[t0, t1)`.
+    pub fn partition(self, t0: u64, t1: u64, a: u64, b: u64) -> Self {
+        assert!(t0 < t1, "partition start {t0} must precede end {t1}");
+        self.op(t0, FaultOp::PartitionStart { a, b })
+            .op(t1, FaultOp::PartitionEnd)
+    }
+
+    /// Black out `node` from everyone else over `[t0, t1)`.
+    pub fn blackout(self, t0: u64, t1: u64, node: u32, node_count: u32) -> Self {
+        assert!(node < node_count && node_count <= 64);
+        let a = 1u64 << node;
+        let all = if node_count == 64 { u64::MAX } else { (1u64 << node_count) - 1 };
+        self.partition(t0, t1, a, all & !a)
+    }
+
+    /// Burst frame loss with probability `loss` over `[t0, t1)`.
+    pub fn burst_loss(self, t0: u64, t1: u64, loss: f64) -> Self {
+        assert!(t0 < t1, "burst start {t0} must precede end {t1}");
+        self.op(t0, FaultOp::BurstStart { loss }).op(t1, FaultOp::BurstEnd)
+    }
+
+    /// Skew `node`'s timer delays by `factor` from `t` on.
+    pub fn clock_skew(self, t: u64, node: u32, factor: f64) -> Self {
+        self.op(t, FaultOp::ClockSkew { node, factor })
+    }
+
+    /// Kill the app process on `node` at `t_kill`, restart it at `t_up`.
+    pub fn process_kill_restart(self, t_kill: u64, t_up: u64, node: u32) -> Self {
+        assert!(t_kill < t_up, "kill at {t_kill} must precede restart at {t_up}");
+        self.op(t_kill, FaultOp::ProcessKill { node })
+            .op(t_up, FaultOp::ProcessRestart { node })
+    }
+
+    /// Validate and finish. Panics on an invalid operation (this is a test
+    /// and experiment authoring API; bad scripts are programming errors).
+    pub fn build(mut self) -> FaultSchedule {
+        for (t, op) in &self.ops {
+            if let Err(e) = op.validate() {
+                panic!("invalid fault op at t={t}: {e}");
+            }
+        }
+        // Stable sort: ops scheduled for the same instant apply in the
+        // order they were scripted.
+        self.ops.sort_by_key(|&(t, _)| t);
+        FaultSchedule { seed: self.seed, ops: self.ops }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sorts_stably() {
+        let s = FaultSchedule::builder(1)
+            .op(500, FaultOp::BurstEnd)
+            .op(100, FaultOp::ProcessKill { node: 0 })
+            .op(500, FaultOp::PartitionEnd)
+            .op(100, FaultOp::NodeUp { node: 2 })
+            .build();
+        let ops: Vec<_> = s.ops().iter().map(|&(t, op)| (t, op.name())).collect();
+        assert_eq!(
+            ops,
+            vec![
+                (100, "process_kill"),
+                (100, "node_up"),
+                (500, "burst_end"),
+                (500, "partition_end"),
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_schedule_is_empty() {
+        let s = FaultSchedule::empty(42);
+        assert!(s.is_empty());
+        assert_eq!(s.seed(), 42);
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn convenience_pairs_expand() {
+        let s = FaultSchedule::builder(7)
+            .crash_restart(1_000, 2_000, 3)
+            .partition(10, 20, 0b01, 0b10)
+            .burst_loss(5, 6, 0.5)
+            .build();
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.ops()[0], (5, FaultOp::BurstStart { loss: 0.5 }));
+        assert_eq!(
+            s.ops()[4],
+            (1_000, FaultOp::NodeDown { node: 3, drop_state: true })
+        );
+    }
+
+    #[test]
+    fn blackout_masks() {
+        let s = FaultSchedule::builder(0).blackout(1, 2, 1, 4).build();
+        assert_eq!(s.ops()[0], (1, FaultOp::PartitionStart { a: 0b0010, b: 0b1101 }));
+    }
+
+    #[test]
+    fn node_mask_builds() {
+        assert_eq!(node_mask(&[0, 2, 5]), 0b100101);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn bad_burst_loss_rejected() {
+        FaultSchedule::builder(0).op(0, FaultOp::BurstStart { loss: 1.5 }).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "partition sides overlap")]
+    fn overlapping_partition_rejected() {
+        FaultSchedule::builder(0)
+            .op(0, FaultOp::PartitionStart { a: 0b11, b: 0b10 })
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite and > 0")]
+    fn bad_skew_rejected() {
+        FaultSchedule::builder(0)
+            .op(0, FaultOp::ClockSkew { node: 0, factor: 0.0 })
+            .build();
+    }
+}

@@ -42,5 +42,5 @@ pub mod traffic;
 pub use frame::{Address, Frame, FrameKind, NodeId, MTU_BYTES};
 pub use mac::MacConfig;
 pub use mobility::MobilityPath;
-pub use network::{NetApp, NetCtx, NetStats, Network, NodeConfig};
+pub use network::{FaultStats, NetApp, NetCtx, NetStats, Network, NodeConfig};
 pub use phy::{Rate, RateAdaptation};

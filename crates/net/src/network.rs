@@ -21,6 +21,12 @@
 //! * `AckTimeout` — a unicast sender gave up waiting; binary-exponential
 //!   backoff and retry, or drop at the retry limit.
 //! * `AppTimer` — an application timer armed through [`NetCtx::set_timer`].
+//!
+//! A fifth kind, `Fault`, exists only when a [`FaultSchedule`] was attached
+//! with [`Network::attach_faults`]: scripted node crashes/restarts, channel
+//! partitions, burst loss beyond the PHY model, clock skew and application
+//! process kills, all driven by the fault plane's own RNG stream so an
+//! empty schedule never perturbs a run.
 
 use crate::frame::{Address, Frame, FrameKind, NodeId, ACK_BYTES, MTU_BYTES};
 use crate::mac::{MacConfig, MacNode, MacState, TickPhase, TxJob};
@@ -29,6 +35,7 @@ use crate::mobility::MobilityPath;
 use crate::phy::{airtime, packet_error_rate, Rate, RateAdaptation};
 use aroma_env::radio::{Channel, RadioEnvironment};
 use aroma_env::space::Point;
+use aroma_sim::faults::{FaultOp, FaultSchedule};
 use aroma_sim::stats::Summary;
 use aroma_sim::telemetry::{Layer, Recorder, Snapshot, Telemetry, TelemetryConfig};
 use aroma_sim::{EventId, EventQueue, SimDuration, SimRng, SimTime};
@@ -151,6 +158,79 @@ impl NetStats {
     }
 }
 
+/// Counters for the fault-injection plane (kept apart from [`NetStats`] so
+/// attaching an empty schedule leaves the traffic counters untouched).
+#[derive(Clone, Debug, Default)]
+pub struct FaultStats {
+    /// Scheduled fault operations applied.
+    pub injected: u64,
+    /// Node power failures applied.
+    pub node_crashes: u64,
+    /// Node restorations applied.
+    pub node_restarts: u64,
+    /// Application process kills applied.
+    pub process_kills: u64,
+    /// Application process restarts applied.
+    pub process_restarts: u64,
+    /// Frames silently lost because an active partition separated the
+    /// endpoints.
+    pub frames_blocked_partition: u64,
+    /// Otherwise-successful receptions lost to a burst-loss window.
+    pub frames_lost_burst: u64,
+    /// Receptions lost because an endpoint was powered down.
+    pub frames_lost_down: u64,
+    /// App timers suppressed by a crash or process kill (lazy cancel).
+    pub timers_suppressed: u64,
+    /// Sends rejected because the source node was powered down.
+    pub sends_blocked_down: u64,
+    /// MAC-queued frames dropped at the instant of a crash.
+    pub queued_frames_dropped: u64,
+}
+
+/// Live state of an attached fault schedule.
+struct FaultPlane {
+    /// The schedule's operations, sorted by time (index-addressed from
+    /// `Event::Fault`).
+    ops: Vec<(u64, FaultOp)>,
+    /// The injector's private RNG stream (burst-loss coin flips). Never
+    /// touches the simulation RNG, so faults-off runs are unperturbed.
+    rng: SimRng,
+    /// Active partitions, most recent last (`PartitionEnd` pops).
+    partitions: Vec<(u64, u64)>,
+    /// Current burst-loss probability (0 outside burst windows).
+    burst: f64,
+    stats: FaultStats,
+}
+
+impl FaultPlane {
+    /// Does an active partition separate `src` from `rx`? Masks cover node
+    /// indices 0..64; nodes beyond that are never partitioned.
+    fn partitioned(&self, src: NodeId, rx: NodeId) -> bool {
+        if src.0 >= 64 || rx.0 >= 64 {
+            return false;
+        }
+        let (s, r) = (1u64 << src.0, 1u64 << rx.0);
+        self.partitions
+            .iter()
+            .any(|&(a, b)| (a & s != 0 && b & r != 0) || (a & r != 0 && b & s != 0))
+    }
+}
+
+/// Static trace-event name for a fault operation.
+fn fault_event_name(op: &FaultOp) -> &'static str {
+    match op {
+        FaultOp::NodeDown { .. } => "fault.node_down",
+        FaultOp::NodeUp { .. } => "fault.node_up",
+        FaultOp::PartitionStart { .. } => "fault.partition_start",
+        FaultOp::PartitionEnd => "fault.partition_end",
+        FaultOp::BurstStart { .. } => "fault.burst_start",
+        FaultOp::BurstEnd => "fault.burst_end",
+        FaultOp::ClockSkew { .. } => "fault.clock_skew",
+        FaultOp::ProcessKill { .. } => "fault.process_kill",
+        FaultOp::ProcessRestart { .. } => "fault.process_restart",
+    }
+}
+
 /// An application running on a node.
 ///
 /// Implementations also serve as the state the embedding test/experiment
@@ -167,6 +247,19 @@ pub trait NetApp: Any {
     fn on_sent(&mut self, _ctx: &mut NetCtx<'_>, _to: Address) {}
     /// A unicast frame was dropped after the retry limit.
     fn on_send_failed(&mut self, _ctx: &mut NetCtx<'_>, _to: NodeId, _payload: &Bytes) {}
+    /// The fault plane crashed this node (or killed just its process) with
+    /// state loss: every pending timer is already cancelled and, for a full
+    /// node crash, the MAC queue is gone. Implementations should drop or
+    /// invalidate in-memory state here; they must not expect any further
+    /// callback until [`NetApp::on_restart`].
+    fn on_crash(&mut self, _ctx: &mut NetCtx<'_>) {}
+    /// The fault plane restored this node (or its process). Timers armed
+    /// before the crash stay cancelled. The default re-runs
+    /// [`NetApp::on_start`], which is the right recovery for stateless
+    /// protocol apps; stateful apps override to resynchronise instead.
+    fn on_restart(&mut self, ctx: &mut NetCtx<'_>) {
+        self.on_start(ctx);
+    }
 }
 
 /// The application's handle onto the stack.
@@ -221,13 +314,22 @@ impl NetCtx<'_> {
     }
 
     /// Arm a timer; `token` is handed back to
-    /// [`NetApp::on_timer`] when it fires.
+    /// [`NetApp::on_timer`] when it fires. Under an active clock-skew fault
+    /// the delay is stretched or compressed by the node's skew factor.
     pub fn set_timer(&mut self, delay: SimDuration, token: u64) -> TimerId {
+        let info = &self.core.nodes[self.node.0 as usize];
+        let delay = if info.skew == 1.0 {
+            delay
+        } else {
+            SimDuration::from_nanos((delay.as_nanos() as f64 * info.skew).round() as u64)
+        };
+        let epoch = info.timer_epoch;
         TimerId(self.core.queue.schedule_in(
             delay,
             Event::AppTimer {
                 node: self.node,
                 token,
+                epoch,
             },
         ))
     }
@@ -268,6 +370,9 @@ enum Event {
     AppTimer {
         node: NodeId,
         token: u64,
+        /// The node's timer epoch when armed; a crash bumps the epoch, so
+        /// pre-crash timers die lazily at fire time.
+        epoch: u32,
     },
     MobilityTick {
         node: NodeId,
@@ -276,6 +381,10 @@ enum Event {
         from: NodeId,
         to: NodeId,
         payload: Bytes,
+    },
+    /// Apply the `index`-th operation of the attached fault schedule.
+    Fault {
+        index: u32,
     },
 }
 
@@ -289,6 +398,7 @@ impl Event {
             Event::AppTimer { .. } => "AppTimer",
             Event::MobilityTick { .. } => "MobilityTick",
             Event::WiredDeliver { .. } => "WiredDeliver",
+            Event::Fault { .. } => "Fault",
         }
     }
 }
@@ -312,6 +422,12 @@ enum AppCall {
         to: NodeId,
         payload: Bytes,
     },
+    Crash {
+        node: NodeId,
+    },
+    Restart {
+        node: NodeId,
+    },
 }
 
 struct NodeInfo {
@@ -324,6 +440,14 @@ struct NodeInfo {
     /// Last sequence number seen per source (duplicate suppression).
     dedup: HashMap<NodeId, u16>,
     rng: SimRng,
+    /// Powered and able to transmit/receive (fault plane; always true
+    /// without one).
+    up: bool,
+    /// Bumped by crashes and process kills to lazily cancel app timers.
+    timer_epoch: u32,
+    /// Clock-skew factor applied to subsequent timer delays (fault plane;
+    /// exactly 1.0 means untouched).
+    skew: f64,
 }
 
 /// A reliable point-to-point cable between two nodes (the "traditional
@@ -349,6 +473,8 @@ struct Core {
     wired: Vec<WiredLink>,
     /// Telemetry recorder (Off by default; every call inlines to a no-op).
     rec: Telemetry,
+    /// Fault-injection plane; `None` unless a schedule was attached.
+    faults: Option<FaultPlane>,
 }
 
 /// ACK wait: SIFS + ACK airtime at the base rate + two slots of grace.
@@ -381,6 +507,13 @@ impl Core {
                 "destination {d} does not exist"
             );
             assert_ne!(d, src, "a node cannot unicast to itself");
+        }
+        if !self.nodes[src.0 as usize].up {
+            // Powered-down radio (fault plane): the send is silently lost.
+            if let Some(fp) = &mut self.faults {
+                fp.stats.sends_blocked_down += 1;
+            }
+            return false;
         }
         let now = self.queue.now();
         let cap = self.cfg.queue_cap;
@@ -586,6 +719,22 @@ impl Core {
     }
 
     fn receive_ok(&mut self, t: &Transmission, rx: NodeId) -> bool {
+        // Fault plane: a powered-down endpoint (a sender crashing mid-air
+        // corrupts its frame) or an active partition kills the frame before
+        // any PHY consideration. These branches cannot trigger without an
+        // active fault, so they never perturb faults-off runs.
+        if !self.nodes[rx.0 as usize].up || !self.nodes[t.frame.src.0 as usize].up {
+            if let Some(fp) = &mut self.faults {
+                fp.stats.frames_lost_down += 1;
+            }
+            return false;
+        }
+        if let Some(fp) = &mut self.faults {
+            if fp.partitioned(t.frame.src, rx) {
+                fp.stats.frames_blocked_partition += 1;
+                return false;
+            }
+        }
         // A radio can only decode frames on the channel it is tuned to
         // (adjacent channels interfere but are not demodulable).
         if self.nodes[rx.0 as usize].channel != t.channel {
@@ -599,7 +748,27 @@ impl Core {
             return false;
         };
         let per = packet_error_rate(t.rate, sinr, t.frame.wire_bits());
-        !self.rng.chance(per)
+        if self.rng.chance(per) {
+            return false;
+        }
+        // Burst-loss window: an otherwise-successful reception is lost with
+        // the scripted probability, drawn from the fault plane's own stream.
+        if let Some(fp) = &mut self.faults {
+            if fp.burst > 0.0 && fp.rng.chance(fp.burst) {
+                fp.stats.frames_lost_burst += 1;
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Is `src` still mid-transmission of exactly this frame? Always true
+    /// in a fault-free run at `TxEnd` time; false when a crash tore the MAC
+    /// down (and cleared its queue) while the frame was on the air.
+    fn sender_active(&self, src: NodeId, seq: u16) -> bool {
+        let node = &self.nodes[src.0 as usize];
+        node.mac.state == MacState::Transmitting
+            && node.mac.queue.front().map(|j| j.frame.seq) == Some(seq)
     }
 
     fn finish_data(&mut self, t: &Transmission) {
@@ -610,6 +779,9 @@ impl Core {
                 if ok {
                     self.send_ack(dst, src, t.frame.seq);
                     self.deliver(t, dst);
+                }
+                if !self.sender_active(src, t.frame.seq) {
+                    return; // sender crashed mid-air; nothing awaits the ACK
                 }
                 // Sender now waits for the ACK (or times out). Even when
                 // reception failed we must arm the timeout.
@@ -640,8 +812,11 @@ impl Core {
                         self.deliver(t, r);
                     }
                 }
-                // Single attempt; service complete.
-                self.complete_head(src, true);
+                // Single attempt; service complete (unless a crash already
+                // tore the sender's queue down mid-air).
+                if self.sender_active(src, t.frame.seq) {
+                    self.complete_head(src, true);
+                }
             }
         }
     }
@@ -769,9 +944,27 @@ impl Core {
             Event::MacTick { node, gen, phase } => self.on_tick(node, gen, phase),
             Event::TxEnd { tx } => self.on_tx_end(tx),
             Event::AckTimeout { node, gen } => self.on_ack_timeout(node, gen),
-            Event::AppTimer { node, token } => self.pending.push(AppCall::Timer { node, token }),
+            Event::AppTimer { node, token, epoch } => {
+                let info = &self.nodes[node.0 as usize];
+                if info.timer_epoch != epoch || !info.up {
+                    // Armed before a crash/kill (or firing into a downed
+                    // node): the epoch bump cancelled it lazily.
+                    if let Some(fp) = &mut self.faults {
+                        fp.stats.timers_suppressed += 1;
+                    }
+                    return;
+                }
+                self.pending.push(AppCall::Timer { node, token });
+            }
             Event::MobilityTick { node } => self.on_mobility_tick(node),
             Event::WiredDeliver { from, to, payload } => {
+                if !self.nodes[from.0 as usize].up || !self.nodes[to.0 as usize].up {
+                    // A cable into a powered-down host delivers nothing.
+                    if let Some(fp) = &mut self.faults {
+                        fp.stats.frames_lost_down += 1;
+                    }
+                    return;
+                }
                 self.stats.wired_frames += 1;
                 self.stats.wired_bytes += payload.len() as u64;
                 self.pending.push(AppCall::Packet {
@@ -780,7 +973,100 @@ impl Core {
                     payload,
                 });
             }
+            Event::Fault { index } => self.apply_fault(index as usize),
         }
+    }
+
+    /// Apply the `idx`-th scheduled fault operation.
+    fn apply_fault(&mut self, idx: usize) {
+        let Some(fp) = self.faults.as_mut() else {
+            return;
+        };
+        let op = fp.ops[idx].1;
+        fp.stats.injected += 1;
+        let now = self.queue.now().as_nanos();
+        let (node, a, b) = match op {
+            FaultOp::NodeDown { node, drop_state } => (node, drop_state as i64, 0),
+            FaultOp::NodeUp { node }
+            | FaultOp::ProcessKill { node }
+            | FaultOp::ProcessRestart { node } => (node, 0, 0),
+            FaultOp::PartitionStart { a, b } => (u32::MAX, a as i64, b as i64),
+            FaultOp::BurstStart { loss } => (u32::MAX, (loss * 1_000.0) as i64, 0),
+            FaultOp::ClockSkew { node, factor } => (node, (factor * 1_000.0) as i64, 0),
+            FaultOp::PartitionEnd | FaultOp::BurstEnd => (u32::MAX, 0, 0),
+        };
+        self.rec.count("faults.injected", 1);
+        self.rec
+            .event(now, Layer::Physical, fault_event_name(&op), node, a, b);
+        match op {
+            FaultOp::NodeDown { node, drop_state } => self.node_down(NodeId(node), drop_state),
+            FaultOp::NodeUp { node } => self.node_up(NodeId(node)),
+            FaultOp::PartitionStart { a, b } => {
+                self.faults.as_mut().unwrap().partitions.push((a, b));
+            }
+            FaultOp::PartitionEnd => {
+                self.faults.as_mut().unwrap().partitions.pop();
+            }
+            FaultOp::BurstStart { loss } => self.faults.as_mut().unwrap().burst = loss,
+            FaultOp::BurstEnd => self.faults.as_mut().unwrap().burst = 0.0,
+            FaultOp::ClockSkew { node, factor } => {
+                self.nodes[node as usize].skew = factor;
+            }
+            FaultOp::ProcessKill { node } => {
+                let id = NodeId(node);
+                self.node(id).timer_epoch += 1;
+                self.faults.as_mut().unwrap().stats.process_kills += 1;
+                self.pending.push(AppCall::Crash { node: id });
+            }
+            FaultOp::ProcessRestart { node } => {
+                self.faults.as_mut().unwrap().stats.process_restarts += 1;
+                self.pending.push(AppCall::Restart { node: NodeId(node) });
+            }
+        }
+    }
+
+    /// Power-fail a node: silence the radio, tear down the MAC (queued and
+    /// in-flight frames die), cancel app timers via the epoch. With
+    /// `drop_state` the app is notified through `on_crash` and its
+    /// duplicate-suppression memory is wiped too.
+    fn node_down(&mut self, id: NodeId, drop_state: bool) {
+        let node = self.node(id);
+        if !node.up {
+            return;
+        }
+        node.up = false;
+        node.timer_epoch += 1;
+        let dropped = node.mac.queue.len() as u64;
+        node.mac.queue.clear();
+        node.mac.state = MacState::Idle;
+        // Invalidate outstanding MacTick/AckTimeout events. The sequence
+        // counter deliberately survives so late ACKs for pre-crash frames
+        // can never be confused with post-restart traffic.
+        node.mac.bump_gen();
+        if drop_state {
+            node.dedup.clear();
+        }
+        let fp = self.faults.as_mut().expect("fault op without a plane");
+        fp.stats.node_crashes += 1;
+        fp.stats.queued_frames_dropped += dropped;
+        if drop_state {
+            self.pending.push(AppCall::Crash { node: id });
+        }
+    }
+
+    /// Restore a downed node and let its app recover via `on_restart`.
+    fn node_up(&mut self, id: NodeId) {
+        let node = self.node(id);
+        if node.up {
+            return;
+        }
+        node.up = true;
+        self.faults
+            .as_mut()
+            .expect("fault op without a plane")
+            .stats
+            .node_restarts += 1;
+        self.pending.push(AppCall::Restart { node: id });
     }
 
     /// Is there a cable directly between `a` and `b`?
@@ -837,6 +1123,7 @@ impl Network {
                 prune_counter: 0,
                 wired: Vec::new(),
                 rec: Telemetry::Off,
+                faults: None,
             },
             apps: Vec::new(),
             started: false,
@@ -871,6 +1158,9 @@ impl Network {
             mac: MacNode::new(),
             dedup: HashMap::new(),
             rng,
+            up: true,
+            timer_epoch: 0,
+            skew: 1.0,
         });
         self.core.stats.node.push(NodeStats::default());
         self.apps.push(Some(app));
@@ -897,6 +1187,45 @@ impl Network {
     /// The recorder (for direct recording or handle registration).
     pub fn telemetry_mut(&mut self) -> &mut Telemetry {
         &mut self.core.rec
+    }
+
+    /// Attach a deterministic fault schedule. Each operation is applied at
+    /// its scripted instant; every random decision the injectors make
+    /// (burst-loss coin flips) comes from the schedule's own seed, never the
+    /// simulation RNG, so an *empty* schedule leaves the run byte-identical
+    /// to one without a fault plane. Partition masks address node indices
+    /// 0..64. Must be called before the first `run_*`.
+    pub fn attach_faults(&mut self, schedule: &FaultSchedule) {
+        assert!(
+            !self.started,
+            "attach the fault plane before the network starts"
+        );
+        assert!(
+            self.core.faults.is_none(),
+            "a fault schedule is already attached"
+        );
+        for (i, &(t, _)) in schedule.ops().iter().enumerate() {
+            self.core
+                .queue
+                .schedule_at(SimTime::from_nanos(t), Event::Fault { index: i as u32 });
+        }
+        self.core.faults = Some(FaultPlane {
+            ops: schedule.ops().to_vec(),
+            rng: SimRng::new(schedule.seed()),
+            partitions: Vec::new(),
+            burst: 0.0,
+            stats: FaultStats::default(),
+        });
+    }
+
+    /// The fault plane's counters; `None` unless a schedule was attached.
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.core.faults.as_ref().map(|fp| &fp.stats)
+    }
+
+    /// Is `node` currently powered (fault plane)? Always true without one.
+    pub fn node_is_up(&self, node: NodeId) -> bool {
+        self.core.nodes[node.0 as usize].up
     }
 
     /// Snapshot the recorder; `None` when telemetry was never attached.
@@ -975,6 +1304,8 @@ impl Network {
                     AppCall::SendFailed { node, to, payload } => {
                         self.with_app(node, |a, c| a.on_send_failed(c, to, &payload))
                     }
+                    AppCall::Crash { node } => self.with_app(node, |a, c| a.on_crash(c)),
+                    AppCall::Restart { node } => self.with_app(node, |a, c| a.on_restart(c)),
                 }
             }
         }

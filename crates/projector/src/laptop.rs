@@ -102,6 +102,9 @@ pub struct PresenterLaptopApp {
     pub commands_ok: u32,
     /// Commands refused.
     pub commands_denied: u32,
+    /// Times a refused command made the presenter drop its tokens and
+    /// re-acquire both sessions (the projector restarted mid-talk).
+    pub reacquisitions: u32,
     /// Brightness values translated through the downloaded mobile-code
     /// proxy before sending.
     pub proxy_translations: u32,
@@ -117,6 +120,10 @@ pub struct PresenterLaptopApp {
     nonce: u64,
     next_req: u64,
     next_cmd: usize,
+    /// Command timers in flight. Resuming after a re-acquisition arms a
+    /// fresh timer while a stale one may still be pending; only the newest
+    /// acts, so the command cadence never doubles.
+    pending_cmd_timers: u32,
 }
 
 impl PresenterLaptopApp {
@@ -134,6 +141,7 @@ impl PresenterLaptopApp {
             denials: 0,
             commands_ok: 0,
             commands_denied: 0,
+            reacquisitions: 0,
             proxy_translations: 0,
             vnc: VncServerApp::new(width, height, source),
             registrar: None,
@@ -145,12 +153,19 @@ impl PresenterLaptopApp {
             nonce: 0,
             next_req: 1,
             next_cmd: 0,
+            pending_cmd_timers: 0,
         }
     }
 
     /// Screen digest (tests compare with the projector's viewer).
     pub fn screen_digest(&self) -> u64 {
         self.vnc.screen_digest()
+    }
+
+    /// The wire values of the held (projection, control) tokens, for tests
+    /// that compare pre- and post-restart sessions.
+    pub fn tokens(&self) -> (Option<u64>, Option<u64>) {
+        (self.proj_token, self.ctl_token)
     }
 
     fn discover(&mut self, ctx: &mut NetCtx<'_>) {
@@ -230,15 +245,24 @@ impl PresenterLaptopApp {
         }
     }
 
+    fn arm_command_timer(&mut self, ctx: &mut NetCtx<'_>, delay: SimDuration) {
+        self.pending_cmd_timers += 1;
+        ctx.set_timer(delay, T_COMMAND);
+    }
+
     fn begin_presenting(&mut self, ctx: &mut NetCtx<'_>) {
         if self.phase == Phase::Presenting {
             return;
         }
         self.phase = Phase::Presenting;
-        self.projecting_at = Some(ctx.now());
-        ctx.set_timer(self.script.present_for, T_PRESENT_END);
+        // First entry starts the clock; a resume after re-acquisition
+        // keeps the original time-to-projecting and end-of-talk schedule.
+        if self.projecting_at.is_none() {
+            self.projecting_at = Some(ctx.now());
+            ctx.set_timer(self.script.present_for, T_PRESENT_END);
+        }
         if !self.script.commands.is_empty() {
-            ctx.set_timer(SimDuration::from_millis(300), T_COMMAND);
+            self.arm_command_timer(ctx, SimDuration::from_millis(300));
         }
     }
 
@@ -330,7 +354,20 @@ impl PresenterLaptopApp {
                 ctx.set_timer(ACQUIRE_RETRY, T_ACQUIRE_RETRY);
             }
             CtlMsg::CommandOk => self.commands_ok += 1,
-            CtlMsg::CommandDenied { .. } => self.commands_denied += 1,
+            CtlMsg::CommandDenied { .. } => {
+                self.commands_denied += 1;
+                // Mid-presentation the projector stopped honouring our
+                // token — it restarted (tokens die with the device) or the
+                // session lapsed. The old tokens are worthless: drop them
+                // and acquire fresh sessions instead of failing every
+                // remaining command of the talk.
+                if self.phase == Phase::Presenting {
+                    self.reacquisitions += 1;
+                    self.proj_token = None;
+                    self.ctl_token = None;
+                    self.acquire_next(ctx);
+                }
+            }
             _ => {}
         }
     }
@@ -359,7 +396,7 @@ impl PresenterLaptopApp {
             Address::Node(projector),
             CtlMsg::Command { token, cmd }.encode(),
         );
-        ctx.set_timer(COMMAND_PERIOD, T_COMMAND);
+        self.arm_command_timer(ctx, COMMAND_PERIOD);
     }
 }
 
@@ -395,8 +432,11 @@ impl NetApp for PresenterLaptopApp {
             T_ACQUIRE_RETRY if self.phase == Phase::Acquiring => {
                 self.acquire_next(ctx);
             }
-            T_COMMAND if self.phase == Phase::Presenting => {
-                self.send_next_command(ctx);
+            T_COMMAND => {
+                self.pending_cmd_timers = self.pending_cmd_timers.saturating_sub(1);
+                if self.phase == Phase::Presenting && self.pending_cmd_timers == 0 {
+                    self.send_next_command(ctx);
+                }
             }
             T_PRESENT_END if self.phase == Phase::Presenting => {
                 self.finish(ctx);
@@ -410,6 +450,25 @@ impl NetApp for PresenterLaptopApp {
         // completions (control/discovery frames) only widen its window,
         // which the MAC queue cap absorbs.
         self.vnc.on_sent(ctx, to);
+    }
+
+    /// A laptop crash loses every binding and both tokens (sessions at the
+    /// projector lapse or get admin-cleared; the restart starts over).
+    fn on_crash(&mut self, ctx: &mut NetCtx<'_>) {
+        self.phase = Phase::Waiting;
+        self.registrar = None;
+        self.projector = None;
+        self.display_item = None;
+        self.control_item = None;
+        self.proj_token = None;
+        self.ctl_token = None;
+        self.pending_cmd_timers = 0;
+        self.vnc.on_crash(ctx);
+    }
+
+    /// Reboot complete: rejoin the room from the top of the workflow.
+    fn on_restart(&mut self, ctx: &mut NetCtx<'_>) {
+        self.discover(ctx);
     }
 
     fn on_send_failed(&mut self, ctx: &mut NetCtx<'_>, to: NodeId, payload: &Bytes) {

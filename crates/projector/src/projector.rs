@@ -22,9 +22,13 @@ use bytes::Bytes;
 const T_DISCOVER: u64 = 101;
 const T_RENEW_DISPLAY: u64 = 102;
 const T_RENEW_CONTROL: u64 = 103;
+const T_RENEW_TIMEOUT: u64 = 104;
 
 const DISCOVER_PERIOD: SimDuration = SimDuration::from_millis(500);
 const LEASE_REQUEST_MS: u64 = 10_000;
+/// How long a renewal may go unanswered before the adapter decides its
+/// registrar is gone and re-enters discovery.
+const RENEW_TIMEOUT: SimDuration = SimDuration::from_millis(600);
 
 /// Current state of the projector hardware.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -73,7 +77,12 @@ pub struct SmartProjectorApp {
     pub registrations: u64,
     /// The room attribute advertised.
     pub room: String,
+    /// Times the adapter process has (re)started; keys the token streams so
+    /// a restarted manager can never re-mint a pre-crash token.
+    pub incarnation: u32,
     registrar: Option<NodeId>,
+    /// A Renew is in flight with no answer yet.
+    renew_outstanding: bool,
     nonce: u64,
     /// Maps wire node → user key for session accounting.
     display_service_id: ServiceId,
@@ -88,18 +97,12 @@ impl SmartProjectorApp {
         // mint the same sequence: a projection token must not open the
         // control session (and vice versa) — aroma-check's cross-service
         // guess action proves this stays true.
-        let tokens = aroma_sim::SimRng::new(aroma_sim::rng::fnv1a(room.as_bytes()));
+        let (proj_tokens, ctl_tokens) = Self::token_streams(room, 0);
         SmartProjectorApp {
             width,
             height,
-            projection_sessions: SessionManager::with_token_rng(
-                policy,
-                tokens.fork_named("projection-tokens"),
-            ),
-            control_sessions: SessionManager::with_token_rng(
-                policy,
-                tokens.fork_named("control-tokens"),
-            ),
+            projection_sessions: SessionManager::with_token_rng(policy, proj_tokens),
+            control_sessions: SessionManager::with_token_rng(policy, ctl_tokens),
             state: ProjectorState::default(),
             viewer: None,
             commands_applied: 0,
@@ -108,7 +111,9 @@ impl SmartProjectorApp {
             denials: 0,
             registrations: 0,
             room: room.to_string(),
+            incarnation: 0,
             registrar: None,
+            renew_outstanding: false,
             nonce: 0,
             display_service_id: ServiceId(0),
             control_service_id: ServiceId(0),
@@ -119,6 +124,27 @@ impl SmartProjectorApp {
     /// the laptop's).
     pub fn projected_digest(&self) -> Option<u64> {
         self.viewer.as_ref().map(|v| v.screen_digest())
+    }
+
+    /// Per-service token streams for one incarnation of the adapter.
+    ///
+    /// Incarnation 0 forks by the original stream names, so pre-existing
+    /// seeded runs are untouched; every restart forks by a name that mixes
+    /// the incarnation counter in, giving the rebooted managers streams
+    /// disjoint from anything minted before the crash.
+    fn token_streams(room: &str, incarnation: u32) -> (aroma_sim::SimRng, aroma_sim::SimRng) {
+        let base = aroma_sim::SimRng::new(aroma_sim::rng::fnv1a(room.as_bytes()));
+        if incarnation == 0 {
+            (
+                base.fork_named("projection-tokens"),
+                base.fork_named("control-tokens"),
+            )
+        } else {
+            (
+                base.fork_named(&format!("projection-tokens#{incarnation}")),
+                base.fork_named(&format!("control-tokens#{incarnation}")),
+            )
+        }
     }
 
     fn service_items(&self, me: NodeId) -> (ServiceItem, ServiceItem) {
@@ -192,6 +218,7 @@ impl SmartProjectorApp {
                 ctx.set_timer(SimDuration::from_millis(granted_ms / 2), token);
             }
             DiscMsg::RenewAck { id, ok, granted_ms } => {
+                self.renew_outstanding = false;
                 let token = if id == self.display_service_id {
                     T_RENEW_DISPLAY
                 } else {
@@ -351,7 +378,19 @@ impl NetApp for SmartProjectorApp {
                         self.control_service_id
                     };
                     ctx.send(Address::Node(reg), DiscMsg::Renew { id }.encode());
+                    self.renew_outstanding = true;
+                    ctx.set_timer(RENEW_TIMEOUT, T_RENEW_TIMEOUT);
                 }
+            }
+            T_RENEW_TIMEOUT if self.renew_outstanding => {
+                // The registrar never answered: it is dead or out of reach.
+                // Before this timeout existed, a registrar crash orphaned
+                // the adapter for good — its leases lapsed and no client
+                // could ever find it again. Re-enter discovery (a standby
+                // registrar answers just as well) and re-register.
+                self.renew_outstanding = false;
+                self.registrar = None;
+                self.discover(ctx);
             }
             t if t < 100 => {
                 if let Some(viewer) = &mut self.viewer {
@@ -360,6 +399,28 @@ impl NetApp for SmartProjectorApp {
             }
             _ => {}
         }
+    }
+
+    /// Adapter process crash: every session dies with the device, and the
+    /// rebooted managers mint tokens from incarnation-fresh streams so
+    /// nothing issued before the crash is ever honoured again (no-hijack
+    /// survives restarts). Session statistics accumulate across the crash
+    /// so post-run assertions see the whole history.
+    fn on_crash(&mut self, _ctx: &mut NetCtx<'_>) {
+        self.incarnation += 1;
+        let (proj_tokens, ctl_tokens) = Self::token_streams(&self.room, self.incarnation);
+        self.projection_sessions.reboot(proj_tokens);
+        self.control_sessions.reboot(ctl_tokens);
+        self.viewer = None;
+        self.registrar = None;
+        self.renew_outstanding = false;
+        self.state = ProjectorState::default();
+    }
+
+    /// Reboot complete: rediscover the lookup service and re-register both
+    /// services (fresh leases; the old ones lapse at the registrar).
+    fn on_restart(&mut self, ctx: &mut NetCtx<'_>) {
+        self.discover(ctx);
     }
 }
 

@@ -257,6 +257,16 @@ impl SessionManager {
         }
     }
 
+    /// Simulate the guarded device rebooting: the active session (if any)
+    /// is gone, and future tokens are minted from `token_rng` — a stream
+    /// the caller must derive fresh per incarnation, so a token issued
+    /// before the crash can never be re-minted and accepted afterwards.
+    /// Policy, statistics, and telemetry survive the reboot.
+    pub fn reboot(&mut self, token_rng: SimRng) {
+        self.owner = None;
+        self.token_rng = token_rng;
+    }
+
     /// Administrator override: clear any session (the intervention the
     /// paper wants to make unnecessary).
     pub fn admin_clear(&mut self) -> bool {

@@ -8,6 +8,106 @@ use proptest::prelude::*;
 use smart_projector::session::{SessionManager, SessionPolicy, SessionToken};
 use std::collections::HashSet;
 
+/// Satellite regression for the fault plane: a projector node that crashes
+/// and restarts mid-session must never honour a pre-crash token again —
+/// the restarted managers mint from incarnation-fresh streams and the old
+/// session died with the device. The presenter recovers by re-acquiring.
+#[test]
+fn crash_restart_cannot_resurrect_pre_crash_tokens() {
+    use aroma_discovery::apps::RegistrarApp;
+    use aroma_env::radio::RadioEnvironment;
+    use aroma_env::space::Point;
+    use aroma_net::{MacConfig, Network, NodeConfig};
+    use aroma_sim::faults::FaultSchedule;
+    use smart_projector::laptop::{PresenterLaptopApp, PresenterScript};
+    use smart_projector::SmartProjectorApp;
+    use aroma_vnc::SlideDeck;
+
+    let quiet = RadioEnvironment {
+        shadowing_sigma_db: 0.0,
+        ..Default::default()
+    };
+    let mut net = Network::new(quiet, MacConfig::default(), 42);
+    let _registrar = net.add_node(
+        NodeConfig::at(Point::new(0.0, 0.0)),
+        Box::new(RegistrarApp::new(SimDuration::from_secs(30))),
+    );
+    // ManualRelease: without the crash this session could never lapse, so
+    // any post-restart refusal is the reboot talking, not an expiry.
+    let projector = net.add_node(
+        NodeConfig::at(Point::new(3.0, 0.0)),
+        Box::new(SmartProjectorApp::new(
+            320,
+            240,
+            SessionPolicy::ManualRelease,
+            "A-101",
+        )),
+    );
+    let laptop = net.add_node(
+        NodeConfig::at(Point::new(1.0, 3.0)),
+        Box::new(PresenterLaptopApp::new(
+            PresenterScript {
+                present_for: SimDuration::from_secs(40),
+                ..Default::default()
+            },
+            320,
+            240,
+            Box::new(SlideDeck::new(8.0)),
+        )),
+    );
+    // Adapter dies mid-presentation and reboots two seconds later.
+    let schedule = FaultSchedule::builder(7)
+        .crash_restart(
+            SimDuration::from_secs(10).as_nanos(),
+            SimDuration::from_secs(12).as_nanos(),
+            projector.0,
+        )
+        .build();
+    net.attach_faults(&schedule);
+
+    net.run_for(SimDuration::from_secs(8));
+    let (pre_proj, pre_ctl) = net
+        .app_as::<PresenterLaptopApp>(laptop)
+        .unwrap()
+        .tokens();
+    let (pre_proj, pre_ctl) = (
+        pre_proj.expect("projection session not held before the crash"),
+        pre_ctl.expect("control session not held before the crash"),
+    );
+
+    net.run_for(SimDuration::from_secs(17)); // through crash, reboot, recovery
+
+    let lap = net.app_as::<PresenterLaptopApp>(laptop).unwrap();
+    assert!(
+        lap.reacquisitions >= 1,
+        "presenter never re-acquired after the restart"
+    );
+    assert!(lap.commands_denied >= 1, "stale token was never refused");
+    let (post_proj, post_ctl) = lap.tokens();
+    let (post_proj, post_ctl) = (
+        post_proj.expect("projection session not re-acquired"),
+        post_ctl.expect("control session not re-acquired"),
+    );
+    assert_ne!(post_proj, pre_proj, "pre-crash projection token re-minted");
+    assert_ne!(post_ctl, pre_ctl, "pre-crash control token re-minted");
+
+    let now = net.now();
+    let proj = net.app_as_mut::<SmartProjectorApp>(projector).unwrap();
+    assert_eq!(proj.incarnation, 1, "crash should bump the incarnation");
+    // The stale tokens are dead at both managers, and the recovery looked
+    // like a clean re-acquisition, not a hijack.
+    assert!(proj
+        .projection_sessions
+        .touch(SessionToken::from_value(pre_proj), now)
+        .is_err());
+    assert!(proj
+        .control_sessions
+        .touch(SessionToken::from_value(pre_ctl), now)
+        .is_err());
+    assert_eq!(proj.projection_sessions.stats.hijacks, 0);
+    assert_eq!(proj.control_sessions.stats.hijacks, 0);
+}
+
 fn arb_policy() -> impl Strategy<Value = SessionPolicy> {
     prop_oneof![
         Just(SessionPolicy::None),

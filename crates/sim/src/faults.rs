@@ -1,0 +1,167 @@
+//! Re-export of the `aroma-faults` fault-injection plane plus `SimTime` /
+//! `SimRng` builder glue.
+//!
+//! `aroma-faults` is a dependency leaf (raw-nanosecond timestamps, raw
+//! `u32` node indices), so the substrate crates reach it through this
+//! module: [`TimedScheduleExt`] lets fault scripts be written in `SimTime`
+//! terms, and [`random_storm`] derives a whole schedule from a [`SimRng`]
+//! — the "built from `SimRng` *or* an explicit script" half of the fault
+//! plane's API.
+
+pub use aroma_faults::*;
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// `SimTime`-flavoured sugar over [`FaultScheduleBuilder`] (which speaks
+/// raw nanoseconds so the leaf crate stays std-only).
+pub trait TimedScheduleExt: Sized {
+    /// Schedule a raw operation at `t`.
+    fn op_at(self, t: SimTime, op: FaultOp) -> Self;
+    /// Crash `node` at `down` dropping app state, restore it at `up`.
+    fn crash_restart_at(self, down: SimTime, up: SimTime, node: u32) -> Self;
+    /// Power-cycle `node` keeping its app state.
+    fn power_cycle_at(self, down: SimTime, up: SimTime, node: u32) -> Self;
+    /// Partition mask `a` from mask `b` over `[t0, t1)`.
+    fn partition_at(self, t0: SimTime, t1: SimTime, a: u64, b: u64) -> Self;
+    /// Burst frame loss with probability `loss` over `[t0, t1)`.
+    fn burst_loss_at(self, t0: SimTime, t1: SimTime, loss: f64) -> Self;
+    /// Skew `node`'s timer delays by `factor` from `t` on.
+    fn clock_skew_at(self, t: SimTime, node: u32, factor: f64) -> Self;
+    /// Kill the app process on `node` at `kill`, restart it at `up`.
+    fn process_kill_restart_at(self, kill: SimTime, up: SimTime, node: u32) -> Self;
+}
+
+impl TimedScheduleExt for FaultScheduleBuilder {
+    fn op_at(self, t: SimTime, op: FaultOp) -> Self {
+        self.op(t.as_nanos(), op)
+    }
+    fn crash_restart_at(self, down: SimTime, up: SimTime, node: u32) -> Self {
+        self.crash_restart(down.as_nanos(), up.as_nanos(), node)
+    }
+    fn power_cycle_at(self, down: SimTime, up: SimTime, node: u32) -> Self {
+        self.power_cycle(down.as_nanos(), up.as_nanos(), node)
+    }
+    fn partition_at(self, t0: SimTime, t1: SimTime, a: u64, b: u64) -> Self {
+        self.partition(t0.as_nanos(), t1.as_nanos(), a, b)
+    }
+    fn burst_loss_at(self, t0: SimTime, t1: SimTime, loss: f64) -> Self {
+        self.burst_loss(t0.as_nanos(), t1.as_nanos(), loss)
+    }
+    fn clock_skew_at(self, t: SimTime, node: u32, factor: f64) -> Self {
+        self.clock_skew(t.as_nanos(), node, factor)
+    }
+    fn process_kill_restart_at(self, kill: SimTime, up: SimTime, node: u32) -> Self {
+        self.process_kill_restart(kill.as_nanos(), up.as_nanos(), node)
+    }
+}
+
+/// Tuning knobs for [`random_storm`].
+#[derive(Clone, Copy, Debug)]
+pub struct StormConfig {
+    /// How many fault episodes to draw.
+    pub episodes: usize,
+    /// Shortest episode duration.
+    pub min_len: SimDuration,
+    /// Longest episode duration.
+    pub max_len: SimDuration,
+    /// Burst-loss probability range for loss episodes.
+    pub loss: (f64, f64),
+    /// Clock-skew factor range for skew episodes.
+    pub skew: (f64, f64),
+}
+
+impl Default for StormConfig {
+    fn default() -> Self {
+        StormConfig {
+            episodes: 6,
+            min_len: SimDuration::from_millis(200),
+            max_len: SimDuration::from_secs(2),
+            loss: (0.2, 0.8),
+            skew: (0.5, 2.0),
+        }
+    }
+}
+
+/// Derive a whole fault storm from `rng`: `cfg.episodes` random episodes
+/// (crash/restart, power-cycle, blackout, burst loss, clock skew, process
+/// kill) uniformly placed in `[0, horizon)` over `node_count` nodes. Same
+/// rng state ⇒ same schedule; the schedule's own seed (for the injector's
+/// burst-loss coin flips) is drawn from `rng` too.
+pub fn random_storm(
+    rng: &mut SimRng,
+    horizon: SimTime,
+    node_count: u32,
+    cfg: &StormConfig,
+) -> FaultSchedule {
+    assert!((1..=64).contains(&node_count));
+    let seed = rng.next_u64_raw();
+    let mut b = FaultSchedule::builder(seed);
+    for _ in 0..cfg.episodes {
+        let len = SimDuration::from_nanos(
+            cfg.min_len.as_nanos()
+                + rng.below(cfg.max_len.as_nanos().saturating_sub(cfg.min_len.as_nanos()).max(1)),
+        );
+        let latest_start = horizon.as_nanos().saturating_sub(len.as_nanos()).max(1);
+        let t0 = SimTime::from_nanos(rng.below(latest_start));
+        let t1 = t0 + len;
+        let node = rng.below(node_count as u64) as u32;
+        match rng.below(6) {
+            0 => b = b.crash_restart_at(t0, t1, node),
+            1 => b = b.power_cycle_at(t0, t1, node),
+            2 if node_count > 1 => b = b.op_at(t0, blackout_ops(node, node_count).0).op_at(t1, FaultOp::PartitionEnd),
+            3 => b = b.burst_loss_at(t0, t1, rng.uniform_range(cfg.loss.0, cfg.loss.1)),
+            4 => {
+                b = b
+                    .clock_skew_at(t0, node, rng.uniform_range(cfg.skew.0, cfg.skew.1))
+                    .clock_skew_at(t1, node, 1.0)
+            }
+            _ => b = b.process_kill_restart_at(t0, t1, node),
+        }
+    }
+    b.build()
+}
+
+/// The partition op (and its end marker) that blacks out `node` from the
+/// rest of a `node_count`-node world.
+fn blackout_ops(node: u32, node_count: u32) -> (FaultOp, FaultOp) {
+    let a = 1u64 << node;
+    let all = if node_count == 64 { u64::MAX } else { (1u64 << node_count) - 1 };
+    (FaultOp::PartitionStart { a, b: all & !a }, FaultOp::PartitionEnd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_builder_matches_raw() {
+        let timed = FaultSchedule::builder(9)
+            .crash_restart_at(SimTime::from_nanos(100), SimTime::from_nanos(200), 1)
+            .burst_loss_at(SimTime::from_nanos(50), SimTime::from_nanos(60), 0.3)
+            .build();
+        let raw = FaultSchedule::builder(9)
+            .crash_restart(100, 200, 1)
+            .burst_loss(50, 60, 0.3)
+            .build();
+        assert_eq!(timed, raw);
+    }
+
+    #[test]
+    fn random_storm_is_seed_stable() {
+        let mk = || {
+            let mut rng = SimRng::new(0xBAD);
+            random_storm(&mut rng, SimTime::from_nanos(10_000_000_000), 4, &StormConfig::default())
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        // Every op validates and is in time order.
+        let mut last = 0;
+        for &(t, _) in a.ops() {
+            assert!(t >= last);
+            last = t;
+        }
+    }
+}

@@ -19,6 +19,9 @@
 //! * [`telemetry`] — the `aroma-telemetry` recorder (structured trace ring,
 //!   metrics registry, event-loop self-profiling) re-exported with JSON
 //!   snapshot rendering, so every substrate instruments through one path,
+//! * [`faults`] — the `aroma-faults` deterministic fault-injection plane
+//!   (seed-stable schedules of crashes, partitions, burst loss, clock skew)
+//!   re-exported with `SimTime`/`SimRng` builder glue,
 //! * [`sweep`] — structured-concurrency parameter sweeps (each simulation run
 //!   owns its world; results are collected without shared mutable state).
 //!
@@ -30,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod faults;
 pub mod report;
 pub mod rng;
 pub mod stats;

@@ -8,7 +8,7 @@
 //! framebuffer. Achieved frame rate, frame latency and bytes on the air are
 //! the E1 observables.
 
-use crate::encoding::{decode_tile, encode_tile, read_tile_stream, write_tile_stream};
+use crate::encoding::{coarsen_pixels, decode_tile, encode_tile, read_tile_stream, write_tile_stream};
 use crate::framebuffer::{Framebuffer, TILE};
 use crate::protocol::{chunk_update, PushResult, Reassembler, VncMsg};
 use crate::workloads::ScreenSource;
@@ -25,9 +25,20 @@ const SEND_WINDOW: usize = 8;
 
 const T_STALL: u64 = 1;
 const T_NEXT_REQUEST: u64 = 2;
+const T_RECONNECT: u64 = 3;
 
 /// Viewer-side stall timeout before re-requesting a full update.
 pub const STALL_TIMEOUT: SimDuration = SimDuration::from_secs(2);
+/// Consecutive loss recoveries that flip the viewer into degraded mode
+/// (halved target fps, coarse tiles). Consecutive — a single gap on a
+/// lossy-but-live link never degrades, because completions reset the count.
+pub const DEGRADE_AFTER: u32 = 3;
+/// Consecutive clean updates that restore full quality.
+pub const RECOVER_AFTER: u32 = 5;
+/// Base pause before a repeated reconnect attempt (doubles per failure).
+pub const RECONNECT_BASE: SimDuration = SimDuration::from_millis(500);
+/// Reconnect backoff cap: pauses never exceed `RECONNECT_BASE << 3` = 4 s.
+pub const MAX_RECONNECT_SHIFT: u32 = 3;
 
 /// The screen server (the presenter's laptop).
 pub struct VncServerApp {
@@ -35,6 +46,10 @@ pub struct VncServerApp {
     source: Box<dyn ScreenSource>,
     /// Tile hashes of the screen as last sent (None = nothing sent yet).
     last_sent: Option<Vec<u64>>,
+    /// The last update was served coarse. A fidelity switch in either
+    /// direction forces a full update, so a viewer leaving degraded mode
+    /// gets every tile back at full colour depth.
+    last_sent_coarse: bool,
     next_update_id: u32,
     outgoing: VecDeque<Bytes>,
     in_flight: usize,
@@ -47,6 +62,8 @@ pub struct VncServerApp {
     pub stream_bytes_sent: u64,
     /// Chunks that failed at the MAC (retry exhaustion).
     pub chunk_failures: u64,
+    /// Updates served in degraded (coarse) mode.
+    pub coarse_updates_sent: u64,
 }
 
 impl VncServerApp {
@@ -56,6 +73,7 @@ impl VncServerApp {
             fb: Framebuffer::new(width, height),
             source,
             last_sent: None,
+            last_sent_coarse: false,
             next_update_id: 0,
             outgoing: VecDeque::new(),
             in_flight: 0,
@@ -64,6 +82,7 @@ impl VncServerApp {
             tiles_sent: 0,
             stream_bytes_sent: 0,
             chunk_failures: 0,
+            coarse_updates_sent: 0,
         }
     }
 
@@ -72,7 +91,7 @@ impl VncServerApp {
         self.fb.digest()
     }
 
-    fn serve_update(&mut self, ctx: &mut NetCtx<'_>, incremental: bool) {
+    fn serve_update(&mut self, ctx: &mut NetCtx<'_>, incremental: bool, coarse: bool) {
         // Pipeline stage timing is wall clock: in a discrete-event world the
         // compute stages (render/encode/chunk) occupy zero simulated time,
         // so their cost only shows up in the self-profiling section.
@@ -85,7 +104,10 @@ impl VncServerApp {
         }
 
         let t0 = profiling.then(Instant::now);
-        let dirty: Vec<usize> = match (&self.last_sent, incremental) {
+        // An incremental diff is only valid against content of the *same*
+        // fidelity; switching between coarse and full forces a full update.
+        let same_mode = coarse == self.last_sent_coarse;
+        let dirty: Vec<usize> = match (&self.last_sent, incremental && same_mode) {
             (Some(prev), true) => self.fb.dirty_tiles(prev),
             _ => (0..self.fb.tile_count()).collect(),
         };
@@ -96,6 +118,9 @@ impl VncServerApp {
             .map(|&idx| {
                 let (tx, ty) = (idx % tx_count, idx / tx_count);
                 self.fb.read_tile(tx, ty, &mut buf);
+                if coarse {
+                    coarsen_pixels(&mut buf);
+                }
                 encode_tile(tx as u16, ty as u16, &buf)
             })
             .collect();
@@ -105,7 +130,11 @@ impl VncServerApp {
                 .profile("vnc.encode", t.elapsed().as_nanos() as u64);
         }
         self.last_sent = Some(self.fb.tile_hashes());
+        self.last_sent_coarse = coarse;
         self.updates_sent += 1;
+        if coarse {
+            self.coarse_updates_sent += 1;
+        }
         self.tiles_sent += tiles.len() as u64;
         self.stream_bytes_sent += stream.len() as u64;
         let id = self.next_update_id;
@@ -156,11 +185,15 @@ impl VncServerApp {
 
 impl NetApp for VncServerApp {
     fn on_packet(&mut self, ctx: &mut NetCtx<'_>, from: NodeId, payload: &Bytes) {
-        let Ok(VncMsg::UpdateRequest { incremental }) = VncMsg::decode(payload.clone()) else {
+        let Ok(VncMsg::UpdateRequest {
+            incremental,
+            coarse,
+        }) = VncMsg::decode(payload.clone())
+        else {
             return;
         };
         self.viewer = Some(from);
-        self.serve_update(ctx, incremental);
+        self.serve_update(ctx, incremental, coarse);
     }
 
     fn on_sent(&mut self, ctx: &mut NetCtx<'_>, _to: Address) {
@@ -172,6 +205,16 @@ impl NetApp for VncServerApp {
         self.chunk_failures += 1;
         self.in_flight = self.in_flight.saturating_sub(1);
         self.pump(ctx);
+    }
+
+    /// A crash drops the send pipeline and the diff baseline: the restarted
+    /// server serves a full update to whoever asks next.
+    fn on_crash(&mut self, _ctx: &mut NetCtx<'_>) {
+        self.last_sent = None;
+        self.last_sent_coarse = false;
+        self.outgoing.clear();
+        self.in_flight = 0;
+        self.viewer = None;
     }
 }
 
@@ -199,6 +242,19 @@ pub struct VncViewerApp {
     pub update_latency: Summary,
     /// Full (non-incremental) re-requests triggered by loss/stall.
     pub recoveries: u64,
+    /// Degraded mode active: requests are coarse and the fps cap is halved.
+    pub degraded: bool,
+    /// Times the viewer entered degraded mode.
+    pub degradations: u64,
+    /// Times it climbed back to full quality.
+    pub quality_recoveries: u64,
+    /// Loss recoveries since the last completed update (drives both the
+    /// degrade decision and the reconnect backoff).
+    consecutive_recoveries: u32,
+    /// Clean completions since entering degraded mode.
+    clean_completes: u32,
+    /// The incremental flag to use when the reconnect pause elapses.
+    pending_incremental: bool,
     first_update_done: bool,
 }
 
@@ -218,6 +274,12 @@ impl VncViewerApp {
             stream_bytes_received: 0,
             update_latency: Summary::new(),
             recoveries: 0,
+            degraded: false,
+            degradations: 0,
+            quality_recoveries: 0,
+            consecutive_recoveries: 0,
+            clean_completes: 0,
+            pending_incremental: false,
             first_update_done: false,
         }
     }
@@ -257,11 +319,15 @@ impl VncViewerApp {
             "vnc.request",
             self.server.0,
             incremental as i64,
-            0,
+            self.degraded as i64,
         );
         ctx.send(
             Address::Node(self.server),
-            VncMsg::UpdateRequest { incremental }.encode(),
+            VncMsg::UpdateRequest {
+                incremental,
+                coarse: self.degraded,
+            }
+            .encode(),
         );
         ctx.set_timer(STALL_TIMEOUT, T_STALL);
     }
@@ -270,6 +336,9 @@ impl VncViewerApp {
         match self.target_fps {
             None => self.request(ctx, true),
             Some(fps) => {
+                // Degraded mode halves the pull rate: fewer, smaller
+                // updates while the link is bad.
+                let fps = if self.degraded { fps * 0.5 } else { fps };
                 let interval = SimDuration::from_secs_f64(1.0 / fps);
                 let since = self
                     .request_sent_at
@@ -301,6 +370,57 @@ impl VncViewerApp {
         }
         true
     }
+
+    /// One loss recovery: count it, maybe degrade, and either retry
+    /// immediately (first failure — the original behaviour) or pause with
+    /// exponential backoff so a dead server is probed, not hammered.
+    fn recover(&mut self, ctx: &mut NetCtx<'_>, incremental: bool) {
+        self.recoveries += 1;
+        self.consecutive_recoveries += 1;
+        self.clean_completes = 0;
+        if !self.degraded && self.consecutive_recoveries >= DEGRADE_AFTER {
+            self.degraded = true;
+            self.degradations += 1;
+            let now_ns = ctx.now().as_nanos();
+            let rec = ctx.telemetry();
+            rec.count("vnc.degrade", 1);
+            rec.event(
+                now_ns,
+                Layer::Resource,
+                "vnc.degrade",
+                self.server.0,
+                self.consecutive_recoveries as i64,
+                0,
+            );
+        }
+        if self.consecutive_recoveries <= 1 {
+            self.request(ctx, incremental);
+        } else {
+            let shift = (self.consecutive_recoveries - 2).min(MAX_RECONNECT_SHIFT);
+            let delay = SimDuration::from_nanos(RECONNECT_BASE.as_nanos() << shift);
+            self.pending_incremental = incremental;
+            self.awaiting_update = false;
+            ctx.set_timer(delay, T_RECONNECT);
+        }
+    }
+
+    /// A clean completion: reset the failure streak and, after
+    /// [`RECOVER_AFTER`] of them in degraded mode, restore full quality.
+    fn note_clean_complete(&mut self, ctx: &mut NetCtx<'_>) {
+        self.consecutive_recoveries = 0;
+        if self.degraded {
+            self.clean_completes += 1;
+            if self.clean_completes >= RECOVER_AFTER {
+                self.degraded = false;
+                self.clean_completes = 0;
+                self.quality_recoveries += 1;
+                let now_ns = ctx.now().as_nanos();
+                let rec = ctx.telemetry();
+                rec.count("vnc.recover", 1);
+                rec.event(now_ns, Layer::Resource, "vnc.recover", self.server.0, 0, 0);
+            }
+        }
+    }
 }
 
 impl NetApp for VncViewerApp {
@@ -326,9 +446,8 @@ impl NetApp for VncViewerApp {
             PushResult::Incomplete => {}
             PushResult::Gap => {
                 // Lost a chunk: resynchronise with a full update.
-                self.recoveries += 1;
                 ctx.telemetry().count("vnc.gaps", 1);
-                self.request(ctx, false);
+                self.recover(ctx, false);
             }
             PushResult::Complete(stream) => {
                 self.awaiting_update = false;
@@ -350,10 +469,10 @@ impl NetApp for VncViewerApp {
                 if self.apply_stream(stream) {
                     self.updates_completed += 1;
                     self.first_update_done = true;
+                    self.note_clean_complete(ctx);
                     self.schedule_next_request(ctx);
                 } else {
-                    self.recoveries += 1;
-                    self.request(ctx, false);
+                    self.recover(ctx, false);
                 }
             }
         }
@@ -372,15 +491,34 @@ impl NetApp for VncViewerApp {
                 if let Some(progress) = self.last_progress_at {
                     let idle = ctx.now().saturating_since(progress);
                     if idle >= STALL_TIMEOUT {
-                        self.recoveries += 1;
-                        self.request(ctx, !self.first_update_done);
+                        self.recover(ctx, !self.first_update_done);
                     } else {
                         ctx.set_timer(STALL_TIMEOUT - idle, T_STALL);
                     }
                 }
             }
+            T_RECONNECT => {
+                // Skip if a late completion ended the failure streak (a
+                // normal request cycle is running again), or a request is
+                // already in flight.
+                if self.consecutive_recoveries == 0 || self.awaiting_update {
+                    return;
+                }
+                self.request(ctx, self.pending_incremental);
+            }
             _ => {}
         }
+    }
+
+    /// An adapter crash forgets the transfer in progress; the restart's
+    /// `on_start` re-requests the full screen from scratch.
+    fn on_crash(&mut self, _ctx: &mut NetCtx<'_>) {
+        self.reassembler.reset();
+        self.awaiting_update = false;
+        self.request_sent_at = None;
+        self.last_progress_at = None;
+        self.consecutive_recoveries = 0;
+        self.clean_completes = 0;
     }
 }
 
@@ -490,6 +628,43 @@ mod tests {
         let fps = v.achieved_fps(SimDuration::from_secs(4));
         assert!(fps <= 5.5, "fps {fps} exceeds the 5 fps cap");
         assert!(fps >= 3.0, "fps {fps} far below the cap on an idle link");
+    }
+
+    #[test]
+    fn server_outage_degrades_then_recovers_full_quality() {
+        use aroma_sim::faults::FaultSchedule;
+
+        let mut net = Network::new(quiet(), MacConfig::default(), 7);
+        let server = net.add_node(
+            NodeConfig::at(Point::new(0.0, 0.0)),
+            Box::new(VncServerApp::new(320, 240, Box::new(SlideDeck::new(60.0)))),
+        );
+        let viewer = net.add_node(
+            NodeConfig::at(Point::new(4.0, 0.0)),
+            Box::new(VncViewerApp::new(server, 320, 240).with_target_fps(10.0)),
+        );
+        // Server dies at 3 s and stays dead long enough for the viewer's
+        // stall→reconnect streak to cross DEGRADE_AFTER, then comes back.
+        let schedule = FaultSchedule::builder(99)
+            .crash_restart(
+                SimDuration::from_secs(3).as_nanos(),
+                SimDuration::from_secs(11).as_nanos(),
+                server.0,
+            )
+            .build();
+        net.attach_faults(&schedule);
+        net.run_for(SimDuration::from_secs(25));
+
+        let s = net.app_as::<VncServerApp>(server).unwrap();
+        let v = net.app_as::<VncViewerApp>(viewer).unwrap();
+        assert!(v.degradations >= 1, "outage never degraded the viewer");
+        assert!(s.coarse_updates_sent >= 1, "no coarse update was served");
+        assert!(
+            v.quality_recoveries >= 1 && !v.degraded,
+            "viewer never climbed back to full quality"
+        );
+        // The post-recovery full update restores exact fidelity.
+        assert_eq!(s.screen_digest(), v.screen_digest());
     }
 
     #[test]

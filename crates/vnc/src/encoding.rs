@@ -92,6 +92,20 @@ pub fn rle_decode(mut data: Bytes, expected: usize) -> Result<Vec<u16>, DecodeEr
     Ok(out)
 }
 
+/// Degraded-mode colour mask: keep the top 3 bits of red and green and the
+/// top 2 of blue (RGB565), zeroing the rest. Flattening the low bits makes
+/// runs longer, so RLE compresses gradients and photographic content far
+/// better — the bandwidth/fidelity trade a viewer takes while the link is
+/// bad.
+pub const COARSE_MASK: u16 = 0xE718;
+
+/// Quantise pixels in place to the degraded colour depth.
+pub fn coarsen_pixels(pixels: &mut [u16]) {
+    for p in pixels {
+        *p &= COARSE_MASK;
+    }
+}
+
 /// Encode a tile's pixels, choosing the smaller of Raw and RLE.
 pub fn encode_tile(tx: u16, ty: u16, pixels: &[u16]) -> EncodedTile {
     let rle = rle_encode(pixels);
@@ -268,6 +282,21 @@ mod tests {
                 "prefix {cut} parsed"
             );
         }
+    }
+
+    #[test]
+    fn coarse_encoding_never_grows_a_tile() {
+        // A smooth gradient: full fidelity has no runs, the quantised
+        // version collapses into long ones.
+        let pixels: Vec<u16> = (0..N).map(|i| (i / 2) as u16).collect();
+        let full = encode_tile(0, 0, &pixels);
+        let mut coarse = pixels.clone();
+        coarsen_pixels(&mut coarse);
+        let enc = encode_tile(0, 0, &coarse);
+        assert!(enc.data.len() <= full.data.len());
+        // Quantisation is idempotent: decoded pixels are already coarse.
+        let decoded = decode_tile(&enc, N).unwrap();
+        assert!(decoded.iter().all(|p| p & !COARSE_MASK == 0));
     }
 
     #[test]

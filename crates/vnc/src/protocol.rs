@@ -10,6 +10,10 @@ pub const PROTO_VNC: u8 = 0xF8;
 
 const TAG_UPDATE_REQUEST: u8 = 1;
 const TAG_UPDATE_CHUNK: u8 = 2;
+/// A degraded-mode request (quantised tiles). A separate tag rather than a
+/// flag byte so full-quality requests stay byte-identical to the original
+/// two-tag protocol.
+const TAG_UPDATE_REQUEST_COARSE: u8 = 3;
 
 /// Chunk header: proto(1) + tag(1) + update_id(4) + seq(2) + last(1) + len(4).
 const CHUNK_HEADER: usize = 13;
@@ -25,6 +29,9 @@ pub enum VncMsg {
         /// True: only what changed since the last update. False: the full
         /// screen (initial connect or loss recovery).
         incremental: bool,
+        /// True: the viewer is in degraded mode and accepts quantised
+        /// (coarser-colour) tiles in exchange for a smaller stream.
+        coarse: bool,
     },
     /// One fragment of a screen update.
     UpdateChunk {
@@ -58,10 +65,17 @@ impl VncMsg {
     /// Encode to wire bytes.
     pub fn encode(&self) -> Bytes {
         match self {
-            VncMsg::UpdateRequest { incremental } => {
+            VncMsg::UpdateRequest {
+                incremental,
+                coarse,
+            } => {
                 let mut b = BytesMut::with_capacity(3);
                 b.put_u8(PROTO_VNC);
-                b.put_u8(TAG_UPDATE_REQUEST);
+                b.put_u8(if *coarse {
+                    TAG_UPDATE_REQUEST_COARSE
+                } else {
+                    TAG_UPDATE_REQUEST
+                });
                 b.put_u8(*incremental as u8);
                 b.freeze()
             }
@@ -94,12 +108,13 @@ impl VncMsg {
             return Err(VncCodecError::BadTag(proto));
         }
         let msg = match buf.get_u8() {
-            TAG_UPDATE_REQUEST => {
+            tag @ (TAG_UPDATE_REQUEST | TAG_UPDATE_REQUEST_COARSE) => {
                 if buf.remaining() < 1 {
                     return Err(VncCodecError::Truncated);
                 }
                 VncMsg::UpdateRequest {
                     incremental: buf.get_u8() != 0,
+                    coarse: tag == TAG_UPDATE_REQUEST_COARSE,
                 }
             }
             TAG_UPDATE_CHUNK => {
@@ -231,9 +246,26 @@ mod tests {
     #[test]
     fn request_round_trip() {
         for inc in [true, false] {
-            let m = VncMsg::UpdateRequest { incremental: inc };
-            assert_eq!(VncMsg::decode(m.encode()).unwrap(), m);
+            for coarse in [true, false] {
+                let m = VncMsg::UpdateRequest {
+                    incremental: inc,
+                    coarse,
+                };
+                assert_eq!(VncMsg::decode(m.encode()).unwrap(), m);
+            }
         }
+    }
+
+    #[test]
+    fn full_quality_request_wire_bytes_are_unchanged() {
+        // The coarse flag must not perturb the original two-tag protocol:
+        // a full-quality request still encodes to the exact pre-degradation
+        // bytes (proto, tag 1, incremental).
+        let m = VncMsg::UpdateRequest {
+            incremental: true,
+            coarse: false,
+        };
+        assert_eq!(&m.encode()[..], &[PROTO_VNC, 1, 1]);
     }
 
     #[test]
@@ -426,7 +458,14 @@ mod tests {
     #[test]
     fn decode_rejects_trailing_bytes() {
         for m in [
-            VncMsg::UpdateRequest { incremental: true },
+            VncMsg::UpdateRequest {
+                incremental: true,
+                coarse: false,
+            },
+            VncMsg::UpdateRequest {
+                incremental: false,
+                coarse: true,
+            },
             VncMsg::UpdateChunk {
                 update_id: 3,
                 seq: 1,

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Full local gate: release build, test suite, warning-free clippy, the
 # model checker in smoke mode (bounded exhaustive sweep of the session and
-# lease protocols — see DESIGN.md §9), and one traced smoke experiment
-# exercising the telemetry pipeline end to end (DESIGN.md §10).
+# lease protocols — see DESIGN.md §9), one traced smoke experiment
+# exercising the telemetry pipeline end to end (DESIGN.md §10), and the
+# fixed-seed E9 chaos walkthrough, asserting every layer recovered from the
+# injected fault storm within its deadline (DESIGN.md §11).
 # Run from the repository root: ./scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -13,3 +15,5 @@ cargo clippy --all-targets -- -D warnings
 cargo run --release --example model_check -- --max-states 50000
 cargo run --release -p lpc-bench --bin repro -- --quick --metrics e2 \
   | grep -q '"net.mac.tx_attempts"'
+cargo run --release -p lpc-bench --bin repro -- --experiment e9 --seed 233 \
+  | grep -q 'chaos recovery: all layers within deadline'
