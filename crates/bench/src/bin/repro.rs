@@ -9,12 +9,13 @@
 //! repro --trace e2     # as --metrics plus the structured trace ring
 //! repro --experiment e9 --seed 7   # one experiment, with a seed override
 //! repro --list         # list experiment ids and titles
+//! repro bench          # checker thread-scaling sweep -> BENCH_check.json
 //! ```
 
 use lpc_bench::experiments::{self, RunOpts, ALL_IDS};
 
 const USAGE: &str = "usage: repro [--quick] [--json] [--metrics] [--trace] [--seed N] [--list] \
-                     [--experiment <id>] <all|f1..f5|e1..e11>...";
+                     [--experiment <id>] <all|bench|f1..f5|e1..e11>...";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -63,6 +64,21 @@ fn main() {
     if ids.is_empty() {
         eprintln!("{USAGE}");
         std::process::exit(2);
+    }
+    // `bench` is not an experiment: it measures the model checker's
+    // thread scaling (plus the E9 recovery times) and writes the result
+    // to BENCH_check.json in the current directory.
+    if ids.iter().any(|id| id == "bench") {
+        if ids.len() > 1 {
+            eprintln!("`bench` runs alone (it owns the whole machine while timing)");
+            std::process::exit(2);
+        }
+        let doc = lpc_bench::checkbench::run(opts.quick);
+        let text = doc.render();
+        std::fs::write("BENCH_check.json", &text).expect("write BENCH_check.json");
+        println!("{text}");
+        eprintln!("wrote BENCH_check.json");
+        return;
     }
     for id in &ids {
         if experiments::run_exists(id) {

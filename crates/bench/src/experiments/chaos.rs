@@ -42,7 +42,7 @@ use crate::scenarios::clean_env;
 
 /// The scripted storm, in seconds of simulated time. Constants rather than
 /// parameters: E9 is a *walkthrough* of one reproducible storm, not a sweep.
-mod storm {
+pub mod storm {
     /// Primary registrar process killed (soft state lost)…
     pub const REGISTRAR_KILL_S: u64 = 10;
     /// …and restarted much later — recovery must come from the standby.
@@ -51,8 +51,9 @@ mod storm {
     pub const PROJECTOR_CRASH_S: u64 = 18;
     /// …and reboots two seconds later with a fresh token incarnation.
     pub const PROJECTOR_RESTART_S: u64 = 20;
-    /// Channel burst-loss window (e.g. a microwave oven two rooms over).
+    /// Channel burst-loss window start (e.g. a microwave two rooms over).
     pub const BURST_START_S: u64 = 28;
+    /// Channel burst-loss window end.
     pub const BURST_END_S: u64 = 31;
     /// Frame loss probability inside the window.
     pub const BURST_LOSS: f64 = 0.85;

@@ -17,5 +17,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkbench;
 pub mod experiments;
 pub mod scenarios;

@@ -6,11 +6,29 @@
 //! trace, which keeps printed traces readable (the acceptance bar for the
 //! session hijack demo is ≤ 12 actions; BFS finds it in 2).
 //!
+//! ## Parallel exploration
+//!
+//! With [`CheckerConfig::workers`] > 1, BFS runs layer-synchronously: each
+//! depth layer's frontier is split across `std::thread::scope` workers
+//! (via [`aroma_sim::sweep`], the same structured-concurrency idiom the
+//! experiment sweeps use) which generate successors — the expensive part:
+//! clone + step + canonical key — in parallel; the results are then merged
+//! into the `seen` map *sequentially*, in (parent index, action index)
+//! order. Because that merge order is exactly the admission order of the
+//! sequential pop loop, the resulting [`CheckReport`] (distinct states,
+//! transition counts, truncation flags, shortest counterexample traces) is
+//! byte-identical at any worker count — pinned by the equivalence proptest
+//! in `tests/parallel_equivalence.rs` and the `scripts/check.sh` gate.
+//! [`Strategy::Dfs`] always takes the sequential path: its frontier is a
+//! stack, which has no layer structure to split.
+//!
 //! AG EF ("always eventually possible") properties are resolved after the
-//! forward pass by a reverse reachability sweep over the explored graph.
-//! States whose forward closure was truncated by a bound are reported as
-//! *undetermined* rather than violating — a bounded checker must never
-//! claim a liveness violation it cannot exhibit.
+//! forward pass by a reverse reachability sweep over the explored graph,
+//! parallelised the same way (goal seeding and large frontier rounds fan
+//! out; marking merges sequentially). States whose forward closure was
+//! truncated by a bound are reported as *undetermined* rather than
+//! violating — a bounded checker must never claim a liveness violation it
+//! cannot exhibit.
 
 use crate::model::{Model, Property, PropertyKind};
 use std::collections::hash_map::Entry;
@@ -25,7 +43,7 @@ pub enum Strategy {
     Dfs,
 }
 
-/// Exploration bounds and order.
+/// Exploration bounds, order, and parallelism.
 #[derive(Clone, Copy, Debug)]
 pub struct CheckerConfig {
     /// Stop discovering new states past this many distinct states.
@@ -34,6 +52,9 @@ pub struct CheckerConfig {
     pub max_depth: u32,
     /// BFS or DFS.
     pub strategy: Strategy,
+    /// Worker threads for BFS successor generation and the liveness pass.
+    /// `1` is the sequential engine; every count yields the same report.
+    pub workers: usize,
 }
 
 impl Default for CheckerConfig {
@@ -42,6 +63,7 @@ impl Default for CheckerConfig {
             max_states: 1_000_000,
             max_depth: 10_000,
             strategy: Strategy::Bfs,
+            workers: std::thread::available_parallelism().map_or(1, |p| p.get()),
         }
     }
 }
@@ -64,6 +86,12 @@ impl CheckerConfig {
     /// Builder-style depth override.
     pub fn with_max_depth(mut self, d: u32) -> Self {
         self.max_depth = d;
+        self
+    }
+
+    /// Builder-style worker-count override (`0` is treated as `1`).
+    pub fn with_workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
         self
     }
 }
@@ -156,10 +184,139 @@ impl<M: Model> CheckReport<M> {
     }
 }
 
+/// The forward pass's full output: the report plus the explored graph the
+/// liveness pass walks backwards over.
+struct Exploration<M: Model> {
+    report: CheckReport<M>,
+    nodes: Vec<Node<M>>,
+    /// Successor adjacency, only populated when a liveness property needs it.
+    edges: Vec<Vec<u32>>,
+    /// Nodes whose successors were *all* generated (frontier nodes are not).
+    expanded: Vec<bool>,
+}
+
+impl<M: Model> Exploration<M> {
+    fn new() -> Self {
+        Exploration {
+            report: CheckReport {
+                distinct_states: 0,
+                transitions: 0,
+                max_depth_reached: 0,
+                complete: true,
+                violations: Vec::new(),
+                undetermined: 0,
+            },
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            expanded: Vec::new(),
+        }
+    }
+}
+
+fn trace_to<M: Model>(nodes: &[Node<M>], mut idx: usize) -> Vec<M::Action> {
+    let mut rev = Vec::new();
+    while let Some((parent, action)) = &nodes[idx].parent {
+        rev.push(action.clone());
+        idx = *parent;
+    }
+    rev.reverse();
+    rev
+}
+
+enum Admitted {
+    /// Novel state, stored at this node index.
+    New(usize),
+    /// Duplicate of this already-known node.
+    Existing(usize),
+    /// Novel state dropped by the state budget.
+    Rejected,
+}
+
+/// Admit a state whose canonical key is already computed (exactly once per
+/// generated successor — the old engine recomputed `model.key` on the
+/// budget path). Boundary semantics, pinned by `exact_state_budget_*`
+/// tests: once `nodes.len() == max_states`, a successor is admitted iff
+/// its key was already seen; novel states are rejected. Initial states
+/// pass `usize::MAX` and bypass the budget.
+#[allow(clippy::too_many_arguments)] // one call site shape, two engines
+fn admit<M: Model>(
+    seen: &mut HashMap<M::Key, usize>,
+    ex: &mut Exploration<M>,
+    track_edges: bool,
+    max_states: usize,
+    key: M::Key,
+    state: M::State,
+    parent: Option<(usize, M::Action)>,
+    depth: u32,
+) -> Admitted {
+    match seen.entry(key) {
+        Entry::Occupied(e) => Admitted::Existing(*e.get()),
+        Entry::Vacant(e) => {
+            // `seen` holds exactly one entry per node, so `nodes.len()` is
+            // the live distinct-state count.
+            if ex.nodes.len() >= max_states {
+                return Admitted::Rejected;
+            }
+            let idx = ex.nodes.len();
+            e.insert(idx);
+            ex.nodes.push(Node {
+                state,
+                parent,
+                depth,
+            });
+            if track_edges {
+                ex.edges.push(Vec::new());
+            }
+            ex.expanded.push(false);
+            Admitted::New(idx)
+        }
+    }
+}
+
+/// Check safety on every node admitted since the last sweep, in admission
+/// order; on the first violating node, record the violation and return
+/// `true` (stop exploring). Both engines sweep at the same moments — the
+/// sequential pop points — so the stopping state count and the reported
+/// trace coincide.
+fn sweep_safety<M: Model>(
+    model: &M,
+    safety: &[&Property<M>],
+    ex: &mut Exploration<M>,
+    checked_upto: &mut usize,
+) -> bool {
+    while *checked_upto < ex.nodes.len() {
+        for p in safety {
+            if !(p.check)(model, &ex.nodes[*checked_upto].state) {
+                let trace = trace_to(&ex.nodes, *checked_upto);
+                ex.report.violations.push(Violation {
+                    property: p.name,
+                    kind: PropertyKind::Always,
+                    trace,
+                    end_state: ex.nodes[*checked_upto].state.clone(),
+                });
+                ex.report.complete = false;
+                return true;
+            }
+        }
+        *checked_upto += 1;
+    }
+    false
+}
+
 /// Exhaustively explore `model` within `cfg`'s bounds and check every
 /// property. Stops at the first safety violation (its trace is shortest
 /// under BFS); AG EF properties are resolved after the forward sweep.
-pub fn check<M: Model>(model: &M, cfg: &CheckerConfig) -> CheckReport<M> {
+///
+/// With `cfg.workers > 1` and [`Strategy::Bfs`], exploration is
+/// layer-parallel; the report is byte-identical to the sequential engine
+/// (`workers == 1`) at any worker count.
+pub fn check<M>(model: &M, cfg: &CheckerConfig) -> CheckReport<M>
+where
+    M: Model + Sync,
+    M::State: Send + Sync,
+    M::Action: Send + Sync,
+    M::Key: Send,
+{
     let props = model.properties();
     let safety: Vec<&Property<M>> = props
         .iter()
@@ -171,73 +328,46 @@ pub fn check<M: Model>(model: &M, cfg: &CheckerConfig) -> CheckReport<M> {
         .collect();
     let track_edges = !liveness.is_empty();
 
-    let mut nodes: Vec<Node<M>> = Vec::new();
+    let workers = cfg.workers.max(1);
+    let mut ex = if workers > 1 && cfg.strategy == Strategy::Bfs {
+        explore_parallel(model, cfg, workers, &safety, track_edges)
+    } else {
+        explore_sequential(model, cfg, &safety, track_edges)
+    };
+
+    // Resolve AG EF properties by reverse reachability over the explored
+    // graph (skipped entirely if a safety violation already stopped us).
+    if ex.report.violations.is_empty() && !liveness.is_empty() {
+        resolve_liveness(model, &mut ex, &liveness, workers);
+    }
+    ex.report
+}
+
+/// The sequential engine: one pop-expand loop, BFS or DFS.
+fn explore_sequential<M: Model>(
+    model: &M,
+    cfg: &CheckerConfig,
+    safety: &[&Property<M>],
+    track_edges: bool,
+) -> Exploration<M> {
+    let mut ex = Exploration::new();
     let mut seen: HashMap<M::Key, usize> = HashMap::new();
-    // Successor adjacency, only populated when a liveness property needs it.
-    let mut edges: Vec<Vec<u32>> = Vec::new();
-    // Nodes whose successors were *all* generated (frontier nodes are not).
-    let mut expanded: Vec<bool> = Vec::new();
     let mut frontier: VecDeque<usize> = VecDeque::new();
 
-    let mut report = CheckReport {
-        distinct_states: 0,
-        transitions: 0,
-        max_depth_reached: 0,
-        complete: true,
-        violations: Vec::new(),
-        undetermined: 0,
-    };
-
-    let trace_to = |nodes: &[Node<M>], mut idx: usize| -> Vec<M::Action> {
-        let mut rev = Vec::new();
-        while let Some((parent, action)) = &nodes[idx].parent {
-            rev.push(action.clone());
-            idx = *parent;
-        }
-        rev.reverse();
-        rev
-    };
-
-    let admit = |state: M::State,
-                     parent: Option<(usize, M::Action)>,
-                     depth: u32,
-                     nodes: &mut Vec<Node<M>>,
-                     seen: &mut HashMap<M::Key, usize>,
-                     edges: &mut Vec<Vec<u32>>,
-                     expanded: &mut Vec<bool>,
-                     frontier: &mut VecDeque<usize>|
-     -> Option<usize> {
-        match seen.entry(model.key(&state)) {
-            Entry::Occupied(e) => Some(*e.get()),
-            Entry::Vacant(e) => {
-                let idx = nodes.len();
-                e.insert(idx);
-                nodes.push(Node {
-                    state,
-                    parent,
-                    depth,
-                });
-                if track_edges {
-                    edges.push(Vec::new());
-                }
-                expanded.push(false);
-                frontier.push_back(idx);
-                None
-            }
-        }
-    };
-
     for init in model.initial_states() {
-        admit(
+        let key = model.key(&init);
+        if let Admitted::New(idx) = admit(
+            &mut seen,
+            &mut ex,
+            track_edges,
+            usize::MAX,
+            key,
             init,
             None,
             0,
-            &mut nodes,
-            &mut seen,
-            &mut edges,
-            &mut expanded,
-            &mut frontier,
-        );
+        ) {
+            frontier.push_back(idx);
+        }
     }
 
     // Safety is checked on admission order; violations on initial states
@@ -248,133 +378,326 @@ pub fn check<M: Model>(model: &M, cfg: &CheckerConfig) -> CheckReport<M> {
         Strategy::Bfs => frontier.pop_front(),
         Strategy::Dfs => frontier.pop_back(),
     } {
-        // Check safety on every node admitted since the last round (this
-        // covers the popped node and, under DFS, nodes that may linger).
-        while checked_upto < nodes.len() {
-            for p in &safety {
-                if !(p.check)(model, &nodes[checked_upto].state) {
-                    report.violations.push(Violation {
-                        property: p.name,
-                        kind: PropertyKind::Always,
-                        trace: trace_to(&nodes, checked_upto),
-                        end_state: nodes[checked_upto].state.clone(),
-                    });
-                    report.complete = false;
-                    break 'explore;
-                }
-            }
-            checked_upto += 1;
+        // Covers the popped node and, under DFS, nodes that may linger.
+        if sweep_safety(model, safety, &mut ex, &mut checked_upto) {
+            break 'explore;
         }
 
-        let node_depth = nodes[idx].depth;
-        report.max_depth_reached = report.max_depth_reached.max(node_depth);
+        let node_depth = ex.nodes[idx].depth;
+        ex.report.max_depth_reached = ex.report.max_depth_reached.max(node_depth);
         if node_depth >= cfg.max_depth {
-            report.complete = false;
+            ex.report.complete = false;
             continue; // left unexpanded: a frontier truncation
         }
 
         actions.clear();
-        model.actions(&nodes[idx].state, &mut actions);
+        model.actions(&ex.nodes[idx].state, &mut actions);
         let mut truncated = false;
         for action in actions.drain(..) {
-            let Some(next) = model.step(&nodes[idx].state, &action) else {
+            let Some(next) = model.step(&ex.nodes[idx].state, &action) else {
                 continue;
             };
-            report.transitions += 1;
-            if seen.len() >= cfg.max_states && !seen.contains_key(&model.key(&next)) {
-                // Out of state budget: drop this successor, mark the node
-                // as incompletely expanded.
-                truncated = true;
-                report.complete = false;
-                continue;
-            }
-            let existing = admit(
+            ex.report.transitions += 1;
+            let key = model.key(&next);
+            match admit(
+                &mut seen,
+                &mut ex,
+                track_edges,
+                cfg.max_states,
+                key,
                 next,
                 Some((idx, action)),
                 node_depth + 1,
-                &mut nodes,
-                &mut seen,
-                &mut edges,
-                &mut expanded,
-                &mut frontier,
-            );
-            if track_edges {
-                let succ = existing.unwrap_or(nodes.len() - 1) as u32;
-                edges[idx].push(succ);
-            }
-        }
-        expanded[idx] = !truncated;
-    }
-    report.distinct_states = nodes.len();
-
-    // Resolve AG EF properties by reverse reachability over the explored
-    // graph (skipped entirely if a safety violation already stopped us).
-    if report.violations.is_empty() && !liveness.is_empty() {
-        let mut rev: Vec<Vec<u32>> = vec![Vec::new(); nodes.len()];
-        for (from, succs) in edges.iter().enumerate() {
-            for &to in succs {
-                rev[to as usize].push(from as u32);
-            }
-        }
-        // "Unknown" region: states that can reach an unexpanded state may
-        // have had their path to the goal truncated.
-        let mut unknown = vec![false; nodes.len()];
-        let mut queue: VecDeque<usize> = (0..nodes.len()).filter(|&i| !expanded[i]).collect();
-        for &i in &queue {
-            unknown[i] = true;
-        }
-        while let Some(i) = queue.pop_front() {
-            for &p in &rev[i] {
-                if !unknown[p as usize] {
-                    unknown[p as usize] = true;
-                    queue.push_back(p as usize);
-                }
-            }
-        }
-        for prop in &liveness {
-            let mut good = vec![false; nodes.len()];
-            let mut queue: VecDeque<usize> = VecDeque::new();
-            for (i, node) in nodes.iter().enumerate() {
-                if (prop.check)(model, &node.state) {
-                    good[i] = true;
-                    queue.push_back(i);
-                }
-            }
-            while let Some(i) = queue.pop_front() {
-                for &p in &rev[i] {
-                    if !good[p as usize] {
-                        good[p as usize] = true;
-                        queue.push_back(p as usize);
+            ) {
+                Admitted::New(succ) => {
+                    frontier.push_back(succ);
+                    if track_edges {
+                        ex.edges[idx].push(succ as u32);
                     }
                 }
-            }
-            let mut worst: Option<usize> = None;
-            for i in 0..nodes.len() {
-                if good[i] {
-                    continue;
+                Admitted::Existing(succ) => {
+                    if track_edges {
+                        ex.edges[idx].push(succ as u32);
+                    }
                 }
-                if unknown[i] {
-                    report.undetermined += 1;
-                } else {
-                    // Definite violation: fully explored closure, no goal.
-                    worst = match worst {
-                        Some(w) if nodes[w].depth <= nodes[i].depth => Some(w),
-                        _ => Some(i),
-                    };
+                Admitted::Rejected => {
+                    // Out of state budget: drop this successor, mark the
+                    // node as incompletely expanded.
+                    truncated = true;
+                    ex.report.complete = false;
                 }
             }
-            if let Some(i) = worst {
-                report.violations.push(Violation {
-                    property: prop.name,
-                    kind: PropertyKind::AlwaysEventually,
-                    trace: trace_to(&nodes, i),
-                    end_state: nodes[i].state.clone(),
-                });
-            }
+        }
+        ex.expanded[idx] = !truncated;
+    }
+    ex.report.distinct_states = ex.nodes.len();
+    ex
+}
+
+/// One node's successor batch: `(action, state, key)` in action order.
+type SuccBatch<M> = Vec<(
+    <M as Model>::Action,
+    <M as Model>::State,
+    <M as Model>::Key,
+)>;
+
+/// Generate every successor of `state` with its canonical key — the
+/// per-node unit of parallel work.
+fn generate_successors<M: Model>(model: &M, state: &M::State) -> SuccBatch<M> {
+    let mut actions: Vec<M::Action> = Vec::new();
+    model.actions(state, &mut actions);
+    let mut out = Vec::with_capacity(actions.len());
+    for action in actions {
+        if let Some(next) = model.step(state, &action) {
+            let key = model.key(&next);
+            out.push((action, next, key));
+        }
+    }
+    out
+}
+
+/// The layer-synchronous parallel BFS engine. Per depth layer: split the
+/// frontier into tiles, generate each tile's successors on `workers`
+/// scoped threads, then merge sequentially in (parent, action) order —
+/// which is exactly the sequential engine's admission order, so the report
+/// is byte-identical at any worker count.
+fn explore_parallel<M>(
+    model: &M,
+    cfg: &CheckerConfig,
+    workers: usize,
+    safety: &[&Property<M>],
+    track_edges: bool,
+) -> Exploration<M>
+where
+    M: Model + Sync,
+    M::State: Send + Sync,
+    M::Action: Send + Sync,
+    M::Key: Send,
+{
+    let mut ex = Exploration::new();
+    let mut seen: HashMap<M::Key, usize> = HashMap::new();
+    // The current BFS layer, in admission order (all nodes share a depth).
+    let mut layer: Vec<usize> = Vec::new();
+
+    for init in model.initial_states() {
+        let key = model.key(&init);
+        if let Admitted::New(idx) = admit(
+            &mut seen,
+            &mut ex,
+            track_edges,
+            usize::MAX,
+            key,
+            init,
+            None,
+            0,
+        ) {
+            layer.push(idx);
         }
     }
 
-    report
+    // Tiles bound how many successor states are held before merging: a
+    // multi-million-node layer at branching factor ~20 would otherwise
+    // materialise the whole next layer twice over.
+    let tile_len = (workers * 512).max(1024);
+    let mut checked_upto = 0usize;
+
+    'explore: while !layer.is_empty() {
+        let depth = ex.nodes[layer[0]].depth; // BFS layers are uniform-depth
+        if depth >= cfg.max_depth {
+            // The sequential engine pops each of these nodes: sweeps (no
+            // admissions happen, so once is enough), counts its depth, and
+            // marks the truncation. No deeper layer can exist.
+            if !sweep_safety(model, safety, &mut ex, &mut checked_upto) {
+                ex.report.max_depth_reached = ex.report.max_depth_reached.max(depth);
+                ex.report.complete = false;
+            }
+            break 'explore;
+        }
+
+        let mut next_layer: Vec<usize> = Vec::new();
+        for tile in layer.chunks(tile_len) {
+            // -- Parallel phase: successor generation. -------------------
+            let nodes_ro = &ex.nodes;
+            let batches: Vec<SuccBatch<M>> = if tile.len() < workers * 4 {
+                // Spawning threads for a near-empty layer costs more than
+                // it saves; the merge below is order-identical either way.
+                tile.iter()
+                    .map(|&idx| generate_successors(model, &nodes_ro[idx].state))
+                    .collect()
+            } else {
+                aroma_sim::sweep::run_with_threads(tile, workers, |_, &idx| {
+                    generate_successors(model, &nodes_ro[idx].state)
+                })
+            };
+
+            // -- Sequential merge, in (parent, action) order. ------------
+            for (&idx, succs) in tile.iter().zip(batches) {
+                // The sequential engine sweeps at each pop, before
+                // expanding — i.e. before this node's admissions.
+                if sweep_safety(model, safety, &mut ex, &mut checked_upto) {
+                    break 'explore;
+                }
+                ex.report.max_depth_reached = ex.report.max_depth_reached.max(depth);
+                let mut truncated = false;
+                for (action, state, key) in succs {
+                    ex.report.transitions += 1;
+                    match admit(
+                        &mut seen,
+                        &mut ex,
+                        track_edges,
+                        cfg.max_states,
+                        key,
+                        state,
+                        Some((idx, action)),
+                        depth + 1,
+                    ) {
+                        Admitted::New(succ) => {
+                            next_layer.push(succ);
+                            if track_edges {
+                                ex.edges[idx].push(succ as u32);
+                            }
+                        }
+                        Admitted::Existing(succ) => {
+                            if track_edges {
+                                ex.edges[idx].push(succ as u32);
+                            }
+                        }
+                        Admitted::Rejected => {
+                            truncated = true;
+                            ex.report.complete = false;
+                        }
+                    }
+                }
+                ex.expanded[idx] = !truncated;
+            }
+        }
+        layer = next_layer;
+    }
+    ex.report.distinct_states = ex.nodes.len();
+    ex
+}
+
+/// Indices of nodes satisfying `pred`, evaluated on `workers` threads in
+/// contiguous chunks (predicates are the per-node cost of the liveness
+/// pass: they clone production structs).
+fn par_node_indices<M>(
+    model: &M,
+    nodes: &[Node<M>],
+    workers: usize,
+    pred: fn(&M, &M::State) -> bool,
+) -> Vec<usize>
+where
+    M: Model + Sync,
+    M::State: Sync,
+    M::Action: Sync,
+{
+    let n = nodes.len();
+    if workers <= 1 || n < workers * 64 {
+        return (0..n).filter(|&i| pred(model, &nodes[i].state)).collect();
+    }
+    let chunk = n.div_ceil(workers * 8).max(1);
+    let ranges: Vec<(usize, usize)> = (0..n)
+        .step_by(chunk)
+        .map(|lo| (lo, (lo + chunk).min(n)))
+        .collect();
+    let hits = aroma_sim::sweep::run_with_threads(&ranges, workers, |_, &(lo, hi)| {
+        (lo..hi)
+            .filter(|&i| pred(model, &nodes[i].state))
+            .collect::<Vec<usize>>()
+    });
+    hits.concat()
+}
+
+/// Mark the backward closure of `seeds` over the reversed edge relation —
+/// layer-synchronous like the forward pass: large frontier rounds fan out
+/// across workers, the marking merge stays sequential. The final marked
+/// set is frontier-order independent, so any worker count agrees.
+fn mark_backward(rev: &[Vec<u32>], marked: &mut [bool], seeds: Vec<usize>, workers: usize) {
+    let mut frontier = seeds;
+    for &s in &frontier {
+        marked[s] = true;
+    }
+    while !frontier.is_empty() {
+        let candidates: Vec<u32> = if workers > 1 && frontier.len() >= workers * 64 {
+            let snapshot: &[bool] = marked;
+            aroma_sim::sweep::run_with_threads(&frontier, workers, |_, &i| {
+                rev[i]
+                    .iter()
+                    .copied()
+                    .filter(|&p| !snapshot[p as usize])
+                    .collect::<Vec<u32>>()
+            })
+            .concat()
+        } else {
+            frontier
+                .iter()
+                .flat_map(|&i| rev[i].iter().copied().filter(|&p| !marked[p as usize]))
+                .collect()
+        };
+        frontier.clear();
+        for p in candidates {
+            if !marked[p as usize] {
+                marked[p as usize] = true;
+                frontier.push(p as usize);
+            }
+        }
+    }
+}
+
+/// Resolve every AG EF property over the explored graph by reverse
+/// reachability; bound-truncated regions are filed as undetermined.
+fn resolve_liveness<M>(
+    model: &M,
+    ex: &mut Exploration<M>,
+    liveness: &[&Property<M>],
+    workers: usize,
+) where
+    M: Model + Sync,
+    M::State: Send + Sync,
+    M::Action: Sync,
+{
+    let n = ex.nodes.len();
+    let mut rev: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (from, succs) in ex.edges.iter().enumerate() {
+        for &to in succs {
+            rev[to as usize].push(from as u32);
+        }
+    }
+    // "Unknown" region: states that can reach an unexpanded state may have
+    // had their path to the goal truncated.
+    let mut unknown = vec![false; n];
+    let truncated_seeds: Vec<usize> = (0..n).filter(|&i| !ex.expanded[i]).collect();
+    mark_backward(&rev, &mut unknown, truncated_seeds, workers);
+
+    for prop in liveness {
+        let mut good = vec![false; n];
+        let seeds = par_node_indices(model, &ex.nodes, workers, prop.check);
+        mark_backward(&rev, &mut good, seeds, workers);
+        let mut worst: Option<usize> = None;
+        for i in 0..n {
+            if good[i] {
+                continue;
+            }
+            if unknown[i] {
+                ex.report.undetermined += 1;
+            } else {
+                // Definite violation: fully explored closure, no goal.
+                worst = match worst {
+                    Some(w) if ex.nodes[w].depth <= ex.nodes[i].depth => Some(w),
+                    _ => Some(i),
+                };
+            }
+        }
+        if let Some(i) = worst {
+            let trace = trace_to(&ex.nodes, i);
+            ex.report.violations.push(Violation {
+                property: prop.name,
+                kind: PropertyKind::AlwaysEventually,
+                trace,
+                end_state: ex.nodes[i].state.clone(),
+            });
+        }
+    }
 }
 
 #[cfg(test)]
@@ -442,6 +765,78 @@ mod tests {
                 check: |_, s| s.0 == 0 && !s.1,
             });
             props
+        }
+    }
+
+    /// A wide model: states are bitsets of `bits` bits, actions set any
+    /// unset bit, so layer `d` holds `C(bits, d)` states — enough breadth
+    /// to push the parallel engine through its threaded generation path.
+    /// Safety: the `forbidden` mask is never an exact state. AG EF: a
+    /// designated `goal` bit can always still be set (fails for states
+    /// where `goal` cannot be reached because the mask is full — never
+    /// happens — so the property holds; with `forbidden` on a mid-layer
+    /// state the safety side trips mid-exploration).
+    struct BitSpread {
+        bits: u32,
+        forbidden: Option<u32>,
+    }
+
+    impl Model for BitSpread {
+        type State = u32;
+        type Action = u32;
+        type Key = u32;
+
+        fn initial_states(&self) -> Vec<u32> {
+            vec![0]
+        }
+
+        fn actions(&self, state: &u32, out: &mut Vec<u32>) {
+            for b in 0..self.bits {
+                if state & (1 << b) == 0 {
+                    out.push(b);
+                }
+            }
+        }
+
+        fn step(&self, state: &u32, action: &u32) -> Option<u32> {
+            Some(state | (1 << action))
+        }
+
+        fn key(&self, state: &u32) -> u32 {
+            *state
+        }
+
+        fn properties(&self) -> Vec<Property<Self>> {
+            let mut props: Vec<Property<Self>> = vec![Property {
+                name: "full-set-reachable",
+                kind: PropertyKind::AlwaysEventually,
+                check: |m, s| *s == (1u32 << m.bits) - 1,
+            }];
+            if self.forbidden.is_some() {
+                props.push(Property {
+                    name: "never-forbidden-mask",
+                    kind: PropertyKind::Always,
+                    check: |m, s| Some(*s) != m.forbidden,
+                });
+            }
+            props
+        }
+    }
+
+    fn assert_reports_equal<M: Model>(a: &CheckReport<M>, b: &CheckReport<M>)
+    where
+        M::Action: PartialEq + std::fmt::Debug,
+    {
+        assert_eq!(a.distinct_states, b.distinct_states, "distinct states");
+        assert_eq!(a.transitions, b.transitions, "transitions");
+        assert_eq!(a.max_depth_reached, b.max_depth_reached, "max depth");
+        assert_eq!(a.complete, b.complete, "complete flag");
+        assert_eq!(a.undetermined, b.undetermined, "undetermined count");
+        assert_eq!(a.violations.len(), b.violations.len(), "violation count");
+        for (va, vb) in a.violations.iter().zip(&b.violations) {
+            assert_eq!(va.property, vb.property);
+            assert_eq!(va.kind, vb.kind);
+            assert_eq!(va.trace, vb.trace, "counterexample trace");
         }
     }
 
@@ -513,6 +908,30 @@ mod tests {
     }
 
     #[test]
+    fn exact_state_budget_boundary_is_pinned() {
+        // The down-counter over 0..=10 has exactly 11 distinct states.
+        // With the budget set exactly to the space size, every successor
+        // at the boundary is already seen, so the sweep still completes:
+        // admitted-iff-seen once `nodes.len() == max_states`.
+        let m = Counter {
+            bound: 10,
+            forbidden: None,
+            sink_at: None,
+            down: true,
+        };
+        let at = check(&m, &CheckerConfig::default().with_max_states(11));
+        assert!(at.complete, "budget == space size must still complete");
+        assert_eq!(at.distinct_states, 11);
+        assert!(at.passed());
+
+        // One below: the final novel state is rejected, the sweep reports
+        // bounded, and the count pins to the budget exactly.
+        let below = check(&m, &CheckerConfig::default().with_max_states(10));
+        assert!(!below.complete);
+        assert_eq!(below.distinct_states, 10, "never exceeds the budget");
+    }
+
+    #[test]
     fn depth_bound_limits_exploration() {
         let m = Counter {
             bound: 1_000,
@@ -543,5 +962,73 @@ mod tests {
         );
         assert_eq!(bfs.distinct_states, dfs.distinct_states);
         assert!(dfs.passed() && dfs.complete);
+    }
+
+    #[test]
+    fn parallel_bfs_is_byte_identical_on_wide_clean_model() {
+        // 2^16 states, widest layer C(16,8) = 12870 — wide enough that the
+        // threaded generation path (not the small-layer inline path) runs.
+        let m = BitSpread {
+            bits: 16,
+            forbidden: None,
+        };
+        let seq = check(&m, &CheckerConfig::default().with_workers(1));
+        assert!(seq.complete && seq.passed());
+        assert_eq!(seq.distinct_states, 1 << 16);
+        for workers in [2, 4, 8] {
+            let par = check(&m, &CheckerConfig::default().with_workers(workers));
+            assert_reports_equal(&seq, &par);
+        }
+    }
+
+    #[test]
+    fn parallel_bfs_matches_sequential_on_violation_stop() {
+        // A mid-layer forbidden state: both engines must stop at the same
+        // admission, yielding identical distinct-state counts and the
+        // same shortest trace.
+        let m = BitSpread {
+            bits: 12,
+            forbidden: Some(0b0000_0101_0011),
+        };
+        let seq = check(&m, &CheckerConfig::default().with_workers(1));
+        assert!(!seq.passed());
+        for workers in [2, 4] {
+            let par = check(&m, &CheckerConfig::default().with_workers(workers));
+            assert_reports_equal(&seq, &par);
+        }
+    }
+
+    #[test]
+    fn parallel_bfs_matches_sequential_under_state_budget() {
+        let m = BitSpread {
+            bits: 14,
+            forbidden: None,
+        };
+        for max_states in [1, 100, 1_000, 5_000] {
+            let cfg = CheckerConfig::default().with_max_states(max_states);
+            let seq = check(&m, &cfg.with_workers(1));
+            let par = check(&m, &cfg.with_workers(4));
+            assert_reports_equal(&seq, &par);
+        }
+    }
+
+    #[test]
+    fn parallel_bfs_matches_sequential_under_depth_bound() {
+        let m = BitSpread {
+            bits: 14,
+            forbidden: None,
+        };
+        for max_depth in [0, 1, 3, 7] {
+            let cfg = CheckerConfig::default().with_max_depth(max_depth);
+            let seq = check(&m, &cfg.with_workers(1));
+            let par = check(&m, &cfg.with_workers(3));
+            assert_reports_equal(&seq, &par);
+        }
+    }
+
+    #[test]
+    fn with_workers_zero_is_sequential() {
+        let cfg = CheckerConfig::default().with_workers(0);
+        assert_eq!(cfg.workers, 1);
     }
 }

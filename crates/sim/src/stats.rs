@@ -100,9 +100,19 @@ impl Summary {
         }
     }
 
-    /// Half-width of a normal-approximation 95% confidence interval.
-    pub fn ci95_half_width(&self) -> f64 {
-        1.96 * self.std_err()
+    /// Half-width of a 95% confidence interval for the mean, using the
+    /// Student-t critical value for `n−1` degrees of freedom.
+    ///
+    /// The normal z=1.96 understates the interval badly at the sample
+    /// counts some experiment cells actually have (t is 12.7 at n=2,
+    /// 2.78 at n=5); z is only the n→∞ asymptote. With fewer than two
+    /// samples no spread is estimable at all, so this returns `None`
+    /// rather than a spurious 0 — and never NaN.
+    pub fn ci95_half_width(&self) -> Option<f64> {
+        if self.count < 2 {
+            return None;
+        }
+        Some(t_critical_95(self.count - 1) * self.std_err())
     }
 
     /// Smallest observation (`None` when empty).
@@ -144,7 +154,38 @@ impl Summary {
     }
 }
 
-/// Fixed-width-bin histogram over `[lo, hi)` with under/overflow bins.
+/// Two-sided 95% Student-t critical value for `df` degrees of freedom.
+///
+/// Exact table for df ≤ 30, linear interpolation between the standard
+/// anchors at 40/60/120, and the normal z beyond — the usual printed
+/// t-table, which is accurate to the three digits anyone reads off a
+/// confidence interval.
+pub fn t_critical_95(df: u64) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    const ANCHORS: [(u64, f64); 4] = [(30, 2.042), (40, 2.021), (60, 2.000), (120, 1.980)];
+    match df {
+        0 => f64::INFINITY, // no spread estimable from one sample
+        1..=30 => TABLE[(df - 1) as usize],
+        31..=120 => {
+            let (mut lo, mut lo_t, mut hi, mut hi_t) = (30, 2.042, 120, 1.980);
+            for w in ANCHORS.windows(2) {
+                if df >= w[0].0 && df <= w[1].0 {
+                    (lo, lo_t, hi, hi_t) = (w[0].0, w[0].1, w[1].0, w[1].1);
+                }
+            }
+            lo_t + (hi_t - lo_t) * (df - lo) as f64 / (hi - lo) as f64
+        }
+        _ => 1.96,
+    }
+}
+
+/// Fixed-width-bin histogram over `[lo, hi)` with under/overflow bins and
+/// an explicit NaN counter (a NaN sample is a measurement bug upstream; it
+/// must be visible, not silently filed in bin 0).
 #[derive(Clone, Debug, Serialize)]
 pub struct Histogram {
     lo: f64,
@@ -152,6 +193,7 @@ pub struct Histogram {
     bins: Vec<u64>,
     underflow: u64,
     overflow: u64,
+    nan: u64,
     count: u64,
 }
 
@@ -168,6 +210,7 @@ impl Histogram {
             bins: vec![0; nbins],
             underflow: 0,
             overflow: 0,
+            nan: 0,
             count: 0,
         }
     }
@@ -175,7 +218,12 @@ impl Histogram {
     /// Record one observation.
     pub fn record(&mut self, x: f64) {
         self.count += 1;
-        if x < self.lo {
+        if x.is_nan() {
+            // NaN fails both range tests below and `as usize` saturates it
+            // to 0 — which used to count it in bin 0 as a plausible small
+            // sample. Track it separately instead.
+            self.nan += 1;
+        } else if x < self.lo {
             self.underflow += 1;
         } else if x >= self.hi {
             self.overflow += 1;
@@ -201,6 +249,11 @@ impl Histogram {
         self.overflow
     }
 
+    /// NaN observations (excluded from every quantile).
+    pub fn nan(&self) -> u64 {
+        self.nan
+    }
+
     /// Raw bin counts.
     pub fn bins(&self) -> &[u64] {
         &self.bins
@@ -210,11 +263,12 @@ impl Histogram {
     /// the containing bin. Underflow counts toward `lo`, overflow toward
     /// `hi`. Returns `None` when empty.
     pub fn quantile(&self, q: f64) -> Option<f64> {
-        if self.count == 0 {
+        let numeric = self.count - self.nan;
+        if numeric == 0 {
             return None;
         }
         let q = q.clamp(0.0, 1.0);
-        let target = q * self.count as f64;
+        let target = q * numeric as f64;
         let mut cum = self.underflow as f64;
         if target <= cum {
             return Some(self.lo);
@@ -248,6 +302,7 @@ impl Histogram {
         }
         self.underflow += other.underflow;
         self.overflow += other.overflow;
+        self.nan += other.nan;
         self.count += other.count;
     }
 }
@@ -346,7 +401,57 @@ mod tests {
         assert_eq!(s.variance(), 0.0);
         assert_eq!(s.min(), None);
         assert_eq!(s.max(), None);
-        assert_eq!(s.ci95_half_width(), 0.0);
+        assert_eq!(s.ci95_half_width(), None);
+    }
+
+    #[test]
+    fn ci95_uses_student_t_not_z() {
+        // n=2 (df=1): t = 12.706, more than six times the normal z.
+        let mut s = Summary::new();
+        s.record(0.0);
+        s.record(2.0);
+        // std_err = sqrt(2)/sqrt(2) = 1.0
+        let hw = s.ci95_half_width().unwrap();
+        assert!((hw - 12.706).abs() < 1e-9, "df=1 half-width {hw}");
+
+        // n=5 (df=4): t = 2.776.
+        let mut s5 = Summary::new();
+        for x in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            s5.record(x);
+        }
+        let expect = 2.776 * s5.std_err();
+        let hw5 = s5.ci95_half_width().unwrap();
+        assert!((hw5 - expect).abs() < 1e-12, "df=4 half-width {hw5}");
+    }
+
+    #[test]
+    fn ci95_is_none_below_two_samples_and_never_nan() {
+        let mut s = Summary::new();
+        assert_eq!(s.ci95_half_width(), None);
+        s.record(7.0);
+        // A single sample used to yield 1.96 * 0.0 = 0.0, a fake
+        // zero-width interval; now it is honestly indeterminate.
+        assert_eq!(s.ci95_half_width(), None);
+        s.record(7.0);
+        let hw = s.ci95_half_width().unwrap();
+        assert!(!hw.is_nan());
+        assert_eq!(hw, 0.0, "identical samples: zero spread, not NaN");
+    }
+
+    #[test]
+    fn t_critical_table_and_asymptote() {
+        assert_eq!(t_critical_95(1), 12.706);
+        assert_eq!(t_critical_95(4), 2.776);
+        assert_eq!(t_critical_95(30), 2.042);
+        // Interpolated region is monotone decreasing toward z.
+        let mut prev = t_critical_95(30);
+        for df in 31..=120 {
+            let t = t_critical_95(df);
+            assert!(t <= prev && t >= 1.96, "df={df} t={t}");
+            prev = t;
+        }
+        assert_eq!(t_critical_95(120), 1.980);
+        assert_eq!(t_critical_95(10_000), 1.96);
     }
 
     #[test]
@@ -442,6 +547,32 @@ mod tests {
         assert_eq!(a.count(), 3);
         assert_eq!(a.bins()[0], 2);
         assert_eq!(a.overflow(), 1);
+    }
+
+    #[test]
+    fn histogram_nan_is_counted_not_binned() {
+        // Regression: NaN fails both range tests, and `as usize` saturates
+        // NaN to 0, so NaN samples used to masquerade as bin-0 entries.
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.record(f64::NAN);
+        h.record(1.0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.nan(), 1);
+        assert_eq!(h.bins()[0], 1, "only the real sample lands in bin 0");
+        assert_eq!(h.underflow(), 0);
+        // Quantiles are over numeric samples only: the median of {1.0}.
+        let med = h.quantile(0.5).unwrap();
+        assert!((0.0..2.0).contains(&med), "median {med}");
+
+        let mut all_nan = Histogram::new(0.0, 10.0, 5);
+        all_nan.record(f64::NAN);
+        assert_eq!(all_nan.quantile(0.5), None);
+
+        let mut other = Histogram::new(0.0, 10.0, 5);
+        other.record(f64::NAN);
+        h.merge(&other);
+        assert_eq!(h.nan(), 2);
+        assert_eq!(h.count(), 3);
     }
 
     #[test]

@@ -57,6 +57,7 @@ pub fn snapshot_json(snap: &Snapshot, include_trace: bool) -> Json {
                         ),
                         ("underflow", Json::from(h.underflow)),
                         ("overflow", Json::from(h.overflow)),
+                        ("nan", Json::from(h.nan)),
                         ("count", Json::from(h.count)),
                         ("p50", opt_num(h.p50)),
                         ("p99", opt_num(h.p99)),

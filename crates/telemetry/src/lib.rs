@@ -158,7 +158,8 @@ impl Welford {
     }
 }
 
-/// Fixed-width-bin histogram over `[lo, hi)` with under/overflow bins.
+/// Fixed-width-bin histogram over `[lo, hi)` with under/overflow bins and
+/// an explicit NaN counter.
 #[derive(Clone, Debug)]
 struct BinHist {
     lo: f64,
@@ -166,6 +167,7 @@ struct BinHist {
     bins: Vec<u64>,
     underflow: u64,
     overflow: u64,
+    nan: u64,
     count: u64,
 }
 
@@ -179,6 +181,7 @@ impl BinHist {
             bins: vec![0; nbins],
             underflow: 0,
             overflow: 0,
+            nan: 0,
             count: 0,
         }
     }
@@ -186,7 +189,11 @@ impl BinHist {
     #[inline]
     fn record(&mut self, x: f64) {
         self.count += 1;
-        if x < self.lo {
+        if x.is_nan() {
+            // NaN fails both range tests and `as usize` saturates it to 0,
+            // so it used to be silently counted in bin 0; surface it.
+            self.nan += 1;
+        } else if x < self.lo {
             self.underflow += 1;
         } else if x >= self.hi {
             self.overflow += 1;
@@ -198,10 +205,11 @@ impl BinHist {
     }
 
     fn quantile(&self, q: f64) -> Option<f64> {
-        if self.count == 0 {
+        let numeric = self.count - self.nan;
+        if numeric == 0 {
             return None;
         }
-        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let target = q.clamp(0.0, 1.0) * numeric as f64;
         let mut cum = self.underflow as f64;
         if target <= cum {
             return Some(self.lo);
@@ -573,6 +581,9 @@ pub struct HistSnap {
     pub underflow: u64,
     /// Observations at or above `hi`.
     pub overflow: u64,
+    /// NaN observations (excluded from quantiles) — nonzero means a
+    /// measurement bug upstream.
+    pub nan: u64,
     /// Total observations.
     pub count: u64,
     /// Median estimate, `None` when empty.
@@ -663,6 +674,7 @@ impl Snapshot {
                 bins: h.bins.clone(),
                 underflow: h.underflow,
                 overflow: h.overflow,
+                nan: h.nan,
                 count: h.count,
                 p50: h.quantile(0.5),
                 p99: h.quantile(0.99),
@@ -824,6 +836,33 @@ mod tests {
         let h = snap.histogram("lat").unwrap();
         assert_eq!(h.count, 1);
         assert_eq!(h.bins[2], 1);
+    }
+
+    #[test]
+    fn histogram_nan_routes_to_its_own_counter() {
+        // Regression: NaN fails both range tests and `(frac * nbins) as
+        // usize` saturates NaN to 0, so NaN samples were silently counted
+        // as bin-0 entries — a plausible-looking small latency.
+        let mut t = Telemetry::enabled(TelemetryConfig::default());
+        t.observe_hist("lat", 0.0, 10.0, 10, f64::NAN);
+        t.observe_hist("lat", 0.0, 10.0, 10, 2.5);
+        t.observe_hist("lat", 0.0, 10.0, 10, -1.0);
+        let snap = t.snapshot().unwrap();
+        let h = snap.histogram("lat").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.nan, 1);
+        assert_eq!(h.underflow, 1);
+        assert_eq!(h.bins[0], 0, "NaN must not land in bin 0");
+        assert_eq!(h.bins[2], 1);
+        // Quantiles ignore the NaN sample: only {-1.0 -> lo, 2.5} remain.
+        assert!(h.p99.unwrap() <= 3.0);
+
+        let mut all_nan = Telemetry::enabled(TelemetryConfig::default());
+        all_nan.observe_hist("lat", 0.0, 10.0, 10, f64::NAN);
+        let snap = all_nan.snapshot().unwrap();
+        let h = snap.histogram("lat").unwrap();
+        assert_eq!((h.count, h.nan), (1, 1));
+        assert_eq!(h.p50, None, "no numeric samples: no quantiles");
     }
 
     #[test]

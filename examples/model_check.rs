@@ -9,10 +9,14 @@
 //! presenter under manual release (the paper's lockout, as a liveness
 //! violation).
 //!
+//! The full sweep covers ~4.5M distinct states across the three fixpoint
+//! runs (a few minutes single-threaded; successor generation parallelises
+//! across cores by default — see DESIGN.md §12).
+//!
 //! ```text
-//! cargo run --release --example model_check            # full sweep
+//! cargo run --release --example model_check            # full sweep (~4.5M states)
 //! cargo run --release --example model_check -- --smoke # CI gate (50k states)
-//! cargo run --release --example model_check -- --max-states 200000
+//! cargo run --release --example model_check -- --max-states 200000 --workers 4
 //! ```
 
 use aroma_check::{check, CheckerConfig, LeaseConfig, LeaseModel, Model, SessionConfig, SessionModel};
@@ -20,12 +24,16 @@ use aroma_sim::SimDuration;
 use smart_projector::session::SessionPolicy;
 use std::time::Instant;
 
+/// Full-sweep state budget: headroom over the ~4.5M states the three
+/// fixpoint models actually reach, so `complete` means a true fixpoint.
+const FULL_SWEEP_STATES: usize = 8_000_000;
+
 fn parse_config() -> CheckerConfig {
-    let mut cfg = CheckerConfig::default();
+    let mut cfg = CheckerConfig::default().with_max_states(FULL_SWEEP_STATES);
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--smoke" => cfg = CheckerConfig::smoke(),
+            "--smoke" => cfg = CheckerConfig::smoke().with_workers(cfg.workers),
             "--max-states" => {
                 let n = args
                     .next()
@@ -33,9 +41,16 @@ fn parse_config() -> CheckerConfig {
                     .expect("--max-states takes a number");
                 cfg = cfg.with_max_states(n);
             }
+            "--workers" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--workers takes a thread count");
+                cfg = cfg.with_workers(n);
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: model_check [--smoke] [--max-states N]");
+                eprintln!("usage: model_check [--smoke] [--max-states N] [--workers N]");
                 std::process::exit(2);
             }
         }
@@ -44,7 +59,13 @@ fn parse_config() -> CheckerConfig {
 }
 
 /// Run a model expected to satisfy every property; returns distinct states.
-fn verify<M: Model>(name: &str, model: &M, cfg: &CheckerConfig, failures: &mut u32) -> usize {
+fn verify<M>(name: &str, model: &M, cfg: &CheckerConfig, failures: &mut u32) -> usize
+where
+    M: Model + Sync,
+    M::State: Send + Sync,
+    M::Action: Send + Sync,
+    M::Key: Send,
+{
     let start = Instant::now();
     let report = check(model, cfg);
     let secs = start.elapsed().as_secs_f64();
@@ -65,14 +86,19 @@ fn verify<M: Model>(name: &str, model: &M, cfg: &CheckerConfig, failures: &mut u
 }
 
 /// Run a model expected to violate `property`; print its counterexample.
-fn demonstrate<M: Model>(
+fn demonstrate<M>(
     name: &str,
     model: &M,
     cfg: &CheckerConfig,
     property: &str,
     max_len: usize,
     failures: &mut u32,
-) {
+) where
+    M: Model + Sync,
+    M::State: Send + Sync,
+    M::Action: Send + Sync,
+    M::Key: Send,
+{
     let report = check(model, cfg);
     println!("== {name} (seeded fault — expecting a counterexample)");
     match report.violations.iter().find(|v| v.property == property) {
@@ -100,43 +126,52 @@ fn main() {
     let cfg = parse_config();
     let mut failures = 0u32;
     println!(
-        "aroma-check: exhaustive exploration (max {} states, max depth {})\n",
-        cfg.max_states, cfg.max_depth
+        "aroma-check: exhaustive exploration (max {} states, max depth {}, {} worker(s))\n",
+        cfg.max_states, cfg.max_depth, cfg.workers
     );
 
     // -- Headline verification runs: the shipped policies, proven. --------
 
-    // ManualRelease is time-free, so its symmetry-reduced space is small;
-    // four users keep the run above the 10k-distinct-state coverage floor.
+    // ManualRelease is time-free, so its symmetry-reduced space is the
+    // smallest of the three; five users push it past 400k states.
     let manual = SessionModel::new(SessionConfig {
-        users: 4,
+        users: 5,
         stale_cap: 3,
         ..SessionConfig::default()
     });
     let s1 = verify(
-        "session protocol / ManualRelease / 4 users x 2 services + adversary",
+        "session protocol / ManualRelease / 5 users x 2 services + adversary",
         &manual,
         &cfg,
         &mut failures,
     );
 
+    // The headline sweep: timers, departures, and the adversary at four
+    // users give a ~2.2M-state space, exhausted to a complete fixpoint.
     let auto = SessionModel::new(SessionConfig {
         policy: SessionPolicy::AutoExpire {
             idle: SimDuration::from_secs(2),
         },
         allow_depart: true,
+        users: 4,
         ..SessionConfig::default()
     });
     let s2 = verify(
-        "session protocol / AutoExpire + forgetful users (the paper's fix)",
+        "session protocol / AutoExpire + forgetful users / 4 users (the paper's fix)",
         &auto,
         &cfg,
         &mut failures,
     );
 
-    let lease = LeaseModel::new(LeaseConfig::default());
+    // Three providers through a deeper lossy channel: ~2M states.
+    let lease = LeaseModel::new(LeaseConfig {
+        providers: 3,
+        requested_quanta: vec![2, 4, 3],
+        channel_cap: 4,
+        ..LeaseConfig::default()
+    });
     let s3 = verify(
-        "lease protocol / 2 providers, lossy+dup+reordering channel",
+        "lease protocol / 3 providers, lossy+dup+reordering channel (cap 4)",
         &lease,
         &cfg,
         &mut failures,
@@ -174,7 +209,20 @@ fn main() {
 
     // -- Coverage floor (full mode only; smoke trades depth for speed). ---
 
-    if cfg.max_states > 100_000 {
+    if cfg.max_states >= FULL_SWEEP_STATES {
+        // The full sweep must actually reach the fixpoints measured when
+        // these configs were chosen; shrinkage means a model regressed.
+        for (name, states, floor) in [
+            ("ManualRelease", s1, 300_000),
+            ("AutoExpire", s2, 2_000_000),
+            ("lease", s3, 1_500_000),
+        ] {
+            if states < floor {
+                failures += 1;
+                println!("FAIL: {name} model explored only {states} distinct states (< {floor})");
+            }
+        }
+    } else if cfg.max_states > 100_000 {
         for (name, states) in [("ManualRelease", s1), ("AutoExpire", s2), ("lease", s3)] {
             if states < 10_000 {
                 failures += 1;

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Perf trajectory: run the model-checker thread-scaling sweep (states/sec
+# at 1/2/4 workers on the session and lease models, cross-checked for
+# byte-identical reports) plus the fixed-seed E9 chaos recovery times, and
+# write the result to BENCH_check.json at the repository root. Numbers are
+# hardware-honest — the JSON records available_parallelism; on a
+# single-core runner the multi-worker points show coordination overhead,
+# not speedup. Pass --quick for a reduced sweep (20k-state bounds).
+# Run from the repository root: ./scripts/bench.sh [--quick]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p lpc-bench
+cargo run --release -p lpc-bench --bin repro -- "$@" bench

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Full local gate: release build, test suite, warning-free clippy, the
 # model checker in smoke mode (bounded exhaustive sweep of the session and
-# lease protocols — see DESIGN.md §9), one traced smoke experiment
-# exercising the telemetry pipeline end to end (DESIGN.md §10), and the
-# fixed-seed E9 chaos walkthrough, asserting every layer recovered from the
-# injected fault storm within its deadline (DESIGN.md §11).
+# lease protocols — see DESIGN.md §9) run both sequentially and with two
+# workers and diffed (the parallel engine's determinism contract,
+# DESIGN.md §12), one traced smoke experiment exercising the telemetry
+# pipeline end to end (DESIGN.md §10), and the fixed-seed E9 chaos
+# walkthrough, asserting every layer recovered from the injected fault
+# storm within its deadline (DESIGN.md §11).
 # Run from the repository root: ./scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -12,7 +14,19 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
-cargo run --release --example model_check -- --max-states 50000
+
+# Parallel-determinism gate: the 50k-state smoke sweep must print the
+# byte-identical report at 1 and 2 workers (only the wall-clock-dependent
+# transitions/s figure is stripped before the diff).
+strip_rates='s/([0-9]* transitions\/s)//; s/, [0-9]* worker(s))/)/'
+seq_out=$(cargo run --release --example model_check -- --max-states 50000 --workers 1 \
+  | sed "$strip_rates")
+par_out=$(cargo run --release --example model_check -- --max-states 50000 --workers 2 \
+  | sed "$strip_rates")
+diff <(printf '%s\n' "$seq_out") <(printf '%s\n' "$par_out") \
+  || { echo "FAIL: parallel model-check report diverges from sequential"; exit 1; }
+printf '%s\n' "$seq_out" | grep -q 'model_check: all protocol properties verified'
+
 cargo run --release -p lpc-bench --bin repro -- --quick --metrics e2 \
   | grep -q '"net.mac.tx_attempts"'
 cargo run --release -p lpc-bench --bin repro -- --experiment e9 --seed 233 \
