@@ -1,16 +1,22 @@
 //! Static-verifier benchmarks: what verification costs up front, and what
 //! the verified fast path buys back on every run.
 //!
-//! Three comparisons, each on the checked interpreter vs
-//! `Vm::run_verified`:
+//! Comparisons, each on the checked interpreter vs `Vm::run_verified`
+//! (and, since the aroma-flow PR, vs the translation-validated optimizer's
+//! output):
 //!
 //! - the shipped brightness proxy (tiny, loop-free → fuel metering elided),
-//! - a compute-heavy summing loop (metered fast path: stack checks gone,
-//!   fuel accounting kept),
+//! - a compute-heavy summing loop whose bound depends on the argument
+//!   (metered fast path: stack checks gone, fuel accounting kept),
+//! - the same loop with the counter clamped to a static range (range
+//!   analysis proves it bounded → fuel metering elided even though the
+//!   CFG is cyclic),
+//! - a padded registration blob before/after the optimizer,
 //! - the one-off cost of `Program::verify` itself, amortised over runs.
 
 use aroma_mcode::asm::assemble;
-use aroma_mcode::{NullHost, Program, Vm, FUEL_DEFAULT};
+use aroma_mcode::opt::optimize_verified;
+use aroma_mcode::{NullHost, Program, VerifyConfig, Vm, FUEL_DEFAULT};
 use criterion::{criterion_group, criterion_main, Criterion};
 use smart_projector::proxy::brightness_proxy;
 use std::hint::black_box;
@@ -67,6 +73,97 @@ fn bench_loop_paths(c: &mut Criterion) {
     });
 }
 
+/// The summing loop with the counter clamped to `[0, 1000]` up front:
+/// range analysis infers the trip bound, so the certificate carries a
+/// static fuel bound and the fast path drops fuel metering too.
+fn bounded_sum_loop() -> Program {
+    assemble(
+        "push 0
+         store 0
+         arg 0
+         push 0
+         max
+         push 1000
+         min
+         store 1
+         loop:
+         load 1
+         jz out
+         load 0
+         load 1
+         add
+         store 0
+         load 1
+         push 1
+         sub
+         store 1
+         jmp loop
+         out:
+         load 0
+         halt",
+    )
+    .unwrap()
+}
+
+fn bench_bounded_loop_paths(c: &mut Criterion) {
+    let p = bounded_sum_loop();
+    let vp = p.verify_default().unwrap();
+    assert!(
+        vp.fuel_bound().is_some(),
+        "clamped counter should yield an inferred fuel bound"
+    );
+    c.bench_function("verifier/bounded_sum_1000_checked", |b| {
+        b.iter(|| black_box(Vm.run(&p, &[1000], &mut NullHost, FUEL_DEFAULT)))
+    });
+    c.bench_function("verifier/bounded_sum_1000_verified_unmetered", |b| {
+        b.iter(|| black_box(Vm.run_verified(&vp, &[1000], &mut NullHost, FUEL_DEFAULT)))
+    });
+}
+
+fn bench_optimizer_paths(c: &mut Criterion) {
+    // A registration padded with dead stores and constant pre-computation.
+    let p = assemble(
+        "push 3
+         push 39
+         add
+         store 2
+         push 7
+         store 3
+         arg 0
+         push 2
+         add
+         push 5
+         div
+         push 5
+         mul
+         push 10
+         max
+         push 100
+         min
+         halt",
+    )
+    .unwrap();
+    let config = VerifyConfig::default();
+    let vp = p.verify(&config).unwrap();
+    let validated = optimize_verified(&vp, &config);
+    assert!(validated.improved, "padding should be removable");
+    c.bench_function("verifier/padded_proxy_verified", |b| {
+        b.iter(|| black_box(Vm.run_verified_default(&vp, &[black_box(83)], &mut NullHost)))
+    });
+    c.bench_function("verifier/padded_proxy_optimized_verified", |b| {
+        b.iter(|| {
+            black_box(Vm.run_verified_default(
+                &validated.program,
+                &[black_box(83)],
+                &mut NullHost,
+            ))
+        })
+    });
+    c.bench_function("verifier/optimize_and_validate_padded_proxy", |b| {
+        b.iter(|| black_box(optimize_verified(&vp, &config)))
+    });
+}
+
 fn bench_verify_cost(c: &mut Criterion) {
     let proxy = brightness_proxy();
     let looped = sum_loop();
@@ -82,6 +179,8 @@ criterion_group!(
     benches,
     bench_proxy_paths,
     bench_loop_paths,
+    bench_bounded_loop_paths,
+    bench_optimizer_paths,
     bench_verify_cost
 );
 criterion_main!(benches);

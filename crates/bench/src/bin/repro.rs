@@ -66,8 +66,9 @@ fn main() {
         std::process::exit(2);
     }
     // `bench` is not an experiment: it measures the model checker's
-    // thread scaling (plus the E9 recovery times) and writes the result
-    // to BENCH_check.json in the current directory.
+    // thread scaling (plus the E9 recovery times) and the mobile-code
+    // execution tiers, writing BENCH_check.json and BENCH_mcode.json in
+    // the current directory.
     if ids.iter().any(|id| id == "bench") {
         if ids.len() > 1 {
             eprintln!("`bench` runs alone (it owns the whole machine while timing)");
@@ -78,6 +79,11 @@ fn main() {
         std::fs::write("BENCH_check.json", &text).expect("write BENCH_check.json");
         println!("{text}");
         eprintln!("wrote BENCH_check.json");
+        let doc = lpc_bench::mcodebench::run(opts.quick);
+        let text = doc.render();
+        std::fs::write("BENCH_mcode.json", &text).expect("write BENCH_mcode.json");
+        println!("{text}");
+        eprintln!("wrote BENCH_mcode.json");
         return;
     }
     for id in &ids {

@@ -19,4 +19,5 @@
 
 pub mod checkbench;
 pub mod experiments;
+pub mod mcodebench;
 pub mod scenarios;

@@ -14,13 +14,32 @@
 
 use crate::codec::ServiceItem;
 use aroma_mcode::program::ProgramError;
-use aroma_mcode::{Program, VerifiedProgram, VerifyConfig, VerifyError};
+use aroma_mcode::{FlowError, FlowPolicy, Program, VerifiedProgram, VerifyConfig, VerifyError};
 use bytes::Bytes;
 
 /// First byte of every encoded mcode program ("Aroma Code"). A proxy blob
 /// starting with this byte claims to be executable mobile code and must
 /// verify; anything else is inert data.
 pub const MCODE_MAGIC: u8 = 0xAC;
+
+/// Well-known syscall numbers for the Aroma device fabric. Clients build
+/// [`SyscallPolicy`](aroma_mcode::SyscallPolicy) capability sets and
+/// [`FlowPolicy`] source/sink labels from these ids.
+pub mod syscalls {
+    /// Read the room's ambient-light/occupancy sensor (privacy source).
+    pub const READ_SENSOR: u8 = 10;
+    /// Send a datagram beyond the administrative boundary (public sink).
+    pub const NET_SEND: u8 = 20;
+    /// Read the wall clock (neither source nor sink).
+    pub const GET_TIME: u8 = 30;
+}
+
+/// The default information-flow policy for vetting device proxies:
+/// whatever a proxy learns from the room sensor must never reach the
+/// network sink, directly or through branching on it.
+pub fn default_flow_policy() -> FlowPolicy {
+    FlowPolicy::forbid_strict(&[syscalls::READ_SENSOR], &[syscalls::NET_SEND])
+}
 
 /// A proxy blob after vetting.
 #[derive(Clone, Debug, PartialEq)]
@@ -41,6 +60,10 @@ pub enum ProxyError {
     /// (stack discipline, local initialization, termination shape, or
     /// syscalls beyond the client's policy).
     Unverifiable(VerifyError),
+    /// The program verifies — every syscall is individually permitted —
+    /// but taint analysis found a forbidden information flow from a
+    /// source syscall to a sink (e.g. sensor data reaching the network).
+    FlowViolation(FlowError),
 }
 
 /// Vet `proxy` bytes under the client's verification `config`.
@@ -57,10 +80,41 @@ pub fn vet_proxy(proxy: &Bytes, config: &VerifyConfig) -> Result<VettedProxy, Pr
     Ok(VettedProxy::Mcode(verified))
 }
 
+/// Vet `proxy` bytes under `config` **and** an information-flow policy.
+///
+/// This is the stronger gate: [`vet_proxy`] answers "may each syscall
+/// happen at all?" (capabilities); the flow check answers "may data move
+/// from these syscalls to those?" (end-to-end). A proxy that reads the
+/// sensor *and* sends on the network is fine per capability — both grants
+/// may be individually justified — yet rejected here if the sent value
+/// depends on the sensed one. Inert blobs pass through untouched: there
+/// is no code to leak anything.
+pub fn vet_proxy_with_flow(
+    proxy: &Bytes,
+    config: &VerifyConfig,
+    flow: &FlowPolicy,
+) -> Result<VettedProxy, ProxyError> {
+    let vetted = vet_proxy(proxy, config)?;
+    if let VettedProxy::Mcode(ref vp) = vetted {
+        aroma_mcode::flow::check_flow(vp, flow).map_err(ProxyError::FlowViolation)?;
+    }
+    Ok(vetted)
+}
+
 impl ServiceItem {
     /// Vet this item's proxy blob under `config` — see [`vet_proxy`].
     pub fn vet_proxy(&self, config: &VerifyConfig) -> Result<VettedProxy, ProxyError> {
         vet_proxy(&self.proxy, config)
+    }
+
+    /// Vet this item's proxy blob under `config` and `flow` — see
+    /// [`vet_proxy_with_flow`].
+    pub fn vet_proxy_with_flow(
+        &self,
+        config: &VerifyConfig,
+        flow: &FlowPolicy,
+    ) -> Result<VettedProxy, ProxyError> {
+        vet_proxy_with_flow(&self.proxy, config, flow)
     }
 }
 
@@ -133,6 +187,114 @@ mod tests {
         // A client granting syscall 4 accepts the same bytes.
         let open = VerifyConfig::with_syscalls(SyscallPolicy::Allow(SyscallSet::of(&[4])));
         assert!(matches!(vet_proxy(&blob, &open), Ok(VettedProxy::Mcode(_))));
+    }
+
+    /// A capability policy wide enough for a sensor-driven network service.
+    fn sensor_net_cfg() -> VerifyConfig {
+        VerifyConfig::with_syscalls(SyscallPolicy::Allow(SyscallSet::of(&[
+            syscalls::READ_SENSOR,
+            syscalls::NET_SEND,
+        ])))
+    }
+
+    #[test]
+    fn exfiltration_proxy_passes_capabilities_but_fails_flow() {
+        use aroma_mcode::asm::assemble;
+        // Reads the sensor and sends the reading out — each syscall is
+        // individually granted, so the capability gate accepts it.
+        let leak = assemble(
+            "syscall 10 0   ; read_sensor → reading on stack
+             syscall 20 1   ; net_send(reading)
+             halt",
+        )
+        .unwrap()
+        .encode();
+        assert!(matches!(
+            vet_proxy(&leak, &sensor_net_cfg()),
+            Ok(VettedProxy::Mcode(_))
+        ));
+        // The flow gate sees sensor data reaching the network sink.
+        assert!(matches!(
+            vet_proxy_with_flow(&leak, &sensor_net_cfg(), &default_flow_policy()),
+            Err(ProxyError::FlowViolation(FlowError::TaintedSink {
+                id: syscalls::NET_SEND,
+                ..
+            }))
+        ));
+    }
+
+    #[test]
+    fn sensor_using_proxy_with_clean_sends_passes_flow() {
+        use aroma_mcode::asm::assemble;
+        // Reads the sensor for its *own* result, sends only a constant
+        // heartbeat: no tainted value reaches the sink.
+        let benign = assemble(
+            "push 1
+             syscall 20 1   ; net_send(1) — constant heartbeat
+             drop
+             syscall 10 0   ; read_sensor, kept local
+             halt",
+        )
+        .unwrap()
+        .encode();
+        assert!(matches!(
+            vet_proxy_with_flow(&benign, &sensor_net_cfg(), &default_flow_policy()),
+            Ok(VettedProxy::Mcode(_))
+        ));
+    }
+
+    #[test]
+    fn implicit_flows_are_caught_by_the_strict_policy() {
+        use aroma_mcode::asm::assemble;
+        // Branches on the sensor reading, then sends a constant — the
+        // *choice* to send still leaks one bit per run.
+        let covert = assemble(
+            "syscall 10 0
+             jz quiet
+             push 1
+             syscall 20 1
+             drop
+             quiet:
+             push 0
+             halt",
+        )
+        .unwrap()
+        .encode();
+        assert!(matches!(
+            vet_proxy_with_flow(&covert, &sensor_net_cfg(), &default_flow_policy()),
+            Err(ProxyError::FlowViolation(FlowError::TaintedSink { .. }))
+        ));
+    }
+
+    #[test]
+    fn inert_blobs_bypass_the_flow_gate() {
+        let blob = Bytes::from_static(b"display-proxy");
+        assert_eq!(
+            vet_proxy_with_flow(&blob, &cfg(), &default_flow_policy()),
+            Ok(VettedProxy::Inert(blob.clone()))
+        );
+    }
+
+    #[test]
+    fn service_item_flow_method_delegates() {
+        use crate::codec::ServiceId;
+        let item = ServiceItem {
+            id: ServiceId(3),
+            kind: "sensor/ambient".into(),
+            attributes: vec![],
+            provider: 9,
+            proxy: Program::new(vec![Op::Syscall(10, 0), Op::Syscall(20, 1), Op::Halt])
+                .unwrap()
+                .encode(),
+        };
+        assert!(matches!(
+            item.vet_proxy_with_flow(&sensor_net_cfg(), &default_flow_policy()),
+            Err(ProxyError::FlowViolation(_))
+        ));
+        assert!(matches!(
+            item.vet_proxy(&sensor_net_cfg()),
+            Ok(VettedProxy::Mcode(_))
+        ));
     }
 
     #[test]

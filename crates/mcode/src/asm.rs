@@ -149,6 +149,50 @@ pub fn assemble(src: &str) -> Result<Program, AsmError> {
     Program::new(ops).map_err(AsmError::Invalid)
 }
 
+/// Disassemble a program back to assembler source, one instruction per
+/// line, with numeric jump targets (labels don't survive assembly).
+///
+/// Inverse of [`assemble`] up to formatting: for any program,
+/// `assemble(&disassemble(p)) == p`, and the property suite pins the full
+/// `assemble → encode → decode → disassemble` round trip as the identity.
+pub fn disassemble(program: &Program) -> String {
+    let mut src = String::with_capacity(program.len() * 8);
+    for op in program.ops() {
+        let line = match *op {
+            Op::PushI(v) => format!("push {v}"),
+            Op::Dup => "dup".to_string(),
+            Op::Drop => "drop".to_string(),
+            Op::Swap => "swap".to_string(),
+            Op::Over => "over".to_string(),
+            Op::Add => "add".to_string(),
+            Op::Sub => "sub".to_string(),
+            Op::Mul => "mul".to_string(),
+            Op::Div => "div".to_string(),
+            Op::Rem => "rem".to_string(),
+            Op::Neg => "neg".to_string(),
+            Op::Min => "min".to_string(),
+            Op::Max => "max".to_string(),
+            Op::And => "and".to_string(),
+            Op::Or => "or".to_string(),
+            Op::Xor => "xor".to_string(),
+            Op::Eq => "eq".to_string(),
+            Op::Lt => "lt".to_string(),
+            Op::Gt => "gt".to_string(),
+            Op::Jmp(t) => format!("jmp {t}"),
+            Op::Jz(t) => format!("jz {t}"),
+            Op::Jnz(t) => format!("jnz {t}"),
+            Op::Arg(n) => format!("arg {n}"),
+            Op::Store(n) => format!("store {n}"),
+            Op::Load(n) => format!("load {n}"),
+            Op::Syscall(id, argc) => format!("syscall {id} {argc}"),
+            Op::Halt => "halt".to_string(),
+        };
+        src.push_str(&line);
+        src.push('\n');
+    }
+    src
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -235,5 +279,48 @@ mod tests {
     fn numeric_jump_target_valid() {
         let p = assemble("push 1\njmp 3\npush 99\nhalt").unwrap();
         assert_eq!(Vm.run_default(&p, &[], &mut NullHost), Ok(1));
+    }
+
+    #[test]
+    fn disassemble_round_trips_every_op_and_boundary_immediates() {
+        use crate::isa::{Op, MAX_LOCALS};
+        let ops = vec![
+            Op::PushI(i64::MIN),
+            Op::PushI(i64::MAX),
+            Op::PushI(0),
+            Op::Dup,
+            Op::Over,
+            Op::Swap,
+            Op::Drop,
+            Op::Add,
+            Op::Sub,
+            Op::Mul,
+            Op::Div,
+            Op::Rem,
+            Op::Neg,
+            Op::Min,
+            Op::Max,
+            Op::And,
+            Op::Or,
+            Op::Xor,
+            Op::Eq,
+            Op::Lt,
+            Op::Gt,
+            Op::Jz(0),
+            Op::Jnz(27),
+            Op::Arg(u8::MAX),
+            Op::Store(MAX_LOCALS - 1),
+            Op::Load(MAX_LOCALS - 1),
+            Op::Syscall(u8::MAX, u8::MAX),
+            Op::Jmp(28),
+            Op::Halt,
+        ];
+        let p = Program::new(ops).unwrap();
+        let src = disassemble(&p);
+        let back = assemble(&src).unwrap();
+        assert_eq!(back, p);
+        // And through the wire format too.
+        let decoded = Program::decode(p.encode()).unwrap();
+        assert_eq!(disassemble(&decoded), src);
     }
 }

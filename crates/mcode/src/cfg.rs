@@ -197,6 +197,90 @@ impl Cfg {
     pub fn max_executed_instructions(&self) -> Option<u64> {
         self.longest_path
     }
+
+    /// Per-block predecessor lists (deduplicated, ascending).
+    pub fn predecessors(&self) -> Vec<Vec<usize>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (b, block) in self.blocks.iter().enumerate() {
+            for &s in &block.successors {
+                preds[s].push(b);
+            }
+        }
+        for p in &mut preds {
+            p.sort_unstable();
+            p.dedup();
+        }
+        preds
+    }
+
+    /// Strongly connected components of the **reachable** subgraph, each a
+    /// sorted list of block ids, in reverse topological order of the
+    /// condensation (callees/loop bodies before the components that reach
+    /// them). Iterative Tarjan — hostile code must not overflow the host
+    /// stack during analysis.
+    pub fn sccs(&self) -> Vec<Vec<usize>> {
+        let n = self.blocks.len();
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut sccs: Vec<Vec<usize>> = Vec::new();
+        let mut next_index = 0usize;
+        // Explicit DFS frames: (node, next-successor-position).
+        let mut frames: Vec<(usize, usize)> = Vec::new();
+
+        for root in 0..n {
+            if !self.reachable[root] || index[root] != usize::MAX {
+                continue;
+            }
+            frames.push((root, 0));
+            index[root] = next_index;
+            low[root] = next_index;
+            next_index += 1;
+            stack.push(root);
+            on_stack[root] = true;
+            while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
+                if *pos < self.blocks[v].successors.len() {
+                    let w = self.blocks[v].successors[*pos];
+                    *pos += 1;
+                    if index[w] == usize::MAX {
+                        index[w] = next_index;
+                        low[w] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w] = true;
+                        frames.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    frames.pop();
+                    if let Some(&(parent, _)) = frames.last() {
+                        low[parent] = low[parent].min(low[v]);
+                    }
+                    if low[v] == index[v] {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("Tarjan stack underflow");
+                            on_stack[w] = false;
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp.sort_unstable();
+                        sccs.push(comp);
+                    }
+                }
+            }
+        }
+        sccs
+    }
+
+    /// Whether block `b` has an edge to itself.
+    pub fn has_self_loop(&self, b: usize) -> bool {
+        self.blocks[b].successors.contains(&b)
+    }
 }
 
 /// Cycle detection + longest path (in instructions) over reachable blocks.
@@ -322,6 +406,36 @@ mod tests {
         assert_eq!(cfg.dead_instructions(), vec![1, 2]);
         assert!(!cfg.is_cyclic());
         assert_eq!(cfg.max_executed_instructions(), Some(3));
+    }
+
+    #[test]
+    fn sccs_and_predecessors_identify_the_loop() {
+        // 0: push ; 1: store ; 2: load ; 3: jz out ; 4: load ; 5: push ;
+        // 6: sub ; 7: store ; 8: jmp 2 ; 9: push ; 10: halt
+        let cfg = Cfg::build(&prog(vec![
+            Op::PushI(3),
+            Op::Store(0),
+            Op::Load(0),
+            Op::Jz(9),
+            Op::Load(0),
+            Op::PushI(1),
+            Op::Sub,
+            Op::Store(0),
+            Op::Jmp(2),
+            Op::PushI(0),
+            Op::Halt,
+        ]));
+        let sccs = cfg.sccs();
+        // One multi-block SCC: the header (load/jz) plus the body.
+        let looped: Vec<&Vec<usize>> = sccs.iter().filter(|c| c.len() > 1).collect();
+        assert_eq!(looped.len(), 1);
+        let header = cfg.block_of(2);
+        let body = cfg.block_of(4);
+        assert_eq!(looped[0], &vec![header, body]);
+        // The header's predecessors are the init block and the body.
+        let preds = cfg.predecessors();
+        assert_eq!(preds[header], vec![cfg.block_of(0), body]);
+        assert!(!cfg.has_self_loop(header));
     }
 
     #[test]

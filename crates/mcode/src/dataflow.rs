@@ -1,0 +1,557 @@
+//! A generic worklist dataflow framework over the basic-block CFG.
+//!
+//! Every static analysis in this crate — value ranges ([`crate::range`]),
+//! taint ([`crate::flow`]), liveness for the optimizer ([`crate::opt`]) —
+//! is an instance of the same fixpoint computation: facts drawn from a
+//! join-semilattice, transferred across instructions, merged at
+//! control-flow joins, iterated to a fixpoint with a worklist. This module
+//! factors that shape out once, in the Java-bytecode-verification lineage
+//! where verification *is* dataflow analysis.
+//!
+//! An [`Analysis`] supplies the lattice (bottom element, [`Analysis::join`])
+//! and the per-instruction transfer function; [`solve`] runs the block-level
+//! worklist to the least fixpoint and returns per-block entry/exit facts in
+//! a [`Solution`], which can replay a block prefix to recover the fact at
+//! any instruction. Both [`Direction::Forward`] and [`Direction::Backward`]
+//! problems are supported — backward analyses see each block's instructions
+//! in reverse and flow facts from successors.
+//!
+//! The fixpoint is **iteration-order independent** for any monotone
+//! transfer over a finite-height lattice (the classic Kildall result); the
+//! [`solve_with_order`] entry point exists so tests can *demonstrate* that:
+//! it permutes worklist extraction with a seeded shuffle and must reach the
+//! identical solution.
+//!
+//! Analyses over hostile input take a visit budget: the solver counts
+//! instruction transfers and gives up (returns `None`) past the budget, so
+//! adversarial mobile code cannot turn *analysis* into a denial of service.
+
+use crate::cfg::Cfg;
+use crate::isa::Op;
+use crate::program::Program;
+
+/// Which way facts propagate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Facts flow from a block's predecessors to its successors.
+    Forward,
+    /// Facts flow from a block's successors to its predecessors; each
+    /// block's instructions are transferred in reverse order.
+    Backward,
+}
+
+/// Which out-edge of a conditional branch a fact is flowing along — the
+/// hook that lets path-sensitive analyses (value ranges) learn from the
+/// branch outcome ("the taken edge of `Jz` means the tested value was 0").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Edge {
+    /// The branch's jump target.
+    Taken,
+    /// The fall-through to the next instruction.
+    Fallthrough,
+    /// No branch information (unconditional edges, or a conditional whose
+    /// target coincides with its fall-through).
+    Other,
+}
+
+/// One dataflow problem: a join-semilattice of facts plus a transfer
+/// function. Implementations must be monotone in the lattice order implied
+/// by `join` for the worklist fixpoint to be the (order-independent) least
+/// solution.
+pub trait Analysis {
+    /// The lattice element attached to every program point.
+    type Fact: Clone + PartialEq;
+
+    /// Propagation direction.
+    fn direction(&self) -> Direction;
+
+    /// The fact holding at the boundary: program entry for forward
+    /// problems, every exit block for backward ones.
+    fn boundary(&self) -> Self::Fact;
+
+    /// ⊥ — the neutral element of [`Analysis::join`], the initial value of
+    /// every interior point.
+    fn bottom(&self) -> Self::Fact;
+
+    /// Least upper bound: merge `other` into `fact`, returning `true` when
+    /// `fact` changed (i.e. `other` was not already subsumed).
+    fn join(&self, fact: &mut Self::Fact, other: &Self::Fact) -> bool;
+
+    /// Apply instruction `op` at `pc` to `fact` (in place). For backward
+    /// problems the fact is the one holding *after* the instruction and is
+    /// transformed into the one holding before it.
+    fn transfer(&self, pc: usize, op: Op, fact: &mut Self::Fact);
+
+    /// Refine the fact flowing along one out-edge of block terminator `op`
+    /// at `pc` (forward problems only; called on a clone of the block-exit
+    /// fact before it is joined into the successor). The default keeps the
+    /// fact unchanged. Refinements must still over-approximate the
+    /// concrete states reaching that edge.
+    fn refine_edge(&self, _pc: usize, _op: Op, _edge: Edge, _fact: &mut Self::Fact) {}
+}
+
+/// The fixpoint of an [`Analysis`] over one program.
+#[derive(Clone, Debug)]
+pub struct Solution<F> {
+    direction: Direction,
+    /// Fact at block entry (forward: before the first instruction;
+    /// backward: after it — entry in *iteration* order).
+    entry: Vec<F>,
+    /// Fact at block exit, after transferring the whole block.
+    exit: Vec<F>,
+    /// Instruction transfers performed to reach the fixpoint.
+    visits: u64,
+}
+
+impl<F: Clone> Solution<F> {
+    /// Fact at the start of block `b` in iteration order: before its first
+    /// instruction (forward) or after its last (backward).
+    pub fn block_entry(&self, b: usize) -> &F {
+        &self.entry[b]
+    }
+
+    /// Fact after the whole block has been transferred.
+    pub fn block_exit(&self, b: usize) -> &F {
+        &self.exit[b]
+    }
+
+    /// Instruction transfers performed while solving.
+    pub fn visits(&self) -> u64 {
+        self.visits
+    }
+
+    /// Recover the fact holding *before* instruction `pc` executes
+    /// (forward problems) or *after* it (backward problems) by replaying
+    /// the containing block's prefix.
+    pub fn at_instruction<A>(&self, analysis: &A, program: &Program, cfg: &Cfg, pc: usize) -> F
+    where
+        A: Analysis<Fact = F>,
+    {
+        let b = cfg.block_of(pc);
+        let block = &cfg.blocks()[b];
+        let mut fact = self.entry[b].clone();
+        match self.direction {
+            Direction::Forward => {
+                for i in block.start..pc {
+                    analysis.transfer(i, program.ops()[i], &mut fact);
+                }
+            }
+            Direction::Backward => {
+                for i in (pc + 1..block.end).rev() {
+                    analysis.transfer(i, program.ops()[i], &mut fact);
+                }
+            }
+        }
+        fact
+    }
+}
+
+/// Solve `analysis` over `program`'s CFG with a deterministic (LIFO)
+/// worklist. Returns `None` when more than `max_visits` instruction
+/// transfers were needed — the caller treats that as "analysis refused",
+/// never as a soundness claim.
+pub fn solve<A: Analysis>(
+    analysis: &A,
+    program: &Program,
+    cfg: &Cfg,
+    max_visits: u64,
+) -> Option<Solution<A::Fact>> {
+    solve_with_order(analysis, program, cfg, max_visits, None)
+}
+
+/// As [`solve`], but when `shuffle_seed` is `Some`, worklist extraction is
+/// pseudo-randomly permuted. Any monotone analysis must produce the same
+/// fixpoint for every seed; the property suite pins that.
+pub fn solve_with_order<A: Analysis>(
+    analysis: &A,
+    program: &Program,
+    cfg: &Cfg,
+    max_visits: u64,
+    shuffle_seed: Option<u64>,
+) -> Option<Solution<A::Fact>> {
+    let blocks = cfg.blocks();
+    let nb = blocks.len();
+    let code = program.ops();
+    let dir = analysis.direction();
+
+    // Edges in propagation direction: forward uses successors as-is,
+    // backward flips them.
+    let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); nb];
+    match dir {
+        Direction::Forward => {
+            for (b, block) in blocks.iter().enumerate() {
+                out_edges[b] = block.successors.clone();
+            }
+        }
+        Direction::Backward => {
+            for (b, block) in blocks.iter().enumerate() {
+                for &s in &block.successors {
+                    out_edges[s].push(b);
+                }
+            }
+        }
+    }
+
+    let mut entry: Vec<A::Fact> = (0..nb).map(|_| analysis.bottom()).collect();
+    let mut exit: Vec<A::Fact> = (0..nb).map(|_| analysis.bottom()).collect();
+
+    // Boundary blocks: the entry block (forward) or every block without a
+    // successor (backward — `Halt` blocks and the verifier-rejected
+    // fall-off-the-end shape).
+    let mut worklist: Vec<usize> = Vec::new();
+    let mut on_list = vec![false; nb];
+    match dir {
+        Direction::Forward => {
+            entry[0] = analysis.boundary();
+            worklist.push(0);
+            on_list[0] = true;
+        }
+        Direction::Backward => {
+            for (b, block) in blocks.iter().enumerate() {
+                if block.successors.is_empty() {
+                    entry[b] = analysis.boundary();
+                }
+                // Every block seeds the backward worklist: exit blocks
+                // carry the boundary, the rest start at ⊥ and settle as
+                // facts arrive. (Unreachable-from-exit blocks, e.g.
+                // infinite loops, keep ⊥ — conservative for consumers.)
+                worklist.push(b);
+                on_list[b] = true;
+            }
+        }
+    }
+
+    let mut rng = shuffle_seed.unwrap_or(0);
+    let mut visits: u64 = 0;
+    while let Some(b) = pop(&mut worklist, shuffle_seed.is_some(), &mut rng) {
+        on_list[b] = false;
+        let block = &blocks[b];
+        let mut fact = entry[b].clone();
+        match dir {
+            Direction::Forward => {
+                for (pc, &op) in code.iter().enumerate().take(block.end).skip(block.start) {
+                    analysis.transfer(pc, op, &mut fact);
+                }
+            }
+            Direction::Backward => {
+                for (pc, &op) in code
+                    .iter()
+                    .enumerate()
+                    .take(block.end)
+                    .skip(block.start)
+                    .rev()
+                {
+                    analysis.transfer(pc, op, &mut fact);
+                }
+            }
+        }
+        visits += block.len() as u64;
+        if visits > max_visits {
+            return None;
+        }
+        exit[b] = fact;
+        for &t in &out_edges[b] {
+            let changed = match dir {
+                Direction::Forward => {
+                    let last = blocks[b].end - 1;
+                    let op = code[last];
+                    let edge = edge_kind(cfg, code.len(), op, last, t);
+                    if edge == Edge::Other {
+                        analysis.join(&mut entry[t], &exit[b])
+                    } else {
+                        let mut refined = exit[b].clone();
+                        analysis.refine_edge(last, op, edge, &mut refined);
+                        analysis.join(&mut entry[t], &refined)
+                    }
+                }
+                Direction::Backward => analysis.join(&mut entry[t], &exit[b]),
+            };
+            if changed && !on_list[t] {
+                worklist.push(t);
+                on_list[t] = true;
+            }
+        }
+    }
+
+    Some(Solution {
+        direction: dir,
+        entry,
+        exit,
+        visits,
+    })
+}
+
+/// Classify the edge from the block ending in `op` at `last` to successor
+/// block `t`: which arm of a conditional it is, if unambiguous.
+fn edge_kind(cfg: &Cfg, n: usize, op: Op, last: usize, t: usize) -> Edge {
+    match op {
+        Op::Jz(target) | Op::Jnz(target) => {
+            let taken = cfg.block_of(target as usize);
+            let fall = (last + 1 < n).then(|| cfg.block_of(last + 1));
+            if fall == Some(taken) {
+                Edge::Other
+            } else if t == taken {
+                Edge::Taken
+            } else if fall == Some(t) {
+                Edge::Fallthrough
+            } else {
+                Edge::Other
+            }
+        }
+        _ => Edge::Other,
+    }
+}
+
+/// Pop the next worklist entry: LIFO normally, a seeded pseudo-random
+/// position when shuffling (xorshift — determinism per seed, no external
+/// RNG dependency in this crate).
+fn pop(worklist: &mut Vec<usize>, shuffle: bool, rng: &mut u64) -> Option<usize> {
+    if worklist.is_empty() {
+        return None;
+    }
+    if !shuffle {
+        return worklist.pop();
+    }
+    *rng ^= *rng << 13;
+    *rng ^= *rng >> 7;
+    *rng ^= *rng << 17;
+    *rng = rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let i = (*rng as usize) % worklist.len();
+    Some(worklist.swap_remove(i))
+}
+
+// ---------------------------------------------------------------------------
+// Stock instances
+// ---------------------------------------------------------------------------
+
+/// Backward liveness of local slots: a `u16` bitmask, bit `n` set when
+/// local `n` may be read before its next write. `Store` to a dead local is
+/// a dead store — the optimizer rewrites it to `Drop`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LiveLocals;
+
+impl Analysis for LiveLocals {
+    type Fact = u16;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn boundary(&self) -> u16 {
+        0
+    }
+
+    fn bottom(&self) -> u16 {
+        0
+    }
+
+    fn join(&self, fact: &mut u16, other: &u16) -> bool {
+        let merged = *fact | *other;
+        let changed = merged != *fact;
+        *fact = merged;
+        changed
+    }
+
+    fn transfer(&self, _pc: usize, op: Op, fact: &mut u16) {
+        match op {
+            Op::Store(n) => *fact &= !(1 << n),
+            Op::Load(n) => *fact |= 1 << n,
+            _ => {}
+        }
+    }
+}
+
+/// Forward reaching definitions: which `Store` sites may have produced the
+/// current value of each local. The fact is a sorted set of
+/// `(slot, def_pc)` pairs; `u16::MAX` as `def_pc` denotes the implicit
+/// "locals are zero at entry" definition.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReachingDefs;
+
+/// Definition site marker for the implicit all-zeros entry state.
+pub const DEF_ENTRY: u16 = u16::MAX;
+
+impl Analysis for ReachingDefs {
+    type Fact = Vec<(u8, u16)>;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary(&self) -> Vec<(u8, u16)> {
+        (0..crate::isa::MAX_LOCALS).map(|s| (s, DEF_ENTRY)).collect()
+    }
+
+    fn bottom(&self) -> Vec<(u8, u16)> {
+        Vec::new()
+    }
+
+    fn join(&self, fact: &mut Vec<(u8, u16)>, other: &Vec<(u8, u16)>) -> bool {
+        let mut changed = false;
+        for &d in other {
+            if let Err(i) = fact.binary_search(&d) {
+                fact.insert(i, d);
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    fn transfer(&self, pc: usize, op: Op, fact: &mut Vec<(u8, u16)>) {
+        if let Op::Store(n) = op {
+            fact.retain(|&(slot, _)| slot != n);
+            let d = (n, pc as u16);
+            if let Err(i) = fact.binary_search(&d) {
+                fact.insert(i, d);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn solved<A: Analysis>(a: &A, src: &str) -> (Program, Cfg, Solution<A::Fact>) {
+        let p = assemble(src).unwrap();
+        let cfg = Cfg::build(&p);
+        let sol = solve(a, &p, &cfg, 1 << 20).expect("budget ample");
+        (p, cfg, sol)
+    }
+
+    #[test]
+    fn liveness_straight_line() {
+        // store 0 is read afterwards; store 1 never is.
+        let (p, cfg, sol) = solved(
+            &LiveLocals,
+            "push 1
+             store 0
+             push 2
+             store 1
+             load 0
+             halt",
+        );
+        // Before the program: nothing live at exit, load 0 keeps slot 0
+        // live backwards past store 1.
+        let before_store1 = sol.at_instruction(&LiveLocals, &p, &cfg, 3);
+        assert_eq!(before_store1 & 1, 1, "slot 0 live across store 1");
+        let after_store0 = sol.at_instruction(&LiveLocals, &p, &cfg, 1);
+        assert_eq!(after_store0 & 0b10, 0, "slot 1 dead at its store");
+    }
+
+    #[test]
+    fn liveness_across_branches_joins_with_union() {
+        // slot 0 read on one arm only → live at the branch.
+        let (p, cfg, sol) = solved(
+            &LiveLocals,
+            "push 7
+             store 0
+             arg 0
+             jz other
+             load 0
+             halt
+             other:
+             push 1
+             halt",
+        );
+        let at_branch = sol.at_instruction(&LiveLocals, &p, &cfg, 3);
+        assert_eq!(at_branch & 1, 1);
+    }
+
+    #[test]
+    fn reaching_defs_pinned_fixpoint_on_diamond() {
+        // Two stores of slot 0 on the two arms both reach the join.
+        //  0 arg 0 ; 1 jz 5 ; 2 push 1 ; 3 store 0 ; 4 jmp 7
+        //  5 push 2 ; 6 store 0 ; 7 load 0 ; 8 halt
+        let (p, cfg, sol) = solved(
+            &ReachingDefs,
+            "arg 0
+             jz else
+             push 1
+             store 0
+             jmp join
+             else:
+             push 2
+             store 0
+             join:
+             load 0
+             halt",
+        );
+        let at_join = sol.at_instruction(&ReachingDefs, &p, &cfg, 7);
+        let defs0: Vec<u16> = at_join
+            .iter()
+            .filter(|&&(s, _)| s == 0)
+            .map(|&(_, pc)| pc)
+            .collect();
+        assert_eq!(defs0, vec![3, 6], "exactly the two arm stores reach");
+        // Slot 1 still carries only the entry definition.
+        assert!(at_join.contains(&(1, DEF_ENTRY)));
+    }
+
+    #[test]
+    fn reaching_defs_loop_reaches_back_to_header() {
+        let (p, cfg, sol) = solved(
+            &ReachingDefs,
+            "push 3
+             store 0
+             loop:
+             load 0
+             jz out
+             load 0
+             push 1
+             sub
+             store 0
+             jmp loop
+             out:
+             load 0
+             halt",
+        );
+        // At the loop-header load (pc 2) both the init store (1) and the
+        // back-edge store (7) reach.
+        let at_head = sol.at_instruction(&ReachingDefs, &p, &cfg, 2);
+        let defs0: Vec<u16> = at_head
+            .iter()
+            .filter(|&&(s, _)| s == 0)
+            .map(|&(_, pc)| pc)
+            .collect();
+        assert_eq!(defs0, vec![1, 7]);
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_none() {
+        let p = assemble("push 1\nstore 0\nload 0\nhalt").unwrap();
+        let cfg = Cfg::build(&p);
+        assert!(solve(&ReachingDefs, &p, &cfg, 2).is_none());
+    }
+
+    #[test]
+    fn shuffled_order_reaches_same_fixpoint() {
+        let p = assemble(
+            "arg 0
+             store 0
+             loop:
+             load 0
+             jz out
+             load 0
+             push 1
+             sub
+             store 0
+             jmp loop
+             out:
+             load 0
+             halt",
+        )
+        .unwrap();
+        let cfg = Cfg::build(&p);
+        let base = solve(&ReachingDefs, &p, &cfg, 1 << 20).unwrap();
+        for seed in [1u64, 7, 42, 0xDEAD] {
+            let shuffled =
+                solve_with_order(&ReachingDefs, &p, &cfg, 1 << 20, Some(seed)).unwrap();
+            for b in 0..cfg.blocks().len() {
+                assert_eq!(base.block_entry(b), shuffled.block_entry(b), "seed {seed}");
+                assert_eq!(base.block_exit(b), shuffled.block_exit(b), "seed {seed}");
+            }
+        }
+    }
+}

@@ -1,0 +1,511 @@
+//! Taint / information-flow analysis: *where data may go*, not just
+//! *which capabilities exist*.
+//!
+//! A [`crate::verify::SyscallPolicy`] is a capability allowlist — it can
+//! say a proxy may call `read_sensor` and may call `net_send`, but not
+//! that the value read from the sensor never *reaches* the network send.
+//! [`FlowPolicy`] closes that gap: syscalls in `sources` produce tainted
+//! replies, syscalls in `sinks` must never observe a tainted argument,
+//! and [`check_flow`] proves it statically (or names the offending
+//! instruction). It is another instance of the [`crate::dataflow`]
+//! framework: one taint bit per stack slot and per local, joined by OR.
+//!
+//! Implicit flows are covered optionally: with
+//! [`FlowPolicy::track_implicit`] set, branching on a tainted value
+//! poisons a sticky *context bit*, and everything computed under a
+//! tainted context (and the sink calls themselves) counts as tainted —
+//! the classic conservative treatment, which rejects laundering taint
+//! through control flow (`if secret { send(1) } else { send(2) }`) at
+//! the cost of false positives after any tainted branch.
+
+use crate::cfg::Cfg;
+use crate::dataflow::{self, Analysis, Direction, Solution};
+use crate::isa::Op;
+use crate::verify::{SyscallSet, VerifiedProgram};
+
+/// Default instruction-visit budget for the flow fixpoint.
+pub const FLOW_VISIT_BUDGET: u64 = 1 << 20;
+
+/// Source/sink labelling of the syscall surface, plus tracking options.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlowPolicy {
+    /// Syscalls whose replies are tainted (e.g. sensor reads).
+    pub sources: SyscallSet,
+    /// Syscalls that must never observe a tainted argument (e.g. network
+    /// sends).
+    pub sinks: SyscallSet,
+    /// Treat caller arguments (`Arg`) as tainted too.
+    pub taint_args: bool,
+    /// Track implicit flows: branching on taint poisons the context, and
+    /// a sink call under tainted context is a violation even with clean
+    /// arguments.
+    pub track_implicit: bool,
+}
+
+impl FlowPolicy {
+    /// The common case: `sources` must never flow into `sinks`, explicit
+    /// flows only.
+    pub fn forbid(sources: &[u8], sinks: &[u8]) -> FlowPolicy {
+        FlowPolicy {
+            sources: SyscallSet::of(sources),
+            sinks: SyscallSet::of(sinks),
+            ..FlowPolicy::default()
+        }
+    }
+
+    /// Same, but also rejecting implicit (control-flow) leaks.
+    pub fn forbid_strict(sources: &[u8], sinks: &[u8]) -> FlowPolicy {
+        FlowPolicy {
+            track_implicit: true,
+            ..FlowPolicy::forbid(sources, sinks)
+        }
+    }
+}
+
+/// Why a program violates a [`FlowPolicy`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlowError {
+    /// A sink syscall can observe tainted data (or runs under a tainted
+    /// branch context, when implicit tracking is on).
+    TaintedSink {
+        /// The offending `Syscall` instruction.
+        at: usize,
+        /// Its syscall id.
+        id: u8,
+    },
+    /// The fixpoint exceeded its instruction-visit budget; the program is
+    /// rejected rather than assumed clean.
+    AnalysisBudget,
+}
+
+/// What the analysis proved about a policy-conforming program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlowSummary {
+    /// Whether the program's result (the value at some reachable `Halt`)
+    /// may carry source taint.
+    pub result_tainted: bool,
+    /// Whether any source syscall is actually reachable.
+    pub uses_sources: bool,
+}
+
+/// The abstract state: one taint bit per stack slot and local, plus the
+/// implicit-flow context bit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaintFact {
+    /// ⊥ marker: `false` = no execution reaches this point yet.
+    pub reachable: bool,
+    /// Taint of each operand-stack slot, bottom first.
+    pub stack: Vec<bool>,
+    /// Taint bitset over the locals.
+    pub locals: u16,
+    /// Sticky control-context taint (implicit flows).
+    pub ctx: bool,
+}
+
+impl TaintFact {
+    fn pop(&mut self) -> bool {
+        self.stack.pop().unwrap_or(false)
+    }
+}
+
+/// The taint analysis (a [`dataflow::Analysis`] instance) for one policy.
+#[derive(Clone, Copy, Debug)]
+pub struct TaintAnalysis {
+    policy: FlowPolicy,
+}
+
+impl TaintAnalysis {
+    /// Analysis for `policy`.
+    pub fn new(policy: FlowPolicy) -> TaintAnalysis {
+        TaintAnalysis { policy }
+    }
+}
+
+impl Analysis for TaintAnalysis {
+    type Fact = TaintFact;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary(&self) -> TaintFact {
+        TaintFact {
+            reachable: true,
+            stack: Vec::new(),
+            locals: 0,
+            ctx: false,
+        }
+    }
+
+    fn bottom(&self) -> TaintFact {
+        TaintFact {
+            reachable: false,
+            stack: Vec::new(),
+            locals: 0,
+            ctx: false,
+        }
+    }
+
+    fn join(&self, fact: &mut TaintFact, other: &TaintFact) -> bool {
+        if !other.reachable {
+            return false;
+        }
+        if !fact.reachable {
+            *fact = other.clone();
+            return true;
+        }
+        let mut changed = false;
+        // Verified programs join at equal stack heights; tolerate skew by
+        // aligning from the top, like the other analyses.
+        if fact.stack.len() != other.stack.len() {
+            let keep = fact.stack.len().min(other.stack.len());
+            let cut = fact.stack.len() - keep;
+            fact.stack.drain(..cut);
+            changed = true;
+        }
+        let skip = other.stack.len() - fact.stack.len();
+        for (s, &o) in fact.stack.iter_mut().zip(other.stack.iter().skip(skip)) {
+            if o && !*s {
+                *s = true;
+                changed = true;
+            }
+        }
+        if other.locals & !fact.locals != 0 {
+            fact.locals |= other.locals;
+            changed = true;
+        }
+        if other.ctx && !fact.ctx {
+            fact.ctx = true;
+            changed = true;
+        }
+        changed
+    }
+
+    fn transfer(&self, _pc: usize, op: Op, f: &mut TaintFact) {
+        if !f.reachable {
+            return;
+        }
+        let ctx = f.ctx && self.policy.track_implicit;
+        match op {
+            Op::PushI(_) => f.stack.push(ctx),
+            Op::Dup => {
+                let t = f.stack.last().copied().unwrap_or(false);
+                f.stack.push(t || ctx);
+            }
+            Op::Drop => {
+                f.pop();
+            }
+            Op::Swap => {
+                let b = f.pop();
+                let a = f.pop();
+                f.stack.push(b);
+                f.stack.push(a);
+            }
+            Op::Over => {
+                let n = f.stack.len();
+                let t = if n >= 2 { f.stack[n - 2] } else { false };
+                f.stack.push(t || ctx);
+            }
+            Op::Add
+            | Op::Sub
+            | Op::Mul
+            | Op::Div
+            | Op::Rem
+            | Op::Min
+            | Op::Max
+            | Op::And
+            | Op::Or
+            | Op::Xor
+            | Op::Eq
+            | Op::Lt
+            | Op::Gt => {
+                let b = f.pop();
+                let a = f.pop();
+                f.stack.push(a || b || ctx);
+            }
+            Op::Neg => {
+                let a = f.pop();
+                f.stack.push(a || ctx);
+            }
+            Op::Jmp(_) => {}
+            Op::Jz(_) | Op::Jnz(_) => {
+                let cond = f.pop();
+                if cond && self.policy.track_implicit {
+                    // Sticky: once control depends on taint, everything
+                    // after is under suspicion. Coarse but sound.
+                    f.ctx = true;
+                }
+            }
+            Op::Arg(_) => f.stack.push(self.policy.taint_args || ctx),
+            Op::Store(n) => {
+                let v = f.pop();
+                if v || ctx {
+                    f.locals |= 1 << n;
+                } else {
+                    f.locals &= !(1 << n);
+                }
+            }
+            Op::Load(n) => {
+                let t = f.locals & (1 << n) != 0;
+                f.stack.push(t || ctx);
+            }
+            Op::Syscall(id, argc) => {
+                let mut arg_taint = false;
+                for _ in 0..argc {
+                    arg_taint |= f.pop();
+                }
+                let source = self.policy.sources.contains(id);
+                // A sink's reply is not itself a source; anything else
+                // propagates what went in (conservative for unlabelled
+                // syscalls: a reply derived from tainted args is tainted).
+                f.stack.push(source || arg_taint || ctx);
+            }
+            Op::Halt => {}
+        }
+    }
+}
+
+/// Check `program` against `policy`.
+///
+/// On success the program provably never lets a source-tainted value (or
+/// a tainted branch context, in strict mode) reach a sink syscall's
+/// arguments, on any execution; the summary reports residual facts a
+/// host may care about. Requires a [`VerifiedProgram`] because the proof
+/// leans on verifier invariants (balanced stack heights at joins, no
+/// underflow), and because vetting order — verify, then flow-check — is
+/// the only sensible one for untrusted proxies.
+pub fn check_flow(
+    program: &VerifiedProgram,
+    policy: &FlowPolicy,
+) -> Result<FlowSummary, FlowError> {
+    let p = program.program();
+    let cfg = Cfg::build(p);
+    let analysis = TaintAnalysis::new(*policy);
+    let solution: Solution<TaintFact> =
+        dataflow::solve(&analysis, p, &cfg, FLOW_VISIT_BUDGET).ok_or(FlowError::AnalysisBudget)?;
+
+    let code = p.ops();
+    let mut summary = FlowSummary {
+        result_tainted: false,
+        uses_sources: false,
+    };
+    for block in cfg.blocks() {
+        for (pc, &op) in code.iter().enumerate().take(block.end).skip(block.start) {
+            let before = solution.at_instruction(&analysis, p, &cfg, pc);
+            if !before.reachable {
+                continue;
+            }
+            match op {
+                Op::Syscall(id, argc) => {
+                    if policy.sources.contains(id) {
+                        summary.uses_sources = true;
+                    }
+                    if policy.sinks.contains(id) {
+                        let n = before.stack.len();
+                        let args_tainted = (0..argc as usize)
+                            .any(|i| n > i && before.stack[n - 1 - i]);
+                        let ctx_tainted = policy.track_implicit && before.ctx;
+                        if args_tainted || ctx_tainted {
+                            return Err(FlowError::TaintedSink { at: pc, id });
+                        }
+                    }
+                }
+                Op::Halt => {
+                    let top = before.stack.last().copied().unwrap_or(false);
+                    let ctx = policy.track_implicit && before.ctx;
+                    summary.result_tainted |= top || ctx;
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::verify::{SyscallPolicy, VerifyConfig};
+
+    const READ_SENSOR: u8 = 10;
+    const NET_SEND: u8 = 20;
+    const GET_TIME: u8 = 30;
+
+    fn vetted(src: &str) -> VerifiedProgram {
+        let cfg = VerifyConfig::with_syscalls(SyscallPolicy::AllowAll);
+        assemble(src).unwrap().verify(&cfg).unwrap()
+    }
+
+    fn policy() -> FlowPolicy {
+        FlowPolicy::forbid(&[READ_SENSOR], &[NET_SEND])
+    }
+
+    #[test]
+    fn direct_exfiltration_is_rejected() {
+        // read_sensor() → net_send(it): the canonical leak. Passes any
+        // capability allowlist granting both ids; FlowPolicy rejects it.
+        let p = vetted(&format!(
+            "syscall {READ_SENSOR} 0
+             syscall {NET_SEND} 1
+             halt"
+        ));
+        assert_eq!(
+            check_flow(&p, &policy()),
+            Err(FlowError::TaintedSink { at: 1, id: NET_SEND })
+        );
+    }
+
+    #[test]
+    fn laundering_through_locals_and_arithmetic_is_rejected() {
+        let p = vetted(&format!(
+            "syscall {READ_SENSOR} 0
+             push 1000
+             mul
+             store 3
+             push 0
+             drop
+             load 3
+             push 7
+             add
+             syscall {NET_SEND} 1
+             halt"
+        ));
+        assert!(matches!(
+            check_flow(&p, &policy()),
+            Err(FlowError::TaintedSink { id: NET_SEND, .. })
+        ));
+    }
+
+    #[test]
+    fn independent_send_is_accepted() {
+        // Reads the sensor for its own result, sends an unrelated
+        // constant: both capabilities used, no flow between them.
+        let p = vetted(&format!(
+            "push 1
+             syscall {NET_SEND} 1
+             drop
+             syscall {READ_SENSOR} 0
+             halt"
+        ));
+        let s = check_flow(&p, &policy()).unwrap();
+        assert!(s.uses_sources);
+        assert!(s.result_tainted);
+    }
+
+    #[test]
+    fn overwritten_local_loses_taint() {
+        // Taint stored to a local, then the local is overwritten with a
+        // constant before the send: strong update, no violation.
+        let p = vetted(&format!(
+            "syscall {READ_SENSOR} 0
+             store 0
+             push 5
+             store 0
+             load 0
+             syscall {NET_SEND} 1
+             halt"
+        ));
+        check_flow(&p, &policy()).unwrap();
+    }
+
+    #[test]
+    fn unlabelled_syscalls_propagate_taint_through_replies() {
+        // sensor → get_time(sensor)'s reply → send: the unlabelled call's
+        // reply is conservatively derived from its tainted argument.
+        let p = vetted(&format!(
+            "syscall {READ_SENSOR} 0
+             syscall {GET_TIME} 1
+             syscall {NET_SEND} 1
+             halt"
+        ));
+        assert!(matches!(
+            check_flow(&p, &policy()),
+            Err(FlowError::TaintedSink { id: NET_SEND, .. })
+        ));
+    }
+
+    #[test]
+    fn implicit_flow_caught_only_in_strict_mode() {
+        // if sensor() != 0 { send(1) } else { send(0) } — leaks one bit
+        // via control flow; explicit tracking accepts, strict rejects.
+        let src = format!(
+            "syscall {READ_SENSOR} 0
+             jz zero
+             push 1
+             syscall {NET_SEND} 1
+             halt
+             zero:
+             push 0
+             syscall {NET_SEND} 1
+             halt"
+        );
+        let p = vetted(&src);
+        check_flow(&p, &policy()).unwrap();
+        let strict = FlowPolicy::forbid_strict(&[READ_SENSOR], &[NET_SEND]);
+        assert!(matches!(
+            check_flow(&p, &strict),
+            Err(FlowError::TaintedSink { id: NET_SEND, .. })
+        ));
+    }
+
+    #[test]
+    fn tainted_args_mode_rejects_arg_to_sink() {
+        let p = vetted(&format!(
+            "arg 0
+             syscall {NET_SEND} 1
+             halt"
+        ));
+        check_flow(&p, &policy()).unwrap();
+        let strict = FlowPolicy {
+            taint_args: true,
+            ..policy()
+        };
+        assert_eq!(
+            check_flow(&p, &strict),
+            Err(FlowError::TaintedSink { at: 1, id: NET_SEND })
+        );
+    }
+
+    #[test]
+    fn taint_survives_loops() {
+        // Accumulate sensor readings in a loop, then send the total.
+        let p = vetted(&format!(
+            "push 0
+             store 0
+             push 3
+             store 1
+             loop:
+             load 1
+             jz out
+             syscall {READ_SENSOR} 0
+             load 0
+             add
+             store 0
+             load 1
+             push 1
+             sub
+             store 1
+             jmp loop
+             out:
+             load 0
+             syscall {NET_SEND} 1
+             halt"
+        ));
+        assert!(matches!(
+            check_flow(&p, &policy()),
+            Err(FlowError::TaintedSink { id: NET_SEND, .. })
+        ));
+    }
+
+    #[test]
+    fn pure_programs_trivially_conform() {
+        let p = assemble("push 2 \n push 3 \n add \n halt")
+            .unwrap()
+            .verify_default()
+            .unwrap();
+        let s = check_flow(&p, &policy()).unwrap();
+        assert!(!s.uses_sources);
+        assert!(!s.result_tainted);
+    }
+}

@@ -40,23 +40,45 @@
 //! certificate to skip the per-op stack checks — and fuel metering
 //! entirely, for loop-free code — while remaining panic-free.
 //!
+//! Beyond the verifier sits a reusable static-analysis layer
+//! ("aroma-flow"): [`dataflow`] is a generic forward/backward worklist
+//! fixpoint framework over the [`cfg`] basic blocks, parameterized by a
+//! lattice ([`dataflow::Analysis`]); [`range`] instantiates it with an
+//! interval domain to prove **static loop bounds**, extending the
+//! unmetered fast path from loop-free programs to counted-loop programs;
+//! [`flow`] instantiates it with a taint domain so a [`flow::FlowPolicy`]
+//! can prove information-flow properties ("sensor reads never reach
+//! network sends") that a capability allowlist cannot express; and
+//! [`opt`] is an optimizer (constant folding, branch pruning, dead-store
+//! and unreachable-code elimination, jump threading) gated by
+//! **translation validation** — an optimized program is only used if it
+//! re-verifies and differentially matches the original.
+//!
 //! Modules: [`isa`] (opcodes + wire format), [`program`] (validated
 //! container), [`cfg`] (basic-block control-flow graphs), [`verify`]
 //! (the static verifier), [`vm`] (the interpreter, checked and verified
 //! paths), [`asm`] (a line assembler with labels, for
-//! tests/examples/docs).
+//! tests/examples/docs), [`dataflow`] / [`range`] / [`flow`] / [`opt`]
+//! (the analysis layer).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod asm;
 pub mod cfg;
+pub mod dataflow;
+pub mod flow;
 pub mod isa;
+pub mod opt;
 pub mod program;
+pub mod range;
 pub mod verify;
 pub mod vm;
 
+pub use flow::{FlowError, FlowPolicy, FlowSummary};
 pub use isa::Op;
+pub use opt::{OptStats, Validated};
 pub use program::{Program, ProgramError, ValidateError};
+pub use range::{Interval, Ranges};
 pub use verify::{SyscallPolicy, SyscallSet, VerifiedProgram, VerifyConfig, VerifyError};
 pub use vm::{Host, NullHost, Vm, VmError, FUEL_DEFAULT};

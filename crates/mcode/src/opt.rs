@@ -1,0 +1,825 @@
+//! A proxy optimizer gated by translation validation.
+//!
+//! Downloaded proxies run hot (every brightness update, every sensor
+//! poll), so shaving interpreted instructions pays directly. This module
+//! rewrites verified programs with the classic menu — constant folding,
+//! branch pruning from value ranges ([`crate::range`]), dead-store and
+//! unreachable-code elimination, jump threading — but **trusts none of
+//! it**: an optimized program is only ever installed after
+//!
+//! 1. it *re-verifies* under the same [`VerifyConfig`] as the original
+//!    (the optimizer cannot launder a proxy past the verifier), and
+//! 2. it is *differentially executed* against the original over boundary
+//!    and pseudo-random inputs with a trace-recording host, and both the
+//!    result and the full syscall trace match on every case.
+//!
+//! That is translation validation in the verified-compiler tradition:
+//! instead of proving the optimizer correct once, check each output. Any
+//! failure — an analysis budget, an invalid rewrite, a mismatch — falls
+//! back to the original program, so [`optimize_verified`] cannot make a
+//! proxy *wrong*, only faster. The property suite goes further and runs
+//! the differential check over arbitrary generated programs.
+
+use crate::cfg::Cfg;
+use crate::dataflow::{self, LiveLocals};
+use crate::isa::Op;
+use crate::program::Program;
+use crate::range::{Ranges, RANGE_VISIT_BUDGET};
+use crate::verify::{VerifiedProgram, VerifyConfig};
+use crate::vm::{Host, Vm, VmError, FUEL_DEFAULT};
+
+/// Cap on fold/prune/eliminate rounds per [`optimize`] call; each round
+/// rebuilds the CFG, so later rounds clean up what earlier ones exposed.
+const MAX_ROUNDS: usize = 4;
+
+/// What the optimizer did — observability for hosts and benches.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Rewrite rounds that ran (including the final no-change round).
+    pub rounds: usize,
+    /// Constant-folding events (each removes or simplifies instructions).
+    pub folded: usize,
+    /// Conditional branches decided statically.
+    pub branches_pruned: usize,
+    /// `Store`s to provably dead locals rewritten to `Drop`.
+    pub dead_stores: usize,
+    /// Unreachable instructions removed.
+    pub unreachable_removed: usize,
+    /// Jumps retargeted through `Jmp` chains or dropped as fall-throughs.
+    pub jumps_threaded: usize,
+}
+
+/// An optimization accepted by translation validation.
+#[derive(Clone, Debug)]
+pub struct Validated {
+    /// The program to run: the re-verified optimized program, or the
+    /// original certificate when optimization found nothing (or failed
+    /// validation).
+    pub program: VerifiedProgram,
+    /// What the optimizer did.
+    pub stats: OptStats,
+    /// Whether `program` differs from the input.
+    pub improved: bool,
+}
+
+/// One virtual-stack entry during a rebuild: the value if statically
+/// known, and the position in the emitted stream of the `PushI` that
+/// produced it — `Some` only while that push is part of the contiguous
+/// emitted tail, which is what makes truncation-based folding sound.
+#[derive(Clone, Copy, Debug)]
+struct VEntry {
+    val: Option<i64>,
+    pos: Option<usize>,
+}
+
+impl VEntry {
+    fn unknown() -> VEntry {
+        VEntry {
+            val: None,
+            pos: None,
+        }
+    }
+}
+
+/// Optimize `program` (best effort, always sound to *attempt*: on any
+/// internal failure the input is returned unchanged). Callers that intend
+/// to run the result must still translation-validate — use
+/// [`optimize_verified`].
+pub fn optimize(program: &Program) -> (Program, OptStats) {
+    let mut stats = OptStats::default();
+    let mut current = program.clone();
+    for _ in 0..MAX_ROUNDS {
+        stats.rounds += 1;
+        let Some(next) = round(&current, &mut stats) else {
+            break;
+        };
+        if next == current {
+            break;
+        }
+        current = next;
+    }
+    (current, stats)
+}
+
+/// One rewrite round; `None` means "keep the input" (analysis refused or
+/// the rebuild produced something invalid).
+fn round(program: &Program, stats: &mut OptStats) -> Option<Program> {
+    let cfg = Cfg::build(program);
+    let ranges = Ranges::analyze(program, &cfg, RANGE_VISIT_BUDGET);
+    let rebuilt = rebuild(program, &cfg, ranges.as_ref(), stats)?;
+    Some(eliminate_dead_stores(rebuilt, stats))
+}
+
+/// Follow `Jmp` chains from target `t` in the original code (bounded, so
+/// a `Jmp` cycle cannot hang the optimizer).
+fn resolve_target(code: &[Op], mut t: u16) -> u16 {
+    for _ in 0..64 {
+        match code[t as usize] {
+            Op::Jmp(u) if u != t => t = u,
+            _ => break,
+        }
+    }
+    t
+}
+
+/// The fold/prune/thread rebuild: emit reachable blocks in order, folding
+/// within each block over a virtual stack, deciding branches from known
+/// values or intervals, and remapping jump targets block-to-block.
+fn rebuild(
+    program: &Program,
+    cfg: &Cfg,
+    ranges: Option<&Ranges>,
+    stats: &mut OptStats,
+) -> Option<Program> {
+    let code = program.ops();
+    let blocks = cfg.blocks();
+    let emitted: Vec<usize> = (0..blocks.len()).filter(|&b| cfg.is_reachable(b)).collect();
+    stats.unreachable_removed += code.len()
+        - emitted
+            .iter()
+            .map(|&b| blocks[b].len())
+            .sum::<usize>();
+
+    let mut out: Vec<Op> = Vec::with_capacity(code.len());
+    let mut new_start = vec![usize::MAX; blocks.len()];
+    // (position in `out`, target in *old* instruction space) to patch.
+    let mut fixups: Vec<(usize, u16)> = Vec::new();
+
+    for (order, &b) in emitted.iter().enumerate() {
+        new_start[b] = out.len();
+        let next_emitted = emitted.get(order + 1).copied();
+        let block = &blocks[b];
+        let mut vstack: Vec<VEntry> = Vec::new();
+
+        let pop = |v: &mut Vec<VEntry>| v.pop().unwrap_or_else(VEntry::unknown);
+
+        for pc in block.start..block.end {
+            let op = code[pc];
+            match op {
+                Op::PushI(v) => {
+                    out.push(op);
+                    vstack.push(VEntry {
+                        val: Some(v),
+                        pos: Some(out.len() - 1),
+                    });
+                }
+                Op::Load(n) => {
+                    // A local proven constant here becomes a literal push,
+                    // seeding downstream folds.
+                    let known = ranges.and_then(|r| {
+                        let f = r.before(cfg, pc);
+                        (f.reachable).then(|| f.locals[n as usize].as_const()).flatten()
+                    });
+                    match known {
+                        Some(c) => {
+                            stats.folded += 1;
+                            out.push(Op::PushI(c));
+                            vstack.push(VEntry {
+                                val: Some(c),
+                                pos: Some(out.len() - 1),
+                            });
+                        }
+                        None => {
+                            out.push(op);
+                            invalidate(&mut vstack);
+                            vstack.push(VEntry::unknown());
+                        }
+                    }
+                }
+                Op::Dup | Op::Over => {
+                    let depth = if op == Op::Dup { 1 } else { 2 };
+                    let copied = vstack
+                        .len()
+                        .checked_sub(depth)
+                        .and_then(|i| vstack.get(i))
+                        .copied()
+                        .unwrap_or_else(VEntry::unknown);
+                    match copied.val {
+                        Some(v) => {
+                            stats.folded += 1;
+                            out.push(Op::PushI(v));
+                            vstack.push(VEntry {
+                                val: Some(v),
+                                pos: Some(out.len() - 1),
+                            });
+                        }
+                        None => {
+                            out.push(op);
+                            invalidate(&mut vstack);
+                            vstack.push(VEntry::unknown());
+                        }
+                    }
+                }
+                Op::Drop => {
+                    let e = pop(&mut vstack);
+                    if e.pos == Some(out.len().wrapping_sub(1)) {
+                        out.pop(); // the push and the drop annihilate
+                        stats.folded += 1;
+                    } else {
+                        out.push(op);
+                        invalidate(&mut vstack);
+                    }
+                }
+                Op::Swap => {
+                    let b2 = pop(&mut vstack);
+                    let a2 = pop(&mut vstack);
+                    let n = out.len();
+                    if a2.pos == Some(n.wrapping_sub(2)) && b2.pos == Some(n.wrapping_sub(1)) {
+                        out.swap(n - 2, n - 1);
+                        stats.folded += 1;
+                        vstack.push(VEntry {
+                            val: b2.val,
+                            pos: Some(n - 2),
+                        });
+                        vstack.push(VEntry {
+                            val: a2.val,
+                            pos: Some(n - 1),
+                        });
+                    } else {
+                        out.push(op);
+                        invalidate(&mut vstack);
+                        vstack.push(VEntry {
+                            val: b2.val,
+                            pos: None,
+                        });
+                        vstack.push(VEntry {
+                            val: a2.val,
+                            pos: None,
+                        });
+                    }
+                }
+                Op::Neg => {
+                    let a = pop(&mut vstack);
+                    match a.val {
+                        Some(v) if a.pos == Some(out.len().wrapping_sub(1)) => {
+                            out.pop();
+                            stats.folded += 1;
+                            let r = v.wrapping_neg();
+                            out.push(Op::PushI(r));
+                            vstack.push(VEntry {
+                                val: Some(r),
+                                pos: Some(out.len() - 1),
+                            });
+                        }
+                        known => {
+                            out.push(op);
+                            invalidate(&mut vstack);
+                            vstack.push(VEntry {
+                                val: known.map(i64::wrapping_neg),
+                                pos: None,
+                            });
+                        }
+                    }
+                }
+                Op::Add
+                | Op::Sub
+                | Op::Mul
+                | Op::Div
+                | Op::Rem
+                | Op::Min
+                | Op::Max
+                | Op::And
+                | Op::Or
+                | Op::Xor
+                | Op::Eq
+                | Op::Lt
+                | Op::Gt => {
+                    let b2 = pop(&mut vstack);
+                    let a2 = pop(&mut vstack);
+                    let folded = match (a2.val, b2.val) {
+                        (Some(x), Some(y)) => fold_binop(op, x, y),
+                        _ => None,
+                    };
+                    match folded {
+                        Some(r)
+                            if a2.pos == Some(out.len().wrapping_sub(2))
+                                && b2.pos == Some(out.len().wrapping_sub(1)) =>
+                        {
+                            out.truncate(out.len() - 2);
+                            stats.folded += 2;
+                            out.push(Op::PushI(r));
+                            vstack.push(VEntry {
+                                val: Some(r),
+                                pos: Some(out.len() - 1),
+                            });
+                        }
+                        known => {
+                            out.push(op);
+                            invalidate(&mut vstack);
+                            vstack.push(VEntry {
+                                val: known,
+                                pos: None,
+                            });
+                        }
+                    }
+                }
+                Op::Arg(_) | Op::Syscall(..) => {
+                    if let Op::Syscall(_, argc) = op {
+                        for _ in 0..argc {
+                            pop(&mut vstack);
+                        }
+                    }
+                    out.push(op);
+                    invalidate(&mut vstack);
+                    vstack.push(VEntry::unknown());
+                }
+                Op::Store(n) => {
+                    let _ = n;
+                    pop(&mut vstack);
+                    out.push(op);
+                    invalidate(&mut vstack);
+                }
+                Op::Halt => out.push(op),
+                Op::Jmp(t) => {
+                    let rt = resolve_target(code, t);
+                    if rt != t {
+                        stats.jumps_threaded += 1;
+                    }
+                    if Some(cfg.block_of(rt as usize)) == next_emitted {
+                        stats.jumps_threaded += 1; // becomes a fall-through
+                    } else {
+                        fixups.push((out.len(), rt));
+                        out.push(Op::Jmp(rt));
+                    }
+                }
+                Op::Jz(t) | Op::Jnz(t) => {
+                    let cond = pop(&mut vstack);
+                    let known = cond.val.or_else(|| {
+                        ranges.and_then(|r| {
+                            let iv = r.stack_top_before(cfg, pc)?;
+                            iv.as_const()
+                                .or_else(|| (!iv.contains_zero()).then_some(1))
+                        })
+                    });
+                    let taken = known.map(|v| match op {
+                        Op::Jz(_) => v == 0,
+                        _ => v != 0,
+                    });
+                    match taken {
+                        Some(decision) => {
+                            stats.branches_pruned += 1;
+                            if cond.pos == Some(out.len().wrapping_sub(1)) {
+                                out.pop(); // the condition push vanishes too
+                                stats.folded += 1;
+                            } else {
+                                out.push(Op::Drop);
+                                invalidate(&mut vstack);
+                            }
+                            if decision {
+                                let rt = resolve_target(code, t);
+                                if Some(cfg.block_of(rt as usize)) == next_emitted {
+                                    stats.jumps_threaded += 1;
+                                } else {
+                                    fixups.push((out.len(), rt));
+                                    out.push(Op::Jmp(rt));
+                                }
+                            }
+                            // Not taken: plain fall-through, emit nothing.
+                        }
+                        None => {
+                            let rt = resolve_target(code, t);
+                            if rt != t {
+                                stats.jumps_threaded += 1;
+                            }
+                            fixups.push((out.len(), rt));
+                            out.push(match op {
+                                Op::Jz(_) => Op::Jz(rt),
+                                _ => Op::Jnz(rt),
+                            });
+                            invalidate(&mut vstack);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Patch jump targets into the new instruction space. Every referenced
+    // target is a leader of a reachable block, so `new_start` is set; a
+    // target past the end (a trailing block folded to nothing) makes the
+    // program invalid and we bail to the original.
+    for (at, old_t) in fixups {
+        let nb = cfg.block_of(old_t as usize);
+        let nt = new_start[nb];
+        if nt >= out.len() || nt > u16::MAX as usize {
+            return None;
+        }
+        out[at] = match out[at] {
+            Op::Jmp(_) => Op::Jmp(nt as u16),
+            Op::Jz(_) => Op::Jz(nt as u16),
+            Op::Jnz(_) => Op::Jnz(nt as u16),
+            other => other,
+        };
+    }
+
+    Program::new(out).ok()
+}
+
+/// Clear every tracked emission position: the emitted tail is no longer a
+/// contiguous run of pushes, so truncation-based folding must stop
+/// reaching past this point.
+fn invalidate(vstack: &mut [VEntry]) {
+    for e in vstack {
+        e.pos = None;
+    }
+}
+
+/// Fold one binary op over constants, with exactly the VM's semantics.
+/// Division and remainder refuse a zero divisor — the runtime error must
+/// be preserved, not folded away.
+fn fold_binop(op: Op, a: i64, b: i64) -> Option<i64> {
+    Some(match op {
+        Op::Add => a.wrapping_add(b),
+        Op::Sub => a.wrapping_sub(b),
+        Op::Mul => a.wrapping_mul(b),
+        Op::Div if b != 0 => a.wrapping_div(b),
+        Op::Rem if b != 0 => a.wrapping_rem(b),
+        Op::Min => a.min(b),
+        Op::Max => a.max(b),
+        Op::And => a & b,
+        Op::Or => a | b,
+        Op::Xor => a ^ b,
+        Op::Eq => (a == b) as i64,
+        Op::Lt => (a < b) as i64,
+        Op::Gt => (a > b) as i64,
+        _ => return None,
+    })
+}
+
+/// Rewrite `Store` to a provably dead local as `Drop` (same stack effect,
+/// no memory traffic, and the push feeding it can fold away next round).
+fn eliminate_dead_stores(program: Program, stats: &mut OptStats) -> Program {
+    let cfg = Cfg::build(&program);
+    let Some(sol) = dataflow::solve(&LiveLocals, &program, &cfg, RANGE_VISIT_BUDGET) else {
+        return program;
+    };
+    let mut ops = program.ops().to_vec();
+    let mut changed = false;
+    for block in cfg.blocks() {
+        for (pc, op) in ops
+            .iter_mut()
+            .enumerate()
+            .take(block.end)
+            .skip(block.start)
+        {
+            if let Op::Store(n) = *op {
+                let live_after = sol.at_instruction(&LiveLocals, &program, &cfg, pc);
+                if live_after & (1 << n) == 0 {
+                    *op = Op::Drop;
+                    stats.dead_stores += 1;
+                    changed = true;
+                }
+            }
+        }
+    }
+    if !changed {
+        return program;
+    }
+    Program::new(ops).unwrap_or(program)
+}
+
+// ---------------------------------------------------------------------------
+// Translation validation
+// ---------------------------------------------------------------------------
+
+/// A deterministic recording host for differential execution: replies are
+/// a pure function of the call history, so two programs making identical
+/// syscall sequences observe identical replies — and any divergence in
+/// effects shows up as a trace mismatch.
+struct DiffHost {
+    calls: Vec<(u8, Vec<i64>)>,
+    state: u64,
+}
+
+impl DiffHost {
+    fn new(seed: u64) -> DiffHost {
+        DiffHost {
+            calls: Vec::new(),
+            state: splitmix(seed),
+        }
+    }
+}
+
+impl Host for DiffHost {
+    fn syscall(&mut self, id: u8, args: &[i64]) -> Result<i64, ()> {
+        self.calls.push((id, args.to_vec()));
+        let mut h = self.state ^ splitmix(id as u64);
+        for &a in args {
+            h = splitmix(h ^ a as u64);
+        }
+        self.state = h;
+        Ok((h >> 1) as i64)
+    }
+}
+
+/// SplitMix64 step — deterministic pseudo-randomness with no dependency.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Execution outcome with error *kinds* only: instruction addresses in
+/// errors legitimately differ between a program and its optimization.
+fn outcome(r: Result<i64, VmError>) -> Result<i64, u8> {
+    r.map_err(|e| match e {
+        VmError::OutOfFuel => 0,
+        VmError::StackUnderflow { .. } => 1,
+        VmError::StackOverflow { .. } => 2,
+        VmError::DivByZero { .. } => 3,
+        VmError::NoHalt => 4,
+        VmError::NoResult => 5,
+        VmError::HostError { .. } => 6,
+    })
+}
+
+/// Differentially execute `a` and `b` over boundary and pseudo-random
+/// argument vectors; `true` iff the observable outcome (result or error
+/// kind, plus the complete syscall trace) matches on every case.
+pub fn differentially_equal(a: &Program, b: &Program, max_arg: Option<u8>, seed: u64) -> bool {
+    let nargs = max_arg.map_or(0, |m| (m as usize + 1).min(8));
+    let boundary: [i64; 7] = [0, 1, -1, 7, 255, i64::MAX, i64::MIN];
+    let mut cases: Vec<Vec<i64>> = boundary.iter().map(|&v| vec![v; nargs]).collect();
+    let mut z = seed;
+    for _ in 0..12 {
+        let mut args = Vec::with_capacity(nargs);
+        for _ in 0..nargs {
+            z = splitmix(z);
+            args.push(z as i64);
+        }
+        cases.push(args);
+    }
+    cases.iter().enumerate().all(|(i, args)| {
+        let mut ha = DiffHost::new(seed ^ i as u64);
+        let mut hb = DiffHost::new(seed ^ i as u64);
+        let ra = outcome(Vm.run(a, args, &mut ha, FUEL_DEFAULT));
+        let rb = outcome(Vm.run(b, args, &mut hb, FUEL_DEFAULT));
+        ra == rb && ha.calls == hb.calls
+    })
+}
+
+/// Optimize a verified program under translation validation.
+///
+/// The returned [`Validated::program`] is the optimized program **only
+/// if** it re-verified under `config` and differentially matched the
+/// original; otherwise it is the input certificate unchanged. This is the
+/// only optimizer entry point hosts should call for untrusted proxies.
+pub fn optimize_verified(vp: &VerifiedProgram, config: &VerifyConfig) -> Validated {
+    let (optimized, stats) = optimize(vp.program());
+    if optimized == *vp.program() {
+        return Validated {
+            program: vp.clone(),
+            stats,
+            improved: false,
+        };
+    }
+    let Ok(ovp) = optimized.verify(config) else {
+        return Validated {
+            program: vp.clone(),
+            stats,
+            improved: false,
+        };
+    };
+    if !differentially_equal(vp.program(), &optimized, vp.max_arg(), 0xA50A_F10A) {
+        return Validated {
+            program: vp.clone(),
+            stats,
+            improved: false,
+        };
+    }
+    Validated {
+        program: ovp,
+        stats,
+        improved: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::verify::{SyscallPolicy, VerifyConfig};
+    use crate::vm::NullHost;
+
+    fn opt(src: &str) -> (Program, Program, OptStats) {
+        let p = assemble(src).unwrap();
+        let (o, stats) = optimize(&p);
+        (p, o, stats)
+    }
+
+    #[test]
+    fn constant_expressions_fold_to_a_push() {
+        let (p, o, stats) = opt(
+            "push 2
+             push 3
+             add
+             push 4
+             mul
+             neg
+             halt",
+        );
+        assert_eq!(o.ops(), &[Op::PushI(-20), Op::Halt]);
+        assert!(stats.folded > 0);
+        assert!(differentially_equal(&p, &o, None, 1));
+    }
+
+    #[test]
+    fn division_by_zero_is_never_folded_away() {
+        let (p, o, _) = opt(
+            "push 1
+             push 0
+             div
+             halt",
+        );
+        assert!(o.ops().contains(&Op::Div), "runtime error preserved");
+        assert!(differentially_equal(&p, &o, None, 2));
+        assert_eq!(
+            Vm.run(&o, &[], &mut NullHost, 100),
+            Err(VmError::DivByZero { at: 2 })
+        );
+    }
+
+    #[test]
+    fn constant_branches_prune_and_dead_code_disappears() {
+        // `push 1; jz dead` never jumps: both the condition and the dead
+        // arm vanish.
+        let (p, o, stats) = opt(
+            "push 1
+             jz dead
+             push 42
+             halt
+             dead:
+             push 7
+             halt",
+        );
+        assert_eq!(o.ops(), &[Op::PushI(42), Op::Halt]);
+        assert!(stats.branches_pruned >= 1);
+        assert!(differentially_equal(&p, &o, None, 3));
+    }
+
+    #[test]
+    fn range_information_prunes_impossible_branches() {
+        // arg clamped to ≥ 0 can never equal -1: the comparison is the
+        // constant 0 and the branch falls through.
+        let (p, o, stats) = opt(
+            "arg 0
+             push 0
+             max
+             push -1
+             eq
+             jnz impossible
+             push 1
+             halt
+             impossible:
+             push 2
+             halt",
+        );
+        assert!(stats.branches_pruned >= 1, "{stats:?}");
+        assert!(!o.ops().contains(&Op::Jnz(8)));
+        assert!(differentially_equal(&p, &o, Some(0), 4));
+    }
+
+    #[test]
+    fn dead_stores_become_drops_and_then_fold() {
+        let (p, o, stats) = opt(
+            "push 1
+             store 0
+             push 2
+             halt",
+        );
+        assert_eq!(o.ops(), &[Op::PushI(2), Op::Halt]);
+        assert!(stats.dead_stores >= 1);
+        assert!(differentially_equal(&p, &o, None, 5));
+    }
+
+    #[test]
+    fn jumps_thread_through_chains() {
+        let (p, o, stats) = opt(
+            "arg 0
+             jz a
+             push 1
+             halt
+             a:
+             jmp b
+             b:
+             push 2
+             halt",
+        );
+        assert!(stats.jumps_threaded >= 1, "{stats:?}");
+        assert!(differentially_equal(&p, &o, Some(0), 6));
+        // The chain block is gone or bypassed: jz lands on the final arm.
+        assert_eq!(Vm.run(&o, &[0], &mut NullHost, 100), Ok(2));
+        assert_eq!(Vm.run(&o, &[5], &mut NullHost, 100), Ok(1));
+    }
+
+    #[test]
+    fn loops_survive_optimization_untouched_semantically() {
+        let (p, o, _) = opt(
+            "push 0
+             store 0
+             arg 0
+             push 0
+             max
+             push 50
+             min
+             store 1
+             loop:
+             load 1
+             jz out
+             load 0
+             load 1
+             add
+             store 0
+             load 1
+             push 1
+             sub
+             store 1
+             jmp loop
+             out:
+             load 0
+             halt",
+        );
+        for n in [0i64, 1, 10, 50, 100, -3] {
+            assert_eq!(
+                Vm.run(&p, &[n], &mut NullHost, FUEL_DEFAULT),
+                Vm.run(&o, &[n], &mut NullHost, FUEL_DEFAULT),
+            );
+        }
+    }
+
+    #[test]
+    fn syscall_traces_are_preserved() {
+        let src = "arg 0
+             syscall 9 1
+             push 3
+             push 4
+             add
+             syscall 9 1
+             add
+             halt";
+        let p = assemble(src).unwrap();
+        let (o, _) = optimize(&p);
+        assert!(differentially_equal(&p, &o, Some(0), 7));
+        // The fold must not have removed or reordered the syscalls.
+        let count = |p: &Program| {
+            p.ops()
+                .iter()
+                .filter(|o| matches!(o, Op::Syscall(..)))
+                .count()
+        };
+        assert_eq!(count(&p), count(&o));
+    }
+
+    #[test]
+    fn optimize_verified_installs_only_validated_improvements() {
+        let p = assemble(
+            "arg 0
+             push 10
+             mul
+             push 2
+             push 3
+             add
+             add
+             push 0
+             max
+             push 255
+             min
+             halt",
+        )
+        .unwrap();
+        let config = VerifyConfig::default();
+        let vp = p.verify(&config).unwrap();
+        let v = optimize_verified(&vp, &config);
+        assert!(v.improved);
+        assert!(v.program.program().len() < p.len());
+        for a in [-10i64, 0, 3, 26, 9999] {
+            assert_eq!(
+                Vm.run_verified_default(&vp, &[a], &mut NullHost),
+                Vm.run_verified_default(&v.program, &[a], &mut NullHost),
+            );
+        }
+    }
+
+    #[test]
+    fn optimize_verified_keeps_syscall_policy() {
+        // The optimized program re-verifies under the *same* policy; a
+        // policy that forbids its syscalls still fails afterwards.
+        let p = assemble("push 1\nsyscall 9 1\nhalt").unwrap();
+        let allow = VerifyConfig::with_syscalls(SyscallPolicy::Allow(
+            crate::verify::SyscallSet::of(&[9]),
+        ));
+        let vp = p.verify(&allow).unwrap();
+        let v = optimize_verified(&vp, &allow);
+        assert!(v.program.syscalls().contains(9));
+    }
+
+    #[test]
+    fn already_minimal_programs_are_left_alone() {
+        let p = assemble("arg 0\nhalt").unwrap();
+        let vp = p.verify_default().unwrap();
+        let v = optimize_verified(&vp, &VerifyConfig::default());
+        assert!(!v.improved);
+        assert_eq!(v.program.program(), &p);
+    }
+}

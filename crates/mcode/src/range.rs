@@ -1,0 +1,1047 @@
+//! Constant/interval value-range analysis, and the loop bounds it proves.
+//!
+//! An instance of the [`crate::dataflow`] framework whose facts are, per
+//! program point, an **interval** for every operand-stack slot and every
+//! local. The lattice is the classic interval domain over `i64` (bounds
+//! tracked in `i128` so arithmetic can detect wraparound and fall back to
+//! ⊤ soundly — the VM's arithmetic wraps, so any overflowing transfer must
+//! forget, not clamp). Conditional branches refine: `Load k; Jz t` teaches
+//! the taken edge `k = 0` and the fall-through `k ≠ 0`, tracked through a
+//! provenance tag on stack slots that remembers which local a value was
+//! loaded from (invalidated when that local is re-stored).
+//!
+//! Two consumers:
+//!
+//! - the optimizer ([`crate::opt`]) reads per-point constants and branch
+//!   feasibility for folding and pruning;
+//! - the verifier ([`crate::verify`]) asks [`Ranges::loop_fuel_bound`] for
+//!   a **static fuel bound on programs with loops**, extending the
+//!   check-free unmetered fast path beyond loop-free code. A loop is
+//!   bounded when it matches the *counted-loop* shape: a header testing a
+//!   counter local against zero (`Load k; Jz exit` / `Load k; Jnz body`),
+//!   exactly one `Store k` in the loop whose stored value is provably
+//!   `k − 1`, every in-loop cycle passing through both, and the counter's
+//!   interval at the header proven `[lo, hi]` with `0 ≤ lo` and finite
+//!   `hi` — then the header runs at most `hi + 1` times and the whole
+//!   program retires a computable number of instructions. Anything fancier
+//!   (nested loops, non-unit strides, increasing counters) soundly falls
+//!   back to `None`: the interpreter meters fuel as before. Unsoundness
+//!   here would hand hostile proxies unmetered execution, so every rule
+//!   errs toward "no bound".
+
+use crate::cfg::Cfg;
+use crate::dataflow::{self, Analysis, Direction, Edge, Solution};
+use crate::isa::{Op, MAX_LOCALS};
+use crate::program::Program;
+
+/// Number of changed joins at one block entry before bounds are widened to
+/// the full `i64` range (guaranteeing termination of the fixpoint).
+const WIDEN_AFTER: u32 = 16;
+
+/// Default instruction-visit budget for standalone range analysis.
+pub const RANGE_VISIT_BUDGET: u64 = 1 << 20;
+
+/// An inclusive interval of `i64` values; bounds held as `i128` so
+/// transfer functions can detect wraparound exactly. Invariant:
+/// `i64::MIN ≤ lo ≤ hi ≤ i64::MAX`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interval {
+    /// Least value.
+    pub lo: i128,
+    /// Greatest value.
+    pub hi: i128,
+}
+
+const I64MIN: i128 = i64::MIN as i128;
+const I64MAX: i128 = i64::MAX as i128;
+
+impl Interval {
+    /// The full `i64` range — the ⊤ of the value lattice.
+    pub fn top() -> Interval {
+        Interval {
+            lo: I64MIN,
+            hi: I64MAX,
+        }
+    }
+
+    /// A single value.
+    pub fn constant(v: i64) -> Interval {
+        Interval {
+            lo: v as i128,
+            hi: v as i128,
+        }
+    }
+
+    /// Both endpoints, clamped into the `i64` range (soundly widened to ⊤
+    /// by [`Interval::of`] when out of range).
+    pub fn of(lo: i128, hi: i128) -> Interval {
+        if lo < I64MIN || hi > I64MAX || lo > hi {
+            Interval::top()
+        } else {
+            Interval { lo, hi }
+        }
+    }
+
+    /// The single value, when the interval is a point.
+    pub fn as_const(&self) -> Option<i64> {
+        (self.lo == self.hi).then_some(self.lo as i64)
+    }
+
+    /// Whether 0 is a possible value.
+    pub fn contains_zero(&self) -> bool {
+        self.lo <= 0 && 0 <= self.hi
+    }
+
+    /// Interval hull (the join).
+    pub fn hull(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Intersection; `None` when empty (an infeasible path).
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then_some(Interval { lo, hi })
+    }
+
+    /// Remove 0 when it is an endpoint (all the precision `≠ 0` buys an
+    /// interval); `None` when the interval was exactly `[0, 0]`.
+    fn refine_nonzero(&self) -> Option<Interval> {
+        match (self.lo, self.hi) {
+            (0, 0) => None,
+            (0, hi) => Some(Interval { lo: 1, hi }),
+            (lo, 0) => Some(Interval { lo, hi: -1 }),
+            _ => Some(*self),
+        }
+    }
+
+    fn add(&self, o: &Interval) -> Interval {
+        Interval::of(self.lo + o.lo, self.hi + o.hi)
+    }
+
+    fn sub(&self, o: &Interval) -> Interval {
+        Interval::of(self.lo - o.hi, self.hi - o.lo)
+    }
+
+    fn mul(&self, o: &Interval) -> Interval {
+        let c = [
+            self.lo * o.lo,
+            self.lo * o.hi,
+            self.hi * o.lo,
+            self.hi * o.hi,
+        ];
+        Interval::of(*c.iter().min().unwrap(), *c.iter().max().unwrap())
+    }
+
+    fn neg(&self) -> Interval {
+        Interval::of(-self.hi, -self.lo)
+    }
+
+    fn min_op(&self, o: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(o.lo),
+            hi: self.hi.min(o.hi),
+        }
+    }
+
+    fn max_op(&self, o: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.max(o.lo),
+            hi: self.hi.max(o.hi),
+        }
+    }
+
+    /// `a / b` with the VM's truncating semantics: precise only for a
+    /// constant positive divisor (where truncation is monotone).
+    fn div(&self, o: &Interval) -> Interval {
+        match o.as_const() {
+            Some(c) if c > 0 => Interval::of(self.lo / c as i128, self.hi / c as i128),
+            _ => Interval::top(),
+        }
+    }
+
+    /// `a % b`: bounded by the divisor's magnitude when it is a nonzero
+    /// constant, with the dividend's sign when that is known.
+    fn rem(&self, o: &Interval) -> Interval {
+        match o.as_const() {
+            Some(c) if c != 0 => {
+                let m = (c as i128).abs() - 1;
+                if self.lo >= 0 {
+                    Interval::of(0, m)
+                } else if self.hi <= 0 {
+                    Interval::of(-m, 0)
+                } else {
+                    Interval::of(-m, m)
+                }
+            }
+            _ => Interval::top(),
+        }
+    }
+
+    fn eq_op(&self, o: &Interval) -> Interval {
+        match (self.as_const(), o.as_const()) {
+            (Some(a), Some(b)) => Interval::constant((a == b) as i64),
+            _ if self.intersect(o).is_none() => Interval::constant(0),
+            _ => Interval::of(0, 1),
+        }
+    }
+
+    fn lt_op(&self, o: &Interval) -> Interval {
+        if self.hi < o.lo {
+            Interval::constant(1)
+        } else if self.lo >= o.hi {
+            Interval::constant(0)
+        } else {
+            Interval::of(0, 1)
+        }
+    }
+
+    fn gt_op(&self, o: &Interval) -> Interval {
+        o.lt_op(self)
+    }
+
+    /// Bitwise ops: precise on constants, `[0, min(hi)]`-style bounds for
+    /// provably non-negative `And`, ⊤ otherwise.
+    fn and_op(&self, o: &Interval) -> Interval {
+        match (self.as_const(), o.as_const()) {
+            (Some(a), Some(b)) => Interval::constant(a & b),
+            _ if self.lo >= 0 && o.lo >= 0 => Interval::of(0, self.hi.min(o.hi)),
+            _ => Interval::top(),
+        }
+    }
+
+    fn or_op(&self, o: &Interval) -> Interval {
+        match (self.as_const(), o.as_const()) {
+            (Some(a), Some(b)) => Interval::constant(a | b),
+            _ => Interval::top(),
+        }
+    }
+
+    fn xor_op(&self, o: &Interval) -> Interval {
+        match (self.as_const(), o.as_const()) {
+            (Some(a), Some(b)) => Interval::constant(a ^ b),
+            _ => Interval::top(),
+        }
+    }
+}
+
+/// One abstract stack slot: its interval plus, when the value is an
+/// unmodified copy of a local (pushed by `Load`), which local — the
+/// provenance that lets a branch on the copy refine the local itself.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Slot {
+    /// Possible values.
+    pub iv: Interval,
+    /// `Some(k)` when this is a live copy of local `k`.
+    pub src: Option<u8>,
+}
+
+impl Slot {
+    fn new(iv: Interval) -> Slot {
+        Slot { iv, src: None }
+    }
+}
+
+/// The abstract state at a program point.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RangeFact {
+    /// ⊥ marker: `false` means "no execution reaches here yet".
+    pub reachable: bool,
+    /// One slot per operand-stack entry, bottom of stack first.
+    pub stack: Vec<Slot>,
+    /// Interval of each local.
+    pub locals: [Interval; MAX_LOCALS as usize],
+    /// The slot popped by the most recent conditional branch, kept so the
+    /// edge refinement can see what was tested.
+    branch_cond: Option<Slot>,
+    /// Changed-join counter driving widening at this point.
+    joins: u32,
+}
+
+impl RangeFact {
+    fn bottom() -> RangeFact {
+        RangeFact {
+            reachable: false,
+            stack: Vec::new(),
+            locals: [Interval::top(); MAX_LOCALS as usize],
+            branch_cond: None,
+            joins: 0,
+        }
+    }
+
+    fn entry() -> RangeFact {
+        RangeFact {
+            reachable: true,
+            stack: Vec::new(),
+            // Locals start zeroed in the VM.
+            locals: [Interval::constant(0); MAX_LOCALS as usize],
+            branch_cond: None,
+            joins: 0,
+        }
+    }
+
+    fn push(&mut self, s: Slot) {
+        self.stack.push(s);
+    }
+
+    /// Pop a slot; ⊤ when the abstract stack is unexpectedly shallow (the
+    /// verifier rules that out for certified programs; stay total anyway).
+    fn pop(&mut self) -> Slot {
+        self.stack.pop().unwrap_or(Slot::new(Interval::top()))
+    }
+
+    /// Drop provenance tags referring to local `k` (it is being re-stored,
+    /// so stack copies stop tracking it).
+    fn invalidate_src(&mut self, k: u8) {
+        for s in &mut self.stack {
+            if s.src == Some(k) {
+                s.src = None;
+            }
+        }
+    }
+}
+
+/// The range analysis (a [`dataflow::Analysis`] instance).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RangeAnalysis;
+
+impl Analysis for RangeAnalysis {
+    type Fact = RangeFact;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary(&self) -> RangeFact {
+        RangeFact::entry()
+    }
+
+    fn bottom(&self) -> RangeFact {
+        RangeFact::bottom()
+    }
+
+    fn join(&self, fact: &mut RangeFact, other: &RangeFact) -> bool {
+        if !other.reachable {
+            return false;
+        }
+        if !fact.reachable {
+            *fact = other.clone();
+            fact.joins = 0;
+            return true;
+        }
+        // Widening: past this many changed joins at one point, any bound
+        // *still moving* jumps straight to the rim (per bound, so a stable
+        // loop counter keeps its range while an unbounded accumulator next
+        // to it goes to ±∞). Guarantees termination: pre-widening changes
+        // are counted, post-widening ones each pin a bound permanently.
+        let widen = fact.joins >= WIDEN_AFTER;
+        let widened_hull = |cur: Interval, hull: Interval| -> Interval {
+            if !widen {
+                return hull;
+            }
+            Interval {
+                lo: if hull.lo < cur.lo { I64MIN } else { cur.lo },
+                hi: if hull.hi > cur.hi { I64MAX } else { cur.hi },
+            }
+        };
+        let mut changed = false;
+        // Verified programs join at equal heights; degrade to the shorter
+        // prefix (from the top) if a caller runs this on unverified code.
+        if fact.stack.len() != other.stack.len() {
+            let keep = fact.stack.len().min(other.stack.len());
+            let cut = fact.stack.len() - keep;
+            fact.stack.drain(..cut);
+            changed = true;
+        }
+        let skip = other.stack.len() - fact.stack.len();
+        for (s, o) in fact.stack.iter_mut().zip(other.stack.iter().skip(skip)) {
+            let hull = s.iv.hull(&o.iv);
+            if hull != s.iv {
+                s.iv = widened_hull(s.iv, hull);
+                changed = true;
+            }
+            if s.src != o.src && s.src.is_some() {
+                s.src = None;
+                changed = true;
+            }
+        }
+        for (l, o) in fact.locals.iter_mut().zip(other.locals.iter()) {
+            let hull = l.hull(o);
+            if hull != *l {
+                *l = widened_hull(*l, hull);
+                changed = true;
+            }
+        }
+        if changed {
+            fact.joins += 1;
+        }
+        changed
+    }
+
+    fn transfer(&self, _pc: usize, op: Op, f: &mut RangeFact) {
+        if !f.reachable {
+            return;
+        }
+        macro_rules! binop {
+            ($m:ident) => {{
+                let b = f.pop();
+                let a = f.pop();
+                f.push(Slot::new(a.iv.$m(&b.iv)));
+            }};
+        }
+        match op {
+            Op::PushI(v) => f.push(Slot::new(Interval::constant(v))),
+            Op::Dup => {
+                let top = *f.stack.last().unwrap_or(&Slot::new(Interval::top()));
+                f.push(top);
+            }
+            Op::Drop => {
+                f.pop();
+            }
+            Op::Swap => {
+                let b = f.pop();
+                let a = f.pop();
+                f.push(b);
+                f.push(a);
+            }
+            Op::Over => {
+                let n = f.stack.len();
+                let v = if n >= 2 {
+                    f.stack[n - 2]
+                } else {
+                    Slot::new(Interval::top())
+                };
+                f.push(v);
+            }
+            Op::Add => binop!(add),
+            Op::Sub => binop!(sub),
+            Op::Mul => binop!(mul),
+            Op::Div => binop!(div),
+            Op::Rem => binop!(rem),
+            Op::Neg => {
+                let a = f.pop();
+                f.push(Slot::new(a.iv.neg()));
+            }
+            Op::Min => binop!(min_op),
+            Op::Max => binop!(max_op),
+            Op::And => binop!(and_op),
+            Op::Or => binop!(or_op),
+            Op::Xor => binop!(xor_op),
+            Op::Eq => binop!(eq_op),
+            Op::Lt => binop!(lt_op),
+            Op::Gt => binop!(gt_op),
+            Op::Jmp(_) => {}
+            Op::Jz(_) | Op::Jnz(_) => {
+                let c = f.pop();
+                f.branch_cond = Some(c);
+            }
+            Op::Arg(_) => f.push(Slot::new(Interval::top())),
+            Op::Store(n) => {
+                let v = f.pop();
+                f.locals[n as usize] = v.iv;
+                f.invalidate_src(n);
+            }
+            Op::Load(n) => f.push(Slot {
+                iv: f.locals[n as usize],
+                src: Some(n),
+            }),
+            Op::Syscall(_, argc) => {
+                for _ in 0..argc {
+                    f.pop();
+                }
+                f.push(Slot::new(Interval::top()));
+            }
+            Op::Halt => {}
+        }
+    }
+
+    fn refine_edge(&self, _pc: usize, op: Op, edge: Edge, f: &mut RangeFact) {
+        if !f.reachable {
+            return;
+        }
+        let Some(cond) = f.branch_cond else { return };
+        // Which edge implies "condition was zero"?
+        let zero_edge = match op {
+            Op::Jz(_) => Edge::Taken,
+            Op::Jnz(_) => Edge::Fallthrough,
+            _ => return,
+        };
+        let Some(k) = cond.src else { return };
+        let k = k as usize;
+        if edge == zero_edge {
+            match f.locals[k].intersect(&Interval::constant(0)) {
+                Some(iv) => f.locals[k] = iv,
+                // The zero edge is infeasible: no execution reaches it.
+                None => f.reachable = false,
+            }
+        } else {
+            match f.locals[k].refine_nonzero() {
+                Some(iv) => f.locals[k] = iv,
+                None => f.reachable = false,
+            }
+        }
+    }
+}
+
+/// The solved analysis plus everything needed to answer per-point queries.
+pub struct Ranges {
+    program: Program,
+    solution: Solution<RangeFact>,
+}
+
+impl Ranges {
+    /// Run the analysis. `None` when the fixpoint exceeded `max_visits`
+    /// instruction transfers (hostile or pathological input — callers must
+    /// treat this as "no information", never as an error).
+    pub fn analyze(program: &Program, cfg: &Cfg, max_visits: u64) -> Option<Ranges> {
+        let solution = dataflow::solve(&RangeAnalysis, program, cfg, max_visits)?;
+        Some(Ranges {
+            program: program.clone(),
+            solution,
+        })
+    }
+
+    /// The abstract state holding immediately before `pc` executes.
+    pub fn before(&self, cfg: &Cfg, pc: usize) -> RangeFact {
+        self.solution
+            .at_instruction(&RangeAnalysis, &self.program, cfg, pc)
+    }
+
+    /// Interval of the operand-stack top just before `pc` (the branch
+    /// condition for `Jz`/`Jnz` at `pc`); `None` when `pc` is unreachable
+    /// or the abstract stack is empty there.
+    pub fn stack_top_before(&self, cfg: &Cfg, pc: usize) -> Option<Interval> {
+        let f = self.before(cfg, pc);
+        if !f.reachable {
+            return None;
+        }
+        f.stack.last().map(|s| s.iv)
+    }
+
+    /// A static bound on retired instructions for a program **with
+    /// loops**, when every reachable loop matches the counted-loop shape
+    /// (see the module docs). `None` whenever any reachable loop cannot be
+    /// bounded — the sound default.
+    pub fn loop_fuel_bound(&self, cfg: &Cfg) -> Option<u64> {
+        loop_fuel_bound(&self.program, cfg, &self.solution)
+    }
+}
+
+/// Per-SCC instruction weight for the condensation longest-path: how many
+/// instructions one execution can retire inside the component.
+fn scc_weight(
+    program: &Program,
+    cfg: &Cfg,
+    solution: &Solution<RangeFact>,
+    scc: &[usize],
+) -> Option<u64> {
+    let blocks = cfg.blocks();
+    let cyclic = scc.len() > 1 || cfg.has_self_loop(scc[0]);
+    let scc_len: u64 = scc.iter().map(|&b| blocks[b].len() as u64).sum();
+    if !cyclic {
+        return Some(scc_len);
+    }
+    let in_scc = |b: usize| scc.binary_search(&b).is_ok();
+
+    // Unique loop header: the only block entered from outside the SCC
+    // (or the program entry).
+    let preds = cfg.predecessors();
+    let mut headers = scc.iter().copied().filter(|&b| {
+        b == 0 || preds[b].iter().any(|&p| !in_scc(p))
+    });
+    let header = headers.next()?;
+    if headers.next().is_some() {
+        return None; // multi-entry region: no bound
+    }
+
+    // Every in-SCC cycle must pass through the header: with the header
+    // removed, the rest of the SCC must be acyclic (otherwise an iteration
+    // could retire unboundedly many instructions between header visits).
+    if !acyclic_without(cfg, scc, &[header]) {
+        return None;
+    }
+
+    // Header shape: `Load k; Jz exit` (exit outside the SCC) or
+    // `Load k; Jnz body` (body inside, fall-through outside).
+    let code = program.ops();
+    let hblock = &blocks[header];
+    if hblock.len() != 2 {
+        return None;
+    }
+    let k = match code[hblock.start] {
+        Op::Load(k) => k,
+        _ => return None,
+    };
+    match code[hblock.start + 1] {
+        Op::Jz(t) => {
+            if in_scc(cfg.block_of(t as usize)) {
+                return None; // exit edge must leave the loop
+            }
+        }
+        Op::Jnz(t) => {
+            if !in_scc(cfg.block_of(t as usize)) {
+                return None; // continue edge must stay in the loop
+            }
+            let fall = hblock.start + 2;
+            if fall >= code.len() || in_scc(cfg.block_of(fall)) {
+                return None; // fall-through must be the exit
+            }
+        }
+        _ => return None,
+    }
+
+    // Exactly one Store(k) in the SCC, and its stored value must be
+    // provably the current k minus one.
+    let mut store_block = None;
+    for &b in scc {
+        for pc in blocks[b].start..blocks[b].end {
+            if code[pc] == Op::Store(k) {
+                if store_block.is_some() {
+                    return None;
+                }
+                store_block = Some(b);
+                if !stores_k_minus_one(code, blocks[b].start, pc, k) {
+                    return None;
+                }
+            }
+        }
+    }
+    let store_block = store_block?;
+
+    // Every iteration must execute the decrement: no header→header cycle
+    // may avoid the store block.
+    if !acyclic_without(cfg, scc, &[header, store_block]) {
+        return None;
+    }
+
+    // Counter interval at the header. 0 ≤ lo keeps unit decrements from
+    // wrapping past zero; a finite hi caps the trip count.
+    let entry = solution.block_entry(header);
+    if !entry.reachable {
+        return Some(scc_len); // loop never entered; charge one pass
+    }
+    let iv = entry.locals[k as usize];
+    if iv.lo < 0 {
+        return None;
+    }
+    let trips = u64::try_from(iv.hi).ok()?;
+    // Header visits ≤ trips + 1; each visit retires at most one acyclic
+    // traversal of the SCC (≤ scc_len instructions).
+    trips.checked_add(1)?.checked_mul(scc_len)
+}
+
+/// Is the subgraph induced by `scc` minus the `removed` blocks acyclic?
+fn acyclic_without(cfg: &Cfg, scc: &[usize], removed: &[usize]) -> bool {
+    let keep: Vec<usize> = scc
+        .iter()
+        .copied()
+        .filter(|b| !removed.contains(b))
+        .collect();
+    if keep.is_empty() {
+        return true;
+    }
+    let in_keep = |b: usize| keep.binary_search(&b).is_ok();
+    // Kahn's algorithm over the induced subgraph.
+    let mut indeg: Vec<usize> = keep
+        .iter()
+        .map(|&b| {
+            cfg.predecessors()[b]
+                .iter()
+                .filter(|&&p| in_keep(p))
+                .count()
+        })
+        .collect();
+    let mut queue: Vec<usize> = (0..keep.len()).filter(|&i| indeg[i] == 0).collect();
+    let mut seen = 0;
+    while let Some(i) = queue.pop() {
+        seen += 1;
+        for &s in &cfg.blocks()[keep[i]].successors {
+            if let Ok(j) = keep.binary_search(&s) {
+                indeg[j] -= 1;
+                if indeg[j] == 0 {
+                    queue.push(j);
+                }
+            }
+        }
+    }
+    seen == keep.len()
+}
+
+/// Does the instruction sequence `block_start..store_pc` leave exactly
+/// `k − 1` on top of the stack at the `Store k`? Decided by a symbolic
+/// scan of the block prefix over the tiny domain
+/// `{⊤, Const(c), Loc(slot, delta)}`; any value whose computation began
+/// before this block is ⊤ (the pattern must be block-local to be trusted).
+fn stores_k_minus_one(code: &[Op], block_start: usize, store_pc: usize, k: u8) -> bool {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Sym {
+        Top,
+        Const(i64),
+        Loc(u8, i64),
+    }
+    fn pop(stack: &mut Vec<Sym>) -> Sym {
+        stack.pop().unwrap_or(Sym::Top)
+    }
+    let mut stack: Vec<Sym> = Vec::new();
+    for &op in code.iter().take(store_pc).skip(block_start) {
+        match op {
+            Op::PushI(v) => stack.push(Sym::Const(v)),
+            Op::Load(n) => stack.push(Sym::Loc(n, 0)),
+            Op::Arg(_) | Op::Syscall(..) => {
+                if let Op::Syscall(_, argc) = op {
+                    for _ in 0..argc {
+                        pop(&mut stack);
+                    }
+                }
+                stack.push(Sym::Top);
+            }
+            Op::Dup => {
+                let t = *stack.last().unwrap_or(&Sym::Top);
+                stack.push(t);
+            }
+            Op::Drop => {
+                pop(&mut stack);
+            }
+            Op::Swap => {
+                let b = pop(&mut stack);
+                let a = pop(&mut stack);
+                stack.push(b);
+                stack.push(a);
+            }
+            Op::Over => {
+                let n = stack.len();
+                let v = if n >= 2 { stack[n - 2] } else { Sym::Top };
+                stack.push(v);
+            }
+            Op::Add | Op::Sub => {
+                let b = pop(&mut stack);
+                let a = pop(&mut stack);
+                let sign = if op == Op::Add { 1i64 } else { -1 };
+                let r = match (a, b) {
+                    (Sym::Const(x), Sym::Const(y)) => y
+                        .checked_mul(sign)
+                        .and_then(|y| x.checked_add(y))
+                        .map_or(Sym::Top, Sym::Const),
+                    (Sym::Loc(n, d), Sym::Const(y)) => y
+                        .checked_mul(sign)
+                        .and_then(|y| d.checked_add(y))
+                        .map_or(Sym::Top, |d| Sym::Loc(n, d)),
+                    (Sym::Const(x), Sym::Loc(n, d)) if op == Op::Add => {
+                        x.checked_add(d).map_or(Sym::Top, |d| Sym::Loc(n, d))
+                    }
+                    _ => Sym::Top,
+                };
+                stack.push(r);
+            }
+            Op::Store(n) => {
+                let _ = pop(&mut stack);
+                // A store to the counter before the tracked one shouldn't
+                // happen (single-store rule), but a store to any local
+                // invalidates nothing in this domain except copies of it:
+                for s in &mut stack {
+                    if matches!(s, Sym::Loc(m, _) if *m == n) {
+                        *s = Sym::Top;
+                    }
+                }
+            }
+            _ => {
+                // Any other op produces an untracked value; model its
+                // stack effect coarsely as ⊤ results.
+                let (pops, pushes) = coarse_effect(op);
+                for _ in 0..pops {
+                    pop(&mut stack);
+                }
+                for _ in 0..pushes {
+                    stack.push(Sym::Top);
+                }
+            }
+        }
+    }
+    stack.last() == Some(&Sym::Loc(k, -1))
+}
+
+/// Coarse stack effect for ops the symbolic scan does not model.
+fn coarse_effect(op: Op) -> (u32, u32) {
+    match op {
+        Op::Mul | Op::Div | Op::Rem | Op::Min | Op::Max | Op::And | Op::Or | Op::Xor
+        | Op::Eq | Op::Lt | Op::Gt => (2, 1),
+        Op::Neg => (1, 1),
+        Op::Jz(_) | Op::Jnz(_) => (1, 0),
+        _ => (0, 0),
+    }
+}
+
+/// Longest path over the SCC condensation, each component weighted by the
+/// most instructions one execution can retire inside it.
+fn loop_fuel_bound(
+    program: &Program,
+    cfg: &Cfg,
+    solution: &Solution<RangeFact>,
+) -> Option<u64> {
+    let sccs = cfg.sccs();
+    if sccs.is_empty() {
+        return None;
+    }
+    let mut weight: Vec<u64> = Vec::with_capacity(sccs.len());
+    for scc in &sccs {
+        weight.push(scc_weight(program, cfg, solution, scc)?);
+    }
+    // Map block → component index.
+    let mut comp_of = vec![usize::MAX; cfg.blocks().len()];
+    for (i, scc) in sccs.iter().enumerate() {
+        for &b in scc {
+            comp_of[b] = i;
+        }
+    }
+    // Tarjan emits components in reverse topological order; iterate them
+    // reversed for a forward longest-path sweep from the entry component.
+    let entry_comp = comp_of[0];
+    let mut dist: Vec<Option<u64>> = vec![None; sccs.len()];
+    dist[entry_comp] = Some(weight[entry_comp]);
+    let mut best: u64 = weight[entry_comp];
+    for i in (0..sccs.len()).rev() {
+        let Some(d) = dist[i] else { continue };
+        best = best.max(d);
+        for &b in &sccs[i] {
+            for &s in &cfg.blocks()[b].successors {
+                let j = comp_of[s];
+                if j == i || j == usize::MAX {
+                    continue;
+                }
+                let cand = d.checked_add(weight[j])?;
+                if dist[j].is_none_or(|cur| cand > cur) {
+                    dist[j] = Some(cand);
+                }
+            }
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn ranges(src: &str) -> (Program, Cfg, Ranges) {
+        let p = assemble(src).unwrap();
+        let cfg = Cfg::build(&p);
+        let r = Ranges::analyze(&p, &cfg, RANGE_VISIT_BUDGET).expect("budget ample");
+        (p, cfg, r)
+    }
+
+    #[test]
+    fn constants_propagate_through_arithmetic() {
+        let (p, cfg, r) = ranges(
+            "push 6
+             push 7
+             mul
+             push 2
+             add
+             halt",
+        );
+        // Before `halt` the stack top is the constant 44.
+        let top = r.stack_top_before(&cfg, p.len() - 1).unwrap();
+        assert_eq!(top.as_const(), Some(44));
+    }
+
+    #[test]
+    fn clamping_bounds_an_argument() {
+        let (p, cfg, r) = ranges(
+            "arg 0
+             push 0
+             max
+             push 100
+             min
+             halt",
+        );
+        let top = r.stack_top_before(&cfg, p.len() - 1).unwrap();
+        assert_eq!((top.lo, top.hi), (0, 100));
+    }
+
+    #[test]
+    fn wrapping_addition_falls_back_to_top() {
+        let (p, cfg, r) = ranges(&format!(
+            "push {}
+             push 1
+             add
+             halt",
+            i64::MAX
+        ));
+        let top = r.stack_top_before(&cfg, p.len() - 1).unwrap();
+        assert_eq!(top, Interval::top());
+    }
+
+    #[test]
+    fn branch_refinement_narrows_a_local() {
+        // After `jz done` falls through, local 0 is nonzero; combined with
+        // the clamp its interval is [1, 5].
+        let (_p, cfg, r) = ranges(
+            "arg 0
+             push 0
+             max
+             push 5
+             min
+             store 0
+             load 0
+             jz done
+             load 0
+             halt
+             done:
+             push 0
+             halt",
+        );
+        // pc 8 is the `load 0` on the nonzero arm; pc 9 its halt.
+        let f = r.before(&cfg, 8);
+        assert!(f.reachable);
+        assert_eq!((f.locals[0].lo, f.locals[0].hi), (1, 5));
+        // On the zero arm the local is exactly zero.
+        let f = r.before(&cfg, 10);
+        assert_eq!(f.locals[0].as_const(), Some(0));
+    }
+
+    #[test]
+    fn counted_loop_gets_a_fuel_bound() {
+        // Classic counted loop with a clamped trip count.
+        let (_p, cfg, r) = ranges(
+            "push 0
+             store 0
+             arg 0
+             push 0
+             max
+             push 100
+             min
+             store 1
+             loop:
+             load 1
+             jz out
+             load 0
+             load 1
+             add
+             store 0
+             load 1
+             push 1
+             sub
+             store 1
+             jmp loop
+             out:
+             load 0
+             halt",
+        );
+        let bound = r.loop_fuel_bound(&cfg).expect("counted loop is bounded");
+        // 101 header visits × loop instructions, plus straight-line code:
+        // generous but finite and sound.
+        assert!(bound >= 100, "bound {bound} must cover all trips");
+        assert!(bound < 10_000, "bound {bound} should be proportionate");
+    }
+
+    #[test]
+    fn unclamped_counter_has_no_bound() {
+        let (_p, cfg, r) = ranges(
+            "push 0
+             store 0
+             arg 0
+             store 1
+             loop:
+             load 1
+             jz out
+             load 1
+             push 1
+             sub
+             store 1
+             jmp loop
+             out:
+             load 0
+             halt",
+        );
+        assert_eq!(r.loop_fuel_bound(&cfg), None, "arg is unbounded");
+    }
+
+    #[test]
+    fn non_unit_stride_has_no_bound() {
+        // Decrement by 2 can step over zero and wrap: refuse.
+        let (_p, cfg, r) = ranges(
+            "push 10
+             store 1
+             loop:
+             load 1
+             jz out
+             load 1
+             push 2
+             sub
+             store 1
+             jmp loop
+             out:
+             push 0
+             halt",
+        );
+        assert_eq!(r.loop_fuel_bound(&cfg), None);
+    }
+
+    #[test]
+    fn growing_counter_widens_and_refuses() {
+        // i += 1 forever (jnz back) — widening must terminate the
+        // analysis, and no bound may be claimed.
+        let (_p, cfg, r) = ranges(
+            "push 1
+             store 1
+             loop:
+             load 1
+             jz out
+             load 1
+             push 1
+             add
+             store 1
+             jmp loop
+             out:
+             push 0
+             halt",
+        );
+        assert_eq!(r.loop_fuel_bound(&cfg), None);
+    }
+
+    #[test]
+    fn jnz_form_of_counted_loop_is_bounded() {
+        let (_p, cfg, r) = ranges(
+            "push 7
+             store 1
+             loop:
+             load 1
+             jnz body
+             jmp out
+             body:
+             load 1
+             push 1
+             sub
+             store 1
+             jmp loop
+             out:
+             push 0
+             halt",
+        );
+        let bound = r.loop_fuel_bound(&cfg).expect("jnz counted loop bounded");
+        assert!(bound >= 7);
+    }
+
+    #[test]
+    fn infeasible_branch_is_unreachable() {
+        // Local 0 is the constant 0, so the jnz fall-through is the only
+        // feasible path; the taken arm's fact is unreachable.
+        let (_p, cfg, r) = ranges(
+            "push 0
+             store 0
+             load 0
+             jnz taken
+             push 1
+             halt
+             taken:
+             push 2
+             halt",
+        );
+        assert!(r.before(&cfg, 4).reachable, "fall-through feasible");
+        assert!(!r.before(&cfg, 6).reachable, "taken arm infeasible");
+    }
+}

@@ -114,7 +114,24 @@ pub struct VerifyConfig {
     /// default — dead code is inert, but a host may treat it as a smell
     /// in untrusted blobs.
     pub reject_dead_code: bool,
+    /// Instruction-visit budget for the verifier's own fixpoint (and the
+    /// optional range analysis). Verification of hostile input must not
+    /// itself be a denial-of-service vector: past this many abstract
+    /// transfers the program is rejected with
+    /// [`VerifyError::AnalysisBudget`]. The default is far above anything
+    /// a legitimate proxy needs.
+    pub max_visits: u64,
+    /// Run the interval/range analysis ([`crate::range`]) on cyclic
+    /// programs to prove a static fuel bound for counted loops, extending
+    /// the unmetered fast path beyond loop-free code. On by default; turn
+    /// off to keep verification strictly linear-ish for huge blobs.
+    pub infer_loop_bounds: bool,
 }
+
+/// Default instruction-visit budget: generous for real proxies (a proxy
+/// is at most 65 535 instructions, and the height lattice converges in a
+/// handful of passes), small enough to cut off adversarial churn fast.
+pub const DEFAULT_MAX_VISITS: u64 = 1 << 22;
 
 impl Default for VerifyConfig {
     fn default() -> VerifyConfig {
@@ -122,6 +139,8 @@ impl Default for VerifyConfig {
             max_stack: STACK_MAX,
             syscalls: SyscallPolicy::DenyAll,
             reject_dead_code: false,
+            max_visits: DEFAULT_MAX_VISITS,
+            infer_loop_bounds: true,
         }
     }
 }
@@ -197,6 +216,13 @@ pub enum VerifyError {
         /// First unreachable instruction.
         at: usize,
     },
+    /// The verifier's fixpoint exceeded [`VerifyConfig::max_visits`]
+    /// abstract instruction transfers — the program is rejected rather
+    /// than letting hostile input stall verification itself.
+    AnalysisBudget {
+        /// The configured budget that was exhausted.
+        limit: u64,
+    },
 }
 
 /// A program plus the verifier's certificate about it.
@@ -237,8 +263,10 @@ impl VerifiedProgram {
         self.max_arg
     }
 
-    /// Static bound on retired instructions, for loop-free programs.
-    /// `None` when control flow contains a cycle (fuel metering required).
+    /// Static bound on retired instructions: the CFG longest path for
+    /// loop-free programs, or a range-analysis-proven counted-loop bound
+    /// (see [`crate::range`]) when [`VerifyConfig::infer_loop_bounds`] is
+    /// on. `None` when no static bound exists — fuel metering required.
     pub fn fuel_bound(&self) -> Option<u64> {
         self.fuel_bound
     }
@@ -320,8 +348,15 @@ impl Program {
         let mut max_depth: u32 = 0;
         let mut syscalls = SyscallSet::empty();
         let mut max_arg: Option<u8> = None;
+        let mut visits: u64 = 0;
 
         while let Some(pc) = worklist.pop() {
+            visits += 1;
+            if visits > config.max_visits {
+                return Err(VerifyError::AnalysisBudget {
+                    limit: config.max_visits,
+                });
+            }
             let s = states[pc].expect("worklist entries always have state");
             let op = code[pc];
             let (pops, pushes) = stack_effect(op);
@@ -421,12 +456,25 @@ impl Program {
             }
         }
 
+        // Fuel bound: the CFG longest path covers loop-free programs; for
+        // cyclic ones, optionally ask the range analysis to prove a
+        // counted-loop bound. Failure there is never an error — it just
+        // means the interpreter meters fuel as before.
+        let fuel_bound = cfg.max_executed_instructions().or_else(|| {
+            if config.infer_loop_bounds && cfg.is_cyclic() {
+                crate::range::Ranges::analyze(self, &cfg, config.max_visits)
+                    .and_then(|r| r.loop_fuel_bound(&cfg))
+            } else {
+                None
+            }
+        });
+
         Ok(VerifiedProgram {
             program: self.clone(),
             max_stack_depth: max_depth as usize,
             syscalls,
             max_arg,
-            fuel_bound: cfg.max_executed_instructions(),
+            fuel_bound,
             dead,
         })
     }
@@ -634,6 +682,80 @@ mod tests {
         let vp = p.verify_default().unwrap();
         assert_eq!(vp.fuel_bound(), None);
         assert!(vp.max_stack_depth() >= 2);
+    }
+
+    #[test]
+    fn analysis_budget_is_enforced() {
+        // A loop the verifier must iterate over; with a one-visit budget
+        // the fixpoint cannot finish and the program is rejected with the
+        // typed budget error rather than looping.
+        let p = assemble(
+            "push 0
+             store 0
+             loop:
+             load 0
+             jz out
+             load 0
+             push 1
+             sub
+             store 0
+             jmp loop
+             out:
+             push 1
+             halt",
+        )
+        .unwrap();
+        let starved = VerifyConfig {
+            max_visits: 1,
+            ..VerifyConfig::default()
+        };
+        assert_eq!(
+            p.verify(&starved).unwrap_err(),
+            VerifyError::AnalysisBudget { limit: 1 }
+        );
+        // The same program sails through with the default budget.
+        p.verify_default().unwrap();
+    }
+
+    #[test]
+    fn counted_loops_get_an_inferred_fuel_bound() {
+        // A clamped counted loop: cyclic CFG, yet the range analysis
+        // proves a static bound, so the unmetered fast path opens up.
+        let p = assemble(
+            "push 0
+             store 0
+             arg 0
+             push 0
+             max
+             push 100
+             min
+             store 1
+             loop:
+             load 1
+             jz out
+             load 0
+             load 1
+             add
+             store 0
+             load 1
+             push 1
+             sub
+             store 1
+             jmp loop
+             out:
+             load 0
+             halt",
+        )
+        .unwrap();
+        let vp = p.verify_default().unwrap();
+        let bound = vp.fuel_bound().expect("counted loop has a static bound");
+        assert!(bound >= 100);
+        // Opting out restores the old behaviour.
+        let plain = VerifyConfig {
+            infer_loop_bounds: false,
+            ..VerifyConfig::default()
+        };
+        assert_eq!(p.verify(&plain).unwrap().fuel_bound(), None);
     }
 
     #[test]

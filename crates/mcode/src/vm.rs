@@ -228,8 +228,9 @@ impl Vm {
     /// Execute a statically verified program on the fast path.
     ///
     /// Skips per-op stack-underflow and stack-overflow checks (proved
-    /// impossible by the verifier) and, when the program is loop-free
-    /// with a static fuel bound within `fuel`, skips fuel metering too.
+    /// impossible by the verifier) and, when the program has a static
+    /// fuel bound within `fuel` — loop-free code, or counted loops proved
+    /// bounded by the range analysis — skips fuel metering too.
     /// Programs whose proven stack depth fits [`SMALL_STACK`] — every
     /// realistic proxy — additionally run on a fixed array stack with no
     /// heap allocation at all. Division by zero and host rejections
@@ -799,6 +800,49 @@ mod tests {
         // Looping programs still meter fuel on the fast path.
         assert_eq!(
             Vm.run_verified(&vp, &[1000], &mut NullHost, 10),
+            Err(VmError::OutOfFuel)
+        );
+        // Bounded counted loop: cyclic, but the range analysis proves a
+        // static bound, so the fast path elides fuel metering entirely
+        // while still matching the checked interpreter.
+        let p = assemble(
+            "push 0
+             store 0
+             arg 0
+             push 0
+             max
+             push 200
+             min
+             store 1
+             loop:
+             load 1
+             jz out
+             load 0
+             load 1
+             add
+             store 0
+             load 1
+             push 1
+             sub
+             store 1
+             jmp loop
+             out:
+             load 0
+             halt",
+        )
+        .unwrap();
+        let vp = p.verify_default().unwrap();
+        let bound = vp.fuel_bound().expect("counted loop bounded");
+        for n in [0i64, 1, 37, 200, 100_000, -9] {
+            assert_eq!(
+                Vm.run(&p, &[n], &mut NullHost, FUEL_DEFAULT),
+                Vm.run_verified(&vp, &[n], &mut NullHost, FUEL_DEFAULT),
+            );
+        }
+        assert_eq!(Vm.run_verified(&vp, &[200], &mut NullHost, bound), Ok(20_100));
+        // A budget below the proven bound falls back to metering.
+        assert_eq!(
+            Vm.run_verified(&vp, &[200], &mut NullHost, 10),
             Err(VmError::OutOfFuel)
         );
         // Dynamic errors stay dynamic.

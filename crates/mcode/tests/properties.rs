@@ -144,6 +144,82 @@ proptest! {
         }
     }
 
+    /// The assembler and disassembler are inverses over the whole ISA:
+    /// for any program, `assemble(disassemble(p)) == p`, including through
+    /// the wire format. (Boundary immediates get a dedicated unit test in
+    /// `asm`; this pins the identity for arbitrary shapes.)
+    #[test]
+    fn asm_round_trip_is_identity(p in arb_program()) {
+        use aroma_mcode::asm::{assemble, disassemble};
+        let src = disassemble(&p);
+        prop_assert_eq!(assemble(&src).unwrap(), p.clone());
+        let decoded = Program::decode(p.encode()).unwrap();
+        prop_assert_eq!(disassemble(&decoded), src);
+    }
+
+    /// Translation-validated optimization is semantics-preserving: for any
+    /// verifiable program, the optimized certificate re-verifies under the
+    /// same config (by construction of `Validated`) and the optimized
+    /// program is observationally equal to the original — same result, same
+    /// syscall trace — on arbitrary arguments under a recording host.
+    #[test]
+    fn optimizer_preserves_observable_behaviour(
+        p in arb_program(),
+        args in prop::collection::vec(any::<i64>(), 0..4),
+    ) {
+        struct Recording(Vec<(u8, Vec<i64>)>);
+        impl Host for Recording {
+            fn syscall(&mut self, id: u8, args: &[i64]) -> Result<i64, ()> {
+                self.0.push((id, args.to_vec()));
+                Ok(id as i64 ^ args.iter().sum::<i64>() ^ self.0.len() as i64)
+            }
+        }
+        let cfg = VerifyConfig::with_syscalls(SyscallPolicy::AllowAll);
+        if let Ok(vp) = p.verify(&cfg) {
+            let validated = aroma_mcode::opt::optimize_verified(&vp, &cfg);
+            // The optimized program carries a fresh certificate under the
+            // same config; run both ends on the same inputs.
+            let mut ha = Recording(Vec::new());
+            let mut hb = Recording(Vec::new());
+            let a = Vm.run(&p, &args, &mut ha, 50_000);
+            let b = Vm.run(validated.program.program(), &args, &mut hb, 50_000);
+            // Fuel is the one observable the optimizer may improve: a run
+            // that dies of fuel exhaustion may complete after shrinking.
+            if a != Err(VmError::OutOfFuel) && b != Err(VmError::OutOfFuel) {
+                match (&a, &b) {
+                    (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+                    (Err(x), Err(y)) => {
+                        prop_assert_eq!(std::mem::discriminant(x), std::mem::discriminant(y))
+                    }
+                    _ => prop_assert!(false, "divergence: {:?} vs {:?}", a, b),
+                }
+                prop_assert_eq!(ha.0, hb.0, "syscall traces diverged");
+            }
+        }
+    }
+
+    /// Worklist fixpoints are iteration-order independent: solving the same
+    /// monotone analysis under pseudo-random worklist permutations yields
+    /// the same solution as the deterministic order, for both a forward
+    /// (reaching definitions) and a backward (live locals) analysis.
+    #[test]
+    fn dataflow_fixpoint_is_order_independent(p in arb_program(), seed in any::<u64>()) {
+        use aroma_mcode::cfg::Cfg;
+        use aroma_mcode::dataflow::{solve, solve_with_order, LiveLocals, ReachingDefs};
+        let cfg = Cfg::build(&p);
+        let budget = 1 << 20;
+        let base_rd = solve(&ReachingDefs, &p, &cfg, budget).unwrap();
+        let perm_rd = solve_with_order(&ReachingDefs, &p, &cfg, budget, Some(seed)).unwrap();
+        let base_ll = solve(&LiveLocals, &p, &cfg, budget).unwrap();
+        let perm_ll = solve_with_order(&LiveLocals, &p, &cfg, budget, Some(seed)).unwrap();
+        for b in 0..cfg.blocks().len() {
+            prop_assert_eq!(base_rd.block_entry(b), perm_rd.block_entry(b));
+            prop_assert_eq!(base_rd.block_exit(b), perm_rd.block_exit(b));
+            prop_assert_eq!(base_ll.block_entry(b), perm_ll.block_entry(b));
+            prop_assert_eq!(base_ll.block_exit(b), perm_ll.block_exit(b));
+        }
+    }
+
     /// The capability summary is complete: under a policy allowing every
     /// syscall, a verified program can only ever invoke ids the summary
     /// lists (observed by a recording host).

@@ -19,7 +19,8 @@
 
 use aroma_discovery::proxy::{vet_proxy, ProxyError, VettedProxy};
 use aroma_mcode::asm::assemble;
-use aroma_mcode::{NullHost, Program, VerifiedProgram, VerifyConfig, Vm};
+use aroma_mcode::opt::optimize_verified;
+use aroma_mcode::{NullHost, Program, Validated, VerifiedProgram, VerifyConfig, Vm};
 use bytes::Bytes;
 
 /// The control proxy: `f(requested_percent) → supported_percent`.
@@ -73,16 +74,37 @@ pub fn load_brightness_proxy(proxy: &Bytes) -> Result<VerifiedProgram, ProxyLoad
     }
 }
 
+/// Load a downloaded control proxy and run it through the
+/// translation-validated optimizer.
+///
+/// The returned [`Validated`] carries a fresh verification certificate for
+/// the optimized program — the optimizer's output is only installed after
+/// it re-verifies under the same policy and is differentially equal to the
+/// original; on any validation failure the original certificate comes
+/// back unchanged. A client that maps brightness on every dial movement
+/// pays the optimization once at load time and runs the slimmer program
+/// on the verified fast path thereafter.
+pub fn load_optimized_brightness_proxy(proxy: &Bytes) -> Result<Validated, ProxyLoadError> {
+    let config = VerifyConfig::default();
+    let vp = match vet_proxy(proxy, &config) {
+        Ok(VettedProxy::Mcode(vp)) => vp,
+        Ok(VettedProxy::Inert(_)) => return Err(ProxyLoadError::NotMobileCode),
+        Err(e) => return Err(ProxyLoadError::Rejected(e)),
+    };
+    Ok(optimize_verified(&vp, &config))
+}
+
 /// Client-side execution of a downloaded control proxy. Returns the
 /// device-supported brightness for `requested_percent`, or `None` when the
 /// blob is not statically verifiable mobile code (old registrations
 /// carried inert bytes; callers fall back to sending the raw value).
 ///
-/// Execution goes through [`load_brightness_proxy`] and the verified fast
-/// path — an unverifiable program is never run, even under the checked
-/// interpreter.
+/// Execution goes through [`load_optimized_brightness_proxy`] and the
+/// verified fast path — an unverifiable program is never run, even under
+/// the checked interpreter, and an optimized one only after translation
+/// validation accepted it.
 pub fn run_brightness_proxy(proxy: &Bytes, requested_percent: u8) -> Option<u8> {
-    let program = load_brightness_proxy(proxy).ok()?;
+    let program = load_optimized_brightness_proxy(proxy).ok()?.program;
     match Vm.run_verified_default(&program, &[requested_percent as i64], &mut NullHost) {
         Ok(v) => Some(v.clamp(0, 100) as u8),
         Err(_) => None,
@@ -142,6 +164,50 @@ mod tests {
         assert!(vp.syscalls().is_empty());
         assert!(vp.fuel_bound().is_some());
         assert!(vp.max_stack_depth() <= 3);
+    }
+
+    #[test]
+    fn optimized_proxy_is_validated_and_agrees_everywhere() {
+        let validated = load_optimized_brightness_proxy(&brightness_proxy_bytes()).unwrap();
+        // The shipped mapper has no constant-foldable arithmetic on the
+        // argument path, so improvement is not guaranteed — but whatever
+        // comes back must carry a certificate and agree with the original
+        // on the whole input range.
+        let original = brightness_proxy();
+        for x in -300..=300 {
+            let a = Vm.run_default(&original, &[x], &mut NullHost);
+            let b = Vm.run_verified_default(&validated.program, &[x], &mut NullHost);
+            assert_eq!(a, b, "divergence at input {x}");
+        }
+        assert!(validated.program.fuel_bound().is_some());
+    }
+
+    #[test]
+    fn optimizer_shrinks_a_padded_registration() {
+        // A provider shipping debug scaffolding: dead stores and a
+        // constant pre-computation the optimizer should fold away.
+        let padded = assemble(
+            "push 3
+             push 39
+             add
+             store 2      ; dead: local 2 never read
+             arg 0
+             push 0
+             max
+             push 100
+             min
+             halt",
+        )
+        .unwrap();
+        let validated = load_optimized_brightness_proxy(&padded.encode()).unwrap();
+        assert!(validated.improved);
+        assert!(validated.program.program().len() < padded.len());
+        for x in [-5, 0, 42, 100, 250] {
+            assert_eq!(
+                Vm.run_default(&padded, &[x], &mut NullHost),
+                Vm.run_verified_default(&validated.program, &[x], &mut NullHost),
+            );
+        }
     }
 
     #[test]

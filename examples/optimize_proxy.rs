@@ -1,0 +1,121 @@
+//! Translation-validated optimization of a downloaded proxy, end to end.
+//!
+//! A provider ships the projector's brightness mapper padded with the
+//! scaffolding real registrations accumulate (constant pre-computation,
+//! dead debug stores). The client vets the bytes, runs the aroma-flow
+//! optimizer, and — because optimized mobile code is only as trustworthy
+//! as its validation — re-checks the result two ways before believing it:
+//! the fresh verification certificate (done inside `optimize_verified`)
+//! and a seed-driven differential sweep comparing the optimized program
+//! against the original on the checked interpreter, input by input.
+//!
+//! ```text
+//! cargo run --example optimize_proxy -- [seed]
+//! ```
+//!
+//! Exits non-zero if any input diverges — `scripts/check.sh` runs this
+//! for three seeds as the optimizer-validation smoke gate.
+
+use aroma_mcode::asm::{assemble, disassemble};
+use aroma_mcode::opt::optimize_verified;
+use aroma_mcode::{NullHost, Program, VerifyConfig, Vm};
+
+/// The padded registration: what `smart_projector::proxy::brightness_proxy`
+/// computes, wrapped in removable debris.
+fn padded_brightness_proxy() -> Program {
+    assemble(
+        "push 3
+         push 39
+         add
+         store 2      ; dead: never read
+         push 7
+         store 3      ; dead: never read
+         arg 0
+         push 2
+         add
+         push 5
+         div
+         push 5
+         mul
+         push 10
+         max
+         push 100
+         min
+         halt",
+    )
+    .expect("padded proxy source is well-formed")
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("seed must be an unsigned integer"))
+        .unwrap_or(1);
+
+    let original = padded_brightness_proxy();
+    let config = VerifyConfig::default();
+    let vp = original.verify(&config).expect("shipped proxy verifies");
+
+    println!("original proxy ({} instructions):", original.len());
+    print!("{}", indent(&disassemble(&original)));
+
+    let validated = optimize_verified(&vp, &config);
+    let optimized = validated.program.program();
+    println!(
+        "\noptimized proxy ({} instructions, improved: {}):",
+        optimized.len(),
+        validated.improved
+    );
+    print!("{}", indent(&disassemble(optimized)));
+    println!(
+        "\nstats: {} rounds, {} folds, {} branches pruned, {} dead stores, \
+         {} unreachable removed, {} jumps threaded",
+        validated.stats.rounds,
+        validated.stats.folded,
+        validated.stats.branches_pruned,
+        validated.stats.dead_stores,
+        validated.stats.unreachable_removed,
+        validated.stats.jumps_threaded
+    );
+
+    // The differential sweep: the optimized program must agree with the
+    // original on every probed input — boundary values plus seed-driven
+    // random ones — under the *checked* interpreter, so even the verified
+    // fast path's assumptions are not part of the trusted base here.
+    let mut inputs: Vec<i64> = vec![0, 1, -1, 10, 100, 250, i64::MAX, i64::MIN];
+    let mut state = seed;
+    for _ in 0..56 {
+        inputs.push(splitmix(&mut state) as i64);
+    }
+    let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+    for &x in &inputs {
+        let a = Vm.run_default(&original, &[x], &mut NullHost);
+        let b = Vm.run_default(optimized, &[x], &mut NullHost);
+        if a != b {
+            eprintln!("DIVERGENCE at input {x}: original {a:?}, optimized {b:?}");
+            std::process::exit(1);
+        }
+        let v = match a {
+            Ok(v) => v as u64,
+            Err(_) => 0xE,
+        };
+        digest = (digest ^ v).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    println!("\ntrace digest: {digest:#018x}");
+    println!(
+        "optimizer validation: OK ({} inputs, seed {seed})",
+        inputs.len()
+    );
+}
+
+fn indent(s: &str) -> String {
+    s.lines().map(|l| format!("  {l}\n")).collect()
+}

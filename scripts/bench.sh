@@ -2,10 +2,14 @@
 # Perf trajectory: run the model-checker thread-scaling sweep (states/sec
 # at 1/2/4 workers on the session and lease models, cross-checked for
 # byte-identical reports) plus the fixed-seed E9 chaos recovery times, and
-# write the result to BENCH_check.json at the repository root. Numbers are
-# hardware-honest — the JSON records available_parallelism; on a
-# single-core runner the multi-worker points show coordination overhead,
-# not speedup. Pass --quick for a reduced sweep (20k-state bounds).
+# write the result to BENCH_check.json at the repository root; then run
+# the mobile-code execution-tier sweep (checked interpreter vs verified
+# fast path vs translation-validated optimized programs, runs/sec on the
+# brightness proxy, a padded registration, and a counted loop) and write
+# BENCH_mcode.json. Numbers are hardware-honest — the JSON records
+# available_parallelism; on a single-core runner the multi-worker points
+# show coordination overhead, not speedup. Pass --quick for a reduced
+# sweep (20k-state / 20k-run bounds).
 # Run from the repository root: ./scripts/bench.sh [--quick]
 set -euo pipefail
 cd "$(dirname "$0")/.."

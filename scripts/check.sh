@@ -6,7 +6,10 @@
 # DESIGN.md §12), one traced smoke experiment exercising the telemetry
 # pipeline end to end (DESIGN.md §10), and the fixed-seed E9 chaos
 # walkthrough, asserting every layer recovered from the injected fault
-# storm within its deadline (DESIGN.md §11).
+# storm within its deadline (DESIGN.md §11), and the optimizer-validation
+# smoke gate: optimize the shipped brightness registration and diff its
+# results against the unoptimized program on three seed-driven input
+# sweeps (DESIGN.md §13).
 # Run from the repository root: ./scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -31,3 +34,12 @@ cargo run --release -p lpc-bench --bin repro -- --quick --metrics e2 \
   | grep -q '"net.mac.tx_attempts"'
 cargo run --release -p lpc-bench --bin repro -- --experiment e9 --seed 233 \
   | grep -q 'chaos recovery: all layers within deadline'
+
+# Optimizer-validation gate: the translation-validated optimizer's output
+# must agree with the unoptimized registration on every probed input, for
+# three independent seeds (the example exits non-zero on any divergence).
+for seed in 11 42 233; do
+  cargo run --release --example optimize_proxy -- "$seed" \
+    | grep -q 'optimizer validation: OK' \
+    || { echo "FAIL: optimizer validation diverged at seed $seed"; exit 1; }
+done
