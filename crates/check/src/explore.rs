@@ -63,6 +63,7 @@ impl Default for CheckerConfig {
             max_states: 1_000_000,
             max_depth: 10_000,
             strategy: Strategy::Bfs,
+            // lint:allow(sim-os-env): host parallelism only picks the default worker count; CheckReports are byte-identical at ANY worker count (DESIGN.md §12, parallel_equivalence proptests)
             workers: std::thread::available_parallelism().map_or(1, |p| p.get()),
         }
     }

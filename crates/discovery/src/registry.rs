@@ -8,7 +8,7 @@
 
 use crate::codec::{EventKind, ServiceId, ServiceItem, Template};
 use aroma_sim::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A live registration.
 #[derive(Clone, Debug)]
@@ -31,11 +31,19 @@ pub struct RegistryEvent {
 }
 
 /// The lookup service's registration table.
+///
+/// `BTreeMap`-backed so that *every* traversal — lookup replies, the expiry
+/// sweep's event order, model-checker snapshots — happens in `ServiceId`
+/// order by construction. The registry's output reaches protocol replies,
+/// subscriber notifications, and chaos-report traces, all of which the
+/// determinism gate (`aroma-lint`, DESIGN.md §14) requires to be pure
+/// functions of the seed; a hash-backed table made the expiry event order
+/// depend on `HashMap`'s per-process iteration order.
 #[derive(Clone, Debug)]
 pub struct ServiceRegistry {
     /// Maximum lease the registrar will grant.
     pub max_lease: SimDuration,
-    regs: HashMap<ServiceId, Registration>,
+    regs: BTreeMap<ServiceId, Registration>,
     subs: Vec<(u32, Template)>,
 }
 
@@ -44,7 +52,7 @@ impl ServiceRegistry {
     pub fn new(max_lease: SimDuration) -> Self {
         ServiceRegistry {
             max_lease,
-            regs: HashMap::new(),
+            regs: BTreeMap::new(),
             subs: Vec::new(),
         }
     }
@@ -124,7 +132,10 @@ impl ServiceRegistry {
         }
     }
 
-    /// Drop every registration whose lease has lapsed; returns their events.
+    /// Drop every registration whose lease has lapsed; returns their events
+    /// in `ServiceId` order (`regs` is a `BTreeMap`, so the sweep visits —
+    /// and notifies subscribers about — lapsed services deterministically;
+    /// pinned by `expiry_sweep_event_order_is_registration_order_free`).
     pub fn expire(&mut self, now: SimTime) -> Vec<RegistryEvent> {
         let lapsed: Vec<ServiceId> = self
             .regs
@@ -147,8 +158,9 @@ impl ServiceRegistry {
         self.regs.values().map(|r| r.lease_expires).min()
     }
 
-    /// All registrations matching `template`, in `ServiceId` order
-    /// (deterministic replies regardless of hash-map iteration order).
+    /// All registrations matching `template`, in `ServiceId` order — by
+    /// construction: `regs` is a `BTreeMap`, so no post-hoc sort is needed
+    /// for deterministic replies.
     ///
     /// Includes lapsed-but-unswept registrations; protocol-facing callers
     /// must use [`ServiceRegistry::lookup_live`] instead so a lookup
@@ -156,28 +168,22 @@ impl ServiceRegistry {
     /// never observes the stale entry (the no-stale-lookup invariant
     /// `aroma-check` proves).
     pub fn lookup(&self, template: &Template) -> Vec<&ServiceItem> {
-        let mut found: Vec<&ServiceItem> = self
-            .regs
+        self.regs
             .values()
             .filter(|r| template.matches(&r.item))
             .map(|r| &r.item)
-            .collect();
-        found.sort_by_key(|i| i.id);
-        found
+            .collect()
     }
 
     /// Registrations matching `template` whose lease is still live as of
     /// `now`, in `ServiceId` order. A lease expiring exactly at `now` is
     /// already dead ([`ServiceRegistry::renew`] uses the same boundary).
     pub fn lookup_live(&self, now: SimTime, template: &Template) -> Vec<&ServiceItem> {
-        let mut found: Vec<&ServiceItem> = self
-            .regs
+        self.regs
             .values()
             .filter(|r| r.lease_expires > now && template.matches(&r.item))
             .map(|r| &r.item)
-            .collect();
-        found.sort_by_key(|i| i.id);
-        found
+            .collect()
     }
 
     /// Subscribe `node` to events for services matching `template`.
@@ -191,15 +197,12 @@ impl ServiceRegistry {
     }
 
     /// Model-checker introspection (feature `model-check`): every stored
-    /// registration as `(id, lease_expires)`, sorted by id — including
+    /// registration as `(id, lease_expires)`, in id order — including
     /// lapsed-but-unswept entries, which `aroma-check` distinguishes
     /// because re-registration semantics differ before and after a sweep.
     #[cfg(feature = "model-check")]
     pub fn snapshot(&self) -> Vec<(ServiceId, SimTime)> {
-        let mut all: Vec<(ServiceId, SimTime)> =
-            self.regs.iter().map(|(id, r)| (*id, r.lease_expires)).collect();
-        all.sort_by_key(|(id, _)| *id);
-        all
+        self.regs.iter().map(|(id, r)| (*id, r.lease_expires)).collect()
     }
 
     fn events_for(&self, kind: EventKind, item: &ServiceItem) -> Vec<RegistryEvent> {
@@ -262,6 +265,59 @@ mod tests {
         }
         let ids: Vec<u64> = r.lookup(&Template::any()).iter().map(|i| i.id.0).collect();
         assert_eq!(ids, vec![1, 3, 5, 9]);
+    }
+
+    #[test]
+    fn replies_and_sweep_events_are_registration_order_free() {
+        // The determinism contract (DESIGN.md §14): everything the registry
+        // emits — lookup replies AND the expiry sweep's subscriber events —
+        // must be a pure function of the registered *set*, not of the order
+        // services happened to arrive (nor of any hash seed). Register the
+        // same services in several shuffled orders and demand byte-identical
+        // behaviour from each registry.
+        let ids = [7u64, 2, 9, 4, 1, 8, 3];
+        let orders: [&[u64]; 3] = [
+            &[7, 2, 9, 4, 1, 8, 3],
+            &[1, 2, 3, 4, 7, 8, 9],
+            &[9, 8, 7, 4, 3, 2, 1],
+        ];
+        let mut lookups: Vec<Vec<u64>> = Vec::new();
+        let mut sweeps: Vec<Vec<(u64, EventKind)>> = Vec::new();
+        for order in orders {
+            let mut r = ServiceRegistry::new(SimDuration::from_secs(10));
+            r.subscribe(42, Template::any());
+            for &id in order {
+                // Odd ids get short leases so the sweep fires on a strict
+                // subset, in an order the sweep must itself determine.
+                let lease = if id % 2 == 1 { 1 } else { 10 };
+                r.register(t(0), item(id, "x"), SimDuration::from_secs(lease));
+            }
+            lookups.push(r.lookup(&Template::any()).iter().map(|i| i.id.0).collect());
+            sweeps.push(
+                r.expire(t(1_000))
+                    .into_iter()
+                    .map(|e| (e.item.id.0, e.kind))
+                    .collect(),
+            );
+        }
+        let sorted: Vec<u64> = {
+            let mut v = ids.to_vec();
+            v.sort_unstable();
+            v
+        };
+        for (lookup, sweep) in lookups.iter().zip(&sweeps) {
+            assert_eq!(*lookup, sorted, "replies in ServiceId order");
+            assert_eq!(
+                *sweep,
+                vec![
+                    (1, EventKind::Expired),
+                    (3, EventKind::Expired),
+                    (7, EventKind::Expired),
+                    (9, EventKind::Expired)
+                ],
+                "sweep events in ServiceId order"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,500 @@
+//! A hand-rolled Rust lexer: just enough of the real token grammar that the
+//! rule engine never mistakes prose for code.
+//!
+//! The vendored dependency set has no `syn`, and the rules in
+//! [`crate::rules`] only need identifier/punctuation streams with line
+//! numbers — so this lexer handles exactly the places where a naive
+//! substring scan would lie:
+//!
+//! - line comments, *nested* block comments (collected as trivia so the
+//!   waiver parser can see them);
+//! - string literals with escapes, byte strings, C strings, and raw strings
+//!   with any number of `#` guards (`r"…"`, `br##"…"##`, …) — a string
+//!   containing `"HashMap.iter()"` must produce zero findings;
+//! - raw identifiers (`r#type`);
+//! - the `'a` lifetime vs `'a'` char-literal ambiguity, including escaped
+//!   chars (`'\''`, `'\u{1F600}'`).
+//!
+//! Literal *content* is deliberately discarded: rules operate on identifiers
+//! and punctuation only, so keeping string bodies around would just invite
+//! someone to match against them.
+//!
+//! Unterminated constructs are hard errors ([`LexError`]), not warnings:
+//! a file the lexer cannot finish is a file the gate has not audited, and
+//! the binary exits non-zero for it (see `main.rs`).
+
+/// What a token is; rules dispatch on this.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (text preserved).
+    Ident,
+    /// `'a`-style lifetime (text preserved, without the quote).
+    Lifetime,
+    /// Single punctuation character (text preserved).
+    Punct,
+    /// Numeric literal (content discarded).
+    Num,
+    /// String / byte-string / raw-string literal (content discarded).
+    Str,
+    /// Char or byte-char literal (content discarded).
+    Char,
+}
+
+/// One token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Kind tag.
+    pub kind: TokKind,
+    /// Identifier/lifetime/punct text; empty for literals.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+/// A comment, kept out of the token stream but preserved for the waiver
+/// parser.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (same as `line` for `//`).
+    pub end_line: u32,
+    /// Body without the `//` / `/*` framing, untrimmed.
+    pub text: String,
+}
+
+/// Lexer output: code tokens plus comment trivia.
+#[derive(Debug, Default)]
+pub struct LexOut {
+    /// Code tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// A construct the lexer could not finish — the file is *unaudited*.
+#[derive(Clone, Debug)]
+pub struct LexError {
+    /// 1-based line where the offending construct starts.
+    pub line: u32,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+fn ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn ident_cont(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    out: LexOut,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    /// Advance one char, tracking newlines.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied();
+        if let Some(c) = c {
+            self.i += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.toks.push(Tok { kind, text, line });
+    }
+
+    fn err(&self, line: u32, msg: &str) -> LexError {
+        LexError {
+            line,
+            msg: msg.to_string(),
+        }
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        self.i += 2; // `//`
+        let start = self.i;
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.i += 1;
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+        self.out.comments.push(Comment {
+            line,
+            end_line: line,
+            text,
+        });
+    }
+
+    fn block_comment(&mut self) -> Result<(), LexError> {
+        let line = self.line;
+        self.i += 2; // `/*`
+        let start = self.i;
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.i += 2;
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    if depth == 0 {
+                        let text: String = self.chars[start..self.i].iter().collect();
+                        let end_line = self.line;
+                        self.i += 2;
+                        self.out.comments.push(Comment {
+                            line,
+                            end_line,
+                            text,
+                        });
+                        return Ok(());
+                    }
+                    self.i += 2;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        Err(self.err(line, "unterminated block comment"))
+    }
+
+    /// A `"…"` body, opening quote already consumed. Handles `\`-escapes
+    /// (including multi-char ones — after a backslash the next char is
+    /// always skipped blindly, which is sound for every escape Rust has).
+    fn string_body(&mut self, start_line: u32) -> Result<(), LexError> {
+        while let Some(c) = self.bump() {
+            match c {
+                '"' => return Ok(()),
+                '\\' => {
+                    self.bump(); // whatever is escaped, even a quote or \n
+                }
+                _ => {}
+            }
+        }
+        Err(self.err(start_line, "unterminated string literal"))
+    }
+
+    /// `r"…"` / `r#"…"#` body with `hashes` guards; `r` and the guards and
+    /// the opening quote are already consumed.
+    fn raw_string_body(&mut self, hashes: usize, start_line: u32) -> Result<(), LexError> {
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut matched = 0;
+                while matched < hashes && self.peek(0) == Some('#') {
+                    self.i += 1;
+                    matched += 1;
+                }
+                if matched == hashes {
+                    return Ok(());
+                }
+                // Not the closing guard; the consumed `#`s were body chars.
+            }
+        }
+        Err(self.err(start_line, "unterminated raw string literal"))
+    }
+
+    /// At a `'`: decide lifetime vs char literal.
+    fn quote(&mut self) -> Result<(), LexError> {
+        let line = self.line;
+        self.i += 1; // `'`
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: `'\n'`, `'\''`, `'\u{…}'`.
+                self.i += 1;
+                let esc = self.bump();
+                if esc == Some('u') && self.peek(0) == Some('{') {
+                    while let Some(c) = self.bump() {
+                        if c == '}' {
+                            break;
+                        }
+                    }
+                }
+                if self.bump() != Some('\'') {
+                    return Err(self.err(line, "unterminated char literal"));
+                }
+                self.push(TokKind::Char, String::new(), line);
+                Ok(())
+            }
+            Some(c) if ident_start(c) => {
+                // `'a'` is a char literal; `'a` / `'static` are lifetimes.
+                let start = self.i;
+                while self.peek(0).is_some_and(ident_cont) {
+                    self.i += 1;
+                }
+                if self.peek(0) == Some('\'') {
+                    self.i += 1;
+                    self.push(TokKind::Char, String::new(), line);
+                } else {
+                    let name: String = self.chars[start..self.i].iter().collect();
+                    self.push(TokKind::Lifetime, name, line);
+                }
+                Ok(())
+            }
+            Some('\'') => Err(self.err(line, "empty char literal")),
+            Some(_) => {
+                // `'('`-style literal: one arbitrary char then the close.
+                self.bump();
+                if self.bump() != Some('\'') {
+                    return Err(self.err(line, "unterminated char literal"));
+                }
+                self.push(TokKind::Char, String::new(), line);
+                Ok(())
+            }
+            None => Err(self.err(line, "dangling quote at end of file")),
+        }
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        // Digits, underscores, and any suffix/hex letters.
+        while self.peek(0).is_some_and(ident_cont) {
+            self.i += 1;
+        }
+        // Fraction — but `0..10` must leave the range operator alone.
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.i += 1;
+            while self.peek(0).is_some_and(ident_cont) {
+                self.i += 1;
+            }
+        }
+        // Signed exponents (`1e-9`); unsigned ones were eaten by ident_cont.
+        if self.peek(0).is_some_and(|c| c == '-' || c == '+')
+            && self
+                .chars
+                .get(self.i.wrapping_sub(1))
+                .is_some_and(|&c| c == 'e' || c == 'E')
+        {
+            self.i += 1;
+            while self.peek(0).is_some_and(ident_cont) {
+                self.i += 1;
+            }
+        }
+        self.push(TokKind::Num, String::new(), line);
+    }
+
+    /// Identifier — or the string-literal prefixes `r` / `b` / `c` / `br` /
+    /// `cr`, or a raw identifier `r#name`.
+    fn word(&mut self) -> Result<(), LexError> {
+        let line = self.line;
+        let start = self.i;
+        while self.peek(0).is_some_and(ident_cont) {
+            self.i += 1;
+        }
+        let name: String = self.chars[start..self.i].iter().collect();
+        match (name.as_str(), self.peek(0)) {
+            ("r" | "br" | "cr" | "b" | "c", Some('"')) => {
+                self.i += 1;
+                if name == "b" || name == "c" {
+                    self.string_body(line)?;
+                } else {
+                    self.raw_string_body(0, line)?;
+                }
+                self.push(TokKind::Str, String::new(), line);
+                Ok(())
+            }
+            ("r" | "br" | "cr", Some('#')) => {
+                let mut hashes = 0;
+                while self.peek(hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if self.peek(hashes) == Some('"') {
+                    self.i += hashes + 1;
+                    self.raw_string_body(hashes, line)?;
+                    self.push(TokKind::Str, String::new(), line);
+                    Ok(())
+                } else if name == "r" && hashes == 1 && self.peek(1).is_some_and(ident_start) {
+                    // Raw identifier `r#type`: emit the bare name so rules
+                    // treat it like any other identifier.
+                    self.i += 1;
+                    let istart = self.i;
+                    while self.peek(0).is_some_and(ident_cont) {
+                        self.i += 1;
+                    }
+                    let raw: String = self.chars[istart..self.i].iter().collect();
+                    self.push(TokKind::Ident, raw, line);
+                    Ok(())
+                } else {
+                    self.push(TokKind::Ident, name, line);
+                    Ok(())
+                }
+            }
+            ("b", Some('\'')) => {
+                // Byte-char literal `b'x'`.
+                self.quote()
+            }
+            _ => {
+                self.push(TokKind::Ident, name, line);
+                Ok(())
+            }
+        }
+    }
+
+    fn run(mut self) -> Result<LexOut, LexError> {
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\n' | ' ' | '\t' | '\r' => {
+                    self.bump();
+                }
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment()?,
+                '"' => {
+                    let line = self.line;
+                    self.i += 1;
+                    self.string_body(line)?;
+                    self.push(TokKind::Str, String::new(), line);
+                }
+                '\'' => self.quote()?,
+                c if c.is_ascii_digit() => self.number(),
+                c if ident_start(c) => self.word()?,
+                c => {
+                    let line = self.line;
+                    self.i += 1;
+                    self.push(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        Ok(self.out)
+    }
+}
+
+/// Lex a whole source file.
+pub fn lex(src: &str) -> Result<LexOut, LexError> {
+    Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        out: LexOut::default(),
+    }
+    .run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .unwrap()
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashMap /* nested HashMap */ still comment */
+            let s = "HashMap.iter()";
+            let r = r#"HashSet::new() "quoted" body"#;
+            let b = b"HashMap";
+            let real = 1;
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"HashSet".to_string()));
+        assert!(ids.contains(&"real".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let out = lex("fn f<'a>(x: &'a str) -> char { 'x' } let q = '\\''; let l: &'static str;")
+            .unwrap();
+        let lifetimes: Vec<_> = out
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "a", "static"]);
+        let chars = out.toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn raw_identifiers_surface_their_name() {
+        assert!(idents("let r#type = 1;").contains(&"type".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_with_guards_swallow_quotes() {
+        let src = r####"let x = r##"a "#" b"## ; let y = 2;"####;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "x", "let", "y"]);
+    }
+
+    #[test]
+    fn comments_are_collected_with_lines() {
+        let out = lex("let a = 1; // lint:allow(x): because\nlet b = 2;").unwrap();
+        assert_eq!(out.comments.len(), 1);
+        assert_eq!(out.comments[0].line, 1);
+        assert!(out.comments[0].text.contains("lint:allow"));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "let a = \"multi\nline\nstring\";\nlet b = 1;";
+        let out = lex(src).unwrap();
+        let b = out.toks.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b.line, 4);
+    }
+
+    #[test]
+    fn unterminated_constructs_are_errors() {
+        assert!(lex("let s = \"oops").is_err());
+        assert!(lex("/* never closed").is_err());
+        assert!(lex("let r = r#\"open").is_err());
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_operators() {
+        let out = lex("for i in 0..10 {}").unwrap();
+        let puncts: Vec<_> = out
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(puncts, vec![".", ".", "{", "}"]);
+    }
+
+    #[test]
+    fn float_exponents_lex_as_one_number() {
+        let out = lex("let x = 1.5e-9 - 2;").unwrap();
+        let nums = out.toks.iter().filter(|t| t.kind == TokKind::Num).count();
+        assert_eq!(nums, 2);
+        // Exactly one `-`: the binary minus, not the exponent's.
+        let minuses = out.toks.iter().filter(|t| t.text == "-").count();
+        assert_eq!(minuses, 1);
+    }
+}

@@ -1,0 +1,125 @@
+//! # aroma-lint — the determinism & sim-purity gate
+//!
+//! Every pillar of this reproduction rests on one convention: *simulation
+//! code never observes wall clocks, OS entropy, process environment, or
+//! hash-map iteration order.* The byte-identical parallel model checker
+//! (DESIGN.md §12), the seed-stable fault plane (§11), and every
+//! `Snapshot::deterministic_eq` comparison are sound only while that holds.
+//! This crate makes the convention *checked*: a std-only static analyser
+//! that lexes every `.rs` file in the workspace with a hand-rolled Rust
+//! lexer ([`lexer`]) and runs a token-stream rule engine ([`rules`]) with
+//! two rule families — **nondet-order** (order-observing operations on hash
+//! containers) and **sim-purity** (ambient-world reads from library code).
+//!
+//! Findings are silenced only by an *audited* waiver with a mandatory
+//! reason ([`waiver`]) or a per-crate config allow ([`config`]); the
+//! `aroma-lint --deny` binary exits non-zero on any unwaived finding and on
+//! any file it could not parse, and is wired into `scripts/check.sh` so the
+//! determinism contract is enforced on every PR. See DESIGN.md §14.
+
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod waiver;
+pub mod walk;
+
+use config::Config;
+use report::{Finding, Report, SkippedFile};
+use rules::TargetKind;
+use std::path::Path;
+
+/// Lint one file's source text. `rel_path` is workspace-relative and
+/// determines both the target kind (bin/test/bench exemptions) and the
+/// owning crate (config allows). Returns findings with waivers already
+/// applied, or the lex error for an unauditable file.
+pub fn lint_source(rel_path: &str, src: &str, cfg: &Config) -> Result<Vec<Finding>, lexer::LexError> {
+    let lexed = lexer::lex(src)?;
+    let kind = TargetKind::classify(rel_path);
+    let mut findings = rules::scan(rel_path, kind, &lexed);
+
+    // Per-crate config allows: waived with a pointer at the config file,
+    // where the rationale lives as comments.
+    for f in findings.iter_mut() {
+        if cfg.allows(rel_path, f.rule) {
+            f.waived = Some(format!(
+                "crate-wide allow for `{}` in aroma-lint.toml",
+                Config::crate_of(rel_path)
+            ));
+        }
+    }
+
+    let (mut waivers, mut meta) = waiver::parse(rel_path, &lexed.comments);
+    let unused = waiver::apply(rel_path, &mut findings, &mut waivers);
+    findings.append(&mut meta);
+    findings.extend(unused);
+    findings.sort_by(|a, b| a.line.cmp(&b.line).then(a.rule.cmp(b.rule)));
+    Ok(findings)
+}
+
+/// Lint a whole workspace rooted at `root`. I/O and lex failures land in
+/// [`Report::skipped`] — they are counted, reported, and fatal, never
+/// silently dropped.
+pub fn lint_workspace(root: &Path, cfg: &Config) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    for rel in walk::rust_files(root)? {
+        let rel_str = rel
+            .to_str()
+            .map(|s| s.replace('\\', "/"))
+            .unwrap_or_else(|| rel.to_string_lossy().into_owned());
+        let src = match std::fs::read_to_string(root.join(&rel)) {
+            Ok(src) => src,
+            Err(e) => {
+                report.skipped.push(SkippedFile {
+                    file: rel_str,
+                    error: format!("read failed: {e}"),
+                });
+                continue;
+            }
+        };
+        match lint_source(&rel_str, &src, cfg) {
+            Ok(findings) => {
+                report.files_scanned += 1;
+                report.findings.extend(findings);
+            }
+            Err(e) => report.skipped.push(SkippedFile {
+                file: rel_str,
+                error: e.to_string(),
+            }),
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waiver_silences_finding_end_to_end() {
+        let src = "
+            fn f() {
+                // lint:allow(sim-wall-clock): profile-only, excluded from deterministic_eq
+                let t = Instant::now();
+            }";
+        let fs = lint_source("crates/x/src/lib.rs", src, &Config::default()).unwrap();
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].waived.is_some());
+    }
+
+    #[test]
+    fn config_allow_waives_crate_wide() {
+        let cfg = Config::parse("[crate \"bench\"]\nallow = [\"sim-wall-clock\"]\n").unwrap();
+        let src = "fn f() { let t = Instant::now(); }";
+        let fs = lint_source("crates/bench/src/x.rs", src, &cfg).unwrap();
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].waived.as_deref().unwrap().contains("aroma-lint.toml"));
+        let fs = lint_source("crates/net/src/x.rs", src, &cfg).unwrap();
+        assert!(fs[0].waived.is_none(), "allow is scoped to its crate");
+    }
+
+    #[test]
+    fn unparseable_source_is_an_error() {
+        assert!(lint_source("crates/x/src/lib.rs", "let s = \"open", &Config::default()).is_err());
+    }
+}

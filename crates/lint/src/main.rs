@@ -1,0 +1,105 @@
+//! `aroma-lint` — CLI for the determinism & sim-purity gate.
+//!
+//! ```text
+//! aroma-lint [--root DIR] [--config FILE] [--json] [--deny] [--verbose]
+//! ```
+//!
+//! Exit codes:
+//! - `0` — every file audited; no blocking findings (or `--deny` absent);
+//! - `1` — `--deny` and at least one unwaived deny-severity finding;
+//! - `2` — at least one file could not be read or lexed (always fatal: an
+//!   unparseable file is an unaudited file, and silent coverage gaps are
+//!   the one failure mode a gate must not have), or bad usage/config.
+
+use aroma_lint::config::Config;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: aroma-lint [--root DIR] [--config FILE] [--json] [--deny] [--verbose]";
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut config_path: Option<PathBuf> = None;
+    let mut json = false;
+    let mut deny = false;
+    let mut verbose = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage_error("--root needs a value"),
+            },
+            "--config" => match args.next() {
+                Some(v) => config_path = Some(PathBuf::from(v)),
+                None => return usage_error("--config needs a value"),
+            },
+            "--json" => json = true,
+            "--deny" => deny = true,
+            "--verbose" => verbose = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown flag {other:?}")),
+        }
+    }
+
+    // Default config: <root>/aroma-lint.toml when present; an explicitly
+    // passed path must exist.
+    let cfg = match &config_path {
+        Some(p) => match std::fs::read_to_string(p) {
+            Ok(text) => match Config::parse(&text) {
+                Ok(cfg) => cfg,
+                Err(e) => return fatal(&format!("{e}")),
+            },
+            Err(e) => return fatal(&format!("cannot read {}: {e}", p.display())),
+        },
+        None => {
+            let default = root.join("aroma-lint.toml");
+            match std::fs::read_to_string(&default) {
+                Ok(text) => match Config::parse(&text) {
+                    Ok(cfg) => cfg,
+                    Err(e) => return fatal(&format!("{e}")),
+                },
+                Err(_) => Config::default(),
+            }
+        }
+    };
+
+    let report = match aroma_lint::lint_workspace(&root, &cfg) {
+        Ok(r) => r,
+        Err(e) => return fatal(&format!("walk failed under {}: {e}", root.display())),
+    };
+
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text(verbose));
+    }
+
+    if !report.skipped.is_empty() {
+        eprintln!(
+            "aroma-lint: FAIL — {} file(s) could not be parsed; coverage is incomplete",
+            report.skipped.len()
+        );
+        return ExitCode::from(2);
+    }
+    let blocking = report.blocking().count();
+    if deny && blocking > 0 {
+        eprintln!("aroma-lint: FAIL — {blocking} unwaived finding(s) under --deny");
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("aroma-lint: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn fatal(msg: &str) -> ExitCode {
+    eprintln!("aroma-lint: {msg}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,223 @@
+//! Findings, the run summary, and the text / JSON renderings.
+//!
+//! JSON is emitted by a tiny hand-rolled writer (the gate is std-only and
+//! must not depend on the crates it audits — in particular not on
+//! `aroma-sim`'s `report::Json`, so a lint bug can never be caused by the
+//! code it is linting).
+
+/// How a finding affects the exit code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the gate under `--deny` unless waived.
+    Deny,
+    /// Reported, never fatal (stale-waiver hygiene).
+    Warn,
+}
+
+impl Severity {
+    /// Lowercase label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+        }
+    }
+}
+
+/// One finding: a rule hit at a source location.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id (from [`crate::rules::RULES`] or a `waiver-*` meta rule).
+    pub rule: &'static str,
+    /// Gate impact.
+    pub severity: Severity,
+    /// Human-readable description.
+    pub message: String,
+    /// `Some(reason)` when silenced by a line waiver or per-crate config.
+    pub waived: Option<String>,
+}
+
+/// A file the gate could not audit (I/O or lex failure). Always fatal.
+#[derive(Clone, Debug)]
+pub struct SkippedFile {
+    /// Workspace-relative path.
+    pub file: String,
+    /// Why it was skipped.
+    pub error: String,
+}
+
+/// Whole-run result.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Files successfully lexed and scanned.
+    pub files_scanned: usize,
+    /// Every finding, waived or not, in (file, line) order.
+    pub findings: Vec<Finding>,
+    /// Unauditable files — non-empty means the run fails regardless of
+    /// flags (silent coverage gaps are the one thing a gate must not have).
+    pub skipped: Vec<SkippedFile>,
+}
+
+impl Report {
+    /// Unwaived deny-severity findings: what `--deny` gates on.
+    pub fn blocking(&self) -> impl Iterator<Item = &Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Deny && f.waived.is_none())
+    }
+
+    /// Count of waived findings.
+    pub fn waived_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.waived.is_some()).count()
+    }
+
+    /// Human-readable rendering: one line per finding, then a summary.
+    pub fn render_text(&self, verbose: bool) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            match &f.waived {
+                None => out.push_str(&format!(
+                    "{}:{}: [{}] {} ({})\n",
+                    f.file,
+                    f.line,
+                    f.rule,
+                    f.message,
+                    f.severity.label()
+                )),
+                Some(reason) if verbose => out.push_str(&format!(
+                    "{}:{}: [{}] waived: {}\n",
+                    f.file, f.line, f.rule, reason
+                )),
+                Some(_) => {}
+            }
+        }
+        for s in &self.skipped {
+            out.push_str(&format!("{}: UNPARSEABLE: {}\n", s.file, s.error));
+        }
+        let blocking = self.blocking().count();
+        out.push_str(&format!(
+            "aroma-lint: {} files scanned, {} blocking finding(s), {} waived, {} warning(s), {} unparseable\n",
+            self.files_scanned,
+            blocking,
+            self.waived_count(),
+            self.findings
+                .iter()
+                .filter(|f| f.severity == Severity::Warn && f.waived.is_none())
+                .count(),
+            self.skipped.len(),
+        ));
+        out
+    }
+
+    /// Machine-readable rendering.
+    pub fn render_json(&self) -> String {
+        let mut s = String::from("{");
+        s.push_str(&format!("\"files_scanned\":{},", self.files_scanned));
+        s.push_str("\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('{');
+            s.push_str(&format!("\"file\":{},", json_str(&f.file)));
+            s.push_str(&format!("\"line\":{},", f.line));
+            s.push_str(&format!("\"rule\":{},", json_str(f.rule)));
+            s.push_str(&format!("\"severity\":{},", json_str(f.severity.label())));
+            s.push_str(&format!("\"message\":{},", json_str(&f.message)));
+            match &f.waived {
+                Some(r) => s.push_str(&format!("\"waived\":{}", json_str(r))),
+                None => s.push_str("\"waived\":null"),
+            }
+            s.push('}');
+        }
+        s.push_str("],\"skipped\":[");
+        for (i, sk) in self.skipped.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"file\":{},\"error\":{}}}",
+                json_str(&sk.file),
+                json_str(&sk.error)
+            ));
+        }
+        s.push_str(&format!(
+            "],\"summary\":{{\"blocking\":{},\"waived\":{},\"unparseable\":{}}}}}",
+            self.blocking().count(),
+            self.waived_count(),
+            self.skipped.len()
+        ));
+        s
+    }
+}
+
+/// Minimal JSON string escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(rule: &'static str, sev: Severity, waived: Option<&str>) -> Finding {
+        Finding {
+            file: "a.rs".into(),
+            line: 3,
+            rule,
+            severity: sev,
+            message: "msg with \"quotes\"".into(),
+            waived: waived.map(String::from),
+        }
+    }
+
+    #[test]
+    fn blocking_excludes_waived_and_warn() {
+        let r = Report {
+            files_scanned: 2,
+            findings: vec![
+                f("nondet-iter", Severity::Deny, None),
+                f("nondet-iter", Severity::Deny, Some("audited")),
+                f("waiver-unused", Severity::Warn, None),
+            ],
+            skipped: vec![],
+        };
+        assert_eq!(r.blocking().count(), 1);
+        assert_eq!(r.waived_count(), 1);
+    }
+
+    #[test]
+    fn json_is_escaped_and_well_shaped() {
+        let r = Report {
+            files_scanned: 1,
+            findings: vec![f("nondet-iter", Severity::Deny, None)],
+            skipped: vec![SkippedFile {
+                file: "bad.rs".into(),
+                error: "line 1: unterminated string literal".into(),
+            }],
+        };
+        let j = r.render_json();
+        assert!(j.contains("\"msg with \\\"quotes\\\"\""));
+        assert!(j.contains("\"files_scanned\":1"));
+        assert!(j.contains("\"unparseable\":1"));
+        assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+}

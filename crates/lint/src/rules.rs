@@ -1,0 +1,594 @@
+//! The rule engine: two rule families over the token stream.
+//!
+//! **nondet-order** — hash-order dependence. A first pass collects every
+//! identifier the file binds to a `HashMap`/`HashSet` (field declarations,
+//! `let` ascriptions, fn params, `= HashMap::new()`-style initialisers); a
+//! second pass flags order-observing operations on those bindings:
+//! iteration (`iter`, `keys`, `values`, `into_iter`, … and `for … in map`),
+//! `drain`/`extract_if`, and `retain` (whose closure runs side effects in
+//! hash order). Membership-only use — `get`/`insert`/`contains`/`entry`/
+//! `len`/`clear` — is exactly what hash containers are *for* and is never
+//! flagged.
+//!
+//! **sim-purity** — ambient-world leaks into simulation code: wall clocks
+//! (`Instant::`/`SystemTime::`), process environment and OS queries
+//! (`std::env::*`, `available_parallelism`), OS entropy (`thread_rng`,
+//! `OsRng`, `from_entropy`, `getrandom`, `RandomState`), raw thread spawns,
+//! and stdout prints from library code.
+//!
+//! Rules are scoped by target kind (bin/example/bench/test files get the
+//! exemptions a CLI or benchmark legitimately needs) and by `#[cfg(test)]` /
+//! `#[test]` regions inside library files, which are treated as test code.
+//! Remaining true positives are silenced per site with
+//! `// lint:allow(<rule>): <reason>` (reason mandatory — see
+//! [`crate::waiver`]) or per crate in `aroma-lint.toml` (see
+//! [`crate::config`]).
+
+use crate::lexer::{LexOut, Tok, TokKind};
+use crate::report::{Finding, Severity};
+use std::collections::BTreeSet;
+
+/// What kind of compilation target a file belongs to, by path convention.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TargetKind {
+    /// Library code — the simulation itself. Every rule applies.
+    Lib,
+    /// `src/bin/` or `src/main.rs`: a CLI owns its stdout, args, and threads.
+    Bin,
+    /// `examples/`: runnable demos, same liberties as a bin.
+    Example,
+    /// `tests/`: integration tests. Order rules still apply (hash-order
+    /// tests are flaky tests); prints and timing are fine.
+    Test,
+    /// `benches/`: wall-clock timing is the whole point.
+    Bench,
+}
+
+impl TargetKind {
+    /// Classify by path convention, from a `/`-separated relative path.
+    pub fn classify(rel_path: &str) -> TargetKind {
+        let segs: Vec<&str> = rel_path.split('/').collect();
+        if segs.contains(&"benches") {
+            TargetKind::Bench
+        } else if segs.contains(&"tests") {
+            TargetKind::Test
+        } else if segs.contains(&"examples") {
+            TargetKind::Example
+        } else if segs.contains(&"bin") || segs.last() == Some(&"main.rs") {
+            TargetKind::Bin
+        } else {
+            TargetKind::Lib
+        }
+    }
+
+    /// Label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            TargetKind::Lib => "lib",
+            TargetKind::Bin => "bin",
+            TargetKind::Example => "example",
+            TargetKind::Test => "test",
+            TargetKind::Bench => "bench",
+        }
+    }
+}
+
+/// The rule catalog. Adding a rule means adding it here *and* to
+/// [`applies`], and covering it with a fixture in `tests/selftest.rs`.
+pub const RULES: [&str; 8] = [
+    "nondet-iter",
+    "nondet-drain",
+    "nondet-retain",
+    "sim-wall-clock",
+    "sim-os-env",
+    "sim-os-entropy",
+    "sim-thread-spawn",
+    "print-stdout",
+];
+
+/// Is `rule` a known rule id?
+pub fn known_rule(rule: &str) -> bool {
+    RULES.contains(&rule)
+}
+
+/// Does `rule` apply to code of this target kind? (In-file test regions of
+/// a Lib file are re-classified as `Test` before this is consulted.)
+pub fn applies(rule: &str, kind: TargetKind) -> bool {
+    use TargetKind::*;
+    match rule {
+        // Hash-order dependence makes flaky tests and nondeterministic CLI
+        // output alike; no target kind is exempt.
+        "nondet-iter" | "nondet-drain" | "nondet-retain" => true,
+        // Wall clocks, OS queries, entropy, threads: forbidden in the
+        // simulation (lib) and in tests (reproducibility), fine in the
+        // harness targets that exist to touch the real world.
+        "sim-wall-clock" | "sim-os-env" | "sim-os-entropy" | "sim-thread-spawn" => {
+            matches!(kind, Lib | Test)
+        }
+        // Library code reports through return values and telemetry, never
+        // stdout; bins/examples/tests/benches own their terminal.
+        "print-stdout" => matches!(kind, Lib),
+        _ => false,
+    }
+}
+
+/// Methods that observe iteration order of a hash container.
+const ITER_METHODS: [&str; 8] = [
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "into_keys",
+    "into_values",
+];
+
+/// `std::env` members that read or mutate the process environment.
+const ENV_MEMBERS: [&str; 11] = [
+    "args",
+    "args_os",
+    "var",
+    "vars",
+    "var_os",
+    "vars_os",
+    "set_var",
+    "remove_var",
+    "current_dir",
+    "set_current_dir",
+    "temp_dir",
+];
+
+/// Identifiers that reach OS entropy.
+const ENTROPY_IDENTS: [&str; 5] = [
+    "thread_rng",
+    "OsRng",
+    "from_entropy",
+    "getrandom",
+    "RandomState",
+];
+
+/// Print-to-terminal macros.
+const PRINT_MACROS: [&str; 5] = ["println", "print", "eprintln", "eprint", "dbg"];
+
+fn is(t: Option<&Tok>, kind: TokKind, text: &str) -> bool {
+    t.is_some_and(|t| t.kind == kind && t.text == text)
+}
+
+fn punct(t: Option<&Tok>, c: &str) -> bool {
+    is(t, TokKind::Punct, c)
+}
+
+fn ident(t: Option<&Tok>) -> Option<&str> {
+    t.and_then(|t| (t.kind == TokKind::Ident).then_some(t.text.as_str()))
+}
+
+/// Token-index ranges that belong to `#[test]` / `#[cfg(test)]` items.
+/// Findings inside them are judged as [`TargetKind::Test`].
+fn test_regions(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if punct(toks.get(i), "#") && punct(toks.get(i + 1), "[") {
+            // Collect the attribute body up to the matching `]`.
+            let mut j = i + 2;
+            let mut depth = 1usize;
+            let mut body: Vec<&str> = Vec::new();
+            while j < toks.len() && depth > 0 {
+                match toks[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => depth -= 1,
+                    _ => {}
+                }
+                if depth > 0 && toks[j].kind == TokKind::Ident {
+                    body.push(&toks[j].text);
+                }
+                j += 1;
+            }
+            let is_test_attr = body.as_slice() == ["test"]
+                || (body.first() == Some(&"cfg")
+                    && body.contains(&"test")
+                    && !body.contains(&"not"));
+            if is_test_attr {
+                // The attached item runs to its matching `}` (or `;` for
+                // brace-less items). Skip over any further attributes.
+                let mut k = j;
+                while punct(toks.get(k), "#") && punct(toks.get(k + 1), "[") {
+                    let mut d = 1usize;
+                    k += 2;
+                    while k < toks.len() && d > 0 {
+                        match toks[k].text.as_str() {
+                            "[" => d += 1,
+                            "]" => d -= 1,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+                // Find the item's opening brace at paren depth 0.
+                let mut paren = 0i32;
+                let mut open = None;
+                while k < toks.len() {
+                    match toks[k].text.as_str() {
+                        "(" => paren += 1,
+                        ")" => paren -= 1,
+                        "{" if paren == 0 => {
+                            open = Some(k);
+                            break;
+                        }
+                        ";" if paren == 0 => break,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                if let Some(open) = open {
+                    let mut d = 1usize;
+                    let mut end = open + 1;
+                    while end < toks.len() && d > 0 {
+                        match toks[end].text.as_str() {
+                            "{" => d += 1,
+                            "}" => d -= 1,
+                            _ => {}
+                        }
+                        end += 1;
+                    }
+                    regions.push((i, end));
+                    i = end;
+                    continue;
+                }
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// Pass 1 of the nondet family: every identifier this file binds to a hash
+/// container. Purely lexical, so it sees field declarations (`regs:
+/// HashMap<…>`), parameters (`seen: &mut HashMap<…>`), `let` ascriptions,
+/// and `= HashMap::new()`-style initialisers — the idioms this workspace
+/// actually uses.
+fn unordered_bindings(toks: &[Tok]) -> BTreeSet<String> {
+    let mut found = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || (t.text != "HashMap" && t.text != "HashSet") {
+            continue;
+        }
+        // Walk left over path qualifiers and reference sigils to the
+        // declaration shape.
+        let mut j = i;
+        loop {
+            if j >= 2
+                && punct(toks.get(j - 1), ":")
+                && punct(toks.get(j - 2), ":")
+                && toks.get(j.wrapping_sub(3)).is_some_and(|t| t.kind == TokKind::Ident)
+            {
+                j -= 3; // `std::collections::` path segment
+            } else if j >= 1
+                && (punct(toks.get(j - 1), "&")
+                    || is(toks.get(j - 1), TokKind::Ident, "mut")
+                    || toks.get(j - 1).is_some_and(|t| t.kind == TokKind::Lifetime))
+            {
+                j -= 1;
+            } else {
+                break;
+            }
+        }
+        // `name : HashMap<…>` — but not `name :: HashMap` (path).
+        if j >= 2 && punct(toks.get(j - 1), ":") && !punct(toks.get(j - 2), ":") {
+            if let Some(name) = ident(toks.get(j - 2)) {
+                found.insert(name.to_string());
+            }
+        }
+        // `let [mut] name = HashMap::…` (no ascription; the `==` guard
+        // keeps comparison expressions out).
+        if j >= 2 && punct(toks.get(j - 1), "=") && !punct(toks.get(j - 2), "=") {
+            if let Some(name) = ident(toks.get(j - 2)) {
+                found.insert(name.to_string());
+            }
+        }
+    }
+    found
+}
+
+/// One raw (pre-waiver) finding.
+fn finding(file: &str, line: u32, rule: &'static str, message: String) -> Finding {
+    Finding {
+        file: file.to_string(),
+        line,
+        rule,
+        severity: Severity::Deny,
+        message,
+        waived: None,
+    }
+}
+
+/// Run every rule over a lexed file. Returned findings are raw: waivers and
+/// per-crate config are applied by [`crate::lint_source`].
+pub fn scan(file: &str, kind: TargetKind, lexed: &LexOut) -> Vec<Finding> {
+    let toks = &lexed.toks;
+    let regions = test_regions(toks);
+    let kind_at = |idx: usize| -> TargetKind {
+        if kind == TargetKind::Lib && regions.iter().any(|&(a, b)| idx >= a && idx < b) {
+            TargetKind::Test
+        } else {
+            kind
+        }
+    };
+    let unordered = unordered_bindings(toks);
+    let mut out = Vec::new();
+    let mut emit = |idx: usize, rule: &'static str, line: u32, msg: String| {
+        if applies(rule, kind_at(idx)) {
+            out.push(finding(file, line, rule, msg));
+        }
+    };
+
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let name = t.text.as_str();
+
+        // nondet family: `binding.method(` where binding is hash-backed.
+        if unordered.contains(name)
+            && punct(toks.get(i + 1), ".")
+            && punct(toks.get(i + 3), "(")
+        {
+            if let Some(m) = ident(toks.get(i + 2)) {
+                let line = t.line;
+                if ITER_METHODS.contains(&m) {
+                    emit(
+                        i,
+                        "nondet-iter",
+                        line,
+                        format!("`{name}.{m}()` iterates a hash container in nondeterministic order"),
+                    );
+                } else if m == "drain" || m == "extract_if" {
+                    emit(
+                        i,
+                        "nondet-drain",
+                        line,
+                        format!("`{name}.{m}()` yields hash-container entries in nondeterministic order"),
+                    );
+                } else if m == "retain" {
+                    emit(
+                        i,
+                        "nondet-retain",
+                        line,
+                        format!("`{name}.retain()` visits hash-container entries in nondeterministic order"),
+                    );
+                }
+            }
+        }
+
+        // `for pat in [& [mut]] binding {` — bare iteration of the binding.
+        if name == "for" && t.kind == TokKind::Ident {
+            // Find `in`, then the body `{` at paren depth 0; the token just
+            // before that brace is the iterated expression's tail.
+            let mut j = i + 1;
+            while j < toks.len() && !is(toks.get(j), TokKind::Ident, "in") {
+                if punct(toks.get(j), "{") {
+                    break; // not a for-loop shape we understand
+                }
+                j += 1;
+            }
+            if is(toks.get(j), TokKind::Ident, "in") {
+                let mut paren = 0i32;
+                let mut k = j + 1;
+                while k < toks.len() {
+                    match toks[k].text.as_str() {
+                        "(" | "[" => paren += 1,
+                        ")" | "]" => paren -= 1,
+                        "{" if paren == 0 => break,
+                        ";" if paren == 0 => break,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                if punct(toks.get(k), "{") && k > 0 {
+                    if let Some(tail) = ident(toks.get(k - 1)) {
+                        if unordered.contains(tail) {
+                            emit(
+                                k - 1,
+                                "nondet-iter",
+                                toks[k - 1].line,
+                                format!("`for … in {tail}` iterates a hash container in nondeterministic order"),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        // sim-wall-clock: `Instant::…` / `SystemTime::…`.
+        if (name == "Instant" || name == "SystemTime")
+            && punct(toks.get(i + 1), ":")
+            && punct(toks.get(i + 2), ":")
+        {
+            emit(
+                i,
+                "sim-wall-clock",
+                t.line,
+                format!("`{name}::` reads the wall clock; simulation time must come from SimTime"),
+            );
+        }
+
+        // sim-os-env: `env::member(…)` and `available_parallelism`.
+        if name == "env" && punct(toks.get(i + 1), ":") && punct(toks.get(i + 2), ":") {
+            if let Some(m) = ident(toks.get(i + 3)) {
+                if ENV_MEMBERS.contains(&m) {
+                    emit(
+                        i,
+                        "sim-os-env",
+                        t.line,
+                        format!("`env::{m}` reads the process environment, which differs across runs/hosts"),
+                    );
+                }
+            }
+        }
+        if name == "available_parallelism" {
+            emit(
+                i,
+                "sim-os-env",
+                t.line,
+                "`available_parallelism` queries the host; results differ across machines".to_string(),
+            );
+        }
+
+        // sim-os-entropy.
+        if ENTROPY_IDENTS.contains(&name) {
+            emit(
+                i,
+                "sim-os-entropy",
+                t.line,
+                format!("`{name}` draws OS entropy; all randomness must come from the seeded SimRng"),
+            );
+        }
+
+        // sim-thread-spawn: `thread::spawn` or any `.spawn(`.
+        let spawns = name == "spawn"
+            && punct(toks.get(i + 1), "(")
+            && (punct(toks.get(i.wrapping_sub(1)), ".")
+                || (punct(toks.get(i.wrapping_sub(1)), ":")
+                    && punct(toks.get(i.wrapping_sub(2)), ":")
+                    && ident(toks.get(i.wrapping_sub(3))) == Some("thread")));
+        if spawns {
+            emit(
+                i,
+                "sim-thread-spawn",
+                t.line,
+                "thread spawn: scheduling order is OS-dependent; prove determinism or simulate concurrency in the DES".to_string(),
+            );
+        }
+
+        // print-stdout: `println!` and friends.
+        if PRINT_MACROS.contains(&name) && punct(toks.get(i + 1), "!") {
+            emit(
+                i,
+                "print-stdout",
+                t.line,
+                format!("`{name}!` in library code; report via return values or telemetry"),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn rules_hit(src: &str, kind: TargetKind) -> Vec<&'static str> {
+        scan("t.rs", kind, &lex(src).unwrap())
+            .into_iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn membership_only_hashmap_use_is_clean() {
+        let src = "
+            struct S { dedup: HashMap<u32, u16> }
+            fn f(s: &mut S) {
+                s.dedup.insert(1, 2);
+                let _ = s.dedup.get(&1);
+                s.dedup.clear();
+                let n = s.dedup.len();
+            }";
+        assert!(rules_hit(src, TargetKind::Lib).is_empty());
+    }
+
+    #[test]
+    fn iteration_over_bound_hashmap_is_flagged() {
+        let src = "
+            struct S { regs: HashMap<u64, u64> }
+            fn f(s: &S) -> Vec<u64> { s.regs.values().copied().collect() }";
+        assert_eq!(rules_hit(src, TargetKind::Lib), vec!["nondet-iter"]);
+    }
+
+    #[test]
+    fn for_loop_over_hashset_is_flagged() {
+        let src = "fn f(pending: &HashSet<u64>) { for x in pending { let _ = x; } }";
+        assert_eq!(rules_hit(src, TargetKind::Lib), vec!["nondet-iter"]);
+        let by_ref = "fn f() { let mut s = HashSet::new(); for x in &s { let _ = x; } }";
+        assert_eq!(rules_hit(by_ref, TargetKind::Lib), vec!["nondet-iter"]);
+    }
+
+    #[test]
+    fn vec_iteration_is_not_flagged() {
+        let src = "fn f(v: &Vec<u64>) { for x in v { let _ = x; } v.iter().count(); }";
+        assert!(rules_hit(src, TargetKind::Lib).is_empty());
+    }
+
+    #[test]
+    fn target_kind_scopes_purity_rules() {
+        let src = "fn f() { let t = Instant::now(); println!(\"{t:?}\"); }";
+        assert_eq!(
+            rules_hit(src, TargetKind::Lib),
+            vec!["sim-wall-clock", "print-stdout"]
+        );
+        assert!(rules_hit(src, TargetKind::Bench).is_empty());
+        assert!(rules_hit(src, TargetKind::Bin).is_empty());
+        // Tests: timing is still a flake hazard, prints are fine.
+        assert_eq!(rules_hit(src, TargetKind::Test), vec!["sim-wall-clock"]);
+    }
+
+    #[test]
+    fn cfg_test_regions_in_lib_files_are_test_kind() {
+        let src = "
+            fn lib_code() {}
+            #[cfg(test)]
+            mod tests {
+                fn helper() { println!(\"debugging\"); }
+            }";
+        assert!(rules_hit(src, TargetKind::Lib).is_empty());
+        // …but cfg(not(test)) is NOT a test region.
+        let src2 = "
+            #[cfg(not(test))]
+            mod real { fn f() { println!(\"x\"); } }";
+        assert_eq!(rules_hit(src2, TargetKind::Lib), vec!["print-stdout"]);
+    }
+
+    #[test]
+    fn classify_paths() {
+        assert_eq!(TargetKind::classify("crates/net/src/network.rs"), TargetKind::Lib);
+        assert_eq!(TargetKind::classify("crates/net/tests/faults.rs"), TargetKind::Test);
+        assert_eq!(TargetKind::classify("benches/fanout.rs"), TargetKind::Bench);
+        assert_eq!(TargetKind::classify("examples/chaos.rs"), TargetKind::Example);
+        assert_eq!(TargetKind::classify("crates/bench/src/bin/repro.rs"), TargetKind::Bin);
+        assert_eq!(TargetKind::classify("crates/lint/src/main.rs"), TargetKind::Bin);
+    }
+
+    #[test]
+    fn spawn_and_entropy_and_env_rules_fire() {
+        let src = "
+            fn f() {
+                let h = std::thread::spawn(|| 1);
+                let r = thread_rng();
+                let p = std::thread::available_parallelism();
+                let a = std::env::var(\"HOME\");
+            }";
+        let hits = rules_hit(src, TargetKind::Lib);
+        assert!(hits.contains(&"sim-thread-spawn"));
+        assert!(hits.contains(&"sim-os-entropy"));
+        assert!(hits.contains(&"sim-os-env"));
+        assert_eq!(hits.iter().filter(|r| **r == "sim-os-env").count(), 2);
+    }
+
+    #[test]
+    fn drain_and_retain_fire() {
+        let src = "
+            fn f() {
+                let mut m = HashMap::new();
+                m.drain();
+                m.retain(|_, v| *v > 0);
+            }";
+        assert_eq!(
+            rules_hit(src, TargetKind::Lib),
+            vec!["nondet-drain", "nondet-retain"]
+        );
+    }
+}

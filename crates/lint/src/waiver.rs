@@ -1,0 +1,228 @@
+//! Comment waivers: `// lint:allow(<rule>[, <rule>…]): <reason>`.
+//!
+//! A waiver silences matching findings on its own line and on the line
+//! directly below it (so it works both as a trailing comment and as the
+//! conventional line-above annotation). The reason is **mandatory and
+//! non-empty**: a waiver is a claim that a human audited the site and can
+//! say *why* the flagged construct is safe — `lint:allow(nondet-iter)`
+//! with nothing after it is itself a deny-severity finding, as is a waiver
+//! naming a rule that does not exist (typos must not silently waive
+//! nothing). Waivers that match no finding are reported at warn severity so
+//! stale annotations surface without failing the gate.
+
+use crate::lexer::Comment;
+use crate::report::{Finding, Severity};
+
+/// One parsed waiver.
+#[derive(Clone, Debug)]
+pub struct Waiver {
+    /// Line the waiver comment starts on.
+    pub line: u32,
+    /// Rule ids it silences.
+    pub rules: Vec<String>,
+    /// The mandatory human-written justification.
+    pub reason: String,
+    /// Set when a finding was silenced by this waiver.
+    pub used: bool,
+}
+
+/// Parse every waiver in a file's comments. Malformed waivers become
+/// findings; well-formed ones are returned for matching.
+pub fn parse(file: &str, comments: &[Comment]) -> (Vec<Waiver>, Vec<Finding>) {
+    let mut waivers = Vec::new();
+    let mut findings = Vec::new();
+    for c in comments {
+        let text = c.text.trim();
+        let Some(rest) = text.strip_prefix("lint:allow") else {
+            continue;
+        };
+        let mut fail = |msg: String| {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: c.line,
+                rule: "waiver-syntax",
+                severity: Severity::Deny,
+                message: msg,
+                waived: None,
+            });
+        };
+        let Some(rest) = rest.trim_start().strip_prefix('(') else {
+            fail("malformed waiver: expected `lint:allow(<rule>): <reason>`".to_string());
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            fail("malformed waiver: missing `)`".to_string());
+            continue;
+        };
+        let rules: Vec<String> = rest[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if rules.is_empty() {
+            fail("malformed waiver: empty rule list".to_string());
+            continue;
+        }
+        let mut bad = false;
+        for r in &rules {
+            if !crate::rules::known_rule(r) {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: c.line,
+                    rule: "waiver-unknown-rule",
+                    severity: Severity::Deny,
+                    message: format!("waiver names unknown rule `{r}` (typo? see RULES in rules.rs)"),
+                    waived: None,
+                });
+                bad = true;
+            }
+        }
+        if bad {
+            continue;
+        }
+        let after = rest[close + 1..].trim_start();
+        let reason = after.strip_prefix(':').map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: c.line,
+                rule: "waiver-no-reason",
+                severity: Severity::Deny,
+                message: "waiver has no reason; every lint:allow must say WHY the site is safe"
+                    .to_string(),
+                waived: None,
+            });
+            continue;
+        }
+        waivers.push(Waiver {
+            line: c.line,
+            rules,
+            reason: reason.to_string(),
+            used: false,
+        });
+    }
+    (waivers, findings)
+}
+
+/// Apply waivers to raw findings: a matching waiver on the finding's line
+/// or the line above marks the finding waived (with the waiver's reason)
+/// and the waiver used. Unused waivers then become warn-severity findings.
+pub fn apply(file: &str, findings: &mut [Finding], waivers: &mut [Waiver]) -> Vec<Finding> {
+    for f in findings.iter_mut() {
+        if f.waived.is_some() {
+            continue;
+        }
+        for w in waivers.iter_mut() {
+            let covers_line = w.line == f.line || w.line + 1 == f.line;
+            if covers_line && w.rules.iter().any(|r| r == f.rule) {
+                f.waived = Some(w.reason.clone());
+                w.used = true;
+                break;
+            }
+        }
+    }
+    waivers
+        .iter()
+        .filter(|w| !w.used)
+        .map(|w| Finding {
+            file: file.to_string(),
+            line: w.line,
+            rule: "waiver-unused",
+            severity: Severity::Warn,
+            message: format!(
+                "waiver for {} matches no finding; delete it or move it to the offending line",
+                w.rules.join(", ")
+            ),
+            waived: None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn comments(src: &str) -> Vec<Comment> {
+        lex(src).unwrap().comments
+    }
+
+    #[test]
+    fn well_formed_waiver_parses() {
+        let (ws, fs) = parse(
+            "t.rs",
+            &comments("// lint:allow(sim-wall-clock): profile-only, excluded from deterministic_eq\n"),
+        );
+        assert!(fs.is_empty());
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].rules, vec!["sim-wall-clock"]);
+        assert!(ws[0].reason.starts_with("profile-only"));
+    }
+
+    #[test]
+    fn multi_rule_waiver_parses() {
+        let (ws, fs) = parse(
+            "t.rs",
+            &comments("// lint:allow(sim-os-env, sim-thread-spawn): worker count only sizes the pool\n"),
+        );
+        assert!(fs.is_empty());
+        assert_eq!(ws[0].rules.len(), 2);
+    }
+
+    #[test]
+    fn missing_reason_is_a_deny_finding() {
+        let (ws, fs) = parse("t.rs", &comments("// lint:allow(sim-wall-clock)\n"));
+        assert!(ws.is_empty());
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].rule, "waiver-no-reason");
+        // A colon with only whitespace after it is still no reason.
+        let (ws, fs) = parse("t.rs", &comments("// lint:allow(sim-wall-clock):   \n"));
+        assert!(ws.is_empty());
+        assert_eq!(fs[0].rule, "waiver-no-reason");
+    }
+
+    #[test]
+    fn unknown_rule_is_a_deny_finding() {
+        let (ws, fs) = parse("t.rs", &comments("// lint:allow(nondet-itr): oops typo\n"));
+        assert!(ws.is_empty());
+        assert_eq!(fs[0].rule, "waiver-unknown-rule");
+    }
+
+    #[test]
+    fn malformed_waiver_is_a_deny_finding() {
+        let (_, fs) = parse("t.rs", &comments("// lint:allow sim-wall-clock: no parens\n"));
+        assert_eq!(fs[0].rule, "waiver-syntax");
+        let (_, fs) = parse("t.rs", &comments("// lint:allow(): empty\n"));
+        assert_eq!(fs[0].rule, "waiver-syntax");
+    }
+
+    #[test]
+    fn waiver_covers_same_line_and_line_below() {
+        let mk = |line| Finding {
+            file: "t.rs".into(),
+            line,
+            rule: "sim-wall-clock",
+            severity: Severity::Deny,
+            message: String::new(),
+            waived: None,
+        };
+        let (mut ws, _) =
+            parse("t.rs", &comments("//\n// lint:allow(sim-wall-clock): reason here\n"));
+        assert_eq!(ws[0].line, 2);
+        let mut fs = vec![mk(2), mk(3), mk(4)];
+        let unused = apply("t.rs", &mut fs, &mut ws);
+        assert!(fs[0].waived.is_some(), "same line");
+        assert!(fs[1].waived.is_some(), "line below");
+        assert!(fs[2].waived.is_none(), "two lines below is out of range");
+        assert!(unused.is_empty());
+    }
+
+    #[test]
+    fn unused_waiver_warns() {
+        let (mut ws, _) = parse("t.rs", &comments("// lint:allow(nondet-iter): stale\n"));
+        let unused = apply("t.rs", &mut [], &mut ws);
+        assert_eq!(unused.len(), 1);
+        assert_eq!(unused[0].rule, "waiver-unused");
+        assert_eq!(unused[0].severity, Severity::Warn);
+    }
+}

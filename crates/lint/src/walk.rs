@@ -1,0 +1,69 @@
+//! Workspace file discovery.
+//!
+//! Walks the workspace root collecting every `.rs` file, in sorted order so
+//! the gate's own output is deterministic (`read_dir` order is
+//! filesystem-dependent — a determinism linter with nondeterministic output
+//! would be an embarrassment). Skipped subtrees:
+//!
+//! - `target/` — build products;
+//! - `vendor/` — offline stand-ins for external crates: not simulation
+//!   code, and intentionally full of entropy/thread APIs;
+//! - `fixtures/` — the lint self-test corpus, which *deliberately*
+//!   violates every rule;
+//! - dot-directories (`.git`, …).
+
+use std::path::{Path, PathBuf};
+
+const SKIP_DIRS: [&str; 3] = ["target", "vendor", "fixtures"];
+
+/// Every `.rs` file under `root`, workspace-relative, sorted.
+pub fn rust_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for path in entries {
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default();
+            if path.is_dir() {
+                if name.starts_with('.') || SKIP_DIRS.contains(&name) {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                out.push(
+                    path.strip_prefix(root)
+                        .expect("walked path is under root")
+                        .to_path_buf(),
+                );
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_finds_this_crate_and_skips_fixtures() {
+        // The crate's own directory is a handy real tree: src/*.rs must be
+        // found, tests/fixtures/*.rs must not.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let files = rust_files(root).unwrap();
+        assert!(files.iter().any(|p| p.ends_with("src/lexer.rs")));
+        assert!(files.iter().all(|p| !p.to_string_lossy().contains("fixtures")));
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted, "output is sorted");
+    }
+}

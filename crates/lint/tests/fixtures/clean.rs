@@ -1,0 +1,52 @@
+//! Fixture: zero findings expected. Every line here is bait — the words
+//! HashMap, Instant::now, println! etc. appear only where a *correct*
+//! lexer knows they are not code, or in shapes the rules must not flag.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Doc comment mentioning `HashMap.iter()` and Instant::now() — not code.
+fn strings_and_comments() -> String {
+    // A comment saying map.values().collect() must not fire.
+    /* Nor a block comment with thread_rng() — /* even nested: drain() */ */
+    let a = "HashMap::new().iter() println!(\"x\") Instant::now()";
+    let b = r#"SystemTime::now() "quoted" std::env::var"#;
+    let c = r##"raw with guard: pending.retain(|_| true) "#" done"##;
+    let d = b"thread::spawn bytes";
+    format!("{a}{b}{c}{}", d.len())
+}
+
+/// Chars vs lifetimes: a lexer that trips here would desync and misread
+/// the rest of the file.
+fn lifetimes<'a>(s: &'a str) -> (&'a str, char, char) {
+    (s, 'x', '\'')
+}
+
+/// Membership-only hash use is the sanctioned idiom: O(1) lookups where
+/// iteration order can never be observed.
+fn membership(seen: &mut HashMap<u64, u32>) -> Option<u32> {
+    seen.insert(7, 1);
+    let hit = seen.get(&7).copied();
+    seen.remove(&9);
+    seen.entry(8).or_insert(0);
+    hit
+}
+
+/// Ordered containers iterate freely.
+fn ordered(m: &BTreeMap<u64, u32>, v: &[u32]) -> u32 {
+    let mut total = 0;
+    for (_, x) in m.iter() {
+        total += x;
+    }
+    for x in v {
+        total += x;
+    }
+    total + m.values().sum::<u32>()
+}
+
+/// An identifier that merely *contains* a rule trigger is not a trigger.
+fn near_misses() {
+    let instant_like = 1;
+    let spawned = instant_like + 1; // `spawned` ≠ `.spawn(`
+    let printing = spawned; // `printing` ≠ `print!`
+    let _ = printing;
+}

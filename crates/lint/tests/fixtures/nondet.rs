@@ -1,0 +1,30 @@
+//! Fixture: every nondet-order rule fires. Lines are asserted by number in
+//! selftest.rs — renumber there if this file changes.
+
+use std::collections::{HashMap, HashSet};
+
+struct Table {
+    regs: HashMap<u64, String>,
+}
+
+fn violations(t: &Table, pending: &mut HashSet<u64>) -> Vec<String> {
+    let mut out: Vec<String> = t.regs.values().cloned().collect(); // line 11: nondet-iter
+    for id in pending.iter() {
+        // line 12: nondet-iter
+        out.push(id.to_string());
+    }
+    for (k, v) in &t.regs {
+        // line 16: nondet-iter
+        out.push(format!("{k}{v}"));
+    }
+    let mut scratch = HashMap::new();
+    scratch.insert(1u32, 2u32);
+    let drained: Vec<_> = scratch.drain().collect(); // line 22: nondet-drain
+    pending.retain(|id| *id > 0); // line 23: nondet-retain
+    let _ = drained;
+    out
+}
+
+fn membership_is_fine(t: &Table, pending: &HashSet<u64>) -> bool {
+    t.regs.contains_key(&1) && pending.contains(&2) && t.regs.len() > pending.len()
+}

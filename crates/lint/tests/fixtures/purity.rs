@@ -1,0 +1,42 @@
+//! Fixture: every sim-purity rule fires (when classified as lib code).
+//! Lines are asserted by number in selftest.rs.
+
+use std::time::{Instant, SystemTime};
+
+fn clocks() -> u64 {
+    let a = Instant::now(); // line 7: sim-wall-clock
+    let b = SystemTime::now(); // line 8: sim-wall-clock
+    let _ = (a, b);
+    0
+}
+
+fn ambient() {
+    let home = std::env::var("HOME"); // line 14: sim-os-env
+    let cores = std::thread::available_parallelism(); // line 15: sim-os-env
+    let rng = thread_rng(); // line 16: sim-os-entropy
+    let state = RandomState::new(); // line 17: sim-os-entropy
+    let _ = (home, cores, rng, state);
+}
+
+fn threads() {
+    let h = std::thread::spawn(|| 1); // line 22: sim-thread-spawn
+    std::thread::scope(|scope| {
+        scope.spawn(|| 2); // line 24: sim-thread-spawn
+    });
+    let _ = h;
+}
+
+fn chatty() {
+    println!("to stdout"); // line 30: print-stdout
+    eprintln!("to stderr"); // line 31: print-stdout
+    dbg!(42); // line 32: print-stdout
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prints_in_tests_are_fine() {
+        println!("captured by the harness"); // no finding: test region
+        let _t = std::time::Instant::now(); // line 40: sim-wall-clock (applies in tests too)
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture: the lexer must refuse this file, and the gate must report it
+//! as a coverage gap rather than silently skipping it.
+
+fn oops() {
+    let s = "this string literal never closes…
+}

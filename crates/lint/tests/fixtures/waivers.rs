@@ -1,0 +1,21 @@
+//! Fixture: waiver parsing in every flavour. Lines asserted in selftest.rs.
+
+use std::time::Instant;
+
+fn properly_waived() {
+    // lint:allow(sim-wall-clock): fixture — reason present, waiver valid
+    let a = Instant::now(); // line 7: waived via the line above
+    let b = Instant::now(); // lint:allow(sim-wall-clock): same-line trailing waiver also works
+    let _ = (a, b);
+}
+
+fn bad_waivers() {
+    // lint:allow(sim-wall-clock)
+    let a = Instant::now(); // line 14: NOT waived — line 13 has no reason
+    // lint:allow(sim-wall-clok): typo'd rule never matches anything
+    let b = Instant::now(); // line 16: NOT waived — line 15 names unknown rule
+    let _ = (a, b);
+}
+
+// lint:allow(nondet-iter): stale waiver — nothing on this or the next line
+fn stale() {}

@@ -1334,6 +1334,7 @@ impl Network {
     fn dispatch(&mut self, ev: Event) {
         if self.core.rec.enabled() {
             let kind = ev.kind_name();
+            // lint:allow(sim-wall-clock): self-profiling only — the nanos feed Snapshot's profile section, which deterministic_eq excludes (pinned by traced_profile_never_reaches_deterministic_sections)
             let t0 = Instant::now();
             self.core.handle(ev);
             self.drain_app_calls();

@@ -186,3 +186,44 @@ proptest! {
         prop_assert_eq!(net.app_as::<Recorder>(rx).unwrap().received.len(), 0);
     }
 }
+
+/// The `Instant::now` in `Network::dispatch` is waived with
+/// `lint:allow(sim-wall-clock)` on the claim that its nanos feed ONLY the
+/// snapshot's handler profile, which `deterministic_eq` excludes. Pin that
+/// claim: two traced runs of the same seed record real (and almost surely
+/// different) wall-clock handler timings, yet must compare
+/// `deterministic_eq` — and the profile must actually be populated, so the
+/// waived site is known to be on the profile-only path this test pins.
+#[test]
+fn traced_profile_never_reaches_deterministic_sections() {
+    use aroma_sim::telemetry::TelemetryConfig;
+    let run = || {
+        let mut net = Network::new(quiet(), MacConfig::default(), 42);
+        net.attach_telemetry(TelemetryConfig::default());
+        let rx = net.add_node(
+            NodeConfig::at(Point::new(5.0, 0.0)),
+            Box::new(Recorder::default()),
+        );
+        net.add_node(
+            NodeConfig::at(Point::new(0.0, 0.0)),
+            Box::new(ScriptedSender {
+                dst: rx,
+                payloads: vec![vec![0x5Au8; 64]; 8],
+                accepted: 0,
+                completed: 0,
+                failed: 0,
+            }),
+        );
+        net.run_for(SimDuration::from_secs(2));
+        net.telemetry_snapshot().expect("telemetry attached")
+    };
+    let (a, b) = (run(), run());
+    assert!(
+        !a.profile.is_empty() && a.profile.iter().any(|p| p.calls > 0),
+        "dispatch profiling recorded nothing — the waiver's premise is gone"
+    );
+    assert!(
+        a.deterministic_eq(&b),
+        "wall-clock profiling leaked into a deterministic_eq-compared section"
+    );
+}

@@ -61,6 +61,7 @@ where
             .map(|_| {
                 let next = &next;
                 let f = &f;
+                // lint:allow(sim-thread-spawn): workers only race for input indices; results are merged into `slots` by index after join, so the output is scheduling-independent (pinned by sweep tests and check's parallel_equivalence proptests)
                 scope.spawn(move || {
                     let mut local: Vec<(usize, R)> = Vec::new();
                     loop {
@@ -108,6 +109,7 @@ pub fn linspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
 }
 
 fn available_workers(items: usize) -> usize {
+    // lint:allow(sim-os-env): host parallelism only sizes the worker pool; run_with_threads output is worker-count-independent by construction
     std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1)

@@ -9,7 +9,9 @@
 # storm within its deadline (DESIGN.md §11), and the optimizer-validation
 # smoke gate: optimize the shipped brightness registration and diff its
 # results against the unoptimized program on three seed-driven input
-# sweeps (DESIGN.md §13).
+# sweeps (DESIGN.md §13), and the aroma-lint determinism gate: zero
+# unwaived nondet-order or sim-purity findings across the workspace, every
+# waiver carrying a reason (DESIGN.md §14).
 # Run from the repository root: ./scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -43,3 +45,11 @@ for seed in 11 42 233; do
     | grep -q 'optimizer validation: OK' \
     || { echo "FAIL: optimizer validation diverged at seed $seed"; exit 1; }
 done
+
+# Determinism gate: every .rs file in the workspace lexes cleanly and
+# carries zero unwaived nondet-order / sim-purity findings (DESIGN.md §14).
+# --deny exits 1 on any blocking finding, 2 on any unparseable file.
+cargo run --release -p aroma-lint -- --deny \
+  || { echo "FAIL: aroma-lint found unwaived determinism hazards"; exit 1; }
+# JSON smoke: the machine-readable report renders and carries the summary.
+cargo run --release -p aroma-lint -- --json | grep -q '"files_scanned"'
