@@ -10,17 +10,41 @@
 //! repro --experiment e9 --seed 7   # one experiment, with a seed override
 //! repro --list         # list experiment ids and titles
 //! repro bench          # checker thread-scaling sweep -> BENCH_check.json
+//! repro bench --scaling  # scaling-only sweep, APPENDED to BENCH_check.json
 //! ```
 
 use lpc_bench::experiments::{self, RunOpts, ALL_IDS};
 
 const USAGE: &str = "usage: repro [--quick] [--json] [--metrics] [--trace] [--seed N] [--list] \
-                     [--experiment <id>] <all|bench|f1..f5|e1..e11>...";
+                     [--scaling] [--experiment <id>] <all|bench|f1..f5|e1..e11>...";
+
+/// Append one rendered JSON document to `BENCH_check.json`, keeping the
+/// file a JSON array of bench entries: a missing file starts a fresh
+/// array, a legacy single-object file is wrapped into `[old, new]`, and
+/// an existing array gains the entry before its final `]`.
+fn append_bench_entry(path: &str, entry: &str) {
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let trimmed = existing.trim_end();
+    let out = if let Some(head) = trimmed.strip_suffix(']') {
+        let head = head.trim_end();
+        if head.ends_with('[') {
+            format!("{head}\n{entry}\n]")
+        } else {
+            format!("{},\n{}\n]", head.trim_end_matches(','), entry)
+        }
+    } else if trimmed.is_empty() {
+        format!("[\n{entry}\n]")
+    } else {
+        format!("[\n{trimmed},\n{entry}\n]")
+    };
+    std::fs::write(path, out).expect("write BENCH_check.json");
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut opts = RunOpts::default();
     let mut json = false;
+    let mut scaling = false;
     let mut ids: Vec<String> = Vec::new();
     let mut i = 0usize;
     while i < args.len() {
@@ -29,6 +53,7 @@ fn main() {
         match a.as_str() {
             "--quick" => opts.quick = true,
             "--json" => json = true,
+            "--scaling" => scaling = true,
             "--metrics" => opts.metrics = true,
             "--trace" => opts.trace = true,
             // `--seed N` and `--experiment <id>` take a value argument.
@@ -73,6 +98,17 @@ fn main() {
         if ids.len() > 1 {
             eprintln!("`bench` runs alone (it owns the whole machine while timing)");
             std::process::exit(2);
+        }
+        // Scaling mode: sweep only the checker and *append* the entry, so
+        // BENCH_check.json accumulates a trajectory across engine changes
+        // instead of overwriting its history.
+        if scaling {
+            let doc = lpc_bench::checkbench::run_scaling(opts.quick);
+            let text = doc.render();
+            append_bench_entry("BENCH_check.json", &text);
+            println!("{text}");
+            eprintln!("appended scaling entry to BENCH_check.json");
+            return;
         }
         let doc = lpc_bench::checkbench::run(opts.quick);
         let text = doc.render();

@@ -9,9 +9,13 @@
 //! deadlines alongside raw checker throughput.
 //!
 //! Numbers are hardware-honest: `available_parallelism` is recorded in
-//! the JSON, and on a single-core runner the multi-worker points show
-//! coordination overhead, not speedup — compare points only within one
-//! machine generation.
+//! the JSON and every point where `workers` exceeds it carries
+//! `oversubscribed: true` — such points measure coordination overhead,
+//! not speedup, and must never be read as a scaling curve. Compare points
+//! only within one machine generation. The `engine` tag names the
+//! exploration engine the numbers were taken on, and `repro bench
+//! --scaling` appends a scaling-only document (no chaos run) so the
+//! trajectory accumulates instead of overwriting.
 
 use crate::experiments::chaos::{chaos_run, storm};
 use aroma_check::{check, CheckerConfig, LeaseConfig, LeaseModel, Model, SessionConfig, SessionModel};
@@ -33,6 +37,9 @@ pub struct ScalePoint {
     pub transitions: u64,
     /// Distinct states per wall-clock second.
     pub states_per_sec: f64,
+    /// `workers > available_parallelism`: this point measures coordination
+    /// overhead, not parallel speedup, and must never be read as scaling.
+    pub oversubscribed: bool,
 }
 
 impl ScalePoint {
@@ -43,6 +50,7 @@ impl ScalePoint {
             ("states", Json::from(self.states)),
             ("transitions", Json::from(self.transitions)),
             ("states_per_sec", Json::from(self.states_per_sec)),
+            ("oversubscribed", Json::from(self.oversubscribed)),
         ])
     }
 }
@@ -57,6 +65,7 @@ where
     M::Action: Send + Sync,
     M::Key: Send,
 {
+    let parallelism = std::thread::available_parallelism().map_or(1, |p| p.get());
     let points: Vec<ScalePoint> = WORKER_COUNTS
         .iter()
         .map(|&workers| {
@@ -70,6 +79,7 @@ where
                 states: report.distinct_states,
                 transitions: report.transitions,
                 states_per_sec: report.distinct_states as f64 / secs.max(1e-9),
+                oversubscribed: workers > parallelism,
             }
         })
         .collect();
@@ -100,10 +110,9 @@ fn model_json(name: &str, max_states: usize, points: &[ScalePoint]) -> (String, 
     )
 }
 
-/// Run the checker scaling sweeps plus the E9 recovery measurement and
-/// return the full `BENCH_check.json` document.
-pub fn run(quick: bool) -> Json {
-    let max_states = if quick { 20_000 } else { 200_000 };
+/// Sweep both production models and return their JSON entries (shared by
+/// the full bench document and the scaling-only append mode).
+fn sweep_models(max_states: usize) -> Vec<(String, Json)> {
     let cfg = CheckerConfig::default().with_max_states(max_states);
 
     // The 4-user manual-release session sweep (~78k-state fixpoint): big
@@ -123,6 +132,36 @@ pub fn run(quick: bool) -> Json {
         ..LeaseConfig::default()
     });
     let lease_points = scale(&lease, cfg);
+
+    vec![
+        model_json("session_4users", max_states, &session_points),
+        model_json("lease_3providers", max_states, &lease_points),
+    ]
+}
+
+/// The scaling-only document appended by `repro bench --scaling`: checker
+/// throughput at 1/2/4 workers with oversubscription flags, no chaos run.
+pub fn run_scaling(quick: bool) -> Json {
+    let max_states = if quick { 20_000 } else { 200_000 };
+    let parallelism = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut fields = vec![
+        ("engine".to_string(), Json::from("hash-sharded")),
+        ("mode".to_string(), Json::from("scaling")),
+        (
+            "available_parallelism".to_string(),
+            Json::from(parallelism),
+        ),
+        ("quick".to_string(), Json::from(quick)),
+    ];
+    fields.extend(sweep_models(max_states));
+    Json::Obj(fields)
+}
+
+/// Run the checker scaling sweeps plus the E9 recovery measurement and
+/// return the full `BENCH_check.json` document.
+pub fn run(quick: bool) -> Json {
+    let max_states = if quick { 20_000 } else { 200_000 };
+    let models = sweep_models(max_states);
 
     // Fixed-seed chaos recovery: the other half of the perf story — how
     // fast the stack heals, measured from the same telemetry trace E9
@@ -148,25 +187,24 @@ pub fn run(quick: bool) -> Json {
     );
 
     let parallelism = std::thread::available_parallelism().map_or(1, |p| p.get());
-    Json::Obj(
-        vec![
-            (
-                "available_parallelism".to_string(),
-                Json::from(parallelism),
-            ),
-            ("quick".to_string(), Json::from(quick)),
-            model_json("session_4users", max_states, &session_points),
-            model_json("lease_3providers", max_states, &lease_points),
-            (
-                "e9_chaos_recovery".to_string(),
-                Json::obj(vec![
-                    ("seed", Json::from(0xE9u64)),
-                    ("deadline_s", Json::from(storm::DEADLINE_S)),
-                    ("recoveries", recoveries),
-                ]),
-            ),
-        ],
-    )
+    let mut fields = vec![
+        ("engine".to_string(), Json::from("hash-sharded")),
+        (
+            "available_parallelism".to_string(),
+            Json::from(parallelism),
+        ),
+        ("quick".to_string(), Json::from(quick)),
+    ];
+    fields.extend(models);
+    fields.push((
+        "e9_chaos_recovery".to_string(),
+        Json::obj(vec![
+            ("seed", Json::from(0xE9u64)),
+            ("deadline_s", Json::from(storm::DEADLINE_S)),
+            ("recoveries", recoveries),
+        ]),
+    ));
+    Json::Obj(fields)
 }
 
 #[cfg(test)]
@@ -189,5 +227,16 @@ mod tests {
         assert_eq!(name, "session_4users");
         assert!(text.contains("speedup_4_workers_vs_sequential"));
         assert!(text.contains("states_per_sec"));
+        assert!(text.contains("oversubscribed"));
+    }
+
+    #[test]
+    fn oversubscription_follows_available_parallelism() {
+        let parallelism = std::thread::available_parallelism().map_or(1, |p| p.get());
+        let session = SessionModel::new(SessionConfig::default());
+        let cfg = CheckerConfig::default().with_max_states(500);
+        for p in scale(&session, cfg) {
+            assert_eq!(p.oversubscribed, p.workers > parallelism);
+        }
     }
 }

@@ -47,7 +47,7 @@ pub mod lease_model;
 pub mod model;
 pub mod session_model;
 
-pub use explore::{check, CheckReport, CheckerConfig, Strategy, Violation};
+pub use explore::{check, CheckReport, CheckerConfig, PoolPolicy, Strategy, Violation};
 pub use lease_model::{LeaseConfig, LeaseModel};
 pub use model::{Model, Property, PropertyKind};
 pub use session_model::{SessionConfig, SessionModel};

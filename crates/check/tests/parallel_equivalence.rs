@@ -3,15 +3,25 @@
 //! state counts, transition counts, truncation flags, undetermined
 //! counts, and byte-identical counterexample traces. This is the
 //! executable form of the determinism argument in DESIGN.md §12: the
-//! parallel engine only reorders successor *generation*, never admission.
+//! hash-sharded engine only reorders successor *generation* across its
+//! shards, never admission — the coordinator assigns node indices in
+//! global `(parent, action)` order regardless of worker count, pool
+//! policy, or tile boundaries.
 //!
 //! Random digraphs with randomized state/depth budgets deliberately land
 //! on the truncation boundaries, where an engine that merged
 //! out-of-order would diverge first.
 
-use aroma_check::{check, CheckReport, CheckerConfig};
+use aroma_check::{check, CheckReport, CheckerConfig, PoolPolicy};
 use aroma_check::{Model, Property, PropertyKind};
 use proptest::prelude::*;
+
+/// All parallel configs force the pool: on a 1-core CI host the default
+/// `PoolPolicy::Auto` would keep everything inline, and this suite exists
+/// to pin the *pooled* engine's determinism.
+fn forced() -> CheckerConfig {
+    CheckerConfig::default().with_pool_policy(PoolPolicy::Forced)
+}
 
 /// An arbitrary finite transition system: `n` states, explicit edge list
 /// (the action *is* the edge index, so action order is deterministic),
@@ -117,7 +127,7 @@ proptest! {
         let m = Digraph { n, edges, inits, forbidden, goal };
         let seq = check(&m, &CheckerConfig::default().with_workers(1));
         for workers in [2usize, 3, 5, 8] {
-            let par = check(&m, &CheckerConfig::default().with_workers(workers));
+            let par = check(&m, &forced().with_workers(workers));
             assert_equivalent(&seq, &par, workers);
         }
     }
@@ -141,9 +151,60 @@ proptest! {
             .with_max_depth(max_depth);
         let seq = check(&m, &cfg.with_workers(1));
         prop_assert!(seq.distinct_states <= max_states.max(m.initial_states().len()));
-        for workers in [2usize, 4, 8] {
-            let par = check(&m, &cfg.with_workers(workers));
+        for workers in [2usize, 3, 5, 8] {
+            let par = check(
+                &m,
+                &cfg.with_pool_policy(PoolPolicy::Forced).with_workers(workers),
+            );
             assert_equivalent(&seq, &par, workers);
+        }
+    }
+
+    /// Guaranteed violation stops: force a safety failure on a reachable
+    /// state, then require the identical stop point — same distinct-state
+    /// prefix, same transition count, same shortest trace — at every
+    /// worker count. This is where the sharded engine's
+    /// admission-order/stop-point bookkeeping is most intricate.
+    #[test]
+    fn parallel_matches_sequential_on_violation_stop(
+        n in 1u8..12,
+        edges in prop::collection::vec((0u8..12, 0u8..12), 1..40),
+        inits in prop::collection::vec(0u8..12, 1..4),
+        forbidden in any::<u16>(),
+        goal in any::<u16>(),
+    ) {
+        let m = Digraph { n, edges, inits, forbidden, goal };
+        let seq = check(&m, &CheckerConfig::default().with_workers(1));
+        prop_assume!(seq
+            .violations
+            .iter()
+            .any(|v| v.kind == PropertyKind::Always));
+        for workers in [2usize, 3, 5, 8] {
+            let par = check(&m, &forced().with_workers(workers));
+            assert_equivalent(&seq, &par, workers);
+        }
+    }
+
+    /// The engine choice itself is not observable: on whatever host this
+    /// runs, `Auto` must report exactly what `Forced` and sequential do.
+    #[test]
+    fn pool_policy_is_not_observable(
+        n in 1u8..12,
+        edges in prop::collection::vec((0u8..12, 0u8..12), 0..40),
+        inits in prop::collection::vec(0u8..12, 1..4),
+        forbidden in any::<u16>(),
+        goal in any::<u16>(),
+        max_states in 1usize..40,
+    ) {
+        let m = Digraph { n, edges, inits, forbidden, goal };
+        let cfg = CheckerConfig::default().with_max_states(max_states);
+        let seq = check(&m, &cfg.with_workers(1));
+        for workers in [2usize, 4] {
+            let auto = check(
+                &m,
+                &cfg.with_pool_policy(PoolPolicy::Auto).with_workers(workers),
+            );
+            assert_equivalent(&seq, &auto, workers);
         }
     }
 }

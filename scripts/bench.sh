@@ -7,10 +7,15 @@
 # fast path vs translation-validated optimized programs, runs/sec on the
 # brightness proxy, a padded registration, and a counted loop) and write
 # BENCH_mcode.json. Numbers are hardware-honest — the JSON records
-# available_parallelism; on a single-core runner the multi-worker points
-# show coordination overhead, not speedup. Pass --quick for a reduced
-# sweep (20k-state / 20k-run bounds).
-# Run from the repository root: ./scripts/bench.sh [--quick]
+# available_parallelism, and every point with workers beyond it is tagged
+# oversubscribed: true (coordination overhead, not speedup). Pass --quick
+# for a reduced sweep (20k-state / 20k-run bounds).
+#
+# Pass --scaling for the quick sharded-scaling mode: only the checker
+# sweep runs (states/sec at 1/2/4 workers with oversubscription flags),
+# and the entry is APPENDED to BENCH_check.json so the perf trajectory
+# accumulates across engine changes instead of overwriting its history.
+# Run from the repository root: ./scripts/bench.sh [--quick] [--scaling]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

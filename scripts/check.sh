@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Full local gate: release build, test suite, warning-free clippy, the
 # model checker in smoke mode (bounded exhaustive sweep of the session and
-# lease protocols — see DESIGN.md §9) run both sequentially and with two
-# workers and diffed (the parallel engine's determinism contract,
+# lease protocols — see DESIGN.md §9) run sequentially and with 2 and 4
+# workers and diffed (the sharded engine's determinism contract,
 # DESIGN.md §12), one traced smoke experiment exercising the telemetry
 # pipeline end to end (DESIGN.md §10), and the fixed-seed E9 chaos
 # walkthrough, asserting every layer recovered from the injected fault
@@ -21,28 +21,33 @@ cargo test -q
 cargo clippy --all-targets -- -D warnings
 
 # Parallel-determinism gate: the 50k-state smoke sweep must print the
-# byte-identical report at 1 and 2 workers (only the wall-clock-dependent
-# transitions/s figure is stripped before the diff).
+# byte-identical report at 1, 2, and 4 workers (only the
+# wall-clock-dependent transitions/s figure is stripped before the diff).
 strip_rates='s/([0-9]* transitions\/s)//; s/, [0-9]* worker(s))/)/'
 seq_out=$(cargo run --release --example model_check -- --max-states 50000 --workers 1 \
   | sed "$strip_rates")
-par_out=$(cargo run --release --example model_check -- --max-states 50000 --workers 2 \
-  | sed "$strip_rates")
-diff <(printf '%s\n' "$seq_out") <(printf '%s\n' "$par_out") \
-  || { echo "FAIL: parallel model-check report diverges from sequential"; exit 1; }
+for workers in 2 4; do
+  par_out=$(cargo run --release --example model_check -- --max-states 50000 --workers "$workers" \
+    | sed "$strip_rates")
+  diff <(printf '%s\n' "$seq_out") <(printf '%s\n' "$par_out") \
+    || { echo "FAIL: model-check report at $workers workers diverges from sequential"; exit 1; }
+done
 printf '%s\n' "$seq_out" | grep -q 'model_check: all protocol properties verified'
 
-cargo run --release -p lpc-bench --bin repro -- --quick --metrics e2 \
-  | grep -q '"net.mac.tx_attempts"'
-cargo run --release -p lpc-bench --bin repro -- --experiment e9 --seed 233 \
-  | grep -q 'chaos recovery: all layers within deadline'
+# Capture before grepping: `… | grep -q` closes the pipe at the first
+# match and the producer's remaining println!s die on EPIPE — a race that
+# fails the gate on output that is actually correct.
+e2_out=$(cargo run --release -p lpc-bench --bin repro -- --quick --metrics e2)
+grep -q '"net.mac.tx_attempts"' <<<"$e2_out"
+e9_out=$(cargo run --release -p lpc-bench --bin repro -- --experiment e9 --seed 233)
+grep -q 'chaos recovery: all layers within deadline' <<<"$e9_out"
 
 # Optimizer-validation gate: the translation-validated optimizer's output
 # must agree with the unoptimized registration on every probed input, for
 # three independent seeds (the example exits non-zero on any divergence).
 for seed in 11 42 233; do
-  cargo run --release --example optimize_proxy -- "$seed" \
-    | grep -q 'optimizer validation: OK' \
+  opt_out=$(cargo run --release --example optimize_proxy -- "$seed")
+  grep -q 'optimizer validation: OK' <<<"$opt_out" \
     || { echo "FAIL: optimizer validation diverged at seed $seed"; exit 1; }
 done
 
@@ -52,4 +57,5 @@ done
 cargo run --release -p aroma-lint -- --deny \
   || { echo "FAIL: aroma-lint found unwaived determinism hazards"; exit 1; }
 # JSON smoke: the machine-readable report renders and carries the summary.
-cargo run --release -p aroma-lint -- --json | grep -q '"files_scanned"'
+lint_json=$(cargo run --release -p aroma-lint -- --json)
+grep -q '"files_scanned"' <<<"$lint_json"
