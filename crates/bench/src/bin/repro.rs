@@ -11,15 +11,16 @@
 //! repro --list         # list experiment ids and titles
 //! repro bench          # checker thread-scaling sweep -> BENCH_check.json
 //! repro bench --scaling  # scaling-only sweep, APPENDED to BENCH_check.json
+//! repro bench --discovery  # lease-table scaling sweep, APPENDED to BENCH_disc.json
 //! ```
 
 use lpc_bench::experiments::{self, RunOpts, ALL_IDS};
 
 const USAGE: &str = "usage: repro [--quick] [--json] [--metrics] [--trace] [--seed N] [--list] \
-                     [--scaling] [--experiment <id>] <all|bench|f1..f5|e1..e11>...";
+                     [--scaling] [--discovery] [--experiment <id>] <all|bench|f1..f5|e1..e11>...";
 
-/// Append one rendered JSON document to `BENCH_check.json`, keeping the
-/// file a JSON array of bench entries: a missing file starts a fresh
+/// Append one rendered JSON document to a `BENCH_*.json` file, keeping
+/// the file a JSON array of bench entries: a missing file starts a fresh
 /// array, a legacy single-object file is wrapped into `[old, new]`, and
 /// an existing array gains the entry before its final `]`.
 fn append_bench_entry(path: &str, entry: &str) {
@@ -37,7 +38,9 @@ fn append_bench_entry(path: &str, entry: &str) {
     } else {
         format!("[\n{trimmed},\n{entry}\n]")
     };
-    std::fs::write(path, out).expect("write BENCH_check.json");
+    if let Err(e) = std::fs::write(path, out) {
+        panic!("write {path}: {e}");
+    }
 }
 
 fn main() {
@@ -45,6 +48,7 @@ fn main() {
     let mut opts = RunOpts::default();
     let mut json = false;
     let mut scaling = false;
+    let mut discovery = false;
     let mut ids: Vec<String> = Vec::new();
     let mut i = 0usize;
     while i < args.len() {
@@ -54,6 +58,7 @@ fn main() {
             "--quick" => opts.quick = true,
             "--json" => json = true,
             "--scaling" => scaling = true,
+            "--discovery" => discovery = true,
             "--metrics" => opts.metrics = true,
             "--trace" => opts.trace = true,
             // `--seed N` and `--experiment <id>` take a value argument.
@@ -108,6 +113,17 @@ fn main() {
             append_bench_entry("BENCH_check.json", &text);
             println!("{text}");
             eprintln!("appended scaling entry to BENCH_check.json");
+            return;
+        }
+        // Discovery mode: sweep the lease-table engines (flat vs sharded
+        // at 10^4..10^6 leases) and *append* to BENCH_disc.json, same
+        // trajectory-accumulation contract as --scaling.
+        if discovery {
+            let doc = lpc_bench::discbench::run(opts.quick);
+            let text = doc.render();
+            append_bench_entry("BENCH_disc.json", &text);
+            println!("{text}");
+            eprintln!("appended discovery entry to BENCH_disc.json");
             return;
         }
         let doc = lpc_bench::checkbench::run(opts.quick);

@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod checkbench;
+pub mod discbench;
 pub mod experiments;
 pub mod mcodebench;
 pub mod scenarios;

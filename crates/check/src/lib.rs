@@ -33,6 +33,14 @@
 //!   table always equals an independently-computed ghost spec), and
 //!   subscriber event consistency (register/expire/unregister events
 //!   alternate legally per service).
+//! * [`replication_model::ReplModel`] steps a cluster of real
+//!   `aroma_discovery::ReplicaNode`s (the PR 9 replicated-registrar core)
+//!   under client churn, message reordering and loss, process
+//!   crash/restore from the durable blob, and epoch elections. Proved:
+//!   at-most-one-active-primary (per epoch and per instant — the serving
+//!   lease), no-committed-lease-lost (every committed entry survives
+//!   crash, failover, and snapshot-install rejoin), and no-stale-lookup
+//!   (a serving node's table refines the ghost committed log exactly).
 //!
 //! Run `cargo run --release --example model_check` for the exhaustive
 //! sweep and a demonstration counterexample, or `--smoke` for the CI
@@ -45,9 +53,11 @@
 pub mod explore;
 pub mod lease_model;
 pub mod model;
+pub mod replication_model;
 pub mod session_model;
 
 pub use explore::{check, CheckReport, CheckerConfig, PoolPolicy, Strategy, Violation};
 pub use lease_model::{LeaseConfig, LeaseModel};
 pub use model::{Model, Property, PropertyKind};
+pub use replication_model::{AnyNodeServes, ReplConfig, ReplModel};
 pub use session_model::{SessionConfig, SessionModel};

@@ -222,13 +222,13 @@ impl std::fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
-fn put_str(buf: &mut BytesMut, s: &str) {
+pub(crate) fn put_str(buf: &mut BytesMut, s: &str) {
     debug_assert!(s.len() <= u16::MAX as usize, "string too long for codec");
     buf.put_u16(s.len() as u16);
     buf.put_slice(s.as_bytes());
 }
 
-fn get_str(buf: &mut Bytes) -> Result<String, CodecError> {
+pub(crate) fn get_str(buf: &mut Bytes) -> Result<String, CodecError> {
     if buf.remaining() < 2 {
         return Err(CodecError::Truncated);
     }
@@ -240,7 +240,7 @@ fn get_str(buf: &mut Bytes) -> Result<String, CodecError> {
     String::from_utf8(raw.to_vec()).map_err(|_| CodecError::BadString)
 }
 
-fn put_item(buf: &mut BytesMut, item: &ServiceItem) {
+pub(crate) fn put_item(buf: &mut BytesMut, item: &ServiceItem) {
     buf.put_u64(item.id.0);
     put_str(buf, &item.kind);
     buf.put_u16(item.attributes.len() as u16);
@@ -253,7 +253,7 @@ fn put_item(buf: &mut BytesMut, item: &ServiceItem) {
     buf.put_slice(&item.proxy);
 }
 
-fn get_item(buf: &mut Bytes) -> Result<ServiceItem, CodecError> {
+pub(crate) fn get_item(buf: &mut Bytes) -> Result<ServiceItem, CodecError> {
     if buf.remaining() < 8 {
         return Err(CodecError::Truncated);
     }
@@ -287,7 +287,7 @@ fn get_item(buf: &mut Bytes) -> Result<ServiceItem, CodecError> {
     })
 }
 
-fn put_template(buf: &mut BytesMut, t: &Template) {
+pub(crate) fn put_template(buf: &mut BytesMut, t: &Template) {
     match &t.kind {
         Some(k) => {
             buf.put_u8(1);
@@ -302,7 +302,7 @@ fn put_template(buf: &mut BytesMut, t: &Template) {
     }
 }
 
-fn get_template(buf: &mut Bytes) -> Result<Template, CodecError> {
+pub(crate) fn get_template(buf: &mut Bytes) -> Result<Template, CodecError> {
     if buf.remaining() < 1 {
         return Err(CodecError::Truncated);
     }

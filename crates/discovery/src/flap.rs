@@ -1,0 +1,288 @@
+//! Flap damping for churning services.
+//!
+//! A service that registers and withdraws in a tight loop (a crashing
+//! provider daemon, a link that bounces) multiplies work across the whole
+//! replicated registrar: every cycle appends two log entries, ships them to
+//! every replica, and fans out two subscriber events. [`FlapDamper`]
+//! applies the classic BGP route-flap-damping discipline (RFC 2439 shape):
+//! each churn operation adds a per-service **penalty** that **decays
+//! exponentially** with a configurable half-life; once the penalty crosses
+//! the suppression threshold the service's churn is absorbed at the
+//! registrar's edge — not logged, not replicated, not fanned out — until
+//! the penalty decays back below the reuse threshold.
+//!
+//! Renewals add no penalty, so a stable service renewing its lease forever
+//! never accumulates anything; a one-shot re-registration after a registrar
+//! failover costs one unit and decays away. Only sustained churn crosses
+//! the threshold.
+//!
+//! Pure and deterministic: time is the caller's [`SimTime`], decay is a
+//! closed-form power (no incremental drift), and per-service state lives in
+//! a `BTreeMap` so iteration (sweeps, stats) is id-ordered.
+
+use crate::codec::ServiceId;
+use aroma_sim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Damping thresholds and decay rate.
+#[derive(Clone, Copy, Debug)]
+pub struct FlapConfig {
+    /// Penalty added by a (state-changing) register.
+    pub penalty_register: f64,
+    /// Penalty added by an unregister (withdrawals are the stronger churn
+    /// signal: a register/unregister cycle costs the sum).
+    pub penalty_unregister: f64,
+    /// Suppression starts when the penalty reaches this.
+    pub suppress_at: f64,
+    /// Suppression ends when the decayed penalty falls below this.
+    pub reuse_below: f64,
+    /// Penalty half-life.
+    pub half_life: SimDuration,
+    /// Penalty cap, so suppression always ends within
+    /// `half_life * log2(ceiling / reuse_below)` of the last flap.
+    pub ceiling: f64,
+}
+
+impl Default for FlapConfig {
+    fn default() -> Self {
+        FlapConfig {
+            penalty_register: 1.0,
+            penalty_unregister: 2.0,
+            suppress_at: 8.0,
+            reuse_below: 2.0,
+            half_life: SimDuration::from_secs(8),
+            ceiling: 16.0,
+        }
+    }
+}
+
+/// What the damper decided about one churn operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlapDecision {
+    /// Admit the operation into the replication log.
+    Admit,
+    /// Absorb it: the service is (now) suppressed.
+    Suppress,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct FlapState {
+    penalty: f64,
+    last: SimTime,
+    suppressed: bool,
+}
+
+/// Per-service penalty accounting; see the module docs.
+#[derive(Clone, Debug)]
+pub struct FlapDamper {
+    cfg: FlapConfig,
+    states: BTreeMap<ServiceId, FlapState>,
+    /// Operations absorbed since construction (telemetry mirror).
+    pub suppressed_ops: u64,
+    /// Services that entered suppression since construction.
+    pub suppressions: u64,
+}
+
+impl FlapDamper {
+    /// A damper with the given thresholds.
+    pub fn new(cfg: FlapConfig) -> Self {
+        assert!(cfg.reuse_below < cfg.suppress_at && cfg.suppress_at <= cfg.ceiling);
+        assert!(cfg.half_life > SimDuration::ZERO);
+        FlapDamper { cfg, states: BTreeMap::new(), suppressed_ops: 0, suppressions: 0 }
+    }
+
+    /// Record a state-changing register for `id` and decide its fate.
+    pub fn on_register(&mut self, now: SimTime, id: ServiceId) -> FlapDecision {
+        self.record(now, id, self.cfg.penalty_register)
+    }
+
+    /// Record an unregister for `id` and decide its fate.
+    pub fn on_unregister(&mut self, now: SimTime, id: ServiceId) -> FlapDecision {
+        self.record(now, id, self.cfg.penalty_unregister)
+    }
+
+    /// Is `id` currently suppressed (with decay applied as of `now`)?
+    pub fn is_suppressed(&mut self, now: SimTime, id: ServiceId) -> bool {
+        let cfg = self.cfg;
+        match self.states.get_mut(&id) {
+            Some(s) => {
+                decay(s, now, &cfg);
+                s.suppressed
+            }
+            None => false,
+        }
+    }
+
+    /// The decayed penalty for `id` as of `now` (0 when untracked).
+    pub fn penalty(&self, now: SimTime, id: ServiceId) -> f64 {
+        match self.states.get(&id) {
+            Some(s) => decayed(s, now, &self.cfg),
+            None => 0.0,
+        }
+    }
+
+    /// Services currently suppressed as of `now`.
+    pub fn suppressed_count(&mut self, now: SimTime) -> usize {
+        let cfg = self.cfg;
+        for s in self.states.values_mut() {
+            decay(s, now, &cfg);
+        }
+        self.states.values().filter(|s| s.suppressed).count()
+    }
+
+    /// Forget services whose penalty has decayed to noise (< 1/8 of the
+    /// reuse threshold); call from a housekeeping timer so the map tracks
+    /// flappers, not every service ever seen.
+    pub fn sweep(&mut self, now: SimTime) {
+        let cfg = self.cfg;
+        self.states.retain(|_, s| {
+            decay(s, now, &cfg);
+            s.suppressed || s.penalty >= cfg.reuse_below / 8.0
+        });
+    }
+
+    /// Tracked services (post-decay entries not yet swept).
+    pub fn tracked(&self) -> usize {
+        self.states.len()
+    }
+
+    fn record(&mut self, now: SimTime, id: ServiceId, add: f64) -> FlapDecision {
+        let cfg = self.cfg;
+        let s = self
+            .states
+            .entry(id)
+            .or_insert(FlapState { penalty: 0.0, last: now, suppressed: false });
+        decay(s, now, &cfg);
+        s.penalty = (s.penalty + add).min(cfg.ceiling);
+        let was = s.suppressed;
+        if s.penalty >= cfg.suppress_at {
+            s.suppressed = true;
+        }
+        if s.suppressed {
+            if !was {
+                self.suppressions += 1;
+            }
+            self.suppressed_ops += 1;
+            FlapDecision::Suppress
+        } else {
+            FlapDecision::Admit
+        }
+    }
+}
+
+/// Apply exponential decay in place and handle reuse-threshold crossing.
+fn decay(s: &mut FlapState, now: SimTime, cfg: &FlapConfig) {
+    s.penalty = decayed(s, now, cfg);
+    s.last = s.last.max(now);
+    if s.suppressed && s.penalty < cfg.reuse_below {
+        s.suppressed = false;
+    }
+}
+
+/// Closed-form decayed penalty (no in-place update).
+fn decayed(s: &FlapState, now: SimTime, cfg: &FlapConfig) -> f64 {
+    if now <= s.last {
+        return s.penalty;
+    }
+    let dt = (now.as_nanos() - s.last.as_nanos()) as f64;
+    s.penalty * 0.5f64.powf(dt / cfg.half_life.as_nanos() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    fn quick() -> FlapConfig {
+        FlapConfig { half_life: SimDuration::from_secs(1), ..FlapConfig::default() }
+    }
+
+    #[test]
+    fn stable_service_is_never_suppressed() {
+        let mut d = FlapDamper::new(quick());
+        // One registration, then years of nothing (renewals don't touch the
+        // damper at all).
+        assert_eq!(d.on_register(t(0), ServiceId(1)), FlapDecision::Admit);
+        assert!(!d.is_suppressed(t(60_000), ServiceId(1)));
+        assert_eq!(d.suppressed_ops, 0);
+    }
+
+    #[test]
+    fn sustained_churn_crosses_the_threshold() {
+        let mut d = FlapDamper::new(quick());
+        let id = ServiceId(9);
+        let mut suppressed_at = None;
+        for cycle in 0..10 {
+            let now = t(cycle * 200);
+            let a = d.on_register(now, id);
+            let b = d.on_unregister(now + SimDuration::from_millis(100), id);
+            if suppressed_at.is_none() && (a == FlapDecision::Suppress || b == FlapDecision::Suppress)
+            {
+                suppressed_at = Some(cycle);
+            }
+        }
+        let at = suppressed_at.expect("3 penalty/cycle against threshold 8 must suppress");
+        assert!(at <= 3, "suppression must kick in within ~3 cycles, got {at}");
+        assert!(d.suppressions >= 1);
+        assert!(d.suppressed_ops > 0);
+    }
+
+    #[test]
+    fn suppression_decays_back_to_reuse() {
+        let mut d = FlapDamper::new(quick());
+        let id = ServiceId(5);
+        for i in 0..6 {
+            d.on_unregister(t(i * 10), id);
+        }
+        assert!(d.is_suppressed(t(100), id), "12 penalty in 60ms is far past 8");
+        // Penalty ≤ 12; reuse at 2 ⇒ ≤ log2(12/2) ≈ 2.6 half-lives.
+        assert!(!d.is_suppressed(t(100 + 3_000), id), "must be reusable after 3 half-lives");
+        // And churn while suppressed keeps it suppressed (penalty re-adds).
+        for i in 0..6 {
+            d.on_unregister(t(10_000 + i * 10), id);
+        }
+        assert_eq!(d.on_register(t(10_100), id), FlapDecision::Suppress);
+    }
+
+    #[test]
+    fn ceiling_bounds_the_outage() {
+        let mut d = FlapDamper::new(quick());
+        let id = ServiceId(7);
+        // An hour of violent churn cannot push the penalty past the ceiling…
+        for i in 0..1000 {
+            d.on_unregister(t(i * 10), id);
+        }
+        assert!(d.penalty(t(10_000), id) <= d.cfg.ceiling);
+        // …so recovery is bounded: ceiling 16 → reuse 2 is 3 half-lives.
+        assert!(!d.is_suppressed(t(10_000 + 3_001), id));
+    }
+
+    #[test]
+    fn sweep_forgets_cold_entries_but_keeps_suppressed() {
+        let mut d = FlapDamper::new(quick());
+        d.on_register(t(0), ServiceId(1)); // one-shot, will decay to noise
+        for i in 0..8 {
+            d.on_unregister(t(i * 10), ServiceId(2)); // suppressed flapper
+        }
+        assert_eq!(d.tracked(), 2);
+        // At 2.5 half-lives: the one-shot's penalty (1 → ~0.18) is below the
+        // forget floor (reuse/8 = 0.25); the flapper (≈16 → ~2.8) is still
+        // above reuse (2), hence still suppressed.
+        d.sweep(t(2_500));
+        assert_eq!(d.tracked(), 1, "cold entry forgotten");
+        assert!(d.is_suppressed(t(2_500), ServiceId(2)), "suppressed entry kept");
+    }
+
+    #[test]
+    fn per_service_isolation() {
+        let mut d = FlapDamper::new(quick());
+        for i in 0..6 {
+            d.on_unregister(t(i * 10), ServiceId(1));
+        }
+        assert!(d.is_suppressed(t(100), ServiceId(1)));
+        assert_eq!(d.on_register(t(100), ServiceId(2)), FlapDecision::Admit, "innocent bystander");
+    }
+}

@@ -23,15 +23,47 @@
 //!   (registers a service and keeps its lease alive; re-discovers after a
 //!   registrar crash), [`apps::ClientApp`] (discovers, looks up, measures
 //!   time-to-service — the E3 metric).
+//!
+//! PR 9 makes the registrar replicated and persistent:
+//!
+//! * [`shard`] — the lease table split into hash-routed
+//!   [`registry::ServiceRegistry`] shards with order-preserving merges, so
+//!   sharding is unobservable in any output.
+//! * [`replication`] — log-shipped lease replication between registrars:
+//!   epoch-owned primaries, majority commit, and election on lease timeout
+//!   (at most one active primary per epoch by construction).
+//! * [`snapshot`] — deterministic versioned lease-table snapshots; the
+//!   replication log truncates behind them and restarted registrars rejoin
+//!   from snapshot + log suffix.
+//! * [`flap`] — BGP-style flap damping: churning services accumulate an
+//!   exponentially decaying penalty and are absorbed at the registrar's
+//!   edge while suppressed.
+//! * [`cluster`] — [`cluster::ReplicatedRegistrarApp`], the replicated
+//!   registrar as a [`aroma_net::NetApp`]: heartbeats, rank-staggered
+//!   elections, synchronous durable persistence across process kills, and
+//!   primary-only client serving.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod apps;
+pub mod cluster;
 pub mod codec;
+pub mod flap;
 pub mod proxy;
 pub mod registry;
+pub mod replication;
+pub mod shard;
+pub mod snapshot;
 
+pub use cluster::ReplicatedRegistrarApp;
 pub use codec::{Msg, ServiceId, ServiceItem, Template};
+pub use flap::{FlapConfig, FlapDamper, FlapDecision};
 pub use proxy::{vet_proxy, ProxyError, VettedProxy, MCODE_MAGIC};
 pub use registry::{RegistryEvent, ServiceRegistry};
+pub use replication::{
+    ClientAck, ClusterConfig, DurableState, Effect, LogEntry, RepMsg, RepOp, RepStats,
+    ReplicaNode, Role, PROTO_REPLICATION,
+};
+pub use shard::ShardedRegistry;
+pub use snapshot::{LeaseSnapshot, SNAPSHOT_VERSION};

@@ -196,6 +196,29 @@ impl ServiceRegistry {
         self.subs.len()
     }
 
+    /// The stored expiry for `id` (lapsed-but-unswept included).
+    pub fn expiry_of(&self, id: ServiceId) -> Option<SimTime> {
+        self.regs.get(&id).map(|r| r.lease_expires)
+    }
+
+    /// Every stored registration with its expiry, in `ServiceId` order —
+    /// including lapsed-but-unswept entries. This is the snapshot capture
+    /// path ([`crate::snapshot::LeaseSnapshot`]): persisting the raw table
+    /// (not just the live subset) keeps a restored registry byte-equivalent
+    /// to the original, sweep-pending entries and all.
+    pub fn entries(&self) -> impl Iterator<Item = (&ServiceItem, SimTime)> {
+        self.regs.values().map(|r| (&r.item, r.lease_expires))
+    }
+
+    /// Install a registration with an exact expiry instant, bypassing lease
+    /// capping and subscriber events. Snapshot restore and replicated log
+    /// application use this: the lease was granted (and capped, and
+    /// notified) by the original registrar; replaying it must reproduce the
+    /// stored state bit-for-bit, not re-run grant policy at restore time.
+    pub fn install(&mut self, item: ServiceItem, lease_expires: SimTime) {
+        self.regs.insert(item.id, Registration { item, lease_expires });
+    }
+
     /// Model-checker introspection (feature `model-check`): every stored
     /// registration as `(id, lease_expires)`, in id order — including
     /// lapsed-but-unswept entries, which `aroma-check` distinguishes

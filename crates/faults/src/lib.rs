@@ -105,6 +105,50 @@ impl FaultOp {
     }
 }
 
+/// A structurally invalid fault schedule, reported by
+/// [`FaultScheduleBuilder::try_build`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScheduleError {
+    /// An individual operation failed validation (bad mask, probability,
+    /// or skew factor).
+    InvalidOp {
+        /// Scheduled instant of the offending operation.
+        t_nanos: u64,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Two crash/kill intervals for the same node overlap: the second
+    /// begins before the first has been restored. Scripted chaos scenarios
+    /// should stagger faults per node; stacked downtime is almost always a
+    /// scripting bug (the second down-op is a no-op and its paired restart
+    /// resurrects the node early).
+    OverlappingCrash {
+        /// The node with overlapping downtime.
+        node: u32,
+        /// Start of the earlier interval (nanoseconds).
+        first_down: u64,
+        /// Start of the later, conflicting interval (nanoseconds).
+        second_down: u64,
+    },
+}
+
+impl core::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ScheduleError::InvalidOp { t_nanos, reason } => {
+                write!(f, "invalid fault op at t={t_nanos}: {reason}")
+            }
+            ScheduleError::OverlappingCrash { node, first_down, second_down } => write!(
+                f,
+                "overlapping crash intervals for node {node}: \
+                 down at t={second_down} while still down since t={first_down}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
 /// A seed-stable script of faults: `(t_nanos, op)` pairs sorted by time
 /// (ties keep insertion order), plus the seed for the injector's private
 /// RNG stream. Build one with [`FaultSchedule::builder`].
@@ -208,8 +252,63 @@ impl FaultScheduleBuilder {
             .op(t_up, FaultOp::ProcessRestart { node })
     }
 
+    /// Crash `node` at `t_down` and bring it back `downtime` nanoseconds
+    /// later as a *snapshot restore*: the app's in-memory state survives
+    /// (only timers are lost), modelling a registrar that recovers from its
+    /// persisted snapshot rather than an empty table. One call scripts the
+    /// whole crash/restore episode.
+    pub fn crash_restore_after(self, t_down: u64, downtime: u64, node: u32) -> Self {
+        assert!(downtime > 0, "crash_restore_after needs a non-zero downtime");
+        self.op(t_down, FaultOp::NodeDown { node, drop_state: false })
+            .op(t_down + downtime, FaultOp::NodeUp { node })
+    }
+
+    /// Validate and finish, reporting structural problems as a typed
+    /// [`ScheduleError`] instead of panicking. On top of per-op validation
+    /// this rejects overlapping crash intervals for the same node (a
+    /// `NodeDown`/`ProcessKill` scheduled while an earlier one has not been
+    /// matched by its `NodeUp`/`ProcessRestart` yet).
+    pub fn try_build(mut self) -> Result<FaultSchedule, ScheduleError> {
+        for (t, op) in &self.ops {
+            if let Err(reason) = op.validate() {
+                return Err(ScheduleError::InvalidOp { t_nanos: *t, reason });
+            }
+        }
+        // Stable sort: ops scheduled for the same instant apply in the
+        // order they were scripted.
+        self.ops.sort_by_key(|&(t, _)| t);
+        // Per-node downtime intervals must not overlap. Node power faults
+        // and process kills share one "down since" slot per node: killing a
+        // process on a powered-off host (or vice versa) is the same
+        // stacked-downtime scripting bug.
+        let mut down_since: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+        for &(t, op) in &self.ops {
+            match op {
+                FaultOp::NodeDown { node, .. } | FaultOp::ProcessKill { node } => {
+                    if let Some(&first_down) = down_since.get(&node) {
+                        return Err(ScheduleError::OverlappingCrash {
+                            node,
+                            first_down,
+                            second_down: t,
+                        });
+                    }
+                    down_since.insert(node, t);
+                }
+                FaultOp::NodeUp { node } | FaultOp::ProcessRestart { node } => {
+                    down_since.remove(&node);
+                }
+                _ => {}
+            }
+        }
+        Ok(FaultSchedule { seed: self.seed, ops: self.ops })
+    }
+
     /// Validate and finish. Panics on an invalid operation (this is a test
     /// and experiment authoring API; bad scripts are programming errors).
+    /// Unlike [`Self::try_build`] this does *not* reject overlapping crash
+    /// intervals — `random_storm` deliberately stacks arbitrary faults and
+    /// the injector tolerates them; use `try_build` for hand-authored
+    /// scripts that should be overlap-checked.
     pub fn build(mut self) -> FaultSchedule {
         for (t, op) in &self.ops {
             if let Err(e) = op.validate() {
@@ -301,5 +400,76 @@ mod tests {
         FaultSchedule::builder(0)
             .op(0, FaultOp::ClockSkew { node: 0, factor: 0.0 })
             .build();
+    }
+
+    #[test]
+    fn crash_restore_after_expands_to_snapshot_restore_pair() {
+        let s = FaultSchedule::builder(3).crash_restore_after(1_000, 500, 7).build();
+        assert_eq!(
+            s.ops(),
+            &[
+                (1_000, FaultOp::NodeDown { node: 7, drop_state: false }),
+                (1_500, FaultOp::NodeUp { node: 7 }),
+            ]
+        );
+    }
+
+    #[test]
+    fn try_build_accepts_staggered_crashes() {
+        let s = FaultSchedule::builder(0)
+            .crash_restart(100, 200, 1)
+            .crash_restore_after(300, 50, 1)
+            .process_kill_restart(400, 500, 1)
+            .crash_restart(150, 180, 2) // other node, nested in node 1's window
+            .try_build()
+            .expect("staggered per-node intervals are valid");
+        assert_eq!(s.len(), 8);
+    }
+
+    #[test]
+    fn try_build_rejects_overlapping_crash_intervals() {
+        let err = FaultSchedule::builder(0)
+            .crash_restart(100, 400, 5)
+            .crash_restore_after(250, 100, 5)
+            .try_build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ScheduleError::OverlappingCrash { node: 5, first_down: 100, second_down: 250 }
+        );
+        assert!(err.to_string().contains("node 5"));
+    }
+
+    #[test]
+    fn try_build_rejects_kill_during_power_fault() {
+        // Cross-family overlap: a process kill while the host is powered
+        // off is the same stacked-downtime bug.
+        let err = FaultSchedule::builder(0)
+            .power_cycle(100, 300, 2)
+            .process_kill_restart(200, 250, 2)
+            .try_build()
+            .unwrap_err();
+        assert!(matches!(err, ScheduleError::OverlappingCrash { node: 2, .. }));
+    }
+
+    #[test]
+    fn try_build_reports_invalid_ops_as_typed_errors() {
+        let err = FaultSchedule::builder(0)
+            .op(9, FaultOp::BurstStart { loss: 2.0 })
+            .try_build()
+            .unwrap_err();
+        assert!(matches!(err, ScheduleError::InvalidOp { t_nanos: 9, .. }));
+        assert!(err.to_string().contains("outside [0, 1]"));
+    }
+
+    #[test]
+    fn try_build_allows_unhealed_crash() {
+        // A never-restored node is a legal script (unhealed-fault tests rely
+        // on it); only *stacked* downtime is rejected.
+        let s = FaultSchedule::builder(0)
+            .op(100, FaultOp::NodeDown { node: 0, drop_state: true })
+            .try_build()
+            .expect("a single unhealed crash is fine");
+        assert_eq!(s.len(), 1);
     }
 }

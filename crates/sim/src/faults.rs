@@ -30,6 +30,8 @@ pub trait TimedScheduleExt: Sized {
     fn clock_skew_at(self, t: SimTime, node: u32, factor: f64) -> Self;
     /// Kill the app process on `node` at `kill`, restart it at `up`.
     fn process_kill_restart_at(self, kill: SimTime, up: SimTime, node: u32) -> Self;
+    /// Crash `node` at `down` and snapshot-restore it `downtime` later.
+    fn crash_restore_after_at(self, down: SimTime, downtime: SimDuration, node: u32) -> Self;
 }
 
 impl TimedScheduleExt for FaultScheduleBuilder {
@@ -53,6 +55,9 @@ impl TimedScheduleExt for FaultScheduleBuilder {
     }
     fn process_kill_restart_at(self, kill: SimTime, up: SimTime, node: u32) -> Self {
         self.process_kill_restart(kill.as_nanos(), up.as_nanos(), node)
+    }
+    fn crash_restore_after_at(self, down: SimTime, downtime: SimDuration, node: u32) -> Self {
+        self.crash_restore_after(down.as_nanos(), downtime.as_nanos(), node)
     }
 }
 

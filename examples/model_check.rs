@@ -1,17 +1,22 @@
-//! Exhaustive model checking of the session and lease protocols.
+//! Exhaustive model checking of the session, lease, and replication
+//! protocols.
 //!
-//! Runs `aroma-check`'s two production models — the Smart Projector's
-//! session protocol (real `SessionManager`s under an adversary) and the
+//! Runs `aroma-check`'s production models — the Smart Projector's
+//! session protocol (real `SessionManager`s under an adversary), the
 //! lookup service's lease protocol (real `ServiceRegistry` behind a lossy,
-//! duplicating, reordering channel) — to exhaustion within bounds, then
-//! demonstrates the checker's counterexample traces on two seeded faults:
-//! the policy-free projector (hijack in two actions) and the forgetful
-//! presenter under manual release (the paper's lockout, as a liveness
-//! violation).
+//! duplicating, reordering channel), and the replicated registrar (real
+//! `ReplicaNode`s under client churn, message loss, crash/restore, and
+//! elections — DESIGN.md §15) — to exhaustion within bounds, then
+//! demonstrates the checker's counterexample traces on three seeded
+//! faults: the policy-free projector (hijack in two actions), the
+//! forgetful presenter under manual release (the paper's lockout, as a
+//! liveness violation), and a replica answering lookups before the
+//! commit-carrying append lands (why only the serving primary answers).
 //!
 //! The full sweep covers ~4.5M distinct states across the three fixpoint
-//! runs (a few minutes single-threaded; successor generation parallelises
-//! across cores by default — see DESIGN.md §12).
+//! runs plus a 600k-state bounded prefix of the replication space (a few
+//! minutes single-threaded; successor generation parallelises across
+//! cores by default — see DESIGN.md §12).
 //!
 //! ```text
 //! cargo run --release --example model_check            # full sweep (~4.5M states)
@@ -19,7 +24,10 @@
 //! cargo run --release --example model_check -- --max-states 200000 --workers 4
 //! ```
 
-use aroma_check::{check, CheckerConfig, LeaseConfig, LeaseModel, Model, SessionConfig, SessionModel};
+use aroma_check::{
+    check, AnyNodeServes, CheckerConfig, LeaseConfig, LeaseModel, Model, ReplConfig, ReplModel,
+    SessionConfig, SessionModel,
+};
 use aroma_sim::SimDuration;
 use smart_projector::session::SessionPolicy;
 use std::time::Instant;
@@ -177,6 +185,24 @@ fn main() {
         &mut failures,
     );
 
+    // The replicated registrar (DESIGN.md §15). Its interleaving space
+    // (channel contents x durable blobs x clocks) outgrows the fixpoint
+    // models, so the full mode sweeps a bounded 600k-state BFS prefix —
+    // every interleaving within it checked for at-most-one-active-primary,
+    // no-committed-lease-lost, and no-stale-lookup (ghost-log refinement).
+    let repl_cfg = if cfg.max_states > 600_000 {
+        cfg.with_max_states(600_000)
+    } else {
+        cfg
+    };
+    let repl = ReplModel::new(ReplConfig::default());
+    let s4 = verify(
+        "replication protocol / 3 registrars, crash+restore, lossy channel, elections",
+        &repl,
+        &repl_cfg,
+        &mut failures,
+    );
+
     // -- Seeded faults: the checker must find and print the traces. -------
 
     demonstrate(
@@ -207,6 +233,18 @@ fn main() {
         &mut failures,
     );
 
+    // Why only the serving primary answers lookups: force the all-nodes
+    // variant of the freshness property and watch a lagging replica serve
+    // a table missing a commit that already happened.
+    demonstrate(
+        "replication / replica answers before the commit lands",
+        &AnyNodeServes::demo(),
+        &cfg,
+        "every-node-lookup-fresh",
+        12,
+        &mut failures,
+    );
+
     // -- Coverage floor (full mode only; smoke trades depth for speed). ---
 
     if cfg.max_states >= FULL_SWEEP_STATES {
@@ -216,6 +254,9 @@ fn main() {
             ("ManualRelease", s1, 300_000),
             ("AutoExpire", s2, 2_000_000),
             ("lease", s3, 1_500_000),
+            // Bounded sweep: the floor is the bound itself — shrinkage
+            // means the model stopped generating successors early.
+            ("replication", s4, 590_000),
         ] {
             if states < floor {
                 failures += 1;
@@ -223,7 +264,12 @@ fn main() {
             }
         }
     } else if cfg.max_states > 100_000 {
-        for (name, states) in [("ManualRelease", s1), ("AutoExpire", s2), ("lease", s3)] {
+        for (name, states) in [
+            ("ManualRelease", s1),
+            ("AutoExpire", s2),
+            ("lease", s3),
+            ("replication", s4),
+        ] {
             if states < 10_000 {
                 failures += 1;
                 println!("FAIL: {name} model explored only {states} distinct states (< 10k)");

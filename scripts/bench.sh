@@ -15,7 +15,14 @@
 # sweep runs (states/sec at 1/2/4 workers with oversubscription flags),
 # and the entry is APPENDED to BENCH_check.json so the perf trajectory
 # accumulates across engine changes instead of overwriting its history.
-# Run from the repository root: ./scripts/bench.sh [--quick] [--scaling]
+#
+# Pass --discovery for the lease-table scaling mode: the flat
+# ServiceRegistry and the hash-sharded ShardedRegistry are swept at 10^4,
+# 10^5, and 10^6 live leases (register/renew throughput, lookup
+# throughput, and p50/p99 lookup latency), and the entry is APPENDED to
+# BENCH_disc.json under the same trajectory-accumulation contract.
+# Run from the repository root:
+#   ./scripts/bench.sh [--quick] [--scaling | --discovery]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

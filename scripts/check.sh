@@ -1,17 +1,18 @@
 #!/usr/bin/env bash
 # Full local gate: release build, test suite, warning-free clippy, the
-# model checker in smoke mode (bounded exhaustive sweep of the session and
-# lease protocols — see DESIGN.md §9) run sequentially and with 2 and 4
-# workers and diffed (the sharded engine's determinism contract,
-# DESIGN.md §12), one traced smoke experiment exercising the telemetry
-# pipeline end to end (DESIGN.md §10), and the fixed-seed E9 chaos
-# walkthrough, asserting every layer recovered from the injected fault
-# storm within its deadline (DESIGN.md §11), and the optimizer-validation
-# smoke gate: optimize the shipped brightness registration and diff its
-# results against the unoptimized program on three seed-driven input
-# sweeps (DESIGN.md §13), and the aroma-lint determinism gate: zero
-# unwaived nondet-order or sim-purity findings across the workspace, every
-# waiver carrying a reason (DESIGN.md §14).
+# model checker in smoke mode (bounded exhaustive sweep of the session,
+# lease, and registrar-replication protocols — see DESIGN.md §9/§15) run
+# sequentially and with 2 and 4 workers and diffed (the sharded engine's
+# determinism contract, DESIGN.md §12), one traced smoke experiment
+# exercising the telemetry pipeline end to end (DESIGN.md §10), the
+# fixed-seed E9 chaos walkthrough — every layer recovered within its
+# deadline, zero stale lookups through the registrar-churn storm, and the
+# whole report byte-identical across two runs (DESIGN.md §11/§15) — the
+# optimizer-validation smoke gate: optimize the shipped brightness
+# registration and diff its results against the unoptimized program on
+# three seed-driven input sweeps (DESIGN.md §13), and the aroma-lint
+# determinism gate: zero unwaived nondet-order or sim-purity findings
+# across the workspace, every waiver carrying a reason (DESIGN.md §14).
 # Run from the repository root: ./scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -33,6 +34,10 @@ for workers in 2 4; do
     || { echo "FAIL: model-check report at $workers workers diverges from sequential"; exit 1; }
 done
 printf '%s\n' "$seq_out" | grep -q 'model_check: all protocol properties verified'
+# The smoke sweep must include the replication model with zero violations
+# (the PR 9 safety gate: at-most-one-active-primary, no-committed-lease-
+# lost, no-stale-lookup over the bounded interleaving sweep).
+printf '%s\n' "$seq_out" | grep -q 'replication protocol'
 
 # Capture before grepping: `… | grep -q` closes the pipe at the first
 # match and the producer's remaining println!s die on EPIPE — a race that
@@ -41,6 +46,14 @@ e2_out=$(cargo run --release -p lpc-bench --bin repro -- --quick --metrics e2)
 grep -q '"net.mac.tx_attempts"' <<<"$e2_out"
 e9_out=$(cargo run --release -p lpc-bench --bin repro -- --experiment e9 --seed 233)
 grep -q 'chaos recovery: all layers within deadline' <<<"$e9_out"
+# Registrar-churn gate: the replicated cluster must have served zero
+# stale rows through replica rejoin, primary failover, and the flapper…
+grep -q 'registrar churn: zero stale lookups' <<<"$e9_out"
+# …and the storm must be a pure function of its seed: a second run of
+# the same walkthrough diffs byte-for-byte against the first.
+e9_out2=$(cargo run --release -p lpc-bench --bin repro -- --experiment e9 --seed 233)
+diff <(printf '%s\n' "$e9_out") <(printf '%s\n' "$e9_out2") \
+  || { echo "FAIL: E9 chaos walkthrough is not byte-identical across runs"; exit 1; }
 
 # Optimizer-validation gate: the translation-validated optimizer's output
 # must agree with the unoptimized registration on every probed input, for
