@@ -1,0 +1,26 @@
+//! Broadcast fan-out bench: one screen server streaming to 10 / 100 /
+//! 1 000 / 10 000 viewers over the wired star (simulated seconds of
+//! encode-once broadcast work per iteration). The same scenario backs
+//! `BENCH_fanout.json` via `repro bench --fanout`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lpc_bench::fanoutbench;
+use std::hint::black_box;
+
+fn bench_fanout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fanout/broadcast");
+    g.sample_size(10);
+    for &viewers in &fanoutbench::SCALES {
+        g.bench_function(format!("viewers_{viewers}"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(fanoutbench::scale_point(viewers, seed))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fanout);
+criterion_main!(benches);

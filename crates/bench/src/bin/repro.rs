@@ -12,12 +12,15 @@
 //! repro bench          # checker thread-scaling sweep -> BENCH_check.json
 //! repro bench --scaling  # scaling-only sweep, APPENDED to BENCH_check.json
 //! repro bench --discovery  # lease-table scaling sweep, APPENDED to BENCH_disc.json
+//! repro bench --fanout  # broadcast fan-out sweep, APPENDED to BENCH_fanout.json
+//! repro fanout-smoke   # deterministic fan-out digest line (check.sh double-runs it)
 //! ```
 
 use lpc_bench::experiments::{self, RunOpts, ALL_IDS};
 
 const USAGE: &str = "usage: repro [--quick] [--json] [--metrics] [--trace] [--seed N] [--list] \
-                     [--scaling] [--discovery] [--experiment <id>] <all|bench|f1..f5|e1..e11>...";
+                     [--scaling] [--discovery] [--fanout] [--experiment <id>] \
+                     <all|bench|fanout-smoke|f1..f5|e1..e11>...";
 
 /// Append one rendered JSON document to a `BENCH_*.json` file, keeping
 /// the file a JSON array of bench entries: a missing file starts a fresh
@@ -49,6 +52,7 @@ fn main() {
     let mut json = false;
     let mut scaling = false;
     let mut discovery = false;
+    let mut fanout = false;
     let mut ids: Vec<String> = Vec::new();
     let mut i = 0usize;
     while i < args.len() {
@@ -59,6 +63,7 @@ fn main() {
             "--json" => json = true,
             "--scaling" => scaling = true,
             "--discovery" => discovery = true,
+            "--fanout" => fanout = true,
             "--metrics" => opts.metrics = true,
             "--trace" => opts.trace = true,
             // `--seed N` and `--experiment <id>` take a value argument.
@@ -95,6 +100,19 @@ fn main() {
         eprintln!("{USAGE}");
         std::process::exit(2);
     }
+    // `fanout-smoke` prints one fully deterministic line for a fixed-seed
+    // broadcast run — `scripts/check.sh` runs it twice and byte-diffs the
+    // output (the same gate `--fanout`'s scale points apply internally).
+    if ids.iter().any(|id| id == "fanout-smoke") {
+        if ids.len() > 1 {
+            eprintln!("`fanout-smoke` runs alone");
+            std::process::exit(2);
+        }
+        let seed = opts.seed.unwrap_or(233);
+        let viewers = if opts.quick { 100 } else { 1_000 };
+        println!("{}", lpc_bench::fanoutbench::smoke_line(viewers, seed));
+        return;
+    }
     // `bench` is not an experiment: it measures the model checker's
     // thread scaling (plus the E9 recovery times) and the mobile-code
     // execution tiers, writing BENCH_check.json and BENCH_mcode.json in
@@ -124,6 +142,17 @@ fn main() {
             append_bench_entry("BENCH_disc.json", &text);
             println!("{text}");
             eprintln!("appended discovery entry to BENCH_disc.json");
+            return;
+        }
+        // Fan-out mode: broadcast scaling sweep (1 server → 10..10k
+        // viewers), *appended* to BENCH_fanout.json, same trajectory-
+        // accumulation contract as --scaling/--discovery.
+        if fanout {
+            let doc = lpc_bench::fanoutbench::run(opts.quick);
+            let text = doc.render();
+            append_bench_entry("BENCH_fanout.json", &text);
+            println!("{text}");
+            eprintln!("appended fan-out entry to BENCH_fanout.json");
             return;
         }
         let doc = lpc_bench::checkbench::run(opts.quick);

@@ -20,5 +20,6 @@
 pub mod checkbench;
 pub mod discbench;
 pub mod experiments;
+pub mod fanoutbench;
 pub mod mcodebench;
 pub mod scenarios;

@@ -60,6 +60,14 @@ pub struct RegistrarApp {
     pub federation_peer: Option<NodeId>,
     /// Registrations mirrored to the peer.
     pub federated_out: u64,
+    /// Event notifications encoded (one per distinct `(kind, item)` run —
+    /// subscribers of the same transition share the encoding).
+    pub event_encodings: u64,
+    /// Event notifications the MAC refused to accept (full queue). The
+    /// subscriber silently misses the transition and resynchronises on its
+    /// next lookup; the counter (and `disc.events_dropped`) makes the loss
+    /// observable instead of silent.
+    pub events_dropped: u64,
 }
 
 impl RegistrarApp {
@@ -74,6 +82,8 @@ impl RegistrarApp {
             discoveries_answered: 0,
             federation_peer: None,
             federated_out: 0,
+            event_encodings: 0,
+            events_dropped: 0,
         }
     }
 
@@ -118,13 +128,42 @@ impl RegistrarApp {
         }
     }
 
+    /// Push event notifications to subscribers, encoding each distinct
+    /// transition once: `events_for` emits one event per matching
+    /// subscriber of the *same* `(kind, item)`, so consecutive events in a
+    /// batch share their wire bytes (a refcounted [`Bytes`] clone per
+    /// subscriber, not a re-encode). A full MAC queue drops the
+    /// notification — counted, never silent.
     fn flush_events(&mut self, ctx: &mut NetCtx<'_>, events: Vec<crate::registry::RegistryEvent>) {
+        let mut cached: Option<(EventKind, ServiceItem, Bytes)> = None;
         for ev in events {
-            let msg = Msg::Event {
-                kind: ev.kind,
-                item: ev.item,
-            };
-            ctx.send(Address::Node(NodeId(ev.subscriber)), msg.encode());
+            let reuse = cached
+                .as_ref()
+                .is_some_and(|(k, it, _)| *k == ev.kind && *it == ev.item);
+            if !reuse {
+                let wire = Msg::Event {
+                    kind: ev.kind,
+                    item: ev.item.clone(),
+                }
+                .encode();
+                self.event_encodings += 1;
+                cached = Some((ev.kind, ev.item, wire));
+            }
+            let wire = cached.as_ref().expect("cache populated above").2.clone();
+            if !ctx.send(Address::Node(NodeId(ev.subscriber)), wire) {
+                self.events_dropped += 1;
+                let now_ns = ctx.now().as_nanos();
+                let rec = ctx.telemetry();
+                rec.count("disc.events_dropped", 1);
+                rec.event(
+                    now_ns,
+                    Layer::Abstract,
+                    "disc.event.drop",
+                    ev.subscriber,
+                    0,
+                    0,
+                );
+            }
         }
     }
 

@@ -309,3 +309,95 @@ fn lookup_reply_respects_mtu_with_truncation_flag() {
         c.found.len()
     );
 }
+
+#[test]
+fn full_mac_queue_drops_events_audibly_and_encodes_once() {
+    use aroma_sim::telemetry::TelemetryConfig;
+
+    // One-slot MAC queues: a registration that fans out notifications to
+    // several subscribers can hand the MAC at most one frame — the rest
+    // must be dropped, *counted*, and visible in telemetry, while the
+    // transition is still encoded exactly once for the whole batch.
+    let mut net = Network::new(
+        quiet(),
+        MacConfig {
+            queue_cap: 1,
+            ..Default::default()
+        },
+        11,
+    );
+    net.attach_telemetry(TelemetryConfig::default());
+    let registrar = net.add_node(
+        NodeConfig::at(Point::new(0.0, 0.0)),
+        Box::new(RegistrarApp::new(SimDuration::from_secs(5))),
+    );
+    let subscribers: Vec<NodeId> = (0..4)
+        .map(|i| {
+            net.add_node(
+                NodeConfig::at(Point::new(0.0, 2.0 + i as f64)),
+                Box::new(
+                    ClientApp::new(Template::of_kind("projector/display")).with_subscription(),
+                ),
+            )
+        })
+        .collect();
+    // A registrant that waits until every subscription has landed, then
+    // registers three services back-to-back — three notification
+    // fan-outs of four subscribers each against one-slot queues.
+    struct LateRegistrant {
+        registrar: NodeId,
+    }
+    impl aroma_net::NetApp for LateRegistrant {
+        fn on_start(&mut self, ctx: &mut aroma_net::NetCtx<'_>) {
+            ctx.set_timer(SimDuration::from_secs(2), 1);
+        }
+        fn on_timer(&mut self, ctx: &mut aroma_net::NetCtx<'_>, _token: u64) {
+            for id in [9u64, 10, 11] {
+                let mut item = projector_item(id);
+                item.provider = ctx.node().0;
+                ctx.send(
+                    aroma_net::Address::Node(self.registrar),
+                    aroma_discovery::codec::Msg::Register {
+                        item,
+                        lease_ms: 30_000,
+                    }
+                    .encode(),
+                );
+            }
+        }
+    }
+    net.add_node(
+        NodeConfig::at(Point::new(4.0, 0.0)),
+        Box::new(LateRegistrant { registrar }),
+    );
+    net.run_for(SimDuration::from_secs(5));
+
+    let reg = net.app_as::<RegistrarApp>(registrar).unwrap();
+    assert!(
+        reg.events_dropped > 0,
+        "a 1-slot MAC queue cannot absorb a 4-subscriber fan-out"
+    );
+    let delivered: usize = subscribers
+        .iter()
+        .map(|&s| net.app_as::<ClientApp>(s).unwrap().events.len())
+        .sum();
+    let reg = net.app_as::<RegistrarApp>(registrar).unwrap();
+    let attempts = reg.events_dropped + delivered as u64;
+    assert!(
+        reg.event_encodings < attempts,
+        "{} encodings for {} notification attempts — the batch is re-encoding per subscriber",
+        reg.event_encodings,
+        attempts
+    );
+    let snap = net.telemetry_snapshot().expect("telemetry attached");
+    let dropped_counter = snap
+        .counters
+        .iter()
+        .find(|(name, _)| *name == "disc.events_dropped")
+        .map(|(_, v)| *v)
+        .unwrap_or(0);
+    assert_eq!(
+        dropped_counter, reg.events_dropped,
+        "telemetry counter disagrees with the app counter"
+    );
+}

@@ -313,6 +313,23 @@ impl NetCtx<'_> {
         self.core.wired_link(self.node, peer).is_some()
     }
 
+    /// Free slots in this node's MAC transmit queue right now. A batching
+    /// sender (the VNC broadcast pump) uses this as its per-dispatch budget
+    /// so it never feeds the queue a frame that [`NetCtx::send`] would have
+    /// to reject.
+    pub fn mac_queue_space(&self) -> usize {
+        let n = &self.core.nodes[self.node.0 as usize];
+        self.core.cfg.queue_cap.saturating_sub(n.mac.queue.len())
+    }
+
+    /// Would a unicast [`NetCtx::send`] to `peer` ride a cable instead of
+    /// the radio? True only when wired-preferred routing is enabled on the
+    /// network *and* a cable exists — such sends never consume MAC queue
+    /// slots.
+    pub fn unicast_is_wired(&self, peer: NodeId) -> bool {
+        self.core.prefer_wired && self.core.wired_link(self.node, peer).is_some()
+    }
+
     /// Arm a timer; `token` is handed back to
     /// [`NetApp::on_timer`] when it fires. Under an active clock-skew fault
     /// the delay is stretched or compressed by the node's skew factor.
@@ -471,6 +488,15 @@ struct Core {
     pending: Vec<AppCall>,
     prune_counter: u32,
     wired: Vec<WiredLink>,
+    /// Cable lookup by normalised `(min, max)` node pair — `wired_link` is
+    /// on the per-frame send path, and a linear scan over ten thousand
+    /// cables would turn the broadcast fan-out quadratic. Keyed access
+    /// only (never iterated), so determinism is unaffected.
+    wired_index: HashMap<(u32, u32), u32>,
+    /// Route unicast [`NetCtx::send`]s over a cable whenever one exists
+    /// (opt-in via [`Network::set_prefer_wired`]; radio remains the
+    /// broadcast and fallback path).
+    prefer_wired: bool,
     /// Telemetry recorder (Off by default; every call inlines to a no-op).
     rec: Telemetry,
     /// Fault-injection plane; `None` unless a schedule was attached.
@@ -514,6 +540,15 @@ impl Core {
                 fp.stats.sends_blocked_down += 1;
             }
             return false;
+        }
+        if self.prefer_wired {
+            if let Address::Node(d) = dst {
+                if self.wired_link(src, d).is_some() {
+                    // Wired-preferred routing: the cable carries the frame,
+                    // so it never occupies a MAC queue slot.
+                    return self.send_wired(src, d, payload);
+                }
+            }
         }
         let now = self.queue.now();
         let cap = self.cfg.queue_cap;
@@ -959,14 +994,32 @@ impl Core {
             Event::MobilityTick { node } => self.on_mobility_tick(node),
             Event::WiredDeliver { from, to, payload } => {
                 if !self.nodes[from.0 as usize].up || !self.nodes[to.0 as usize].up {
-                    // A cable into a powered-down host delivers nothing.
+                    // A cable into a powered-down host delivers nothing. A
+                    // live sender still learns its frame died — the same
+                    // contract the radio keeps via retry exhaustion — so
+                    // windowed senders can reclaim the in-flight slot.
                     if let Some(fp) = &mut self.faults {
                         fp.stats.frames_lost_down += 1;
+                    }
+                    if self.nodes[from.0 as usize].up {
+                        self.pending.push(AppCall::SendFailed {
+                            node: from,
+                            to,
+                            payload,
+                        });
                     }
                     return;
                 }
                 self.stats.wired_frames += 1;
                 self.stats.wired_bytes += payload.len() as u64;
+                // Wired sends complete at delivery: the sender's `on_sent`
+                // fires in the same batch as the receiver's `on_packet`,
+                // giving windowed senders the completion edge the radio
+                // path gets from its ACK.
+                self.pending.push(AppCall::Sent {
+                    node: from,
+                    to: Address::Node(to),
+                });
                 self.pending.push(AppCall::Packet {
                     node: to,
                     from,
@@ -1071,10 +1124,13 @@ impl Core {
 
     /// Is there a cable directly between `a` and `b`?
     fn wired_link(&self, a: NodeId, b: NodeId) -> Option<WiredLink> {
-        self.wired
-            .iter()
-            .copied()
-            .find(|l| (l.a == a && l.b == b) || (l.a == b && l.b == a))
+        let key = (a.0.min(b.0), a.0.max(b.0));
+        let link = self.wired_index.get(&key).map(|&i| self.wired[i as usize])?;
+        debug_assert!(
+            (link.a == a && link.b == b) || (link.a == b && link.b == a),
+            "wired index out of sync with the cable table"
+        );
+        Some(link)
     }
 
     fn send_wired(&mut self, from: NodeId, to: NodeId, payload: Bytes) -> bool {
@@ -1122,6 +1178,8 @@ impl Network {
                 pending: Vec::new(),
                 prune_counter: 0,
                 wired: Vec::new(),
+                wired_index: HashMap::new(),
+                prefer_wired: false,
                 rec: Telemetry::Off,
                 faults: None,
             },
@@ -1140,7 +1198,22 @@ impl Network {
             (a.0 as usize) < self.core.nodes.len() && (b.0 as usize) < self.core.nodes.len(),
             "both ends must exist"
         );
+        let key = (a.0.min(b.0), a.0.max(b.0));
+        let prev = self
+            .core
+            .wired_index
+            .insert(key, self.core.wired.len() as u32);
+        assert!(prev.is_none(), "nodes {a} and {b} are already cabled");
         self.core.wired.push(WiredLink { a, b, latency, bps });
+    }
+
+    /// Route unicast sends over a cable whenever one exists. Off by
+    /// default: every existing scenario keeps its radio path byte for
+    /// byte. The broadcast fan-out benchmark turns this on so a 10k-viewer
+    /// star topology models a switched LAN instead of an impossible
+    /// 10k-station CSMA cell.
+    pub fn set_prefer_wired(&mut self, on: bool) {
+        self.core.prefer_wired = on;
     }
 
     /// Add a node running `app`. Nodes must all be added before the first
@@ -1706,6 +1779,108 @@ mod tests {
         let mut net = Network::new(quiet_env(), MacConfig::default(), 11);
         net.add_node(NodeConfig::at(Point::new(0.0, 0.0)), Box::new(SelfSend));
         net.run_for(SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn wired_preferred_unicast_rides_the_cable() {
+        let mut net = Network::new(quiet_env(), MacConfig::default(), 21);
+        let rx = net.add_node(NodeConfig::at(Point::new(5.0, 0.0)), Box::new(Sink::default()));
+        let tx = net.add_node(
+            NodeConfig::at(Point::new(0.0, 0.0)),
+            Box::new(OneShot::to(Address::Node(rx), b"over copper")),
+        );
+        net.add_wired_link(tx, rx, SimDuration::from_micros(50), 1_000_000_000);
+        net.set_prefer_wired(true);
+        net.run_for(SimDuration::from_millis(10));
+        assert_eq!(net.stats().wired_frames, 1);
+        assert_eq!(net.stats().node[tx.0 as usize].tx_data_attempts, 0);
+        let sink = net.app_as::<Sink>(rx).unwrap();
+        assert_eq!(sink.got.len(), 1);
+        assert_eq!(sink.got[0].2, b"over copper");
+        // The sender's completion fires at delivery, like the radio ACK.
+        assert_eq!(net.app_as::<OneShot>(tx).unwrap().sent_ok, 1);
+    }
+
+    #[test]
+    fn prefer_wired_is_opt_in_radio_by_default() {
+        let mut net = Network::new(quiet_env(), MacConfig::default(), 22);
+        let rx = net.add_node(NodeConfig::at(Point::new(5.0, 0.0)), Box::new(Sink::default()));
+        let tx = net.add_node(
+            NodeConfig::at(Point::new(0.0, 0.0)),
+            Box::new(OneShot::to(Address::Node(rx), b"airborne")),
+        );
+        net.add_wired_link(tx, rx, SimDuration::from_micros(50), 1_000_000_000);
+        net.run_for(SimDuration::from_millis(10));
+        // The cable exists but the flag is off: the frame took the radio.
+        assert_eq!(net.stats().wired_frames, 0);
+        assert!(net.stats().node[tx.0 as usize].tx_data_attempts > 0);
+        assert_eq!(net.app_as::<Sink>(rx).unwrap().got.len(), 1);
+    }
+
+    #[test]
+    fn mac_queue_space_counts_down_with_accepted_sends() {
+        struct SpaceProbe {
+            dst: NodeId,
+            observed: Vec<usize>,
+        }
+        impl NetApp for SpaceProbe {
+            fn on_start(&mut self, ctx: &mut NetCtx<'_>) {
+                self.observed.push(ctx.mac_queue_space());
+                for _ in 0..3 {
+                    assert!(ctx.send(Address::Node(self.dst), Bytes::from_static(&[1u8; 16])));
+                    self.observed.push(ctx.mac_queue_space());
+                }
+            }
+        }
+        let cfg = MacConfig {
+            queue_cap: 10,
+            ..Default::default()
+        };
+        let mut net = Network::new(quiet_env(), cfg, 23);
+        let rx = net.add_node(NodeConfig::at(Point::new(3.0, 0.0)), Box::new(Sink::default()));
+        let tx = net.add_node(
+            NodeConfig::at(Point::new(0.0, 0.0)),
+            Box::new(SpaceProbe {
+                dst: rx,
+                observed: vec![],
+            }),
+        );
+        net.run_for(SimDuration::from_millis(1));
+        let probe = net.app_as::<SpaceProbe>(tx).unwrap();
+        assert_eq!(probe.observed, vec![10, 9, 8, 7]);
+    }
+
+    #[test]
+    fn wired_send_into_downed_host_fails_back_to_the_sender() {
+        let mut net = Network::new(quiet_env(), MacConfig::default(), 24);
+        let rx = net.add_node(NodeConfig::at(Point::new(5.0, 0.0)), Box::new(Sink::default()));
+        let tx = net.add_node(
+            NodeConfig::at(Point::new(0.0, 0.0)),
+            Box::new(OneShot::to(Address::Node(rx), b"doomed")),
+        );
+        // 1 ms of cable latency; the receiver dies at 0.5 ms, before the
+        // frame lands.
+        net.add_wired_link(tx, rx, SimDuration::from_millis(1), 1_000_000_000);
+        net.set_prefer_wired(true);
+        let schedule = FaultSchedule::builder(9)
+            .power_cycle(500_000, 50_000_000, rx.0)
+            .build();
+        net.attach_faults(&schedule);
+        net.run_for(SimDuration::from_millis(10));
+        let shot = net.app_as::<OneShot>(tx).unwrap();
+        assert_eq!(shot.sent_ok, 0);
+        assert_eq!(shot.failed, 1);
+        assert_eq!(net.app_as::<Sink>(rx).unwrap().got.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already cabled")]
+    fn duplicate_cable_rejected() {
+        let mut net = Network::new(quiet_env(), MacConfig::default(), 25);
+        let a = net.add_node(NodeConfig::at(Point::new(0.0, 0.0)), Box::new(Sink::default()));
+        let b = net.add_node(NodeConfig::at(Point::new(5.0, 0.0)), Box::new(Sink::default()));
+        net.add_wired_link(a, b, SimDuration::from_micros(50), 1_000_000);
+        net.add_wired_link(b, a, SimDuration::from_micros(50), 1_000_000);
     }
 
     #[test]

@@ -1,27 +1,39 @@
 //! The VNC roles as network applications.
 //!
 //! [`VncServerApp`] plays the presenter's laptop: it renders the current
-//! screen on demand, diffs it against what it last sent, and streams the
-//! changed tiles. [`VncViewerApp`] plays the Aroma Adapter driving the
-//! projector: it pulls updates as fast as it can (optionally capped to a
-//! target frame rate), reassembles them, and applies them to its local
-//! framebuffer. Achieved frame rate, frame latency and bytes on the air are
-//! the E1 observables.
+//! screen on demand, diffs it against each viewer's last-applied
+//! generation, and streams the changed tiles — to *every* registered
+//! viewer, not just the most recent requester. The broadcast path is
+//! zero-copy: each update's chunk sequence is encoded once into one shared
+//! buffer and fanned out as refcounted [`Bytes`] clones, with per-viewer
+//! send windows drained in deterministic round-robin order.
+//! [`VncViewerApp`] plays the Aroma Adapter driving the projector: it
+//! pulls updates as fast as it can (optionally capped to a target frame
+//! rate), reassembles them, and applies them to its local framebuffer.
+//! Achieved frame rate, frame latency and bytes on the air are the E1
+//! observables.
 
-use crate::encoding::{coarsen_pixels, decode_tile, encode_tile, read_tile_stream, write_tile_stream};
+use crate::encoding::{append_tile_record, begin_tile_stream, coarsen_pixels, decode_tile, read_tile_stream};
 use crate::framebuffer::{Framebuffer, TILE};
-use crate::protocol::{chunk_update, PushResult, Reassembler, VncMsg};
+use crate::pool::BufPool;
+use crate::protocol::{encode_chunk_frames_into, PushResult, Reassembler, VncMsg};
 use crate::workloads::ScreenSource;
 use aroma_net::{Address, NetApp, NetCtx, NodeId};
 use aroma_sim::stats::Summary;
 use aroma_sim::telemetry::{Layer, Recorder};
 use aroma_sim::{SimDuration, SimTime};
 use bytes::Bytes;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::time::Instant;
 
-/// How many chunks the server keeps in the MAC queue at once.
+/// Per-viewer cap on chunks handed to the MAC but not yet completed.
 const SEND_WINDOW: usize = 8;
+
+/// Previous screen generations kept for incremental diffs. A viewer whose
+/// last-applied generation has aged out of this window simply gets a full
+/// update; in the steady lockstep case every viewer sits one generation
+/// behind, so even depth 1 would hit.
+const HISTORY_DEPTH: usize = 8;
 
 const T_STALL: u64 = 1;
 const T_NEXT_REQUEST: u64 = 2;
@@ -40,50 +52,125 @@ pub const RECONNECT_BASE: SimDuration = SimDuration::from_millis(500);
 /// Reconnect backoff cap: pauses never exceed `RECONNECT_BASE << 3` = 4 s.
 pub const MAX_RECONNECT_SHIFT: u32 = 3;
 
+/// One registered viewer's send state. Viewers join in request-arrival
+/// order and are never evicted (a silent viewer just has an empty queue);
+/// the registry order is the pump's round-robin order, so the whole fan-out
+/// is a pure function of the event sequence.
+struct ViewerState {
+    node: NodeId,
+    /// Pre-encoded chunk frames queued for this viewer — refcounted views
+    /// into encodings shared across the registry, never per-viewer copies.
+    outgoing: VecDeque<Bytes>,
+    /// Chunks handed to the MAC and not yet completed either way.
+    in_flight: usize,
+    /// Screen generation of the last update queued to this viewer.
+    sent_gen: Option<u64>,
+    /// That update was coarse. A fidelity switch in either direction
+    /// forces a full update, so a viewer leaving degraded mode gets every
+    /// tile back at full colour depth.
+    sent_coarse: bool,
+    /// Currently a member of the pump's ready ring.
+    in_ready: bool,
+}
+
+/// One encoding of the *current* screen generation, shared by every viewer
+/// that needs the same `(diff base, fidelity)` answer. Invalidated when a
+/// render changes the screen.
+struct CachedEncoding {
+    /// Diff base generation; `None` is a full update. `Some(cur_gen)` is
+    /// the empty "nothing changed" update.
+    base_gen: Option<u64>,
+    coarse: bool,
+    /// The fully encoded wire frames (one shared allocation, see
+    /// [`encode_chunk_frames_into`]).
+    chunks: Vec<Bytes>,
+    stream_len: usize,
+    tiles: usize,
+}
+
 /// The screen server (the presenter's laptop).
 pub struct VncServerApp {
     fb: Framebuffer,
     source: Box<dyn ScreenSource>,
-    /// Tile hashes of the screen as last sent (None = nothing sent yet).
-    last_sent: Option<Vec<u64>>,
-    /// The last update was served coarse. A fidelity switch in either
-    /// direction forces a full update, so a viewer leaving degraded mode
-    /// gets every tile back at full colour depth.
-    last_sent_coarse: bool,
+    /// Screen generation: bumped whenever a render changes any tile hash.
+    generation: u64,
+    /// Tile hashes of the current generation.
+    cur_hashes: Vec<u64>,
+    /// `(generation, hashes)` of recent previous generations, oldest
+    /// first, for incremental diffs against lagging viewers.
+    history: VecDeque<(u64, Vec<u64>)>,
+    /// Instant of the last render. Renders are idempotent per simulated
+    /// instant, so a burst of requests at one time renders (and hashes)
+    /// once.
+    last_render_at: Option<SimTime>,
+    /// Encodings already built against the current generation.
+    encodings: Vec<CachedEncoding>,
     next_update_id: u32,
-    outgoing: VecDeque<Bytes>,
-    in_flight: usize,
-    viewer: Option<NodeId>,
-    /// Updates served.
+    viewers: Vec<ViewerState>,
+    /// Viewer index by node id (keyed lookups only; `viewers` order is the
+    /// deterministic iteration order).
+    viewer_index: BTreeMap<u32, usize>,
+    /// Round-robin ring of viewers with queued chunks and window space.
+    ready: VecDeque<usize>,
+    /// Free-list pool for the encode path's scratch buffers.
+    pool: BufPool,
+    /// Updates served (one per answered request, across all viewers).
     pub updates_sent: u64,
-    /// Tiles encoded and sent across all updates.
+    /// Tiles sent across all updates (per serve, shared encodings counted
+    /// once per receiving viewer).
     pub tiles_sent: u64,
-    /// Tile-stream bytes sent (before MAC overhead).
+    /// Tile-stream bytes sent (before MAC overhead), per serve.
     pub stream_bytes_sent: u64,
-    /// Chunks that failed at the MAC (retry exhaustion).
+    /// Chunks that failed at the MAC (retry exhaustion / dead cable).
     pub chunk_failures: u64,
     /// Updates served in degraded (coarse) mode.
     pub coarse_updates_sent: u64,
+    /// Tile-stream encodings actually performed. The encode-once claim in
+    /// `BENCH_fanout.json` is `encodes` staying O(1) per screen change
+    /// while `updates_sent` grows O(viewers).
+    pub encodes: u64,
+    /// Serves answered entirely from a cached encoding.
+    pub encode_cache_hits: u64,
+    /// Sends the MAC rejected synchronously despite the pump's queue-space
+    /// budget (another protocol sharing this node's queue). The chunk
+    /// stays queued — never dropped — and retries on the next completion.
+    pub sync_send_rejections: u64,
 }
 
 impl VncServerApp {
     /// Server for a `width`×`height` screen rendered by `source`.
     pub fn new(width: usize, height: usize, source: Box<dyn ScreenSource>) -> Self {
+        let fb = Framebuffer::new(width, height);
+        let cur_hashes = fb.tile_hashes();
         VncServerApp {
-            fb: Framebuffer::new(width, height),
+            fb,
             source,
-            last_sent: None,
-            last_sent_coarse: false,
+            generation: 0,
+            cur_hashes,
+            history: VecDeque::new(),
+            last_render_at: None,
+            encodings: Vec::new(),
             next_update_id: 0,
-            outgoing: VecDeque::new(),
-            in_flight: 0,
-            viewer: None,
+            viewers: Vec::new(),
+            viewer_index: BTreeMap::new(),
+            ready: VecDeque::new(),
+            pool: BufPool::new(),
             updates_sent: 0,
             tiles_sent: 0,
             stream_bytes_sent: 0,
             chunk_failures: 0,
             coarse_updates_sent: 0,
+            encodes: 0,
+            encode_cache_hits: 0,
+            sync_send_rejections: 0,
         }
+    }
+
+    /// Start the update-id counter at `id` (test/bench hook for pinning
+    /// behaviour at the u32 wraparound boundary).
+    pub fn with_first_update_id(mut self, id: u32) -> Self {
+        self.next_update_id = id;
+        self
     }
 
     /// The server's current screen digest (tests compare with the viewer).
@@ -91,69 +178,207 @@ impl VncServerApp {
         self.fb.digest()
     }
 
-    fn serve_update(&mut self, ctx: &mut NetCtx<'_>, incremental: bool, coarse: bool) {
-        // Pipeline stage timing is wall clock: in a discrete-event world the
-        // compute stages (render/encode/chunk) occupy zero simulated time,
-        // so their cost only shows up in the self-profiling section.
+    /// Registered viewers (they join on first request, never leave).
+    pub fn viewer_count(&self) -> usize {
+        self.viewers.len()
+    }
+
+    /// Chunks handed to the MAC and awaiting completion, all viewers.
+    pub fn in_flight_total(&self) -> usize {
+        self.viewers.iter().map(|v| v.in_flight).sum()
+    }
+
+    /// Chunks queued and not yet offered to the MAC, all viewers.
+    pub fn queued_total(&self) -> usize {
+        self.viewers.iter().map(|v| v.outgoing.len()).sum()
+    }
+
+    /// Buffer-pool `(hits, misses)` — the allocations-per-update signal.
+    pub fn pool_stats(&self) -> (u64, u64) {
+        (self.pool.hits, self.pool.misses)
+    }
+
+    /// Look up (or register) the viewer slot for `node`.
+    fn viewer_slot(&mut self, node: NodeId) -> usize {
+        if let Some(&i) = self.viewer_index.get(&node.0) {
+            return i;
+        }
+        let i = self.viewers.len();
+        self.viewers.push(ViewerState {
+            node,
+            outgoing: VecDeque::new(),
+            in_flight: 0,
+            sent_gen: None,
+            sent_coarse: false,
+            in_ready: false,
+        });
+        self.viewer_index.insert(node.0, i);
+        i
+    }
+
+    /// Render the screen for this instant (idempotent: one render and one
+    /// hash pass per simulated time, no matter how many viewers ask), and
+    /// bump the generation if the content changed.
+    fn render_current(&mut self, ctx: &mut NetCtx<'_>) {
+        if self.last_render_at == Some(ctx.now()) {
+            return;
+        }
+        // Pipeline stage timing is wall clock: in a discrete-event world
+        // the compute stages (render/encode/chunk) occupy zero simulated
+        // time, so their cost only shows up in the self-profiling section.
         let profiling = ctx.telemetry().enabled();
         // lint:allow(sim-wall-clock): render-stage profile timing feeds only Snapshot's profile section, which deterministic_eq excludes (pinned by traced_profile_never_reaches_deterministic_sections)
         let t0 = profiling.then(Instant::now);
         self.source.render(ctx.now(), &mut self.fb);
+        let mut hashes = self.pool.take_hashes();
+        self.fb.tile_hashes_into(&mut hashes);
+        if hashes != self.cur_hashes {
+            // New generation: retire the old hashes into the diff history
+            // and invalidate every encoding of the old content.
+            let old = std::mem::replace(&mut self.cur_hashes, hashes);
+            self.history.push_back((self.generation, old));
+            if self.history.len() > HISTORY_DEPTH {
+                if let Some((_, h)) = self.history.pop_front() {
+                    self.pool.put_hashes(h);
+                }
+            }
+            self.generation += 1;
+            for enc in self.encodings.drain(..) {
+                let mut frames = enc.chunks;
+                frames.clear();
+                self.pool.put_frames(frames);
+            }
+        } else {
+            self.pool.put_hashes(hashes);
+        }
+        self.last_render_at = Some(ctx.now());
         if let Some(t) = t0 {
             ctx.telemetry()
                 .profile("vnc.render", t.elapsed().as_nanos() as u64);
         }
+    }
 
-        // lint:allow(sim-wall-clock): encode-stage profile timing, same profile-only path as above
-        let t0 = profiling.then(Instant::now);
-        // An incremental diff is only valid against content of the *same*
-        // fidelity; switching between coarse and full forces a full update.
-        let same_mode = coarse == self.last_sent_coarse;
-        let dirty: Vec<usize> = match (&self.last_sent, incremental && same_mode) {
-            (Some(prev), true) => self.fb.dirty_tiles(prev),
-            _ => (0..self.fb.tile_count()).collect(),
-        };
-        let tx_count = self.fb.tiles_x();
-        let mut buf = vec![0u16; TILE * TILE];
-        let tiles: Vec<_> = dirty
+    /// Find or build the encoding answering `(base, coarse)` against the
+    /// current generation. Returns its index in `self.encodings`.
+    fn encoding_for(&mut self, ctx: &mut NetCtx<'_>, base: Option<u64>, coarse: bool) -> usize {
+        if let Some(i) = self
+            .encodings
             .iter()
-            .map(|&idx| {
-                let (tx, ty) = (idx % tx_count, idx / tx_count);
-                self.fb.read_tile(tx, ty, &mut buf);
-                if coarse {
-                    coarsen_pixels(&mut buf);
-                }
-                encode_tile(tx as u16, ty as u16, &buf)
-            })
-            .collect();
-        let stream = write_tile_stream(&tiles);
+            .position(|e| e.base_gen == base && e.coarse == coarse)
+        {
+            self.encode_cache_hits += 1;
+            return i;
+        }
+        let profiling = ctx.telemetry().enabled();
+        // lint:allow(sim-wall-clock): encode-stage profile timing, same profile-only path as render_current's
+        let t0 = profiling.then(Instant::now);
+        let mut dirty = self.pool.take_indices();
+        match base {
+            // Diff against the current generation: nothing changed.
+            Some(g) if g == self.generation => {}
+            Some(g) => {
+                let prev = self
+                    .history
+                    .iter()
+                    .find(|(hg, _)| *hg == g)
+                    .map(|(_, h)| h)
+                    .expect("diff base vetted against history");
+                dirty.extend(
+                    prev.iter()
+                        .zip(self.cur_hashes.iter())
+                        .enumerate()
+                        .filter(|(_, (a, b))| a != b)
+                        .map(|(i, _)| i),
+                );
+            }
+            None => dirty.extend(0..self.fb.tile_count()),
+        }
+        let mut stream = self.pool.take_bytes();
+        let mut pixels = self.pool.take_pixels();
+        pixels.resize(TILE * TILE, 0);
+        let mut rle = self.pool.take_bytes();
+        begin_tile_stream(&mut stream, dirty.len() as u16);
+        let tx_count = self.fb.tiles_x();
+        for &idx in &dirty {
+            let (tx, ty) = (idx % tx_count, idx / tx_count);
+            self.fb.read_tile(tx, ty, &mut pixels);
+            if coarse {
+                coarsen_pixels(&mut pixels);
+            }
+            append_tile_record(&mut stream, tx as u16, ty as u16, &pixels, &mut rle);
+        }
         if let Some(t) = t0 {
             ctx.telemetry()
                 .profile("vnc.encode", t.elapsed().as_nanos() as u64);
         }
-        self.last_sent = Some(self.fb.tile_hashes());
-        self.last_sent_coarse = coarse;
-        self.updates_sent += 1;
-        if coarse {
-            self.coarse_updates_sent += 1;
-        }
-        self.tiles_sent += tiles.len() as u64;
-        self.stream_bytes_sent += stream.len() as u64;
-        let id = self.next_update_id;
-        self.next_update_id = self.next_update_id.wrapping_add(1);
 
         // lint:allow(sim-wall-clock): chunk-stage profile timing, same profile-only path as above
         let t0 = profiling.then(Instant::now);
-        let stream_len = stream.len();
-        let mut chunks = 0i64;
-        for chunk in chunk_update(id, stream) {
-            self.outgoing.push_back(chunk.encode());
-            chunks += 1;
-        }
+        let id = self.next_update_id;
+        self.next_update_id = self.next_update_id.wrapping_add(1);
+        let mut chunks = self.pool.take_frames();
+        encode_chunk_frames_into(id, &stream, &mut chunks);
         if let Some(t) = t0 {
             ctx.telemetry()
                 .profile("vnc.chunk", t.elapsed().as_nanos() as u64);
         }
+        self.encodes += 1;
+        let entry = CachedEncoding {
+            base_gen: base,
+            coarse,
+            chunks,
+            stream_len: stream.len(),
+            tiles: dirty.len(),
+        };
+        self.pool.put_bytes(stream);
+        self.pool.put_bytes(rle);
+        self.pool.put_pixels(pixels);
+        self.pool.put_indices(dirty);
+        self.encodings.push(entry);
+        self.encodings.len() - 1
+    }
+
+    fn serve_update(&mut self, ctx: &mut NetCtx<'_>, slot: usize, incremental: bool, coarse: bool) {
+        self.render_current(ctx);
+        // An incremental diff is only valid against content of the *same*
+        // fidelity, a generation still in the history window (or current).
+        let base = if incremental && self.viewers[slot].sent_coarse == coarse {
+            match self.viewers[slot].sent_gen {
+                Some(g) if g == self.generation => Some(g),
+                Some(g) if self.history.iter().any(|(hg, _)| *hg == g) => Some(g),
+                _ => None,
+            }
+        } else {
+            None
+        };
+        let enc_idx = self.encoding_for(ctx, base, coarse);
+        let (stream_len, tiles, chunk_count) = {
+            let e = &self.encodings[enc_idx];
+            (e.stream_len, e.tiles, e.chunks.len())
+        };
+        let v = &mut self.viewers[slot];
+        if !incremental {
+            // A full re-request means the viewer reset its reassembler:
+            // chunks still queued here are dead weight, so drop them.
+            // (In-flight MAC frames can't be recalled; the reassembler's
+            // fresh-start rule absorbs those stragglers.)
+            v.outgoing.clear();
+        }
+        v.sent_gen = Some(self.generation);
+        v.sent_coarse = coarse;
+        self.updates_sent += 1;
+        if coarse {
+            self.coarse_updates_sent += 1;
+        }
+        self.tiles_sent += tiles as u64;
+        self.stream_bytes_sent += stream_len as u64;
+        // Fan-out: refcount bumps into the per-viewer queue, no copies.
+        let (enc, v) = {
+            // Split-borrow dance: clone out of the cache into the queue.
+            let chunks = &self.encodings[enc_idx].chunks;
+            (chunks.clone(), &mut self.viewers[slot])
+        };
+        v.outgoing.extend(enc);
         let now_ns = ctx.now().as_nanos();
         let rec = ctx.telemetry();
         rec.count("vnc.updates_served", 1);
@@ -163,24 +388,67 @@ impl VncServerApp {
             Layer::Resource,
             "vnc.update.serve",
             0,
-            tiles.len() as i64,
-            chunks,
+            tiles as i64,
+            chunk_count as i64,
         );
+        self.mark_ready(slot);
         self.pump(ctx);
     }
 
+    /// Put a viewer on the pump's ready ring if it can make progress.
+    fn mark_ready(&mut self, slot: usize) {
+        let v = &mut self.viewers[slot];
+        if !v.in_ready && v.in_flight < SEND_WINDOW && !v.outgoing.is_empty() {
+            v.in_ready = true;
+            self.ready.push_back(slot);
+        }
+    }
+
+    /// Drain queued chunks to the MAC: deterministic round-robin over the
+    /// ready ring, one chunk per viewer per turn, bounded by each viewer's
+    /// send window and this dispatch's free MAC-queue slots. A sync send
+    /// rejection keeps the chunk queued — the old single-viewer pump
+    /// dropped the entire backlog on a full queue.
     fn pump(&mut self, ctx: &mut NetCtx<'_>) {
-        let Some(viewer) = self.viewer else { return };
-        while self.in_flight < SEND_WINDOW {
-            let Some(chunk) = self.outgoing.pop_front() else {
-                break;
+        let mut radio_budget = ctx.mac_queue_space();
+        while let Some(&slot) = self.ready.front() {
+            let (node, open, has_chunks) = {
+                let v = &self.viewers[slot];
+                (v.node, v.in_flight < SEND_WINDOW, !v.outgoing.is_empty())
             };
-            if ctx.send(Address::Node(viewer), chunk) {
-                self.in_flight += 1;
+            if !open || !has_chunks {
+                self.viewers[slot].in_ready = false;
+                self.ready.pop_front();
+                continue;
+            }
+            let wired = ctx.unicast_is_wired(node);
+            if !wired && radio_budget == 0 {
+                break; // MAC queue full: resume on the next completion edge
+            }
+            let chunk = self.viewers[slot]
+                .outgoing
+                .front()
+                .expect("checked non-empty")
+                .clone();
+            if ctx.send(Address::Node(node), chunk) {
+                let v = &mut self.viewers[slot];
+                v.outgoing.pop_front();
+                v.in_flight += 1;
+                if !wired {
+                    radio_budget -= 1;
+                }
+                // Rotate to the tail: every ready viewer advances one
+                // chunk per turn.
+                self.ready.pop_front();
+                let v = &mut self.viewers[slot];
+                if v.in_flight < SEND_WINDOW && !v.outgoing.is_empty() {
+                    self.ready.push_back(slot);
+                } else {
+                    v.in_ready = false;
+                }
             } else {
-                // MAC queue full despite the window: drop and count; the
-                // viewer's stall timer recovers.
-                self.chunk_failures += 1;
+                self.sync_send_rejections += 1;
+                break;
             }
         }
     }
@@ -195,29 +463,46 @@ impl NetApp for VncServerApp {
         else {
             return;
         };
-        self.viewer = Some(from);
-        self.serve_update(ctx, incremental, coarse);
+        let slot = self.viewer_slot(from);
+        self.serve_update(ctx, slot, incremental, coarse);
     }
 
-    fn on_sent(&mut self, ctx: &mut NetCtx<'_>, _to: Address) {
-        self.in_flight = self.in_flight.saturating_sub(1);
+    fn on_sent(&mut self, ctx: &mut NetCtx<'_>, to: Address) {
+        if let Address::Node(n) = to {
+            if let Some(&slot) = self.viewer_index.get(&n.0) {
+                let v = &mut self.viewers[slot];
+                // Saturating: a host app multiplexing other protocols on
+                // this node (the presenter laptop) forwards completions
+                // for its own frames too; those must not underflow the
+                // window.
+                v.in_flight = v.in_flight.saturating_sub(1);
+                self.mark_ready(slot);
+            }
+        }
         self.pump(ctx);
     }
 
-    fn on_send_failed(&mut self, ctx: &mut NetCtx<'_>, _to: NodeId, _payload: &Bytes) {
-        self.chunk_failures += 1;
-        self.in_flight = self.in_flight.saturating_sub(1);
+    fn on_send_failed(&mut self, ctx: &mut NetCtx<'_>, to: NodeId, _payload: &Bytes) {
+        if let Some(&slot) = self.viewer_index.get(&to.0) {
+            self.chunk_failures += 1;
+            let v = &mut self.viewers[slot];
+            v.in_flight = v.in_flight.saturating_sub(1);
+            self.mark_ready(slot);
+        }
         self.pump(ctx);
     }
 
-    /// A crash drops the send pipeline and the diff baseline: the restarted
-    /// server serves a full update to whoever asks next.
+    /// A crash drops the whole broadcast pipeline — viewer registry, send
+    /// queues, encoding caches, diff history: the restarted server serves
+    /// a full update to whoever asks next.
     fn on_crash(&mut self, _ctx: &mut NetCtx<'_>) {
-        self.last_sent = None;
-        self.last_sent_coarse = false;
-        self.outgoing.clear();
-        self.in_flight = 0;
-        self.viewer = None;
+        self.viewers.clear();
+        self.viewer_index.clear();
+        self.ready.clear();
+        self.encodings.clear();
+        self.history.clear();
+        self.last_render_at = None;
+        self.pool.clear();
     }
 }
 
@@ -708,5 +993,224 @@ mod tests {
         // The first (full) update of a 320×240 screen at ~11 Mbps with RLE
         // slides is a handful of chunks: tens of ms at most.
         assert!(v.update_latency.max().unwrap() < 0.5);
+    }
+
+    /// A bare-bones second viewer: one full-update request at a chosen
+    /// time, then reassemble whatever comes back. Exists to interleave a
+    /// request into the middle of another viewer's transfer.
+    struct ProbeViewer {
+        server: NodeId,
+        request_at: SimDuration,
+        reassembler: Reassembler,
+        fb: Framebuffer,
+        completed: u64,
+    }
+
+    impl ProbeViewer {
+        fn new(server: NodeId, request_at: SimDuration, w: usize, h: usize) -> Self {
+            ProbeViewer {
+                server,
+                request_at,
+                reassembler: Reassembler::new(),
+                fb: Framebuffer::new(w, h),
+                completed: 0,
+            }
+        }
+    }
+
+    impl NetApp for ProbeViewer {
+        fn on_start(&mut self, ctx: &mut NetCtx<'_>) {
+            ctx.set_timer(self.request_at, 1);
+        }
+
+        fn on_timer(&mut self, ctx: &mut NetCtx<'_>, _token: u64) {
+            self.reassembler.reset();
+            ctx.send(
+                Address::Node(self.server),
+                VncMsg::UpdateRequest {
+                    incremental: false,
+                    coarse: false,
+                }
+                .encode(),
+            );
+        }
+
+        fn on_packet(&mut self, _ctx: &mut NetCtx<'_>, from: NodeId, payload: &Bytes) {
+            if from != self.server {
+                return;
+            }
+            let Ok(VncMsg::UpdateChunk {
+                update_id,
+                seq,
+                last,
+                payload,
+            }) = VncMsg::decode(payload.clone())
+            else {
+                return;
+            };
+            if let PushResult::Complete(stream) = self.reassembler.push(update_id, seq, last, &payload)
+            {
+                for t in &read_tile_stream(stream).expect("valid stream") {
+                    let pixels = decode_tile(t, TILE * TILE).expect("valid tile");
+                    self.fb.write_tile(t.tx as usize, t.ty as usize, &pixels);
+                }
+                self.completed += 1;
+            }
+        }
+    }
+
+    /// The viewer-steal regression: under the old single-slot server, a
+    /// request from viewer B mid-transfer redirected A's remaining chunks
+    /// to B — A stalled into recovery and B reassembled a torn update.
+    /// With the broadcast registry, A's in-flight update reassembles
+    /// intact and B gets its own complete full update.
+    #[test]
+    fn second_viewer_request_does_not_steal_the_first_transfer() {
+        let mut net = Network::new(quiet(), MacConfig::default(), 11);
+        let server = net.add_node(
+            NodeConfig::at(Point::new(0.0, 0.0)),
+            Box::new(VncServerApp::new(320, 240, Box::new(SlideDeck::new(60.0)))),
+        );
+        let a = net.add_node(
+            NodeConfig::at(Point::new(4.0, 0.0)),
+            Box::new(VncViewerApp::new(server, 320, 240).with_target_fps(5.0)),
+        );
+        // B barges in ~2 ms after A's full update started streaming (a
+        // 320×240 full screen is dozens of chunks — well past 2 ms of air).
+        let b = net.add_node(
+            NodeConfig::at(Point::new(0.0, 4.0)),
+            Box::new(ProbeViewer::new(server, SimDuration::from_millis(2), 320, 240)),
+        );
+        net.run_for(SimDuration::from_secs(2));
+        let digest = net.app_as::<VncServerApp>(server).unwrap().screen_digest();
+        let s = net.app_as::<VncServerApp>(server).unwrap();
+        assert_eq!(s.viewer_count(), 2, "both viewers should be registered");
+        let va = net.app_as::<VncViewerApp>(a).unwrap();
+        assert_eq!(va.recoveries, 0, "A's transfer was disrupted by B's request");
+        assert_eq!(va.screen_digest(), digest, "A's screen diverged");
+        let vb = net.app_as::<ProbeViewer>(b).unwrap();
+        assert!(vb.completed >= 1, "B never reassembled a complete update");
+        assert_eq!(vb.fb.digest(), digest, "B's full update was torn");
+    }
+
+    /// Mixed sync/async send failures must leave the window accounting
+    /// balanced. The old pump dropped chunks on synchronous MAC rejection
+    /// while `on_send_failed` still decremented the shared window — under
+    /// a tiny MAC queue plus a loss burst the counter overfilled or
+    /// underflowed. Now the pump budgets against real queue space (no sync
+    /// rejections from our own sends) and failures decrement exactly the
+    /// owning viewer's window.
+    #[test]
+    fn in_flight_accounting_survives_mixed_failures() {
+        use aroma_sim::faults::FaultSchedule;
+        let mut net = Network::new(quiet(), MacConfig { queue_cap: 2, ..Default::default() }, 13);
+        let server = net.add_node(
+            NodeConfig::at(Point::new(0.0, 0.0)),
+            Box::new(VncServerApp::new(160, 128, Box::new(BouncingBox::new()))),
+        );
+        let viewer = net.add_node(
+            NodeConfig::at(Point::new(4.0, 0.0)),
+            Box::new(VncViewerApp::new(server, 160, 128)),
+        );
+        // Continuous animation pulls keep the server mid-transfer, a
+        // total-loss burst kills its in-flight chunks by retry exhaustion,
+        // and finally the viewer dies for good — the server must drain the
+        // remaining backlog through failures to a provably quiescent
+        // state.
+        let schedule = FaultSchedule::builder(3)
+            .burst_loss(
+                SimDuration::from_millis(400).as_nanos(),
+                SimDuration::from_millis(900).as_nanos(),
+                1.0,
+            )
+            .crash_restart(
+                SimDuration::from_millis(1500).as_nanos(),
+                SimDuration::from_secs(60).as_nanos(),
+                viewer.0,
+            )
+            .build();
+        net.attach_faults(&schedule);
+        net.run_for(SimDuration::from_secs(4));
+        let s = net.app_as::<VncServerApp>(server).unwrap();
+        assert!(s.chunk_failures > 0, "no async failures were provoked");
+        assert_eq!(
+            s.sync_send_rejections, 0,
+            "budgeted pump should never hit a synchronous MAC rejection"
+        );
+        assert_eq!(s.in_flight_total(), 0, "window accounting leaked");
+        assert_eq!(s.queued_total(), 0, "stale chunks left queued");
+    }
+
+    /// End-to-end across the update-id wrap: ids MAX-2, MAX-1, MAX, 0, 1…
+    /// must stream through without the viewer ever mistaking the wrapped
+    /// id for a stale update (the reassembler keys on id *equality*, not
+    /// ordering — pinned at the protocol level too).
+    #[test]
+    fn update_ids_wrap_through_u32_max_without_a_hiccup() {
+        let mut net = Network::new(quiet(), MacConfig::default(), 17);
+        let server = net.add_node(
+            NodeConfig::at(Point::new(0.0, 0.0)),
+            Box::new(
+                VncServerApp::new(320, 240, Box::new(BouncingBox::new()))
+                    .with_first_update_id(u32::MAX - 2),
+            ),
+        );
+        let viewer = net.add_node(
+            NodeConfig::at(Point::new(4.0, 0.0)),
+            Box::new(VncViewerApp::new(server, 320, 240)),
+        );
+        net.run_for(SimDuration::from_secs(3));
+        let s = net.app_as::<VncServerApp>(server).unwrap();
+        assert!(
+            s.encodes > 3,
+            "only {} encodes — the id counter never crossed the wrap",
+            s.encodes
+        );
+        let v = net.app_as::<VncViewerApp>(viewer).unwrap();
+        assert!(v.updates_completed > 5);
+        assert_eq!(v.recoveries, 0, "the id wrap broke reassembly");
+    }
+
+    /// Broadcast fan-out: several viewers pull the same static screen, the
+    /// server answers every one from a handful of shared encodings, and
+    /// all screens converge. `encodes` staying flat while `updates_sent`
+    /// scales with the audience is the encode-once invariant.
+    #[test]
+    fn broadcast_fans_out_with_shared_encodings() {
+        let mut net = Network::new(quiet(), MacConfig::default(), 19);
+        let server = net.add_node(
+            NodeConfig::at(Point::new(0.0, 0.0)),
+            Box::new(VncServerApp::new(320, 240, Box::new(SlideDeck::new(60.0)))),
+        );
+        let viewers: Vec<NodeId> = (0..6)
+            .map(|i| {
+                let angle = i as f64;
+                net.add_node(
+                    NodeConfig::at(Point::new(3.0 * angle.cos(), 3.0 * angle.sin())),
+                    Box::new(VncViewerApp::new(server, 320, 240).with_target_fps(4.0)),
+                )
+            })
+            .collect();
+        net.run_for(SimDuration::from_secs(4));
+        let digest = net.app_as::<VncServerApp>(server).unwrap().screen_digest();
+        let s = net.app_as::<VncServerApp>(server).unwrap();
+        assert_eq!(s.viewer_count(), 6);
+        assert!(s.updates_sent > 50, "only {} updates served", s.updates_sent);
+        // One full encode + one empty incremental encode (plus slack for
+        // request-time staggering) serve the entire audience.
+        assert!(
+            s.encodes <= 6,
+            "{} encodes for {} serves — fan-out is re-encoding per viewer",
+            s.encodes,
+            s.updates_sent
+        );
+        assert!(s.encode_cache_hits > s.encodes, "cache never took over");
+        let (hits, misses) = s.pool_stats();
+        assert!(hits > misses, "buffer pool never reached steady state");
+        for &vid in &viewers {
+            let v = net.app_as::<VncViewerApp>(vid).unwrap();
+            assert!(v.updates_completed >= 1);
+            assert_eq!(v.screen_digest(), digest, "viewer {vid:?} diverged");
+        }
     }
 }

@@ -130,6 +130,53 @@ pub fn encode_tile(tx: u16, ty: u16, pixels: &[u16]) -> EncodedTile {
     }
 }
 
+/// RLE-encode `pixels`, appending to `out` (the allocation-free twin of
+/// [`rle_encode`], byte-identical output).
+pub fn rle_encode_into(pixels: &[u16], out: &mut Vec<u8>) {
+    let mut i = 0;
+    while i < pixels.len() {
+        let v = pixels[i];
+        let mut run = 1usize;
+        while i + run < pixels.len() && pixels[i + run] == v && run < 255 {
+            run += 1;
+        }
+        out.push(run as u8);
+        out.extend_from_slice(&v.to_le_bytes());
+        i += run;
+    }
+}
+
+/// Start a tile stream in a caller-owned buffer: the byte-identical twin
+/// of [`write_tile_stream`]'s header. Follow with one
+/// [`append_tile_record`] per tile (`count` of them).
+pub fn begin_tile_stream(out: &mut Vec<u8>, count: u16) {
+    out.extend_from_slice(&count.to_be_bytes());
+}
+
+/// Append one tile's record — position, chosen encoding, length, data — to
+/// a stream started by [`begin_tile_stream`]. Picks the smaller of Raw and
+/// RLE exactly like [`encode_tile`], producing byte-identical stream
+/// output, but writes straight into `out` with `rle_scratch` as the only
+/// working memory (cleared here; recycle it across calls).
+pub fn append_tile_record(out: &mut Vec<u8>, tx: u16, ty: u16, pixels: &[u16], rle_scratch: &mut Vec<u8>) {
+    rle_scratch.clear();
+    rle_encode_into(pixels, rle_scratch);
+    let rle_wins = rle_scratch.len() < pixels.len() * 2;
+    out.extend_from_slice(&tx.to_be_bytes());
+    out.extend_from_slice(&ty.to_be_bytes());
+    if rle_wins {
+        out.push(1); // Encoding::Rle
+        out.extend_from_slice(&(rle_scratch.len() as u32).to_be_bytes());
+        out.extend_from_slice(rle_scratch);
+    } else {
+        out.push(0); // Encoding::Raw
+        out.extend_from_slice(&((pixels.len() * 2) as u32).to_be_bytes());
+        for &p in pixels {
+            out.extend_from_slice(&p.to_le_bytes());
+        }
+    }
+}
+
 /// Decode a tile back to `expected` pixels.
 pub fn decode_tile(tile: &EncodedTile, expected: usize) -> Result<Vec<u16>, DecodeError> {
     match tile.encoding {
@@ -303,5 +350,37 @@ mod tests {
     fn empty_tile_stream_is_valid() {
         let stream = write_tile_stream(&[]);
         assert_eq!(read_tile_stream(stream).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn appending_stream_path_is_byte_identical() {
+        // The pool-backed encoder (begin_tile_stream + append_tile_record)
+        // must produce exactly the bytes of the allocating path, for every
+        // encoding choice: flat (RLE), noisy (Raw), and gradient tiles.
+        let flat = vec![42u16; N];
+        let noise: Vec<u16> = (0..N).map(|i| (i * 2654435761usize % 65536) as u16).collect();
+        let grad: Vec<u16> = (0..N).map(|i| (i / 2) as u16).collect();
+        let tiles = vec![
+            encode_tile(0, 0, &flat),
+            encode_tile(3, 7, &noise),
+            encode_tile(1, 2, &grad),
+        ];
+        let reference = write_tile_stream(&tiles);
+
+        let mut out = Vec::new();
+        let mut scratch = vec![0xAAu8; 17]; // dirty scratch must not leak in
+        begin_tile_stream(&mut out, 3);
+        append_tile_record(&mut out, 0, 0, &flat, &mut scratch);
+        append_tile_record(&mut out, 3, 7, &noise, &mut scratch);
+        append_tile_record(&mut out, 1, 2, &grad, &mut scratch);
+        assert_eq!(&out[..], &reference[..]);
+    }
+
+    #[test]
+    fn rle_encode_into_matches_rle_encode() {
+        let pixels: Vec<u16> = (0..N).map(|i| ((i / 7) % 300) as u16).collect();
+        let mut out = Vec::new();
+        rle_encode_into(&pixels, &mut out);
+        assert_eq!(&out[..], &rle_encode(&pixels)[..]);
     }
 }

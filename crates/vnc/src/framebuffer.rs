@@ -125,12 +125,20 @@ impl Framebuffer {
     /// Hashes of every tile, row-major.
     pub fn tile_hashes(&self) -> Vec<u64> {
         let mut out = Vec::with_capacity(self.tile_count());
+        self.tile_hashes_into(&mut out);
+        out
+    }
+
+    /// [`Framebuffer::tile_hashes`] into a caller-owned vector (cleared
+    /// first), so a hot render loop can recycle the allocation.
+    pub fn tile_hashes_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.reserve(self.tile_count());
         for ty in 0..self.tiles_y() {
             for tx in 0..self.tiles_x() {
                 out.push(self.tile_hash(tx, ty));
             }
         }
-        out
     }
 
     /// Indices (row-major) of tiles whose hash differs from `prev`

@@ -26,6 +26,7 @@
 pub mod apps;
 pub mod encoding;
 pub mod framebuffer;
+pub mod pool;
 pub mod protocol;
 pub mod workloads;
 

@@ -174,6 +174,59 @@ pub fn chunk_update(update_id: u32, stream: Bytes) -> Vec<VncMsg> {
     chunks
 }
 
+/// Encode an update's full chunk sequence as ready-to-send wire frames in
+/// **one allocation**: every returned `Bytes` is a refcounted view into a
+/// single buffer, byte-identical to encoding each [`chunk_update`] message
+/// with [`VncMsg::encode`]. This is the broadcast fan-out's hot path — the
+/// frames are encoded once, then cloned (a refcount bump) into every
+/// viewer's queue. Frames are appended to `out` (recycle the `Vec` across
+/// updates); always at least one frame, like [`chunk_update`].
+pub fn encode_chunk_frames_into(update_id: u32, stream: &[u8], out: &mut Vec<Bytes>) {
+    let total = stream.len();
+    let n_frames = if total == 0 { 1 } else { total.div_ceil(CHUNK_PAYLOAD) };
+    assert!(n_frames - 1 <= u16::MAX as usize, "update too large for u16 chunks");
+    let mut buf = BytesMut::with_capacity(n_frames * CHUNK_HEADER + total);
+    let mut offset = 0usize;
+    let mut seq: u16 = 0;
+    loop {
+        let end = (offset + CHUNK_PAYLOAD).min(total);
+        let last = end == total;
+        buf.put_u8(PROTO_VNC);
+        buf.put_u8(TAG_UPDATE_CHUNK);
+        buf.put_u32(update_id);
+        buf.put_u16(seq);
+        buf.put_u8(last as u8);
+        buf.put_u32((end - offset) as u32);
+        buf.put_slice(&stream[offset..end]);
+        if last {
+            break;
+        }
+        offset = end;
+        seq += 1;
+    }
+    let frozen = buf.freeze();
+    out.reserve(n_frames);
+    let mut at = 0usize;
+    offset = 0;
+    loop {
+        let end = (offset + CHUNK_PAYLOAD).min(total);
+        let frame_len = CHUNK_HEADER + (end - offset);
+        out.push(frozen.slice(at..at + frame_len));
+        at += frame_len;
+        if end == total {
+            break;
+        }
+        offset = end;
+    }
+}
+
+/// [`encode_chunk_frames_into`] returning a fresh `Vec`.
+pub fn encode_chunk_frames(update_id: u32, stream: &[u8]) -> Vec<Bytes> {
+    let mut out = Vec::new();
+    encode_chunk_frames_into(update_id, stream, &mut out);
+    out
+}
+
 /// Reassembles chunk payloads back into the update's tile stream.
 #[derive(Debug, Default)]
 pub struct Reassembler {
@@ -427,6 +480,94 @@ mod tests {
         assert_eq!(
             r.push(1, 5, false, &Bytes::from_static(b"x")),
             PushResult::Gap
+        );
+    }
+
+    #[test]
+    fn encoded_chunk_frames_match_the_per_chunk_path() {
+        // The one-allocation frame encoder must be byte-identical to
+        // chunk_update + per-message encode, across the size edge cases:
+        // empty, sub-chunk, exact multiple, and multi-chunk with remainder.
+        for len in [
+            0usize,
+            1,
+            CHUNK_PAYLOAD - 1,
+            CHUNK_PAYLOAD,
+            CHUNK_PAYLOAD * 2,
+            CHUNK_PAYLOAD * 3 + 100,
+        ] {
+            let stream = Bytes::from((0..len).map(|i| i as u8).collect::<Vec<_>>());
+            let reference: Vec<Bytes> = chunk_update(77, stream.clone())
+                .iter()
+                .map(|m| m.encode())
+                .collect();
+            let frames = encode_chunk_frames(77, &stream);
+            assert_eq!(frames, reference, "len {len} diverged");
+            // All frames view one shared buffer: zero-copy fan-out works
+            // because cloning any of them is a refcount bump, not a copy.
+            for f in &frames {
+                assert!(f.len() <= MTU_BYTES);
+            }
+        }
+    }
+
+    #[test]
+    fn encode_chunk_frames_into_appends_and_recycles() {
+        let mut out = Vec::new();
+        encode_chunk_frames_into(1, b"abc", &mut out);
+        assert_eq!(out.len(), 1);
+        out.clear();
+        encode_chunk_frames_into(2, &vec![9u8; CHUNK_PAYLOAD + 1], &mut out);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn reassembler_survives_update_id_wraparound() {
+        // Satellite: next_update_id wraps u32::MAX → 0. The reassembler
+        // must treat the wrapped id as a fresh update, not a stale one —
+        // it compares ids only for equality, never for order, and this
+        // test pins that property at the boundary.
+        let stream_max = Bytes::from(vec![1u8; CHUNK_PAYLOAD + 7]);
+        let stream_zero = Bytes::from(vec![2u8; CHUNK_PAYLOAD + 9]);
+        let mut r = Reassembler::new();
+        // Complete an update with the largest possible id…
+        let mut done = None;
+        for c in chunk_update(u32::MAX, stream_max.clone()) {
+            if let VncMsg::UpdateChunk { update_id, seq, last, payload } = c {
+                if let PushResult::Complete(b) = r.push(update_id, seq, last, &payload) {
+                    done = Some(b);
+                }
+            }
+        }
+        assert_eq!(done.unwrap(), stream_max);
+        // …then the wrapped id 0 must assemble cleanly from seq 0.
+        let mut done = None;
+        for c in chunk_update(0, stream_zero.clone()) {
+            if let VncMsg::UpdateChunk { update_id, seq, last, payload } = c {
+                match r.push(update_id, seq, last, &payload) {
+                    PushResult::Complete(b) => done = Some(b),
+                    PushResult::Incomplete => {}
+                    PushResult::Gap => panic!("wrapped update id treated as stale"),
+                }
+            }
+        }
+        assert_eq!(done.unwrap(), stream_zero);
+    }
+
+    #[test]
+    fn wrapped_id_restarts_reassembly_over_a_stale_partial() {
+        // Mid-update loss right at the wrap: a partial of update u32::MAX
+        // is pending when the wrapped update 0 starts. Its seq-0 chunk
+        // must restart reassembly (the fresh-start rule is id-inequality,
+        // so it survives the wrap).
+        let mut r = Reassembler::new();
+        assert_eq!(
+            r.push(u32::MAX, 0, false, &Bytes::from_static(b"stale")),
+            PushResult::Incomplete
+        );
+        assert_eq!(
+            r.push(0, 0, true, &Bytes::from_static(b"wrapped")),
+            PushResult::Complete(Bytes::from_static(b"wrapped"))
         );
     }
 

@@ -21,8 +21,15 @@
 # 10^5, and 10^6 live leases (register/renew throughput, lookup
 # throughput, and p50/p99 lookup latency), and the entry is APPENDED to
 # BENCH_disc.json under the same trajectory-accumulation contract.
+#
+# Pass --fanout for the broadcast fan-out mode: one screen server streams
+# to 10/100/1k/10k viewers over a wired star (msgs per wall-clock second,
+# bytes per update, allocations per update from buffer-pool misses, and
+# the encodes-vs-updates ratio that proves encode-once fan-out); each
+# scale point runs twice with the same seed and refuses to report unless
+# the runs' digests match. The entry is APPENDED to BENCH_fanout.json.
 # Run from the repository root:
-#   ./scripts/bench.sh [--quick] [--scaling | --discovery]
+#   ./scripts/bench.sh [--quick] [--scaling | --discovery | --fanout]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

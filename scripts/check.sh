@@ -55,6 +55,18 @@ e9_out2=$(cargo run --release -p lpc-bench --bin repro -- --experiment e9 --seed
 diff <(printf '%s\n' "$e9_out") <(printf '%s\n' "$e9_out2") \
   || { echo "FAIL: E9 chaos walkthrough is not byte-identical across runs"; exit 1; }
 
+# Broadcast-determinism gate: a fixed-seed multi-viewer fan-out run must
+# be a pure function of its seed — `fanout-smoke` prints the run's
+# digest, counters, and convergence, and two runs must agree byte-for-
+# byte (the same double-run check every `--fanout` scale point applies
+# internally; DESIGN.md §16).
+fan_a=$(cargo run --release -p lpc-bench --bin repro -- --quick fanout-smoke)
+fan_b=$(cargo run --release -p lpc-bench --bin repro -- --quick fanout-smoke)
+diff <(printf '%s\n' "$fan_a") <(printf '%s\n' "$fan_b") \
+  || { echo "FAIL: broadcast fan-out is not byte-identical across runs"; exit 1; }
+grep -q 'converged=100' <<<"$fan_a" \
+  || { echo "FAIL: fan-out smoke run left viewers unconverged"; exit 1; }
+
 # Optimizer-validation gate: the translation-validated optimizer's output
 # must agree with the unoptimized registration on every probed input, for
 # three independent seeds (the example exits non-zero on any divergence).
